@@ -1,0 +1,111 @@
+"""Ablation — ephemeral (forward-secret) RSA handshakes (§5.1.1).
+
+The paper's threat analysis presumes ephemeral per-connection RSA keys
+are not in use: "they are rarely used in practice because of their high
+computational cost".  That presumption is load-bearing — it is *why*
+protecting the long-term private key matters so much (a stolen key
+decrypts every recorded session, which
+``tests/tls/test_ephemeral.py::test_static_mode_lacks_forward_secrecy``
+demonstrates).  This ablation quantifies the cost the paper cites:
+handshakes per second with static vs per-connection keys.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.crypto import DetRNG, rsa
+from repro.net import Network
+from repro.tls import SessionCache, StreamTransport, TlsClient
+from repro.tls.records import RT_APPDATA
+from repro.tls.server_core import ServerHandshake
+
+
+def serve_forever(net, addr, key, *, ephemeral, stop):
+    listener = net.listen(addr)
+
+    def run():
+        index = 0
+        while not stop.is_set():
+            try:
+                sock = listener.accept(timeout=0.5)
+            except Exception:
+                continue
+            index += 1
+            try:
+                handshake = ServerHandshake(
+                    StreamTransport(sock, 5), key,
+                    DetRNG(f"srv{index}"), session_cache=SessionCache(),
+                    ephemeral=ephemeral, ephemeral_bits=384)
+                channel = handshake.run()
+                channel.recv_record()
+                channel.send_record(RT_APPDATA, b"ok")
+            except Exception:
+                pass
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def handshake_op(net, addr, key):
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        client = TlsClient(DetRNG(f"cli{counter[0]}"),
+                           expected_server_key=key.public())
+        conn = client.connect(net, addr, resume=False)
+        conn.request(b"ping")
+
+    return op
+
+
+@pytest.mark.parametrize("mode", ["static", "ephemeral"])
+def test_full_handshake(benchmark, mode):
+    net = Network()
+    key = rsa.generate_keypair(DetRNG("ablation-eph"))
+    stop = threading.Event()
+    serve_forever(net, f"eph-bench-{mode}:443", key,
+                  ephemeral=(mode == "ephemeral"), stop=stop)
+    try:
+        benchmark.pedantic(
+            handshake_op(net, f"eph-bench-{mode}:443", key),
+            rounds=6, iterations=1, warmup_rounds=1)
+        benchmark.extra_info["mode"] = mode
+    finally:
+        stop.set()
+
+
+def test_ephemeral_ablation_shape(benchmark):
+    """Static vs ephemeral side by side, with the cost factor."""
+    results = {}
+    key = rsa.generate_keypair(DetRNG("ablation-eph2"))
+    for mode in ("static", "ephemeral"):
+        net = Network()
+        stop = threading.Event()
+        serve_forever(net, f"eph-shape-{mode}:443", key,
+                      ephemeral=(mode == "ephemeral"), stop=stop)
+        op = handshake_op(net, f"eph-shape-{mode}:443", key)
+        op()   # warm
+        start = time.perf_counter()
+        n = 6
+        for _ in range(n):
+            op()
+        results[mode] = n / (time.perf_counter() - start)
+        stop.set()
+
+    factor = results["static"] / results["ephemeral"]
+    print("\nEphemeral-RSA ablation (full handshakes/s):")
+    print(f"  static key    : {results['static']:7.1f} hs/s")
+    print(f"  ephemeral key : {results['ephemeral']:7.1f} hs/s")
+    print(f"  cost factor   : {factor:.1f}x — the paper's 'high "
+          f"computational cost'")
+    benchmark.extra_info["static_hs_per_s"] = round(results["static"], 1)
+    benchmark.extra_info["ephemeral_hs_per_s"] = round(
+        results["ephemeral"], 1)
+    benchmark.extra_info["factor"] = round(factor, 2)
+    # the paper's premise: ephemeral keys are substantially slower
+    assert factor > 2
+    benchmark(lambda: None)

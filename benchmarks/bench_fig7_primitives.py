@@ -1,0 +1,114 @@
+"""Figure 7 — sthread calls: primitive creation latency.
+
+Paper result (8-core Xeon, µs per operation)::
+
+    pthread ≈ 8   recycled ≈ 8   sthread ≈ 62   callgate ≈ 63   fork ≈ 66
+
+i.e. sthreads and callgates cost about as much as fork; recycled
+callgates cost about as much as pthread creation; sthreads are ~8x
+pthreads.  Each benchmark measures create + immediate-exit + destroy
+from a minimal parent, like the paper's microbenchmark, and attaches
+the deterministic model-cycle count as extra_info.
+"""
+
+from conftest import cycles_of
+
+from repro.core.policy import SecurityContext
+
+
+def _noop(arg):
+    return None
+
+
+def _gate_entry(trusted, arg):
+    return None
+
+
+def test_pthread_create(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+
+    def op():
+        kernel.sthread_join(kernel.pthread_create(_noop, spawn="inline"))
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_recycled_callgate(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+    gate = kernel.create_gate(_gate_entry, SecurityContext(),
+                              recycled=True)
+    kernel.cgate(gate.id)   # warm the persistent compartment
+
+    def op():
+        kernel.cgate(gate.id)
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_sthread_create(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+
+    def op():
+        kernel.sthread_join(kernel.sthread_create(
+            SecurityContext(), _noop, spawn="inline"))
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_callgate(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+    gate = kernel.create_gate(_gate_entry, SecurityContext())
+
+    def op():
+        kernel.cgate(gate.id)
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_fork(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+
+    def op():
+        kernel.sthread_join(kernel.fork(_noop, spawn="inline"))
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_figure7_shape(benchmark, fresh_kernel):
+    """Asserts the figure's orderings on model cycles, and prints the
+    row the paper plots."""
+    kernel = fresh_kernel
+    gate = kernel.create_gate(_gate_entry, SecurityContext())
+    recycled = kernel.create_gate(_gate_entry, SecurityContext(),
+                                  recycled=True)
+    kernel.cgate(recycled.id)
+
+    cycles = {
+        "pthread": cycles_of(kernel, lambda: kernel.sthread_join(
+            kernel.pthread_create(_noop, spawn="inline"))),
+        "recycled": cycles_of(kernel, lambda: kernel.cgate(recycled.id)),
+        "sthread": cycles_of(kernel, lambda: kernel.sthread_join(
+            kernel.sthread_create(SecurityContext(), _noop,
+                                  spawn="inline"))),
+        "callgate": cycles_of(kernel, lambda: kernel.cgate(gate.id)),
+        "fork": cycles_of(kernel, lambda: kernel.sthread_join(
+            kernel.fork(_noop, spawn="inline"))),
+    }
+    base = cycles["pthread"]
+    print("\nFigure 7 (model cycles, x over pthread):")
+    for name in ("pthread", "recycled", "sthread", "callgate", "fork"):
+        print(f"  {name:9s} {cycles[name]:8d}  {cycles[name]/base:5.2f}x")
+    for name, value in cycles.items():
+        benchmark.extra_info[name] = value
+
+    assert cycles["recycled"] < 2 * cycles["pthread"]
+    assert 5 < cycles["sthread"] / cycles["pthread"] < 12
+    assert 0.8 < cycles["callgate"] / cycles["sthread"] < 1.3
+    assert cycles["fork"] >= cycles["sthread"] * 0.8
+    assert cycles["callgate"] / cycles["recycled"] > 4
+    benchmark(lambda: None)

@@ -1,0 +1,127 @@
+"""Figure 8 — memory calls: malloc vs tag_new vs mmap.
+
+Paper result (ns per operation): ``malloc ≈ 50, tag_new(best case,
+reused) ≈ 4x malloc, mmap ≈ 22x malloc``; a fresh (non-reused) tag_new
+costs about the same as mmap.  smalloc costs about the same as malloc
+(substantially the same allocator).
+"""
+
+from conftest import cycles_of
+
+
+def test_malloc(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+    allocations = []
+
+    def op():
+        allocations.append(kernel.malloc(64))
+        if len(allocations) > 256:
+            for addr in allocations:
+                kernel.free(addr)
+            allocations.clear()
+
+    benchmark.extra_info["model_cycles"] = cycles_of(
+        kernel, lambda: kernel.free(kernel.malloc(64)))
+    benchmark(op)
+
+
+def test_smalloc(benchmark, fresh_kernel):
+    kernel = fresh_kernel
+    tag = kernel.tag_new()
+    allocations = []
+
+    def op():
+        allocations.append(kernel.smalloc(48, tag))
+        if len(allocations) > 64:
+            for addr in allocations:
+                kernel.sfree(addr)
+            allocations.clear()
+
+    benchmark.extra_info["model_cycles"] = cycles_of(
+        kernel, lambda: kernel.sfree(kernel.smalloc(48, tag)))
+    benchmark(op)
+
+
+def test_tag_new_reused(benchmark, fresh_kernel):
+    """Best case: the free-list cache always has a segment (paper §4.1)."""
+    kernel = fresh_kernel
+    seed = kernel.tag_new()
+    kernel.tag_delete(seed)
+
+    def op():
+        tag = kernel.tag_new()
+        kernel.tag_delete(tag)
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_tag_new_fresh(benchmark):
+    """Worst case: no reuse possible — every tag_new is an mmap."""
+    from repro.core.kernel import Kernel
+    kernel = Kernel(tag_cache=False, name="bench-nocache")
+    kernel.start_main()
+
+    def op():
+        tag = kernel.tag_new()
+        kernel.tag_delete(tag)
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_mmap_equivalent(benchmark, fresh_kernel):
+    """Raw anonymous-mmap cost: segment creation without tag plumbing."""
+    kernel = fresh_kernel
+
+    def op():
+        seg = kernel.space.create_segment(4 * 4096, kind="anon")
+        kernel.costs.charge("syscall")
+        kernel.costs.charge("segment_create")
+        kernel.space.destroy_segment(seg)
+
+    benchmark.extra_info["model_cycles"] = cycles_of(kernel, op)
+    benchmark(op)
+
+
+def test_figure8_shape(benchmark, fresh_kernel):
+    """Asserts the orderings on model cycles; prints the figure row."""
+    kernel = fresh_kernel
+    tag = kernel.tag_new()
+    malloc_cycles = cycles_of(kernel,
+                              lambda: kernel.free(kernel.malloc(64)))
+    smalloc_cycles = cycles_of(kernel,
+                               lambda: kernel.sfree(
+                                   kernel.smalloc(64, tag)))
+    seed = kernel.tag_new()
+    kernel.tag_delete(seed)
+
+    def reuse_op():
+        t = kernel.tag_new()
+        kernel.tag_delete(t)
+
+    reuse_cycles = cycles_of(kernel, reuse_op)
+
+    from repro.core.kernel import Kernel
+    nocache = Kernel(tag_cache=False)
+    nocache.start_main()
+
+    def fresh_op():
+        t = nocache.tag_new()
+        nocache.tag_delete(t)
+
+    fresh_cycles = cycles_of(nocache, fresh_op)
+
+    print("\nFigure 8 (model cycles, x over malloc):")
+    rows = [("malloc", malloc_cycles), ("smalloc", smalloc_cycles),
+            ("tag_new (reused)", reuse_cycles),
+            ("tag_new (fresh) / mmap", fresh_cycles)]
+    for name, value in rows:
+        print(f"  {name:24s} {value:7d}  {value/malloc_cycles:5.1f}x")
+        benchmark.extra_info[name] = value
+
+    assert smalloc_cycles <= 3 * malloc_cycles
+    assert malloc_cycles < reuse_cycles < fresh_cycles
+    assert reuse_cycles < fresh_cycles / 2       # reuse is the win
+    assert fresh_cycles / malloc_cycles > 10     # mmap ≫ malloc
+    benchmark(lambda: None)

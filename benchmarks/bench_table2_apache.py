@@ -1,0 +1,144 @@
+"""Table 2 (top) — Apache throughput in requests per second.
+
+Paper result (requests/s)::
+
+                        Vanilla   Wedge   Recycled
+    sessions cached       1238      238       339
+    sessions not cached    247      132       170
+
+Shape: vanilla > recycled > wedge in both workloads; partitioning hurts
+*relatively more* when sessions are cached (no RSA work to amortise the
+compartment-creation cost against): wedge reaches ~19%/27% of vanilla
+cached vs ~53%/69% uncached.  Recycled callgates buy back 42%/29%.
+
+pytest-benchmark's OPS column is the requests/s the table reports.
+"""
+
+import pytest
+
+from repro.apps.httpd import MitmPartitionHttpd, MonolithicHttpd
+from repro.apps.httpd.content import build_request
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+SERVERS = {
+    "vanilla": (MonolithicHttpd, {}),
+    "wedge": (MitmPartitionHttpd, {"gate_mode": "fresh"}),
+    "recycled": (MitmPartitionHttpd, {"gate_mode": "recycled"}),
+}
+
+
+def start_server(flavor, addr):
+    cls, kwargs = SERVERS[flavor]
+    return cls(Network(), addr, **kwargs).start()
+
+
+def cached_request_op(server):
+    """One request on a cached (resumed) session."""
+    client = TlsClient(DetRNG("bench-cached"),
+                       expected_server_key=server.public_key)
+    # seed the session cache once
+    client.connect(server.network, server.addr).request(
+        build_request("/"))
+
+    def op():
+        conn = client.connect(server.network, server.addr)
+        conn.request(build_request("/"))
+        assert conn.resumed
+
+    return op
+
+
+def uncached_request_op(server):
+    """One request with a full handshake every time."""
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        client = TlsClient(DetRNG(f"bench-fresh{counter[0]}"),
+                           expected_server_key=server.public_key)
+        conn = client.connect(server.network, server.addr,
+                              resume=False)
+        conn.request(build_request("/"))
+        assert not conn.resumed
+
+    return op
+
+
+@pytest.mark.parametrize("flavor", list(SERVERS))
+def test_sessions_cached(benchmark, flavor):
+    server = start_server(flavor, f"t2-cached-{flavor}:443")
+    try:
+        benchmark.pedantic(cached_request_op(server), rounds=8,
+                           iterations=2, warmup_rounds=1)
+        benchmark.extra_info["variant"] = flavor
+        benchmark.extra_info["workload"] = "cached"
+        assert server.errors == []
+    finally:
+        server.stop()
+
+
+@pytest.mark.parametrize("flavor", list(SERVERS))
+def test_sessions_not_cached(benchmark, flavor):
+    server = start_server(flavor, f"t2-fresh-{flavor}:443")
+    try:
+        benchmark.pedantic(uncached_request_op(server), rounds=8,
+                           iterations=2, warmup_rounds=1)
+        benchmark.extra_info["variant"] = flavor
+        benchmark.extra_info["workload"] = "not-cached"
+        assert server.errors == []
+    finally:
+        server.stop()
+
+
+def test_table2_apache_shape(benchmark):
+    """Measures all six cells, prints the table, asserts the shape."""
+    import time
+
+    def throughput(server, op, n=10):
+        op()  # warm
+        start = time.perf_counter()
+        for _ in range(n):
+            op()
+        return n / (time.perf_counter() - start)
+
+    table = {}
+    for workload, op_factory in (("cached", cached_request_op),
+                                 ("not-cached", uncached_request_op)):
+        for flavor in SERVERS:
+            server = start_server(flavor,
+                                  f"t2-shape-{workload}-{flavor}:443")
+            try:
+                table[(workload, flavor)] = throughput(
+                    server, op_factory(server))
+            finally:
+                server.stop()
+
+    print("\nTable 2 (top): requests/s")
+    print(f"  {'workload':12s} {'vanilla':>9s} {'wedge':>9s} "
+          f"{'recycled':>9s} {'wedge/van':>10s} {'rec/van':>8s}")
+    for workload in ("cached", "not-cached"):
+        vanilla = table[(workload, "vanilla")]
+        wedge = table[(workload, "wedge")]
+        recycled = table[(workload, "recycled")]
+        print(f"  {workload:12s} {vanilla:9.1f} {wedge:9.1f} "
+              f"{recycled:9.1f} {wedge/vanilla:9.2f} "
+              f"{recycled/vanilla:7.2f}")
+        benchmark.extra_info[workload] = {
+            "vanilla": round(vanilla, 1), "wedge": round(wedge, 1),
+            "recycled": round(recycled, 1)}
+
+    for workload in ("cached", "not-cached"):
+        vanilla = table[(workload, "vanilla")]
+        wedge = table[(workload, "wedge")]
+        recycled = table[(workload, "recycled")]
+        # who wins: vanilla > recycled > wedge
+        assert vanilla > recycled > wedge, workload
+    # partitioning hurts relatively more on the cached workload
+    cached_frac = table[("cached", "wedge")] / table[("cached",
+                                                      "vanilla")]
+    fresh_frac = table[("not-cached", "wedge")] / \
+        table[("not-cached", "vanilla")]
+    assert cached_frac < fresh_frac
+    benchmark(lambda: None)

@@ -1,0 +1,131 @@
+"""Table 2 (bottom) — OpenSSH latency: login and scp.
+
+Paper result (seconds)::
+
+                     Vanilla   Wedge
+    ssh login delay    0.145    0.148
+    10MB scp delay     0.376    0.370
+
+Shape: Wedge's primitives add *negligible latency* to the interactive
+application — login and file-transfer times are essentially unchanged.
+The scp payload here is 2 MiB (the simulated cipher is the bottleneck,
+not the compartments, exactly as in the paper's full-size run).
+"""
+
+import pytest
+
+from repro.apps.sshd import MonolithicSshd, WedgeSshd
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.sshlib import SshClient
+
+SCP_SIZE = 2 * 1024 * 1024
+
+SERVERS = {"vanilla": MonolithicSshd, "wedge": WedgeSshd}
+
+
+def start_server(flavor, addr):
+    return SERVERS[flavor](Network(), addr).start()
+
+
+def login_op(server):
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        client = SshClient(
+            DetRNG(f"bench-login{counter[0]}"),
+            expected_host_key=server.env.host_key.public())
+        conn = client.connect(server.network, server.addr)
+        conn.auth_password("alice", b"wonderland")
+        conn.close()
+
+    return op
+
+
+def scp_op(server, payload):
+    counter = [0]
+
+    def op():
+        counter[0] += 1
+        client = SshClient(
+            DetRNG(f"bench-scp{counter[0]}"),
+            expected_host_key=server.env.host_key.public())
+        conn = client.connect(server.network, server.addr)
+        conn.auth_password("alice", b"wonderland")
+        conn.scp_upload("/home/alice/upload.bin", payload)
+        conn.close()
+
+    return op
+
+
+@pytest.mark.parametrize("flavor", list(SERVERS))
+def test_ssh_login_delay(benchmark, flavor):
+    server = start_server(flavor, f"t2-login-{flavor}:22")
+    try:
+        benchmark.pedantic(login_op(server), rounds=6, iterations=1,
+                           warmup_rounds=1)
+        benchmark.extra_info["variant"] = flavor
+        assert server.errors == []
+    finally:
+        server.stop()
+
+
+@pytest.mark.parametrize("flavor", list(SERVERS))
+def test_scp_delay(benchmark, flavor):
+    server = start_server(flavor, f"t2-scp-{flavor}:22")
+    payload = bytes(range(256)) * (SCP_SIZE // 256)
+    try:
+        benchmark.pedantic(scp_op(server, payload), rounds=3,
+                           iterations=1, warmup_rounds=1)
+        benchmark.extra_info["variant"] = flavor
+        benchmark.extra_info["payload_bytes"] = len(payload)
+        assert server.errors == []
+    finally:
+        server.stop()
+
+
+def test_table2_openssh_shape(benchmark):
+    """Both rows side by side; asserts the negligible-delta shape."""
+    import time
+
+    def best_of(op, n=3):
+        best = None
+        for _ in range(n):
+            start = time.perf_counter()
+            op()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    payload = bytes(range(256)) * (SCP_SIZE // 256)
+    results = {}
+    for flavor in SERVERS:
+        server = start_server(flavor, f"t2-ssh-shape-{flavor}:22")
+        try:
+            results[(flavor, "login")] = best_of(login_op(server))
+            results[(flavor, "scp")] = best_of(
+                scp_op(server, payload), n=2)
+        finally:
+            server.stop()
+
+    print("\nTable 2 (bottom): seconds")
+    print(f"  {'operation':18s} {'vanilla':>9s} {'wedge':>9s} "
+          f"{'wedge/van':>10s}")
+    for operation in ("login", "scp"):
+        vanilla = results[("vanilla", operation)]
+        wedge = results[("wedge", operation)]
+        print(f"  {operation:18s} {vanilla:9.4f} {wedge:9.4f} "
+              f"{wedge/vanilla:9.2f}")
+        benchmark.extra_info[operation] = {
+            "vanilla": round(vanilla, 4), "wedge": round(wedge, 4)}
+
+    # Wedge introduces negligible latency: within 2x on login (the
+    # paper is within 2%; interpreter noise is larger, the claim is
+    # "no order-of-magnitude penalty") and within 50% on scp, where
+    # bulk crypto dominates either way.
+    assert results[("wedge", "login")] < \
+        2.0 * results[("vanilla", "login")]
+    assert results[("wedge", "scp")] < \
+        1.5 * results[("vanilla", "scp")]
+    benchmark(lambda: None)

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures and the results collector.
+
+Every benchmark in this directory reproduces one figure or table from
+the paper's evaluation (section 6).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers will not match the paper's 2008 hardware; the *shape*
+(orderings, rough ratios, crossovers) is the reproduced quantity and is
+asserted where stable.  Model-cycle counts from the kernel's cost
+account are attached as ``extra_info`` so results are robust to host
+noise.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def fresh_kernel():
+    from repro.core.kernel import Kernel
+    from repro.net import Network
+    kernel = Kernel(net=Network(), name="bench")
+    kernel.start_main()
+    return kernel
+
+
+def cycles_of(kernel, fn):
+    """Model cycles charged by one invocation of *fn*."""
+    checkpoint = kernel.costs.checkpoint()
+    fn()
+    return kernel.costs.delta(checkpoint)

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""The Crowbar-assisted partitioning workflow (§3.4) on a toy service.
+
+Shows what a developer actually does with cb-log and cb-analyze:
+
+1. trace the monolithic code on an innocuous workload;
+2. ask query 1: what memory does ``handle_order`` (and its descendants)
+   touch, and how?
+3. ask query 3 + query 2: where does the sensitive card number flow,
+   and which procedures touch it (the callgate candidates)?
+4. derive the sthread policy from the trace and run for real;
+5. refactor, crash, re-run under the emulation library, learn the
+   missing grant in ONE run, fix the policy.
+
+Run:  python examples/crowbar_workflow.py
+"""
+
+from repro import Kernel, Network, PROT_READ, PROT_RW, SecurityContext
+from repro.core import sc_mem_add
+from repro.core.emulation import emulated_sthread_create
+from repro.crowbar import (CbLog, emulation_gaps, format_report,
+                           memory_for_procedure, procedures_using,
+                           suggest_policy, writes_of_procedure)
+
+
+def main():
+    kernel = Kernel(net=Network())
+    kernel.start_main()
+
+    # the shop's data: catalog (public-ish), orders, and card numbers
+    catalog_tag = kernel.tag_new(name="catalog")
+    orders_tag = kernel.tag_new(name="orders")
+    cards_tag = kernel.tag_new(name="card-numbers")
+    catalog = kernel.alloc_buf(64, tag=catalog_tag,
+                               init=b"widget=10;gizmo=25" + bytes(46))
+    orders = kernel.alloc_buf(128, tag=orders_tag, init=bytes(128))
+    cards = kernel.alloc_buf(32, tag=cards_tag,
+                             init=b"4111-1111-1111-1111")
+
+    # -- the monolithic application ----------------------------------------
+    def lookup_price(item):
+        table = kernel.mem_read(catalog.addr, 64).rstrip(b"\x00")
+        for entry in table.split(b";"):
+            name, _, price = entry.partition(b"=")
+            if name == item:
+                return int(price)
+        return 0
+
+    def record_order(item, price):
+        line = item + b":" + str(price).encode() + b";"
+        kernel.mem_write(orders.addr, line)
+
+    def charge_card(price):
+        number = kernel.mem_read(cards.addr, 19)
+        return b"charged " + str(price).encode() + b" to " + number[-4:]
+
+    def handle_order(item):
+        price = lookup_price(item)
+        record_order(item, price)
+        return charge_card(price)
+
+    # -- 1+2: trace and query ------------------------------------------------
+    print("step 1: tracing one innocuous run under cb-log...")
+    with CbLog(kernel, label="innocuous") as log:
+        handle_order(b"widget")
+    print(f"  {len(log.trace)} accesses recorded\n")
+
+    print("step 2 (query 1): memory used by handle_order + descendants")
+    print(format_report(memory_for_procedure(log.trace, "handle_order"),
+                        title="handle_order"))
+
+    print("\nstep 3 (queries 3+2): where card data flows / who touches "
+          "card-numbers")
+    writes = writes_of_procedure(log.trace, "charge_card")
+    card_items = [record.item for record in log.trace.accesses
+                  if record.item.tag_id == cards_tag.id]
+    users = procedures_using(log.trace, card_items,
+                             innermost_only=True)
+    print(f"  charge_card writes: "
+          f"{[item.name for item in writes] or 'nothing'}")
+    print(f"  procedures touching card numbers: {sorted(users)}")
+    print("  -> charge_card is the callgate candidate; everything else "
+          "can be unprivileged")
+
+    # -- 4: derive the sthread policy WITHOUT the card tag --------------------
+    grants, untaggable = suggest_policy(log.trace, "handle_order")
+    print(f"\nstep 4: suggested grants for handle_order: {grants}")
+    grants.pop(cards_tag.id, None)   # the card store goes behind a gate
+
+    def order_worker_v1(arg):
+        price = lookup_price(b"widget")
+        record_order(b"widget", price)
+        return price   # charging now happens via a callgate (not shown)
+
+    def grants_to_sc(grant_map):
+        sc = SecurityContext()
+        for tag_id, mode in grant_map.items():
+            sc_mem_add(sc, tag_id,
+                       PROT_RW if mode == "rw" else PROT_READ)
+        return sc
+
+    worker = kernel.sthread_create(grants_to_sc(grants), order_worker_v1,
+                                   spawn="inline")
+    print(f"  worker ran with derived policy: result="
+          f"{kernel.sthread_join(worker)}, faulted={worker.faulted}")
+
+    # -- 5: refactor -> crash -> emulation reveals the gap --------------------
+    loyalty_tag = kernel.tag_new(name="loyalty-points")
+    loyalty = kernel.alloc_buf(16, tag=loyalty_tag, init=bytes(16))
+
+    def order_worker_v2(arg):
+        price = lookup_price(b"gizmo")
+        record_order(b"gizmo", price)
+        kernel.mem_write(loyalty.addr, b"+5")   # NEW dependency
+        return price
+
+    crashed = kernel.sthread_create(grants_to_sc(grants),
+                                    order_worker_v2, spawn="inline")
+    kernel.sthread_join(crashed)
+    print(f"\nstep 5: after refactoring, the sthread faulted: "
+          f"{crashed.fault}")
+
+    print("  re-running under the emulation library with cb-log...")
+    with CbLog(kernel, label="emulated") as log2:
+        emulated = emulated_sthread_create(
+            kernel, grants_to_sc(grants), order_worker_v2)
+        kernel.sthread_join(emulated)
+    for item, modes in emulation_gaps(log2.trace).items():
+        print(f"  missing grant: {item!r} needs {sorted(modes)}")
+        if item.tag_id is not None:
+            grants[item.tag_id] = ("rw" if "write" in modes else "r")
+
+    fixed = kernel.sthread_create(grants_to_sc(grants), order_worker_v2,
+                                  spawn="inline")
+    kernel.sthread_join(fixed)
+    print(f"  with the extended policy: faulted={fixed.faulted} — green")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The POP3 motivating example (§2, Figure 1), with the attack contrast.
+
+Serves mail from both the monolithic and the partitioned server, then
+throws the same exploit at each client handler and shows what it can
+reach.
+
+Run:  python examples/pop3_demo.py
+"""
+
+import time
+
+from repro.apps.pop3 import MonolithicPop3, PartitionedPop3, Pop3Client
+from repro.attacks.exploit import make_exploit_blob, registry
+from repro.net import Network
+
+
+def normal_session(server_cls, addr):
+    net = Network()
+    server = server_cls(net, addr).start()
+    client = Pop3Client(net, addr)
+    client.login("alice", b"wonderland")
+    sizes = client.list_messages()
+    first = client.retrieve(1)
+    client.quit()
+    print(f"  {server_cls.variant}: {len(sizes)} messages for alice, "
+          f"first from {first.splitlines()[0].decode()!r}")
+    server.stop()
+
+
+def exploit_session(server_cls, addr):
+    result = {}
+
+    @registry.register("pop3-demo-thief")
+    def thief(api):
+        result["passwords"] = api.scan_all_memory(b"wonderland")
+        result["mail"] = api.scan_all_memory(
+            b"queen@hearts".hex().encode())
+        gates = api.context.get("gates")
+        if gates:
+            result["skip-auth"] = api.try_cgate(
+                gates["retrieve_gate"], None, {"op": "list"},
+                what="retrieve without login")
+        result["done"] = True
+
+    net = Network()
+    server = server_cls(net, addr).start()
+    client = Pop3Client(net, addr)
+    try:
+        client.raw_command(b"USER " +
+                           make_exploit_blob("pop3-demo-thief"))
+    except Exception:
+        pass
+    deadline = time.time() + 5
+    while "done" not in result and time.time() < deadline:
+        time.sleep(0.02)
+    server.stop()
+
+    print(f"  {server_cls.variant}: exploit in the client handler "
+          f"found:")
+    print(f"    password database : "
+          f"{'READ' if result.get('passwords') else 'unreachable'}")
+    print(f"    mail spool        : "
+          f"{'READ' if result.get('mail') else 'unreachable'}")
+    if "skip-auth" in result:
+        print(f"    skip authentication: retrieve gate said "
+              f"{result['skip-auth']}")
+
+
+def main():
+    print("normal service (both variants behave identically):")
+    normal_session(MonolithicPop3, "pop-demo-m:110")
+    normal_session(PartitionedPop3, "pop-demo-p:110")
+    print("\nnow the exploit (paper §2: 'an exploit within the client "
+          "handler cannot\nreveal any passwords or e-mails'):")
+    exploit_session(MonolithicPop3, "pop-atk-m:110")
+    exploit_session(PartitionedPop3, "pop-atk-p:110")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: Wedge's three primitives in thirty lines of real use.
+
+Creates a compartmentalised "password checker": the secret lives in
+tagged memory, an untrusted parser sthread runs default-deny, and a
+callgate is the only bridge between them.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Kernel, Network, PROT_READ, SecurityContext,
+                   sc_cgate_add, sc_fd_add, sc_mem_add, FD_RW)
+from repro.core import MemoryViolation
+
+
+def main():
+    kernel = Kernel(net=Network())
+    kernel.start_main()
+
+    # -- tagged memory: the secret is named by a tag ----------------------
+    secret_tag = kernel.tag_new(name="password-db")
+    secret = kernel.alloc_buf(32, tag=secret_tag,
+                              init=b"hunter2".ljust(32, b"\x00"))
+    print(f"secret stored at 0x{secret.addr:x} under tag "
+          f"{secret_tag.id}")
+
+    # -- a callgate: the only code allowed to touch the secret ------------
+    def check_password_gate(trusted, arg):
+        stored = kernel.mem_read(trusted["addr"], 32).rstrip(b"\x00")
+        return {"ok": stored == bytes(arg["guess"])}
+
+    gate_sc = sc_mem_add(SecurityContext(), secret_tag, PROT_READ)
+
+    # -- an sthread: the untrusted network-facing parser ------------------
+    def parser_body(arg):
+        gate_id = next(iter(kernel.current().gates))
+        # 1. the legitimate path: ask the gate
+        verdict = kernel.cgate(gate_id, None, {"guess": b"hunter2"})
+        print(f"  [parser] gate says password ok = {verdict['ok']}")
+        # 2. the illegitimate path: read the secret directly
+        try:
+            kernel.mem_read(secret.addr, 32)
+            print("  [parser] !!! read the secret directly — BUG")
+        except MemoryViolation as fault:
+            print(f"  [parser] direct read denied: {fault}")
+        return "done"
+
+    sc = SecurityContext()                       # default-deny
+    sc_cgate_add(sc, check_password_gate, gate_sc,
+                 {"addr": secret.addr})          # ...one gate only
+
+    print("spawning the default-deny parser sthread:")
+    parser = kernel.sthread_create(sc, parser_body, name="parser",
+                                   spawn="inline")
+    print(f"parser finished: {kernel.sthread_join(parser)!r} "
+          f"(status={parser.status})")
+
+    # -- the accounting the kernel kept ------------------------------------
+    print(f"total model cycles charged: {kernel.costs.cycles():,}")
+
+
+if __name__ == "__main__":
+    main()

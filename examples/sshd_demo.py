@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""OpenSSH three ways (§5.2): what one exploit steals from each.
+
+Runs the same reconnaissance payload inside a hijacked pre-auth
+compartment of the monolithic, privilege-separated, and Wedge sshd,
+after a legitimate user logged in once (so PAM residue exists):
+
+====================  ==========  =========  ======
+loot / probe          monolithic  privsep    wedge
+====================  ==========  =========  ======
+host private key      stolen      scrubbed   denied
+PAM password residue  own heap    STOLEN     denied
+username oracle       leak        LEAK       dummy
+/etc/shadow           stolen      denied     denied
+====================  ==========  =========  ======
+
+Run:  python examples/sshd_demo.py
+"""
+
+import time
+
+from repro.apps.sshd import MonolithicSshd, PrivsepSshd, WedgeSshd
+from repro.attacks import payloads
+from repro.attacks.exploit import make_exploit_blob, start_campaign
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.sshlib import SshClient
+
+
+def attack(server_cls, addr):
+    net = Network()
+    server = server_cls(net, addr).start()
+    # a legitimate login first: the monitor/daemon authenticates alice,
+    # PAM leaves scratch in its heap (paper ref [8])
+    legit = SshClient(DetRNG("legit"),
+                      expected_host_key=server.env.host_key.public())
+    conn = legit.connect(net, addr)
+    conn.auth_password("alice", b"wonderland")
+    conn.close()
+    time.sleep(0.1)
+
+    loot = start_campaign()
+    attacker = SshClient(DetRNG("attacker"))
+    conn = attacker.connect(net, addr)
+    try:
+        conn.auth_password(
+            "mallory", make_exploit_blob(payloads.PAYLOAD_SSHD_RECON))
+    except Exception:
+        pass
+    deadline = time.time() + 5
+    while "uid_after_probe" not in loot.items and time.time() < deadline:
+        time.sleep(0.02)
+    server.stop()
+    return loot
+
+
+def show(name, loot):
+    print(f"\n=== {name}")
+    key = loot.get("host_private_key")
+    print(f"  host private key : "
+          f"{'STOLEN' if key else 'not obtained'}")
+    residue = loot.get("pam_residue")
+    print(f"  PAM residue      : "
+          f"{residue.decode(errors='replace') if residue else 'none'}")
+    print(f"  username oracle  : "
+          f"{'LEAKS' if loot.get('username_oracle') else 'defeated'} "
+          f"{loot.get('username_probe')}")
+    shadow = loot.get("shadow_file")
+    print(f"  /etc/shadow      : "
+          f"{'STOLEN' if shadow else 'denied'}")
+    print(f"  uid after probes : {loot.get('uid_after_probe')}")
+    print(f"  denials          : {len(loot.attempts)}")
+
+
+def main():
+    show("monolithic sshd (fork-per-connection, fully privileged)",
+         attack(MonolithicSshd, "demo-mono:22"))
+    show("privilege-separated sshd (Provos monitor/slave)",
+         attack(PrivsepSshd, "demo-priv:22"))
+    show("Wedge sshd (Figure 6: worker sthread + four callgates)",
+         attack(WedgeSshd, "demo-wedge:22"))
+    print("\nConclusion: privsep already contains the host key (by "
+          "scrubbing), but fork\ninheritance leaks the PAM scratch and "
+          "the monitor interface leaks usernames.\nWedge's default-deny "
+          "sthreads have nothing to scrub, and the dummy-passwd\ngate "
+          "interface leaves nothing to probe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Wedge: splitting applications into reduced-privilege compartments.
+
+A pure-Python reproduction of Bittau, Marchenko, Handley and Karp's
+NSDI 2008 paper, built on a simulated OS substrate (see DESIGN.md).
+
+Quick tour::
+
+    from repro import Kernel, SecurityContext, sc_mem_add, PROT_READ
+
+    kernel = Kernel()
+    kernel.start_main()
+    secrets = kernel.tag_new(name="secrets")
+    buf = kernel.alloc_buf(32, tag=secrets, init=b"the key")
+
+    sc = SecurityContext()                 # default-deny: no grants
+    child = kernel.sthread_create(sc, lambda a: kernel.mem_read(
+        buf.addr, 7), spawn="inline")
+    assert child.faulted                   # protection violation
+
+Subpackages: :mod:`repro.core` (sthreads, tagged memory, callgates),
+:mod:`repro.crowbar` (cb-log / cb-analyze), :mod:`repro.crypto`,
+:mod:`repro.net`, :mod:`repro.tls`, :mod:`repro.sshlib`,
+:mod:`repro.apps` (POP3, httpd, sshd), :mod:`repro.attacks`,
+:mod:`repro.workloads`, :mod:`repro.metrics`.
+"""
+
+from repro.core import (BOUNDARY_TAG, BOUNDARY_VAR, FD_READ, FD_RW,
+                        FD_WRITE, PROT_COW, PROT_READ, PROT_RW,
+                        PROT_WRITE, Buffer, CallgateError,
+                        CompartmentFault, Kernel, MemoryViolation,
+                        PolicyError, SecurityContext, SELinuxPolicy,
+                        SyscallDenied, TagError, WedgeError,
+                        sc_cgate_add, sc_fd_add, sc_mem_add,
+                        sc_sel_context)
+from repro.net import Network
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BOUNDARY_TAG", "BOUNDARY_VAR", "Buffer", "CallgateError",
+    "CompartmentFault", "FD_READ", "FD_RW", "FD_WRITE", "Kernel",
+    "MemoryViolation", "Network", "PROT_COW", "PROT_READ", "PROT_RW",
+    "PROT_WRITE", "PolicyError", "SELinuxPolicy", "SecurityContext",
+    "SyscallDenied", "TagError", "WedgeError", "sc_cgate_add",
+    "sc_fd_add", "sc_mem_add", "sc_sel_context", "__version__",
+]

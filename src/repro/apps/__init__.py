@@ -1,0 +1,3 @@
+"""The paper's applications: POP3 (section 2), Apache/OpenSSL (section
+5.1) and OpenSSH (section 5.2), each in monolithic and Wedge-partitioned
+variants."""

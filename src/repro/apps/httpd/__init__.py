@@ -1,0 +1,19 @@
+"""The Apache/OpenSSL-like web server in its three partitionings.
+
+* :class:`~repro.apps.httpd.monolithic.MonolithicHttpd` — the vanilla
+  baseline (everything in one privileged compartment);
+* :class:`~repro.apps.httpd.simple.SimplePartitionHttpd` — paper
+  Figure 2 (private key behind a callgate);
+* :class:`~repro.apps.httpd.mitm.MitmPartitionHttpd` — paper Figures
+  3-5 (two-phase handshake/handler split; ``gate_mode`` picks fresh or
+  recycled callgates).
+"""
+
+from repro.apps.httpd.common import HttpdBase, SessionState
+from repro.apps.httpd.mitm import MitmPartitionHttpd
+from repro.apps.httpd.monolithic import MonolithicHttpd
+from repro.apps.httpd.simple import SimplePartitionHttpd
+from repro.apps.httpd import content
+
+__all__ = ["HttpdBase", "MitmPartitionHttpd", "MonolithicHttpd",
+           "SessionState", "SimplePartitionHttpd", "content"]

@@ -1,0 +1,231 @@
+"""Shared httpd plumbing: configuration, tagged session state, base class.
+
+The interesting piece is :class:`SessionState`: the per-connection SSL
+state (master secret, the four channel keys, sequence numbers, the
+handshake-complete flag) laid out at fixed offsets in **tagged simulated
+memory**.  Which compartments can read or write this block is exactly
+what distinguishes the three Apache partitionings — in the Figures-3-5
+variant only the callgates hold the tag, so the network-facing handshake
+sthread manipulates session keys it can never observe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.apps.httpd import content
+from repro.core.errors import WedgeError
+from repro.core.kernel import Kernel
+from repro.crypto.prf import MASTER_SECRET_LEN
+from repro.crypto.rng import DetRNG
+from repro.crypto.rsa import generate_keypair
+
+# -- SessionState field layout (fixed offsets in the session tag) -----------
+
+_OFF_MASTER = 0
+_OFF_CLIENT_MAC = 48
+_OFF_SERVER_MAC = 80
+_OFF_CLIENT_ENC = 112
+_OFF_SERVER_ENC = 144
+_OFF_RECV_SEQ = 176
+_OFF_SEND_SEQ = 184
+_OFF_FLAGS = 192
+_OFF_CLIENT_RANDOM = 200
+_OFF_SERVER_RANDOM = 232
+STATE_SIZE = 264
+
+_FLAG_KEYS_READY = 1
+_FLAG_HANDSHAKE_DONE = 2
+
+
+class SessionState:
+    """Typed accessors over the session-state block at *addr*.
+
+    Methods go through ``kernel.mem_read``/``mem_write`` under the
+    *current compartment*, so every access is permission-checked: a
+    compartment without the session tag faults on the first touch.
+    """
+
+    def __init__(self, kernel, addr):
+        self.kernel = kernel
+        self.addr = addr
+
+    # -- key material --------------------------------------------------------
+
+    def write_keys(self, master, keys):
+        k = self.kernel
+        k.mem_write(self.addr + _OFF_MASTER, master)
+        k.mem_write(self.addr + _OFF_CLIENT_MAC, keys["client_mac"])
+        k.mem_write(self.addr + _OFF_SERVER_MAC, keys["server_mac"])
+        k.mem_write(self.addr + _OFF_CLIENT_ENC, keys["client_enc"])
+        k.mem_write(self.addr + _OFF_SERVER_ENC, keys["server_enc"])
+        self._set_flag(_FLAG_KEYS_READY)
+
+    def read_master(self):
+        return self.kernel.mem_read(self.addr + _OFF_MASTER,
+                                    MASTER_SECRET_LEN)
+
+    def read_keys(self):
+        k = self.kernel
+        return {
+            "client_mac": k.mem_read(self.addr + _OFF_CLIENT_MAC, 32),
+            "server_mac": k.mem_read(self.addr + _OFF_SERVER_MAC, 32),
+            "client_enc": k.mem_read(self.addr + _OFF_CLIENT_ENC, 32),
+            "server_enc": k.mem_read(self.addr + _OFF_SERVER_ENC, 32),
+        }
+
+    # -- sequence numbers -------------------------------------------------------
+
+    def _read_u64(self, off):
+        return int.from_bytes(self.kernel.mem_read(self.addr + off, 8),
+                              "big")
+
+    def _write_u64(self, off, value):
+        self.kernel.mem_write(self.addr + off, value.to_bytes(8, "big"))
+
+    def next_recv_seq(self):
+        seq = self._read_u64(_OFF_RECV_SEQ)
+        self._write_u64(_OFF_RECV_SEQ, seq + 1)
+        return seq
+
+    def next_send_seq(self):
+        seq = self._read_u64(_OFF_SEND_SEQ)
+        self._write_u64(_OFF_SEND_SEQ, seq + 1)
+        return seq
+
+    def peek_recv_seq(self):
+        """Current receive sequence *without* consuming it.
+
+        Gates that verify inbound records (``receive_finished``,
+        ``ssl_read``) commit the sequence only when verification
+        succeeds: an injected record is dropped without desynchronising
+        the channel (paper section 5.1.2, "dropped by SSL read").
+        """
+        return self._read_u64(_OFF_RECV_SEQ)
+
+    def commit_recv_seq(self, seq):
+        self._write_u64(_OFF_RECV_SEQ, seq + 1)
+
+    # -- randoms -------------------------------------------------------------------
+
+    def write_randoms(self, client_random, server_random):
+        self.kernel.mem_write(self.addr + _OFF_CLIENT_RANDOM,
+                              client_random)
+        self.kernel.mem_write(self.addr + _OFF_SERVER_RANDOM,
+                              server_random)
+
+    def read_randoms(self):
+        return (self.kernel.mem_read(self.addr + _OFF_CLIENT_RANDOM, 32),
+                self.kernel.mem_read(self.addr + _OFF_SERVER_RANDOM, 32))
+
+    # -- flags ----------------------------------------------------------------------
+
+    def _set_flag(self, flag):
+        flags = self.kernel.mem_read(self.addr + _OFF_FLAGS, 1)[0]
+        self.kernel.mem_write(self.addr + _OFF_FLAGS,
+                              bytes([flags | flag]))
+
+    def keys_ready(self):
+        return bool(self.kernel.mem_read(self.addr + _OFF_FLAGS, 1)[0]
+                    & _FLAG_KEYS_READY)
+
+    def mark_handshake_done(self):
+        self._set_flag(_FLAG_HANDSHAKE_DONE)
+
+    def handshake_done(self):
+        return bool(self.kernel.mem_read(self.addr + _OFF_FLAGS, 1)[0]
+                    & _FLAG_HANDSHAKE_DONE)
+
+
+class HttpdBase:
+    """Common scaffolding for the three Apache variants.
+
+    Owns the kernel, the listener, the server RSA key (in tagged
+    memory), the accept loop thread, and per-variant statistics the
+    benchmarks read.
+    """
+
+    variant = "base"
+
+    def __init__(self, network, addr, *, pages=None, seed="httpd",
+                 tag_cache=True, key_bits=512, concurrent=False):
+        self.network = network
+        self.addr = addr
+        self.pages = dict(pages or content.DEFAULT_PAGES)
+        self.rng = DetRNG(seed)
+        #: serve connections concurrently (one master-side dispatcher
+        #: per connection, like the paper's per-connection workers); the
+        #: default stays sequential for deterministic tests
+        self.concurrent = concurrent
+        self.kernel = Kernel(net=network, tag_cache=tag_cache,
+                             name=f"httpd-{self.variant}")
+        self.main = self.kernel.start_main()
+        # the server's long-lived RSA key pair, generated at startup
+        self.private_key = generate_keypair(self.rng.fork("rsa"),
+                                            key_bits)
+        self.public_key = self.private_key.public()
+        self._listen_fd = None
+        self._accept_thread = None
+        self._stop = threading.Event()
+        self.connections_served = 0
+        self.requests_served = 0
+        self.errors = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self):
+        """Bind the listener and start accepting connections."""
+        if self._accept_thread is not None:
+            raise WedgeError("server already started")
+        self._listen_fd = self.kernel.listen(self.addr)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self.variant}-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        try:
+            self.kernel.close(self._listen_fd)
+        except WedgeError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(5.0)
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
+            except WedgeError:
+                continue
+            self.connections_served += 1
+            if self.concurrent:
+                threading.Thread(
+                    target=self._handle_safely, args=(conn_fd,),
+                    name=f"{self.variant}-conn{self.connections_served}",
+                    daemon=True).start()
+            else:
+                self._handle_safely(conn_fd)
+
+    def _handle_safely(self, conn_fd):
+        try:
+            self.handle_connection(conn_fd)
+        except WedgeError as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            try:
+                self.kernel.close(conn_fd)
+            except WedgeError:
+                pass
+
+    def handle_connection(self, conn_fd):
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def respond_to(self, request_bytes):
+        """Parse a complete request and build its response."""
+        path = content.parse_request(request_bytes)
+        self.requests_served += 1
+        return content.build_response(self.pages, path)

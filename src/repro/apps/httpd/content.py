@@ -1,0 +1,67 @@
+"""Minimal HTTP/1.0 request handling for the Apache-like server.
+
+The paper's Apache serves static web pages over SSL; these helpers parse
+``GET`` requests and build responses from an in-memory page map.  Request
+parsing is one of the server's untrusted-input surfaces, so it carries an
+exploit hook like the ClientHello parser does — under the Figures-3-5
+partitioning it runs in the ``client_handler`` sthread.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+
+DEFAULT_PAGES = {
+    "/": b"<html><body><h1>It works!</h1></body></html>",
+    "/index.html": b"<html><body><h1>It works!</h1></body></html>",
+    "/about": b"<html><body>Wedge-partitioned httpd</body></html>",
+    "/account": b"<html><body>balance: 1,234.56</body></html>",
+}
+
+_TERMINATOR = b"\r\n\r\n"
+
+
+def request_complete(data):
+    """HTTP/1.0 GET requests end with an empty line."""
+    return _TERMINATOR in data
+
+
+def parse_request(data):
+    """Return the request path; raises ProtocolError on malformed input."""
+    head = data.split(_TERMINATOR, 1)[0]
+    try:
+        request_line = head.split(b"\r\n")[0].decode("latin-1")
+        method, path, version = request_line.split(" ", 2)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("malformed request line") from exc
+    if method != "GET":
+        raise ProtocolError(f"unsupported method {method!r}")
+    if not version.startswith("HTTP/"):
+        raise ProtocolError("malformed HTTP version")
+    return path
+
+
+def build_response(pages, path):
+    body = pages.get(path)
+    if body is None:
+        body = b"<html><body>404 not found</body></html>"
+        status = b"404 Not Found"
+    else:
+        status = b"200 OK"
+    return (b"HTTP/1.0 " + status + b"\r\n"
+            b"Server: wedge-httpd/0.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Content-Type: text/html\r\n\r\n" + body)
+
+
+def build_request(path):
+    return (f"GET {path} HTTP/1.0\r\n"
+            f"Host: wedge\r\n\r\n").encode()
+
+
+def response_body(response):
+    """Split a response's body out (client-side convenience)."""
+    idx = response.find(_TERMINATOR)
+    if idx < 0:
+        raise ProtocolError("malformed response")
+    return response[idx + len(_TERMINATOR):]

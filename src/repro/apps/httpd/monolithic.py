@@ -1,0 +1,91 @@
+"""Vanilla httpd: the unpartitioned Apache/OpenSSL baseline.
+
+Everything — ClientHello parsing, RSA private-key operations, session-key
+derivation, record crypto, request handling — runs in one fully
+privileged compartment, and the private key sits in that compartment's
+ordinary heap.  An exploit anywhere (the hello parser here) "could cause
+anything in the process's memory, including passwords and e-mails, to be
+leaked" (paper section 2); the security tests demonstrate exactly that by
+scanning the hijacked compartment's memory for the key.
+
+It is also the *fast* baseline: a pool-style worker (no per-request
+compartment creation) gives the "Vanilla" row of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.apps.httpd import content
+from repro.apps.httpd.common import HttpdBase
+from repro.attacks.exploit import maybe_trigger_exploit
+from repro.core.errors import ProtocolError
+from repro.tls.records import RT_APPDATA, KernelSocketTransport
+from repro.tls.server_core import ServerHandshake
+from repro.tls.session_cache import SessionCache
+
+
+class MonolithicHttpd(HttpdBase):
+    """The ``Vanilla`` column of Table 2."""
+
+    variant = "monolithic"
+
+    def __init__(self, network, addr, **kwargs):
+        super().__init__(network, addr, **kwargs)
+        self.session_cache = SessionCache()
+        # the private key lives in ordinary (untagged) process memory —
+        # the paper's point about monolithic designs
+        key_bytes = self.private_key.to_bytes()
+        self.key_buf = self.kernel.alloc_buf(len(key_bytes),
+                                             init=key_bytes)
+
+    def handle_connection(self, conn_fd):
+        transport = KernelSocketTransport(self.kernel, conn_fd)
+        # like any real server, the key is *loaded from process memory*
+        # when the handshake needs it — which is why a memory-disclosure
+        # exploit anywhere in this compartment obtains it
+        from repro.crypto.rsa import RsaPrivateKey
+        key = RsaPrivateKey.from_bytes(self.key_buf.read())
+        handshake = ServerHandshake(
+            transport, key,
+            self.rng.fork(f"conn{self.connections_served}"),
+            session_cache=self.session_cache,
+            on_client_hello=lambda hello: self._parse_hello_vuln(
+                hello, conn_fd))
+        channel = handshake.run()
+        self._serve_requests(channel, conn_fd)
+
+    def _parse_hello_vuln(self, hello, conn_fd):
+        """The simulated parser vulnerability, fully privileged here."""
+        maybe_trigger_exploit(self.kernel, hello.extensions, context={
+            "variant": self.variant,
+            "fd": conn_fd,
+            "kernel": self.kernel,
+            "key_buf": self.key_buf,
+        })
+
+    def _serve_requests(self, channel, conn_fd):
+        kernel = self.kernel
+        # the request accumulates in a heap buffer, as in any real
+        # server — visible to cb-log and to memory-disclosure exploits
+        scratch = kernel.malloc(4096)
+        length = 0
+        while True:
+            rtype, payload = channel.recv_record()
+            if rtype != RT_APPDATA:
+                raise ProtocolError(f"unexpected record type {rtype}")
+            if length + len(payload) > 4096:
+                raise ProtocolError("request too large")
+            kernel.mem_write(scratch + length, payload)
+            length += len(payload)
+            if content.request_complete(
+                    kernel.mem_read(scratch, length)):
+                break
+        request = kernel.mem_read(scratch, length)
+        # request parsing: the second untrusted-input surface
+        maybe_trigger_exploit(kernel, request, context={
+            "variant": self.variant,
+            "fd": conn_fd,
+            "kernel": kernel,
+            "key_buf": self.key_buf,
+        })
+        channel.send_record(RT_APPDATA, self.respond_to(request))
+        kernel.free(scratch)

@@ -1,0 +1,9 @@
+"""The POP3 server of paper section 2 — the motivating example."""
+
+from repro.apps.pop3 import store
+from repro.apps.pop3.client import Pop3Client
+from repro.apps.pop3.server import (MonolithicPop3, PartitionedPop3,
+                                    Pop3Base)
+
+__all__ = ["MonolithicPop3", "PartitionedPop3", "Pop3Base", "Pop3Client",
+           "store"]

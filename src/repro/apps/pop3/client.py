@@ -1,0 +1,71 @@
+"""A small POP3 client for the examples and tests."""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+
+
+class Pop3Client:
+    def __init__(self, network, addr, timeout=10.0):
+        self.sock = network.connect(addr)
+        self.timeout = timeout
+        self._buf = bytearray()
+        greeting = self._readline()
+        if not greeting.startswith(b"+OK"):
+            raise ProtocolError(f"bad greeting: {greeting!r}")
+
+    def _readline(self):
+        while b"\r\n" not in self._buf:
+            chunk = self.sock.recv(4096, self.timeout)
+            if chunk is None:
+                raise ProtocolError("server closed the connection")
+            self._buf += chunk
+        line, _, rest = bytes(self._buf).partition(b"\r\n")
+        self._buf = bytearray(rest)
+        return line
+
+    def _command(self, line):
+        self.sock.send(line + b"\r\n")
+        return self._readline()
+
+    def login(self, user, password):
+        reply = self._command(b"USER " + user.encode())
+        if not reply.startswith(b"+OK"):
+            raise ProtocolError(f"USER rejected: {reply!r}")
+        reply = self._command(b"PASS " + password)
+        return reply.startswith(b"+OK")
+
+    def list_messages(self):
+        reply = self._command(b"LIST")
+        if not reply.startswith(b"+OK"):
+            raise ProtocolError(f"LIST failed: {reply!r}")
+        sizes = []
+        while True:
+            line = self._readline()
+            if line == b".":
+                return sizes
+            _, size = line.split(b" ")
+            sizes.append(int(size))
+
+    def retrieve(self, index):
+        reply = self._command(f"RETR {index}".encode())
+        if not reply.startswith(b"+OK"):
+            raise ProtocolError(f"RETR failed: {reply!r}")
+        while b"\r\n.\r\n" not in self._buf:
+            chunk = self.sock.recv(4096, self.timeout)
+            if chunk is None:
+                raise ProtocolError("server closed mid-message")
+            self._buf += chunk
+        body, _, rest = bytes(self._buf).partition(b"\r\n.\r\n")
+        self._buf = bytearray(rest)
+        return body
+
+    def raw_command(self, line):
+        """Send an arbitrary line (attack vector for the exploit tests)."""
+        return self._command(line)
+
+    def quit(self):
+        try:
+            self._command(b"QUIT")
+        finally:
+            self.sock.close()

@@ -1,0 +1,66 @@
+"""POP3 data model: the password database and mail spool as bytes.
+
+Figure 1 draws them as memory regions, so they are stored in tagged
+simulated memory as serialised blobs; the callgates deserialise on each
+use.  Format (line-oriented, latin-1 safe):
+
+.. code-block:: none
+
+    passwords:  user:uid:password\n ...
+    spool:      uid:base64ish-hex-of-message\n ...
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+
+DEFAULT_ACCOUNTS = {
+    "alice": (1000, b"wonderland"),
+    "bob": (1001, b"builder"),
+}
+
+DEFAULT_MAIL = {
+    1000: [b"From: queen@hearts\nSubject: tarts\n\nWho stole them?",
+           b"From: hatter@tea\nSubject: party\n\nYou're late."],
+    1001: [b"From: wendy@site\nSubject: fix it\n\nCan we?"],
+}
+
+
+def serialize_passwords(accounts):
+    lines = []
+    for user, (uid, password) in sorted(accounts.items()):
+        lines.append(f"{user}:{uid}:".encode() + password)
+    return b"\n".join(lines) + b"\n"
+
+
+def parse_passwords(blob):
+    accounts = {}
+    for line in blob.split(b"\n"):
+        line = line.rstrip(b"\x00")
+        if not line.strip():
+            continue
+        try:
+            user, uid, password = line.split(b":", 2)
+            accounts[user.decode()] = (int(uid), password)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError("corrupt password database") from exc
+    return accounts
+
+
+def serialize_spool(mail):
+    lines = []
+    for uid, messages in sorted(mail.items()):
+        for message in messages:
+            lines.append(f"{uid}:".encode() + message.hex().encode())
+    return b"\n".join(lines) + b"\n"
+
+
+def parse_spool(blob):
+    mail = {}
+    for line in blob.split(b"\n"):
+        line = line.rstrip(b"\x00")
+        if not line.strip():
+            continue
+        uid, hexed = line.split(b":", 1)
+        mail.setdefault(int(uid), []).append(bytes.fromhex(hexed.decode()))
+    return mail

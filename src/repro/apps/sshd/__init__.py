@@ -1,0 +1,18 @@
+"""The OpenSSH-like login server in its three architectures.
+
+* :class:`~repro.apps.sshd.monolithic.MonolithicSshd` — fork-per-
+  connection, fully privileged (pre-privsep OpenSSH 3.1p1);
+* :class:`~repro.apps.sshd.privsep.PrivsepSshd` — Provos-style
+  monitor/slave privilege separation, leaks included;
+* :class:`~repro.apps.sshd.wedge.WedgeSshd` — the paper's Figure 6
+  partitioning with four callgates.
+"""
+
+from repro.apps.sshd.common import SSHD_UID, SshdBase, SshdEnvironment
+from repro.apps.sshd.monolithic import DirectAuthBackend, MonolithicSshd
+from repro.apps.sshd.privsep import MonitorIPC, PrivsepSshd
+from repro.apps.sshd.wedge import GateAuthBackend, WedgeSshd
+
+__all__ = ["DirectAuthBackend", "GateAuthBackend", "MonitorIPC",
+           "MonolithicSshd", "PrivsepSshd", "SSHD_UID", "SshdBase",
+           "SshdEnvironment", "WedgeSshd"]

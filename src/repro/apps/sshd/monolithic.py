@@ -1,0 +1,196 @@
+"""Vanilla sshd: fork-per-connection, everything privileged.
+
+The pre-privilege-separation OpenSSH baseline (the paper partitions
+version 3.1p1, "the last version prior to the introduction of privilege
+separation").  Each connection is served by a ``fork`` child that
+inherits the whole daemon image — including the DSA host private key in
+plain heap memory and any PAM scratch residue — and runs as root until
+authentication succeeds.
+
+The security tests exploit the child pre-auth and read the host key
+straight out of inherited memory.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sshd import pam
+from repro.apps.sshd.common import SshdBase
+from repro.attacks.exploit import maybe_trigger_exploit
+from repro.core.errors import WedgeError
+from repro.sshlib import userauth
+from repro.sshlib.server import (AuthOutcome, KernelSessionOps,
+                                 ServerSession)
+from repro.tls.codec import pack_fields, unpack_fields
+from repro.tls.records import KernelSocketTransport
+
+
+class DirectAuthBackend:
+    """Credential checks done in-process, with full privilege.
+
+    Carries the two information leaks the paper calls out so the Wedge
+    variant has something to fix:
+
+    * unknown usernames fail *differently* from wrong passwords
+      (the getpwnam-NULL leak of privilege-separated OpenSSH);
+    * an S/Key challenge is returned **only** for valid usernames
+      (the leak of paper reference [14]).
+    """
+
+    def __init__(self, kernel, env, *, promote_via_setuid=True):
+        self.kernel = kernel
+        self.env = env
+        self.promote_via_setuid = promote_via_setuid
+        self._pending_skey = {}
+
+    # -- privileged file reads ------------------------------------------------
+
+    def _read(self, path):
+        fd = self.kernel.open(path, "r")
+        try:
+            out = bytearray()
+            while True:
+                chunk = self.kernel.read(fd, 65536)
+                if not chunk:
+                    return bytes(out)
+                out += chunk
+        finally:
+            self.kernel.close(fd)
+
+    def _shadow(self):
+        return userauth.parse_shadow(self._read("/etc/shadow"))
+
+    # -- the IPC-visible operations (monitor interface under privsep) -----------
+
+    def getpwnam(self, user):
+        """Returns the passwd entry or ``None`` — the information leak."""
+        return userauth.lookup_passwd(self._shadow(), user)
+
+    def auth_password(self, user, password):
+        return pam.pam_check(self.kernel, self._shadow(), user, password)
+
+    def skey_challenge(self, user):
+        """A challenge only for known users — the reference-[14] leak."""
+        db = userauth.parse_skey_db(self._read("/etc/skeykeys"))
+        entry = db.get(user)
+        if entry is None:
+            return None
+        count, seed = entry.challenge()
+        self._pending_skey[user] = (db, entry)
+        return count, seed
+
+    def skey_verify(self, user, response):
+        pending = self._pending_skey.pop(user, None)
+        if pending is None:
+            return False
+        db, entry = pending
+        if not entry.verify(bytes(response)):
+            return False
+        fd = self.kernel.open("/etc/skeykeys", "w")
+        try:
+            self.kernel.write(fd, userauth.serialize_skey_db(db))
+        finally:
+            self.kernel.close(fd)
+        return True
+
+    def authorized_keys(self, user):
+        try:
+            return userauth.parse_authorized_keys(
+                self._read(f"/home/{user}/.ssh/authorized_keys"))
+        except WedgeError:
+            return []
+
+    def sign_with_host_key(self, data):
+        key_bytes = self.kernel.mem_read(*self._host_key_loc)
+        from repro.crypto.dsa import DsaPrivateKey
+        return DsaPrivateKey.from_bytes(key_bytes).sign(
+            data, self.env.rng.fork(f"sig{data[:4].hex()}"))
+
+    # -- the ServerSession strategy interface ------------------------------------
+
+    def handle(self, method, user, payload, session_hash):
+        if method == userauth.AUTH_PASSWORD:
+            pw = self.getpwnam(user)
+            if pw is None:
+                return AuthOutcome.fail(b"unknown user")  # the leak
+            if not self.auth_password(user, payload):
+                return AuthOutcome.fail(b"wrong password")
+            return self._success(pw)
+        if method == userauth.AUTH_PUBKEY:
+            pw = self.getpwnam(user)
+            if pw is None:
+                return AuthOutcome.fail(b"unknown user")
+            pub_bytes, signature = unpack_fields(payload, 2)
+            if not userauth.check_pubkey(self.authorized_keys(user),
+                                         session_hash, user, pub_bytes,
+                                         signature):
+                return AuthOutcome.fail(b"pubkey rejected")
+            return self._success(pw)
+        if method == userauth.AUTH_SKEY:
+            if not payload:
+                challenge = self.skey_challenge(user)
+                if challenge is None:
+                    return AuthOutcome.fail(b"unknown user")  # ref [14]
+                count, seed = challenge
+                return AuthOutcome.challenge(
+                    pack_fields(str(count).encode(), seed))
+            if not self.skey_verify(user, payload):
+                return AuthOutcome.fail(b"bad s/key response")
+            return self._success(self.getpwnam(user))
+        return AuthOutcome.fail(b"unsupported method")
+
+    def _success(self, passwd):
+        if self.promote_via_setuid:
+            # the fork child is root; it drops to the user itself
+            self.kernel.setuid(passwd.uid)
+        return AuthOutcome.ok(passwd)
+
+
+class MonolithicSshd(SshdBase):
+    """Fork-per-connection vanilla sshd."""
+
+    variant = "monolithic"
+
+    def __init__(self, network, addr, **kwargs):
+        super().__init__(network, addr, **kwargs)
+        # the host private key sits in ordinary daemon heap memory,
+        # cloned into every fork child
+        key_bytes = self.env.host_key.to_bytes()
+        self.key_buf = self.kernel.alloc_buf(len(key_bytes),
+                                             init=key_bytes)
+
+    def handle_connection(self, conn_fd):
+        child = self.kernel.fork(self._child_body, {"fd": conn_fd},
+                                 name=f"sshd-child{self.connections_served}",
+                                 spawn="thread")
+        self.kernel.sthread_join(child, timeout=30.0)
+        if child.faulted:
+            self.errors.append(f"child faulted: {child.fault}")
+
+    # -- runs in the fork child ------------------------------------------------
+
+    def _child_body(self, arg):
+        backend = DirectAuthBackend(self.kernel, self.env)
+        backend._host_key_loc = (self.key_buf.addr, self.key_buf.size)
+        session = ServerSession(
+            KernelSocketTransport(self.kernel, arg["fd"]),
+            self.rng.fork(f"conn{self.connections_served}"),
+            host_pub_bytes=self.host_pub_bytes,
+            signer=backend.sign_with_host_key,
+            auth_backend=backend,
+            session_ops=KernelSessionOps(self.kernel),
+            exploit_hook=self._exploit_hook(arg["fd"]))
+        result = session.run()
+        if session.authenticated is not None:
+            self.logins += 1
+        return result
+
+    def _exploit_hook(self, conn_fd):
+        def hook(payload, extra):
+            maybe_trigger_exploit(self.kernel, payload, context={
+                "variant": self.variant,
+                "kernel": self.kernel,
+                "fd": conn_fd,
+                "host_pub_bytes": self.host_pub_bytes,
+                **extra,
+            })
+        return hook

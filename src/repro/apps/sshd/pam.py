@@ -1,0 +1,38 @@
+"""A PAM-like authentication library with the paper's scrubbing bug.
+
+Paper section 5.2 recounts a real OpenSSH vulnerability (reference [8]):
+the PAM library "kept sensitive information in scratch storage, and did
+not scrub that storage before returning".  A process that later forks
+inherits that scratch; an exploited child can disclose it.
+
+:func:`pam_check` reproduces the bug faithfully: it copies the username
+and password into heap scratch (as real PAM conversation functions do),
+performs the check, and returns *without scrubbing or freeing* the
+scratch.  Where that scratch lives — the monolithic daemon's heap, the
+privsep monitor's heap (inherited by every forked slave), or a Wedge
+callgate's private heap (unreachable by the worker) — is decided by the
+caller, and is the whole point of the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.sshlib.userauth import check_password
+
+#: Marker prefix so tests (and attackers) can find the residue.
+SCRATCH_MARKER = b"PAM-SCRATCH:"
+
+
+def pam_check(kernel, shadow_entries, user, password):
+    """Authenticate *user*; leaves credential residue in the heap.
+
+    The scratch allocation uses ``kernel.malloc`` — it lands in the
+    *current compartment's* private heap.  Deliberately neither freed
+    nor scrubbed (the simulated library bug).
+    """
+    record = SCRATCH_MARKER + user.encode() + b":" + bytes(password)
+    scratch = kernel.malloc(len(record) + 16)
+    kernel.mem_write(scratch, record)
+    # ... real PAM would talk to its modules here ...
+    result = check_password(shadow_entries, user, password)
+    # BUG (paper ref [8]): returning without scrubbing `scratch`
+    return result

@@ -1,0 +1,210 @@
+"""Provos-style privilege-separated sshd (the paper's comparison point).
+
+Architecture (Provos et al., "Preventing privilege escalation"):
+
+* the **monitor** is the privileged daemon process itself: it keeps the
+  host key, reads ``/etc/shadow``, and services a fixed set of requests
+  (``getpwnam``, ``auth_password``, ``skey_challenge`` ...) over an IPC
+  boundary;
+* per connection, an unprivileged **slave** is created with ``fork`` —
+  inheriting a copy of the monitor's entire memory — then demotes itself
+  and handles all network-facing work, calling the monitor for anything
+  privileged.
+
+Two weaknesses the paper dissects are reproduced faithfully:
+
+1. **Brittle scrubbing.**  Because ``fork`` grants memory by default,
+   the slave must *scrub* sensitive data after forking.  This slave
+   dutifully scrubs the host key — but nobody told it about the PAM
+   library's scratch storage (paper ref [8]), so password residue from
+   *earlier* connections authenticated in the monitor is still readable
+   by an exploited slave.
+2. **Interface leaks.**  The monitor's ``getpwnam`` returns NULL for
+   unknown users, so an exploited slave can probe the user database at
+   will (still present in portable OpenSSH 4.7, per the paper); the
+   S/Key path confirms usernames the same way (ref [14]).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.apps.sshd.common import SSHD_UID, SshdBase
+from repro.apps.sshd.monolithic import DirectAuthBackend
+from repro.attacks.exploit import maybe_trigger_exploit
+from repro.crypto.dsa import DsaPrivateKey
+from repro.sshlib import userauth
+from repro.sshlib.server import (AuthOutcome, KernelSessionOps,
+                                 ServerSession)
+from repro.tls.codec import pack_fields, unpack_fields
+from repro.tls.records import KernelSocketTransport
+
+
+class MonitorIPC:
+    """The slave's stub for talking to the monitor.
+
+    Each call executes in the **monitor's compartment** (the simulation's
+    stand-in for marshalling the request over the privsep pipe and
+    having the monitor process service it).  The request *interface* —
+    what questions a slave may ask and what the answers reveal — is
+    copied from privilege-separated OpenSSH, leaks included.
+    """
+
+    def __init__(self, kernel, monitor_sthread, backend, key_loc, env):
+        self.kernel = kernel
+        self.monitor = monitor_sthread
+        self.backend = backend
+        self.key_loc = key_loc
+        self.env = env
+        self._lock = threading.Lock()
+        self.requests = []          # audit trail, inspected by tests
+
+    def _call(self, name, fn, *args):
+        with self._lock:
+            self.requests.append(name)
+            with self.kernel._as_current(self.monitor):
+                return fn(*args)
+
+    def getpwnam(self, user):
+        """Returns the passwd entry **or None** — the username leak."""
+        return self._call("getpwnam", self.backend.getpwnam, user)
+
+    def auth_password(self, user, password):
+        # PAM runs here, in the monitor: its unscrubbed scratch lands in
+        # the monitor's heap and is inherited by every future slave
+        return self._call("auth_password", self.backend.auth_password,
+                          user, password)
+
+    def skey_challenge(self, user):
+        return self._call("skey_challenge", self.backend.skey_challenge,
+                          user)
+
+    def skey_verify(self, user, response):
+        return self._call("skey_verify", self.backend.skey_verify, user,
+                          response)
+
+    def authorized_keys(self, user):
+        return self._call("authorized_keys", self.backend.authorized_keys,
+                          user)
+
+    def sign_with_host_key(self, data):
+        def sign():
+            key_bytes = self.kernel.mem_read(*self.key_loc)
+            return DsaPrivateKey.from_bytes(key_bytes).sign(
+                data, self.env.rng.fork(f"psig{data[:4].hex()}"))
+        return self._call("sign", sign)
+
+    def promote_slave(self, slave, passwd):
+        """Monitor-side setuid of the slave after successful auth."""
+        def promote():
+            self.kernel.promote(slave, uid=passwd.uid, root="/")
+        return self._call("promote", promote)
+
+
+class SlaveAuthBackend:
+    """Auth decisions made by asking the monitor (two-step flow)."""
+
+    def __init__(self, ipc, kernel):
+        self.ipc = ipc
+        self.kernel = kernel
+
+    def handle(self, method, user, payload, session_hash):
+        ipc = self.ipc
+        if method == userauth.AUTH_PASSWORD:
+            # step 1: getpwnam — the leak
+            pw = ipc.getpwnam(user)
+            if pw is None:
+                return AuthOutcome.fail(b"unknown user")
+            # step 2: password check
+            if not ipc.auth_password(user, payload):
+                return AuthOutcome.fail(b"wrong password")
+            ipc.promote_slave(self.kernel.current(), pw)
+            return AuthOutcome.ok(pw)
+        if method == userauth.AUTH_PUBKEY:
+            pw = ipc.getpwnam(user)
+            if pw is None:
+                return AuthOutcome.fail(b"unknown user")
+            pub_bytes, signature = unpack_fields(payload, 2)
+            if not userauth.check_pubkey(ipc.authorized_keys(user),
+                                         session_hash, user, pub_bytes,
+                                         signature):
+                return AuthOutcome.fail(b"pubkey rejected")
+            ipc.promote_slave(self.kernel.current(), pw)
+            return AuthOutcome.ok(pw)
+        if method == userauth.AUTH_SKEY:
+            if not payload:
+                challenge = ipc.skey_challenge(user)
+                if challenge is None:
+                    return AuthOutcome.fail(b"unknown user")  # ref [14]
+                count, seed = challenge
+                return AuthOutcome.challenge(
+                    pack_fields(str(count).encode(), seed))
+            if not ipc.skey_verify(user, payload):
+                return AuthOutcome.fail(b"bad s/key response")
+            pw = ipc.getpwnam(user)
+            ipc.promote_slave(self.kernel.current(), pw)
+            return AuthOutcome.ok(pw)
+        return AuthOutcome.fail(b"unsupported method")
+
+
+class PrivsepSshd(SshdBase):
+    """Monitor + forked slaves, faithful to the paper's critique."""
+
+    variant = "privsep"
+
+    def __init__(self, network, addr, **kwargs):
+        super().__init__(network, addr, **kwargs)
+        key_bytes = self.env.host_key.to_bytes()
+        self.key_buf = self.kernel.alloc_buf(len(key_bytes),
+                                             init=key_bytes)
+        backend = DirectAuthBackend(self.kernel, self.env,
+                                    promote_via_setuid=False)
+        self.ipc = MonitorIPC(self.kernel, self.main, backend,
+                              (self.key_buf.addr, self.key_buf.size),
+                              self.env)
+        self.slaves = []
+
+    def handle_connection(self, conn_fd):
+        slave = self.kernel.fork(
+            self._slave_body, {"fd": conn_fd},
+            name=f"slave{self.connections_served}", spawn="thread")
+        self.slaves.append(slave)
+        self.kernel.sthread_join(slave, timeout=30.0)
+        if slave.faulted:
+            self.errors.append(f"slave faulted: {slave.fault}")
+
+    # -- runs in the forked slave -------------------------------------------------
+
+    def _slave_body(self, arg):
+        kernel = self.kernel
+        # scrub the inherited host key (conventional privsep hygiene) —
+        # the write hits the slave's COW copy only
+        kernel.mem_write(self.key_buf.addr, bytes(self.key_buf.size))
+        # ... but nobody scrubs the PAM scratch the monitor's earlier
+        # authentications left in the heap (paper ref [8])
+        kernel.setuid(SSHD_UID)
+
+        session = ServerSession(
+            KernelSocketTransport(kernel, arg["fd"]),
+            self.rng.fork(f"conn{self.connections_served}"),
+            host_pub_bytes=self.host_pub_bytes,
+            signer=self.ipc.sign_with_host_key,
+            auth_backend=SlaveAuthBackend(self.ipc, kernel),
+            session_ops=KernelSessionOps(kernel),
+            exploit_hook=self._exploit_hook(arg["fd"]))
+        result = session.run()
+        if session.authenticated is not None:
+            self.logins += 1
+        return result
+
+    def _exploit_hook(self, conn_fd):
+        def hook(payload, extra):
+            maybe_trigger_exploit(self.kernel, payload, context={
+                "variant": self.variant,
+                "kernel": self.kernel,
+                "fd": conn_fd,
+                "monitor": self.ipc,
+                "host_pub_bytes": self.host_pub_bytes,
+                **extra,
+            })
+        return hook

@@ -1,0 +1,321 @@
+"""The Wedge-partitioned sshd (paper Figure 6).
+
+The four application-dictated goals of paper section 5.2, and how this
+module meets them:
+
+1. *Minimize code with access to the private key* — the DSA host key
+   lives in a tag only the ``dsa_sign`` callgate maps; the gate signs a
+   hash it computes itself, so the worker cannot obtain signatures over
+   chosen raw data.
+2. *Pre-auth: minimal privilege* — each connection's worker sthread runs
+   as the unprivileged ``sshd`` uid with its filesystem root set to the
+   empty directory, holding only the connection descriptor, read access
+   to the configuration tag (public key, version strings, allowed
+   ciphers), and the four callgate grants.  No memory inheritance means
+   **no scrubbing** is needed — the contrast with
+   :mod:`repro.apps.sshd.privsep`.
+3. *Post-auth: escalate* — a successful authentication callgate (which
+   inherited the creator's root uid and "/" filesystem root) *promotes
+   its caller* to the user's uid and restores its filesystem root — the
+   Privtrans idiom the paper credits.
+4. *No auth bypass* — the worker's uid can change **only** through those
+   gates; skipping authentication leaves it jailed at uid 22 in an empty
+   chroot.
+
+The two privsep leaks are fixed at the gate interfaces: the password
+gate returns a **dummy passwd** for unknown users, and the S/Key gate
+issues a deterministic dummy challenge, so an exploited worker cannot
+probe the user database.  PAM runs *inside* the password gate: its
+unscrubbed scratch dies with the gate's private heap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.apps.sshd import pam
+from repro.apps.sshd.common import EMPTY_DIR, SSHD_UID, SshdBase
+from repro.attacks.exploit import maybe_trigger_exploit
+from repro.core.errors import ProtocolError, WedgeError
+from repro.core.memory import PROT_READ
+from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
+                               sc_fd_add, sc_mem_add)
+from repro.crypto.dsa import DsaPrivateKey
+from repro.sshlib import userauth
+from repro.sshlib.server import (AuthOutcome, KernelSessionOps,
+                                 ServerSession)
+from repro.tls.codec import pack_fields, unpack_fields
+from repro.tls.records import KernelSocketTransport
+
+
+# ---------------------------------------------------------------------------
+# callgate entry points
+# ---------------------------------------------------------------------------
+
+def _read_file(kernel, path):
+    fd = kernel.open(path, "r")
+    try:
+        out = bytearray()
+        while True:
+            chunk = kernel.read(fd, 65536)
+            if not chunk:
+                return bytes(out)
+            out += chunk
+    finally:
+        kernel.close(fd)
+
+
+def dsa_sign_gate(trusted, arg):
+    """Sign the *hash* of the caller's data with the host key.
+
+    280 lines of C in the paper; the only code with private-key access.
+    Because the gate hashes internally (DSA signs a digest), the worker
+    cannot turn it into a raw signing oracle.
+    """
+    kernel = trusted["kernel"]
+    data = bytes(arg["data"])
+    key_bytes = kernel.mem_read(trusted["key_addr"], trusted["key_len"])
+    key = DsaPrivateKey.from_bytes(key_bytes)
+    return {"signature": key.sign(data,
+                                  trusted["rng"].fork(data[:8].hex()))}
+
+
+def password_gate(trusted, arg):
+    """Password authentication, shadow file and PAM included.
+
+    The gate inherits its creator's uid 0 and "/" root, so it reads
+    ``/etc/shadow`` directly from disk even though its *caller* is
+    jailed (paper section 5.2).  Unknown users get a deterministic dummy
+    passwd — an exploited worker cannot probe for valid usernames.
+    On success it promotes the **caller**.
+    """
+    kernel = trusted["kernel"]
+    config = kernel.mem_read(trusted["config_addr"],
+                             trusted["config_len"])
+    if b"password_authentication yes" not in config:
+        return {"ok": False, "passwd": None}
+    user = str(arg["user"])
+    entries = userauth.parse_shadow(_read_file(kernel, "/etc/shadow"))
+
+    if arg.get("op") == "getpwnam":
+        pw = userauth.lookup_passwd(entries, user)
+        if pw is None:
+            pw = userauth.dummy_passwd(user)   # never NULL: no probe
+        return {"passwd": (pw.user, pw.uid, pw.home)}
+
+    # PAM scratch lands in this gate's private heap and dies with it
+    ok = pam.pam_check(kernel, entries, user, bytes(arg["password"]))
+    if not ok:
+        return {"ok": False, "passwd": None}
+    pw = userauth.lookup_passwd(entries, user)
+    kernel.promote(kernel.caller(), uid=pw.uid, root="/")
+    return {"ok": True, "passwd": (pw.user, pw.uid, pw.home)}
+
+
+def dsa_auth_gate(trusted, arg):
+    """DSA public-key authentication against ``authorized_keys``."""
+    kernel = trusted["kernel"]
+    user = str(arg["user"])
+    entries = userauth.parse_shadow(_read_file(kernel, "/etc/shadow"))
+    pw = userauth.lookup_passwd(entries, user)
+    if pw is None:
+        return {"ok": False}
+    try:
+        keys = userauth.parse_authorized_keys(
+            _read_file(kernel, f"/home/{user}/.ssh/authorized_keys"))
+    except WedgeError:
+        return {"ok": False}
+    if not userauth.check_pubkey(keys, bytes(arg["session_hash"]), user,
+                                 bytes(arg["pub"]), bytes(arg["sig"])):
+        return {"ok": False}
+    kernel.promote(kernel.caller(), uid=pw.uid, root="/")
+    return {"ok": True, "passwd": (pw.user, pw.uid, pw.home)}
+
+
+def skey_gate(trusted, arg):
+    """S/Key challenge-response with the reference-[14] fix.
+
+    Unknown users receive a deterministic dummy challenge, so challenge
+    presence confirms nothing.
+    """
+    kernel = trusted["kernel"]
+    user = str(arg["user"])
+    db = userauth.parse_skey_db(_read_file(kernel, "/etc/skeykeys"))
+
+    if arg.get("op") == "challenge":
+        entry = db.get(user)
+        if entry is None:
+            count, seed = userauth.dummy_skey_challenge(user)
+        else:
+            count, seed = entry.challenge()
+        return {"count": count, "seed": seed}
+
+    entry = db.get(user)
+    if entry is None or not entry.verify(bytes(arg["response"])):
+        return {"ok": False}
+    fd = kernel.open("/etc/skeykeys", "w")
+    try:
+        kernel.write(fd, userauth.serialize_skey_db(db))
+    finally:
+        kernel.close(fd)
+    entries = userauth.parse_shadow(_read_file(kernel, "/etc/shadow"))
+    pw = userauth.lookup_passwd(entries, user)
+    kernel.promote(kernel.caller(), uid=pw.uid, root="/")
+    return {"ok": True, "passwd": (pw.user, pw.uid, pw.home)}
+
+
+# ---------------------------------------------------------------------------
+# worker-side auth backend (talks to the gates)
+# ---------------------------------------------------------------------------
+
+class GateAuthBackend:
+    """The worker's view of authentication: four callgate invocations."""
+
+    def __init__(self, kernel, gates, session_hash_provider=None):
+        self.kernel = kernel
+        self.gates = gates
+
+    def handle(self, method, user, payload, session_hash):
+        kernel = self.kernel
+        if method == userauth.AUTH_PASSWORD:
+            # two-step flow kept for ease of coding (paper section 5.2);
+            # step 1 can no longer leak — it always returns a passwd
+            kernel.cgate(self.gates["password_gate"], None,
+                         {"op": "getpwnam", "user": user})
+            reply = kernel.cgate(self.gates["password_gate"], None,
+                                 {"op": "auth", "user": user,
+                                  "password": payload})
+            if not reply["ok"]:
+                return AuthOutcome.fail(b"authentication failed")
+            return AuthOutcome.ok(_passwd(reply))
+        if method == userauth.AUTH_PUBKEY:
+            pub, sig = unpack_fields(payload, 2)
+            reply = kernel.cgate(self.gates["dsa_auth_gate"], None,
+                                 {"user": user, "pub": pub, "sig": sig,
+                                  "session_hash": session_hash})
+            if not reply["ok"]:
+                return AuthOutcome.fail(b"authentication failed")
+            return AuthOutcome.ok(_passwd(reply))
+        if method == userauth.AUTH_SKEY:
+            if not payload:
+                reply = kernel.cgate(self.gates["skey_gate"], None,
+                                     {"op": "challenge", "user": user})
+                return AuthOutcome.challenge(pack_fields(
+                    str(reply["count"]).encode(), reply["seed"]))
+            reply = kernel.cgate(self.gates["skey_gate"], None,
+                                 {"op": "verify", "user": user,
+                                  "response": payload})
+            if not reply["ok"]:
+                return AuthOutcome.fail(b"authentication failed")
+            return AuthOutcome.ok(_passwd(reply))
+        return AuthOutcome.fail(b"unsupported method")
+
+
+def _passwd(reply):
+    user, uid, home = reply["passwd"]
+    return userauth.Passwd(user, uid, home)
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+class WedgeSshd(SshdBase):
+    """Figure 6: per-connection workers, four gates, no inheritance."""
+
+    variant = "wedge"
+
+    def __init__(self, network, addr, **kwargs):
+        super().__init__(network, addr, **kwargs)
+        kernel = self.kernel
+        # host private key: tagged, mapped only by dsa_sign
+        key_bytes = self.env.host_key.to_bytes()
+        self.key_tag = kernel.tag_new(name="host-private-key")
+        self.key_buf = kernel.alloc_buf(len(key_bytes), tag=self.key_tag,
+                                        init=key_bytes)
+        # configuration + public key: tagged, readable by every worker
+        self.config_tag = kernel.tag_new(name="sshd-config")
+        config_blob = self.env.config
+        self.config_buf = kernel.alloc_buf(len(config_blob),
+                                           tag=self.config_tag,
+                                           init=config_blob)
+        pub = self.host_pub_bytes
+        self.pub_buf = kernel.alloc_buf(len(pub), tag=self.config_tag,
+                                        init=pub)
+        self._gate_trusted = {
+            "kernel": kernel,
+            "rng": self.rng.fork("gate-rng"),
+            "key_addr": self.key_buf.addr,
+            "key_len": self.key_buf.size,
+            "config_addr": self.config_buf.addr,
+            "config_len": self.config_buf.size,
+            "lock": threading.Lock(),
+        }
+        self.workers = []
+
+    def _worker_context(self, conn_fd):
+        """Figure 6: the worker's complete privilege set."""
+        sc = SecurityContext(uid=SSHD_UID, root=EMPTY_DIR)
+        sc_fd_add(sc, conn_fd, FD_RW)
+        sc_mem_add(sc, self.config_tag, PROT_READ)
+
+        sign_sc = SecurityContext()
+        sc_mem_add(sign_sc, self.key_tag, PROT_READ)
+        sc_cgate_add(sc, dsa_sign_gate, sign_sc, self._gate_trusted)
+
+        for entry in (password_gate, dsa_auth_gate, skey_gate):
+            gate_sc = SecurityContext()
+            sc_mem_add(gate_sc, self.config_tag, PROT_READ)
+            sc_cgate_add(sc, entry, gate_sc, self._gate_trusted)
+        return sc
+
+    def handle_connection(self, conn_fd):
+        sc = self._worker_context(conn_fd)
+        worker = self.kernel.sthread_create(
+            sc, self._worker_body, {"fd": conn_fd},
+            name=f"ssh-worker{self.connections_served}", spawn="thread")
+        self.workers.append(worker)
+        self.kernel.sthread_join(worker, timeout=30.0)
+        if worker.faulted:
+            self.errors.append(f"worker faulted: {worker.fault}")
+
+    # -- runs inside the worker sthread ---------------------------------------
+
+    def _worker_body(self, arg):
+        kernel = self.kernel
+        gates = {}
+        for gate_id in kernel.current().gates:
+            record = kernel.gate_record(gate_id)
+            gates[record.entry.__name__] = gate_id
+
+        def signer(session_hash):
+            reply = kernel.cgate(gates["dsa_sign_gate"], None,
+                                 {"data": session_hash})
+            return reply["signature"]
+
+        session = ServerSession(
+            KernelSocketTransport(kernel, arg["fd"]),
+            self.rng.fork(f"conn{self.connections_served}"),
+            host_pub_bytes=kernel.mem_read(self.pub_buf.addr,
+                                           self.pub_buf.size),
+            signer=signer,
+            auth_backend=GateAuthBackend(kernel, gates),
+            session_ops=KernelSessionOps(kernel),
+            exploit_hook=self._exploit_hook(arg["fd"], gates))
+        result = session.run()
+        if session.authenticated is not None:
+            self.logins += 1
+        return result
+
+    def _exploit_hook(self, conn_fd, gates):
+        def hook(payload, extra):
+            maybe_trigger_exploit(self.kernel, payload, context={
+                "variant": self.variant,
+                "kernel": self.kernel,
+                "fd": conn_fd,
+                "gates": gates,
+                "key_addr": self.key_buf.addr,
+                "host_pub_bytes": self.host_pub_bytes,
+                **extra,
+            })
+        return hook

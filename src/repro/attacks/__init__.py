@@ -1,0 +1,19 @@
+"""Attack harness: in-compartment exploits and man-in-the-middle.
+
+Implements the paper's threat models so the security claims of each
+partitioning can be tested end to end: exploited compartments run
+attacker code under their own security context, and a network interposer
+can eavesdrop, rewrite and inject frames.
+"""
+
+from repro.attacks.exploit import (EXPLOIT_MAGIC, LOOT_PREFIX, ExploitApi,
+                                   ExploitTakeover, Loot,
+                                   make_exploit_blob,
+                                   maybe_trigger_exploit, registry,
+                                   start_campaign)
+from repro.attacks.mitm import MitmAttacker, MitmSession, passive_tap
+
+__all__ = ["EXPLOIT_MAGIC", "ExploitApi", "ExploitTakeover", "LOOT_PREFIX",
+           "Loot", "MitmAttacker", "MitmSession", "make_exploit_blob",
+           "maybe_trigger_exploit", "passive_tap", "registry",
+           "start_campaign"]

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick access to the reproduction's headline results without pytest:
+
+=================  ====================================================
+command            prints
+=================  ====================================================
+``fig7``           primitive-creation costs (Figure 7 shape)
+``fig8``           malloc / tag_new / mmap costs (Figure 8 shape)
+``fig9``           native / Pin / cb-log table (Figure 9 shape)
+``table2-apache``  requests/s for vanilla / wedge / recycled
+``table2-ssh``     login and scp latency, vanilla vs wedge
+``metrics``        partitioning LoC accounting (§5.1/§5.2)
+``trace``          run a workload under cb-log; cb-analyze report
+``attack``         run the MITM or sshd attack scenario end to end
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _meter(kernel, fn):
+    checkpoint = kernel.costs.checkpoint()
+    fn()
+    return kernel.costs.delta(checkpoint)
+
+
+def cmd_fig7(args):
+    from repro.core.kernel import Kernel
+    from repro.core.policy import SecurityContext
+    kernel = Kernel()
+    kernel.start_main()
+    gate = kernel.create_gate(lambda t, a: None, SecurityContext())
+    recycled = kernel.create_gate(lambda t, a: None, SecurityContext(),
+                                  recycled=True)
+    kernel.cgate(recycled.id)
+    rows = {
+        "pthread": lambda: kernel.sthread_join(
+            kernel.pthread_create(lambda a: None, spawn="inline")),
+        "recycled": lambda: kernel.cgate(recycled.id),
+        "sthread": lambda: kernel.sthread_join(kernel.sthread_create(
+            SecurityContext(), lambda a: None, spawn="inline")),
+        "callgate": lambda: kernel.cgate(gate.id),
+        "fork": lambda: kernel.sthread_join(
+            kernel.fork(lambda a: None, spawn="inline")),
+    }
+    cycles = {name: _meter(kernel, op) for name, op in rows.items()}
+    base = cycles["pthread"]
+    print("Figure 7 — primitive creation (model cycles):")
+    for name, value in cycles.items():
+        print(f"  {name:9s} {value:8,d}  {value / base:5.2f}x pthread")
+    return 0
+
+
+def cmd_fig8(args):
+    from repro.core.kernel import Kernel
+    kernel = Kernel()
+    kernel.start_main()
+    tag = kernel.tag_new()
+    malloc = _meter(kernel, lambda: kernel.free(kernel.malloc(64)))
+    smalloc = _meter(kernel,
+                     lambda: kernel.sfree(kernel.smalloc(64, tag)))
+    seed = kernel.tag_new()
+    kernel.tag_delete(seed)
+    reuse = _meter(kernel, lambda: kernel.tag_delete(kernel.tag_new()))
+    nocache = Kernel(tag_cache=False)
+    nocache.start_main()
+    nocache.tag_delete(nocache.tag_new())
+    fresh = _meter(nocache,
+                   lambda: nocache.tag_delete(nocache.tag_new()))
+    print("Figure 8 — memory calls (model cycles):")
+    for name, value in (("malloc", malloc), ("smalloc", smalloc),
+                        ("tag_new (reused)", reuse),
+                        ("tag_new (fresh) / mmap", fresh)):
+        print(f"  {name:24s} {value:7,d}  {value / malloc:5.1f}x malloc")
+    return 0
+
+
+def cmd_fig9(args):
+    from repro.workloads import run_workload
+    from repro.workloads.runner import FIGURE9_ORDER, MODES
+    print("Figure 9 — instrumentation overhead (wall seconds):")
+    print(f"  {'app':8s} {'native':>9s} {'pin':>9s} {'crowbar':>9s} "
+          f"{'ratio':>7s}")
+    for name in FIGURE9_ORDER:
+        times = {}
+        for mode in MODES:
+            elapsed, _, _ = run_workload(name, mode, args.scale)
+            times[mode] = elapsed
+        ratio = times["crowbar"] / times["pin"]
+        print(f"  {name:8s} {times['native']:9.4f} {times['pin']:9.4f} "
+              f"{times['crowbar']:9.4f} {ratio:6.1f}x")
+    return 0
+
+
+def cmd_table2_apache(args):
+    from repro.apps.httpd import MitmPartitionHttpd, MonolithicHttpd
+    from repro.apps.httpd.content import build_request
+    from repro.crypto import DetRNG
+    from repro.net import Network
+    from repro.tls import TlsClient
+
+    flavors = {
+        "vanilla": (MonolithicHttpd, {}),
+        "wedge": (MitmPartitionHttpd, {"gate_mode": "fresh"}),
+        "recycled": (MitmPartitionHttpd, {"gate_mode": "recycled"}),
+    }
+    print("Table 2 (top) — Apache throughput (requests/s):")
+    print(f"  {'workload':12s} " +
+          " ".join(f"{name:>9s}" for name in flavors))
+    for workload in ("cached", "not-cached"):
+        cells = []
+        for flavor, (cls, kwargs) in flavors.items():
+            server = cls(Network(), f"cli-{workload}-{flavor}:443",
+                         **kwargs).start()
+            try:
+                client = TlsClient(
+                    DetRNG("cli"),
+                    expected_server_key=server.public_key)
+                client.connect(server.network,
+                               server.addr).request(build_request("/"))
+
+                def op(index):
+                    if workload == "cached":
+                        conn = client.connect(server.network,
+                                              server.addr)
+                    else:
+                        fresh_client = TlsClient(
+                            DetRNG(f"cli{index}"),
+                            expected_server_key=server.public_key)
+                        conn = fresh_client.connect(
+                            server.network, server.addr, resume=False)
+                    conn.request(build_request("/"))
+
+                op(0)
+                start = time.perf_counter()
+                for i in range(args.requests):
+                    op(i + 1)
+                cells.append(args.requests /
+                             (time.perf_counter() - start))
+            finally:
+                server.stop()
+        print(f"  {workload:12s} " +
+              " ".join(f"{cell:9.1f}" for cell in cells))
+    return 0
+
+
+def cmd_table2_ssh(args):
+    from repro.apps.sshd import MonolithicSshd, WedgeSshd
+    from repro.crypto import DetRNG
+    from repro.net import Network
+    from repro.sshlib import SshClient
+
+    payload = bytes(range(256)) * (512 * 1024 // 256)
+    print("Table 2 (bottom) — OpenSSH latency (seconds, 512 KiB scp):")
+    for flavor, cls in (("vanilla", MonolithicSshd),
+                        ("wedge", WedgeSshd)):
+        server = cls(Network(), f"cli-ssh-{flavor}:22").start()
+        try:
+            def login(index):
+                client = SshClient(
+                    DetRNG(f"cli{index}"),
+                    expected_host_key=server.env.host_key.public())
+                conn = client.connect(server.network, server.addr)
+                conn.auth_password("alice", b"wonderland")
+                return conn
+
+            login(0).close()
+            start = time.perf_counter()
+            conn = login(1)
+            login_delay = time.perf_counter() - start
+            start = time.perf_counter()
+            conn.scp_upload("/home/alice/cli.bin", payload)
+            scp_delay = time.perf_counter() - start
+            conn.close()
+            print(f"  {flavor:9s} login={login_delay:7.4f}  "
+                  f"scp={scp_delay:7.4f}")
+        finally:
+            server.stop()
+    return 0
+
+
+def cmd_metrics(args):
+    from repro.metrics import full_report
+    print("Partitioning metrics (§5.1/§5.2):")
+    for app, numbers in full_report().items():
+        print(f"  {app}:")
+        print(f"    callgate LoC        : {numbers['callgate_loc']}")
+        print(f"    sthread LoC         : {numbers['sthread_loc']}")
+        print(f"    privileged fraction : "
+              f"{numbers['privileged_fraction']:.0%}")
+        print(f"    changed LoC         : {numbers['changed_loc']} "
+              f"({numbers['changed_fraction']:.1%} of "
+              f"{numbers['total_loc']})")
+    return 0
+
+
+def cmd_trace(args):
+    from repro.crowbar import CbLog, format_report, memory_for_procedure
+    from repro.workloads import ALL_KERNELS
+    from repro.workloads.memlib import make_kernel
+    if args.workload not in ALL_KERNELS:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{sorted(ALL_KERNELS)}", file=sys.stderr)
+        return 2
+    kernel = make_kernel(f"cli-{args.workload}")
+    with CbLog(kernel, label=args.workload) as log:
+        checksum = ALL_KERNELS[args.workload](kernel, "quick")
+    print(f"traced {args.workload}: {len(log.trace)} accesses, "
+          f"checksum {checksum}")
+    procedure = args.procedure or args.workload
+    print(format_report(memory_for_procedure(log.trace, procedure),
+                        title=f"{procedure} + descendants"))
+    return 0
+
+
+def cmd_attack(args):
+    if args.scenario == "mitm":
+        print("running the MITM campaign against both partitionings "
+              "(the compact form of examples/mitm_attack_demo.py)...")
+        from repro.apps.httpd import (MitmPartitionHttpd,
+                                      SimplePartitionHttpd)
+        from repro.apps.httpd.content import build_request
+        from repro.attacks import payloads
+        from repro.attacks.exploit import start_campaign
+        from repro.attacks.mitm import (MitmAttacker,
+                                        hello_exploit_rewriter)
+        from repro.crypto import DetRNG
+        from repro.net import Network
+        from repro.tls import TlsClient
+        for title, cls, payload in (
+                ("Figure 2", SimplePartitionHttpd,
+                 payloads.PAYLOAD_STEAL_SESSION_KEY),
+                ("Figures 3-5", MitmPartitionHttpd,
+                 payloads.PAYLOAD_PROBE_FINE_PARTITION)):
+            net = Network()
+            server = cls(net, f"cli-atk-{cls.variant}:443").start()
+            loot = start_campaign()
+            attacker = MitmAttacker(
+                client_to_server=hello_exploit_rewriter(payload),
+                loot=loot)
+            net.interpose(server.addr, attacker)
+            victim = TlsClient(DetRNG("victim"),
+                               expected_server_key=server.public_key)
+            conn = victim.connect(net, server.addr)
+            conn.request(build_request("/account"))
+            time.sleep(0.3)
+            stolen = loot.get("session_master") == conn.master
+            print(f"  vs {title}: session key "
+                  f"{'STOLEN' if stolen else 'safe'} "
+                  f"({len(loot.attempts)} denials)")
+            server.stop()
+        return 0
+    print(f"unknown scenario {args.scenario!r}; choose 'mitm'",
+          file=sys.stderr)
+    return 2
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wedge (NSDI 2008) reproduction — quick results")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig7", help="Figure 7 shape").set_defaults(
+        fn=cmd_fig7)
+    sub.add_parser("fig8", help="Figure 8 shape").set_defaults(
+        fn=cmd_fig8)
+    p9 = sub.add_parser("fig9", help="Figure 9 table")
+    p9.add_argument("--scale", default="quick",
+                    choices=["quick", "bench"])
+    p9.set_defaults(fn=cmd_fig9)
+    pa = sub.add_parser("table2-apache", help="Apache throughput")
+    pa.add_argument("-n", "--requests", type=int, default=10)
+    pa.set_defaults(fn=cmd_table2_apache)
+    sub.add_parser("table2-ssh", help="OpenSSH latency").set_defaults(
+        fn=cmd_table2_ssh)
+    sub.add_parser("metrics",
+                   help="partitioning metrics").set_defaults(
+        fn=cmd_metrics)
+    pt = sub.add_parser("trace", help="cb-log + cb-analyze a workload")
+    pt.add_argument("workload")
+    pt.add_argument("--procedure", default=None)
+    pt.set_defaults(fn=cmd_trace)
+    pk = sub.add_parser("attack", help="run an attack scenario")
+    pk.add_argument("scenario", nargs="?", default="mitm")
+    pk.set_defaults(fn=cmd_attack)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Wedge's isolation primitives: sthreads, tagged memory, callgates.
+
+This subpackage is the paper's primary contribution (sections 3 and 4):
+the simulated kernel, default-deny compartments, the tagged-memory
+allocator, callgates, the boundary-variable mechanism, and the sthread
+emulation library.  See DESIGN.md for how the simulation substitutes for
+the real Linux kernel mechanisms.
+"""
+
+from repro.core.boundary import BOUNDARY_TAG, BOUNDARY_VAR
+from repro.core.costs import WEIGHTS, CostAccount
+from repro.core.emulation import (emulated_sthread_create, suggested_grants,
+                                  violation_report)
+from repro.core.errors import (AllocationError, AuthenticationFailure,
+                               BadAddress, BadFileDescriptor, CallgateError,
+                               CompartmentFault, ConnectionClosed,
+                               CryptoError, FdPermissionError,
+                               HandshakeFailure, MacFailure, MemoryViolation,
+                               NetworkError, OutOfMemory, PolicyError,
+                               ProtocolError, SthreadError, SyscallDenied,
+                               TagError, VfsError, WedgeError)
+from repro.core.kernel import Buffer, Kernel
+from repro.core.memory import (PAGE_SIZE, PROT_COW, PROT_NONE, PROT_READ,
+                               PROT_RW, PROT_WRITE)
+from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
+                               sc_cgate_add, sc_fd_add, sc_mem_add,
+                               sc_sel_context)
+from repro.core.selinux import (ALL_SYSCALLS, UNCONFINED, SELinuxPolicy,
+                                permissive_policy)
+from repro.core.tags import DEFAULT_TAG_SIZE, Tag
+
+__all__ = [
+    "ALL_SYSCALLS", "AllocationError", "AuthenticationFailure",
+    "BOUNDARY_TAG", "BOUNDARY_VAR", "BadAddress", "BadFileDescriptor",
+    "Buffer", "CallgateError", "CompartmentFault", "ConnectionClosed",
+    "CostAccount", "CryptoError", "DEFAULT_TAG_SIZE", "FD_READ", "FD_RW",
+    "FD_WRITE", "FdPermissionError", "HandshakeFailure", "Kernel",
+    "MacFailure", "MemoryViolation", "NetworkError", "OutOfMemory",
+    "PAGE_SIZE", "PROT_COW", "PROT_NONE", "PROT_READ", "PROT_RW",
+    "PROT_WRITE", "PolicyError", "ProtocolError", "SELinuxPolicy",
+    "SecurityContext", "SthreadError", "SyscallDenied", "Tag", "TagError",
+    "UNCONFINED", "VfsError", "WEIGHTS", "WedgeError",
+    "emulated_sthread_create", "permissive_policy", "sc_cgate_add",
+    "sc_fd_add", "sc_mem_add", "sc_sel_context", "suggested_grants",
+    "violation_report",
+]

@@ -1,0 +1,307 @@
+"""Boundary-tag heap allocator used by ``smalloc`` and private heaps.
+
+The paper derives ``smalloc`` from dlmalloc (section 4.1).  This module is
+a compact allocator in the same family: in-band chunk headers and footers
+(boundary tags), an explicit doubly-linked free list threaded through free
+chunks' payloads, first-fit search, splitting, and immediate coalescing
+with both neighbours on free.
+
+All bookkeeping lives *inside the segment's bytes*.  That matters for two
+paper mechanisms:
+
+* the tag free-list cache scrubs a reused tag by copying a cached,
+  pre-initialised bookkeeping image over it rather than re-running
+  initialisation (section 4.1) — which only works if initialisation state
+  is a pure function of the segment bytes; and
+* a callgate's scratch allocations are unreachable by its caller simply
+  because the backing segment is not in the caller's page table — no
+  allocator-level cooperation needed (the PAM lesson, section 5.2).
+
+Chunk layout (all fields little-endian uint32):
+
+    offset 0   size        total chunk size including header/footer
+    offset 4   flags       bit 0: in use
+    offset 8   payload...  (free chunks: next_free, prev_free here)
+    size-4     size        footer copy of size (free chunks only need it,
+                           but we maintain it always for simplicity)
+
+Offsets handed to callers point at the payload (header + 8).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import AllocationError, OutOfMemory
+
+HEADER = 8          # size + flags
+FOOTER = 4          # trailing size copy
+OVERHEAD = HEADER + FOOTER
+MIN_PAYLOAD = 8     # room for the two free-list links
+MIN_CHUNK = HEADER + MIN_PAYLOAD + FOOTER
+ALIGN = 8
+
+FLAG_INUSE = 1
+
+_U32 = struct.Struct("<I")
+_FREE_NIL = 0xFFFFFFFF
+
+
+def _align_up(n, align=ALIGN):
+    return (n + align - 1) & ~(align - 1)
+
+
+class Heap:
+    """An allocator over a region exposing ``read_raw``/``write_raw``.
+
+    The region is normally a :class:`~repro.core.memory.Segment`; the
+    allocator never touches anything outside ``[0, capacity)``.
+    """
+
+    def __init__(self, region, capacity=None, *, costs=None):
+        self.region = region
+        self.capacity = capacity if capacity is not None else region.size
+        if self.capacity < MIN_CHUNK + 8:
+            raise ValueError("heap region too small")
+        self._costs = costs
+
+    # -- raw field helpers ----------------------------------------------------
+
+    def _get_u32(self, off):
+        return _U32.unpack(self.region.read_raw(off, 4))[0]
+
+    def _set_u32(self, off, value):
+        self.region.write_raw(off, _U32.pack(value))
+
+    # Heap-global state lives in the first 8 bytes: free-list head and a
+    # magic word so a formatted heap is recognisable.
+    _MAGIC_OFF = 0
+    _HEAD_OFF = 4
+    _ARENA = 8
+    _MAGIC = 0x57454447  # "WEDG"
+
+    def format(self):
+        """Initialise bookkeeping: one big free chunk spanning the arena.
+
+        Returns the number of bookkeeping bytes written, which the tag
+        layer charges as ``alloc_init_byte`` work.
+        """
+        arena_size = _align_up(self.capacity - self._ARENA, ALIGN) - ALIGN
+        arena_size = min(arena_size, self.capacity - self._ARENA)
+        first = self._ARENA
+        self._set_u32(self._MAGIC_OFF, self._MAGIC)
+        self._write_free_chunk(first, arena_size, nxt=_FREE_NIL,
+                               prv=_FREE_NIL)
+        self._set_u32(self._HEAD_OFF, first)
+        return 8 + HEADER + 8 + FOOTER
+
+    def is_formatted(self):
+        return self._get_u32(self._MAGIC_OFF) == self._MAGIC
+
+    def bookkeeping_extents(self):
+        """Byte ranges holding a freshly formatted heap's bookkeeping.
+
+        The tag reuse cache copies exactly these ranges (the heap-global
+        words, the initial chunk's header and free links, and its footer)
+        to scrub a recycled segment back to pristine state.
+        """
+        arena_size = self._arena_size()
+        return [
+            (0, self._ARENA + HEADER + 8),
+            (self._ARENA + arena_size - FOOTER, FOOTER),
+        ]
+
+    # -- chunk accessors --------------------------------------------------------
+
+    def _chunk_size(self, chunk):
+        return self._get_u32(chunk)
+
+    def _chunk_flags(self, chunk):
+        return self._get_u32(chunk + 4)
+
+    def _chunk_inuse(self, chunk):
+        return bool(self._chunk_flags(chunk) & FLAG_INUSE)
+
+    def _write_header(self, chunk, size, flags):
+        self._set_u32(chunk, size)
+        self._set_u32(chunk + 4, flags)
+        self._set_u32(chunk + size - FOOTER, size)
+
+    def _write_free_chunk(self, chunk, size, nxt, prv):
+        self._write_header(chunk, size, 0)
+        self._set_u32(chunk + HEADER, nxt)
+        self._set_u32(chunk + HEADER + 4, prv)
+
+    def _free_next(self, chunk):
+        return self._get_u32(chunk + HEADER)
+
+    def _free_prev(self, chunk):
+        return self._get_u32(chunk + HEADER + 4)
+
+    def _set_free_next(self, chunk, nxt):
+        self._set_u32(chunk + HEADER, nxt)
+
+    def _set_free_prev(self, chunk, prv):
+        self._set_u32(chunk + HEADER + 4, prv)
+
+    # -- free-list maintenance -----------------------------------------------------
+
+    def _free_head(self):
+        return self._get_u32(self._HEAD_OFF)
+
+    def _push_free(self, chunk):
+        head = self._free_head()
+        self._set_free_next(chunk, head)
+        self._set_free_prev(chunk, _FREE_NIL)
+        if head != _FREE_NIL:
+            self._set_free_prev(head, chunk)
+        self._set_u32(self._HEAD_OFF, chunk)
+
+    def _unlink_free(self, chunk):
+        nxt = self._free_next(chunk)
+        prv = self._free_prev(chunk)
+        if prv != _FREE_NIL:
+            self._set_free_next(prv, nxt)
+        else:
+            self._set_u32(self._HEAD_OFF, nxt)
+        if nxt != _FREE_NIL:
+            self._set_free_prev(nxt, prv)
+
+    # -- public interface --------------------------------------------------------
+
+    def alloc(self, size):
+        """Allocate *size* bytes; return the payload offset.
+
+        First-fit over the explicit free list, splitting when the
+        remainder can hold another minimal chunk.
+        """
+        if size <= 0:
+            raise AllocationError("allocation size must be positive")
+        if self._costs is not None:
+            self._costs.charge("alloc_op")
+        need = _align_up(max(size, MIN_PAYLOAD)) + OVERHEAD
+        chunk = self._free_head()
+        while chunk != _FREE_NIL:
+            csize = self._chunk_size(chunk)
+            if csize >= need:
+                self._unlink_free(chunk)
+                remainder = csize - need
+                if remainder >= MIN_CHUNK:
+                    self._write_header(chunk, need, FLAG_INUSE)
+                    rest = chunk + need
+                    self._write_free_chunk(rest, remainder, _FREE_NIL,
+                                           _FREE_NIL)
+                    self._push_free(rest)
+                else:
+                    self._write_header(chunk, csize, FLAG_INUSE)
+                return chunk + HEADER
+            chunk = self._free_next(chunk)
+        raise OutOfMemory(
+            f"no free chunk of {size} bytes in region "
+            f"{getattr(self.region, 'name', '?')!r}")
+
+    def free(self, payload_off):
+        """Free the chunk whose payload starts at *payload_off*."""
+        chunk = payload_off - HEADER
+        self._check_chunk(chunk, expect_inuse=True)
+        if self._costs is not None:
+            self._costs.charge("alloc_op")
+        size = self._chunk_size(chunk)
+
+        # coalesce with right neighbour
+        right = chunk + size
+        if right + HEADER <= self._ARENA + self._arena_size():
+            if not self._chunk_inuse(right):
+                self._unlink_free(right)
+                size += self._chunk_size(right)
+
+        # coalesce with left neighbour (via its footer)
+        if chunk > self._ARENA:
+            left_size = self._get_u32(chunk - FOOTER)
+            left = chunk - left_size
+            if (left >= self._ARENA and left_size >= MIN_CHUNK
+                    and not self._chunk_inuse(left)):
+                self._unlink_free(left)
+                chunk = left
+                size += left_size
+
+        self._write_free_chunk(chunk, size, _FREE_NIL, _FREE_NIL)
+        self._push_free(chunk)
+
+    def usable_size(self, payload_off):
+        chunk = payload_off - HEADER
+        self._check_chunk(chunk, expect_inuse=True)
+        return self._chunk_size(chunk) - OVERHEAD
+
+    def _arena_size(self):
+        arena_size = _align_up(self.capacity - self._ARENA, ALIGN) - ALIGN
+        return min(arena_size, self.capacity - self._ARENA)
+
+    def _check_chunk(self, chunk, *, expect_inuse):
+        end = self._ARENA + self._arena_size()
+        if chunk < self._ARENA or chunk + MIN_CHUNK > end + 1:
+            raise AllocationError(f"offset {chunk} is not a chunk")
+        size = self._chunk_size(chunk)
+        if size < MIN_CHUNK or chunk + size > end:
+            raise AllocationError(
+                f"corrupt chunk header at offset {chunk} (size={size})")
+        if expect_inuse and not self._chunk_inuse(chunk):
+            raise AllocationError(f"double free at offset {chunk}")
+
+    # -- introspection (tests and Crowbar) --------------------------------------------
+
+    def walk(self):
+        """Yield ``(offset, size, inuse)`` for every chunk in order."""
+        chunk = self._ARENA
+        end = self._ARENA + self._arena_size()
+        while chunk + HEADER <= end:
+            size = self._chunk_size(chunk)
+            if size < MIN_CHUNK or chunk + size > end:
+                break
+            yield chunk, size, self._chunk_inuse(chunk)
+            chunk += size
+
+    def free_bytes(self):
+        return sum(size - OVERHEAD for _, size, inuse in self.walk()
+                   if not inuse)
+
+    def inuse_chunks(self):
+        return [(off + HEADER, size - OVERHEAD)
+                for off, size, inuse in self.walk() if inuse]
+
+    def check_invariants(self):
+        """Verify heap consistency; raise AllocationError on corruption.
+
+        Checked invariants: chunks tile the arena exactly; footers match
+        headers; no two adjacent free chunks (coalescing is complete); the
+        free list contains exactly the free chunks.
+        """
+        chunks = list(self.walk())
+        pos = self._ARENA
+        prev_free = False
+        free_offsets = set()
+        for off, size, inuse in chunks:
+            if off != pos:
+                raise AllocationError(f"gap or overlap at offset {off}")
+            footer = self._get_u32(off + size - FOOTER)
+            if footer != size:
+                raise AllocationError(f"footer mismatch at offset {off}")
+            if not inuse:
+                if prev_free:
+                    raise AllocationError(
+                        f"adjacent free chunks at offset {off}")
+                free_offsets.add(off)
+            prev_free = not inuse
+            pos += size
+        if pos != self._ARENA + self._arena_size():
+            raise AllocationError("chunks do not tile the arena")
+        # free list agreement
+        listed = set()
+        chunk = self._free_head()
+        while chunk != _FREE_NIL:
+            if chunk in listed:
+                raise AllocationError("cycle in free list")
+            listed.add(chunk)
+            chunk = self._free_next(chunk)
+        if listed != free_offsets:
+            raise AllocationError("free list does not match free chunks")

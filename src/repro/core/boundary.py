@@ -1,0 +1,115 @@
+"""``BOUNDARY_VAR`` / ``BOUNDARY_TAG``: tagging statically-initialised globals.
+
+Ordinary globals live in the snapshot image, which every sthread maps COW
+by default.  When a statically initialised global is *sensitive* — or
+simply needs to be shared read-write between sthreads — the programmer
+declares it with ``BOUNDARY_VAR(def, id)``: all globals with the same
+integer id are placed together in a distinct, page-aligned ELF section
+(paper sections 3.2 and 4.1).  Such sections are **not** part of the
+default snapshot mapping, so sthreads do not see them unless granted.
+
+At runtime ``BOUNDARY_TAG(id)`` allocates (once) and returns a tag naming
+that section, which the programmer passes to ``sc_mem_add`` like any other
+tag.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WedgeError
+from repro.core.image import GlobalVar
+from repro.core.memory import PAGE_SIZE
+
+
+class BoundarySection:
+    """One to-be-materialised ELF section for a boundary id."""
+
+    def __init__(self, boundary_id):
+        self.boundary_id = boundary_id
+        self.vars = []
+        self._cursor = 0
+        self._by_name = {}
+        self.segment = None   # set when materialised
+        self.tag = None       # set by the first BOUNDARY_TAG
+
+    def declare(self, name, size, init):
+        if self.segment is not None:
+            raise WedgeError(
+                "BOUNDARY_VAR after main started; boundary globals are "
+                "static declarations")
+        if name in self._by_name:
+            raise WedgeError(
+                f"boundary global {name!r} already declared in section "
+                f"{self.boundary_id}")
+        var = GlobalVar(name, self._cursor, size, bytes(init))
+        self._cursor += (size + 7) & ~7
+        self.vars.append(var)
+        self._by_name[name] = var
+        return var
+
+    def materialise(self, space):
+        size = max(self._cursor, PAGE_SIZE)
+        self.segment = space.create_segment(
+            size, name=f"boundary{self.boundary_id}", kind="boundary")
+        for var in self.vars:
+            if var.init:
+                self.segment.write_raw(var.offset, var.init)
+
+    def addr_of(self, name):
+        var = self._by_name.get(name)
+        if var is None:
+            raise WedgeError(f"unknown boundary global {name!r}")
+        if self.segment is None:
+            raise WedgeError("boundary section not yet materialised")
+        return self.segment.base + var.offset
+
+    def var_at(self, offset):
+        for var in self.vars:
+            if var.offset <= offset < var.offset + var.size:
+                return var, offset - var.offset
+        return None, None
+
+
+class BoundaryRegistry:
+    """All boundary sections of one process image."""
+
+    def __init__(self):
+        self._sections = {}
+        self.sealed = False
+
+    def section(self, boundary_id):
+        sec = self._sections.get(boundary_id)
+        if sec is None:
+            if self.sealed:
+                raise WedgeError(
+                    f"no boundary section {boundary_id} was declared")
+            sec = BoundarySection(boundary_id)
+            self._sections[boundary_id] = sec
+        return sec
+
+    def materialise_all(self, space):
+        self.sealed = True
+        for sec in self._sections.values():
+            sec.materialise(space)
+
+    def sections(self):
+        return list(self._sections.values())
+
+
+def BOUNDARY_VAR(kernel, boundary_id, name, size, init=b""):
+    """Declare global *name* in the page-aligned section *boundary_id*.
+
+    Mirrors the paper's ``BOUNDARY_VAR(def, id)`` macro.  Must run before
+    :meth:`~repro.core.kernel.Kernel.start_main`.
+    """
+    return kernel.boundary.section(boundary_id).declare(name, size, init)
+
+
+def BOUNDARY_TAG(kernel, boundary_id):
+    """Return the unique tag for section *boundary_id* (allocating it on
+    first use).  Mirrors the paper's ``BOUNDARY_TAG(id)`` macro."""
+    sec = kernel.boundary.section(boundary_id)
+    if sec.segment is None:
+        raise WedgeError("BOUNDARY_TAG before main started")
+    if sec.tag is None:
+        sec.tag = kernel.adopt_boundary_segment(sec.segment)
+    return sec.tag

@@ -1,0 +1,45 @@
+"""Kernel-side callgate records.
+
+A callgate is defined by an entry point, a set of permissions, and a
+trusted argument supplied by its *creator* (paper section 3.3).  All three
+are stored kernel-side so the eventual caller cannot tamper with them, and
+the gate inherits the filesystem root and uid of its creator — which is
+what lets OpenSSH's password callgate read ``/etc/shadow`` on behalf of a
+chrooted, unprivileged worker.
+
+Recycled callgates keep their underlying sthread alive between
+invocations, trading isolation for speed: the record retains the persistent
+compartment (with its private heap) and invocation costs only a futex
+round trip (paper sections 3.3 and 4.1).
+"""
+
+from __future__ import annotations
+
+
+class CallgateRecord:
+    """The tamper-proof kernel record for one instantiated callgate."""
+
+    def __init__(self, gate_id, entry, sc, trusted_arg, *, creator_uid,
+                 creator_root, creator_sid, fd_files, recycled=False,
+                 name=""):
+        self.id = gate_id
+        self.entry = entry
+        self.sc = sc
+        self.trusted_arg = trusted_arg
+        self.creator_uid = creator_uid
+        self.creator_root = creator_root
+        self.creator_sid = creator_sid
+        #: descriptors resolved at creation time from the *creator's* fd
+        #: table: list of (fd_number, OpenFile, perms).  Resolving early
+        #: means a malicious caller cannot swap descriptors underneath
+        #: the gate.
+        self.fd_files = fd_files
+        self.recycled = recycled
+        self.name = name or getattr(entry, "__name__", f"gate{gate_id}")
+        #: persistent compartment for recycled gates (built lazily)
+        self.persistent = None
+        self.invocations = 0
+
+    def __repr__(self):
+        flavor = "recycled " if self.recycled else ""
+        return f"<{flavor}Callgate #{self.id} {self.name!r}>"

@@ -1,0 +1,72 @@
+"""The sthread emulation library (paper section 3.4).
+
+After refactoring, an sthread may touch memory its policy no longer
+covers, and under default-deny it would be killed at the *first* missing
+permission — revealing only one gap per run.  The emulation library
+instead grants the sthread access to all memory and *records* every
+would-be protection violation, so one complete program execution reveals
+every missing grant.  Used together with Crowbar it answers "what do I
+still need to add to this policy?".
+
+The mechanism lives in :class:`~repro.core.memory.PageTable.emulation`
+(the bus satisfies unauthorised accesses from the live segments and
+appends the fault to ``table.violations``); this module is the user-facing
+wrapper plus the report formatter.
+"""
+
+from __future__ import annotations
+
+
+def emulated_sthread_create(kernel, sc, body, arg=None, *, name="",
+                            spawn="inline"):
+    """Like ``sthread_create`` but with grant-all emulation enabled."""
+    return kernel.sthread_create(sc, body, arg, name=name, spawn=spawn,
+                                 emulate=True)
+
+
+def violation_report(sthread):
+    """Summarise an emulated sthread's recorded violations.
+
+    Returns a list of dicts with one entry per (segment, op) pair:
+    ``{"segment": name, "tag_id": id-or-None, "op": "read"/"write",
+    "count": n, "first_addr": addr}`` — exactly what a programmer needs to
+    extend the policy, expressed at tag granularity where possible.
+    """
+    summary = {}
+    for fault in sthread.table.violations:
+        seg = fault.segment
+        key = (seg.name if seg is not None else "<unmapped>", fault.op)
+        entry = summary.get(key)
+        if entry is None:
+            summary[key] = {
+                "segment": key[0],
+                "tag_id": seg.tag_id if seg is not None else None,
+                "kind": seg.kind if seg is not None else None,
+                "op": fault.op,
+                "count": 1,
+                "first_addr": fault.addr,
+            }
+        else:
+            entry["count"] += 1
+    return sorted(summary.values(),
+                  key=lambda e: (e["segment"], e["op"]))
+
+
+def suggested_grants(sthread):
+    """Turn a violation report into ``(tag_id, 'r'|'rw')`` suggestions.
+
+    Only tagged segments can be named in a policy (untagged memory
+    "cannot even be named", paper section 3.2), so suggestions cover
+    tagged violations; the rest are reported for refactoring.
+    """
+    grants = {}
+    unnameable = []
+    for entry in violation_report(sthread):
+        if entry["tag_id"] is None:
+            unnameable.append(entry)
+            continue
+        mode = grants.get(entry["tag_id"], "r")
+        if entry["op"] == "write":
+            mode = "rw"
+        grants[entry["tag_id"]] = mode
+    return grants, unnameable

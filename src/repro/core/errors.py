@@ -1,0 +1,126 @@
+"""Exception hierarchy for the Wedge simulation.
+
+Every fault that the real Wedge kernel would deliver as a signal (e.g. a
+SIGSEGV on a page-protection violation) is modelled as a Python exception
+raised at the offending simulated operation.  Compartment runners catch
+:class:`CompartmentFault` subclasses and terminate the compartment, exactly
+as the kernel would kill a faulting sthread.
+"""
+
+from __future__ import annotations
+
+
+class WedgeError(Exception):
+    """Base class for every error raised by the simulation."""
+
+
+class CompartmentFault(WedgeError):
+    """A fault that terminates the compartment in which it occurred.
+
+    Corresponds to the class of errors the real kernel delivers as fatal
+    signals (protection violations, bad addresses, denied syscalls).
+    """
+
+
+class MemoryViolation(CompartmentFault):
+    """An sthread touched memory its page table does not permit.
+
+    Mirrors a hardware page-protection fault.  Carries enough context for
+    the emulation library and for tests to assert on the exact failure.
+    """
+
+    def __init__(self, message, *, addr=None, op=None, sthread=None,
+                 segment=None):
+        super().__init__(message)
+        self.addr = addr
+        self.op = op
+        self.sthread = sthread
+        self.segment = segment
+
+
+class BadAddress(MemoryViolation):
+    """An access fell outside every mapped segment (wild pointer)."""
+
+
+class PolicyError(WedgeError):
+    """A security-context operation violated Wedge's monotonicity rules.
+
+    Raised when a parent tries to grant a child sthread privileges the
+    parent itself does not hold, when write-only memory permissions are
+    requested (unsupported, per paper section 3.1), or when a callgate's
+    permissions exceed its creator's.
+    """
+
+
+class SyscallDenied(CompartmentFault):
+    """The SELinux-lite policy denied a system call for the current SID."""
+
+    def __init__(self, message, *, syscall=None, sid=None):
+        super().__init__(message)
+        self.syscall = syscall
+        self.sid = sid
+
+
+class FdPermissionError(CompartmentFault):
+    """An sthread used a file descriptor in a mode its policy denies."""
+
+
+class BadFileDescriptor(WedgeError):
+    """Operation on a descriptor that is closed or was never granted."""
+
+
+class VfsError(WedgeError):
+    """Simulated filesystem error (missing path, permission bits, ...)."""
+
+
+class AllocationError(WedgeError):
+    """The tagged-memory allocator could not satisfy a request."""
+
+
+class OutOfMemory(AllocationError):
+    """The segment backing a tag has no chunk large enough."""
+
+
+class QuotaExceeded(AllocationError):
+    """A compartment hit its memory quota (the DoS-limitation
+    extension; the paper's Wedge has no such mechanism, §7)."""
+
+
+class TagError(WedgeError):
+    """Bad tag usage: unknown tag, double delete, freeing a foreign ptr."""
+
+
+class CallgateError(WedgeError):
+    """Bad callgate usage: unknown gate, invocation without a grant."""
+
+
+class SthreadError(WedgeError):
+    """Sthread lifecycle error (double join, join of unknown thread)."""
+
+
+class NetworkError(WedgeError):
+    """Simulated network failure (no listener, connection reset)."""
+
+
+class ConnectionClosed(NetworkError):
+    """The peer closed the simulated stream."""
+
+
+class ProtocolError(WedgeError):
+    """A TLS/SSH/POP3 peer sent a malformed or unexpected message."""
+
+
+class HandshakeFailure(ProtocolError):
+    """The secure-channel handshake did not complete."""
+
+
+class MacFailure(ProtocolError):
+    """Record-layer MAC verification failed: the record is discarded."""
+
+
+class AuthenticationFailure(ProtocolError):
+    """User authentication was rejected."""
+
+
+class CryptoError(WedgeError):
+    """Low-level crypto failure (bad padding, bad signature encoding)."""

@@ -1,0 +1,230 @@
+"""File descriptors: open-file descriptions and per-sthread fd tables.
+
+Like UNIX, a descriptor number indexes a per-sthread table whose entries
+reference shared *open file descriptions* (so a dup'ed file shares its
+offset).  Unlike plain UNIX, each table entry also carries the Wedge
+permission bits granted by the sthread's security policy — the kernel
+checks them on every read/write (paper section 3.1: "the file descriptors
+the sthread may access, and the permissions for each").
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import (BadFileDescriptor, ConnectionClosed,
+                               FdPermissionError)
+from repro.core.policy import FD_READ, FD_RW, FD_WRITE
+
+
+class OpenFile:
+    """Base class for shared open-file descriptions."""
+
+    kind = "file"
+
+    def __init__(self):
+        self.refcount = 0
+
+    def incref(self):
+        self.refcount += 1
+
+    def decref(self):
+        self.refcount -= 1
+        if self.refcount <= 0:
+            self.on_last_close()
+
+    def on_last_close(self):
+        pass
+
+    def read(self, size):
+        raise BadFileDescriptor(f"{self.kind} is not readable")
+
+    def write(self, data):
+        raise BadFileDescriptor(f"{self.kind} is not writable")
+
+
+class VfsOpenFile(OpenFile):
+    """An open regular file with a shared offset."""
+
+    kind = "vfs"
+
+    def __init__(self, node, path, *, append=False):
+        super().__init__()
+        self.node = node
+        self.path = path
+        self.offset = len(node.data) if append else 0
+
+    def read(self, size):
+        data = bytes(self.node.data[self.offset:self.offset + size])
+        self.offset += len(data)
+        return data
+
+    def write(self, data):
+        end = self.offset + len(data)
+        if end > len(self.node.data):
+            self.node.data.extend(b"\x00" * (end - len(self.node.data)))
+        self.node.data[self.offset:end] = data
+        self.offset = end
+        return len(data)
+
+    def seek(self, offset):
+        self.offset = offset
+
+
+class SocketOpenFile(OpenFile):
+    """A connected simulated stream socket."""
+
+    kind = "socket"
+
+    def __init__(self, sock):
+        super().__init__()
+        self.sock = sock
+
+    def read(self, size):
+        data = self.sock.recv(size)
+        if data is None:
+            raise ConnectionClosed("peer closed the connection")
+        return data
+
+    def write(self, data):
+        self.sock.send(data)
+        return len(data)
+
+    def on_last_close(self):
+        self.sock.close()
+
+
+class ListenerOpenFile(OpenFile):
+    """A listening socket; ``accept`` happens at the kernel layer."""
+
+    kind = "listener"
+
+    def __init__(self, listener):
+        super().__init__()
+        self.listener = listener
+
+    def on_last_close(self):
+        self.listener.close()
+
+
+class PipeOpenFile(OpenFile):
+    """One end of an in-kernel pipe (used by the privsep IPC)."""
+
+    kind = "pipe"
+
+    def __init__(self, stream, *, readable):
+        super().__init__()
+        self.stream = stream
+        self.readable = readable
+
+    def read(self, size):
+        if not self.readable:
+            raise BadFileDescriptor("write end of pipe is not readable")
+        data = self.stream.recv(size)
+        if data is None:
+            raise ConnectionClosed("pipe closed")
+        return data
+
+    def write(self, data):
+        if self.readable:
+            raise BadFileDescriptor("read end of pipe is not writable")
+        self.stream.send(data)
+        return len(data)
+
+    def on_last_close(self):
+        self.stream.close()
+
+
+class FdEntry:
+    __slots__ = ("file", "perms")
+
+    def __init__(self, file, perms):
+        self.file = file
+        self.perms = perms
+
+
+class FdTable:
+    """Per-sthread descriptor table with Wedge permission bits."""
+
+    def __init__(self):
+        import threading
+        self._entries = {}
+        self._next_fd = 3  # 0-2 reserved, as a nod to stdio
+        # a master serving concurrent connections installs/accepts from
+        # several dispatcher threads at once
+        self._lock = threading.Lock()
+
+    def install(self, file, perms=FD_RW, *, fd=None):
+        """Install *file* and return its descriptor number."""
+        with self._lock:
+            if fd is None:
+                fd = self._next_fd
+                self._next_fd += 1
+            else:
+                self._next_fd = max(self._next_fd, fd + 1)
+            file.incref()
+            self._entries[fd] = FdEntry(file, perms)
+            return fd
+
+    def lookup(self, fd, needed=0):
+        entry = self._entries.get(fd)
+        if entry is None:
+            raise BadFileDescriptor(f"fd {fd} is not open")
+        if needed & ~entry.perms:
+            need = []
+            if needed & FD_READ and not entry.perms & FD_READ:
+                need.append("read")
+            if needed & FD_WRITE and not entry.perms & FD_WRITE:
+                need.append("write")
+            raise FdPermissionError(
+                f"fd {fd} lacks {'/'.join(need)} permission "
+                f"under this sthread's policy")
+        return entry
+
+    def close(self, fd):
+        entry = self._entries.pop(fd, None)
+        if entry is None:
+            raise BadFileDescriptor(f"fd {fd} is not open")
+        entry.file.decref()
+
+    def close_all(self):
+        for fd in list(self._entries):
+            self.close(fd)
+
+    def dup_subset(self, fd_perms, *, costs=None):
+        """Build a child table holding only the policy-granted fds.
+
+        *fd_perms* maps fd number -> permission bits (already validated as
+        a subset of this table's own bits by the policy layer).
+        """
+        child = FdTable()
+        for fd, perms in fd_perms.items():
+            entry = self._entries.get(fd)
+            if entry is None:
+                raise BadFileDescriptor(
+                    f"policy grants fd {fd} which is not open in parent")
+            child.install(entry.file, perms, fd=fd)
+        if costs is not None and fd_perms:
+            costs.charge("fd_copy", len(fd_perms))
+        return child
+
+    def dup_all(self, *, costs=None):
+        """Full copy (what ``fork`` does)."""
+        child = FdTable()
+        for fd, entry in self._entries.items():
+            child.install(entry.file, entry.perms, fd=fd)
+        if costs is not None and self._entries:
+            costs.charge("fd_copy", len(self._entries))
+        return child
+
+    def perms_of(self, fd):
+        """Permission bits held on *fd* (0 if not open)."""
+        entry = self._entries.get(fd)
+        return entry.perms if entry is not None else 0
+
+    def fds(self):
+        return sorted(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, fd):
+        return fd in self._entries

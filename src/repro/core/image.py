@@ -1,0 +1,110 @@
+"""The pre-``main`` process image and its pristine snapshot.
+
+A newly created sthread holds no rights by default *except* copy-on-write
+access to a pristine snapshot of the original process's memory, taken just
+before ``main`` runs (paper sections 3.1 and 4.1).  That snapshot contains
+initialised library/loader state — vital for execution — but no sensitive
+application data, because the application's code has not run yet.
+
+Applications declare their global variables on an :class:`ImageBuilder`
+during "static initialisation".  Sealing the image materialises one
+``globals`` segment, writes the initial values, and captures the snapshot
+frames that every future sthread will map COW.  Globals declared through
+``BOUNDARY_VAR`` instead land in per-boundary-id segments that are *not*
+part of the default snapshot mapping (see :mod:`repro.core.boundary`).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WedgeError
+from repro.core.memory import PAGE_SIZE
+
+#: Simulated size of the loader/libc state that dominates a real image.
+RUNTIME_STATE_SIZE = 8 * PAGE_SIZE
+
+
+class GlobalVar:
+    """One named global: its segment offset, size and initial bytes."""
+
+    __slots__ = ("name", "offset", "size", "init")
+
+    def __init__(self, name, offset, size, init):
+        self.name = name
+        self.offset = offset
+        self.size = size
+        self.init = init
+
+
+class ImageBuilder:
+    """Collects global declarations until the image is sealed."""
+
+    def __init__(self, *, runtime_state=RUNTIME_STATE_SIZE):
+        self._vars = []
+        self._cursor = runtime_state  # loader state occupies the front
+        self._by_name = {}
+        self.sealed = False
+
+    def declare(self, name, size, init=b""):
+        """Declare a named global of *size* bytes; returns its var record.
+
+        Addresses are only known after sealing; use
+        :meth:`ProcessImage.addr_of`.
+        """
+        if self.sealed:
+            raise WedgeError("image already sealed; declare globals "
+                             "before main starts")
+        if name in self._by_name:
+            raise WedgeError(f"global {name!r} already declared")
+        if len(init) > size:
+            raise WedgeError(f"initialiser for {name!r} exceeds its size")
+        var = GlobalVar(name, self._cursor, size, bytes(init))
+        # 8-byte alignment, like a linker would
+        self._cursor += (size + 7) & ~7
+        self._vars.append(var)
+        self._by_name[name] = var
+        return var
+
+    def seal(self, space):
+        """Materialise the globals segment and take the pristine snapshot."""
+        if self.sealed:
+            raise WedgeError("image already sealed")
+        self.sealed = True
+        size = max(self._cursor, PAGE_SIZE)
+        segment = space.create_segment(size, name="globals",
+                                       kind="globals")
+        for var in self._vars:
+            if var.init:
+                segment.write_raw(var.offset, var.init)
+        snapshot = segment.snapshot_frames()
+        return ProcessImage(segment, snapshot, self._vars)
+
+
+class ProcessImage:
+    """The sealed image: live segment + pristine snapshot frames."""
+
+    def __init__(self, segment, snapshot_frames, variables):
+        self.segment = segment
+        self.snapshot_frames = snapshot_frames
+        self._vars = {v.name: v for v in variables}
+
+    def addr_of(self, name):
+        """Absolute address of a declared global."""
+        var = self._vars.get(name)
+        if var is None:
+            raise WedgeError(f"unknown global {name!r}")
+        return self.segment.base + var.offset
+
+    def var_at(self, offset):
+        """Resolve a segment offset to ``(GlobalVar, inner_offset)``.
+
+        Used by Crowbar to name global accesses by variable (paper
+        section 4.2: "for globals, we use debugging symbols to obtain the
+        base and limit of each variable").
+        """
+        for var in self._vars.values():
+            if var.offset <= offset < var.offset + var.size:
+                return var, offset - var.offset
+        return None, None
+
+    def variables(self):
+        return list(self._vars.values())

@@ -1,0 +1,880 @@
+"""The simulated Wedge kernel.
+
+One :class:`Kernel` instance models one machine: an address space, a tag
+namespace, a VFS, an optional network attachment, and the population of
+compartments (the bootstrap process plus every sthread, fork child,
+pthread and callgate created from it).
+
+Everything in the paper's Table 1 is a method here, with the same
+semantics:
+
+====================  =====================================================
+Paper call            Kernel method
+====================  =====================================================
+``sthread_create``    :meth:`Kernel.sthread_create`
+``sthread_join``      :meth:`Kernel.sthread_join`
+``tag_new``           :meth:`Kernel.tag_new`
+``tag_delete``        :meth:`Kernel.tag_delete`
+``smalloc``           :meth:`Kernel.smalloc`
+``sfree``             :meth:`Kernel.sfree` (also :meth:`Kernel.free`)
+``smalloc_on/off``    :meth:`Kernel.smalloc_on` / :meth:`Kernel.smalloc_off`
+``BOUNDARY_VAR/TAG``  :mod:`repro.core.boundary`
+``sc_*``              :mod:`repro.core.policy`
+``cgate``             :meth:`Kernel.cgate`
+====================  =====================================================
+
+Compartment tracking is a per-OS-thread context stack: whichever sthread
+is on top of the stack is "running", and every kernel entry point charges
+its costs and checks its permissions against that compartment.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.callgate import CallgateRecord
+from repro.core.costs import CostAccount
+from repro.core.errors import (CallgateError, CompartmentFault,
+                               PolicyError, SthreadError, SyscallDenied,
+                               TagError, VfsError, WedgeError)
+from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
+                                SocketOpenFile, VfsOpenFile)
+from repro.core.image import ImageBuilder
+from repro.core.memory import (PAGE_SIZE, PROT_COW, PROT_READ, PROT_RW,
+                               AddressSpace, MemoryBus)
+from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
+                               check_subset_of, validate_mem_prot)
+from repro.core.selinux import UNCONFINED, SELinuxPolicy
+from repro.core.sthread import HEAP_SIZE, STACK_SIZE, Sthread
+from repro.core.tags import DEFAULT_TAG_SIZE, TagManager
+from repro.core.vfs import Vfs
+from repro.net.stream import ByteStream, DuplexStream
+
+
+class TableView:
+    """Adapter letting the heap allocator run through a page table.
+
+    ``smalloc`` is userland code executing *inside* the calling sthread,
+    so its bookkeeping loads and stores must obey that sthread's page
+    protections (and show up in Crowbar traces).  This view exposes a
+    segment-relative ``read_raw``/``write_raw`` that routes through the
+    memory bus under a given table.
+    """
+
+    def __init__(self, bus, table, segment, size):
+        self._bus = bus
+        self._table = table
+        self._base = segment.base
+        self.size = size
+        self.name = segment.name
+
+    def read_raw(self, offset, size):
+        return self._bus.read(self._table, self._base + offset, size)
+
+    def write_raw(self, offset, data):
+        self._bus.write(self._table, self._base + offset, data)
+
+
+class Buffer:
+    """Convenience handle for a tagged allocation: address + length."""
+
+    __slots__ = ("kernel", "addr", "size")
+
+    def __init__(self, kernel, addr, size):
+        self.kernel = kernel
+        self.addr = addr
+        self.size = size
+
+    def read(self, size=None, offset=0):
+        size = self.size - offset if size is None else size
+        return self.kernel.mem_read(self.addr + offset, size)
+
+    def write(self, data, offset=0):
+        if offset + len(data) > self.size:
+            raise WedgeError("write beyond buffer end")
+        self.kernel.mem_write(self.addr + offset, data)
+
+    def __len__(self):
+        return self.size
+
+
+class Kernel:
+    """One simulated machine running one Wedge-partitioned application."""
+
+    def __init__(self, *, selinux=None, tag_cache=True, net=None,
+                 name="wedge"):
+        self.name = name
+        self.costs = CostAccount()
+        self.space = AddressSpace()
+        self.bus = MemoryBus(self.space, self.costs)
+        self.tags = TagManager(self.space, self.costs,
+                               cache_enabled=tag_cache)
+        self.selinux = selinux if selinux is not None else SELinuxPolicy()
+        self.vfs = Vfs()
+        self.net = net
+        self.image_builder = ImageBuilder()
+        from repro.core.boundary import BoundaryRegistry
+        self.boundary = BoundaryRegistry()
+        self.image = None
+        self.main = None
+        self._gates = {}
+        self._next_sthread_id = 1
+        self._next_gate_id = 1
+        self._tls = threading.local()
+        self._spawn_lock = threading.Lock()
+        #: Crowbar attachment points: callables fired on allocation events
+        #: as ``hook(event, addr, size, segment, sthread)``.
+        self.alloc_hooks = []
+        #: live heap allocations (addr -> (size, segment)); lets a
+        #: late-attaching cb-log resolve objects allocated before it
+        self.live_allocations = {}
+        self.sthreads = []
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def declare_global(self, name, size, init=b""):
+        """Declare a pre-``main`` global (static initialisation time)."""
+        return self.image_builder.declare(name, size, init)
+
+    def start_main(self):
+        """Seal the image, snapshot it, and enter ``main``.
+
+        Returns the bootstrap compartment (the original process), which
+        holds uid 0, root ``/``, the unconfined SID, and a live (non-COW)
+        mapping of the globals image.
+        """
+        if self.main is not None:
+            raise WedgeError("start_main called twice")
+        self.image = self.image_builder.seal(self.space)
+        self.boundary.materialise_all(self.space)
+        ctx = SecurityContext()
+        main = self._new_compartment("main", ctx, uid=0, root="/",
+                                     sel_sid=UNCONFINED, kind="process")
+        main.table.map_segment(self.image.segment, PROT_RW)
+        self._give_private_regions(main)
+        main.fdtable = FdTable()
+        main.status = "running"
+        self.main = main
+        self._stack().append(main)
+        return main
+
+    def _new_compartment(self, name, ctx, *, uid, root, sel_sid, kind,
+                         parent=None):
+        with self._spawn_lock:
+            sid = self._next_sthread_id
+            self._next_sthread_id += 1
+        st = Sthread(sid, name, ctx, uid=uid, root=root, sel_sid=sel_sid,
+                     kind=kind, parent=parent)
+        self.sthreads.append(st)
+        return st
+
+    def _give_private_regions(self, st, *, heap_size=HEAP_SIZE,
+                              stack_size=STACK_SIZE):
+        """Create and map the compartment's private heap and stack."""
+        heap_seg = self.space.create_segment(
+            heap_size, name=f"{st.name}:heap", kind="heap")
+        stack_seg = self.space.create_segment(
+            stack_size, name=f"{st.name}:stack", kind="stack")
+        st.heap_segment = heap_seg
+        st.stack_segment = stack_seg
+        st.table.map_segment(heap_seg, PROT_RW, costs=self.costs)
+        st.table.map_segment(stack_seg, PROT_RW, costs=self.costs)
+        self.costs.charge("segment_create", 2)
+        self._heap_for(st).format()
+
+    def _heap_for(self, st):
+        view = TableView(self.bus, st.table, st.heap_segment,
+                         st.heap_segment.size)
+        from repro.core.allocator import Heap
+        return Heap(view, st.heap_segment.size, costs=self.costs)
+
+    # ------------------------------------------------------------------
+    # compartment context tracking
+    # ------------------------------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def current(self):
+        """The compartment executing on this OS thread."""
+        stack = self._stack()
+        if not stack:
+            if self.main is None:
+                raise WedgeError("kernel not booted: call start_main()")
+            return self.main
+        return stack[-1]
+
+    def caller(self):
+        """The compartment that invoked the current callgate.
+
+        Used by authentication callgates to promote their caller's uid
+        and filesystem root on success (paper section 5.2).
+        """
+        stack = self._stack()
+        if len(stack) < 2:
+            raise WedgeError("no caller: not inside a callgate")
+        return stack[-2]
+
+    class _AsCurrent:
+        def __init__(self, kernel, st):
+            self.kernel = kernel
+            self.st = st
+
+        def __enter__(self):
+            self.kernel._stack().append(self.st)
+            return self.st
+
+        def __exit__(self, *exc):
+            self.kernel._stack().pop()
+            return False
+
+    def _as_current(self, st):
+        return self._AsCurrent(self, st)
+
+    # ------------------------------------------------------------------
+    # syscall gate (SELinux-lite)
+    # ------------------------------------------------------------------
+
+    def _syscall(self, name):
+        """Charge the trap and run the SELinux check for the caller."""
+        self.costs.charge("syscall")
+        st = self.current()
+        self.selinux.check_syscall(st.sel_sid, name)
+        return st
+
+    # ------------------------------------------------------------------
+    # memory: loads/stores, tags, allocators
+    # ------------------------------------------------------------------
+
+    def mem_read(self, addr, size):
+        """Load *size* bytes under the current compartment's protections."""
+        return self.bus.read(self.current().table, addr, size)
+
+    def mem_write(self, addr, data):
+        """Store bytes under the current compartment's protections."""
+        self.bus.write(self.current().table, addr, bytes(data))
+
+    def tag_new(self, size=DEFAULT_TAG_SIZE, *, name=""):
+        """Create a tag; the creator gets read-write access implicitly."""
+        st = self.current()
+        # the cached-reuse fast path deliberately avoids the kernel trap;
+        # TagManager charges the syscall only on the fresh path
+        self.selinux.check_syscall(st.sel_sid, "tag_new")
+        tag = self.tags.tag_new(size, name=name)
+        st.ctx.mem[tag.id] = PROT_RW
+        st.table.map_segment(tag.segment, PROT_RW, costs=self.costs)
+        return tag
+
+    def tag_delete(self, tag):
+        # deleting into the userland cache avoids the kernel trap; the
+        # TagManager charges the syscall only when it really unmaps
+        st = self.current()
+        self.selinux.check_syscall(st.sel_sid, "tag_delete")
+        tag = self.tags.resolve(tag)
+        if st.ctx.mem.get(tag.id) is None:
+            raise TagError(f"{st.name} holds no access to tag {tag.id}")
+        st.table.unmap_segment(tag.segment)
+        st.ctx.mem.pop(tag.id, None)
+        self.tags.tag_delete(tag)
+
+    def adopt_boundary_segment(self, segment):
+        """Wrap an existing boundary section in a tag (kernel-internal).
+
+        Used by ``BOUNDARY_TAG``: the section already exists in the ELF
+        image; the tag merely names it so policies can grant it.  The
+        current compartment receives read-write access, like ``tag_new``.
+        """
+        st = self.current()
+        tag = self.tags.adopt(segment)
+        st.ctx.mem[tag.id] = PROT_RW
+        st.table.map_segment(segment, PROT_RW, costs=self.costs)
+        return tag
+
+    def smalloc(self, size, tag):
+        """Allocate *size* bytes of memory carrying *tag*."""
+        st = self.current()
+        tag = self.tags.resolve(tag)
+        prot = st.ctx.mem.get(tag.id, 0)
+        self.costs.charge("policy_check")
+        if not prot & PROT_READ or not prot & 2:  # needs RW to manage heap
+            raise PolicyError(
+                f"{st.name} lacks read-write access to tag {tag.id} "
+                f"and so cannot smalloc from it")
+        if tag.heap is None:
+            raise TagError(f"tag {tag.id} is a boundary section; "
+                           f"it cannot back smalloc")
+        self._check_quota(st, size)
+        from repro.core.allocator import Heap
+        view = TableView(self.bus, st.table, tag.segment, tag.segment.size)
+        heap = Heap(view, tag.segment.size, costs=self.costs)
+        with tag.lock:
+            offset = heap.alloc(size)
+        addr = tag.segment.base + offset
+        self._fire_alloc("alloc", addr, size, tag.segment, st)
+        return addr
+
+    def malloc(self, size):
+        """Allocate from the private heap — or, under ``smalloc_on``,
+        from the active tag (paper section 3.2's legacy-tagging aid)."""
+        st = self.current()
+        if st.smalloc_tag is not None:
+            return self.smalloc(size, st.smalloc_tag)
+        self._check_quota(st, size)
+        heap = self._heap_for(st)
+        offset = heap.alloc(size)
+        addr = st.heap_segment.base + offset
+        self._fire_alloc("alloc", addr, size, st.heap_segment, st)
+        return addr
+
+    def sfree(self, addr):
+        """Free a tagged or private-heap allocation by address."""
+        st = self.current()
+        segment, offset = self.space.find(addr)
+        from repro.core.allocator import Heap
+        if segment.tag_id is not None:
+            tag = self.tags.get(segment.tag_id)
+            if tag is None:
+                raise TagError(f"address 0x{addr:x} belongs to a deleted tag")
+            prot = st.ctx.mem.get(tag.id, 0)
+            if not prot & 2:
+                raise PolicyError(
+                    f"{st.name} lacks write access to tag {tag.id}")
+            view = TableView(self.bus, st.table, segment, segment.size)
+            with tag.lock:
+                Heap(view, segment.size, costs=self.costs).free(offset)
+        elif segment is st.heap_segment:
+            self._heap_for(st).free(offset)
+        else:
+            raise TagError(
+                f"address 0x{addr:x} is not a heap allocation of {st.name}")
+        self._fire_alloc("free", addr, 0, segment, st)
+
+    #: ``free`` is an alias: the LD_PRELOAD shim routes both names here.
+    free = sfree
+
+    def smalloc_on(self, tag):
+        """Route subsequent ``malloc`` calls to *tag* (paper section 4.1).
+
+        Per the paper, this is a single per-sthread flag: not recursive,
+        not signal- or thread-safe within one sthread.  Use
+        :meth:`smalloc_state` / :meth:`smalloc_restore` to save and
+        restore around signal handlers or recursion.
+        """
+        st = self.current()
+        tag = self.tags.resolve(tag)
+        if st.smalloc_tag is not None:
+            raise WedgeError(
+                "smalloc_on is not recursive (paper section 4.1); "
+                "save and restore the state instead")
+        st.smalloc_tag = tag
+
+    def smalloc_off(self):
+        st = self.current()
+        if st.smalloc_tag is None:
+            raise WedgeError("smalloc_off without smalloc_on")
+        st.smalloc_tag = None
+
+    def smalloc_state(self):
+        return self.current().smalloc_tag
+
+    def smalloc_restore(self, state):
+        self.current().smalloc_tag = state
+
+    def alloc_buf(self, size, tag=None, init=None):
+        """Allocate and return a :class:`Buffer` (tagged if *tag* given)."""
+        addr = self.malloc(size) if tag is None else self.smalloc(size, tag)
+        buf = Buffer(self, addr, size)
+        if init is not None:
+            buf.write(init)
+        return buf
+
+    def _fire_alloc(self, event, addr, size, segment, st):
+        if event == "alloc":
+            self.live_allocations[addr] = (size, segment)
+            st.alloc_bytes += size
+        else:
+            freed = self.live_allocations.pop(addr, None)
+            if freed is not None:
+                st.alloc_bytes = max(0, st.alloc_bytes - freed[0])
+        for hook in self.alloc_hooks:
+            hook(event, addr, size, segment, st)
+
+    def _check_quota(self, st, size):
+        """Enforce the compartment's allocation cap, if it has one.
+
+        An extension beyond the paper (which offers no DoS protection,
+        §7): an exploited compartment cannot consume unbounded memory.
+        """
+        quota = st.ctx.mem_quota
+        if quota is not None and st.alloc_bytes + size > quota:
+            from repro.core.errors import QuotaExceeded
+            raise QuotaExceeded(
+                f"{st.name}: allocation of {size} bytes exceeds its "
+                f"{quota}-byte quota ({st.alloc_bytes} in use)")
+
+    # -- stack allocations (Crowbar's stack category) ---------------------
+
+    class _StackFrame:
+        def __init__(self, kernel, name):
+            self.kernel = kernel
+            self.name = name
+
+        def __enter__(self):
+            self.kernel.current().push_frame(self.name)
+            return self
+
+        def __exit__(self, *exc):
+            self.kernel.current().pop_frame()
+            return False
+
+    def stack_frame(self, func_name):
+        """Context manager declaring a simulated stack frame."""
+        return self._StackFrame(self, func_name)
+
+    def stack_alloc(self, size):
+        """Bump-allocate in the current frame (``alloca`` equivalent)."""
+        st = self.current()
+        if not st.stack_frames:
+            raise WedgeError("stack_alloc outside a stack_frame")
+        self._check_quota(st, size)
+        size = (size + 7) & ~7
+        if st.stack_sp + size > st.stack_segment.size:
+            raise WedgeError(f"stack overflow in {st.name}")
+        addr = st.stack_segment.base + st.stack_sp
+        st.stack_sp += size
+        self._fire_alloc("alloc", addr, size, st.stack_segment, st)
+        return addr
+
+    # ------------------------------------------------------------------
+    # sthreads, fork, pthreads
+    # ------------------------------------------------------------------
+
+    def sthread_create(self, sc, body, arg=None, *, name="",
+                       spawn="thread", emulate=False):
+        """Create a compartment with exactly the privileges in *sc*.
+
+        ``spawn="thread"`` runs *body* concurrently; ``spawn="inline"``
+        runs it to completion before returning (deterministic mode).
+        ``emulate=True`` uses the sthread emulation library: the child
+        gets grant-all memory and its violations are recorded on
+        ``child.table.violations`` instead of killing it (paper §3.4).
+        """
+        parent = self._syscall("sthread_create")
+        check_subset_of(sc, parent, self.selinux)
+        child = self._build_sthread(sc, parent, name=name or None,
+                                    kind="sthread")
+        child.table.emulation = emulate
+        self.costs.charge("task_create")
+        self._start(child, body, arg, spawn)
+        return child
+
+    def _build_sthread(self, sc, parent, *, name, kind):
+        """Construct the compartment state for a bound security context."""
+        uid = sc.uid if sc.uid is not None else parent.uid
+        root = sc.root if sc.root is not None else parent.root
+        sel_sid = sc.sid if sc.sid is not None else parent.sel_sid
+        ctx = SecurityContext(uid=uid, root=root, sid=sel_sid,
+                              mem_quota=sc.mem_quota)
+        ctx.mem = dict(sc.mem)
+        ctx.fds = dict(sc.fds)
+        child = self._new_compartment(
+            name or f"sthread{self._next_sthread_id}", ctx, uid=uid,
+            root=root, sel_sid=sel_sid, kind=kind, parent=parent)
+        self.costs.charge("mm_create")
+        # COW view of the pristine pre-main snapshot (paper section 4.1)
+        child.table.map_segment(self.image.segment,
+                                PROT_READ | PROT_COW, costs=self.costs,
+                                frames=self.image.snapshot_frames)
+        self._give_private_regions(child)
+        # policy-granted tagged memory
+        for tag_id, prot in sc.mem.items():
+            tag = self.tags.resolve(tag_id)
+            child.table.map_segment(tag.segment, prot, costs=self.costs)
+        # policy-granted descriptors
+        child.fdtable = parent.fdtable.dup_subset(sc.fds, costs=self.costs)
+        # callgates: new instantiations plus delegated existing gates
+        for spec in sc.gate_specs:
+            record = self._instantiate_gate(spec, parent)
+            child.gates.add(record.id)
+        for gate_id in sc.gate_ids:
+            child.gates.add(gate_id)
+        return child
+
+    def _start(self, child, body, arg, spawn):
+        if spawn == "inline":
+            child.run_body(self, body, arg)
+        elif spawn == "thread":
+            child.start_thread(self, body, arg)
+        else:
+            raise WedgeError(f"unknown spawn mode {spawn!r}")
+
+    def sthread_join(self, st, timeout=30.0):
+        """Wait for *st*; returns its result (``None`` if it faulted)."""
+        result = st.join(timeout)
+        self.costs.charge("task_destroy")
+        if st.kind != "pthread":  # pthreads share the mm; nothing to tear down
+            self.costs.charge("mm_destroy")
+        return result
+
+    def fork(self, body, arg=None, *, name="", spawn="thread"):
+        """UNIX fork: the child inherits *everything* — which is the
+        paper's core criticism of processes as compartments."""
+        parent = self._syscall("fork")
+        ctx = parent.ctx.copy()
+        child = self._new_compartment(name or f"{parent.name}:fork", ctx,
+                                      uid=parent.uid, root=parent.root,
+                                      sel_sid=parent.sel_sid,
+                                      kind="process", parent=parent)
+        self.costs.charge("task_create")
+        self.costs.charge("mm_create")
+        child.table = parent.table.clone(costs=self.costs,
+                                         owner_name=child.name)
+        # private (non-shared) regions become COW on both sides
+        for table in (parent.table, child.table):
+            for pte in table.entries.values():
+                if pte.segment.kind in ("heap", "stack", "globals") \
+                        and pte.prot & 2:
+                    pte.prot = PROT_READ | PROT_COW
+                    self.costs.charge("cow_mark")
+        child.heap_segment = parent.heap_segment
+        child.stack_segment = parent.stack_segment
+        child.stack_sp = parent.stack_sp
+        child.stack_frames = list(parent.stack_frames)
+        child.fdtable = parent.fdtable.dup_all(costs=self.costs)
+        child.gates = set(parent.gates)
+        self._start(child, body, arg, spawn)
+        return child
+
+    def pthread_create(self, body, arg=None, *, name="", spawn="thread"):
+        """POSIX thread: shares the address space, fds and privileges."""
+        parent = self._syscall("pthread_create")
+        child = self._new_compartment(name or f"{parent.name}:pthread",
+                                      parent.ctx, uid=parent.uid,
+                                      root=parent.root,
+                                      sel_sid=parent.sel_sid,
+                                      kind="pthread", parent=parent)
+        self.costs.charge("task_create")
+        child.table = parent.table            # shared address space
+        child.fdtable = parent.fdtable
+        child.gates = parent.gates
+        child.heap_segment = parent.heap_segment
+        # pthreads do get their own stack
+        stack_seg = self.space.create_segment(
+            STACK_SIZE, name=f"{child.name}:stack", kind="stack")
+        child.stack_segment = stack_seg
+        parent.table.map_segment(stack_seg, PROT_RW, costs=self.costs)
+        self._start(child, body, arg, spawn)
+        return child
+
+    # ------------------------------------------------------------------
+    # callgates
+    # ------------------------------------------------------------------
+
+    def _instantiate_gate(self, spec, creator):
+        """Create the kernel-side record for a callgate spec.
+
+        The gate's permissions must be a subset of its *creator's* (paper
+        section 3.3), and the record captures the creator's uid, root and
+        SID plus resolved descriptor objects so the eventual caller can
+        tamper with none of them.
+        """
+        if spec.gate_sc.gate_specs:
+            raise PolicyError(
+                "a callgate's context may delegate existing gates but "
+                "not define new ones")
+        check_subset_of(spec.gate_sc, creator, self.selinux,
+                        what="callgate")
+        fd_files = []
+        for fd, perms in spec.gate_sc.fds.items():
+            entry = creator.fdtable.lookup(fd)
+            fd_files.append((fd, entry.file, perms))
+        with self._spawn_lock:
+            gate_id = self._next_gate_id
+            self._next_gate_id += 1
+        record = CallgateRecord(
+            gate_id, spec.entry, spec.gate_sc, spec.trusted_arg,
+            creator_uid=creator.uid, creator_root=creator.root,
+            creator_sid=(spec.gate_sc.sid or creator.sel_sid),
+            fd_files=fd_files, recycled=spec.recycled)
+        self._gates[gate_id] = record
+        return record
+
+    def create_gate(self, entry, gate_sc, trusted_arg=None, *,
+                    recycled=False):
+        """Create a callgate for the *current* compartment.
+
+        The paper's primary idiom: "after a privileged sthread creates a
+        callgate, it may spawn a child sthread with reduced privilege,
+        but grant that child permission to invoke the callgate" (section
+        3.3).  The creator itself receives invocation rights; delegate to
+        children with ``sc_cgate_add(sc, gate.id)``.
+        """
+        from repro.core.policy import CallgateSpec
+        creator = self.current()
+        spec = CallgateSpec(entry, gate_sc, trusted_arg, recycled=recycled)
+        record = self._instantiate_gate(spec, creator)
+        creator.gates.add(record.id)
+        return record
+
+    def cgate(self, gate_id, perms=None, arg=None):
+        """Invoke a callgate (paper Table 1's ``cgate``).
+
+        *perms* grants the gate additional access from the *caller's* own
+        privileges — normally read access to the tag holding *arg* — and
+        is validated as a subset of the caller's permissions.  The caller
+        blocks until the gate returns.
+        """
+        caller = self._syscall("cgate")
+        self.costs.charge("cgate_lookup")
+        record = self._gates.get(int(gate_id))
+        if record is None:
+            raise CallgateError(f"no such callgate: {gate_id}")
+        if record.id not in caller.gates:
+            raise CallgateError(
+                f"{caller.name} has not been granted callgate "
+                f"{record.name!r}")
+        if perms is not None:
+            check_subset_of(perms, caller, self.selinux,
+                            what="cgate arg perms")
+            if perms.gate_specs or perms.gate_ids:
+                raise PolicyError("cgate arg perms cannot carry callgates")
+        record.invocations += 1
+        if record.recycled:
+            return self._invoke_recycled(record, caller, perms, arg)
+        return self._invoke_fresh(record, caller, perms, arg)
+
+    def _gate_base_context(self, record):
+        ctx = SecurityContext(uid=record.creator_uid,
+                              root=record.creator_root,
+                              sid=record.creator_sid,
+                              mem_quota=record.sc.mem_quota)
+        ctx.mem = dict(record.sc.mem)
+        ctx.fds = dict(record.sc.fds)
+        gate = self._new_compartment(
+            f"cg:{record.name}", ctx, uid=record.creator_uid,
+            root=record.creator_root, sel_sid=record.creator_sid,
+            kind="callgate")
+        self.costs.charge("mm_create")
+        gate.table.map_segment(self.image.segment,
+                               PROT_READ | PROT_COW, costs=self.costs,
+                               frames=self.image.snapshot_frames)
+        self._give_private_regions(gate)
+        for tag_id, prot in record.sc.mem.items():
+            tag = self.tags.resolve(tag_id)
+            gate.table.map_segment(tag.segment, prot, costs=self.costs)
+        gate.fdtable = FdTable()
+        for fd, file, fperms in record.fd_files:
+            gate.fdtable.install(file, fperms, fd=fd)
+            self.costs.charge("fd_copy")
+        gate.gates = set(record.sc.gate_ids)
+        return gate
+
+    def _apply_caller_perms(self, gate, caller, perms):
+        """Map the caller-supplied extra grants into the gate."""
+        if perms is None:
+            return []
+        mapped = []
+        for tag_id, prot in perms.mem.items():
+            tag = self.tags.resolve(tag_id)
+            if tag_id in gate.ctx.mem:
+                continue
+            gate.table.map_segment(tag.segment, prot, costs=self.costs)
+            gate.ctx.mem[tag_id] = prot
+            mapped.append(tag)
+        for fd, fperms in perms.fds.items():
+            entry = caller.fdtable.lookup(fd)
+            gate.fdtable.install(entry.file, fperms, fd=fd)
+        return mapped
+
+    def _run_gate(self, gate, record, arg):
+        gate.status = "running"
+        with self._as_current(gate):
+            try:
+                result = record.entry(record.trusted_arg, arg)
+                gate.status = "exited"
+                return result
+            except CompartmentFault as fault:
+                gate.fault = fault
+                gate.status = "faulted"
+                raise CallgateError(
+                    f"callgate {record.name!r} faulted: {fault}") from fault
+
+    def _invoke_fresh(self, record, caller, perms, arg):
+        self.costs.charge("task_create")
+        gate = self._gate_base_context(record)
+        self._apply_caller_perms(gate, caller, perms)
+        try:
+            return self._run_gate(gate, record, arg)
+        finally:
+            gate.fdtable.close_all()
+            self.costs.charge("task_destroy")
+            self.costs.charge("mm_destroy")
+
+    def _invoke_recycled(self, record, caller, perms, arg):
+        """Recycled gates reuse one long-lived compartment (paper §3.3).
+
+        Only a futex round trip is charged per call.  The persistent
+        private heap is *not* scrubbed between invocations — the isolation
+        trade-off the paper warns about, demonstrated in the tests.
+        """
+        self.costs.charge("futex_roundtrip")
+        if record.persistent is None:
+            # first use pays the construction cost, amortised thereafter
+            self.costs.charge("task_create")
+            record.persistent = self._gate_base_context(record)
+        gate = record.persistent
+        mapped = self._apply_caller_perms(gate, caller, perms)
+        extra_fds = list(perms.fds) if perms is not None else []
+        try:
+            return self._run_gate(gate, record, arg)
+        finally:
+            for tag in mapped:
+                gate.table.unmap_segment(tag.segment)
+                gate.ctx.mem.pop(tag.id, None)
+            for fd in extra_fds:
+                if fd in gate.fdtable:
+                    gate.fdtable.close(fd)
+            if gate.status == "faulted":
+                record.persistent = None  # a dead gate is not reused
+            else:
+                gate.status = "running"
+
+    def gate_record(self, gate_id):
+        return self._gates.get(int(gate_id))
+
+    # ------------------------------------------------------------------
+    # identity syscalls
+    # ------------------------------------------------------------------
+
+    def getuid(self):
+        return self.current().uid
+
+    def setuid(self, uid):
+        st = self._syscall("setuid")
+        if st.uid != 0 and uid != st.uid:
+            raise SyscallDenied(f"setuid({uid}) as uid {st.uid}",
+                                syscall="setuid", sid=st.sel_sid)
+        st.uid = uid
+
+    def chroot(self, path):
+        st = self._syscall("chroot")
+        if st.uid != 0:
+            raise SyscallDenied("chroot requires uid 0", syscall="chroot",
+                                sid=st.sel_sid)
+        st.root = self.vfs.resolve(st.root, path)
+
+    def promote(self, target, *, uid=None, root=None):
+        """Change another compartment's uid/root — the authentication-
+        callgate idiom (paper section 5.2, crediting Privtrans)."""
+        st = self.current()
+        if st.uid != 0:
+            raise SyscallDenied("promote requires uid 0",
+                                syscall="promote", sid=st.sel_sid)
+        if uid is not None:
+            target.uid = uid
+            target.ctx.uid = uid
+        if root is not None:
+            target.root = root
+            target.ctx.root = root
+
+    # ------------------------------------------------------------------
+    # files
+    # ------------------------------------------------------------------
+
+    def open(self, path, mode="r"):
+        """Open a VFS file; returns an fd with matching permission bits."""
+        st = self._syscall("open")
+        real = self.vfs.resolve(st.root, path)
+        if mode == "r":
+            node = self.vfs.open_read(real, st.uid)
+            file = VfsOpenFile(node, real)
+            return st.fdtable.install(file, FD_READ)
+        if mode in ("w", "a"):
+            node = self.vfs.open_write(real, st.uid,
+                                       truncate=(mode == "w"))
+            file = VfsOpenFile(node, real, append=(mode == "a"))
+            return st.fdtable.install(file, FD_WRITE)
+        if mode == "rw":
+            node = self.vfs.open_write(real, st.uid)
+            if not node.readable_by(st.uid):
+                raise VfsError(f"permission denied reading {real}")
+            return st.fdtable.install(VfsOpenFile(node, real), FD_RW)
+        raise VfsError(f"bad open mode {mode!r}")
+
+    def read(self, fd, size):
+        st = self._syscall("read")
+        entry = st.fdtable.lookup(fd, needed=FD_READ)
+        return entry.file.read(size)
+
+    def write(self, fd, data):
+        st = self._syscall("write")
+        entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        return entry.file.write(bytes(data))
+
+    def close(self, fd):
+        st = self._syscall("close")
+        st.fdtable.close(fd)
+
+    def pipe(self):
+        """Create a pipe; returns ``(read_fd, write_fd)``."""
+        st = self._syscall("pipe")
+        stream = ByteStream("pipe")
+        rfd = st.fdtable.install(PipeOpenFile(stream, readable=True),
+                                 FD_READ)
+        wfd = st.fdtable.install(PipeOpenFile(stream, readable=False),
+                                 FD_WRITE)
+        return rfd, wfd
+
+    # ------------------------------------------------------------------
+    # network
+    # ------------------------------------------------------------------
+
+    def _need_net(self):
+        if self.net is None:
+            raise WedgeError("kernel has no network attached")
+        return self.net
+
+    def listen(self, addr):
+        st = self._syscall("listen")
+        listener = self._need_net().listen(addr)
+        return st.fdtable.install(ListenerOpenFile(listener), FD_READ)
+
+    def accept(self, listen_fd, timeout=30.0):
+        st = self._syscall("accept")
+        entry = st.fdtable.lookup(listen_fd, needed=FD_READ)
+        sock = entry.file.listener.accept(timeout)
+        return st.fdtable.install(SocketOpenFile(sock), FD_RW)
+
+    def connect(self, addr):
+        st = self._syscall("connect")
+        sock = self._need_net().connect(addr)
+        return st.fdtable.install(SocketOpenFile(sock), FD_RW)
+
+    def send(self, fd, data):
+        st = self._syscall("send")
+        entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        return entry.file.write(bytes(data))
+
+    def recv(self, fd, size, timeout=None):
+        st = self._syscall("recv")
+        entry = st.fdtable.lookup(fd, needed=FD_READ)
+        if timeout is not None and entry.file.kind == "socket":
+            data = entry.file.sock.recv(size, timeout)
+            if data is None:
+                from repro.core.errors import ConnectionClosed
+                raise ConnectionClosed("peer closed the connection")
+            return data
+        return entry.file.read(size)
+
+    def recv_exact(self, fd, size, timeout=30.0):
+        """Framing helper: exactly *size* bytes or ConnectionClosed."""
+        out = bytearray()
+        while len(out) < size:
+            out += self.recv(fd, size - len(out), timeout)
+        return bytes(out)

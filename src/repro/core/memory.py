@@ -1,0 +1,423 @@
+"""Simulated physical memory, segments, page tables and the memory bus.
+
+This module is the simulation's stand-in for the MMU.  All application
+state that matters for isolation lives in :class:`Segment` objects inside a
+single kernel-wide :class:`AddressSpace`.  Each sthread owns a
+:class:`PageTable`; every load and store issued on behalf of an sthread
+goes through :class:`MemoryBus`, which resolves the address through that
+page table and enforces the page protections — raising
+:class:`~repro.core.errors.MemoryViolation` exactly where real hardware
+would deliver a page fault.
+
+Copy-on-write is modelled at page granularity: a PTE carrying
+:data:`PROT_COW` shares the pristine frame until the first write, at which
+point the frame is copied privately into that page table (and the copy is
+charged to the cost account).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+from repro.core.errors import BadAddress, MemoryViolation
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+#: Page / tag protection bits.  Wedge has no write-only memory (paper
+#: section 3.1): :data:`PROT_WRITE` alone is rejected at the policy layer.
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_RW = PROT_READ | PROT_WRITE
+PROT_COW = 4  # readable; private copy made on first write
+
+_PROT_NAMES = {
+    PROT_NONE: "none",
+    PROT_READ: "r",
+    PROT_WRITE: "w",
+    PROT_RW: "rw",
+    PROT_COW: "cow",
+    PROT_READ | PROT_COW: "cow",
+}
+
+
+def prot_name(prot):
+    """Human-readable name for a protection value (for logs and errors)."""
+    return _PROT_NAMES.get(prot, f"prot({prot})")
+
+
+def page_count(size):
+    """Number of pages needed to back *size* bytes."""
+    return (size + PAGE_SIZE - 1) >> PAGE_SHIFT
+
+
+class Frame:
+    """One 4 KiB physical frame."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data=None):
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise ValueError("frame data must be exactly one page")
+            self.data = bytearray(data)
+
+    def copy(self):
+        return Frame(self.data)
+
+
+class Segment:
+    """A contiguous, page-aligned region of the simulated address space.
+
+    Segments are the unit of tagging: a tag maps to one segment (paper
+    section 3.2, ``tag_new`` behaves like anonymous mmap).  ``kind`` is a
+    descriptive label: ``"tag"``, ``"heap"``, ``"stack"``, ``"globals"``,
+    ``"boundary"``.
+    """
+
+    def __init__(self, seg_id, base, size, *, name="", kind="anon",
+                 tag_id=None):
+        if base % PAGE_SIZE:
+            raise ValueError("segment base must be page aligned")
+        self.id = seg_id
+        self.base = base
+        self.size = size
+        self.npages = page_count(size)
+        self.name = name
+        self.kind = kind
+        self.tag_id = tag_id
+        self.frames = [Frame() for _ in range(self.npages)]
+        self.live = True
+
+    @property
+    def limit(self):
+        """One past the last mapped byte (page-granular)."""
+        return self.base + self.npages * PAGE_SIZE
+
+    def contains(self, addr):
+        return self.base <= addr < self.limit
+
+    # -- kernel-level raw access (bypasses page tables) -------------------
+    #
+    # Used by trusted runtime components that conceptually live inside the
+    # kernel or operate on memory before any sthread exists (snapshotting,
+    # tag scrubbing).  Application code never calls these; it goes through
+    # MemoryBus.
+
+    def read_raw(self, offset, size):
+        if offset < 0 or offset + size > self.npages * PAGE_SIZE:
+            raise BadAddress(f"raw read outside segment {self.name!r}",
+                             addr=self.base + offset, op="read")
+        out = bytearray()
+        while size:
+            page, off = divmod(offset, PAGE_SIZE)
+            take = min(size, PAGE_SIZE - off)
+            out += self.frames[page].data[off:off + take]
+            offset += take
+            size -= take
+        return bytes(out)
+
+    def write_raw(self, offset, data):
+        if offset < 0 or offset + len(data) > self.npages * PAGE_SIZE:
+            raise BadAddress(f"raw write outside segment {self.name!r}",
+                             addr=self.base + offset, op="write")
+        pos = 0
+        while pos < len(data):
+            page, off = divmod(offset + pos, PAGE_SIZE)
+            take = min(len(data) - pos, PAGE_SIZE - off)
+            self.frames[page].data[off:off + take] = data[pos:pos + take]
+            pos += take
+
+    def snapshot_frames(self):
+        """Deep-copy the backing frames (used for the pre-main snapshot)."""
+        return [frame.copy() for frame in self.frames]
+
+    def __repr__(self):
+        return (f"<Segment #{self.id} {self.name!r} kind={self.kind} "
+                f"base=0x{self.base:x} size={self.size}>")
+
+
+class AddressSpace:
+    """Kernel-wide registry of segments and allocator of base addresses.
+
+    Bases are handed out bump-pointer style with a one-page guard gap, so
+    no two segments are ever adjacent — ``tag_new`` must not merge
+    neighbouring mappings (paper section 4.1) because they may be used in
+    different security contexts.
+    """
+
+    _BASE = 0x1000_0000
+
+    def __init__(self):
+        self._segments = {}
+        self._bases = []      # sorted bases for bisect lookup
+        self._by_base = {}
+        self._next_base = self._BASE
+        self._next_id = 1
+        # creation/destruction may happen from concurrent masters
+        self._lock = threading.Lock()
+
+    def create_segment(self, size, *, name="", kind="anon", tag_id=None):
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        with self._lock:
+            base = self._next_base
+            seg = Segment(self._next_id, base, size, name=name,
+                          kind=kind, tag_id=tag_id)
+            self._next_id += 1
+            # guard page gap after the segment
+            self._next_base = seg.limit + PAGE_SIZE
+            self._segments[seg.id] = seg
+            bisect.insort(self._bases, base)
+            self._by_base[base] = seg
+            return seg
+
+    def destroy_segment(self, seg):
+        with self._lock:
+            if not seg.live:
+                return
+            seg.live = False
+            del self._segments[seg.id]
+            self._bases.remove(seg.base)
+            del self._by_base[seg.base]
+
+    def find(self, addr):
+        """Resolve *addr* to ``(segment, offset)`` or raise BadAddress."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            seg = self._by_base[self._bases[idx]]
+            if seg.contains(addr):
+                return seg, addr - seg.base
+        raise BadAddress(f"address 0x{addr:x} is not mapped by any segment",
+                         addr=addr)
+
+    def segments(self):
+        return list(self._segments.values())
+
+    def __len__(self):
+        return len(self._segments)
+
+
+class PTE:
+    """One page-table entry: a frame reference plus protection bits."""
+
+    __slots__ = ("frame", "prot", "segment")
+
+    def __init__(self, frame, prot, segment):
+        self.frame = frame
+        self.prot = prot
+        self.segment = segment
+
+    def copy(self):
+        return PTE(self.frame, self.prot, self.segment)
+
+
+class PageTable:
+    """Per-sthread virtual-to-physical mapping with protections.
+
+    ``emulation`` switches the table into the sthread emulation library's
+    grant-all mode: violations are recorded on ``violations`` instead of
+    raised, so Crowbar can report every missing permission in one run
+    (paper section 3.4).
+    """
+
+    def __init__(self, owner_name=""):
+        self.entries = {}   # absolute page number -> PTE
+        self.owner_name = owner_name
+        self.emulation = False
+        self.violations = []
+
+    # -- construction ------------------------------------------------------
+
+    def map_segment(self, seg, prot, *, costs=None, frames=None):
+        """Map every page of *seg* with *prot*.
+
+        *frames* overrides the segment's own frames (used to map the
+        pristine snapshot image rather than the live globals).
+        """
+        source = frames if frames is not None else seg.frames
+        first_page = seg.base >> PAGE_SHIFT
+        for i in range(seg.npages):
+            self.entries[first_page + i] = PTE(source[i], prot, seg)
+        if costs is not None:
+            costs.charge("pte_copy", seg.npages)
+            if prot & PROT_COW:
+                costs.charge("cow_mark", seg.npages)
+        return seg.npages
+
+    def unmap_segment(self, seg):
+        first_page = seg.base >> PAGE_SHIFT
+        for i in range(seg.npages):
+            self.entries.pop(first_page + i, None)
+
+    def clone(self, *, costs=None, owner_name=""):
+        """Full copy of this table (what ``fork`` does)."""
+        other = PageTable(owner_name=owner_name)
+        for pageno, pte in self.entries.items():
+            other.entries[pageno] = pte.copy()
+        if costs is not None:
+            costs.charge("pte_copy", len(self.entries))
+        return other
+
+    def mark_all_cow(self, *, costs=None):
+        """Downgrade every writable mapping to COW (fork semantics)."""
+        marked = 0
+        for pte in self.entries.values():
+            if pte.prot & PROT_WRITE:
+                pte.prot = PROT_READ | PROT_COW
+                marked += 1
+        if costs is not None and marked:
+            costs.charge("cow_mark", marked)
+        return marked
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, pageno):
+        return self.entries.get(pageno)
+
+    def mapped_segments(self):
+        return {id(pte.segment): pte.segment for pte in
+                self.entries.values()}.values()
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class MemoryBus:
+    """The load/store path: resolves, checks, and (optionally) traces.
+
+    ``hooks`` is the Crowbar attachment point: each hook is called as
+    ``hook(op, table, addr, size, segment, offset)`` for every access that
+    passes the permission check (and for emulated violations).
+    """
+
+    def __init__(self, space, costs):
+        self.space = space
+        self.costs = costs
+        self.hooks = []
+
+    # -- hook management ----------------------------------------------------
+
+    def add_hook(self, hook):
+        self.hooks.append(hook)
+
+    def remove_hook(self, hook):
+        self.hooks.remove(hook)
+
+    def _fire(self, op, table, addr, size, segment, offset):
+        for hook in self.hooks:
+            hook(op, table, addr, size, segment, offset)
+
+    # -- faults -------------------------------------------------------------
+
+    def _violation(self, table, addr, op, message, segment=None):
+        fault = MemoryViolation(message, addr=addr, op=op,
+                                sthread=table.owner_name, segment=segment)
+        if table.emulation:
+            table.violations.append(fault)
+            return False
+        raise fault
+
+    # -- loads and stores ----------------------------------------------------
+
+    def read(self, table, addr, size):
+        """Read *size* bytes at *addr* under *table*'s protections."""
+        if size < 0:
+            raise ValueError("negative read size")
+        out = bytearray()
+        pos = addr
+        remaining = size
+        while remaining:
+            pageno, off = divmod(pos, PAGE_SIZE)
+            take = min(remaining, PAGE_SIZE - off)
+            pte = table.lookup(pageno)
+            if pte is None:
+                seg, seg_off = self._find_for_fault(pos)
+                denied = self._violation(
+                    table, pos, "read",
+                    f"sthread {table.owner_name!r} read of unmapped "
+                    f"address 0x{pos:x}"
+                    + (f" (segment {seg.name!r})" if seg else ""),
+                    segment=seg)
+                if not denied and seg is not None:
+                    # emulation mode: satisfy from the live segment
+                    out += seg.read_raw(seg_off, take)
+                    self._fire("read", table, pos, take, seg, seg_off)
+                    pos += take
+                    remaining -= take
+                    continue
+                out += b"\x00" * take
+                pos += take
+                remaining -= take
+                continue
+            if not pte.prot & PROT_READ:
+                self._violation(
+                    table, pos, "read",
+                    f"sthread {table.owner_name!r} read of "
+                    f"{prot_name(pte.prot)} page at 0x{pos:x} "
+                    f"(segment {pte.segment.name!r})",
+                    segment=pte.segment)
+            out += pte.frame.data[off:off + take]
+            self._fire("read", table, pos, take, pte.segment,
+                       pos - pte.segment.base)
+            pos += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, table, addr, data):
+        """Write *data* at *addr* under *table*'s protections (with COW)."""
+        pos = addr
+        view = memoryview(bytes(data))
+        offset = 0
+        total = len(view)
+        while offset < total:
+            pageno, page_off = divmod(pos, PAGE_SIZE)
+            take = min(total - offset, PAGE_SIZE - page_off)
+            pte = table.lookup(pageno)
+            if pte is None:
+                seg, seg_off = self._find_for_fault(pos)
+                denied = self._violation(
+                    table, pos, "write",
+                    f"sthread {table.owner_name!r} write to unmapped "
+                    f"address 0x{pos:x}"
+                    + (f" (segment {seg.name!r})" if seg else ""),
+                    segment=seg)
+                if not denied and seg is not None:
+                    seg.write_raw(seg_off, bytes(view[offset:offset + take]))
+                    self._fire("write", table, pos, take, seg, seg_off)
+                pos += take
+                offset += take
+                continue
+            if pte.prot & PROT_WRITE:
+                pass
+            elif pte.prot & PROT_COW:
+                # first write to a COW page: copy the frame privately
+                pte.frame = pte.frame.copy()
+                pte.prot = PROT_RW
+                self.costs.charge("page_copy")
+            else:
+                self._violation(
+                    table, pos, "write",
+                    f"sthread {table.owner_name!r} write to "
+                    f"{prot_name(pte.prot)} page at 0x{pos:x} "
+                    f"(segment {pte.segment.name!r})",
+                    segment=pte.segment)
+                pos += take
+                offset += take
+                continue
+            pte.frame.data[page_off:page_off + take] = view[offset:offset + take]
+            self._fire("write", table, pos, take, pte.segment,
+                       pos - pte.segment.base)
+            pos += take
+            offset += take
+
+    def _find_for_fault(self, addr):
+        """Best-effort resolve for diagnostics / emulation mode."""
+        try:
+            return self.space.find(addr)
+        except BadAddress:
+            return None, None

@@ -1,0 +1,195 @@
+"""Security contexts (the paper's ``sc_t``) and monotonicity rules.
+
+A :class:`SecurityContext` is the declarative policy a parent attaches to
+a new sthread (paper section 3.1): memory-tag permissions, file-descriptor
+permissions, callgate grants, and optionally a UNIX uid, filesystem root
+and SELinux SID.
+
+The kernel enforces monotonicity when the context is *bound* to a new
+sthread: a parent can only ever grant subsets of its own privileges.  The
+checks live here (:func:`check_subset_of`) and are called by
+``sthread_create`` and by callgate instantiation.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PolicyError
+from repro.core.memory import PROT_COW, PROT_READ, PROT_RW, PROT_WRITE
+
+#: File-descriptor permission bits.
+FD_READ = 1
+FD_WRITE = 2
+FD_RW = FD_READ | FD_WRITE
+
+_VALID_MEM_PROTS = {PROT_READ, PROT_RW, PROT_COW, PROT_COW | PROT_READ}
+
+
+def validate_mem_prot(prot):
+    """Reject invalid memory protections, notably write-only.
+
+    Most CPUs cannot express write-only pages, so Wedge refuses them
+    (paper section 3.1): the programmer must grant read-write instead.
+    """
+    if prot == PROT_WRITE:
+        raise PolicyError(
+            "write-only memory permissions are not supported; "
+            "grant read-write instead (paper section 3.1)")
+    if prot not in _VALID_MEM_PROTS:
+        raise PolicyError(f"invalid memory protection {prot!r}")
+    return prot | PROT_READ if prot & PROT_COW else prot
+
+
+class CallgateSpec:
+    """A not-yet-instantiated callgate carried inside a SecurityContext.
+
+    Produced by :func:`sc_cgate_add` with a callable entry point.  The
+    kernel instantiates it — creating the tamper-proof kernel-side record
+    holding (entry, permissions, trusted argument) — when the context is
+    bound to a new sthread, per paper section 4.1.
+    """
+
+    def __init__(self, entry, gate_sc, trusted_arg, *, recycled=False):
+        self.entry = entry
+        self.gate_sc = gate_sc
+        self.trusted_arg = trusted_arg
+        self.recycled = recycled
+
+    def __repr__(self):
+        name = getattr(self.entry, "__name__", repr(self.entry))
+        return f"<CallgateSpec entry={name}>"
+
+
+class SecurityContext:
+    """The ``sc_t`` structure: everything a new sthread may touch."""
+
+    def __init__(self, *, uid=None, root=None, sid=None,
+                 mem_quota=None):
+        self.mem = {}        # tag id -> prot
+        self.fds = {}        # fd number -> FD_* bits
+        self.gate_specs = []  # CallgateSpec, instantiated at bind time
+        self.gate_ids = []    # ids of existing callgates re-granted
+        self.uid = uid
+        self.root = root
+        self.sid = sid
+        #: optional allocation cap in bytes — an extension beyond the
+        #: paper, which provides no DoS protection (§7)
+        self.mem_quota = mem_quota
+
+    def copy(self):
+        other = SecurityContext(uid=self.uid, root=self.root,
+                                sid=self.sid, mem_quota=self.mem_quota)
+        other.mem = dict(self.mem)
+        other.fds = dict(self.fds)
+        other.gate_specs = list(self.gate_specs)
+        other.gate_ids = list(self.gate_ids)
+        return other
+
+    def __repr__(self):
+        return (f"<SecurityContext mem={self.mem} fds={self.fds} "
+                f"gates={len(self.gate_specs) + len(self.gate_ids)} "
+                f"uid={self.uid} root={self.root!r} sid={self.sid!r}>")
+
+
+# -- the paper's sc_* calls ----------------------------------------------------------
+
+def sc_mem_add(sc, tag, prot):
+    """Grant *prot* on *tag*'s memory (``sc_mem_add`` in Table 1)."""
+    sc.mem[int(tag)] = validate_mem_prot(prot)
+    return sc
+
+
+def sc_fd_add(sc, fd, prot):
+    """Grant *prot* on file descriptor *fd* (``sc_fd_add`` in Table 1)."""
+    if prot & ~FD_RW or prot == 0:
+        raise PolicyError(f"invalid fd protection {prot!r}")
+    sc.fds[int(fd)] = prot
+    return sc
+
+
+def sc_sel_context(sc, sid):
+    """Attach an SELinux SID (``sc_sel_context`` in Table 1)."""
+    sc.sid = sid
+    return sc
+
+
+def sc_cgate_add(sc, gate, gate_sc=None, trusted_arg=None, *,
+                 recycled=False):
+    """Add a callgate grant (``sc_cgate_add`` in Table 1).
+
+    Two forms, matching how the paper's API is used:
+
+    * ``sc_cgate_add(sc, entry_fn, gate_sc, trusted_arg)`` — define a new
+      callgate at entry point *entry_fn* running with *gate_sc*; it is
+      instantiated kernel-side when *sc* is bound to a new sthread.
+      ``recycled=True`` makes it a long-lived recycled callgate.
+    * ``sc_cgate_add(sc, gate_id)`` — re-grant an existing callgate the
+      caller itself may invoke (delegation to a child).
+    """
+    if callable(gate):
+        if gate_sc is None:
+            raise PolicyError("a new callgate needs a security context")
+        sc.gate_specs.append(
+            CallgateSpec(gate, gate_sc, trusted_arg, recycled=recycled))
+    else:
+        if gate_sc is not None or trusted_arg is not None:
+            raise PolicyError(
+                "re-granting an existing callgate takes no context/arg")
+        sc.gate_ids.append(int(gate))
+    return sc
+
+
+# -- monotonicity ---------------------------------------------------------------------
+
+def mem_prot_subset(child_prot, parent_prot):
+    """May a parent holding *parent_prot* grant *child_prot*?
+
+    Shared-write authority (PROT_WRITE) may only be delegated by a parent
+    that itself holds it.  Read and copy-on-write access may be delegated
+    by any parent that can read the data at all.
+    """
+    if child_prot & PROT_WRITE and not parent_prot & PROT_WRITE:
+        return False
+    return bool(parent_prot & (PROT_READ | PROT_COW))
+
+
+def check_subset_of(child_sc, parent, selinux_policy, *, what="sthread"):
+    """Enforce that *child_sc* grants no more than *parent* holds.
+
+    *parent* is the creating :class:`~repro.core.sthread.Sthread` (or the
+    bootstrap process, which holds every privilege it created).  Raises
+    :class:`PolicyError` on any excess grant.
+    """
+    pctx = parent.ctx
+    for tag_id, prot in child_sc.mem.items():
+        parent_prot = pctx.mem.get(tag_id)
+        if parent_prot is None:
+            raise PolicyError(
+                f"{what}: parent {parent.name!r} holds no access to "
+                f"tag {tag_id} and so cannot grant it")
+        if not mem_prot_subset(prot, parent_prot):
+            raise PolicyError(
+                f"{what}: grant on tag {tag_id} exceeds parent "
+                f"{parent.name!r}'s own permission")
+    for fd, prot in child_sc.fds.items():
+        # the descriptor table is authoritative for what the parent holds
+        parent_prot = parent.fdtable.perms_of(fd)
+        if prot & ~parent_prot:
+            raise PolicyError(
+                f"{what}: fd {fd} grant exceeds parent {parent.name!r}'s "
+                f"own permission")
+    for gate_id in child_sc.gate_ids:
+        if gate_id not in parent.gates:
+            raise PolicyError(
+                f"{what}: parent {parent.name!r} may not invoke callgate "
+                f"{gate_id} and so cannot delegate it")
+    if child_sc.uid is not None and child_sc.uid != parent.uid:
+        if parent.uid != 0:
+            raise PolicyError(
+                f"{what}: only root may change a child's uid "
+                f"(parent uid={parent.uid})")
+    if child_sc.root is not None and child_sc.root != parent.root:
+        if parent.uid != 0:
+            raise PolicyError(
+                f"{what}: only root may change a child's filesystem root")
+    if child_sc.sid is not None and child_sc.sid != parent.sel_sid:
+        selinux_policy.check_transition(parent.sel_sid, child_sc.sid)

@@ -1,0 +1,83 @@
+"""SELinux-lite: per-SID syscall allow-sets and domain transitions.
+
+Wedge attaches an SELinux security identifier (SID) to each sthread to
+limit the system calls it may invoke (paper section 3.1).  This module is
+a deliberately small model of that machinery: a system-wide policy maps a
+SID string (``user:role:type``) to the set of syscall names it may issue,
+plus an explicit table of allowed domain transitions.
+
+A child sthread's SID may differ from its parent's only if the transition
+``parent_sid -> child_sid`` is allowed by the system policy — mirroring
+the paper's rule that SELinux policy changes "must be explicitly allowed
+as domain transitions in the system-wide SELinux policy".
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PolicyError, SyscallDenied
+
+#: SID of the initial process, allowed everything (like unconfined_t).
+UNCONFINED = "system_u:system_r:unconfined_t"
+
+#: Marker meaning "all syscalls" in an allow-set.
+ALL_SYSCALLS = "*"
+
+
+class SELinuxPolicy:
+    """The system-wide policy: allow-sets and domain transitions."""
+
+    def __init__(self):
+        self._allow = {UNCONFINED: {ALL_SYSCALLS}}
+        self._transitions = set()
+
+    # -- policy authoring -----------------------------------------------------
+
+    def define_domain(self, sid, syscalls):
+        """Define (or replace) the allow-set for *sid*."""
+        self._allow[sid] = set(syscalls)
+
+    def allow_transition(self, from_sid, to_sid):
+        self._transitions.add((from_sid, to_sid))
+
+    def known(self, sid):
+        return sid in self._allow
+
+    # -- enforcement -------------------------------------------------------------
+
+    def check_syscall(self, sid, syscall):
+        """Raise :class:`SyscallDenied` unless *sid* may issue *syscall*."""
+        allowed = self._allow.get(sid)
+        if allowed is None:
+            raise SyscallDenied(f"unknown SID {sid!r}", syscall=syscall,
+                                sid=sid)
+        if ALL_SYSCALLS in allowed or syscall in allowed:
+            return
+        raise SyscallDenied(
+            f"SELinux: {sid} may not call {syscall}", syscall=syscall,
+            sid=sid)
+
+    def check_transition(self, from_sid, to_sid):
+        """Raise :class:`PolicyError` unless the transition is allowed."""
+        if from_sid == to_sid:
+            return
+        if from_sid == UNCONFINED:
+            # the unconfined bootstrap domain may enter any defined domain
+            if not self.known(to_sid):
+                raise PolicyError(f"transition to unknown SID {to_sid!r}")
+            return
+        if (from_sid, to_sid) not in self._transitions:
+            raise PolicyError(
+                f"SELinux: domain transition {from_sid} -> {to_sid} "
+                f"is not allowed by the system policy")
+
+
+def permissive_policy():
+    """A policy whose every defined domain allows all syscalls.
+
+    The paper's evaluation "specif[ies] SELinux policies for all sthreads
+    that explicitly grant access to all system calls" to focus on memory
+    privileges; applications use this helper to do the same.
+    """
+    policy = SELinuxPolicy()
+    policy.define_domain("system_u:system_r:wedge_app_t", {ALL_SYSCALLS})
+    return policy

@@ -1,0 +1,136 @@
+"""A small in-memory filesystem with uid-based permissions and chroot.
+
+The OpenSSH partitioning depends on filesystem semantics: the password
+callgate reads ``/etc/shadow`` directly from disk *because it inherits the
+filesystem root and uid of its creator, not of its caller* (paper section
+5.2), and workers are confined to an empty chroot.  This VFS provides just
+enough for that: absolute paths, per-file owner uid and mode bits, and
+root-prefix resolution for chrooted sthreads.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.core.errors import VfsError
+
+
+def _normalize(path):
+    if not path.startswith("/"):
+        raise VfsError(f"path must be absolute: {path!r}")
+    norm = posixpath.normpath(path)
+    return "/" if norm in ("", "/") else norm
+
+
+class VfsFile:
+    """One regular file: bytes plus owner uid and a UNIX-ish mode."""
+
+    def __init__(self, data=b"", *, owner=0, mode=0o644):
+        self.data = bytearray(data)
+        self.owner = owner
+        self.mode = mode
+
+    def readable_by(self, uid):
+        if uid == 0 or uid == self.owner:
+            return bool(self.mode & 0o400)
+        return bool(self.mode & 0o004)
+
+    def writable_by(self, uid):
+        if uid == 0:
+            return True
+        if uid == self.owner:
+            return bool(self.mode & 0o200)
+        return bool(self.mode & 0o002)
+
+
+class Vfs:
+    """Path → file map; directories exist implicitly."""
+
+    def __init__(self):
+        self._files = {}
+        self._dirs = {"/"}
+
+    # -- population (setup code, runs as the simulated root) -------------------
+
+    def mkdir(self, path):
+        path = _normalize(path)
+        parts = path.strip("/").split("/")
+        cur = ""
+        for part in parts:
+            cur += "/" + part
+            self._dirs.add(cur)
+        return path
+
+    def write_file(self, path, data, *, owner=0, mode=0o644):
+        path = _normalize(path)
+        self.mkdir(posixpath.dirname(path) or "/")
+        self._files[path] = VfsFile(data, owner=owner, mode=mode)
+        return path
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, root, path):
+        """Join a chroot *root* and an in-jail *path* to a real path.
+
+        ``..`` cannot escape the jail: the path is normalised before the
+        root prefix is applied.
+        """
+        path = _normalize(path)
+        root = _normalize(root or "/")
+        if root == "/":
+            return path
+        return _normalize(root + path)
+
+    # -- access (already-resolved real paths) ---------------------------------------
+
+    def exists(self, path):
+        path = _normalize(path)
+        return path in self._files or path in self._dirs
+
+    def is_dir(self, path):
+        return _normalize(path) in self._dirs
+
+    def lookup(self, path):
+        path = _normalize(path)
+        node = self._files.get(path)
+        if node is None:
+            raise VfsError(f"no such file: {path}")
+        return node
+
+    def open_read(self, path, uid):
+        node = self.lookup(path)
+        if not node.readable_by(uid):
+            raise VfsError(f"permission denied reading {path} (uid={uid})")
+        return node
+
+    def open_write(self, path, uid, *, create=True, truncate=False):
+        path = _normalize(path)
+        node = self._files.get(path)
+        if node is None:
+            if not create:
+                raise VfsError(f"no such file: {path}")
+            self.mkdir(posixpath.dirname(path) or "/")
+            node = VfsFile(owner=uid)
+            self._files[path] = node
+        elif not node.writable_by(uid):
+            raise VfsError(f"permission denied writing {path} (uid={uid})")
+        if truncate:
+            node.data = bytearray()
+        return node
+
+    def unlink(self, path, uid):
+        node = self.lookup(path)
+        if not node.writable_by(uid):
+            raise VfsError(f"permission denied unlinking {path}")
+        del self._files[_normalize(path)]
+
+    def listdir(self, path):
+        path = _normalize(path)
+        if path not in self._dirs:
+            raise VfsError(f"no such directory: {path}")
+        prefix = path if path.endswith("/") else path + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                names.add(candidate[len(prefix):].split("/")[0])
+        return sorted(names)

@@ -1,0 +1,21 @@
+"""Crowbar: the paper's partitioning-assistance tools.
+
+``cb-log`` (:class:`CbLog`) records every memory access with a full
+backtrace and allocation-site identity; ``cb-analyze`` answers the three
+query types of paper section 3.4 over the resulting traces.
+:class:`PinStub` models running under Pin with no instrumentation (the
+middle bars of Figure 9).
+"""
+
+from repro.crowbar.analyze import (aggregate, emulation_gaps,
+                                   format_report, memory_for_procedure,
+                                   procedures_using, suggest_policy,
+                                   writes_of_procedure)
+from repro.crowbar.cblog import CbLog, PinStub, capture_backtrace
+from repro.crowbar.records import (AccessRecord, AllocationRecord,
+                                   FrameInfo, Item, Trace)
+
+__all__ = ["AccessRecord", "AllocationRecord", "CbLog", "FrameInfo",
+           "Item", "PinStub", "Trace", "aggregate", "capture_backtrace",
+           "emulation_gaps", "format_report", "memory_for_procedure",
+           "procedures_using", "suggest_policy", "writes_of_procedure"]

@@ -1,0 +1,133 @@
+"""cb-analyze: the paper's three queries over cb-log traces (§3.4).
+
+1. :func:`memory_for_procedure` — "given a procedure, what memory items
+   do it *and all its descendants in the execution call graph* access,
+   and with what modes?"  This is the query a programmer runs before
+   putting a procedure in a least-privilege sthread: the answer is the
+   permission list for its security context.
+
+2. :func:`procedures_using` — "given a list of data items, which
+   procedures use any of them?"  Run this before wrapping sensitive
+   data in a callgate: the answer is what code must move inside.
+
+3. :func:`writes_of_procedure` — "given a procedure known to generate
+   sensitive data, where do it and its descendants write?"  Feeds item
+   lists into query 2.
+
+Descendant semantics come straight from the backtraces: an access was
+made by procedure P *or its descendants* iff P appears anywhere in the
+access's backtrace.  :func:`aggregate` merges traces from multiple
+innocuous workloads (paper section 3.4's coverage advice), and
+:func:`suggest_policy` turns query 1 into concrete ``sc_mem_add`` lines.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.crowbar.records import Trace
+
+
+def _by_descendants(trace, procedure):
+    for record in trace.accesses:
+        if procedure in record.functions():
+            yield record
+
+
+def memory_for_procedure(trace, procedure):
+    """Query 1: item -> {"modes": set, "count": n, "sthreads": set}."""
+    summary = {}
+    for record in _by_descendants(trace, procedure):
+        entry = summary.get(record.item)
+        if entry is None:
+            entry = summary[record.item] = {
+                "modes": set(), "count": 0, "sthreads": set()}
+        entry["modes"].add(record.op)
+        entry["count"] += 1
+        entry["sthreads"].add(record.sthread)
+    return summary
+
+
+def procedures_using(trace, items, *, innermost_only=False):
+    """Query 2: which procedures touch any of *items*.
+
+    By default every procedure on the backtrace counts (they all "use"
+    the data through their callees); ``innermost_only`` restricts to the
+    function that issued the access.
+    """
+    wanted = {item.key() if hasattr(item, "key") else item
+              for item in items}
+    procedures = set()
+    for record in trace.accesses:
+        if record.item.key() not in wanted:
+            continue
+        if innermost_only:
+            inner = record.innermost()
+            if inner is not None:
+                procedures.add(inner.func)
+        else:
+            procedures.update(record.functions())
+    return procedures
+
+
+def writes_of_procedure(trace, procedure):
+    """Query 3: items written by *procedure* and its descendants."""
+    written = defaultdict(int)
+    for record in _by_descendants(trace, procedure):
+        if record.op == "write":
+            written[record.item] += 1
+    return dict(written)
+
+
+def aggregate(traces, label="aggregate"):
+    """Merge traces from several runs into one (coverage union)."""
+    merged = Trace(label)
+    for trace in traces:
+        merged.accesses.extend(trace.accesses)
+        merged.allocations.extend(trace.allocations)
+    return merged
+
+
+def suggest_policy(trace, procedure):
+    """Turn query 1 into a grant list for an sthread's context.
+
+    Returns ``(grants, untaggable)``: *grants* maps ``tag_id -> "r"`` or
+    ``"rw"`` for items in tagged memory; *untaggable* lists items in
+    private/untagged memory that the programmer must first tag (via
+    ``smalloc_on`` conversion or ``BOUNDARY_VAR``) before any policy can
+    name them — the workflow of paper section 3.2.
+    """
+    grants = {}
+    untaggable = []
+    for item, info in memory_for_procedure(trace, procedure).items():
+        mode = "rw" if "write" in info["modes"] else "r"
+        if item.tag_id is not None:
+            prev = grants.get(item.tag_id)
+            grants[item.tag_id] = "rw" if "rw" in (prev, mode) else "r"
+        else:
+            untaggable.append((item, mode))
+    return grants, untaggable
+
+
+def emulation_gaps(trace):
+    """Accesses that only succeeded thanks to the emulation library.
+
+    After refactoring, run the sthread under emulation with cb-log
+    attached; this lists exactly the (item, mode) pairs missing from its
+    policy (paper section 3.4).
+    """
+    gaps = defaultdict(set)
+    for record in trace.accesses:
+        if record.emulated:
+            gaps[record.item].add(record.op)
+    return dict(gaps)
+
+
+def format_report(summary, *, title=""):
+    """Human-readable rendering of a query-1 summary."""
+    lines = [f"== {title}" if title else "== memory access summary"]
+    for item, info in sorted(summary.items(),
+                             key=lambda kv: -kv[1]["count"]):
+        modes = "/".join(sorted(info["modes"]))
+        lines.append(f"  {modes:10s} x{info['count']:<6d} {item!r}")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""cb-log: run-time memory-access tracing (paper sections 3.4 and 4.2).
+
+Attaches to a kernel's memory bus and allocation hooks and records, for
+every load and store, a complete backtrace plus the identity of the item
+accessed:
+
+* **globals** by variable name (we read the image's variable table the
+  way the real cb-log reads debugging symbols);
+* **heap** objects by the full backtrace of the original ``malloc`` /
+  ``smalloc`` — the registry of live allocations is maintained from the
+  kernel's alloc/free events;
+* **stack** slots by the function whose frame covers the offset.
+
+The backtrace walks live Python frames (function name, source file,
+line number), skipping simulator-internal frames, exactly as the real
+tool walks saved frame pointers — and with the same character of
+overhead, which is what Figure 9 measures.
+
+The sthread emulation library composes with cb-log (paper section 4.2):
+accesses that *would* have faulted are traced with ``emulated=True``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.crowbar.records import (AccessRecord, AllocationRecord,
+                                   FrameInfo, Item, Trace)
+
+def _package_dir(module_name):
+    import importlib
+    module = importlib.import_module(module_name)
+    return os.path.dirname(os.path.abspath(module.__file__)) + os.sep
+
+
+#: Directories whose frames are simulator machinery, not application
+#: code — the analogue of cb-log skipping its own instrumentation and
+#: libc-internal frames.
+_INTERNAL_DIRS = (
+    _package_dir("repro.core"),
+    _package_dir("repro.crowbar"),
+    _package_dir("threading"),
+)
+
+_MAX_DEPTH = 40
+
+
+def capture_backtrace(skip=2):
+    """Walk the Python stack, outermost application frame first."""
+    frames = []
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:
+        return frames
+    depth = 0
+    while frame is not None and depth < _MAX_DEPTH:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(_INTERNAL_DIRS):
+            frames.append(FrameInfo(frame.f_code.co_name,
+                                    os.path.basename(filename),
+                                    frame.f_lineno))
+        frame = frame.f_back
+        depth += 1
+    frames.reverse()
+    return frames
+
+
+class CbLog:
+    """One attached tracing session; use as a context manager.
+
+    ``with CbLog(kernel, label="login") as log: ... ; trace = log.trace``
+    """
+
+    def __init__(self, kernel, label=""):
+        self.kernel = kernel
+        self.trace = Trace(label)
+        #: live allocations per segment id: list of AllocationRecord
+        self._allocs = {}
+        self._attached = False
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach(self):
+        if self._attached:
+            return self
+        # seed the registry with allocations made before tracing began,
+        # so their accesses still resolve to a heap object (with an
+        # unknown site) rather than to raw segment offsets
+        for addr, (size, segment) in \
+                self.kernel.live_allocations.items():
+            record = AllocationRecord(addr, size, segment.name,
+                                      segment.tag_id, [], "<pre-trace>")
+            self._allocs.setdefault(segment.id, []).append(record)
+        self.kernel.bus.add_hook(self._on_access)
+        self.kernel.alloc_hooks.append(self._on_alloc_event)
+        self._attached = True
+        return self
+
+    def detach(self):
+        if not self._attached:
+            return
+        self.kernel.bus.remove_hook(self._on_access)
+        self.kernel.alloc_hooks.remove(self._on_alloc_event)
+        self._attached = False
+
+    def __enter__(self):
+        return self.attach()
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    # -- allocation registry -----------------------------------------------------
+
+    def _on_alloc_event(self, event, addr, size, segment, sthread):
+        if event == "alloc":
+            record = AllocationRecord(addr, size, segment.name,
+                                      segment.tag_id,
+                                      capture_backtrace(skip=3),
+                                      sthread.name)
+            self._allocs.setdefault(segment.id, []).append(record)
+            self.trace.allocations.append(record)
+        elif event == "free":
+            for record in self._allocs.get(segment.id, ()):
+                if record.addr == addr and record.live:
+                    record.live = False
+                    break
+
+    def _find_allocation(self, segment, addr):
+        for record in reversed(self._allocs.get(segment.id, ())):
+            if record.live and \
+                    record.addr <= addr < record.addr + record.size:
+                return record
+        return None
+
+    # -- access hook ----------------------------------------------------------------
+
+    def _on_access(self, op, table, addr, size, segment, offset):
+        item, item_offset = self._identify(table, addr, segment, offset)
+        record = AccessRecord(op, item, item_offset, size,
+                              capture_backtrace(skip=4),
+                              table.owner_name,
+                              emulated=table.emulation)
+        self.trace.accesses.append(record)
+
+    def _identify(self, table, addr, segment, offset):
+        """Name the item covering this access (paper section 4.2)."""
+        kind = segment.kind
+        if kind in ("globals", "boundary"):
+            var, inner = self._global_at(segment, offset)
+            if var is not None:
+                return (Item("global", var.name, segment.name,
+                             segment.tag_id), inner)
+            return (Item("global", f"<runtime-state+{offset:#x}>",
+                         segment.name, segment.tag_id), 0)
+        if kind in ("heap", "tag"):
+            alloc = self._find_allocation(segment, addr)
+            if alloc is not None:
+                return (Item("heap", alloc.site(), segment.name,
+                             segment.tag_id), addr - alloc.addr)
+            return (Item("segment", f"<{segment.name} bookkeeping>",
+                         segment.name, segment.tag_id), offset)
+        if kind == "stack":
+            func = self._stack_frame_at(segment, offset)
+            if func is not None:
+                return (Item("stack", func, segment.name, None), offset)
+            return (Item("segment", f"<{segment.name}>", segment.name,
+                         None), offset)
+        return (Item("segment", segment.name, segment.name,
+                     segment.tag_id), offset)
+
+    def _global_at(self, segment, offset):
+        image = self.kernel.image
+        if image is not None and segment is image.segment:
+            return image.var_at(offset)
+        for section in self.kernel.boundary.sections():
+            if section.segment is segment:
+                return section.var_at(offset)
+        return None, None
+
+    def _stack_frame_at(self, segment, offset):
+        for sthread in self.kernel.sthreads:
+            if sthread.stack_segment is segment:
+                return sthread.frame_for_offset(offset)
+        return None
+
+
+class PinStub:
+    """"Pin without instrumentation": the baseline tool overhead.
+
+    Figure 9 separates the cost of running under Pin at all from the
+    cost of cb-log's added instrumentation.  This stub models the
+    former: every access goes through a simulated code-cache lookup —
+    a keyed dictionary hit plus a short fixed re-translation-amortised
+    arithmetic loop — but records no backtraces and resolves no items.
+    The constant below is calibrated so Pin-alone costs a small multiple
+    of native on memory-dense kernels, as in the paper's Figure 9, while
+    staying far below cb-log.
+    """
+
+    #: arithmetic steps charged per intercepted access (code-cache
+    #: dispatch + the translated block's overhead instructions)
+    DISPATCH_WORK = 24
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.reads = 0
+        self.writes = 0
+        self.bytes = 0
+        self.block_cache = {}
+        self._attached = False
+
+    def attach(self):
+        if not self._attached:
+            self.kernel.bus.add_hook(self._on_access)
+            self._attached = True
+        return self
+
+    def detach(self):
+        if self._attached:
+            self.kernel.bus.remove_hook(self._on_access)
+            self._attached = False
+
+    def __enter__(self):
+        return self.attach()
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    def _on_access(self, op, table, addr, size, segment, offset):
+        if op == "read":
+            self.reads += 1
+        else:
+            self.writes += 1
+        self.bytes += size
+        # code-cache dispatch: block key lookup + translation overhead
+        key = addr >> 6
+        hits = self.block_cache.get(key, 0)
+        self.block_cache[key] = hits + 1
+        x = key & 0xFFFF
+        for _ in range(self.DISPATCH_WORK):
+            x = (x * 1103515245 + 12345) & 0x7FFFFFFF

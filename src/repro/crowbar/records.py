@@ -1,0 +1,176 @@
+"""Trace record types shared by cb-log and cb-analyze.
+
+A trace is a list of :class:`AccessRecord` plus an allocation registry.
+Records carry what paper section 4.2 says cb-log logs: the full
+backtrace of every access (function, file, line), the *item* accessed —
+a global identified by variable name, a heap object identified by the
+backtrace of its original allocation, or a stack slot identified by the
+owning function's frame — and the offset within that item.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class FrameInfo:
+    """One backtrace frame: (function, file, line)."""
+
+    __slots__ = ("func", "file", "line")
+
+    def __init__(self, func, file, line):
+        self.func = func
+        self.file = file
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.func}@{self.file}:{self.line}"
+
+    def to_json(self):
+        return [self.func, self.file, self.line]
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(data[0], data[1], data[2])
+
+
+class Item:
+    """What was accessed: the unit a programmer grants privileges on.
+
+    ``category`` is ``"global"``, ``"heap"``, ``"stack"`` or
+    ``"segment"`` (fallback for untagged raw regions).  ``name`` is the
+    variable name, the allocation-site string, or the frame function.
+    ``tag_id`` is set when the item lives in tagged memory — the thing a
+    policy can actually name.
+    """
+
+    __slots__ = ("category", "name", "segment_name", "tag_id")
+
+    def __init__(self, category, name, segment_name, tag_id=None):
+        self.category = category
+        self.name = name
+        self.segment_name = segment_name
+        self.tag_id = tag_id
+
+    def key(self):
+        return (self.category, self.name, self.segment_name)
+
+    def __repr__(self):
+        tag = f" tag={self.tag_id}" if self.tag_id is not None else ""
+        return f"<{self.category} {self.name!r} in {self.segment_name}{tag}>"
+
+    def __eq__(self, other):
+        return isinstance(other, Item) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def to_json(self):
+        return [self.category, self.name, self.segment_name, self.tag_id]
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(data[0], data[1], data[2], data[3])
+
+
+class AccessRecord:
+    """One load or store."""
+
+    __slots__ = ("op", "item", "offset", "size", "backtrace", "sthread",
+                 "emulated")
+
+    def __init__(self, op, item, offset, size, backtrace, sthread,
+                 emulated=False):
+        self.op = op
+        self.item = item
+        self.offset = offset
+        self.size = size
+        self.backtrace = backtrace      # outermost first
+        self.sthread = sthread
+        self.emulated = emulated
+
+    def functions(self):
+        return [frame.func for frame in self.backtrace]
+
+    def innermost(self):
+        return self.backtrace[-1] if self.backtrace else None
+
+    def __repr__(self):
+        where = self.innermost()
+        return (f"<{self.op} {self.item!r}+{self.offset} x{self.size} "
+                f"by {self.sthread} at {where}>")
+
+    def to_json(self):
+        return {
+            "op": self.op,
+            "item": self.item.to_json(),
+            "offset": self.offset,
+            "size": self.size,
+            "backtrace": [f.to_json() for f in self.backtrace],
+            "sthread": self.sthread,
+            "emulated": self.emulated,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(data["op"], Item.from_json(data["item"]),
+                   data["offset"], data["size"],
+                   [FrameInfo.from_json(f) for f in data["backtrace"]],
+                   data["sthread"], data.get("emulated", False))
+
+
+class AllocationRecord:
+    """Where a heap object came from (its original malloc/smalloc)."""
+
+    __slots__ = ("addr", "size", "segment_name", "tag_id", "backtrace",
+                 "sthread", "live")
+
+    def __init__(self, addr, size, segment_name, tag_id, backtrace,
+                 sthread):
+        self.addr = addr
+        self.size = size
+        self.segment_name = segment_name
+        self.tag_id = tag_id
+        self.backtrace = backtrace
+        self.sthread = sthread
+        self.live = True
+
+    def site(self):
+        """The allocation-site string programmers grep for."""
+        if not self.backtrace:
+            return f"<pre-trace alloc in {self.segment_name}>"
+        inner = self.backtrace[-1]
+        return f"{inner.file}:{inner.line}:{inner.func}"
+
+    def __repr__(self):
+        return (f"<alloc 0x{self.addr:x} x{self.size} at {self.site()} "
+                f"by {self.sthread}>")
+
+
+class Trace:
+    """A complete cb-log run: accesses plus the allocation registry."""
+
+    def __init__(self, label=""):
+        self.label = label
+        self.accesses = []
+        self.allocations = []
+
+    def __len__(self):
+        return len(self.accesses)
+
+    def save(self, path):
+        """Serialise to a JSON-lines file (for aggregation workflows)."""
+        with open(path, "w") as f:
+            f.write(json.dumps({"label": self.label}) + "\n")
+            for record in self.accesses:
+                f.write(json.dumps(record.to_json()) + "\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as f:
+            header = json.loads(f.readline())
+            trace = cls(header.get("label", ""))
+            for line in f:
+                trace.accesses.append(AccessRecord.from_json(
+                    json.loads(line)))
+        return trace

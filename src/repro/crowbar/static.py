@@ -1,0 +1,232 @@
+"""Static policy analysis — the paper's §7 future-work item, built.
+
+    "We intend to explore static analysis as an alternative to runtime
+    analysis.  Static analysis will yield a superset of the required
+    permissions for an sthread, as some code paths may never execute in
+    practice. [...] Yet these permissions could well include privileges
+    for sensitive data that could allow an exploit to leak that data."
+
+This module implements exactly that trade-off so it can be measured.
+:func:`static_policy` walks the AST of a compartment body (and, one
+level deep, the functions it calls) and over-approximates the memory
+grants the body *could* need on **any** path: every ``kernel.mem_read``
+/ ``mem_write`` / ``smalloc`` / ``Buffer.read`` / ``Buffer.write`` whose
+target resolves to a known tagged object contributes a grant,
+regardless of branch conditions.
+
+The companion :func:`compare_with_trace` quantifies the paper's
+warning: grants the static analysis demands that a dynamic (Crowbar)
+trace of an innocuous workload never exercised — each one a privilege
+an exploit could abuse but correct execution never needed.
+
+Resolution is name-based over a *bindings* map (``name -> Tag`` or
+``name -> Buffer``); anything the analysis cannot resolve is reported
+in ``unresolved`` rather than silently dropped, because an unsound
+"static" tool would be worse than none.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from repro.core.errors import WedgeError
+from repro.core.kernel import Buffer
+from repro.core.tags import Tag
+
+
+class StaticReport:
+    """The result of one analysis run."""
+
+    def __init__(self):
+        #: tag id -> "r" or "rw" (the over-approximated grant set)
+        self.grants = {}
+        #: expressions the analysis could not resolve to a tag
+        self.unresolved = []
+        #: (callee-name) functions that were inlined one level deep
+        self.visited = []
+
+    def add(self, tag_id, mode):
+        previous = self.grants.get(tag_id)
+        if previous == "rw" or mode == "rw":
+            self.grants[tag_id] = "rw"
+        else:
+            self.grants[tag_id] = mode
+
+    def __repr__(self):
+        return (f"<StaticReport grants={self.grants} "
+                f"unresolved={len(self.unresolved)}>")
+
+
+def _tag_of(obj):
+    """Resolve a bound object to (tag_id or None)."""
+    if isinstance(obj, Tag):
+        return obj.id
+    if isinstance(obj, Buffer):
+        segment, _ = obj.kernel.space.find(obj.addr)
+        return segment.tag_id
+    return None
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """Collects memory operations from one function body."""
+
+    #: method name -> access mode implied
+    KERNEL_METHODS = {
+        "mem_read": "r",
+        "mem_write": "rw",
+        "smalloc": "rw",
+        "sfree": "rw",
+        "alloc_buf": "rw",
+    }
+    BUFFER_METHODS = {"read": "r", "write": "rw"}
+
+    def __init__(self, analysis, bindings, depth):
+        self.analysis = analysis
+        self.bindings = bindings
+        self.depth = depth
+
+    # -- expression resolution ------------------------------------------------
+
+    def _resolve(self, node):
+        """Resolve an AST expression to a bound Python object, if we can.
+
+        Handles ``name``, ``name.attr`` (e.g. ``buf.addr``), and
+        ``obj.addr + <anything>`` (offset arithmetic keeps the base
+        object's tag).
+        """
+        if isinstance(node, ast.Name):
+            return self.bindings.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._resolve(node.value)
+            if base is not None and node.attr == "addr":
+                return base
+            return None
+        if isinstance(node, ast.BinOp):
+            # offset arithmetic: the left operand names the base object
+            return self._resolve(node.left) or self._resolve(node.right)
+        return None
+
+    def _record(self, target_node, mode, context):
+        obj = self._resolve(target_node)
+        if obj is None:
+            self.analysis.report.unresolved.append(
+                (context, ast.unparse(target_node)))
+            return
+        tag_id = _tag_of(obj)
+        if tag_id is None:
+            self.analysis.report.unresolved.append(
+                (context, f"untagged object via "
+                          f"{ast.unparse(target_node)!r}"))
+            return
+        self.analysis.report.add(tag_id, mode)
+
+    # -- the interesting nodes ----------------------------------------------------
+
+    def visit_Call(self, node):
+        self.generic_visit(node)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            # plain call: descend into same-module callees one level
+            if isinstance(func, ast.Name) and self.depth > 0:
+                self.analysis.descend(func.id, self.bindings,
+                                      self.depth - 1)
+            return
+        method = func.attr
+        if method in self.KERNEL_METHODS and node.args:
+            if method == "smalloc" and len(node.args) >= 2:
+                self._record(node.args[1], "rw", method)
+            elif method == "alloc_buf":
+                for keyword in node.keywords:
+                    if keyword.arg == "tag":
+                        self._record(keyword.value, "rw", method)
+            else:
+                self._record(node.args[0],
+                             self.KERNEL_METHODS[method], method)
+            return
+        if method in self.BUFFER_METHODS:
+            base = self._resolve(func.value)
+            if isinstance(base, Buffer):
+                self._record(func.value, self.BUFFER_METHODS[method],
+                             f"Buffer.{method}")
+
+
+class StaticAnalysis:
+    """Drives the visitor over a root function and its callees."""
+
+    def __init__(self, bindings):
+        self.bindings = dict(bindings)
+        self.report = StaticReport()
+        self._functions = {}
+
+    def register(self, fn):
+        """Make *fn* analysable as a callee (same-module descent)."""
+        self._functions[fn.__name__] = fn
+        return fn
+
+    def _source_tree(self, fn):
+        try:
+            source = textwrap.dedent(inspect.getsource(fn))
+        except (OSError, TypeError) as exc:
+            raise WedgeError(
+                f"cannot obtain source for {fn!r}") from exc
+        return ast.parse(source)
+
+    def analyse(self, fn, *, depth=2):
+        """Analyse *fn*; returns the (cumulative) report."""
+        bindings = dict(self.bindings)
+        # closures contribute resolvable names too
+        if fn.__closure__:
+            for name, cell in zip(fn.__code__.co_freevars,
+                                  fn.__closure__):
+                try:
+                    bindings.setdefault(name, cell.cell_contents)
+                except ValueError:
+                    pass
+        for name, value in (fn.__globals__ or {}).items():
+            if isinstance(value, (Tag, Buffer)):
+                bindings.setdefault(name, value)
+        tree = self._source_tree(fn)
+        self.report.visited.append(fn.__name__)
+        _BodyVisitor(self, bindings, depth).visit(tree)
+        return self.report
+
+    def descend(self, name, bindings, depth):
+        fn = self._functions.get(name)
+        if fn is None or fn.__name__ in self.report.visited:
+            return
+        self.report.visited.append(fn.__name__)
+        tree = self._source_tree(fn)
+        _BodyVisitor(self, bindings, depth).visit(tree)
+
+
+def static_policy(fn, bindings, *, callees=(), depth=2):
+    """One-shot helper: the over-approximated grant set for *fn*.
+
+    *bindings* maps names used in the source to Tag/Buffer objects;
+    *callees* lists same-module functions the analysis may descend
+    into.  Returns a :class:`StaticReport`.
+    """
+    analysis = StaticAnalysis(bindings)
+    for callee in callees:
+        analysis.register(callee)
+    return analysis.analyse(fn, depth=depth)
+
+
+def compare_with_trace(report, trace, procedure):
+    """The §7 trade-off, quantified.
+
+    Returns ``(excess, missing)``: *excess* are grants static analysis
+    demands but the dynamic trace of *procedure* never used (privileges
+    an exploit could abuse but correct execution never needed); *missing*
+    are grants the trace used that the static pass failed to resolve
+    (its unsoundness debt, also reported in ``report.unresolved``).
+    """
+    from repro.crowbar.analyze import suggest_policy
+    dynamic, _ = suggest_policy(trace, procedure)
+    excess = {tag_id: mode for tag_id, mode in report.grants.items()
+              if tag_id not in dynamic}
+    missing = {tag_id: mode for tag_id, mode in dynamic.items()
+               if tag_id not in report.grants}
+    return excess, missing

@@ -1,0 +1,14 @@
+"""From-scratch crypto substrate: RSA, DSA, HMAC, stream cipher, PRF, S/Key.
+
+Everything the simulated TLS and SSH stacks need, implemented in-repo so
+the partitioned applications have real key material to protect.  Small
+parameters, deterministic RNG — see the security disclaimer in DESIGN.md.
+"""
+
+from repro.crypto import dsa, prf, primes, rsa, skey
+from repro.crypto.mac import constant_time_eq, hmac_sha256
+from repro.crypto.rng import DetRNG
+from repro.crypto.stream import StreamCipher
+
+__all__ = ["DetRNG", "StreamCipher", "constant_time_eq", "dsa",
+           "hmac_sha256", "prf", "primes", "rsa", "skey"]

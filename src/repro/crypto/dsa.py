@@ -1,0 +1,181 @@
+"""DSA signatures, from scratch (FIPS 186 structure, small parameters).
+
+OpenSSH's partitioning (paper section 5.2, Figure 6) has two DSA paths:
+the *DSA sign* callgate signs with the server's host key, and the *DSA
+auth* callgate verifies a signature made with the user's public key found
+in the filesystem.  Both need real sign/verify with distinct keys, which
+this module provides.
+
+Domain parameters (p, q, g) are expensive to generate, so a module-level
+default set is generated once per process from a fixed seed and shared —
+exactly how ssh installations share well-known groups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import CryptoError
+from repro.crypto.primes import (bytes_to_int, gen_prime, int_to_bytes,
+                                 invmod, is_probable_prime)
+from repro.crypto.rng import DetRNG
+
+P_BITS = 512
+Q_BITS = 160
+
+
+class DsaParams:
+    """The (p, q, g) domain parameters."""
+
+    def __init__(self, p, q, g):
+        self.p = p
+        self.q = q
+        self.g = g
+
+
+def generate_params(rng, p_bits=P_BITS, q_bits=Q_BITS):
+    """Generate DSA domain parameters: q | p-1, g of order q."""
+    q = gen_prime(q_bits, rng)
+    # search for p = k*q + 1 prime of the right size
+    while True:
+        k = rng.randbits(p_bits - q_bits)
+        p = k * q + 1
+        if p.bit_length() != p_bits:
+            continue
+        if is_probable_prime(p, rng):
+            break
+    # generator of the order-q subgroup
+    while True:
+        h = rng.randint(2, p - 2)
+        g = pow(h, (p - 1) // q, p)
+        if g > 1:
+            break
+    return DsaParams(p, q, g)
+
+
+_default_params = None
+
+
+def default_params():
+    """The shared, deterministically generated domain parameters."""
+    global _default_params
+    if _default_params is None:
+        _default_params = generate_params(DetRNG("wedge-dsa-group-v1"))
+    return _default_params
+
+
+class DsaPublicKey:
+    def __init__(self, params, y):
+        self.params = params
+        self.y = y
+
+    def verify(self, message, signature):
+        """True iff *signature* = (r, s) encoded by ``encode_sig``."""
+        p, q, g = self.params.p, self.params.q, self.params.g
+        try:
+            r, s = decode_sig(signature)
+        except CryptoError:
+            return False
+        if not (0 < r < q and 0 < s < q):
+            return False
+        w = invmod(s, q)
+        h = _digest_int(message, q)
+        u1 = (h * w) % q
+        u2 = (r * w) % q
+        v = ((pow(g, u1, p) * pow(self.y, u2, p)) % p) % q
+        return v == r
+
+    def to_bytes(self):
+        y = int_to_bytes(self.y)
+        return len(y).to_bytes(2, "big") + y
+
+    @classmethod
+    def from_bytes(cls, data, params=None):
+        params = params or default_params()
+        try:
+            y_len = int.from_bytes(data[0:2], "big")
+            y = bytes_to_int(data[2:2 + y_len])
+        except (IndexError, ValueError) as exc:
+            raise CryptoError("malformed DSA public key") from exc
+        if not 1 < y < params.p:
+            raise CryptoError("DSA public key out of range")
+        return cls(params, y)
+
+    def fingerprint(self):
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+
+class DsaPrivateKey:
+    def __init__(self, params, x):
+        self.params = params
+        self.x = x
+        self.y = pow(params.g, x, params.p)
+
+    def public(self):
+        return DsaPublicKey(self.params, self.y)
+
+    def sign(self, message, rng):
+        p, q, g = self.params.p, self.params.q, self.params.g
+        h = _digest_int(message, q)
+        while True:
+            k = rng.randint(1, q - 1)
+            r = pow(g, k, p) % q
+            if r == 0:
+                continue
+            s = (invmod(k, q) * (h + self.x * r)) % q
+            if s == 0:
+                continue
+            return encode_sig(r, s)
+
+    #: serialisation magic — the moral equivalent of a PEM header, and
+    #: (realistically) what memory-disclosure exploits grep for
+    MAGIC = b"DSAPRIV1"
+
+    def to_bytes(self):
+        x = int_to_bytes(self.x)
+        return self.MAGIC + len(x).to_bytes(2, "big") + x
+
+    @classmethod
+    def from_bytes(cls, data, params=None):
+        params = params or default_params()
+        if data[:len(cls.MAGIC)] != cls.MAGIC:
+            raise CryptoError("malformed DSA private key")
+        data = data[len(cls.MAGIC):]
+        try:
+            x_len = int.from_bytes(data[0:2], "big")
+            x = bytes_to_int(data[2:2 + x_len])
+        except (IndexError, ValueError) as exc:
+            raise CryptoError("malformed DSA private key") from exc
+        return cls(params, x)
+
+
+def generate_keypair(rng, params=None):
+    params = params or default_params()
+    x = rng.randint(1, params.q - 1)
+    return DsaPrivateKey(params, x)
+
+
+def encode_sig(r, s):
+    rb = int_to_bytes(r)
+    sb = int_to_bytes(s)
+    return (len(rb).to_bytes(2, "big") + rb +
+            len(sb).to_bytes(2, "big") + sb)
+
+
+def decode_sig(data):
+    try:
+        r_len = int.from_bytes(data[0:2], "big")
+        r = bytes_to_int(data[2:2 + r_len])
+        off = 2 + r_len
+        s_len = int.from_bytes(data[off:off + 2], "big")
+        s = bytes_to_int(data[off + 2:off + 2 + s_len])
+        if off + 2 + s_len != len(data):
+            raise ValueError("trailing bytes")
+    except (IndexError, ValueError) as exc:
+        raise CryptoError("malformed DSA signature") from exc
+    return r, s
+
+
+def _digest_int(message, q):
+    digest = hashlib.sha256(message).digest()
+    return bytes_to_int(digest) % q

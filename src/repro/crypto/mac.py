@@ -1,0 +1,34 @@
+"""HMAC-SHA256, implemented from the SHA-256 primitive.
+
+The record layer MACs every record (paper section 5.1.2: "data injected
+by the attacker will be rejected ... because the MAC will fail"), and the
+TLS-style PRF is built from this HMAC.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+BLOCK_SIZE = 64   # SHA-256 block size
+DIGEST_SIZE = 32
+
+
+def hmac_sha256(key, message):
+    """RFC 2104 HMAC over SHA-256."""
+    if len(key) > BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(BLOCK_SIZE, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = hashlib.sha256(ipad + message).digest()
+    return hashlib.sha256(opad + inner).digest()
+
+
+def constant_time_eq(a, b):
+    """Length-then-accumulate comparison (no early exit on mismatch)."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

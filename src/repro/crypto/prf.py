@@ -1,0 +1,66 @@
+"""TLS-style pseudo-random function (P_SHA256) for key derivation.
+
+The SSL session key "is a cryptographic hash over three inputs, one of
+which is random from the attacker's perspective" (paper section 5.1.1) —
+this is that hash.  The master secret derives from the premaster plus the
+client and server randoms; the key block expands the master secret into
+MAC and cipher keys for each direction; and the Finished verify data
+binds the handshake transcript.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import DIGEST_SIZE, hmac_sha256
+
+
+def p_sha256(secret, seed, length):
+    """RFC 5246 P_hash: HMAC chaining until *length* bytes produced."""
+    out = bytearray()
+    a = seed
+    while len(out) < length:
+        a = hmac_sha256(secret, a)
+        out += hmac_sha256(secret, a + seed)
+    return bytes(out[:length])
+
+
+def prf(secret, label, seed, length):
+    """``PRF(secret, label, seed)`` — the TLS 1.2 construction."""
+    if isinstance(label, str):
+        label = label.encode()
+    return p_sha256(secret, label + seed, length)
+
+
+MASTER_SECRET_LEN = 48
+MAC_KEY_LEN = DIGEST_SIZE
+ENC_KEY_LEN = 32
+
+
+def derive_master_secret(premaster, client_random, server_random):
+    return prf(premaster, "master secret",
+               client_random + server_random, MASTER_SECRET_LEN)
+
+
+def derive_key_block(master, client_random, server_random):
+    """Expand the master secret into per-direction MAC and cipher keys.
+
+    Returns a dict with ``client_mac``, ``server_mac``, ``client_enc``,
+    ``server_enc`` (the TLS 1.2 key-expansion order).
+    """
+    need = 2 * MAC_KEY_LEN + 2 * ENC_KEY_LEN
+    block = prf(master, "key expansion",
+                server_random + client_random, need)
+    off = 0
+    keys = {}
+    for name, size in (("client_mac", MAC_KEY_LEN),
+                       ("server_mac", MAC_KEY_LEN),
+                       ("client_enc", ENC_KEY_LEN),
+                       ("server_enc", ENC_KEY_LEN)):
+        keys[name] = block[off:off + size]
+        off += size
+    return keys
+
+
+def finished_verify_data(master, label, transcript_hash):
+    """The 12-byte Finished payload for *label* ("client finished" or
+    "server finished") over the handshake transcript hash."""
+    return prf(master, label, transcript_hash, 12)

@@ -1,0 +1,98 @@
+"""Prime generation and modular arithmetic for RSA and DSA.
+
+Miller-Rabin with a small-prime sieve in front; parameter sizes in this
+repository are deliberately small (512-bit RSA, 512/160-bit DSA) so the
+full handshake benchmarks run quickly.  The *structure* of the protocols
+is what the reproduction needs, not 2048-bit security.
+"""
+
+from __future__ import annotations
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107,
+                 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+                 173, 179, 181, 191, 193, 197, 199]
+
+#: Miller-Rabin rounds; 32 gives a < 2^-64 error bound for random inputs.
+MR_ROUNDS = 32
+
+
+def is_probable_prime(n, rng, rounds=MR_ROUNDS):
+    """Miller-Rabin primality test with witnesses drawn from *rng*."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def gen_prime(bits, rng, *, condition=None):
+    """Generate a *bits*-bit probable prime.
+
+    *condition*, if given, filters candidates (e.g. ``p % q == 1`` for
+    DSA's p).
+    """
+    if bits < 8:
+        raise ValueError("prime too small to be useful")
+    while True:
+        candidate = rng.odd_integer(bits)
+        if condition is not None and not condition(candidate):
+            continue
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def invmod(a, m):
+    """Modular inverse via the extended Euclid algorithm."""
+    g, x = _egcd(a % m, m)
+    if g != 1:
+        raise ValueError("inverse does not exist")
+    return x % m
+
+
+def _egcd(a, b):
+    """Return (gcd, x) with a*x ≡ gcd (mod b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    return old_r, old_s
+
+
+def gcd(a, b):
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def int_to_bytes(n, length=None):
+    """Big-endian encoding, minimally sized unless *length* given."""
+    if length is None:
+        length = (n.bit_length() + 7) // 8 or 1
+    return n.to_bytes(length, "big")
+
+
+def bytes_to_int(data):
+    return int.from_bytes(data, "big")

@@ -1,0 +1,71 @@
+"""Deterministic random number generation for the simulation.
+
+All randomness in the repository flows through :class:`DetRNG`, a
+SHA-256-in-counter-mode generator.  Seeding it makes every handshake,
+key, and nonce reproducible — which the tests and benchmarks rely on —
+while the byte streams still look uniform to the protocols consuming
+them.
+
+This mirrors the role of ``/dev/urandom`` in the paper's servers; it is
+NOT a hardened CSPRNG (see the security disclaimer in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+
+class DetRNG:
+    """Deterministic byte/int generator: SHA-256(key, counter) stream."""
+
+    def __init__(self, seed):
+        if isinstance(seed, int):
+            seed = seed.to_bytes((seed.bit_length() + 7) // 8 or 1, "big")
+        elif isinstance(seed, str):
+            seed = seed.encode()
+        self._key = hashlib.sha256(b"wedge-rng:" + bytes(seed)).digest()
+        self._counter = 0
+        self._pool = b""
+
+    def bytes(self, n):
+        """Return *n* pseudo-random bytes."""
+        while len(self._pool) < n:
+            block = hashlib.sha256(
+                self._key + struct.pack(">Q", self._counter)).digest()
+            self._counter += 1
+            self._pool += block
+        out, self._pool = self._pool[:n], self._pool[n:]
+        return out
+
+    def randbits(self, k):
+        """A uniform integer in [0, 2**k)."""
+        if k <= 0:
+            return 0
+        nbytes = (k + 7) // 8
+        value = int.from_bytes(self.bytes(nbytes), "big")
+        return value >> (nbytes * 8 - k)
+
+    def randint(self, lo, hi):
+        """A uniform integer in [lo, hi] via rejection sampling."""
+        if lo > hi:
+            raise ValueError("empty range")
+        span = hi - lo + 1
+        k = span.bit_length()
+        while True:
+            value = self.randbits(k)
+            if value < span:
+                return lo + value
+
+    def randrange(self, stop):
+        return self.randint(0, stop - 1)
+
+    def odd_integer(self, bits):
+        """A *bits*-bit odd integer with the top bit set (prime candidate)."""
+        value = self.randbits(bits)
+        value |= (1 << (bits - 1)) | 1
+        return value
+
+    def fork(self, label):
+        """An independent child generator (namespaced re-seed)."""
+        return DetRNG(self._key + b"/" + label.encode())

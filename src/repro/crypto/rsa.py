@@ -1,0 +1,188 @@
+"""Textbook RSA with PKCS#1-v1.5-style padding, from scratch.
+
+Provides exactly what the SSL handshake of paper section 5.1 needs:
+
+* key generation (the server's long-lived key pair);
+* ``encrypt``/``decrypt`` with randomized type-2 padding (the client
+  encrypts the premaster secret under the server's public key);
+* ``sign``/``verify`` with type-1 padding over a SHA-256 digest (the
+  SSH host-key signature path).
+
+Key material serialises to/from bytes so it can live in tagged memory —
+the whole point of the partitioning is *where these bytes are readable*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import CryptoError
+from repro.crypto.primes import (bytes_to_int, gen_prime, int_to_bytes,
+                                 invmod)
+
+PUBLIC_EXPONENT = 65537
+DEFAULT_BITS = 512
+
+
+class RsaPublicKey:
+    """(n, e) plus the padding/encoding helpers."""
+
+    def __init__(self, n, e=PUBLIC_EXPONENT):
+        self.n = n
+        self.e = e
+        self.size = (n.bit_length() + 7) // 8
+
+    # -- encryption (PKCS#1 v1.5 type 2) ------------------------------------
+
+    def encrypt(self, message, rng):
+        """Encrypt *message* with randomized padding from *rng*."""
+        k = self.size
+        if len(message) > k - 11:
+            raise CryptoError(f"message too long for {k * 8}-bit RSA")
+        pad_len = k - 3 - len(message)
+        padding = bytearray()
+        while len(padding) < pad_len:
+            byte = rng.bytes(1)
+            if byte != b"\x00":
+                padding += byte
+        em = b"\x00\x02" + bytes(padding) + b"\x00" + message
+        return int_to_bytes(pow(bytes_to_int(em), self.e, self.n), k)
+
+    def verify(self, message, signature):
+        """True iff *signature* is a valid type-1 signature of *message*."""
+        try:
+            em = int_to_bytes(
+                pow(bytes_to_int(signature), self.e, self.n), self.size)
+        except (ValueError, OverflowError):
+            return False
+        expected = _pad_type1(_digest(message), self.size)
+        return em == expected
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_bytes(self):
+        n_bytes = int_to_bytes(self.n)
+        e_bytes = int_to_bytes(self.e)
+        return (len(n_bytes).to_bytes(2, "big") + n_bytes +
+                len(e_bytes).to_bytes(2, "big") + e_bytes)
+
+    @classmethod
+    def from_bytes(cls, data):
+        try:
+            n_len = int.from_bytes(data[0:2], "big")
+            n = bytes_to_int(data[2:2 + n_len])
+            off = 2 + n_len
+            e_len = int.from_bytes(data[off:off + 2], "big")
+            e = bytes_to_int(data[off + 2:off + 2 + e_len])
+        except (IndexError, ValueError) as exc:
+            raise CryptoError("malformed RSA public key") from exc
+        if n <= 0 or e <= 0:
+            raise CryptoError("malformed RSA public key")
+        return cls(n, e)
+
+    def fingerprint(self):
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:16]
+
+    def __eq__(self, other):
+        return (isinstance(other, RsaPublicKey)
+                and (self.n, self.e) == (other.n, other.e))
+
+    def __hash__(self):
+        return hash((self.n, self.e))
+
+
+class RsaPrivateKey:
+    """(n, d) with the CRT parameters for fast decryption."""
+
+    def __init__(self, n, d, p, q, e=PUBLIC_EXPONENT):
+        self.n = n
+        self.d = d
+        self.p = p
+        self.q = q
+        self.e = e
+        self.size = (n.bit_length() + 7) // 8
+        self._dp = d % (p - 1)
+        self._dq = d % (q - 1)
+        self._qinv = invmod(q, p)
+
+    def public(self):
+        return RsaPublicKey(self.n, self.e)
+
+    def _crt_pow(self, c):
+        m1 = pow(c % self.p, self._dp, self.p)
+        m2 = pow(c % self.q, self._dq, self.q)
+        h = (self._qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    def decrypt(self, ciphertext):
+        """Strip type-2 padding; raises CryptoError on bad padding."""
+        if len(ciphertext) != self.size:
+            raise CryptoError("ciphertext length mismatch")
+        em = int_to_bytes(self._crt_pow(bytes_to_int(ciphertext)),
+                          self.size)
+        if em[0:2] != b"\x00\x02":
+            raise CryptoError("bad PKCS#1 type-2 padding")
+        sep = em.find(b"\x00", 2)
+        if sep < 10:  # at least 8 padding bytes required
+            raise CryptoError("bad PKCS#1 type-2 padding")
+        return em[sep + 1:]
+
+    def sign(self, message):
+        em = _pad_type1(_digest(message), self.size)
+        return int_to_bytes(self._crt_pow(bytes_to_int(em)), self.size)
+
+    # -- serialisation (to store the key in tagged memory) -----------------------
+
+    def to_bytes(self):
+        parts = [int_to_bytes(x) for x in (self.n, self.d, self.p,
+                                           self.q, self.e)]
+        out = bytearray()
+        for part in parts:
+            out += len(part).to_bytes(2, "big") + part
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data):
+        values = []
+        off = 0
+        try:
+            for _ in range(5):
+                length = int.from_bytes(data[off:off + 2], "big")
+                values.append(bytes_to_int(data[off + 2:off + 2 + length]))
+                off += 2 + length
+        except (IndexError, ValueError) as exc:
+            raise CryptoError("malformed RSA private key") from exc
+        n, d, p, q, e = values
+        return cls(n, d, p, q, e)
+
+
+def generate_keypair(rng, bits=DEFAULT_BITS):
+    """Generate an RSA key pair with distinct primes p, q."""
+    half = bits // 2
+    while True:
+        p = gen_prime(half, rng)
+        q = gen_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % PUBLIC_EXPONENT == 0:
+            continue
+        n = p * q
+        if n.bit_length() < bits - 1:
+            continue
+        d = invmod(PUBLIC_EXPONENT, phi)
+        return RsaPrivateKey(n, d, p, q)
+
+
+def _digest(message):
+    return hashlib.sha256(message).digest()
+
+
+def _pad_type1(digest, size):
+    """PKCS#1 type-1 (signature) padding with a digest-type marker."""
+    marker = b"sha256:"
+    payload = marker + digest
+    if len(payload) > size - 11:
+        raise CryptoError("modulus too small for signature payload")
+    padding = b"\xff" * (size - 3 - len(payload))
+    return b"\x00\x01" + padding + b"\x00" + payload

@@ -1,0 +1,61 @@
+"""S/Key one-time passwords: hash chains (RFC 1760 structure).
+
+OpenSSH's third authentication callgate (paper Figure 6) implements
+S/Key challenge-response: the server stores ``(sequence, seed, H^n(pw))``
+per user; the client answers challenge ``n-1`` with ``H^(n-1)(pw)``; the
+server verifies ``H(answer) == stored`` and steps the chain down.
+
+The paper also recounts an S/Key information leak (a challenge returned
+only for valid usernames); the Wedge sshd variant answers every username
+with a plausible dummy challenge, tested in ``tests/security``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import AuthenticationFailure
+
+
+def _h(data):
+    return hashlib.sha256(data).digest()[:16]
+
+
+def chain_value(password, seed, count):
+    """``H^count(password || seed)``."""
+    value = _h(password + seed)
+    for _ in range(count):
+        value = _h(value)
+    return value
+
+
+class SkeyEntry:
+    """Server-side state for one user's hash chain."""
+
+    def __init__(self, seed, sequence, top):
+        self.seed = seed
+        self.sequence = sequence  # the count of the stored value
+        self.top = top            # H^sequence(pw || seed)
+
+    @classmethod
+    def enroll(cls, password, seed, sequence=100):
+        return cls(seed, sequence, chain_value(password, seed, sequence))
+
+    def challenge(self):
+        """The (count, seed) the client must answer."""
+        if self.sequence <= 1:
+            raise AuthenticationFailure("S/Key chain exhausted; re-enroll")
+        return self.sequence - 1, self.seed
+
+    def verify(self, response):
+        """Check H(response) against the stored value; step the chain."""
+        if _h(response) != self.top:
+            return False
+        self.top = response
+        self.sequence -= 1
+        return True
+
+
+def respond(password, seed, count):
+    """Client side: the answer to challenge (count, seed)."""
+    return chain_value(password, seed, count)

@@ -1,0 +1,7 @@
+"""Partitioning metrics (trusted-code reduction, changed lines)."""
+
+from repro.metrics.partition import (app_total_loc, count_lines,
+                                     full_report, partition_report)
+
+__all__ = ["app_total_loc", "count_lines", "full_report",
+           "partition_report"]

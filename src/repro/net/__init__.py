@@ -1,0 +1,7 @@
+"""Simulated network substrate: byte streams, rendezvous, interposition."""
+
+from repro.net.network import Listener, Network
+from repro.net.stream import DEFAULT_TIMEOUT, ByteStream, DuplexStream
+
+__all__ = ["ByteStream", "DEFAULT_TIMEOUT", "DuplexStream", "Listener",
+           "Network"]

@@ -1,0 +1,131 @@
+"""The simulated network: listeners, connections and interposition.
+
+A :class:`Network` is a rendezvous for in-process stream connections.
+Servers :meth:`listen` on string addresses (``"server:443"``); clients
+:meth:`connect` to them and get one end of a
+:class:`~repro.net.stream.DuplexStream`.
+
+The network also exposes the attacker's vantage point: an
+:meth:`interpose` hook places a man-in-the-middle on an address, so every
+new connection is routed through attacker code that can eavesdrop on,
+forward, and inject messages in both directions — the threat model of
+paper section 5.1.2.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import NetworkError
+from repro.net.stream import DuplexStream
+
+
+class Listener:
+    """A bound address's accept queue."""
+
+    def __init__(self, network, addr):
+        self.network = network
+        self.addr = addr
+        self._pending = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def _enqueue(self, sock):
+        with self._cond:
+            if self._closed:
+                raise NetworkError(f"listener {self.addr!r} is closed")
+            self._pending.append(sock)
+            self._cond.notify()
+
+    def accept(self, timeout=30.0):
+        """Block for the next inbound connection."""
+        with self._cond:
+            if not self._cond.wait_for(
+                    lambda: self._pending or self._closed, timeout):
+                raise NetworkError(f"accept timed out on {self.addr!r}")
+            if self._closed and not self._pending:
+                raise NetworkError(f"listener {self.addr!r} is closed")
+            return self._pending.pop(0)
+
+    def pending_count(self):
+        with self._cond:
+            return len(self._pending)
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self.network._unbind(self.addr, self)
+
+
+class Network:
+    """One shared medium connecting every kernel attached to it."""
+
+    def __init__(self):
+        self._listeners = {}
+        self._interposers = {}
+        self._lock = threading.Lock()
+        self.connections_made = 0
+
+    # -- server side -------------------------------------------------------
+
+    def listen(self, addr):
+        with self._lock:
+            if addr in self._listeners:
+                raise NetworkError(f"address {addr!r} already in use")
+            listener = Listener(self, addr)
+            self._listeners[addr] = listener
+            return listener
+
+    def _unbind(self, addr, listener):
+        with self._lock:
+            if self._listeners.get(addr) is listener:
+                del self._listeners[addr]
+
+    # -- client side -------------------------------------------------------
+
+    def connect(self, addr):
+        """Open a connection to *addr*; returns the client endpoint.
+
+        If an interposer is registered for *addr*, the connection is
+        silently routed through it instead of reaching the listener
+        directly — the client cannot tell.
+        """
+        with self._lock:
+            interposer = self._interposers.get(addr)
+            listener = self._listeners.get(addr)
+        self.connections_made += 1
+        if interposer is not None:
+            return interposer._client_connected(addr)
+        if listener is None:
+            raise NetworkError(f"connection refused: {addr!r}")
+        client_end, server_end = DuplexStream.pipe_pair(addr)
+        listener._enqueue(server_end)
+        return client_end
+
+    def connect_direct(self, addr):
+        """Connect bypassing any interposer (the attacker's own upstream
+        path to the real server)."""
+        with self._lock:
+            listener = self._listeners.get(addr)
+        if listener is None:
+            raise NetworkError(f"connection refused: {addr!r}")
+        client_end, server_end = DuplexStream.pipe_pair(addr)
+        listener._enqueue(server_end)
+        return client_end
+
+    # -- the attacker's vantage point ------------------------------------------
+
+    def interpose(self, addr, interposer):
+        """Install a man-in-the-middle on *addr*.
+
+        *interposer* must implement ``_client_connected(addr) -> socket``;
+        see :class:`repro.attacks.mitm.MitmAttacker`.
+        """
+        with self._lock:
+            self._interposers[addr] = interposer
+            interposer.network = self
+
+    def remove_interposer(self, addr):
+        with self._lock:
+            self._interposers.pop(addr, None)

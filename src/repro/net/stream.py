@@ -1,0 +1,125 @@
+"""Byte streams: the shared transport under pipes and simulated sockets.
+
+A :class:`ByteStream` is one unidirectional, thread-safe byte queue with
+blocking reads, EOF, and timeouts.  A :class:`DuplexStream` pairs two of
+them into a connected-socket-like object.  These are deliberately
+stream-oriented (``recv`` may return short reads) so protocol code on top
+has to do real framing, as it would over TCP.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import ConnectionClosed, NetworkError
+
+#: Default blocking-receive timeout.  Finite so a deadlocked test fails
+#: loudly instead of hanging the suite.
+DEFAULT_TIMEOUT = 10.0
+
+
+class ByteStream:
+    """One direction of a connection: a bounded-blocking byte queue."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self._buf = bytearray()
+        self._eof = False
+        self._cond = threading.Condition()
+
+    def send(self, data):
+        """Append bytes; wakes any blocked reader."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("streams carry bytes")
+        with self._cond:
+            if self._eof:
+                raise ConnectionClosed(
+                    f"send on closed stream {self.name!r}")
+            self._buf += bytes(data)
+            self._cond.notify_all()
+        return len(data)
+
+    def recv(self, size, timeout=DEFAULT_TIMEOUT):
+        """Return 1..size bytes, or ``None`` at EOF.
+
+        Blocks until data is available; raises
+        :class:`~repro.core.errors.NetworkError` on timeout.
+        """
+        if size <= 0:
+            return b""
+        with self._cond:
+            if not self._cond.wait_for(
+                    lambda: self._buf or self._eof, timeout):
+                raise NetworkError(
+                    f"recv timed out after {timeout}s on {self.name!r}")
+            if not self._buf:
+                return None  # EOF
+            data = bytes(self._buf[:size])
+            del self._buf[:size]
+            return data
+
+    def recv_exact(self, size, timeout=DEFAULT_TIMEOUT):
+        """Return exactly *size* bytes or raise on EOF/timeout."""
+        out = bytearray()
+        while len(out) < size:
+            chunk = self.recv(size - len(out), timeout)
+            if chunk is None:
+                raise ConnectionClosed(
+                    f"stream {self.name!r} closed mid-message "
+                    f"({len(out)}/{size} bytes)")
+            out += chunk
+        return bytes(out)
+
+    def close(self):
+        """Signal EOF; pending bytes remain readable."""
+        with self._cond:
+            self._eof = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self):
+        with self._cond:
+            return self._eof
+
+    def pending(self):
+        with self._cond:
+            return len(self._buf)
+
+
+class DuplexStream:
+    """A connected socket: paired read/write byte streams."""
+
+    def __init__(self, rx, tx, *, name=""):
+        self._rx = rx
+        self._tx = tx
+        self.name = name
+
+    @classmethod
+    def pipe_pair(cls, name=""):
+        """Two connected endpoints (socketpair semantics)."""
+        a_to_b = ByteStream(f"{name}:a>b")
+        b_to_a = ByteStream(f"{name}:b>a")
+        end_a = cls(b_to_a, a_to_b, name=f"{name}:a")
+        end_b = cls(a_to_b, b_to_a, name=f"{name}:b")
+        return end_a, end_b
+
+    def send(self, data):
+        return self._tx.send(data)
+
+    def recv(self, size, timeout=DEFAULT_TIMEOUT):
+        return self._rx.recv(size, timeout)
+
+    def recv_exact(self, size, timeout=DEFAULT_TIMEOUT):
+        return self._rx.recv_exact(size, timeout)
+
+    def close(self):
+        """Close both directions (full socket close)."""
+        self._tx.close()
+        self._rx.close()
+
+    def shutdown_write(self):
+        self._tx.close()
+
+    @property
+    def closed(self):
+        return self._tx.closed and self._rx.closed

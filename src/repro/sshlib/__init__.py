@@ -1,0 +1,8 @@
+"""Simplified SSH: DH transport with DSA host signature, userauth, scp."""
+
+from repro.sshlib import channel, transport, userauth
+from repro.sshlib.client import SshClient, SshConnection
+from repro.sshlib.server import AuthOutcome, KernelSessionOps, ServerSession
+
+__all__ = ["AuthOutcome", "KernelSessionOps", "ServerSession", "SshClient",
+           "SshConnection", "channel", "transport", "userauth"]

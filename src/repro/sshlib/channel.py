@@ -1,0 +1,57 @@
+"""Post-auth session channel: exec, scp upload/download.
+
+Minimal command set sufficient for the paper's OpenSSH evaluation
+(Table 2: one login, one 10 MB scp).  Every message rides the sealed
+record channel; file data is chunked so large transfers exercise the
+record layer the way real scp exercises the SSH transport.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+from repro.tls.codec import pack_fields, unpack_fields
+
+CMD_EXEC = b"exec"
+CMD_SCP_UPLOAD = b"scp-up"
+CMD_SCP_DOWNLOAD = b"scp-down"
+CMD_DATA = b"data"
+CMD_DONE = b"done"
+CMD_ERROR = b"error"
+CMD_EXIT = b"exit"
+
+CHUNK = 16384
+
+
+def pack_session(cmd, *fields):
+    return pack_fields(cmd, *fields)
+
+
+def parse_session(body):
+    fields = unpack_fields(body)
+    if not fields:
+        raise ProtocolError("empty session message")
+    return fields[0], fields[1:]
+
+
+def send_file(channel, ftype, data):
+    """Stream *data* as chunked DATA messages followed by DONE."""
+    for off in range(0, len(data), CHUNK):
+        channel.send_record(ftype,
+                            pack_session(CMD_DATA, data[off:off + CHUNK]))
+    channel.send_record(ftype, pack_session(CMD_DONE))
+
+
+def recv_file(channel, ftype):
+    """Receive a chunked stream; returns the reassembled bytes."""
+    out = bytearray()
+    while True:
+        rtype, body = channel.recv_record(expect=ftype)
+        cmd, fields = parse_session(body)
+        if cmd == CMD_DATA:
+            out += fields[0]
+        elif cmd == CMD_DONE:
+            return bytes(out)
+        elif cmd == CMD_ERROR:
+            raise ProtocolError(fields[0].decode(errors="replace"))
+        else:
+            raise ProtocolError(f"unexpected session command {cmd!r}")

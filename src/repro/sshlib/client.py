@@ -1,0 +1,131 @@
+"""The SSH client: transport, three auth methods, exec and scp."""
+
+from __future__ import annotations
+
+from repro.core.errors import AuthenticationFailure, ProtocolError
+from repro.crypto import skey as skeymod
+from repro.sshlib import channel as chanmod
+from repro.sshlib import userauth
+from repro.sshlib.transport import (FT_AUTH, FT_AUTH_RESULT, FT_SESSION,
+                                    ClientTransport)
+from repro.tls.codec import pack_fields, unpack_fields
+from repro.tls.records import StreamTransport
+
+
+class SshClient:
+    def __init__(self, rng, *, expected_host_key=None):
+        self.rng = rng
+        self.expected_host_key = expected_host_key
+
+    def connect(self, network, addr, timeout=10.0):
+        sock = network.connect(addr)
+        driver = ClientTransport(StreamTransport(sock, timeout), self.rng,
+                                 expected_host_key=self.expected_host_key)
+        channel = driver.run()
+        return SshConnection(channel, driver.session_hash,
+                             driver.host_key)
+
+
+class SshConnection:
+    def __init__(self, channel, session_hash, host_key):
+        self.channel = channel
+        self.session_hash = session_hash
+        self.host_key = host_key
+        self.authenticated_as = None
+
+    # -- authentication methods ------------------------------------------------
+
+    def _auth_round(self, method, user, payload):
+        self.channel.send_record(FT_AUTH, userauth.pack_auth_request(
+            method, user, payload))
+        rtype, body = self.channel.recv_record(expect=FT_AUTH_RESULT)
+        return userauth.parse_auth_result(body)
+
+    def auth_password(self, user, password):
+        result, detail = self._auth_round(userauth.AUTH_PASSWORD, user,
+                                          bytes(password))
+        userauth.require_auth_ok(result, detail)
+        self.authenticated_as = user
+        return detail
+
+    def auth_pubkey(self, user, dsa_private):
+        payload = pack_fields(
+            dsa_private.public().to_bytes(),
+            dsa_private.sign(
+                userauth.pubkey_sign_payload(self.session_hash, user),
+                _SigRng()))
+        result, detail = self._auth_round(userauth.AUTH_PUBKEY, user,
+                                          payload)
+        userauth.require_auth_ok(result, detail)
+        self.authenticated_as = user
+        return detail
+
+    def auth_skey(self, user, password):
+        result, detail = self._auth_round(userauth.AUTH_SKEY, user, b"")
+        if result != userauth.RESULT_CHALLENGE:
+            raise AuthenticationFailure("expected an S/Key challenge")
+        count_bytes, seed = unpack_fields(detail, 2)
+        count = int(count_bytes.decode())
+        response = skeymod.respond(bytes(password), seed, count)
+        result, detail = self._auth_round(userauth.AUTH_SKEY, user,
+                                          response)
+        userauth.require_auth_ok(result, detail)
+        self.authenticated_as = user
+        return detail
+
+    def skey_challenge(self, user):
+        """Fetch a challenge without answering (probe attacks use this)."""
+        result, detail = self._auth_round(userauth.AUTH_SKEY, user, b"")
+        if result != userauth.RESULT_CHALLENGE:
+            return None
+        count_bytes, seed = unpack_fields(detail, 2)
+        return int(count_bytes.decode()), seed
+
+    # -- session -------------------------------------------------------------------
+
+    def exec(self, cmdline):
+        self.channel.send_record(FT_SESSION, chanmod.pack_session(
+            chanmod.CMD_EXEC, cmdline.encode()))
+        return chanmod.recv_file(self.channel, FT_SESSION)
+
+    def scp_upload(self, path, data):
+        self.channel.send_record(FT_SESSION, chanmod.pack_session(
+            chanmod.CMD_SCP_UPLOAD, path.encode()))
+        chanmod.send_file(self.channel, FT_SESSION, data)
+        rtype, body = self.channel.recv_record(expect=FT_SESSION)
+        cmd, fields = chanmod.parse_session(body)
+        if cmd == chanmod.CMD_ERROR:
+            raise ProtocolError(fields[0].decode(errors="replace"))
+        if cmd != chanmod.CMD_DONE:
+            raise ProtocolError("scp upload not acknowledged")
+
+    def scp_download(self, path):
+        self.channel.send_record(FT_SESSION, chanmod.pack_session(
+            chanmod.CMD_SCP_DOWNLOAD, path.encode()))
+        return chanmod.recv_file(self.channel, FT_SESSION)
+
+    def close(self):
+        try:
+            self.channel.send_record(FT_SESSION,
+                                     chanmod.pack_session(chanmod.CMD_EXIT))
+        except Exception:
+            pass
+        self.channel.close()
+
+
+class _SigRng:
+    """Deterministic per-signature nonce source for client signing.
+
+    Derives from a module-level counter; adequate for the simulation
+    (see the security disclaimer in DESIGN.md).
+    """
+
+    _counter = 0
+
+    def __init__(self):
+        from repro.crypto.rng import DetRNG
+        _SigRng._counter += 1
+        self._rng = DetRNG(f"ssh-client-sig-{_SigRng._counter}")
+
+    def randint(self, lo, hi):
+        return self._rng.randint(lo, hi)

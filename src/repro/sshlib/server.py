@@ -1,0 +1,175 @@
+"""The shared server-side SSH session driver.
+
+One driver serves all three sshd variants; what differs is *where the
+privileged operations run*, injected as three small strategy objects:
+
+* ``signer(session_hash) -> signature`` — the host-key operation
+  (in-process for monolithic; the ``dsa_sign`` callgate under Wedge);
+* ``auth_backend.handle(method, user, payload, session_hash)`` — the
+  credential check (in-process; monitor IPC under privsep; the
+  password / dsa_auth / skey callgates under Wedge).  On success the
+  backend is responsible for any uid/root transition of the worker;
+* ``session_ops`` — filesystem access for exec/scp, which runs with
+  whatever uid/root the worker holds *after* authentication.
+
+This mirrors how little of OpenSSH the paper had to touch (564 lines):
+the bulk of the daemon is method-agnostic plumbing like this driver.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError, VfsError, WedgeError
+from repro.sshlib import channel as chanmod
+from repro.sshlib import userauth
+from repro.sshlib.transport import (FT_AUTH, FT_AUTH_RESULT, FT_SESSION,
+                                    ServerTransport)
+
+MAX_AUTH_ATTEMPTS = 6
+
+
+class AuthOutcome:
+    """What an auth backend decided."""
+
+    def __init__(self, result, detail=b"", passwd=None):
+        self.result = result
+        self.detail = detail
+        self.passwd = passwd
+
+    @classmethod
+    def ok(cls, passwd):
+        return cls(userauth.RESULT_OK,
+                   f"uid={passwd.uid}".encode(), passwd)
+
+    @classmethod
+    def fail(cls, detail=b"authentication failed"):
+        return cls(userauth.RESULT_FAIL, detail)
+
+    @classmethod
+    def challenge(cls, detail):
+        return cls(userauth.RESULT_CHALLENGE, detail)
+
+
+class ServerSession:
+    """Drives one connection: transport, auth loop, session loop."""
+
+    def __init__(self, transport, rng, *, host_pub_bytes, signer,
+                 auth_backend, session_ops, exploit_hook=None):
+        self.transport_driver = ServerTransport(
+            transport, rng, host_pub_bytes=host_pub_bytes, signer=signer)
+        self.auth_backend = auth_backend
+        self.session_ops = session_ops
+        #: called on every untrusted auth payload — the variant wires the
+        #: simulated vulnerability (and its context) through this
+        self.exploit_hook = exploit_hook
+        self.authenticated = None
+        self.commands_served = 0
+
+    def run(self):
+        channel = self.transport_driver.run()
+        session_hash = self.transport_driver.session_hash
+        self._auth_loop(channel, session_hash)
+        if self.authenticated is None:
+            return "auth-failed"
+        self._session_loop(channel)
+        return "session-closed"
+
+    # -- authentication ------------------------------------------------------
+
+    def _auth_loop(self, channel, session_hash):
+        for _ in range(MAX_AUTH_ATTEMPTS):
+            rtype, body = channel.recv_record(expect=FT_AUTH)
+            method, user, payload = userauth.parse_auth_request(body)
+            if self.exploit_hook is not None:
+                self.exploit_hook(payload, {"phase": "pre-auth",
+                                            "user": user})
+            outcome = self.auth_backend.handle(method, user, payload,
+                                               session_hash)
+            channel.send_record(FT_AUTH_RESULT, userauth.pack_auth_result(
+                outcome.result, outcome.detail))
+            if outcome.result == userauth.RESULT_OK:
+                self.authenticated = outcome.passwd
+                return
+
+    # -- session ------------------------------------------------------------------
+
+    def _session_loop(self, channel):
+        while True:
+            try:
+                rtype, body = channel.recv_record(expect=FT_SESSION)
+            except WedgeError:
+                return
+            cmd, fields = chanmod.parse_session(body)
+            if cmd == chanmod.CMD_EXIT:
+                return
+            try:
+                self._dispatch(channel, cmd, fields)
+                self.commands_served += 1
+            except (ProtocolError, VfsError) as exc:
+                channel.send_record(FT_SESSION, chanmod.pack_session(
+                    chanmod.CMD_ERROR, str(exc).encode()))
+
+    def _dispatch(self, channel, cmd, fields):
+        ops = self.session_ops
+        if cmd == chanmod.CMD_EXEC:
+            output = ops.exec_command(fields[0].decode(errors="replace"),
+                                      self.authenticated)
+            channel.send_record(FT_SESSION, chanmod.pack_session(
+                chanmod.CMD_DATA, output))
+            channel.send_record(FT_SESSION, chanmod.pack_session(
+                chanmod.CMD_DONE))
+        elif cmd == chanmod.CMD_SCP_UPLOAD:
+            path = fields[0].decode(errors="replace")
+            data = chanmod.recv_file(channel, FT_SESSION)
+            ops.write_file(path, data)
+            channel.send_record(FT_SESSION,
+                                chanmod.pack_session(chanmod.CMD_DONE))
+        elif cmd == chanmod.CMD_SCP_DOWNLOAD:
+            path = fields[0].decode(errors="replace")
+            data = ops.read_file(path)
+            chanmod.send_file(channel, FT_SESSION, data)
+        else:
+            raise ProtocolError(f"unknown session command {cmd!r}")
+
+
+class KernelSessionOps:
+    """exec/scp over the simulated VFS, as the *current* compartment.
+
+    Runs with the worker's uid and filesystem root, so the post-auth
+    promotion is what actually unlocks the user's files.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def exec_command(self, cmdline, passwd):
+        kernel = self.kernel
+        parts = cmdline.split()
+        if not parts:
+            raise ProtocolError("empty command")
+        if parts[0] == "whoami":
+            return (f"{passwd.user} uid={kernel.getuid()} "
+                    f"root={kernel.current().root}").encode()
+        if parts[0] == "cat" and len(parts) == 2:
+            return self.read_file(parts[1])
+        if parts[0] == "echo":
+            return cmdline[5:].encode()
+        raise ProtocolError(f"command not found: {parts[0]}")
+
+    def read_file(self, path):
+        fd = self.kernel.open(path, "r")
+        try:
+            out = bytearray()
+            while True:
+                chunk = self.kernel.read(fd, 65536)
+                if not chunk:
+                    return bytes(out)
+                out += chunk
+        finally:
+            self.kernel.close(fd)
+
+    def write_file(self, path, data):
+        fd = self.kernel.open(path, "w")
+        try:
+            self.kernel.write(fd, data)
+        finally:
+            self.kernel.close(fd)

@@ -1,0 +1,227 @@
+"""SSH-like transport: version exchange, DH key exchange, host signature.
+
+Simplified to the structure OpenSSH's partitioning cares about (paper
+section 5.2): the server proves its identity by *signing* the key-exchange
+hash with its DSA host key — the single private-key operation that the
+Wedge variant pushes behind the ``dsa_sign`` callgate — and the channel
+keys derive from a Diffie-Hellman exchange, so the host key never
+decrypts anything.
+
+Wire format reuses the record framing of :mod:`repro.tls.records`; after
+key exchange both directions switch to sealed records.
+
+.. code-block:: none
+
+    Client                                  Server
+    VERSION("SSH-SIM-1.0-...")       <-->   VERSION(...)
+    KEXINIT(client_random, e=g^a)    --->
+                                     <---   KEXREPLY(server_random, f=g^b,
+                                                     host_pub, sig(H))
+    [both derive H, keys; channel sealed from here]
+    userauth / session messages
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import HandshakeFailure, ProtocolError
+from repro.crypto.dsa import DsaPublicKey, default_params
+from repro.crypto.prf import prf
+from repro.tls.codec import pack_fields, unpack_fields
+from repro.tls.records import RecordChannel
+
+#: Frame types (disjoint from the TLS record types for clarity).
+FT_VERSION = 40
+FT_KEXINIT = 41
+FT_KEXREPLY = 42
+FT_AUTH = 43
+FT_AUTH_RESULT = 44
+FT_SESSION = 45
+
+VERSION_STRING = b"SSH-SIM-1.0-wedge"
+RANDOM_LEN = 32
+
+MAC_KEY_LEN = 32
+ENC_KEY_LEN = 32
+
+
+def dh_group():
+    """The shared DH group: the DSA domain parameters' (p, g)."""
+    params = default_params()
+    return params.p, params.g
+
+
+def dh_public(private):
+    p, g = dh_group()
+    return pow(g, private, p)
+
+
+def dh_shared(peer_public, private):
+    p, _ = dh_group()
+    if not 1 < peer_public < p - 1:
+        raise HandshakeFailure("degenerate DH public value")
+    return pow(peer_public, private, p)
+
+
+def _int_bytes(n):
+    return n.to_bytes((n.bit_length() + 7) // 8 or 1, "big")
+
+
+def exchange_hash(client_random, server_random, client_pub, server_pub,
+                  host_pub_bytes):
+    """``H``: binds both randoms, both DH publics, and the host key."""
+    material = pack_fields(client_random, server_random,
+                           _int_bytes(client_pub), _int_bytes(server_pub),
+                           host_pub_bytes)
+    return hashlib.sha256(material).digest()
+
+
+def derive_channel_keys(shared, session_hash):
+    """Expand the DH shared secret into the four channel keys."""
+    block = prf(_int_bytes(shared), "ssh channel keys", session_hash,
+                2 * MAC_KEY_LEN + 2 * ENC_KEY_LEN)
+    return {
+        "c2s_mac": block[0:32],
+        "s2c_mac": block[32:64],
+        "c2s_enc": block[64:96],
+        "s2c_enc": block[96:128],
+    }
+
+
+def activate_server(channel, keys):
+    """Switch a server-side RecordChannel to sealed records."""
+    channel.activate_recv(keys["c2s_enc"], keys["c2s_mac"])
+    channel.activate_send(keys["s2c_enc"], keys["s2c_mac"])
+
+
+def activate_client(channel, keys):
+    channel.activate_send(keys["c2s_enc"], keys["c2s_mac"])
+    channel.activate_recv(keys["s2c_enc"], keys["s2c_mac"])
+
+
+# -- message packing ---------------------------------------------------------
+
+
+def pack_kexinit(client_random, client_pub):
+    return pack_fields(client_random, _int_bytes(client_pub))
+
+
+def parse_kexinit(body):
+    cr, e = unpack_fields(body, 2)
+    if len(cr) != RANDOM_LEN:
+        raise ProtocolError("bad client random")
+    return cr, int.from_bytes(e, "big")
+
+
+def pack_kexreply(server_random, server_pub, host_pub_bytes, signature):
+    return pack_fields(server_random, _int_bytes(server_pub),
+                       host_pub_bytes, signature)
+
+
+def parse_kexreply(body):
+    sr, f, host_pub, sig = unpack_fields(body, 4)
+    if len(sr) != RANDOM_LEN:
+        raise ProtocolError("bad server random")
+    return sr, int.from_bytes(f, "big"), host_pub, sig
+
+
+# -- server-side transport driver ----------------------------------------------
+
+
+class ServerTransport:
+    """Runs the server side of the transport handshake.
+
+    *signer* abstracts the host-key operation: the monolithic server
+    signs in-process; the Wedge variant's signer invokes the ``dsa_sign``
+    callgate.  Either way this driver itself never needs the private
+    key — which is what makes the callgate split natural.
+    """
+
+    def __init__(self, transport, rng, *, host_pub_bytes, signer,
+                 version=VERSION_STRING):
+        self.channel = RecordChannel(transport)
+        self.rng = rng
+        self.host_pub_bytes = host_pub_bytes
+        self.signer = signer
+        self.version = version
+        self.session_hash = None
+        self.keys = None
+        self.client_version = None
+
+    def run(self):
+        channel = self.channel
+        channel.send_record(FT_VERSION, self.version)
+        rtype, body = channel.recv_record(expect=FT_VERSION)
+        if not body.startswith(b"SSH-SIM-"):
+            raise HandshakeFailure("peer is not an SSH-SIM client")
+        self.client_version = body
+
+        rtype, body = channel.recv_record(expect=FT_KEXINIT)
+        client_random, client_pub = parse_kexinit(body)
+
+        server_random = self.rng.bytes(RANDOM_LEN)
+        p, _ = dh_group()
+        b = self.rng.randint(2, p - 2)
+        server_pub = dh_public(b)
+        session_hash = exchange_hash(client_random, server_random,
+                                     client_pub, server_pub,
+                                     self.host_pub_bytes)
+        signature = self.signer(session_hash)
+        channel.send_record(FT_KEXREPLY, pack_kexreply(
+            server_random, server_pub, self.host_pub_bytes, signature))
+
+        shared = dh_shared(client_pub, b)
+        self.keys = derive_channel_keys(shared, session_hash)
+        self.session_hash = session_hash
+        activate_server(channel, self.keys)
+        return channel
+
+
+class ClientTransport:
+    """Client side of the transport handshake."""
+
+    def __init__(self, transport, rng, *, expected_host_key=None,
+                 version=VERSION_STRING):
+        self.channel = RecordChannel(transport)
+        self.rng = rng
+        self.expected_host_key = expected_host_key
+        self.version = version
+        self.session_hash = None
+        self.keys = None
+        self.host_key = None
+
+    def run(self):
+        channel = self.channel
+        rtype, body = channel.recv_record(expect=FT_VERSION)
+        if not body.startswith(b"SSH-SIM-"):
+            raise HandshakeFailure("peer is not an SSH-SIM server")
+        channel.send_record(FT_VERSION, self.version)
+
+        client_random = self.rng.bytes(RANDOM_LEN)
+        p, _ = dh_group()
+        a = self.rng.randint(2, p - 2)
+        client_pub = dh_public(a)
+        channel.send_record(FT_KEXINIT,
+                            pack_kexinit(client_random, client_pub))
+
+        rtype, body = channel.recv_record(expect=FT_KEXREPLY)
+        server_random, server_pub, host_pub_bytes, sig = \
+            parse_kexreply(body)
+        host_key = DsaPublicKey.from_bytes(host_pub_bytes,
+                                           default_params())
+        if (self.expected_host_key is not None and
+                host_pub_bytes != self.expected_host_key.to_bytes()):
+            raise HandshakeFailure("host key mismatch (known_hosts)")
+        session_hash = exchange_hash(client_random, server_random,
+                                     client_pub, server_pub,
+                                     host_pub_bytes)
+        if not host_key.verify(session_hash, sig):
+            raise HandshakeFailure("host signature verification failed")
+
+        shared = dh_shared(server_pub, a)
+        self.keys = derive_channel_keys(shared, session_hash)
+        self.session_hash = session_hash
+        self.host_key = host_key
+        activate_client(channel, self.keys)
+        return channel

@@ -1,0 +1,216 @@
+"""User authentication: messages, credential files, and check logic.
+
+Three methods, matching the paper's Figure 6 callgates:
+
+* ``password`` — checked against ``/etc/shadow`` (salted SHA-256);
+* ``pubkey``  — DSA signature over (session hash, username), checked
+  against the user's ``authorized_keys``;
+* ``skey``    — S/Key challenge-response against ``/etc/skeykeys``.
+
+The *check* functions here are pure logic over file contents; where they
+run — monolithic process, privsep monitor, or Wedge callgate — is the
+application's choice and is exactly what the paper varies.
+
+Two-step flow, kept deliberately (paper section 5.2 "for ease of coding
+reasons"): step 1 looks up the user (``getpwnam``), step 2 verifies the
+credential.  The *information leak* the paper found in privilege-separated
+OpenSSH lives in step 1: returning NULL for unknown users lets an
+exploited slave probe the user database.  The Wedge password callgate
+instead answers with a plausible **dummy passwd entry** —
+:func:`dummy_passwd` is deterministic per username, so even repeated
+probes are consistent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import AuthenticationFailure, ProtocolError
+from repro.crypto import skey as skeymod
+from repro.crypto.dsa import DsaPublicKey, default_params
+from repro.tls.codec import pack_fields, unpack_fields
+
+AUTH_PASSWORD = b"password"
+AUTH_PUBKEY = b"pubkey"
+AUTH_SKEY = b"skey"
+
+RESULT_OK = b"ok"
+RESULT_FAIL = b"fail"
+RESULT_CHALLENGE = b"challenge"
+
+
+# -- password file handling ---------------------------------------------------
+
+
+def hash_password(salt, password):
+    return hashlib.sha256(salt + b":" + password).hexdigest().encode()
+
+
+def shadow_line(user, salt, password, uid, home):
+    return b":".join([user.encode(), salt,
+                      hash_password(salt, password),
+                      str(uid).encode(), home.encode()])
+
+
+def parse_shadow(data):
+    """Parse shadow file bytes into {user: (salt, hash, uid, home)}."""
+    entries = {}
+    for line in data.splitlines():
+        if not line.strip():
+            continue
+        try:
+            user, salt, digest, uid, home = line.split(b":")
+        except ValueError as exc:
+            raise ProtocolError("corrupt shadow file") from exc
+        entries[user.decode()] = (salt, digest, int(uid), home.decode())
+    return entries
+
+
+class Passwd:
+    """The subset of ``struct passwd`` the session needs."""
+
+    def __init__(self, user, uid, home):
+        self.user = user
+        self.uid = uid
+        self.home = home
+
+    def __eq__(self, other):
+        return (isinstance(other, Passwd) and
+                (self.user, self.uid, self.home) ==
+                (other.user, other.uid, other.home))
+
+    def __repr__(self):
+        return f"Passwd({self.user!r}, uid={self.uid}, home={self.home!r})"
+
+
+def dummy_passwd(user):
+    """A plausible fake entry for unknown users (paper section 5.2).
+
+    Deterministic in the username so repeated probes cannot distinguish
+    "dummy" from "real but wrong password".
+    """
+    fake_uid = 20000 + int.from_bytes(
+        hashlib.sha256(user.encode()).digest()[:2], "big")
+    return Passwd(user, fake_uid, f"/home/{user}")
+
+
+def check_password(shadow_entries, user, password):
+    """True iff *password* matches; unknown users simply fail."""
+    entry = shadow_entries.get(user)
+    if entry is None:
+        return False
+    salt, digest, _, _ = entry
+    return hash_password(salt, bytes(password)) == digest
+
+
+def lookup_passwd(shadow_entries, user):
+    entry = shadow_entries.get(user)
+    if entry is None:
+        return None
+    _, _, uid, home = entry
+    return Passwd(user, uid, home)
+
+
+# -- authorized_keys (DSA pubkey auth) -----------------------------------------
+
+
+def authorized_keys_line(pub):
+    return b"ssh-dsa " + pub.to_bytes().hex().encode()
+
+
+def parse_authorized_keys(data):
+    keys = []
+    for line in data.splitlines():
+        if not line.startswith(b"ssh-dsa "):
+            continue
+        try:
+            keys.append(DsaPublicKey.from_bytes(
+                bytes.fromhex(line.split(b" ", 1)[1].decode()),
+                default_params()))
+        except (ValueError, ProtocolError):
+            continue
+    return keys
+
+
+def pubkey_sign_payload(session_hash, user):
+    """What the client signs to prove key possession for this session."""
+    return pack_fields(session_hash, user.encode())
+
+
+def check_pubkey(authorized, session_hash, user, pub_bytes, signature):
+    """Is *pub_bytes* an authorized key that signed this session?"""
+    try:
+        offered = DsaPublicKey.from_bytes(pub_bytes, default_params())
+    except Exception:
+        return False
+    if not any(k.y == offered.y for k in authorized):
+        return False
+    return offered.verify(pubkey_sign_payload(session_hash, user),
+                          signature)
+
+
+# -- S/Key database ---------------------------------------------------------------
+
+
+def skey_db_line(user, entry):
+    return b":".join([user.encode(), entry.seed,
+                      str(entry.sequence).encode(), entry.top.hex().encode()])
+
+
+def parse_skey_db(data):
+    entries = {}
+    for line in data.splitlines():
+        if not line.strip():
+            continue
+        user, seed, seq, top = line.split(b":")
+        entries[user.decode()] = skeymod.SkeyEntry(
+            seed, int(seq), bytes.fromhex(top.decode()))
+    return entries
+
+
+def serialize_skey_db(entries):
+    return b"\n".join(skey_db_line(u, e) for u, e in
+                      sorted(entries.items())) + b"\n"
+
+
+def dummy_skey_challenge(user):
+    """A plausible, deterministic challenge for unknown users.
+
+    The fix for the S/Key leak of paper reference [14]: a challenge is
+    always returned, so an attacker cannot use its presence to confirm a
+    username.
+    """
+    digest = hashlib.sha256(b"skey-dummy:" + user.encode()).digest()
+    count = 40 + digest[0] % 50
+    seed = digest[1:9].hex().encode()
+    return count, seed
+
+
+# -- auth messages -------------------------------------------------------------------
+
+
+def pack_auth_request(method, user, payload=b""):
+    return pack_fields(method, user.encode(), payload)
+
+
+def parse_auth_request(body):
+    method, user, payload = unpack_fields(body, 3)
+    try:
+        return method, user.decode(), payload
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("bad username encoding") from exc
+
+
+def pack_auth_result(result, detail=b""):
+    return pack_fields(result, detail)
+
+
+def parse_auth_result(body):
+    result, detail = unpack_fields(body, 2)
+    return result, detail
+
+
+def require_auth_ok(result, detail):
+    if result != RESULT_OK:
+        raise AuthenticationFailure(
+            f"authentication failed: {detail.decode(errors='replace')}")

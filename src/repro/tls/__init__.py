@@ -1,0 +1,18 @@
+"""Simplified SSL: record layer, RSA handshake, session cache, client.
+
+Faithful to the properties the paper's partitioning relies on (section
+5.1): the session key is a PRF over two public randoms and an
+RSA-encrypted premaster; Finished messages bind the transcript; records
+are MAC-then-encrypt with sequence numbers; sessions can be cached and
+resumed.
+"""
+
+from repro.tls import codec, handshake, records, server_core
+from repro.tls.client import TlsClient, TlsConnection
+from repro.tls.records import (KernelSocketTransport, RecordChannel,
+                               StreamTransport)
+from repro.tls.session_cache import SessionCache
+
+__all__ = ["KernelSocketTransport", "RecordChannel", "SessionCache",
+           "StreamTransport", "TlsClient", "TlsConnection", "codec",
+           "handshake", "records", "server_core"]

@@ -1,0 +1,155 @@
+"""The SSL client: handshake driver and application channel.
+
+Clients run outside any Wedge kernel (they model remote machines), over a
+raw :class:`~repro.net.stream.DuplexStream`.  Besides honest operation,
+the client exposes the knobs attacks need: arbitrary ClientHello
+extensions (the exploit vector) and explicit session resumption state.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import HandshakeFailure, ProtocolError
+from repro.crypto.mac import constant_time_eq
+from repro.crypto.prf import (derive_key_block, derive_master_secret,
+                              finished_verify_data)
+from repro.crypto.rsa import RsaPublicKey
+from repro.tls.handshake import (HS_CERTIFICATE, HS_FINISHED,
+                                 HS_SERVER_HELLO,
+                                 HS_SERVER_KEY_EXCHANGE, RANDOM_LEN,
+                                 ClientHello, ClientKeyExchange, Finished,
+                                 ServerKeyExchange, Transcript,
+                                 parse_handshake)
+from repro.tls.records import (RT_APPDATA, RT_CHANGE_CIPHER, RT_HANDSHAKE,
+                               RecordChannel, StreamTransport)
+
+PREMASTER_LEN = 32
+
+
+class ClientSession:
+    """Resumption state a client carries between connections."""
+
+    def __init__(self, session_id, master):
+        self.session_id = session_id
+        self.master = master
+
+
+class TlsClient:
+    """One client identity: RNG, expected server key, resumption cache."""
+
+    def __init__(self, rng, *, expected_server_key=None):
+        self.rng = rng
+        self.expected_server_key = expected_server_key
+        self.session = None
+        self.last_resumed = None
+
+    def connect(self, network, addr, *, extensions=b"", resume=True,
+                timeout=10.0):
+        """Handshake over a fresh connection; returns a TlsConnection."""
+        sock = network.connect(addr)
+        return self.handshake(sock, extensions=extensions, resume=resume,
+                              timeout=timeout)
+
+    def handshake(self, sock, *, extensions=b"", resume=True,
+                  timeout=10.0):
+        channel = RecordChannel(StreamTransport(sock, timeout))
+        transcript = Transcript()
+
+        client_random = self.rng.bytes(RANDOM_LEN)
+        offered_sid = (self.session.session_id
+                       if resume and self.session is not None else b"")
+        hello = ClientHello(client_random, offered_sid, extensions).pack()
+        channel.send_record(RT_HANDSHAKE, hello)
+        transcript.add(hello)
+
+        rtype, body = channel.recv_record(expect=RT_HANDSHAKE)
+        server_hello = parse_handshake(body, expect=HS_SERVER_HELLO)
+        transcript.add(body)
+        server_random = server_hello.server_random
+        self.last_resumed = server_hello.resumed
+
+        if server_hello.resumed:
+            if self.session is None or \
+                    server_hello.session_id != self.session.session_id:
+                raise HandshakeFailure("server resumed an unknown session")
+            master = self.session.master
+        else:
+            rtype, body = channel.recv_record(expect=RT_HANDSHAKE)
+            cert = parse_handshake(body, expect=HS_CERTIFICATE)
+            transcript.add(body)
+            server_key = RsaPublicKey.from_bytes(cert.pubkey_bytes)
+            if (self.expected_server_key is not None
+                    and server_key != self.expected_server_key):
+                raise HandshakeFailure(
+                    "server key does not match the pinned key")
+            encrypting_key = server_key
+            if cert.ephemeral:
+                # forward secrecy: verify the server-signed ephemeral
+                # key and encrypt the premaster to it instead
+                rtype, body = channel.recv_record(expect=RT_HANDSHAKE)
+                ske = parse_handshake(body,
+                                      expect=HS_SERVER_KEY_EXCHANGE)
+                transcript.add(body)
+                payload = ServerKeyExchange.signed_payload(
+                    ske.ephemeral_pub_bytes, client_random,
+                    server_random)
+                if not server_key.verify(payload, ske.signature):
+                    raise HandshakeFailure(
+                        "ephemeral key signature verification failed")
+                encrypting_key = RsaPublicKey.from_bytes(
+                    ske.ephemeral_pub_bytes)
+            premaster = self.rng.bytes(PREMASTER_LEN)
+            encrypted = encrypting_key.encrypt(premaster, self.rng)
+            cke = ClientKeyExchange(encrypted).pack()
+            channel.send_record(RT_HANDSHAKE, cke)
+            transcript.add(cke)
+            master = derive_master_secret(premaster, client_random,
+                                          server_random)
+
+        keys = derive_key_block(master, client_random, server_random)
+
+        channel.send_record(RT_CHANGE_CIPHER, b"")
+        channel.activate_send(keys["client_enc"], keys["client_mac"])
+        verify = finished_verify_data(master, "client finished",
+                                      transcript.digest())
+        finished = Finished(verify).pack()
+        channel.send_record(RT_HANDSHAKE, finished)
+        transcript.add(finished)
+
+        channel.recv_record(expect=RT_CHANGE_CIPHER)
+        channel.activate_recv(keys["server_enc"], keys["server_mac"])
+        rtype, body = channel.recv_record(expect=RT_HANDSHAKE)
+        server_finished = parse_handshake(body, expect=HS_FINISHED)
+        expected = finished_verify_data(master, "server finished",
+                                        transcript.digest())
+        if not constant_time_eq(expected, server_finished.verify_data):
+            raise HandshakeFailure("server Finished verification failed")
+
+        self.session = ClientSession(server_hello.session_id, master)
+        return TlsConnection(channel, master=master, keys=keys,
+                             resumed=server_hello.resumed)
+
+
+class TlsConnection:
+    """An established client-side connection."""
+
+    def __init__(self, channel, *, master, keys, resumed):
+        self.channel = channel
+        self.master = master
+        self.keys = keys
+        self.resumed = resumed
+
+    def send(self, data):
+        self.channel.send_record(RT_APPDATA, data)
+
+    def recv(self):
+        rtype, payload = self.channel.recv_record()
+        if rtype != RT_APPDATA:
+            raise ProtocolError(f"unexpected record type {rtype}")
+        return payload
+
+    def request(self, data):
+        self.send(data)
+        return self.recv()
+
+    def close(self):
+        self.channel.close()

@@ -1,0 +1,69 @@
+"""Tiny binary codec: length-prefixed fields for protocol messages.
+
+All TLS-like and SSH-like messages in this repository serialise as a
+sequence of 3-byte-length-prefixed byte fields.  Deliberately minimal;
+malformed input raises :class:`~repro.core.errors.ProtocolError`, never
+an arbitrary Python exception — peers must not be able to crash a
+compartment with anything other than a simulated exploit.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+
+_LEN = 3
+_MAX = (1 << (8 * _LEN)) - 1
+
+
+def pack_fields(*fields):
+    """Concatenate fields, each prefixed with a 3-byte big-endian length."""
+    out = bytearray()
+    for field in fields:
+        field = bytes(field)
+        if len(field) > _MAX:
+            raise ProtocolError("field too large to encode")
+        out += len(field).to_bytes(_LEN, "big") + field
+    return bytes(out)
+
+
+def unpack_fields(data, count=None):
+    """Split *data* back into its fields.
+
+    With *count*, exactly that many fields are required and trailing
+    bytes are an error; without, all fields present are returned.
+    """
+    fields = []
+    off = 0
+    while off < len(data):
+        if off + _LEN > len(data):
+            raise ProtocolError("truncated field length")
+        length = int.from_bytes(data[off:off + _LEN], "big")
+        off += _LEN
+        if off + length > len(data):
+            raise ProtocolError("truncated field body")
+        fields.append(data[off:off + length])
+        off += length
+        if count is not None and len(fields) > count:
+            raise ProtocolError(f"expected {count} fields, got more")
+    if count is not None and len(fields) != count:
+        raise ProtocolError(
+            f"expected {count} fields, got {len(fields)}")
+    return fields
+
+
+def pack_u8(value):
+    if not 0 <= value <= 0xFF:
+        raise ProtocolError("u8 out of range")
+    return bytes([value])
+
+
+def pack_u64(value):
+    if not 0 <= value < (1 << 64):
+        raise ProtocolError("u64 out of range")
+    return value.to_bytes(8, "big")
+
+
+def unpack_u64(data):
+    if len(data) != 8:
+        raise ProtocolError("bad u64 encoding")
+    return int.from_bytes(data, "big")

@@ -1,0 +1,221 @@
+"""Handshake message types for the simplified SSL protocol.
+
+The message flow (RSA key exchange, as in paper section 5.1 — ephemeral
+RSA is not used, matching the paper's assumption):
+
+.. code-block:: none
+
+    Client                                   Server
+    ClientHello(cr, [session_id], ext)  --->
+                                        <---  ServerHello(sr, session_id,
+                                                          resumed?)
+                                        <---  Certificate(rsa_pub)   [new]
+    ClientKeyExchange(E_pub(premaster)) --->                         [new]
+    ChangeCipherSpec, Finished          --->
+                                        <---  ChangeCipherSpec, Finished
+    ApplicationData                     <-->  ApplicationData
+
+Each message is ``u8 type || length-prefixed fields``.  The transcript
+hash is SHA-256 over the concatenated cleartext messages, and both
+Finished payloads are ``PRF(master, label, transcript_hash)``.
+
+ClientHello carries an opaque *extensions* field.  The simulated
+buffer-overflow vulnerability of the Apache worker lives in the parsing
+of this field (see :mod:`repro.attacks.exploit`): a hostile extension
+hijacks the parsing compartment, which is exactly the paper's
+network-facing-exploit threat model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import ProtocolError
+from repro.tls.codec import pack_fields, pack_u8, unpack_fields
+
+HS_CLIENT_HELLO = 1
+HS_SERVER_HELLO = 2
+HS_CERTIFICATE = 11
+HS_SERVER_KEY_EXCHANGE = 12
+HS_CLIENT_KEY_EXCHANGE = 16
+HS_FINISHED = 20
+
+#: Certificate flag: an ephemeral ServerKeyExchange follows.
+CERT_FLAG_EPHEMERAL = 0x01
+
+RANDOM_LEN = 32
+SESSION_ID_LEN = 16
+
+
+class ClientHello:
+    def __init__(self, client_random, session_id=b"", extensions=b""):
+        self.client_random = client_random
+        self.session_id = session_id
+        self.extensions = extensions
+
+    def pack(self):
+        return pack_u8(HS_CLIENT_HELLO) + pack_fields(
+            self.client_random, self.session_id, self.extensions)
+
+    @classmethod
+    def parse(cls, body):
+        cr, sid, ext = unpack_fields(body, 3)
+        if len(cr) != RANDOM_LEN:
+            raise ProtocolError("bad client random length")
+        if sid and len(sid) != SESSION_ID_LEN:
+            raise ProtocolError("bad session id length")
+        return cls(cr, sid, ext)
+
+
+class ServerHello:
+    def __init__(self, server_random, session_id, resumed):
+        self.server_random = server_random
+        self.session_id = session_id
+        self.resumed = resumed
+
+    def pack(self):
+        return pack_u8(HS_SERVER_HELLO) + pack_fields(
+            self.server_random, self.session_id,
+            b"\x01" if self.resumed else b"\x00")
+
+    @classmethod
+    def parse(cls, body):
+        sr, sid, flag = unpack_fields(body, 3)
+        if len(sr) != RANDOM_LEN:
+            raise ProtocolError("bad server random length")
+        if flag not in (b"\x00", b"\x01"):
+            raise ProtocolError("bad resumption flag")
+        return cls(sr, sid, flag == b"\x01")
+
+
+class Certificate:
+    def __init__(self, pubkey_bytes, server_name=b"", flags=0):
+        self.pubkey_bytes = pubkey_bytes
+        self.server_name = server_name
+        self.flags = flags
+
+    def pack(self):
+        return pack_u8(HS_CERTIFICATE) + pack_fields(
+            self.pubkey_bytes, self.server_name, bytes([self.flags]))
+
+    @classmethod
+    def parse(cls, body):
+        pub, name, flags = unpack_fields(body, 3)
+        if len(flags) != 1:
+            raise ProtocolError("bad certificate flags")
+        return cls(pub, name, flags[0])
+
+    @property
+    def ephemeral(self):
+        return bool(self.flags & CERT_FLAG_EPHEMERAL)
+
+
+class ServerKeyExchange:
+    """Ephemeral-RSA key exchange (forward secrecy, paper §5.1.1).
+
+    The server mints a per-connection RSA key pair and signs the
+    ephemeral public key — bound to both handshake randoms — with its
+    long-term key.  The client encrypts the premaster to the ephemeral
+    key, so a *future* compromise of the long-term key cannot decrypt
+    recorded sessions.  The paper presumes this mode off, "rarely used
+    in practice because of [its] high computational cost"; the ablation
+    benchmark quantifies that cost.
+    """
+
+    def __init__(self, ephemeral_pub_bytes, signature):
+        self.ephemeral_pub_bytes = ephemeral_pub_bytes
+        self.signature = signature
+
+    def pack(self):
+        return pack_u8(HS_SERVER_KEY_EXCHANGE) + pack_fields(
+            self.ephemeral_pub_bytes, self.signature)
+
+    @classmethod
+    def parse(cls, body):
+        pub, sig = unpack_fields(body, 2)
+        return cls(pub, sig)
+
+    @staticmethod
+    def signed_payload(ephemeral_pub_bytes, client_random,
+                       server_random):
+        return pack_fields(ephemeral_pub_bytes, client_random,
+                           server_random)
+
+
+class ClientKeyExchange:
+    def __init__(self, encrypted_premaster):
+        self.encrypted_premaster = encrypted_premaster
+
+    def pack(self):
+        return pack_u8(HS_CLIENT_KEY_EXCHANGE) + pack_fields(
+            self.encrypted_premaster)
+
+    @classmethod
+    def parse(cls, body):
+        (epms,) = unpack_fields(body, 1)
+        return cls(epms)
+
+
+class Finished:
+    def __init__(self, verify_data):
+        self.verify_data = verify_data
+
+    def pack(self):
+        return pack_u8(HS_FINISHED) + pack_fields(self.verify_data)
+
+    @classmethod
+    def parse(cls, body):
+        (vd,) = unpack_fields(body, 1)
+        return cls(vd)
+
+
+_PARSERS = {
+    HS_CLIENT_HELLO: ClientHello,
+    HS_SERVER_HELLO: ServerHello,
+    HS_CERTIFICATE: Certificate,
+    HS_SERVER_KEY_EXCHANGE: ServerKeyExchange,
+    HS_CLIENT_KEY_EXCHANGE: ClientKeyExchange,
+    HS_FINISHED: Finished,
+}
+
+
+def parse_handshake(data, expect=None):
+    """Parse one handshake message; optionally require its type."""
+    if not data:
+        raise ProtocolError("empty handshake message")
+    msg_type = data[0]
+    parser = _PARSERS.get(msg_type)
+    if parser is None:
+        raise ProtocolError(f"unknown handshake type {msg_type}")
+    if expect is not None and msg_type != expect:
+        raise ProtocolError(
+            f"expected handshake type {expect}, got {msg_type}")
+    return parser.parse(data[1:])
+
+
+class Transcript:
+    """Chained hash over the cleartext handshake messages.
+
+    ``th_n = SHA256(th_{n-1} || message_n)`` with ``th_0 = ""``.  Chaining
+    (rather than one running SHA-256 state) lets the partitioned server
+    split the transcript across compartments: the ``receive_finished``
+    callgate extends the hash with the client Finished cleartext that the
+    handshake sthread never sees (paper Figure 4), using
+    :func:`extend_transcript`.
+    """
+
+    def __init__(self, initial=b""):
+        self._th = initial
+        self.message_count = 0
+
+    def add(self, packed_message):
+        self._th = extend_transcript(self._th, packed_message)
+        self.message_count += 1
+
+    def digest(self):
+        return self._th
+
+
+def extend_transcript(th, packed_message):
+    """One chaining step (usable with a bare hash value inside a gate)."""
+    return hashlib.sha256(th + packed_message).digest()

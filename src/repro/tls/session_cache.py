@@ -1,0 +1,51 @@
+"""Server-side SSL session cache (paper Table 2's cached workload).
+
+Maps session ids to master secrets so returning clients can resume
+without the RSA key exchange — which is why the cached workload makes
+Wedge's per-request compartment costs the dominant term (paper section
+6).  Bounded LRU with an explicit hit/miss counter for the benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class SessionCache:
+    """Thread-safe bounded LRU of session_id -> master secret."""
+
+    def __init__(self, capacity=1024):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def store(self, session_id, master):
+        with self._lock:
+            self._entries[session_id] = master
+            self._entries.move_to_end(session_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def lookup(self, session_id):
+        """Return the cached master or None (counts hit/miss)."""
+        if not session_id:
+            return None
+        with self._lock:
+            master = self._entries.get(session_id)
+            if master is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(session_id)
+            self.hits += 1
+            return master
+
+    def invalidate(self, session_id):
+        with self._lock:
+            self._entries.pop(session_id, None)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)

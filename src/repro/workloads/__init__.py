@@ -1,0 +1,10 @@
+"""Figure 9 workloads: SPEC-like kernels plus ssh/apache operations."""
+
+from repro.workloads.runner import (ALL_KERNELS, FIGURE9_ORDER, MODES,
+                                    figure9, figure9_row, run_app,
+                                    run_spec, run_workload)
+from repro.workloads.spec_kernels import EXTRA_KERNELS, SPEC_KERNELS
+
+__all__ = ["ALL_KERNELS", "EXTRA_KERNELS", "FIGURE9_ORDER", "MODES",
+           "SPEC_KERNELS", "figure9", "figure9_row", "run_app",
+           "run_spec", "run_workload"]

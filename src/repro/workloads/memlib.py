@@ -1,0 +1,64 @@
+"""Helpers for workload kernels operating on simulated memory.
+
+Figure 9's workloads must issue their loads and stores *through the
+simulated memory bus* so cb-log and the Pin stub can intercept them —
+the same way Pin intercepts native loads and stores.  These helpers are
+the workloads' "ISA": word-sized accesses against tagged buffers.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import Kernel
+
+
+def make_kernel(name):
+    """A standalone machine for one workload run."""
+    kernel = Kernel(name=name)
+    kernel.start_main()
+    return kernel
+
+
+def alloc_words(kernel, count, tag=None):
+    """Allocate a zeroed array of *count* u32 words; returns base addr."""
+    buf = kernel.alloc_buf(4 * count, tag=tag, init=bytes(4 * count))
+    return buf.addr
+
+
+def load(kernel, base, index):
+    """Load word *index* of the array at *base*."""
+    return int.from_bytes(kernel.mem_read(base + 4 * index, 4), "big")
+
+
+def store(kernel, base, index, value):
+    kernel.mem_write(base + 4 * index, (value & 0xFFFFFFFF).to_bytes(
+        4, "big"))
+
+
+def load_byte(kernel, base, index):
+    return kernel.mem_read(base + index, 1)[0]
+
+
+def store_byte(kernel, base, index, value):
+    kernel.mem_write(base + index, bytes([value & 0xFF]))
+
+
+def fill_bytes(kernel, base, data):
+    kernel.mem_write(base, bytes(data))
+
+
+class Xorshift:
+    """Tiny deterministic PRNG for workload inputs (not crypto)."""
+
+    def __init__(self, seed):
+        self.state = (seed or 1) & 0xFFFFFFFF
+
+    def next(self):
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def below(self, n):
+        return self.next() % n

@@ -1,0 +1,113 @@
+"""The Figure 9 runner: each workload under native / Pin / Crowbar.
+
+``run_spec(name, mode, scale)`` executes one SPEC-like kernel on a fresh
+simulated machine with the chosen instrumentation and returns
+``(elapsed_seconds, checksum, events)``.  ``run_app`` does the same for
+the ssh-login and apache-request workloads.  ``figure9_row`` assembles
+the three bars the paper plots for one application, and the ratio
+printed above them (crowbar time / pin time).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crowbar import CbLog, PinStub
+from repro.workloads import apps as app_workloads
+from repro.workloads import memlib
+from repro.workloads.spec_kernels import EXTRA_KERNELS, SPEC_KERNELS
+
+#: every runnable kernel, including the off-figure extras
+ALL_KERNELS = {**SPEC_KERNELS, **EXTRA_KERNELS}
+
+MODES = ("native", "pin", "crowbar")
+
+APP_WORKLOADS = {
+    "ssh": app_workloads.SshLoginWorkload,
+    "apache": app_workloads.ApacheRequestWorkload,
+}
+
+#: Figure 9's x-axis order.
+FIGURE9_ORDER = ("ssh", "mcf", "gobmk", "apache", "quantum", "hmmer",
+                 "sjeng", "bzip2", "h264ref")
+
+
+def _instrumentation(kernel, mode):
+    if mode == "native":
+        return _NullInstrumentation()
+    if mode == "pin":
+        return PinStub(kernel)
+    if mode == "crowbar":
+        return CbLog(kernel)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+class _NullInstrumentation:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def run_spec(name, mode="native", scale="quick"):
+    """One SPEC-like kernel run; returns (seconds, checksum, events)."""
+    fn = ALL_KERNELS[name]
+    kernel = memlib.make_kernel(f"wl-{name}")
+    instr = _instrumentation(kernel, mode)
+    start = time.perf_counter()
+    with instr:
+        checksum = fn(kernel, scale)
+    elapsed = time.perf_counter() - start
+    return elapsed, checksum, _event_count(instr)
+
+
+def run_app(name, mode="native", scale="quick"):
+    """One server operation (login / request) under instrumentation."""
+    workload = APP_WORKLOADS[name](scale)
+    try:
+        instr = _instrumentation(workload.kernel, mode)
+        start = time.perf_counter()
+        with instr:
+            checksum = workload.run()
+        elapsed = time.perf_counter() - start
+        return elapsed, checksum, _event_count(instr)
+    finally:
+        workload.close()
+
+
+def run_workload(name, mode="native", scale="quick"):
+    if name in ALL_KERNELS:
+        return run_spec(name, mode, scale)
+    return run_app(name, mode, scale)
+
+
+def _event_count(instr):
+    if isinstance(instr, PinStub):
+        return instr.reads + instr.writes
+    if isinstance(instr, CbLog):
+        return len(instr.trace)
+    return 0
+
+
+def figure9_row(name, scale="quick", repeats=1):
+    """The three bars for one application, plus the crowbar/pin ratio."""
+    times = {}
+    for mode in MODES:
+        best = None
+        for _ in range(repeats):
+            elapsed, _, _ = run_workload(name, mode, scale)
+            best = elapsed if best is None else min(best, elapsed)
+        times[mode] = best
+    times["crowbar_over_pin"] = (times["crowbar"] / times["pin"]
+                                 if times["pin"] else float("inf"))
+    times["crowbar_over_native"] = (times["crowbar"] / times["native"]
+                                    if times["native"] else float("inf"))
+    times["pin_over_native"] = (times["pin"] / times["native"]
+                                if times["native"] else float("inf"))
+    return times
+
+
+def figure9(scale="quick", workloads=FIGURE9_ORDER):
+    """The full figure: {workload: row} in plot order."""
+    return {name: figure9_row(name, scale) for name in workloads}

@@ -1,0 +1,467 @@
+"""SPEC-like workload kernels (Figure 9's benchmark applications).
+
+Each function reproduces the *computational character* of one of the
+C-language SPECint 2006 benchmarks the paper runs under cb-log — small,
+self-contained, and issuing its loads/stores through the simulated
+memory bus.  What matters for Figure 9 is the spread of
+memory-access-density across workloads: tight load/store loops
+(h264ref, bzip2) suffer the largest instrumentation multiple; kernels
+with heavier compute between accesses (quantum, sjeng) a smaller one;
+the real network applications (ssh, apache — see
+:mod:`repro.workloads.apps`) the smallest.
+
+Every kernel returns a checksum so tests can pin functional
+correctness independent of instrumentation mode.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import memlib
+from repro.workloads.memlib import (Xorshift, alloc_words, load,
+                                    load_byte, store, store_byte)
+
+#: scale -> rough work multiplier used by every kernel
+SCALES = {"quick": 1, "bench": 4}
+
+
+def _scale(scale):
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}") from None
+
+
+def mcf(kernel, scale="quick"):
+    """429.mcf: min-cost-flow ≈ repeated Bellman-Ford relaxation.
+
+    Pointer-chasing over an edge array — memory-bound with a compare
+    per access, like the real benchmark's network simplex.
+    """
+    mult = _scale(scale)
+    nodes = 24 * mult
+    edges_n = nodes * 4
+    rng = Xorshift(0x6D6366)
+    edges = alloc_words(kernel, edges_n * 3)
+    dist = alloc_words(kernel, nodes)
+    for i in range(edges_n):
+        store(kernel, edges, 3 * i, rng.below(nodes))
+        store(kernel, edges, 3 * i + 1, rng.below(nodes))
+        store(kernel, edges, 3 * i + 2, 1 + rng.below(100))
+    infinity = 1 << 30
+    for i in range(1, nodes):
+        store(kernel, dist, i, infinity)
+    for _ in range(nodes - 1):
+        changed = False
+        for i in range(edges_n):
+            u = load(kernel, edges, 3 * i)
+            v = load(kernel, edges, 3 * i + 1)
+            w = load(kernel, edges, 3 * i + 2)
+            du = load(kernel, dist, u)
+            if du == infinity:
+                continue
+            alt = du + w
+            if alt < load(kernel, dist, v):
+                store(kernel, dist, v, alt)
+                changed = True
+        if not changed:
+            break
+    return sum(load(kernel, dist, i) % 1000003 for i in range(nodes))
+
+
+def bzip2(kernel, scale="quick"):
+    """401.bzip2: move-to-front + run-length coding over a block.
+
+    Byte-at-a-time loads and stores with trivial compute between them —
+    the high-ratio end of Figure 9.
+    """
+    mult = _scale(scale)
+    size = 768 * mult
+    rng = Xorshift(0x627A32)
+    src = kernel.alloc_buf(size).addr
+    dst = kernel.alloc_buf(2 * size + 16).addr
+    for i in range(size):
+        store_byte(kernel, src, i, 97 + rng.below(8))
+    # move-to-front
+    table = list(range(256))
+    out = 0
+    for i in range(size):
+        byte = load_byte(kernel, src, i)
+        rank = table.index(byte)
+        table.pop(rank)
+        table.insert(0, byte)
+        store_byte(kernel, dst, out, rank)
+        out += 1
+    # run-length encode the ranks in place
+    encoded = 0
+    i = 0
+    while i < out:
+        rank = load_byte(kernel, dst, i)
+        run = 1
+        while i + run < out and run < 255 and \
+                load_byte(kernel, dst, i + run) == rank:
+            run += 1
+        store_byte(kernel, dst, out + encoded, rank)
+        store_byte(kernel, dst, out + encoded + 1, run)
+        encoded += 2
+        i += run
+    checksum = 0
+    for i in range(encoded):
+        checksum = (checksum * 131 + load_byte(kernel, dst, out + i)) \
+            % 1000003
+    return checksum
+
+
+def sjeng(kernel, scale="quick"):
+    """458.sjeng: alpha-beta game-tree search (a Nim-like game).
+
+    The board lives in simulated memory; the recursion and move logic
+    are compute, so accesses are sparser than bzip2's.
+    """
+    mult = _scale(scale)
+    piles = 3
+    max_depth = 5 + (1 if mult > 1 else 0)
+    board = alloc_words(kernel, piles)
+    rng = Xorshift(0x736A65)
+    for i in range(piles):
+        store(kernel, board, i, 2 + rng.below(3 + mult))
+    nodes = [0]
+
+    def search(depth, alpha, beta, to_move):
+        nodes[0] += 1
+        total = sum(load(kernel, board, i) for i in range(piles))
+        if total == 0:
+            return -1000 + depth if to_move else 1000 - depth
+        if depth >= max_depth:
+            return total if to_move else -total
+        best = -(1 << 30)
+        for pile in range(piles):
+            count = load(kernel, board, pile)
+            for take in range(1, min(count, 3) + 1):
+                store(kernel, board, pile, count - take)
+                value = -search(depth + 1, -beta, -alpha, not to_move)
+                store(kernel, board, pile, count)
+                if value > best:
+                    best = value
+                if best > alpha:
+                    alpha = best
+                if alpha >= beta:
+                    return best
+        return best
+
+    score = search(0, -(1 << 30), 1 << 30, True)
+    return (score + nodes[0]) % 1000003
+
+
+def hmmer(kernel, scale="quick"):
+    """456.hmmer: Viterbi dynamic programming over an HMM.
+
+    Regular DP-matrix sweeps: three loads and a store per cell.
+    """
+    mult = _scale(scale)
+    states = 16 + 4 * mult
+    steps = 40 * mult
+    rng = Xorshift(0x686D6D)
+    trans = alloc_words(kernel, states * states)
+    emit = alloc_words(kernel, states * 4)
+    for i in range(states * states):
+        store(kernel, trans, i, rng.below(50))
+    for i in range(states * 4):
+        store(kernel, emit, i, rng.below(50))
+    prev = alloc_words(kernel, states)
+    cur = alloc_words(kernel, states)
+    for t in range(steps):
+        obs = rng.below(4)
+        for s in range(states):
+            best = 0
+            for p in range(0, states, 3):  # sparse transition scan
+                cand = load(kernel, prev, p) + \
+                    load(kernel, trans, p * states + s)
+                if cand > best:
+                    best = cand
+            store(kernel, cur, s, best + load(kernel, emit,
+                                              s * 4 + obs))
+        prev, cur = cur, prev
+    return sum(load(kernel, prev, s) for s in range(states)) % 1000003
+
+
+def libquantum(kernel, scale="quick"):
+    """462.libquantum: gate-by-gate state-vector simulation.
+
+    Fixed-point amplitude arithmetic gives real compute between the
+    paired loads/stores — a mid-ratio workload.
+    """
+    mult = _scale(scale)
+    qubits = 6 if mult == 1 else 7
+    size = 1 << qubits
+    # amplitudes as fixed-point <<16; start in |0>
+    re = alloc_words(kernel, size)
+    im = alloc_words(kernel, size)
+    store(kernel, re, 0, 1 << 16)
+    inv_sqrt2 = 46341  # 2^16 / sqrt(2)
+
+    def hadamard(q):
+        step = 1 << q
+        for base in range(0, size, step * 2):
+            for k in range(step):
+                a = base + k
+                b = a + step
+                ra, ia = load(kernel, re, a), load(kernel, im, a)
+                rb, ib = load(kernel, re, b), load(kernel, im, b)
+                store(kernel, re, a, (ra + rb) * inv_sqrt2 >> 16)
+                store(kernel, im, a, (ia + ib) * inv_sqrt2 >> 16)
+                store(kernel, re, b, (ra - rb) * inv_sqrt2 >> 16)
+                store(kernel, im, b, (ia - ib) * inv_sqrt2 >> 16)
+
+    def cnot(control, target):
+        cbit, tbit = 1 << control, 1 << target
+        for idx in range(size):
+            if idx & cbit and not idx & tbit:
+                other = idx | tbit
+                ra, ia = load(kernel, re, idx), load(kernel, im, idx)
+                rb, ib = load(kernel, re, other), load(kernel, im, other)
+                store(kernel, re, idx, rb)
+                store(kernel, im, idx, ib)
+                store(kernel, re, other, ra)
+                store(kernel, im, other, ia)
+
+    for q in range(qubits):
+        hadamard(q)
+    for q in range(qubits - 1):
+        cnot(q, q + 1)
+    hadamard(0)
+    checksum = 0
+    for i in range(size):
+        checksum = (checksum + load(kernel, re, i) * (i + 1)) % 1000003
+    return checksum
+
+
+def h264ref(kernel, scale="quick"):
+    """464.h264ref: exhaustive motion estimation (SAD block search).
+
+    Two loads and an absolute difference per pixel comparison — the
+    densest memory traffic of the set, hence the paper's 90x worst case.
+    """
+    mult = _scale(scale)
+    width = height = 24 + 8 * mult
+    block = 8
+    rng = Xorshift(0x683264)
+    ref = kernel.alloc_buf(width * height).addr
+    cur = kernel.alloc_buf(width * height).addr
+    for i in range(width * height):
+        value = rng.below(256)
+        store_byte(kernel, ref, i, value)
+        store_byte(kernel, cur, i, (value + rng.below(8)) & 0xFF)
+    best_total = 0
+    for by in range(0, height - block, block):
+        for bx in range(0, width - block, block):
+            best = 1 << 30
+            for dy in (-2, -1, 0, 1, 2):
+                for dx in (-2, -1, 0, 1, 2):
+                    y0, x0 = by + dy, bx + dx
+                    if y0 < 0 or x0 < 0 or y0 + block > height or \
+                            x0 + block > width:
+                        continue
+                    sad = 0
+                    for y in range(block):
+                        for x in range(block):
+                            a = load_byte(kernel, cur,
+                                          (by + y) * width + bx + x)
+                            b = load_byte(kernel, ref,
+                                          (y0 + y) * width + x0 + x)
+                            sad += a - b if a > b else b - a
+                        if sad >= best:
+                            break
+                    if sad < best:
+                        best = sad
+            best_total = (best_total + best) % 1000003
+    return best_total
+
+
+def gobmk(kernel, scale="quick"):
+    """445.gobmk: random Go playouts with liberty counting on 9x9.
+
+    Branchy board manipulation: flood fills over simulated memory with
+    list-based worklists in between.
+    """
+    mult = _scale(scale)
+    size = 9
+    playouts = 6 * mult
+    rng = Xorshift(0x676F21)
+    board = alloc_words(kernel, size * size)
+    checksum = 0
+    for playout in range(playouts):
+        for i in range(size * size):
+            store(kernel, board, i, 0)
+        color = 1
+        for move in range(40):
+            empties = [i for i in range(size * size)
+                       if load(kernel, board, i) == 0]
+            if not empties:
+                break
+            point = empties[rng.below(len(empties))]
+            store(kernel, board, point, color)
+            # capture check: flood-fill the opponent groups around point
+            for neighbor in _neighbors(point, size):
+                stone = load(kernel, board, neighbor)
+                if stone == 3 - color:
+                    group, liberties = _flood(kernel, board, neighbor,
+                                              size)
+                    if liberties == 0:
+                        for captured in group:
+                            store(kernel, board, captured, 0)
+            color = 3 - color
+        checksum = (checksum + sum(load(kernel, board, i)
+                                   for i in range(size * size))) \
+            % 1000003
+    return checksum
+
+
+def _neighbors(point, size):
+    y, x = divmod(point, size)
+    if y > 0:
+        yield point - size
+    if y < size - 1:
+        yield point + size
+    if x > 0:
+        yield point - 1
+    if x < size - 1:
+        yield point + 1
+
+
+def _flood(kernel, board, start, size):
+    color = memlib.load(kernel, board, start)
+    group = {start}
+    work = [start]
+    liberties = 0
+    seen_liberty = set()
+    while work:
+        point = work.pop()
+        for neighbor in _neighbors(point, size):
+            stone = memlib.load(kernel, board, neighbor)
+            if stone == 0 and neighbor not in seen_liberty:
+                seen_liberty.add(neighbor)
+                liberties += 1
+            elif stone == color and neighbor not in group:
+                group.add(neighbor)
+                work.append(neighbor)
+    return group, liberties
+
+
+def perlbench(kernel, scale="quick"):
+    """400.perlbench: interpreter-style work — a tiny regex engine.
+
+    One of the benchmarks the paper ran but omitted from Figure 9 "in
+    the interest of brevity"; available here for completeness.  The
+    subject text lives in simulated memory; the pattern automaton is
+    interpreted per byte.
+    """
+    mult = _scale(scale)
+    size = 1024 * mult
+    rng = Xorshift(0x7065726C)
+    text = kernel.alloc_buf(size).addr
+    alphabet = b"abcdefgh"
+    for i in range(size):
+        store_byte(kernel, text, i, alphabet[rng.below(len(alphabet))])
+    # match the pattern a(b|c)+d via a hand-rolled NFA walk
+    matches = 0
+    i = 0
+    while i < size:
+        if load_byte(kernel, text, i) == ord("a"):
+            j = i + 1
+            seen_mid = False
+            while j < size and load_byte(kernel, text, j) in (ord("b"),
+                                                              ord("c")):
+                seen_mid = True
+                j += 1
+            if seen_mid and j < size and \
+                    load_byte(kernel, text, j) == ord("d"):
+                matches += 1
+                i = j
+        i += 1
+    return matches % 1000003
+
+
+def gcc(kernel, scale="quick"):
+    """403.gcc: compiler-style work — constant folding over bytecode.
+
+    Also omitted from the paper's figure; a toy stack-machine program
+    is stored in simulated memory, interpreted once, peephole-folded in
+    place, and interpreted again (results must agree).
+    """
+    mult = _scale(scale)
+    ops = 600 * mult
+    rng = Xorshift(0x676363)
+    # opcode stream: (op, operand) pairs of u32; op 0=push 1=add 2=mul
+    code = alloc_words(kernel, ops * 2)
+    for i in range(ops):
+        op = 0 if i % 2 == 0 else 1 + rng.below(2)
+        store(kernel, code, 2 * i, op)
+        store(kernel, code, 2 * i + 1, 1 + rng.below(9))
+
+    def interpret():
+        stack = [1]
+        for i in range(ops):
+            op = load(kernel, code, 2 * i)
+            arg = load(kernel, code, 2 * i + 1)
+            if op == 0:
+                stack.append(arg)
+            elif len(stack) >= 2:
+                b, a = stack.pop(), stack.pop()
+                stack.append((a + b if op == 1 else a * b) % 1000003)
+        return sum(stack) % 1000003
+
+    before = interpret()
+    # peephole: fold push k; push m; add -> push (k+m) patterns
+    i = 0
+    while i + 2 < ops:
+        if (load(kernel, code, 2 * i) == 0 and
+                load(kernel, code, 2 * (i + 1)) == 0 and
+                load(kernel, code, 2 * (i + 2)) == 1):
+            folded = (load(kernel, code, 2 * i + 1) +
+                      load(kernel, code, 2 * (i + 1) + 1)) % 1000003
+            store(kernel, code, 2 * i, 0)
+            store(kernel, code, 2 * i + 1, folded)
+            # nop out the folded pair (push 0; add == identity-ish nop
+            # encoded as op 3)
+            store(kernel, code, 2 * (i + 1), 3)
+            store(kernel, code, 2 * (i + 2), 3)
+            i += 3
+        else:
+            i += 1
+
+    def interpret_folded():
+        stack = [1]
+        for i in range(ops):
+            op = load(kernel, code, 2 * i)
+            arg = load(kernel, code, 2 * i + 1)
+            if op == 0:
+                stack.append(arg)
+            elif op == 3:
+                continue
+            elif len(stack) >= 2:
+                b, a = stack.pop(), stack.pop()
+                stack.append((a + b if op == 1 else a * b) % 1000003)
+        return sum(stack) % 1000003
+
+    after = interpret_folded()
+    assert before == after, "constant folding changed semantics"
+    return after
+
+
+#: name -> kernel function, in the order Figure 9 plots them
+SPEC_KERNELS = {
+    "mcf": mcf,
+    "gobmk": gobmk,
+    "quantum": libquantum,
+    "hmmer": hmmer,
+    "sjeng": sjeng,
+    "bzip2": bzip2,
+    "h264ref": h264ref,
+}
+
+#: benchmarks the paper ran but left off the figure "for brevity";
+#: runnable via run_spec / the CLI all the same
+EXTRA_KERNELS = {
+    "perlbench": perlbench,
+    "gcc": gcc,
+}

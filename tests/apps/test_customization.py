@@ -1,0 +1,108 @@
+"""Servers with customised environments (the public API's knobs)."""
+
+import pytest
+
+from repro.apps.httpd import MonolithicHttpd, SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.apps.pop3 import PartitionedPop3, Pop3Client
+from repro.apps.sshd import SshdEnvironment, WedgeSshd
+from repro.crypto import DetRNG
+from repro.crypto.rng import DetRNG as RNG
+from repro.net import Network
+from repro.sshlib import SshClient
+from repro.tls import TlsClient
+
+
+class TestHttpdCustomization:
+    def test_custom_pages(self):
+        net = Network()
+        pages = {"/hello": b"<html>custom content here</html>"}
+        server = SimplePartitionHttpd(net, "custom:443",
+                                      pages=pages).start()
+        try:
+            client = TlsClient(DetRNG("c"),
+                               expected_server_key=server.public_key)
+            conn = client.connect(net, "custom:443")
+            body = response_body(conn.request(build_request("/hello")))
+            assert body == pages["/hello"]
+            # and the defaults are gone
+            conn2 = client.connect(net, "custom:443")
+            assert b"404" in conn2.request(build_request("/index.html"))
+        finally:
+            server.stop()
+
+    def test_distinct_seeds_distinct_keys(self):
+        net = Network()
+        a = MonolithicHttpd(net, "seed-a:443", seed="one")
+        b = MonolithicHttpd(net, "seed-b:443", seed="two")
+        assert a.private_key.n != b.private_key.n
+
+    def test_same_seed_reproducible_key(self):
+        net = Network()
+        a = MonolithicHttpd(net, "seed-c:443", seed="same")
+        b = MonolithicHttpd(Network(), "seed-d:443", seed="same")
+        assert a.private_key.n == b.private_key.n
+
+
+class TestSshdCustomization:
+    def test_custom_users(self):
+        rng = RNG("env")
+        env = SshdEnvironment(rng, users={
+            "carol": {"password": b"xyzzy", "uid": 2000,
+                      "skey": False, "pubkey": False},
+        })
+        net = Network()
+        server = WedgeSshd(net, "custom-ssh:22", env=env).start()
+        try:
+            client = SshClient(DetRNG("c"),
+                               expected_host_key=env.host_key.public())
+            conn = client.connect(net, "custom-ssh:22")
+            conn.auth_password("carol", b"xyzzy")
+            assert b"uid=2000" in conn.exec("whoami")
+            conn.close()
+            # the default users do not exist here
+            conn2 = client.connect(net, "custom-ssh:22")
+            from repro.core.errors import AuthenticationFailure
+            with pytest.raises(AuthenticationFailure):
+                conn2.auth_password("alice", b"wonderland")
+        finally:
+            server.stop()
+
+    def test_config_toggles_password_auth(self):
+        rng = RNG("env2")
+        env = SshdEnvironment(
+            rng, config=(b"protocol ssh-sim-1.0\n"
+                         b"password_authentication no\n"))
+        net = Network()
+        server = WedgeSshd(net, "nopass-ssh:22", env=env).start()
+        try:
+            client = SshClient(DetRNG("c"),
+                               expected_host_key=env.host_key.public())
+            conn = client.connect(net, "nopass-ssh:22")
+            from repro.core.errors import AuthenticationFailure
+            with pytest.raises(AuthenticationFailure):
+                conn.auth_password("alice", b"wonderland")
+            conn.close()
+            # pubkey auth still works (its gate checks a different knob)
+            conn2 = client.connect(net, "nopass-ssh:22")
+            conn2.auth_pubkey("alice", env.user_keys["alice"])
+            conn2.close()
+        finally:
+            server.stop()
+
+
+class TestPop3Customization:
+    def test_custom_accounts_and_mail(self):
+        net = Network()
+        server = PartitionedPop3(
+            net, "custom-pop:110",
+            accounts={"dave": (3000, b"letmein")},
+            mail={3000: [b"Subject: only one\n\nbody"]}).start()
+        try:
+            client = Pop3Client(net, "custom-pop:110")
+            assert client.login("dave", b"letmein")
+            assert len(client.list_messages()) == 1
+            assert b"only one" in client.retrieve(1)
+            client.quit()
+        finally:
+            server.stop()

@@ -1,0 +1,140 @@
+"""Functional tests for the three Apache variants."""
+
+import time
+
+import pytest
+
+from repro.apps.httpd import (MitmPartitionHttpd, MonolithicHttpd,
+                              SimplePartitionHttpd)
+from repro.apps.httpd.content import build_request, response_body
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+VARIANTS = [
+    (MonolithicHttpd, {}),
+    (SimplePartitionHttpd, {}),
+    (MitmPartitionHttpd, {}),
+    (MitmPartitionHttpd, {"gate_mode": "recycled"}),
+]
+
+_ids = ["monolithic", "simple", "mitm-fresh", "mitm-recycled"]
+
+
+@pytest.fixture(params=VARIANTS, ids=_ids)
+def server(request):
+    cls, kwargs = request.param
+    net = Network()
+    srv = cls(net, f"httpd-{request.node.name}:443", **kwargs).start()
+    yield srv
+    srv.stop()
+
+
+def client_for(server, seed="client"):
+    return TlsClient(DetRNG(seed),
+                     expected_server_key=server.public_key)
+
+
+class TestServing:
+    def test_serves_page(self, server):
+        conn = client_for(server).connect(server.network, server.addr)
+        resp = conn.request(build_request("/index.html"))
+        assert resp.startswith(b"HTTP/1.0 200")
+        assert b"It works!" in response_body(resp)
+        assert server.errors == []
+
+    def test_404(self, server):
+        conn = client_for(server).connect(server.network, server.addr)
+        resp = conn.request(build_request("/missing"))
+        assert resp.startswith(b"HTTP/1.0 404")
+
+    def test_session_resumption(self, server):
+        client = client_for(server)
+        conn1 = client.connect(server.network, server.addr)
+        conn1.request(build_request("/"))
+        conn2 = client.connect(server.network, server.addr)
+        resp = conn2.request(build_request("/about"))
+        assert conn2.resumed
+        assert b"Wedge" in response_body(resp)
+
+    def test_sequential_clients(self, server):
+        for i in range(3):
+            conn = client_for(server, f"c{i}").connect(server.network,
+                                                       server.addr)
+            resp = conn.request(build_request("/"))
+            assert resp.startswith(b"HTTP/1.0 200")
+        assert server.requests_served >= 3
+
+
+class TestPartitionStructure:
+    def test_simple_worker_per_connection(self):
+        net = Network()
+        srv = SimplePartitionHttpd(net, "structure-a:443").start()
+        try:
+            client = client_for(srv)
+            for _ in range(2):
+                client.connect(net, srv.addr).request(build_request("/"))
+            time.sleep(0.1)
+            assert len(srv.workers) == 2
+            # fresh compartments per connection
+            assert srv.workers[0].heap_segment is not \
+                srv.workers[1].heap_segment
+        finally:
+            srv.stop()
+
+    def test_mitm_two_phases_sequential(self):
+        net = Network()
+        srv = MitmPartitionHttpd(net, "structure-b:443").start()
+        try:
+            client_for(srv).connect(net, srv.addr).request(
+                build_request("/"))
+            time.sleep(0.1)
+            assert len(srv.handshake_sthreads) == 1
+            assert len(srv.handler_sthreads) == 1
+            hs = srv.handshake_sthreads[0]
+            handler = srv.handler_sthreads[0]
+            # the handshake sthread exited before the handler started
+            assert hs.status == "exited"
+            assert handler.status == "exited"
+        finally:
+            srv.stop()
+
+    def test_mitm_fresh_tags_recycled_per_connection(self):
+        """Per-client tags return to the cache (paper §4.1)."""
+        net = Network()
+        srv = MitmPartitionHttpd(net, "structure-c:443").start()
+        try:
+            client = client_for(srv)
+            client.connect(net, srv.addr).request(build_request("/"))
+            time.sleep(0.1)
+            first_reused = srv.kernel.tags.stats["reused"]
+            client.connect(net, srv.addr).request(build_request("/"))
+            time.sleep(0.1)
+            assert srv.kernel.tags.stats["reused"] > first_reused
+        finally:
+            srv.stop()
+
+    def test_recycled_gates_persist_across_connections(self):
+        net = Network()
+        srv = MitmPartitionHttpd(net, "structure-d:443",
+                                 gate_mode="recycled").start()
+        try:
+            client = client_for(srv)
+            client.connect(net, srv.addr).request(build_request("/"))
+            client.connect(net, srv.addr).request(build_request("/"))
+            time.sleep(0.1)
+            setup = srv.recycled_gates["setup"]
+            assert setup.invocations >= 2
+            assert setup.persistent is not None
+        finally:
+            srv.stop()
+
+    def test_monolithic_uses_no_gates(self):
+        net = Network()
+        srv = MonolithicHttpd(net, "structure-e:443").start()
+        try:
+            client_for(srv).connect(net, srv.addr).request(
+                build_request("/"))
+            assert srv.kernel._gates == {}
+        finally:
+            srv.stop()

@@ -1,0 +1,175 @@
+"""Functional tests for the three sshd variants."""
+
+import time
+
+import pytest
+
+from repro.apps.sshd import MonolithicSshd, PrivsepSshd, WedgeSshd
+from repro.core.errors import AuthenticationFailure, VfsError
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.sshlib import SshClient
+
+VARIANTS = [MonolithicSshd, PrivsepSshd, WedgeSshd]
+
+
+@pytest.fixture(params=VARIANTS,
+                ids=["monolithic", "privsep", "wedge"])
+def server(request):
+    net = Network()
+    srv = request.param(net, f"sshd-{request.node.name}:22").start()
+    yield srv
+    srv.stop()
+
+
+def connect(server, seed="cli"):
+    client = SshClient(DetRNG(seed),
+                       expected_host_key=server.env.host_key.public())
+    return client.connect(server.network, server.addr)
+
+
+class TestAuthentication:
+    def test_password_login(self, server):
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        assert b"uid=1000" in conn.exec("whoami")
+        conn.close()
+
+    def test_wrong_password_rejected(self, server):
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_password("alice", b"wrong")
+        conn.close()
+
+    def test_unknown_user_rejected(self, server):
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_password("mallory", b"whatever")
+        conn.close()
+
+    def test_pubkey_login(self, server):
+        conn = connect(server)
+        conn.auth_pubkey("alice", server.env.user_keys["alice"])
+        assert b"alice" in conn.exec("whoami")
+        conn.close()
+
+    def test_pubkey_wrong_key_rejected(self, server):
+        from repro.crypto import dsa
+        stranger = dsa.generate_keypair(DetRNG("stranger"))
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_pubkey("alice", stranger)
+        conn.close()
+
+    def test_pubkey_user_without_keys_rejected(self, server):
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_pubkey("bob", server.env.user_keys["alice"])
+        conn.close()
+
+    def test_skey_login(self, server):
+        conn = connect(server)
+        conn.auth_skey("alice", b"wonderland")
+        assert b"alice" in conn.exec("whoami")
+        conn.close()
+
+    def test_skey_wrong_password(self, server):
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_skey("alice", b"wrong")
+        conn.close()
+
+    def test_retry_after_failure(self, server):
+        conn = connect(server)
+        with pytest.raises(AuthenticationFailure):
+            conn.auth_password("alice", b"nope")
+        conn.auth_password("alice", b"wonderland")
+        assert b"alice" in conn.exec("whoami")
+        conn.close()
+
+
+class TestSession:
+    def test_read_own_files_after_auth(self, server):
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        assert b"private notes" in conn.exec(
+            "cat /home/alice/secret.txt")
+        conn.close()
+
+    def test_cannot_read_other_users_files(self, server):
+        from repro.core.errors import ProtocolError
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        with pytest.raises(ProtocolError, match="denied"):
+            conn.exec("cat /home/bob/secret.txt")
+        conn.close()
+
+    def test_cannot_read_shadow_after_auth(self, server):
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        with pytest.raises(Exception):
+            data = conn.scp_download("/etc/shadow")
+            assert b"alice" not in data  # pragma: no cover
+
+    def test_scp_roundtrip(self, server):
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        payload = bytes(range(256)) * 64
+        conn.scp_upload("/home/alice/blob.bin", payload)
+        assert conn.scp_download("/home/alice/blob.bin") == payload
+        conn.close()
+
+    def test_echo_exec(self, server):
+        conn = connect(server)
+        conn.auth_password("alice", b"wonderland")
+        assert conn.exec("echo hello world") == b"hello world"
+        conn.close()
+
+
+class TestUidTransition:
+    def test_wedge_worker_jailed_before_auth(self):
+        """Pre-auth the Wedge worker is uid 22 in an empty chroot."""
+        net = Network()
+        srv = WedgeSshd(net, "uid-test:22").start()
+        try:
+            conn = connect(srv)
+            conn.auth_password("alice", b"wonderland")
+            conn.exec("whoami")
+            time.sleep(0.1)
+            worker = srv.workers[0]
+            # post-auth promotion happened via the callgate
+            assert worker.uid == 1000
+            assert worker.root == "/"
+        finally:
+            srv.stop()
+
+    def test_wedge_failed_auth_leaves_worker_jailed(self):
+        net = Network()
+        srv = WedgeSshd(net, "uid-test2:22").start()
+        try:
+            conn = connect(srv)
+            with pytest.raises(AuthenticationFailure):
+                conn.auth_password("alice", b"bad")
+            conn.close()
+            time.sleep(0.2)
+            worker = srv.workers[0]
+            assert worker.uid == 22
+            assert worker.root == "/var/empty"
+        finally:
+            srv.stop()
+
+    def test_skey_exhausts_chain_entries(self):
+        """Each S/Key login steps the server's chain downward."""
+        net = Network()
+        srv = WedgeSshd(net, "skey-test:22").start()
+        try:
+            c1 = connect(srv, "c1")
+            c1.auth_skey("alice", b"wonderland")
+            c1.close()
+            c2 = connect(srv, "c2")
+            challenge1 = c2.skey_challenge("alice")
+            c2.close()
+            # the count decreased relative to enrollment (100 -> 99 used)
+            assert challenge1[0] < 99
+        finally:
+            srv.stop()

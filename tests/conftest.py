@@ -1,0 +1,40 @@
+"""Shared fixtures: booted kernels, networks, and payload hygiene."""
+
+import pytest
+
+from repro.attacks.exploit import registry, start_campaign
+from repro.core.kernel import Kernel
+from repro.net import Network
+
+
+@pytest.fixture
+def kernel():
+    """A booted kernel with an attached network."""
+    k = Kernel(net=Network(), name="test")
+    k.start_main()
+    return k
+
+
+@pytest.fixture
+def bare_kernel():
+    """A kernel before start_main (for image/boundary declarations)."""
+    return Kernel(net=Network(), name="test-bare")
+
+
+@pytest.fixture
+def network():
+    return Network()
+
+
+@pytest.fixture
+def campaign():
+    """Fresh attack loot for tests that run exploit payloads."""
+    loot = start_campaign()
+    yield loot
+
+
+@pytest.fixture
+def payloads_loaded():
+    """Ensure the standard payload module is imported/registered."""
+    import repro.attacks.payloads as payloads
+    return payloads

@@ -1,0 +1,170 @@
+"""Unit tests for the boundary-tag heap allocator."""
+
+import pytest
+
+from repro.core.allocator import (HEADER, MIN_CHUNK, OVERHEAD, Heap,
+                                  _align_up)
+from repro.core.errors import AllocationError, OutOfMemory
+from repro.core.memory import AddressSpace
+
+
+@pytest.fixture
+def heap():
+    space = AddressSpace()
+    seg = space.create_segment(8192, name="heap")
+    h = Heap(seg, 8192)
+    h.format()
+    return h
+
+
+class TestFormat:
+    def test_formatted_heap_is_one_free_chunk(self, heap):
+        chunks = list(heap.walk())
+        assert len(chunks) == 1
+        assert not chunks[0][2]
+
+    def test_is_formatted(self, heap):
+        assert heap.is_formatted()
+
+    def test_unformatted_not_recognised(self):
+        space = AddressSpace()
+        seg = space.create_segment(8192)
+        assert not Heap(seg, 8192).is_formatted()
+
+    def test_too_small_region_rejected(self):
+        space = AddressSpace()
+        seg = space.create_segment(4096)
+        with pytest.raises(ValueError):
+            Heap(seg, 16)
+
+    def test_invariants_after_format(self, heap):
+        heap.check_invariants()
+
+
+class TestAllocFree:
+    def test_alloc_returns_aligned_payload(self, heap):
+        off = heap.alloc(10)
+        assert off % 8 == 0
+
+    def test_allocations_do_not_overlap(self, heap):
+        offsets = [(heap.alloc(24), 24) for _ in range(20)]
+        spans = sorted((off, off + size) for off, size in offsets)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_free_then_alloc_reuses(self, heap):
+        off = heap.alloc(100)
+        heap.free(off)
+        again = heap.alloc(100)
+        assert again == off
+
+    def test_usable_size_at_least_requested(self, heap):
+        off = heap.alloc(33)
+        assert heap.usable_size(off) >= 33
+
+    def test_zero_alloc_rejected(self, heap):
+        with pytest.raises(AllocationError):
+            heap.alloc(0)
+
+    def test_oom(self, heap):
+        with pytest.raises(OutOfMemory):
+            heap.alloc(10_000_000)
+
+    def test_heap_fills_and_recovers(self, heap):
+        offsets = []
+        with pytest.raises(OutOfMemory):
+            while True:
+                offsets.append(heap.alloc(256))
+        for off in offsets:
+            heap.free(off)
+        heap.check_invariants()
+        # after freeing everything the arena coalesces back to one chunk
+        assert len(list(heap.walk())) == 1
+
+    def test_double_free_detected(self, heap):
+        off = heap.alloc(64)
+        heap.free(off)
+        with pytest.raises(AllocationError):
+            heap.free(off)
+
+    def test_free_of_wild_offset_detected(self, heap):
+        with pytest.raises(AllocationError):
+            heap.free(12345)
+
+
+class TestSplitCoalesce:
+    def test_split_leaves_remainder_free(self, heap):
+        before = heap.free_bytes()
+        off = heap.alloc(64)
+        after = heap.free_bytes()
+        assert before - after <= _align_up(64) + OVERHEAD + MIN_CHUNK
+        heap.free(off)
+
+    def test_coalesce_right(self, heap):
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        heap.free(b)   # b merges with the big right free chunk
+        heap.free(a)   # a merges with that
+        assert len(list(heap.walk())) == 1
+
+    def test_coalesce_left(self, heap):
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        heap.alloc(64)  # plug so b cannot merge right
+        heap.free(a)
+        heap.free(b)    # merges left into a
+        free_chunks = [c for c in heap.walk() if not c[2]]
+        sizes = [size for _, size, _ in free_chunks]
+        assert any(size >= 2 * (64 + OVERHEAD) for size in sizes)
+        heap.check_invariants()
+
+    def test_coalesce_both_sides(self, heap):
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        c = heap.alloc(64)
+        heap.alloc(64)  # plug
+        heap.free(a)
+        heap.free(c)
+        heap.free(b)   # merges with both neighbours
+        heap.check_invariants()
+        free_runs = [size for _, size, inuse in heap.walk() if not inuse]
+        assert any(size >= 3 * (64 + OVERHEAD) for size in free_runs)
+
+    def test_no_adjacent_free_chunks_ever(self, heap):
+        offs = [heap.alloc(40) for _ in range(30)]
+        for off in offs[::2]:
+            heap.free(off)
+        for off in offs[1::2]:
+            heap.free(off)
+        heap.check_invariants()
+
+
+class TestBookkeepingExtents:
+    def test_extents_cover_format_writes(self, heap):
+        extents = heap.bookkeeping_extents()
+        assert len(extents) == 2
+        (start_off, start_len), (foot_off, foot_len) = extents
+        assert start_off == 0
+        assert start_len >= HEADER + 8
+        assert foot_len == 4
+        assert foot_off > start_len
+
+    def test_patching_extents_restores_fresh_heap(self):
+        """The tag-reuse scrub path: zero + patch == freshly formatted."""
+        space = AddressSpace()
+        seg = space.create_segment(8192)
+        heap = Heap(seg, 8192)
+        heap.format()
+        patches = [(off, seg.read_raw(off, length))
+                   for off, length in heap.bookkeeping_extents()]
+        # dirty the heap thoroughly
+        for _ in range(5):
+            heap.alloc(100)
+        # scrub: zero everything, re-apply the patches
+        seg.write_raw(0, bytes(8192))
+        for off, data in patches:
+            seg.write_raw(off, data)
+        restored = Heap(seg, 8192)
+        assert restored.is_formatted()
+        restored.check_invariants()
+        assert len(list(restored.walk())) == 1

@@ -1,0 +1,441 @@
+"""Unit tests for callgates and recycled callgates (paper §3.3, §4.1)."""
+
+import pytest
+
+from repro.core.errors import (CallgateError, MemoryViolation,
+                               PolicyError)
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
+                               sc_fd_add, sc_mem_add)
+
+
+@pytest.fixture
+def secret(kernel):
+    """A tagged secret plus a gate security context that can read it."""
+    tag = kernel.tag_new(name="secret")
+    buf = kernel.alloc_buf(16, tag=tag, init=b"the-secret-value")
+    gate_sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+    return tag, buf, gate_sc
+
+
+def spawn_with_gate(kernel, entry, gate_sc, trusted=None, body=None,
+                    recycled=False, extra_sc=None):
+    """Create a child sthread holding one gate; run *body* inside it."""
+    sc = extra_sc or SecurityContext()
+    sc_cgate_add(sc, entry, gate_sc, trusted, recycled=recycled)
+
+    def default_body(arg):
+        gate_id = next(iter(kernel.current().gates))
+        return kernel.cgate(gate_id)
+
+    child = kernel.sthread_create(sc, body or default_body,
+                                  spawn="inline")
+    return child
+
+
+class TestBasics:
+    def test_gate_reads_what_caller_cannot(self, kernel, secret):
+        tag, buf, gate_sc = secret
+
+        def entry(trusted, arg):
+            return kernel.mem_read(trusted, 16)
+
+        child = spawn_with_gate(kernel, entry, gate_sc,
+                                trusted=buf.addr)
+        assert kernel.sthread_join(child) == b"the-secret-value"
+
+    def test_caller_still_cannot_read_directly(self, kernel, secret):
+        tag, buf, gate_sc = secret
+
+        def entry(trusted, arg):
+            return "unused"
+
+        def body(arg):
+            return kernel.mem_read(buf.addr, 16)
+
+        child = spawn_with_gate(kernel, entry, gate_sc, body=body)
+        assert child.faulted
+
+    def test_invocation_requires_grant(self, kernel, secret):
+        tag, buf, gate_sc = secret
+
+        def entry(trusted, arg):
+            return 1
+
+        # create the gate bound to child A...
+        record_holder = {}
+
+        def body_a(arg):
+            record_holder["gate"] = next(iter(kernel.current().gates))
+
+        child_a = spawn_with_gate(kernel, entry, gate_sc, body=body_a)
+        kernel.sthread_join(child_a)
+
+        # ...child B (no grant) may not invoke it
+        def body_b(arg):
+            return kernel.cgate(record_holder["gate"])
+
+        child_b = kernel.sthread_create(SecurityContext(), body_b,
+                                        spawn="inline")
+        assert isinstance(child_b.error, CallgateError)
+
+    def test_unknown_gate(self, kernel):
+        with pytest.raises(CallgateError):
+            kernel.cgate(40404)
+
+    def test_gate_receives_caller_argument(self, kernel):
+        def entry(trusted, arg):
+            return arg["x"] + 1
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            return kernel.cgate(gate_id, None, {"x": 41})
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        assert kernel.sthread_join(child) == 42
+
+    def test_gate_perms_must_subset_creator(self, kernel):
+        """A callgate's permissions ⊆ its creator's (paper §3.3)."""
+        tag = kernel.tag_new()
+        gate_sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+
+        def body(arg):
+            # this privilege-less sthread tries to mint a powerful gate
+            evil = SecurityContext()
+            sc_cgate_add(evil, lambda t, a: None, gate_sc)
+            kernel.sthread_create(evil, lambda a: None, spawn="inline")
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert isinstance(child.error, PolicyError)
+
+
+class TestTrustedArgument:
+    def test_trusted_arg_is_kernel_side(self, kernel):
+        """The caller cannot observe or swap the trusted argument."""
+        witness = {"value": "creator-chosen"}
+
+        def entry(trusted, arg):
+            return trusted["value"]
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            # the record is in kernel space; all the caller can do is
+            # invoke; the trusted value round-trips unmodified
+            return kernel.cgate(gate_id, None, {"value": "evil"})
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                trusted=witness, body=body)
+        assert kernel.sthread_join(child) == "creator-chosen"
+
+
+class TestCallerPerms:
+    def test_arg_tag_delegation(self, kernel):
+        """The normal pattern: caller smallocs the arg, grants the gate
+        read access to the arg's tag for the call."""
+        arg_tag = kernel.tag_new(name="args")
+
+        def entry(trusted, arg):
+            return kernel.mem_read(arg["addr"], arg["len"])
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            buf = kernel.alloc_buf(8, tag=arg_tag, init=b"request!")
+            perms = sc_mem_add(SecurityContext(), arg_tag, PROT_READ)
+            return kernel.cgate(gate_id, perms,
+                                {"addr": buf.addr, "len": 8})
+
+        sc = sc_mem_add(SecurityContext(), arg_tag, PROT_RW)
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, extra_sc=sc)
+        assert kernel.sthread_join(child) == b"request!"
+
+    def test_caller_cannot_delegate_unheld_perms(self, kernel, secret):
+        tag, buf, gate_sc = secret
+
+        def entry(trusted, arg):
+            return kernel.mem_read(arg, 16)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            # caller holds nothing on the secret tag, tries to grant it
+            perms = sc_mem_add(SecurityContext(), tag, PROT_READ)
+            return kernel.cgate(gate_id, perms, buf.addr)
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        assert isinstance(child.error, PolicyError)
+
+    def test_gate_without_grant_cannot_read_arg(self, kernel):
+        arg_tag = kernel.tag_new()
+
+        def entry(trusted, arg):
+            return kernel.mem_read(arg, 8)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            buf = kernel.alloc_buf(8, tag=arg_tag, init=b"hidden!!")
+            # deliberately NOT passing perms: the gate cannot read it
+            return kernel.cgate(gate_id, None, buf.addr)
+
+        sc = sc_mem_add(SecurityContext(), arg_tag, PROT_RW)
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, extra_sc=sc)
+        assert isinstance(child.error, CallgateError)
+
+
+class TestIdentityInheritance:
+    def test_gate_inherits_creator_uid_and_root(self, kernel):
+        """Paper §3.3/§5.2: creator's identity, not the caller's."""
+        kernel.vfs.write_file("/etc/shadow", b"root-only", owner=0,
+                              mode=0o600)
+        kernel.vfs.mkdir("/var/empty")
+
+        def entry(trusted, arg):
+            fd = kernel.open("/etc/shadow", "r")
+            data = kernel.read(fd, 64)
+            kernel.close(fd)
+            return data
+
+        # worker runs as uid 1000 in an empty chroot
+        sc = SecurityContext(uid=1000, root="/var/empty")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            return kernel.cgate(gate_id)
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, extra_sc=sc)
+        assert kernel.sthread_join(child) == b"root-only"
+
+    def test_gate_can_promote_caller(self, kernel):
+        """The authentication idiom: gate changes the caller's uid."""
+        def entry(trusted, arg):
+            kernel.promote(kernel.caller(), uid=1000, root="/")
+            return True
+
+        sc = SecurityContext(uid=22)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            before = kernel.getuid()
+            kernel.cgate(gate_id)
+            return (before, kernel.getuid())
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, extra_sc=sc)
+        assert kernel.sthread_join(child) == (22, 1000)
+
+
+class TestFaults:
+    def test_gate_fault_propagates_as_callgate_error(self, kernel):
+        secret_tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=secret_tag)
+
+        def entry(trusted, arg):
+            # the gate itself violates protections (no grant on tag)
+            return kernel.mem_read(buf.addr, 8)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            try:
+                kernel.cgate(gate_id)
+            except CallgateError:
+                return "gate-died"
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        assert kernel.sthread_join(child) == "gate-died"
+
+    def test_caller_survives_gate_fault(self, kernel):
+        def entry(trusted, arg):
+            raise MemoryViolation("synthetic fault")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            try:
+                kernel.cgate(gate_id)
+            except CallgateError:
+                pass
+            return "caller-alive"
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        assert kernel.sthread_join(child) == "caller-alive"
+
+
+class TestRecycled:
+    def test_recycled_gate_reuses_compartment(self, kernel):
+        seen = []
+
+        def entry(trusted, arg):
+            seen.append(id(kernel.current()))
+            return len(seen)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            kernel.cgate(gate_id)
+            kernel.cgate(gate_id)
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, recycled=True)
+        kernel.sthread_join(child)
+        assert len(set(seen)) == 1    # same compartment both times
+
+    def test_fresh_gate_gets_new_compartment_each_call(self, kernel):
+        seen = []
+
+        def entry(trusted, arg):
+            seen.append(id(kernel.current()))
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            kernel.cgate(gate_id)
+            kernel.cgate(gate_id)
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        kernel.sthread_join(child)
+        assert len(set(seen)) == 2
+
+    def test_recycled_residue_across_invocations(self, kernel):
+        """The isolation trade-off the paper warns about: heap residue
+        from one caller's invocation is visible to the next."""
+        def entry(trusted, arg):
+            if arg["op"] == "write":
+                buf = kernel.alloc_buf(32, init=arg["data"])
+                return buf.addr
+            return kernel.mem_read(arg["addr"], 16)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            addr = kernel.cgate(gate_id, None,
+                                {"op": "write",
+                                 "data": b"alice's-password"})
+            # a later invocation (imagine: another principal's request)
+            # can read the residue
+            return kernel.cgate(gate_id, None,
+                                {"op": "read", "addr": addr})
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, recycled=True)
+        assert kernel.sthread_join(child) == b"alice's-password"
+
+    def test_fresh_gates_have_no_residue(self, kernel):
+        def entry(trusted, arg):
+            if arg["op"] == "write":
+                buf = kernel.alloc_buf(32, init=arg["data"])
+                return buf.addr
+            return kernel.mem_read(arg["addr"], 16)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            addr = kernel.cgate(gate_id, None,
+                                {"op": "write", "data": b"secret"})
+            try:
+                kernel.cgate(gate_id, None, {"op": "read", "addr": addr})
+            except CallgateError:
+                return "no-residue"
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body)
+        assert kernel.sthread_join(child) == "no-residue"
+
+    def test_recycled_cheaper_than_fresh(self, kernel):
+        def entry(trusted, arg):
+            return None
+
+        costs = {}
+
+        def body_factory(label):
+            def body(arg):
+                gate_id = next(iter(kernel.current().gates))
+                kernel.cgate(gate_id)     # warm (recycled builds here)
+                cp = kernel.costs.checkpoint()
+                kernel.cgate(gate_id)
+                costs[label] = kernel.costs.delta(cp)
+            return body
+
+        fresh = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body_factory("fresh"))
+        kernel.sthread_join(fresh)
+        recycled = spawn_with_gate(kernel, entry, SecurityContext(),
+                                   body=body_factory("recycled"),
+                                   recycled=True)
+        kernel.sthread_join(recycled)
+        # Figure 7: recycled gates are ~8x cheaper than fresh callgates
+        assert costs["recycled"] < costs["fresh"] / 4
+
+    def test_faulted_recycled_gate_not_reused(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag)
+        calls = []
+
+        def entry(trusted, arg):
+            calls.append(id(kernel.current()))
+            if arg == "fault":
+                kernel.mem_read(buf.addr, 8)  # violation
+            return "ok"
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            try:
+                kernel.cgate(gate_id, None, "fault")
+            except CallgateError:
+                pass
+            kernel.cgate(gate_id, None, "fine")
+
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, recycled=True)
+        kernel.sthread_join(child)
+        assert len(set(calls)) == 2   # the dead compartment was replaced
+
+    def test_recycled_extra_perms_removed_after_call(self, kernel):
+        arg_tag = kernel.tag_new()
+
+        def entry(trusted, arg):
+            if arg["op"] == "granted":
+                return kernel.mem_read(arg["addr"], 4)
+            return kernel.mem_read(arg["addr"], 4)  # no grant this time
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            buf = kernel.alloc_buf(4, tag=arg_tag, init=b"data")
+            perms = sc_mem_add(SecurityContext(), arg_tag, PROT_READ)
+            first = kernel.cgate(gate_id, perms,
+                                 {"op": "granted", "addr": buf.addr})
+            try:
+                kernel.cgate(gate_id, None,
+                             {"op": "sneaky", "addr": buf.addr})
+            except CallgateError:
+                return (first, "revoked")
+
+        sc = sc_mem_add(SecurityContext(), arg_tag, PROT_RW)
+        child = spawn_with_gate(kernel, entry, SecurityContext(),
+                                body=body, recycled=True, extra_sc=sc)
+        assert kernel.sthread_join(child) == (b"data", "revoked")
+
+
+class TestCreateGate:
+    def test_create_then_delegate(self, kernel):
+        """The paper's primary idiom via Kernel.create_gate."""
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"guarded!")
+        gate = kernel.create_gate(
+            lambda trusted, arg: kernel.mem_read(trusted, 8),
+            sc_mem_add(SecurityContext(), tag, PROT_READ), buf.addr)
+        # the creator itself may invoke
+        assert kernel.cgate(gate.id) == b"guarded!"
+        # and can delegate to a child
+        sc = SecurityContext()
+        sc_cgate_add(sc, gate.id)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.cgate(gate.id), spawn="inline")
+        assert kernel.sthread_join(child) == b"guarded!"
+
+    def test_gate_sc_cannot_nest_specs(self, kernel):
+        inner = SecurityContext()
+        sc_cgate_add(inner, lambda t, a: None, SecurityContext())
+        with pytest.raises(PolicyError):
+            kernel.create_gate(lambda t, a: None, inner)

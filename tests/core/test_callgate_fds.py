@@ -1,0 +1,130 @@
+"""Callgates and descriptors: creation-time capture vs caller grants."""
+
+import pytest
+
+from repro.core.errors import BadFileDescriptor, CallgateError
+from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
+                               sc_cgate_add, sc_fd_add)
+
+
+class TestCreationTimeFds:
+    def test_gate_uses_creator_resolved_descriptor(self, kernel):
+        """fd grants in the gate's context resolve against the
+        *creator's* table at instantiation — the caller cannot swap the
+        descriptor underneath the gate."""
+        listener = kernel.net.listen("cg-fd:1")
+        fd = kernel.connect("cg-fd:1")
+
+        def entry(trusted, arg):
+            kernel.send(fd, b"from-the-gate")
+            return "sent"
+
+        gate_sc = sc_fd_add(SecurityContext(), fd, FD_WRITE)
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            return kernel.cgate(gate_id)
+
+        # the worker itself has NO fd grant at all
+        sc = SecurityContext()
+        sc_cgate_add(sc, entry, gate_sc)
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "sent"
+        server = listener.accept(timeout=2)
+        assert server.recv(13, timeout=2) == b"from-the-gate"
+
+    def test_gate_fd_needs_creator_to_hold_it(self, kernel):
+        from repro.core.errors import PolicyError
+        gate_sc = sc_fd_add(SecurityContext(), 99, FD_WRITE)
+        sc = SecurityContext()
+        sc_cgate_add(sc, lambda t, a: None, gate_sc)
+        with pytest.raises((PolicyError, BadFileDescriptor)):
+            kernel.sthread_create(sc, lambda a: None, spawn="inline")
+
+
+class TestCallerFdDelegation:
+    def test_caller_delegates_fd_per_call(self, kernel):
+        """cgate's perms argument can pass descriptor access for one
+        invocation (the recycled-ssl_write pattern)."""
+        listener = kernel.net.listen("cg-fd:2")
+        fd = kernel.connect("cg-fd:2")
+
+        def entry(trusted, arg):
+            kernel.send(fd, b"delegated")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            perms = sc_fd_add(SecurityContext(), fd, FD_WRITE)
+            kernel.cgate(gate_id, perms)
+            return "ok"
+
+        sc = sc_fd_add(SecurityContext(), fd, FD_RW)
+        sc_cgate_add(sc, entry, SecurityContext())
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "ok"
+        server = listener.accept(timeout=2)
+        assert server.recv(9, timeout=2) == b"delegated"
+
+    def test_without_delegation_gate_lacks_the_fd(self, kernel):
+        kernel.net.listen("cg-fd:3")
+        fd = kernel.connect("cg-fd:3")
+
+        def entry(trusted, arg):
+            kernel.send(fd, b"should fail")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            try:
+                kernel.cgate(gate_id)
+            except (CallgateError, BadFileDescriptor):
+                return "denied"
+
+        sc = sc_fd_add(SecurityContext(), fd, FD_RW)
+        sc_cgate_add(sc, entry, SecurityContext())
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "denied"
+
+    def test_read_only_caller_cannot_delegate_write(self, kernel):
+        from repro.core.errors import PolicyError
+        kernel.net.listen("cg-fd:4")
+        fd = kernel.connect("cg-fd:4")
+
+        def entry(trusted, arg):
+            kernel.send(fd, b"x")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            perms = sc_fd_add(SecurityContext(), fd, FD_WRITE)
+            try:
+                kernel.cgate(gate_id, perms)
+            except PolicyError:
+                return "escalation-blocked"
+
+        sc = sc_fd_add(SecurityContext(), fd, FD_READ)
+        sc_cgate_add(sc, entry, SecurityContext())
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "escalation-blocked"
+
+    def test_recycled_gate_fd_revoked_after_call(self, kernel):
+        kernel.net.listen("cg-fd:5")
+        fd = kernel.connect("cg-fd:5")
+        calls = []
+
+        def entry(trusted, arg):
+            try:
+                kernel.send(fd, b"x")
+                calls.append("sent")
+            except BadFileDescriptor:
+                calls.append("no-fd")
+
+        def body(arg):
+            gate_id = next(iter(kernel.current().gates))
+            perms = sc_fd_add(SecurityContext(), fd, FD_WRITE)
+            kernel.cgate(gate_id, perms)      # delegated
+            kernel.cgate(gate_id)             # not delegated this time
+
+        sc = sc_fd_add(SecurityContext(), fd, FD_RW)
+        sc_cgate_add(sc, entry, SecurityContext(), recycled=True)
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        kernel.sthread_join(child)
+        assert calls == ["sent", "no-fd"]

@@ -1,0 +1,111 @@
+"""Cost-model tests pinning the Figure 7 / Figure 8 shapes."""
+
+import pytest
+
+from repro.core.costs import WEIGHTS, CostAccount, NullAccount
+from repro.core.policy import SecurityContext, sc_cgate_add
+from repro.core.tags import DEFAULT_TAG_SIZE
+
+
+class TestAccount:
+    def test_charge_and_cycles(self):
+        acct = CostAccount()
+        acct.charge("syscall", 2)
+        assert acct.cycles() == 2 * WEIGHTS["syscall"]
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            CostAccount().charge("teleport")
+
+    def test_checkpoint_delta(self):
+        acct = CostAccount()
+        acct.charge("syscall")
+        cp = acct.checkpoint()
+        acct.charge("page_copy", 3)
+        assert acct.delta(cp) == 3 * WEIGHTS["page_copy"]
+
+    def test_null_account_ignores(self):
+        acct = NullAccount()
+        acct.charge("syscall", 100)
+        assert acct.cycles() == 0
+
+
+@pytest.fixture
+def primitives(kernel):
+    """Model cycles for each Figure 7 primitive, measured in-kernel."""
+    def noop(arg):
+        return None
+
+    def gate_entry(trusted, arg):
+        return None
+
+    def meter(fn):
+        cp = kernel.costs.checkpoint()
+        fn()
+        return kernel.costs.delta(cp)
+
+    results = {}
+    results["pthread"] = meter(lambda: kernel.sthread_join(
+        kernel.pthread_create(noop, spawn="inline")))
+    results["sthread"] = meter(lambda: kernel.sthread_join(
+        kernel.sthread_create(SecurityContext(), noop, spawn="inline")))
+    results["fork"] = meter(lambda: kernel.sthread_join(
+        kernel.fork(noop, spawn="inline")))
+
+    gate = kernel.create_gate(gate_entry, SecurityContext())
+    recycled = kernel.create_gate(gate_entry, SecurityContext(),
+                                  recycled=True)
+    kernel.cgate(recycled.id)   # warm the persistent compartment
+    results["callgate"] = meter(lambda: kernel.cgate(gate.id))
+    results["recycled"] = meter(lambda: kernel.cgate(recycled.id))
+    return results
+
+
+class TestFigure7Shape:
+    """The paper's microbenchmark orderings (Figure 7)."""
+
+    def test_recycled_comparable_to_pthread(self, primitives):
+        ratio = primitives["recycled"] / primitives["pthread"]
+        assert 0.3 < ratio < 2.0
+
+    def test_sthread_roughly_8x_pthread(self, primitives):
+        ratio = primitives["sthread"] / primitives["pthread"]
+        assert 5.0 < ratio < 12.0
+
+    def test_callgate_comparable_to_sthread(self, primitives):
+        ratio = primitives["callgate"] / primitives["sthread"]
+        assert 0.8 < ratio < 1.3
+
+    def test_fork_comparable_to_sthread(self, primitives):
+        ratio = primitives["fork"] / primitives["sthread"]
+        assert 0.8 < ratio < 1.6
+
+    def test_recycled_8x_cheaper_than_callgate(self, primitives):
+        ratio = primitives["callgate"] / primitives["recycled"]
+        assert ratio > 4.0
+
+
+class TestFigure8Shape:
+    """Memory-call orderings (Figure 8)."""
+
+    def test_orderings(self, kernel):
+        def meter(fn):
+            cp = kernel.costs.checkpoint()
+            fn()
+            return kernel.costs.delta(cp)
+
+        malloc_cost = meter(lambda: kernel.malloc(64))
+        fresh_cost = meter(lambda: kernel.tag_new(DEFAULT_TAG_SIZE))
+        victim = kernel.tag_new(DEFAULT_TAG_SIZE)
+        kernel.tag_delete(victim)
+        reuse_cost = meter(lambda: kernel.tag_new(DEFAULT_TAG_SIZE))
+
+        tag = kernel.tag_new()
+        smalloc_cost = meter(lambda: kernel.smalloc(64, tag))
+
+        # smalloc costs about the same as malloc (same allocator)
+        assert smalloc_cost <= malloc_cost * 3
+        # reuse is several times malloc but far below a fresh mmap
+        assert malloc_cost < reuse_cost < fresh_cost
+        assert fresh_cost / malloc_cost > 10
+        assert reuse_cost < fresh_cost / 2

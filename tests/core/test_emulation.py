@@ -1,0 +1,99 @@
+"""The sthread emulation library (paper §3.4)."""
+
+from repro.core.emulation import (emulated_sthread_create,
+                                  suggested_grants, violation_report)
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import SecurityContext, sc_mem_add
+
+
+class TestEmulation:
+    def test_violations_do_not_terminate(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"contents")
+
+        def body(arg):
+            return kernel.mem_read(buf.addr, 8)   # would fault normally
+
+        child = emulated_sthread_create(kernel, SecurityContext(), body)
+        assert kernel.sthread_join(child) == b"contents"
+        assert not child.faulted
+
+    def test_all_violations_from_one_run(self, kernel):
+        """One complete run reveals *every* missing permission."""
+        tag_a = kernel.tag_new(name="a")
+        tag_b = kernel.tag_new(name="b")
+        buf_a = kernel.alloc_buf(8, tag=tag_a)
+        buf_b = kernel.alloc_buf(8, tag=tag_b)
+
+        def body(arg):
+            kernel.mem_read(buf_a.addr, 8)
+            kernel.mem_write(buf_b.addr, b"write!!!")
+
+        child = emulated_sthread_create(kernel, SecurityContext(), body)
+        kernel.sthread_join(child)
+        report = violation_report(child)
+        segments = {entry["segment"] for entry in report}
+        assert "a" in segments and "b" in segments
+
+    def test_report_aggregates_counts(self, kernel):
+        tag = kernel.tag_new(name="hot")
+        buf = kernel.alloc_buf(8, tag=tag)
+
+        def body(arg):
+            for _ in range(5):
+                kernel.mem_read(buf.addr, 8)
+
+        child = emulated_sthread_create(kernel, SecurityContext(), body)
+        kernel.sthread_join(child)
+        report = violation_report(child)
+        hot = [e for e in report if e["segment"] == "hot"]
+        assert hot and hot[0]["count"] == 5
+
+    def test_suggested_grants_distinguish_modes(self, kernel):
+        tag_r = kernel.tag_new(name="read-only-need")
+        tag_w = kernel.tag_new(name="write-need")
+        buf_r = kernel.alloc_buf(8, tag=tag_r)
+        buf_w = kernel.alloc_buf(8, tag=tag_w)
+
+        def body(arg):
+            kernel.mem_read(buf_r.addr, 8)
+            kernel.mem_write(buf_w.addr, b"dirty!!!")
+
+        child = emulated_sthread_create(kernel, SecurityContext(), body)
+        kernel.sthread_join(child)
+        grants, untaggable = suggested_grants(child)
+        assert grants[tag_r.id] == "r"
+        assert grants[tag_w.id] == "rw"
+
+    def test_untaggable_memory_reported_separately(self, kernel):
+        """Accesses to another compartment's private heap cannot be
+        fixed by a grant — the data must be re-tagged first."""
+        buf = kernel.alloc_buf(8, init=b"private!")
+
+        def body(arg):
+            kernel.mem_read(buf.addr, 8)
+
+        child = emulated_sthread_create(kernel, SecurityContext(), body)
+        kernel.sthread_join(child)
+        grants, untaggable = suggested_grants(child)
+        assert not grants
+        assert untaggable
+
+    def test_suggested_policy_actually_works(self, kernel):
+        """Closing the loop: apply the suggestion, violations vanish."""
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"needed!!")
+
+        def body(arg):
+            return kernel.mem_read(buf.addr, 8)
+
+        probe = emulated_sthread_create(kernel, SecurityContext(), body)
+        kernel.sthread_join(probe)
+        grants, _ = suggested_grants(probe)
+        sc = SecurityContext()
+        for tag_id, mode in grants.items():
+            sc_mem_add(sc, tag_id,
+                       PROT_RW if mode == "rw" else PROT_READ)
+        fixed = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(fixed) == b"needed!!"
+        assert not fixed.faulted

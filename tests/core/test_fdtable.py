@@ -1,0 +1,130 @@
+"""Unit tests for descriptor tables and per-fd Wedge permissions."""
+
+import pytest
+
+from repro.core.errors import (BadFileDescriptor, ConnectionClosed,
+                               FdPermissionError)
+from repro.core.fdtable import (FdTable, PipeOpenFile, SocketOpenFile,
+                                VfsOpenFile)
+from repro.core.policy import FD_READ, FD_RW, FD_WRITE
+from repro.core.vfs import VfsFile
+from repro.net.stream import ByteStream, DuplexStream
+
+
+def vfs_file(data=b"content"):
+    return VfsOpenFile(VfsFile(data), "/f")
+
+
+class TestFdTable:
+    def test_install_assigns_increasing_fds(self):
+        table = FdTable()
+        a = table.install(vfs_file())
+        b = table.install(vfs_file())
+        assert b == a + 1
+        assert a >= 3  # stdio reserved
+
+    def test_lookup_checks_permissions(self):
+        table = FdTable()
+        fd = table.install(vfs_file(), FD_READ)
+        table.lookup(fd, needed=FD_READ)
+        with pytest.raises(FdPermissionError) as err:
+            table.lookup(fd, needed=FD_WRITE)
+        assert "write" in str(err.value)
+
+    def test_lookup_unknown_fd(self):
+        with pytest.raises(BadFileDescriptor):
+            FdTable().lookup(7)
+
+    def test_close_removes(self):
+        table = FdTable()
+        fd = table.install(vfs_file())
+        table.close(fd)
+        with pytest.raises(BadFileDescriptor):
+            table.lookup(fd)
+        with pytest.raises(BadFileDescriptor):
+            table.close(fd)
+
+    def test_perms_of(self):
+        table = FdTable()
+        fd = table.install(vfs_file(), FD_READ)
+        assert table.perms_of(fd) == FD_READ
+        assert table.perms_of(99) == 0
+
+    def test_dup_subset_copies_only_granted(self):
+        table = FdTable()
+        a = table.install(vfs_file(), FD_RW)
+        b = table.install(vfs_file(), FD_RW)
+        child = table.dup_subset({a: FD_READ})
+        assert a in child and b not in child
+        assert child.perms_of(a) == FD_READ
+
+    def test_dup_subset_missing_fd_fails(self):
+        with pytest.raises(BadFileDescriptor):
+            FdTable().dup_subset({9: FD_READ})
+
+    def test_dup_all(self):
+        table = FdTable()
+        a = table.install(vfs_file(), FD_READ)
+        child = table.dup_all()
+        assert child.perms_of(a) == FD_READ
+
+    def test_dup_shares_open_file_description(self):
+        """Like UNIX dup: the file offset is shared."""
+        table = FdTable()
+        fd = table.install(vfs_file(b"abcdef"), FD_RW)
+        child = table.dup_subset({fd: FD_READ})
+        assert table.lookup(fd).file.read(3) == b"abc"
+        assert child.lookup(fd).file.read(3) == b"def"
+
+
+class TestRefcounting:
+    def test_socket_closes_on_last_ref(self):
+        a, b = DuplexStream.pipe_pair("t")
+        file = SocketOpenFile(a)
+        t1, t2 = FdTable(), FdTable()
+        fd1 = t1.install(file)
+        fd2 = t2.install(file)
+        t1.close(fd1)
+        assert not a.closed
+        t2.close(fd2)
+        assert a.closed
+
+    def test_close_all(self):
+        table = FdTable()
+        table.install(vfs_file())
+        table.install(vfs_file())
+        table.close_all()
+        assert len(table) == 0
+
+
+class TestOpenFiles:
+    def test_vfs_file_append_and_extend(self):
+        node = VfsFile(b"ab")
+        f = VfsOpenFile(node, "/f", append=True)
+        f.write(b"cd")
+        assert bytes(node.data) == b"abcd"
+
+    def test_vfs_file_sparse_write(self):
+        node = VfsFile(b"")
+        f = VfsOpenFile(node, "/f")
+        f.seek(4)
+        f.write(b"x")
+        assert bytes(node.data) == b"\x00\x00\x00\x00x"
+
+    def test_pipe_direction_enforced(self):
+        stream = ByteStream("p")
+        rend = PipeOpenFile(stream, readable=True)
+        wend = PipeOpenFile(stream, readable=False)
+        wend.write(b"ping")
+        assert rend.read(4) == b"ping"
+        with pytest.raises(BadFileDescriptor):
+            rend.write(b"x")
+        with pytest.raises(BadFileDescriptor):
+            wend.read(1)
+
+    def test_socket_read_raises_on_eof(self):
+        a, b = DuplexStream.pipe_pair("t")
+        file = SocketOpenFile(a)
+        b.close()
+        with pytest.raises(ConnectionClosed):
+            file.read(1)

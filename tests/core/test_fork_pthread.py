@@ -1,0 +1,119 @@
+"""fork and pthread semantics — the baselines Wedge improves on."""
+
+import pytest
+
+from repro.core.policy import SecurityContext
+
+
+class TestFork:
+    def test_fork_child_inherits_private_heap(self, kernel):
+        """The paper's core criticism: fork grants memory by default."""
+        buf = kernel.alloc_buf(32, init=b"sensitive-parent-data")
+        child = kernel.fork(lambda a: kernel.mem_read(buf.addr, 21),
+                            spawn="inline")
+        assert kernel.sthread_join(child) == b"sensitive-parent-data"
+
+    def test_fork_child_inherits_tags(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"tagdata!")
+        child = kernel.fork(lambda a: kernel.mem_read(buf.addr, 8),
+                            spawn="inline")
+        assert kernel.sthread_join(child) == b"tagdata!"
+
+    def test_fork_child_inherits_fds(self, kernel):
+        listener = kernel.net.listen("f:1")
+        fd = kernel.connect("f:1")
+        child = kernel.fork(lambda a: kernel.send(fd, b"from-child"),
+                            spawn="inline")
+        kernel.sthread_join(child)
+        server = listener.accept(timeout=2)
+        assert server.recv(10, timeout=2) == b"from-child"
+
+    def test_fork_heap_writes_diverge(self, kernel):
+        """COW: the child's writes stay in the child."""
+        buf = kernel.alloc_buf(16, init=b"original-bytes!!")
+
+        def body(arg):
+            kernel.mem_write(buf.addr, b"child-overwrote!")
+            return kernel.mem_read(buf.addr, 16)
+
+        child = kernel.fork(body, spawn="inline")
+        assert kernel.sthread_join(child) == b"child-overwrote!"
+        assert buf.read() == b"original-bytes!!"
+
+    def test_parent_writes_after_fork_are_private_too(self, kernel):
+        buf = kernel.alloc_buf(16, init=b"before-the-fork!")
+        import threading
+        gate = threading.Event()
+        release = threading.Event()
+        result = {}
+
+        def body(arg):
+            gate.set()
+            release.wait(5)
+            result["child_view"] = kernel.mem_read(buf.addr, 16)
+
+        child = kernel.fork(body, spawn="thread")
+        gate.wait(5)
+        kernel.mem_write(buf.addr, b"parent-changed!!")
+        release.set()
+        kernel.sthread_join(child)
+        assert result["child_view"] == b"before-the-fork!"
+
+    def test_scrubbing_works_but_is_per_copy(self, kernel):
+        """The brittle defense: the child can scrub its own copy."""
+        buf = kernel.alloc_buf(16, init=b"host-key-materia")
+
+        def body(arg):
+            kernel.mem_write(buf.addr, bytes(16))   # scrub
+            return kernel.mem_read(buf.addr, 16)
+
+        child = kernel.fork(body, spawn="inline")
+        assert kernel.sthread_join(child) == bytes(16)
+        assert buf.read(16) == b"host-key-materia"  # parent unscrubbed
+
+
+class TestPthread:
+    def test_pthread_shares_heap_writes(self, kernel):
+        buf = kernel.alloc_buf(16, init=b"original")
+
+        def body(arg):
+            kernel.mem_write(buf.addr, b"threaded")
+
+        t = kernel.pthread_create(body, spawn="inline")
+        kernel.sthread_join(t)
+        assert buf.read(8) == b"threaded"
+
+    def test_pthread_shares_fd_table(self, kernel):
+        listener = kernel.net.listen("p:1")
+        fd = kernel.connect("p:1")
+
+        def body(arg):
+            kernel.close(fd)
+
+        t = kernel.pthread_create(body, spawn="inline")
+        kernel.sthread_join(t)
+        # the fd really is closed for the parent too
+        from repro.core.errors import BadFileDescriptor
+        with pytest.raises(BadFileDescriptor):
+            kernel.send(fd, b"x")
+
+    def test_pthread_gets_own_stack(self, kernel):
+        def body(arg):
+            return kernel.current().stack_segment.id
+
+        parent_stack = kernel.current().stack_segment.id
+        t = kernel.pthread_create(body, spawn="inline")
+        assert kernel.sthread_join(t) != parent_stack
+
+    def test_pthread_cheaper_than_sthread(self, kernel):
+        cp = kernel.costs.checkpoint()
+        t = kernel.pthread_create(lambda a: None, spawn="inline")
+        kernel.sthread_join(t)
+        pthread_cost = kernel.costs.delta(cp)
+        cp = kernel.costs.checkpoint()
+        s = kernel.sthread_create(SecurityContext(), lambda a: None,
+                                  spawn="inline")
+        kernel.sthread_join(s)
+        sthread_cost = kernel.costs.delta(cp)
+        assert sthread_cost > 3 * pthread_cost

@@ -1,0 +1,119 @@
+"""Process image, snapshot, and BOUNDARY_VAR/TAG (paper §3.2, §4.1)."""
+
+import pytest
+
+from repro.core.boundary import BOUNDARY_TAG, BOUNDARY_VAR
+from repro.core.errors import MemoryViolation, WedgeError
+from repro.core.image import ImageBuilder
+from repro.core.memory import AddressSpace, PROT_READ
+from repro.core.policy import SecurityContext, sc_mem_add
+
+
+class TestImageBuilder:
+    def test_declare_and_addr(self, bare_kernel):
+        var = bare_kernel.declare_global("x", 8, b"init")
+        bare_kernel.start_main()
+        addr = bare_kernel.image.addr_of("x")
+        assert bare_kernel.mem_read(addr, 4) == b"init"
+
+    def test_duplicate_declaration(self, bare_kernel):
+        bare_kernel.declare_global("x", 8)
+        with pytest.raises(WedgeError):
+            bare_kernel.declare_global("x", 8)
+
+    def test_oversized_init(self, bare_kernel):
+        with pytest.raises(WedgeError):
+            bare_kernel.declare_global("x", 4, b"way too long")
+
+    def test_declare_after_seal(self, bare_kernel):
+        bare_kernel.start_main()
+        with pytest.raises(WedgeError):
+            bare_kernel.declare_global("late", 8)
+
+    def test_var_at_resolution(self):
+        builder = ImageBuilder()
+        builder.declare("a", 8)
+        builder.declare("b", 16)
+        image = builder.seal(AddressSpace())
+        var, inner = image.var_at(image.addr_of("b") -
+                                  image.segment.base + 3)
+        assert var.name == "b"
+        assert inner == 3
+
+    def test_unknown_global(self, bare_kernel):
+        bare_kernel.start_main()
+        with pytest.raises(WedgeError):
+            bare_kernel.image.addr_of("nope")
+
+    def test_start_main_twice(self, bare_kernel):
+        bare_kernel.start_main()
+        with pytest.raises(WedgeError):
+            bare_kernel.start_main()
+
+
+class TestBoundary:
+    def test_boundary_var_not_in_default_snapshot(self, bare_kernel):
+        """Sensitive statically-initialised globals are *not* given to
+        sthreads by default (paper §4.1)."""
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 1, "api_key", 16, b"statically-secret")
+        kernel.start_main()
+        tag = BOUNDARY_TAG(kernel, 1)
+        addr = kernel.boundary.section(1).addr_of("api_key")
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(addr, 16),
+            spawn="inline")
+        assert child.faulted
+        assert isinstance(child.fault, MemoryViolation)
+
+    def test_boundary_tag_grants_access(self, bare_kernel):
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 2, "shared_table", 16, b"shared-init-data")
+        kernel.start_main()
+        tag = BOUNDARY_TAG(kernel, 2)
+        addr = kernel.boundary.section(2).addr_of("shared_table")
+        sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.mem_read(addr, 16), spawn="inline")
+        assert kernel.sthread_join(child) == b"shared-init-data"
+
+    def test_boundary_tag_is_stable(self, bare_kernel):
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 3, "v", 8)
+        kernel.start_main()
+        assert BOUNDARY_TAG(kernel, 3) is BOUNDARY_TAG(kernel, 3)
+
+    def test_boundary_tag_before_main(self, bare_kernel):
+        BOUNDARY_VAR(bare_kernel, 4, "v", 8)
+        with pytest.raises(WedgeError):
+            BOUNDARY_TAG(bare_kernel, 4)
+
+    def test_same_id_groups_vars_in_one_section(self, bare_kernel):
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 5, "a", 8, b"AAAA")
+        BOUNDARY_VAR(kernel, 5, "b", 8, b"BBBB")
+        kernel.start_main()
+        section = kernel.boundary.section(5)
+        assert section.addr_of("a") != section.addr_of("b")
+        seg_a, _ = kernel.space.find(section.addr_of("a"))
+        seg_b, _ = kernel.space.find(section.addr_of("b"))
+        assert seg_a is seg_b
+
+    def test_different_ids_get_distinct_sections(self, bare_kernel):
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 6, "a", 8)
+        BOUNDARY_VAR(kernel, 7, "b", 8)
+        kernel.start_main()
+        seg_a = kernel.boundary.section(6).segment
+        seg_b = kernel.boundary.section(7).segment
+        assert seg_a is not seg_b
+
+    def test_duplicate_var_in_section(self, bare_kernel):
+        BOUNDARY_VAR(bare_kernel, 8, "dup", 8)
+        with pytest.raises(WedgeError):
+            BOUNDARY_VAR(bare_kernel, 8, "dup", 8)
+
+    def test_declaration_after_main_rejected(self, bare_kernel):
+        bare_kernel.start_main()
+        with pytest.raises(WedgeError):
+            BOUNDARY_VAR(bare_kernel, 9, "late", 8)

@@ -1,0 +1,190 @@
+"""Kernel odds and ends: identity syscalls, files, pipes, buffers."""
+
+import pytest
+
+from repro.core.errors import (BadFileDescriptor, SyscallDenied, TagError,
+                               VfsError, WedgeError)
+from repro.core.kernel import Buffer
+from repro.core.policy import SecurityContext
+
+
+class TestIdentity:
+    def test_getuid_default_root(self, kernel):
+        assert kernel.getuid() == 0
+
+    def test_setuid_drop_and_stick(self, kernel):
+        def body(arg):
+            kernel.setuid(1000)
+            try:
+                kernel.setuid(0)
+            except SyscallDenied:
+                return kernel.getuid()
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == 1000
+
+    def test_chroot_requires_root(self, kernel):
+        kernel.vfs.mkdir("/jail")
+        sc = SecurityContext(uid=1000)
+
+        def body(arg):
+            kernel.chroot("/jail")
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert isinstance(child.fault, SyscallDenied)
+
+    def test_promote_requires_root(self, kernel):
+        sc = SecurityContext(uid=1000)
+
+        def body(arg):
+            kernel.promote(kernel.current(), uid=0)
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert isinstance(child.fault, SyscallDenied)
+
+
+class TestFiles:
+    def test_open_read_write_roundtrip(self, kernel):
+        fd = kernel.open("/tmp/out", "w")
+        kernel.write(fd, b"hello file")
+        kernel.close(fd)
+        fd = kernel.open("/tmp/out", "r")
+        assert kernel.read(fd, 64) == b"hello file"
+        kernel.close(fd)
+
+    def test_append_mode(self, kernel):
+        fd = kernel.open("/tmp/log", "w")
+        kernel.write(fd, b"one")
+        kernel.close(fd)
+        fd = kernel.open("/tmp/log", "a")
+        kernel.write(fd, b"two")
+        kernel.close(fd)
+        fd = kernel.open("/tmp/log", "r")
+        assert kernel.read(fd, 64) == b"onetwo"
+
+    def test_open_missing_for_read(self, kernel):
+        with pytest.raises(VfsError):
+            kernel.open("/missing", "r")
+
+    def test_bad_mode(self, kernel):
+        with pytest.raises(VfsError):
+            kernel.open("/tmp/x", "rb+")
+
+    def test_read_fd_cannot_write(self, kernel):
+        kernel.vfs.write_file("/tmp/ro", b"data")
+        fd = kernel.open("/tmp/ro", "r")
+        with pytest.raises(WedgeError):
+            kernel.write(fd, b"nope")
+
+    def test_chroot_changes_resolution(self, kernel):
+        kernel.vfs.write_file("/jail/etc/motd", b"jailed hello")
+        kernel.vfs.write_file("/etc/motd", b"real hello")
+
+        def body(arg):
+            fd = kernel.open("/etc/motd", "r")
+            return kernel.read(fd, 64)
+
+        sc = SecurityContext(root="/jail")
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == b"jailed hello"
+
+
+class TestPipe:
+    def test_pipe_roundtrip(self, kernel):
+        rfd, wfd = kernel.pipe()
+        kernel.write(wfd, b"through the pipe")
+        assert kernel.read(rfd, 64) == b"through the pipe"
+
+    def test_pipe_ends_are_directional(self, kernel):
+        rfd, wfd = kernel.pipe()
+        with pytest.raises(WedgeError):
+            kernel.write(rfd, b"x")
+
+
+class TestBuffer:
+    def test_buffer_offsets(self, kernel):
+        buf = kernel.alloc_buf(16, init=b"0123456789abcdef")
+        assert buf.read(4, offset=4) == b"4567"
+        buf.write(b"XY", offset=14)
+        assert buf.read()[-2:] == b"XY"
+
+    def test_buffer_overflow_guard(self, kernel):
+        buf = kernel.alloc_buf(8)
+        with pytest.raises(WedgeError):
+            buf.write(b"123456789")
+
+    def test_len(self, kernel):
+        assert len(kernel.alloc_buf(24)) == 24
+
+
+class TestAllocErrors:
+    def test_sfree_of_non_heap_address(self, kernel):
+        with pytest.raises(Exception):
+            kernel.sfree(0xDEAD)
+
+    def test_sfree_of_other_sthreads_heap(self, kernel):
+        addr_holder = {}
+
+        def body(arg):
+            addr_holder["addr"] = kernel.malloc(16)
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        kernel.sthread_join(child)
+        with pytest.raises(TagError):
+            kernel.sfree(addr_holder["addr"])
+
+    def test_smalloc_requires_rw(self, kernel):
+        from repro.core.errors import PolicyError
+        from repro.core.memory import PROT_READ
+        from repro.core.policy import sc_mem_add
+        tag = kernel.tag_new()
+        sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+
+        def body(arg):
+            kernel.smalloc(8, tag)
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert isinstance(child.error, PolicyError)
+
+    def test_malloc_free_reuse(self, kernel):
+        a = kernel.malloc(100)
+        kernel.free(a)
+        b = kernel.malloc(100)
+        assert a == b
+
+    def test_tag_delete_requires_holding(self, kernel):
+        tag = kernel.tag_new()
+
+        def body(arg):
+            kernel.tag_delete(tag)
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert isinstance(child.error, TagError)
+
+
+class TestNetworkSyscalls:
+    def test_listen_accept_connect(self, kernel):
+        lfd = kernel.listen("me:80")
+        cfd = kernel.connect("me:80")
+        sfd = kernel.accept(lfd, timeout=2)
+        kernel.send(cfd, b"hi server")
+        assert kernel.recv(sfd, 64) == b"hi server"
+        kernel.send(sfd, b"hi client")
+        assert kernel.recv_exact(cfd, 9) == b"hi client"
+
+    def test_no_network_attached(self):
+        from repro.core.kernel import Kernel
+        k = Kernel()
+        k.start_main()
+        with pytest.raises(WedgeError):
+            k.listen("x:1")
+
+    def test_closed_fd_recv(self, kernel):
+        kernel.net.listen("y:1")
+        fd = kernel.connect("y:1")
+        kernel.close(fd)
+        with pytest.raises(BadFileDescriptor):
+            kernel.recv(fd, 4)

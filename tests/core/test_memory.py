@@ -1,0 +1,241 @@
+"""Unit tests for the simulated memory subsystem."""
+
+import pytest
+
+from repro.core.costs import CostAccount
+from repro.core.errors import BadAddress, MemoryViolation
+from repro.core.memory import (PAGE_SIZE, PROT_COW, PROT_NONE, PROT_READ,
+                               PROT_RW, AddressSpace, Frame, MemoryBus,
+                               PageTable, page_count, prot_name)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def bus(space):
+    return MemoryBus(space, CostAccount())
+
+
+def make_table(seg, prot, name="t"):
+    table = PageTable(owner_name=name)
+    table.map_segment(seg, prot)
+    return table
+
+
+class TestFrame:
+    def test_new_frame_is_zeroed(self):
+        assert Frame().data == bytearray(PAGE_SIZE)
+
+    def test_copy_is_independent(self):
+        frame = Frame()
+        copy = frame.copy()
+        copy.data[0] = 0xFF
+        assert frame.data[0] == 0
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(b"short")
+
+
+class TestSegment:
+    def test_raw_roundtrip(self, space):
+        seg = space.create_segment(100)
+        seg.write_raw(10, b"hello")
+        assert seg.read_raw(10, 5) == b"hello"
+
+    def test_raw_crosses_pages(self, space):
+        seg = space.create_segment(3 * PAGE_SIZE)
+        data = bytes(range(256)) * 20
+        seg.write_raw(PAGE_SIZE - 100, data)
+        assert seg.read_raw(PAGE_SIZE - 100, len(data)) == data
+
+    def test_raw_out_of_bounds(self, space):
+        seg = space.create_segment(PAGE_SIZE)
+        with pytest.raises(BadAddress):
+            seg.read_raw(PAGE_SIZE - 2, 4)
+        with pytest.raises(BadAddress):
+            seg.write_raw(-1, b"x")
+
+    def test_page_rounding(self, space):
+        seg = space.create_segment(1)
+        assert seg.npages == 1
+        assert seg.limit - seg.base == PAGE_SIZE
+
+    def test_page_count(self):
+        assert page_count(1) == 1
+        assert page_count(PAGE_SIZE) == 1
+        assert page_count(PAGE_SIZE + 1) == 2
+
+
+class TestAddressSpace:
+    def test_find_resolves(self, space):
+        seg = space.create_segment(100)
+        found, offset = space.find(seg.base + 42)
+        assert found is seg
+        assert offset == 42
+
+    def test_guard_gap_between_segments(self, space):
+        a = space.create_segment(PAGE_SIZE)
+        b = space.create_segment(PAGE_SIZE)
+        assert b.base >= a.limit + PAGE_SIZE
+
+    def test_guard_gap_unmapped(self, space):
+        a = space.create_segment(PAGE_SIZE)
+        space.create_segment(PAGE_SIZE)
+        with pytest.raises(BadAddress):
+            space.find(a.limit + 1)
+
+    def test_destroy_unmaps(self, space):
+        seg = space.create_segment(100)
+        space.destroy_segment(seg)
+        with pytest.raises(BadAddress):
+            space.find(seg.base)
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.create_segment(0)
+
+
+class TestPageTablePermissions:
+    def test_read_requires_mapping(self, space, bus):
+        seg = space.create_segment(100)
+        table = PageTable(owner_name="w")
+        with pytest.raises(MemoryViolation):
+            bus.read(table, seg.base, 4)
+
+    def test_read_requires_read_bit(self, space, bus):
+        seg = space.create_segment(100)
+        table = make_table(seg, PROT_NONE)
+        with pytest.raises(MemoryViolation):
+            bus.read(table, seg.base, 4)
+
+    def test_write_requires_write_bit(self, space, bus):
+        seg = space.create_segment(100)
+        table = make_table(seg, PROT_READ)
+        with pytest.raises(MemoryViolation):
+            bus.write(table, seg.base, b"x")
+
+    def test_rw_roundtrip(self, space, bus):
+        seg = space.create_segment(100)
+        table = make_table(seg, PROT_RW)
+        bus.write(table, seg.base + 8, b"payload")
+        assert bus.read(table, seg.base + 8, 7) == b"payload"
+
+    def test_violation_carries_context(self, space, bus):
+        seg = space.create_segment(100, name="secrets")
+        table = make_table(seg, PROT_READ, name="worker")
+        with pytest.raises(MemoryViolation) as err:
+            bus.write(table, seg.base, b"x")
+        assert err.value.addr == seg.base
+        assert err.value.op == "write"
+        assert err.value.sthread == "worker"
+        assert "secrets" in str(err.value)
+
+    def test_multi_page_write_read(self, space, bus):
+        seg = space.create_segment(4 * PAGE_SIZE)
+        table = make_table(seg, PROT_RW)
+        blob = bytes(i % 251 for i in range(2 * PAGE_SIZE + 77))
+        bus.write(table, seg.base + PAGE_SIZE - 3, blob)
+        assert bus.read(table, seg.base + PAGE_SIZE - 3,
+                        len(blob)) == blob
+
+
+class TestCow:
+    def test_cow_read_sees_original(self, space, bus):
+        seg = space.create_segment(100)
+        seg.write_raw(0, b"original")
+        table = make_table(seg, PROT_READ | PROT_COW)
+        assert bus.read(table, seg.base, 8) == b"original"
+
+    def test_cow_write_diverges(self, space, bus):
+        seg = space.create_segment(100)
+        seg.write_raw(0, b"original")
+        table = make_table(seg, PROT_READ | PROT_COW)
+        bus.write(table, seg.base, b"mine!")
+        # the private copy changed...
+        assert bus.read(table, seg.base, 5) == b"mine!"
+        # ...but the backing frames did not
+        assert seg.read_raw(0, 8) == b"original"
+
+    def test_two_cow_tables_are_independent(self, space, bus):
+        seg = space.create_segment(100)
+        t1 = make_table(seg, PROT_READ | PROT_COW, "a")
+        t2 = make_table(seg, PROT_READ | PROT_COW, "b")
+        bus.write(t1, seg.base, b"AAAA")
+        bus.write(t2, seg.base, b"BBBB")
+        assert bus.read(t1, seg.base, 4) == b"AAAA"
+        assert bus.read(t2, seg.base, 4) == b"BBBB"
+
+    def test_cow_copy_charged(self, space, bus):
+        seg = space.create_segment(100)
+        table = make_table(seg, PROT_READ | PROT_COW)
+        before = bus.costs.counters.get("page_copy", 0)
+        bus.write(table, seg.base, b"x")
+        assert bus.costs.counters["page_copy"] == before + 1
+        # second write to the same page copies nothing further
+        bus.write(table, seg.base + 1, b"y")
+        assert bus.costs.counters["page_copy"] == before + 1
+
+    def test_mark_all_cow(self, space, bus):
+        seg = space.create_segment(2 * PAGE_SIZE)
+        table = make_table(seg, PROT_RW)
+        marked = table.mark_all_cow()
+        assert marked == 2
+        seg.write_raw(0, b"live")
+        assert bus.read(table, seg.base, 4) == b"live"
+        bus.write(table, seg.base, b"priv")
+        assert seg.read_raw(0, 4) == b"live"
+
+
+class TestClone:
+    def test_clone_copies_entries(self, space, bus):
+        seg = space.create_segment(PAGE_SIZE)
+        table = make_table(seg, PROT_RW)
+        clone = table.clone(owner_name="child")
+        assert len(clone) == len(table)
+        # entries are copies: changing one side's protection is private
+        for pte in clone.entries.values():
+            pte.prot = PROT_READ
+        bus.write(table, seg.base, b"parent ok")
+
+    def test_clone_charges_pte_copies(self, space):
+        costs = CostAccount()
+        bus = MemoryBus(space, costs)
+        seg = space.create_segment(8 * PAGE_SIZE)
+        table = make_table(seg, PROT_RW)
+        table.clone(costs=costs)
+        assert costs.counters["pte_copy"] >= 8
+
+
+class TestEmulation:
+    def test_violations_recorded_not_raised(self, space, bus):
+        seg = space.create_segment(100, name="hidden")
+        seg.write_raw(0, b"datadata")
+        table = PageTable(owner_name="emu")
+        table.emulation = True
+        data = bus.read(table, seg.base, 8)
+        assert data == b"datadata"       # grant-all satisfied the read
+        assert len(table.violations) == 1
+        assert table.violations[0].op == "read"
+
+    def test_emulated_write_lands_in_live_segment(self, space, bus):
+        seg = space.create_segment(100)
+        table = PageTable(owner_name="emu")
+        table.emulation = True
+        bus.write(table, seg.base, b"emuwrite")
+        assert seg.read_raw(0, 8) == b"emuwrite"
+        assert table.violations[0].op == "write"
+
+    def test_wild_address_in_emulation_reads_zeros(self, space, bus):
+        table = PageTable(owner_name="emu")
+        table.emulation = True
+        assert bus.read(table, 0xDEAD0000, 4) == b"\x00" * 4
+
+
+def test_prot_names():
+    assert prot_name(PROT_RW) == "rw"
+    assert prot_name(PROT_READ) == "r"
+    assert "cow" in prot_name(PROT_READ | PROT_COW)

@@ -1,0 +1,125 @@
+"""Edge cases across the core that earlier files did not pin down."""
+
+import pytest
+
+from repro.core.errors import (CallgateError, PolicyError, WedgeError)
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import SecurityContext, sc_cgate_add, sc_mem_add
+
+
+class TestCurrentAndCaller:
+    def test_current_before_boot_raises(self):
+        from repro.core.kernel import Kernel
+        kernel = Kernel()
+        with pytest.raises(WedgeError, match="start_main"):
+            kernel.current()
+
+    def test_caller_outside_gate_raises(self, kernel):
+        with pytest.raises(WedgeError, match="caller"):
+            kernel.caller()
+
+    def test_caller_inside_gate_is_the_invoker(self, kernel):
+        names = {}
+
+        def entry(trusted, arg):
+            names["caller"] = kernel.caller().name
+            names["gate"] = kernel.current().name
+
+        gate = kernel.create_gate(entry, SecurityContext())
+        sc = SecurityContext()
+        sc_cgate_add(sc, gate.id)
+        child = kernel.sthread_create(sc, lambda a: kernel.cgate(gate.id),
+                                      name="invoker", spawn="inline")
+        kernel.sthread_join(child)
+        assert names["caller"] == "invoker"
+        assert names["gate"].startswith("cg:")
+
+
+class TestGatePermsEdges:
+    def test_cgate_perms_cannot_carry_gates(self, kernel):
+        gate = kernel.create_gate(lambda t, a: None, SecurityContext())
+        evil_perms = SecurityContext()
+        sc_cgate_add(evil_perms, gate.id)
+        with pytest.raises(PolicyError):
+            kernel.cgate(gate.id, evil_perms)
+
+    def test_gate_invocation_count_tracked(self, kernel):
+        gate = kernel.create_gate(lambda t, a: None, SecurityContext())
+        for _ in range(3):
+            kernel.cgate(gate.id)
+        assert kernel.gate_record(gate.id).invocations == 3
+
+    def test_gate_sees_snapshot_not_live_globals(self, bare_kernel):
+        kernel = bare_kernel
+        kernel.declare_global("flag", 8, b"pristine")
+        kernel.start_main()
+        addr = kernel.image.addr_of("flag")
+        kernel.mem_write(addr, b"mutated!")
+
+        def entry(trusted, arg):
+            return kernel.mem_read(addr, 8)
+
+        gate = kernel.create_gate(entry, SecurityContext())
+        assert kernel.cgate(gate.id) == b"pristine"
+
+
+class TestCowInteractions:
+    def test_fork_then_grandchild_sthread(self, kernel):
+        """An sthread created inside a fork child still sees the
+        pristine pre-main snapshot, not the child's view."""
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"tagged!!")
+
+        def grandchild(arg):
+            return kernel.mem_read(buf.addr, 8)
+
+        def child(arg):
+            sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+            worker = kernel.sthread_create(sc, grandchild,
+                                           spawn="inline")
+            return kernel.sthread_join(worker)
+
+        forked = kernel.fork(child, spawn="inline")
+        assert kernel.sthread_join(forked) == b"tagged!!"
+
+    def test_cow_grant_after_shared_write(self, kernel):
+        """COW diverges from the tag's *current* frames at map time."""
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"version1")
+        kernel.mem_write(buf.addr, b"version2")
+        sc = sc_mem_add(SecurityContext(), tag, 4)  # PROT_COW
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.mem_read(buf.addr, 8), spawn="inline")
+        assert kernel.sthread_join(child) == b"version2"
+
+
+class TestBufferAndSpace:
+    def test_find_after_tag_delete_without_cache(self):
+        from repro.core.errors import BadAddress
+        from repro.core.kernel import Kernel
+        kernel = Kernel(tag_cache=False)
+        kernel.start_main()
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag)
+        kernel.tag_delete(tag)
+        with pytest.raises(BadAddress):
+            kernel.space.find(buf.addr)
+
+    def test_deleted_tag_address_reused_after_cache_hit(self, kernel):
+        tag = kernel.tag_new()
+        base = tag.segment.base
+        kernel.tag_delete(tag)
+        tag2 = kernel.tag_new()
+        assert tag2.segment.base == base   # same segment, recycled
+
+
+class TestKernelCosts:
+    def test_every_weight_is_positive(self):
+        from repro.core.costs import WEIGHTS
+        assert all(weight > 0 for weight in WEIGHTS.values())
+
+    def test_cgate_charges_lookup(self, kernel):
+        gate = kernel.create_gate(lambda t, a: None, SecurityContext())
+        before = kernel.costs.counters.get("cgate_lookup", 0)
+        kernel.cgate(gate.id)
+        assert kernel.costs.counters["cgate_lookup"] == before + 1

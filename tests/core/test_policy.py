@@ -1,0 +1,216 @@
+"""Unit tests for security contexts and monotonicity (paper §3.1)."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.memory import PROT_COW, PROT_READ, PROT_RW, PROT_WRITE
+from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
+                               mem_prot_subset, sc_cgate_add, sc_fd_add,
+                               sc_mem_add, sc_sel_context,
+                               validate_mem_prot)
+
+
+class TestValidateMemProt:
+    def test_write_only_rejected(self):
+        """Paper §3.1: no write-only memory on commodity CPUs."""
+        with pytest.raises(PolicyError) as err:
+            validate_mem_prot(PROT_WRITE)
+        assert "write-only" in str(err.value)
+
+    def test_read_and_rw_accepted(self):
+        assert validate_mem_prot(PROT_READ) == PROT_READ
+        assert validate_mem_prot(PROT_RW) == PROT_RW
+
+    def test_cow_normalised_to_readable(self):
+        assert validate_mem_prot(PROT_COW) & PROT_READ
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolicyError):
+            validate_mem_prot(99)
+
+
+class TestScBuilders:
+    def test_sc_mem_add(self):
+        sc = SecurityContext()
+        sc_mem_add(sc, 7, PROT_READ)
+        assert sc.mem[7] == PROT_READ
+
+    def test_sc_mem_add_accepts_tag_objects(self):
+        class FakeTag:
+            def __int__(self):
+                return 3
+        sc = sc_mem_add(SecurityContext(), FakeTag(), PROT_RW)
+        assert sc.mem[3] == PROT_RW
+
+    def test_sc_fd_add(self):
+        sc = sc_fd_add(SecurityContext(), 4, FD_READ)
+        assert sc.fds[4] == FD_READ
+
+    def test_sc_fd_add_rejects_zero_and_garbage(self):
+        with pytest.raises(PolicyError):
+            sc_fd_add(SecurityContext(), 4, 0)
+        with pytest.raises(PolicyError):
+            sc_fd_add(SecurityContext(), 4, 8)
+
+    def test_sc_sel_context(self):
+        sc = sc_sel_context(SecurityContext(), "u:r:t")
+        assert sc.sid == "u:r:t"
+
+    def test_sc_cgate_add_new_gate_needs_context(self):
+        with pytest.raises(PolicyError):
+            sc_cgate_add(SecurityContext(), lambda t, a: None)
+
+    def test_sc_cgate_add_regrant_takes_no_context(self):
+        with pytest.raises(PolicyError):
+            sc_cgate_add(SecurityContext(), 5, SecurityContext())
+
+    def test_sc_cgate_add_both_forms(self):
+        sc = SecurityContext()
+        sc_cgate_add(sc, lambda t, a: None, SecurityContext(),
+                     recycled=True)
+        sc_cgate_add(sc, 9)
+        assert len(sc.gate_specs) == 1
+        assert sc.gate_specs[0].recycled
+        assert sc.gate_ids == [9]
+
+    def test_copy_is_deep_enough(self):
+        sc = sc_mem_add(SecurityContext(uid=5), 1, PROT_READ)
+        other = sc.copy()
+        other.mem[2] = PROT_RW
+        assert 2 not in sc.mem
+        assert other.uid == 5
+
+
+class TestMemProtSubset:
+    @pytest.mark.parametrize("child,parent,allowed", [
+        (PROT_READ, PROT_READ, True),
+        (PROT_READ, PROT_RW, True),
+        (PROT_RW, PROT_RW, True),
+        (PROT_RW, PROT_READ, False),          # write needs parent write
+        (PROT_READ | PROT_COW, PROT_READ, True),
+        (PROT_READ | PROT_COW, PROT_RW, True),
+        (PROT_READ, PROT_READ | PROT_COW, True),
+        (PROT_RW, PROT_READ | PROT_COW, False),
+    ])
+    def test_delegation_table(self, child, parent, allowed):
+        assert mem_prot_subset(child, parent) is allowed
+
+
+class TestSubsetEnforcement:
+    """check_subset_of through the kernel (real parent sthreads)."""
+
+    def test_parent_cannot_grant_unheld_tag(self, kernel):
+        tag = kernel.tag_new()
+        sc_grandchild = sc_mem_add(SecurityContext(), tag, PROT_READ)
+
+        def body(arg):
+            # this compartment holds nothing, so it cannot grant the tag
+            kernel.sthread_create(sc_grandchild, lambda a: None,
+                                  spawn="inline")
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert isinstance(child.error, PolicyError)
+        # main holds the tag (it created it), so from main it works
+        ok = kernel.sthread_create(sc_grandchild, lambda a: None,
+                                   spawn="inline")
+        assert not ok.faulted and ok.error is None
+
+    def test_child_cannot_escalate_read_to_rw(self, kernel):
+        tag = kernel.tag_new()
+        sc_child = sc_mem_add(SecurityContext(), tag, PROT_READ)
+
+        def child_body(arg):
+            sc_evil = sc_mem_add(SecurityContext(), tag, PROT_RW)
+            with pytest.raises(PolicyError):
+                kernel.sthread_create(sc_evil, lambda a: None,
+                                      spawn="inline")
+            return "checked"
+
+        child = kernel.sthread_create(sc_child, child_body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == "checked"
+
+    def test_child_can_delegate_subset(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag, init=b"12345678")
+        sc_child = sc_mem_add(SecurityContext(), tag, PROT_RW)
+
+        def child_body(arg):
+            sc_grand = sc_mem_add(SecurityContext(), tag, PROT_READ)
+            grand = kernel.sthread_create(
+                sc_grand, lambda a: kernel.mem_read(buf.addr, 8),
+                spawn="inline")
+            return kernel.sthread_join(grand)
+
+        child = kernel.sthread_create(sc_child, child_body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == b"12345678"
+
+    def test_uid_change_requires_root_parent(self, kernel):
+        # main is root: may set a child's uid
+        sc = SecurityContext(uid=1000)
+        child = kernel.sthread_create(sc, lambda a: kernel.getuid(),
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == 1000
+
+    def test_nonroot_cannot_change_uid(self, kernel):
+        sc = SecurityContext(uid=1000)
+
+        def body(arg):
+            evil = SecurityContext(uid=0)
+            with pytest.raises(PolicyError):
+                kernel.sthread_create(evil, lambda a: None,
+                                      spawn="inline")
+            return "denied"
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "denied"
+
+    def test_nonroot_cannot_chroot_child(self, kernel):
+        kernel.vfs.mkdir("/jail")
+        sc = SecurityContext(uid=1000)
+
+        def body(arg):
+            evil = SecurityContext(root="/jail")
+            with pytest.raises(PolicyError):
+                kernel.sthread_create(evil, lambda a: None,
+                                      spawn="inline")
+            return "denied"
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "denied"
+
+    def test_fd_delegation_requires_holding(self, kernel):
+        kernel.net.listen("x:1")
+        fd = kernel.connect("x:1")
+        from repro.core.policy import sc_fd_add as fd_add
+        sc_read_only = fd_add(SecurityContext(), fd, FD_READ)
+
+        def body(arg):
+            evil = fd_add(SecurityContext(), fd, FD_RW)
+            with pytest.raises(PolicyError):
+                kernel.sthread_create(evil, lambda a: None,
+                                      spawn="inline")
+            return "denied"
+
+        child = kernel.sthread_create(sc_read_only, body, spawn="inline")
+        assert kernel.sthread_join(child) == "denied"
+
+    def test_unknown_fd_grant_rejected(self, kernel):
+        sc = sc_fd_add(SecurityContext(), 99, FD_READ)
+        with pytest.raises(PolicyError):
+            kernel.sthread_create(sc, lambda a: None, spawn="inline")
+
+    def test_gate_delegation_requires_holding(self, kernel):
+        def body(arg):
+            evil = SecurityContext()
+            sc_cgate_add(evil, 424242)
+            with pytest.raises(PolicyError):
+                kernel.sthread_create(evil, lambda a: None,
+                                      spawn="inline")
+            return "denied"
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == "denied"

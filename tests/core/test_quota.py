@@ -1,0 +1,90 @@
+"""Memory quotas — the DoS-limitation extension (paper §7 notes Wedge
+has no such mechanism; this repository adds one as future work)."""
+
+import pytest
+
+from repro.core.errors import QuotaExceeded
+from repro.core.memory import PROT_RW
+from repro.core.policy import SecurityContext, sc_mem_add
+
+
+class TestQuota:
+    def test_unlimited_by_default(self, kernel):
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.malloc(50_000),
+            spawn="inline")
+        assert not child.faulted and child.error is None
+
+    def test_quota_caps_private_heap(self, kernel):
+        def hog(arg):
+            kernel.malloc(4096)
+            kernel.malloc(4096)   # exceeds the 6 KiB quota
+
+        sc = SecurityContext(mem_quota=6144)
+        child = kernel.sthread_create(sc, hog, spawn="inline")
+        assert isinstance(child.error, QuotaExceeded)
+
+    def test_quota_caps_tagged_allocations(self, kernel):
+        tag = kernel.tag_new()
+        sc = sc_mem_add(SecurityContext(mem_quota=1024), tag, PROT_RW)
+
+        def hog(arg):
+            kernel.smalloc(2048, tag)
+
+        child = kernel.sthread_create(sc, hog, spawn="inline")
+        assert isinstance(child.error, QuotaExceeded)
+
+    def test_free_returns_budget(self, kernel):
+        def recycler(arg):
+            for _ in range(10):
+                addr = kernel.malloc(4096)
+                kernel.free(addr)
+            return "fits"
+
+        sc = SecurityContext(mem_quota=8192)
+        child = kernel.sthread_create(sc, recycler, spawn="inline")
+        assert kernel.sthread_join(child) == "fits"
+
+    def test_quota_is_per_compartment(self, kernel):
+        """One compartment's consumption does not charge another's."""
+        sc = SecurityContext(mem_quota=8192)
+        a = kernel.sthread_create(
+            sc.copy(), lambda _: kernel.malloc(6000), spawn="inline")
+        b = kernel.sthread_create(
+            sc.copy(), lambda _: kernel.malloc(6000), spawn="inline")
+        assert a.error is None and b.error is None
+
+    def test_quota_confines_an_allocation_bomb(self, kernel):
+        """The DoS the paper mentions: an exploited sthread trying to
+        consume unbounded memory is cut off at its quota, and the
+        machine (other compartments) keeps working."""
+        def bomb(arg):
+            while True:
+                kernel.malloc(4096)
+
+        sc = SecurityContext(mem_quota=64 * 1024)
+        child = kernel.sthread_create(sc, bomb, spawn="inline")
+        assert isinstance(child.error, QuotaExceeded)
+        # the rest of the machine is fine
+        assert kernel.alloc_buf(1024, init=b"x" * 1024).read(1) == b"x"
+
+    def test_gate_quota_via_security_context(self, kernel):
+        from repro.core.errors import CallgateError
+
+        def greedy_gate(trusted, arg):
+            kernel.malloc(100_000)
+
+        gate_sc = SecurityContext(mem_quota=4096)
+        gate = kernel.create_gate(greedy_gate, gate_sc)
+        with pytest.raises((CallgateError, QuotaExceeded)):
+            kernel.cgate(gate.id)
+
+    def test_stack_alloc_counts_against_quota(self, kernel):
+        def stacker(arg):
+            with kernel.stack_frame("f"):
+                kernel.stack_alloc(4096)
+                kernel.stack_alloc(4096)
+
+        sc = SecurityContext(mem_quota=6000)
+        child = kernel.sthread_create(sc, stacker, spawn="inline")
+        assert isinstance(child.error, QuotaExceeded)

@@ -1,0 +1,81 @@
+"""Unit tests for the SELinux-lite syscall policy."""
+
+import pytest
+
+from repro.core.errors import PolicyError, SyscallDenied
+from repro.core.policy import SecurityContext, sc_sel_context
+from repro.core.selinux import (ALL_SYSCALLS, UNCONFINED, SELinuxPolicy,
+                                permissive_policy)
+
+
+@pytest.fixture
+def policy():
+    p = SELinuxPolicy()
+    p.define_domain("u:r:net_t", {"connect", "send", "recv"})
+    p.define_domain("u:r:file_t", {"open", "read", "close"})
+    p.allow_transition("u:r:net_t", "u:r:file_t")
+    return p
+
+
+class TestAllowSets:
+    def test_unconfined_allows_everything(self, policy):
+        policy.check_syscall(UNCONFINED, "anything_at_all")
+
+    def test_domain_allows_listed(self, policy):
+        policy.check_syscall("u:r:net_t", "connect")
+
+    def test_domain_denies_unlisted(self, policy):
+        with pytest.raises(SyscallDenied) as err:
+            policy.check_syscall("u:r:net_t", "open")
+        assert err.value.syscall == "open"
+        assert err.value.sid == "u:r:net_t"
+
+    def test_unknown_sid_denied(self, policy):
+        with pytest.raises(SyscallDenied):
+            policy.check_syscall("u:r:bogus_t", "open")
+
+    def test_wildcard_domain(self, policy):
+        policy.define_domain("u:r:god_t", {ALL_SYSCALLS})
+        policy.check_syscall("u:r:god_t", "whatever")
+
+
+class TestTransitions:
+    def test_same_sid_always_fine(self, policy):
+        policy.check_transition("u:r:net_t", "u:r:net_t")
+
+    def test_allowed_transition(self, policy):
+        policy.check_transition("u:r:net_t", "u:r:file_t")
+
+    def test_disallowed_transition(self, policy):
+        with pytest.raises(PolicyError):
+            policy.check_transition("u:r:file_t", "u:r:net_t")
+
+    def test_unconfined_enters_any_defined_domain(self, policy):
+        policy.check_transition(UNCONFINED, "u:r:net_t")
+
+    def test_unconfined_cannot_enter_undefined_domain(self, policy):
+        with pytest.raises(PolicyError):
+            policy.check_transition(UNCONFINED, "u:r:bogus_t")
+
+
+class TestKernelIntegration:
+    def test_confined_sthread_denied_syscall(self):
+        from repro.core.kernel import Kernel
+        from repro.net import Network
+        policy = SELinuxPolicy()
+        policy.define_domain("u:r:quiet_t", set())  # no syscalls at all
+        kernel = Kernel(selinux=policy, net=Network())
+        kernel.start_main()
+
+        def body(arg):
+            kernel.open("/anything", "r")
+
+        sc = sc_sel_context(SecurityContext(), "u:r:quiet_t")
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert isinstance(child.fault, SyscallDenied)
+
+    def test_paper_evaluation_mode(self):
+        """The paper grants all syscalls to focus on memory privileges."""
+        policy = permissive_policy()
+        policy.check_syscall("system_u:system_r:wedge_app_t", "open")
+        policy.check_syscall("system_u:system_r:wedge_app_t", "connect")

@@ -1,0 +1,303 @@
+"""Unit tests for sthreads: default-deny compartments (paper §3.1)."""
+
+import pytest
+
+from repro.core.errors import MemoryViolation, SthreadError, WedgeError
+from repro.core.memory import PROT_COW, PROT_READ, PROT_RW
+from repro.core.policy import (FD_READ, FD_RW, SecurityContext, sc_fd_add,
+                               sc_mem_add)
+
+
+class TestDefaultDeny:
+    def test_new_sthread_cannot_read_parent_tag(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(16, tag=tag, init=b"sensitive-bytes!")
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(buf.addr, 16),
+            spawn="inline")
+        assert child.faulted
+        assert isinstance(child.fault, MemoryViolation)
+
+    def test_new_sthread_cannot_read_parent_private_heap(self, kernel):
+        buf = kernel.alloc_buf(16, init=b"parent-heap-data")
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(buf.addr, 16),
+            spawn="inline")
+        assert child.faulted
+
+    def test_new_sthread_has_no_fds(self, kernel):
+        from repro.core.errors import BadFileDescriptor
+        kernel.net.listen("svc:1")
+        fd = kernel.connect("svc:1")
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.send(fd, b"x"),
+            spawn="inline")
+        # like UNIX: a descriptor that was never granted is simply not
+        # open in the child (EBADF), rather than a protection fault
+        assert isinstance(child.error, BadFileDescriptor)
+
+    def test_granted_tag_is_readable(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(16, tag=tag, init=b"shared-contents!")
+        sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.mem_read(buf.addr, 16), spawn="inline")
+        assert kernel.sthread_join(child) == b"shared-contents!"
+
+    def test_read_grant_does_not_allow_write(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(16, tag=tag)
+        sc = sc_mem_add(SecurityContext(), tag, PROT_READ)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.mem_write(buf.addr, b"overwrite"),
+            spawn="inline")
+        assert child.faulted
+
+    def test_rw_grant_shares_writes(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(16, tag=tag)
+        sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.mem_write(buf.addr, b"from-child"),
+            spawn="inline")
+        kernel.sthread_join(child)
+        assert buf.read(10) == b"from-child"
+
+    def test_cow_grant_writes_privately(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(16, tag=tag, init=b"pristine-pages!!")
+
+        def body(arg):
+            kernel.mem_write(buf.addr, b"private!")
+            return kernel.mem_read(buf.addr, 8)
+
+        sc = sc_mem_add(SecurityContext(), tag, PROT_COW)
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == b"private!"
+        # the shared frames are untouched
+        assert buf.read(8) == b"pristine"
+
+
+class TestSnapshot:
+    def test_child_sees_pristine_globals(self, bare_kernel):
+        kernel = bare_kernel
+        kernel.declare_global("config", 16, b"initial-value")
+        kernel.start_main()
+        addr = kernel.image.addr_of("config")
+        # main scribbles secrets into a global after the snapshot
+        kernel.mem_write(addr, b"RUNTIME-SECRET!!")
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(addr, 16),
+            spawn="inline")
+        # the child sees the pre-main snapshot, not main's secret
+        assert kernel.sthread_join(child).startswith(b"initial-value")
+
+    def test_child_global_writes_are_private(self, bare_kernel):
+        kernel = bare_kernel
+        kernel.declare_global("counter", 8, b"\x00" * 8)
+        kernel.start_main()
+        addr = kernel.image.addr_of("counter")
+
+        def body(arg):
+            kernel.mem_write(addr, b"CHILD!!!")
+            return kernel.mem_read(addr, 8)
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) == b"CHILD!!!"
+        assert kernel.mem_read(addr, 8) == b"\x00" * 8
+
+    def test_siblings_do_not_share_global_writes(self, bare_kernel):
+        kernel = bare_kernel
+        kernel.declare_global("shared", 8, b"origorig")
+        kernel.start_main()
+        addr = kernel.image.addr_of("shared")
+
+        def writer(arg):
+            kernel.mem_write(addr, arg)
+            return kernel.mem_read(addr, 8)
+
+        a = kernel.sthread_create(SecurityContext(), writer, b"AAAAAAAA",
+                                  spawn="inline")
+        b = kernel.sthread_create(SecurityContext(), writer, b"BBBBBBBB",
+                                  spawn="inline")
+        assert kernel.sthread_join(a) == b"AAAAAAAA"
+        assert kernel.sthread_join(b) == b"BBBBBBBB"
+
+
+class TestPrivateRegions:
+    def test_child_heap_is_fresh_and_private(self, kernel):
+        def body(arg):
+            buf = kernel.alloc_buf(32, init=b"child-local")
+            return buf.addr
+
+        a = kernel.sthread_create(SecurityContext(), body, spawn="inline")
+        addr = kernel.sthread_join(a)
+        # a sibling cannot read the first child's heap
+        b = kernel.sthread_create(
+            SecurityContext(), lambda _: kernel.mem_read(addr, 11),
+            spawn="inline")
+        assert b.faulted
+
+    def test_sequential_workers_get_distinct_heaps(self, kernel):
+        def body(arg):
+            return kernel.current().heap_segment.id
+
+        ids = set()
+        for _ in range(3):
+            child = kernel.sthread_create(SecurityContext(), body,
+                                          spawn="inline")
+            ids.add(kernel.sthread_join(child))
+        assert len(ids) == 3
+
+
+class TestFds:
+    def test_fd_grant_with_read_only(self, kernel):
+        kernel.net.listen("svc:2")
+        fd = kernel.connect("svc:2")
+        sc = sc_fd_add(SecurityContext(), fd, FD_READ)
+
+        def body(arg):
+            kernel.send(fd, b"should fail")
+
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert child.faulted
+
+    def test_fd_grant_rw_works(self, kernel):
+        listener = kernel.net.listen("svc:3")
+        fd = kernel.connect("svc:3")
+        sc = sc_fd_add(SecurityContext(), fd, FD_RW)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.send(fd, b"ping"), spawn="inline")
+        kernel.sthread_join(child)
+        server_end = listener.accept(timeout=2)
+        assert server_end.recv(4, timeout=2) == b"ping"
+
+    def test_child_close_does_not_affect_parent(self, kernel):
+        listener = kernel.net.listen("svc:4")
+        fd = kernel.connect("svc:4")
+        sc = sc_fd_add(SecurityContext(), fd, FD_RW)
+        child = kernel.sthread_create(
+            sc, lambda a: kernel.close(fd), spawn="inline")
+        kernel.sthread_join(child)
+        kernel.send(fd, b"parent still open")
+        server_end = listener.accept(timeout=2)
+        assert server_end.recv(17, timeout=2)
+
+
+class TestLifecycle:
+    def test_thread_spawn_and_join(self, kernel):
+        child = kernel.sthread_create(SecurityContext(),
+                                      lambda a: a * 2, 21,
+                                      spawn="thread")
+        assert kernel.sthread_join(child) == 42
+
+    def test_double_join_raises(self, kernel):
+        child = kernel.sthread_create(SecurityContext(), lambda a: None,
+                                      spawn="inline")
+        kernel.sthread_join(child)
+        with pytest.raises(SthreadError):
+            kernel.sthread_join(child)
+
+    def test_faulted_child_returns_none(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag)
+        child = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(buf.addr, 8),
+            spawn="inline")
+        assert kernel.sthread_join(child) is None
+        assert child.faulted
+
+    def test_runtime_error_recorded_separately(self, kernel):
+        def body(arg):
+            raise WedgeError("something ordinary went wrong")
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert not child.faulted
+        assert child.status == "error"
+        assert "ordinary" in str(child.error)
+
+    def test_unknown_spawn_mode(self, kernel):
+        with pytest.raises(WedgeError):
+            kernel.sthread_create(SecurityContext(), lambda a: None,
+                                  spawn="magic")
+
+
+class TestSmallocOn:
+    def test_malloc_redirects_to_tag(self, kernel):
+        tag = kernel.tag_new()
+
+        def body(arg):
+            kernel.smalloc_on(tag)
+            addr = kernel.malloc(32)
+            kernel.smalloc_off()
+            segment, _ = kernel.space.find(addr)
+            return segment.tag_id
+
+        sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == tag.id
+
+    def test_not_recursive(self, kernel):
+        tag = kernel.tag_new()
+        kernel.smalloc_on(tag)
+        with pytest.raises(WedgeError):
+            kernel.smalloc_on(tag)
+        kernel.smalloc_off()
+
+    def test_off_without_on(self, kernel):
+        with pytest.raises(WedgeError):
+            kernel.smalloc_off()
+
+    def test_save_restore_idiom(self, kernel):
+        """The signal-handler idiom of paper §4.1."""
+        tag = kernel.tag_new()
+        kernel.smalloc_on(tag)
+        state = kernel.smalloc_state()
+        kernel.smalloc_restore(None)       # enter "signal handler"
+        addr = kernel.malloc(8)            # plain malloc inside
+        segment, _ = kernel.space.find(addr)
+        assert segment.tag_id is None
+        kernel.smalloc_restore(state)      # leave handler
+        addr2 = kernel.malloc(8)
+        segment2, _ = kernel.space.find(addr2)
+        assert segment2.tag_id == tag.id
+        kernel.smalloc_off()
+
+    def test_flag_is_per_sthread(self, kernel):
+        tag = kernel.tag_new()
+        kernel.smalloc_on(tag)
+        # a child sthread starts with the flag clear
+        def body(arg):
+            addr = kernel.malloc(8)
+            segment, _ = kernel.space.find(addr)
+            return segment.tag_id
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert kernel.sthread_join(child) is None
+        kernel.smalloc_off()
+
+
+class TestStackFrames:
+    def test_stack_alloc_and_frames(self, kernel):
+        with kernel.stack_frame("outer"):
+            a = kernel.stack_alloc(64)
+            with kernel.stack_frame("inner"):
+                b = kernel.stack_alloc(32)
+                st = kernel.current()
+                off_a = a - st.stack_segment.base
+                off_b = b - st.stack_segment.base
+                assert st.frame_for_offset(off_a) == "outer"
+                assert st.frame_for_offset(off_b) == "inner"
+        assert kernel.current().stack_sp == 0
+
+    def test_stack_alloc_requires_frame(self, kernel):
+        with pytest.raises(WedgeError):
+            kernel.stack_alloc(8)
+
+    def test_stack_overflow(self, kernel):
+        with kernel.stack_frame("hog"):
+            with pytest.raises(WedgeError):
+                kernel.stack_alloc(10 ** 9)

@@ -1,0 +1,135 @@
+"""Unit tests for tagged memory and the reuse cache (paper §3.2, §4.1)."""
+
+import pytest
+
+from repro.core.costs import CostAccount
+from repro.core.errors import TagError
+from repro.core.memory import PAGE_SIZE, AddressSpace
+from repro.core.tags import DEFAULT_TAG_SIZE, TagManager
+
+
+@pytest.fixture
+def manager():
+    return TagManager(AddressSpace(), CostAccount())
+
+
+class TestLifecycle:
+    def test_tag_new_creates_segment_with_heap(self, manager):
+        tag = manager.tag_new(name="t")
+        assert tag.segment.tag_id == tag.id
+        assert tag.heap.is_formatted()
+
+    def test_ids_are_unique_and_flat(self, manager):
+        tags = [manager.tag_new() for _ in range(5)]
+        assert len({t.id for t in tags}) == 5
+
+    def test_resolve_by_int(self, manager):
+        tag = manager.tag_new()
+        assert manager.resolve(tag.id) is tag
+        assert manager.resolve(tag) is tag
+
+    def test_resolve_unknown(self, manager):
+        with pytest.raises(TagError):
+            manager.resolve(999)
+
+    def test_double_delete(self, manager):
+        tag = manager.tag_new()
+        manager.tag_delete(tag)
+        with pytest.raises(TagError):
+            manager.tag_delete(tag)
+
+    def test_deleted_tag_not_resolvable(self, manager):
+        tag = manager.tag_new()
+        manager.tag_delete(tag)
+        with pytest.raises(TagError):
+            manager.resolve(tag.id)
+
+    def test_bad_size(self, manager):
+        with pytest.raises(TagError):
+            manager.tag_new(0)
+
+
+class TestReuseCache:
+    def test_reuse_hits_cache(self, manager):
+        tag = manager.tag_new()
+        seg = tag.segment
+        manager.tag_delete(tag)
+        tag2 = manager.tag_new()
+        assert tag2.segment is seg
+        assert manager.stats["reused"] == 1
+
+    def test_reuse_only_matches_size(self, manager):
+        tag = manager.tag_new(PAGE_SIZE)
+        manager.tag_delete(tag)
+        tag2 = manager.tag_new(2 * PAGE_SIZE)
+        assert tag2.segment is not tag.segment
+        assert manager.stats["reused"] == 0
+
+    def test_scrub_on_reuse_provides_secrecy(self, manager):
+        """Old contents must never leak through a recycled tag."""
+        tag = manager.tag_new()
+        secret = b"TOP-SECRET-SESSION-KEY-MATERIAL!"
+        off = tag.heap.alloc(len(secret))
+        tag.segment.write_raw(off, secret)
+        manager.tag_delete(tag)
+        tag2 = manager.tag_new()
+        image = tag2.segment.read_raw(0, tag2.segment.size)
+        assert secret not in image
+
+    def test_reused_heap_is_pristine(self, manager):
+        tag = manager.tag_new()
+        for _ in range(6):
+            tag.heap.alloc(200)
+        manager.tag_delete(tag)
+        tag2 = manager.tag_new()
+        tag2.heap.check_invariants()
+        assert len(list(tag2.heap.walk())) == 1
+        # and it allocates normally
+        tag2.heap.alloc(100)
+
+    def test_fresh_path_charges_syscall_reuse_does_not(self):
+        costs = CostAccount()
+        manager = TagManager(AddressSpace(), costs)
+        manager.tag_new()
+        fresh_syscalls = costs.counters.get("syscall", 0)
+        assert fresh_syscalls >= 1
+        tag = manager.tag_new()
+        manager.tag_delete(tag)
+        before = costs.counters.get("syscall", 0)
+        manager.tag_new()  # served from cache
+        assert costs.counters.get("syscall", 0) == before
+
+    def test_cache_disabled_destroys_segment(self):
+        manager = TagManager(AddressSpace(), CostAccount(),
+                             cache_enabled=False)
+        tag = manager.tag_new()
+        seg = tag.segment
+        manager.tag_delete(tag)
+        tag2 = manager.tag_new()
+        assert tag2.segment is not seg
+        assert manager.stats["reused"] == 0
+
+    def test_reuse_cheaper_than_fresh(self):
+        """Figure 8's ordering: reuse ≪ fresh (mmap-like) cost."""
+        costs = CostAccount()
+        manager = TagManager(AddressSpace(), costs)
+        cp = costs.checkpoint()
+        manager.tag_new(DEFAULT_TAG_SIZE)
+        fresh_cost = costs.delta(cp)
+        tag = manager.tag_new(DEFAULT_TAG_SIZE)
+        manager.tag_delete(tag)
+        cp = costs.checkpoint()
+        manager.tag_new(DEFAULT_TAG_SIZE)
+        reuse_cost = costs.delta(cp)
+        assert reuse_cost < fresh_cost / 2
+
+
+class TestAdopt:
+    def test_adopted_segment_becomes_tag(self, manager):
+        space = manager.space
+        seg = space.create_segment(PAGE_SIZE, name="boundary0",
+                                   kind="boundary")
+        tag = manager.adopt(seg)
+        assert seg.tag_id == tag.id
+        assert tag.heap is None
+        assert manager.resolve(tag.id) is tag

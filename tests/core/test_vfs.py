@@ -1,0 +1,91 @@
+"""Unit tests for the simulated filesystem (uid bits, chroot)."""
+
+import pytest
+
+from repro.core.errors import VfsError
+from repro.core.vfs import Vfs
+
+
+@pytest.fixture
+def vfs():
+    fs = Vfs()
+    fs.write_file("/etc/shadow", b"secret", owner=0, mode=0o600)
+    fs.write_file("/etc/motd", b"hello", owner=0, mode=0o644)
+    fs.write_file("/home/alice/notes", b"private", owner=1000,
+                  mode=0o600)
+    fs.mkdir("/var/empty")
+    return fs
+
+
+class TestPaths:
+    def test_relative_path_rejected(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.lookup("etc/motd")
+
+    def test_normalisation(self, vfs):
+        assert vfs.lookup("/etc/../etc/./motd").data == bytearray(
+            b"hello")
+
+    def test_exists(self, vfs):
+        assert vfs.exists("/etc/motd")
+        assert vfs.exists("/etc")
+        assert not vfs.exists("/nope")
+
+    def test_listdir(self, vfs):
+        assert vfs.listdir("/etc") == ["motd", "shadow"]
+
+    def test_listdir_missing(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.listdir("/missing")
+
+
+class TestPermissions:
+    def test_root_reads_everything(self, vfs):
+        assert vfs.open_read("/etc/shadow", 0).data == bytearray(
+            b"secret")
+
+    def test_owner_reads_own(self, vfs):
+        assert vfs.open_read("/home/alice/notes", 1000)
+
+    def test_other_denied_0600(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.open_read("/etc/shadow", 1000)
+
+    def test_other_reads_0644(self, vfs):
+        assert vfs.open_read("/etc/motd", 1000)
+
+    def test_other_cannot_write_0644(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.open_write("/etc/motd", 1000, create=False)
+
+    def test_owner_writes_own(self, vfs):
+        node = vfs.open_write("/home/alice/notes", 1000)
+        node.data += b"!"
+        assert vfs.lookup("/home/alice/notes").data.endswith(b"!")
+
+    def test_create_sets_owner(self, vfs):
+        vfs.open_write("/home/alice/new", 1000)
+        assert vfs.lookup("/home/alice/new").owner == 1000
+
+    def test_unlink_respects_perms(self, vfs):
+        with pytest.raises(VfsError):
+            vfs.unlink("/etc/shadow", 1000)
+        vfs.unlink("/etc/shadow", 0)
+        assert not vfs.exists("/etc/shadow")
+
+
+class TestChroot:
+    def test_resolve_identity_root(self, vfs):
+        assert vfs.resolve("/", "/etc/motd") == "/etc/motd"
+
+    def test_resolve_prefixes(self, vfs):
+        assert vfs.resolve("/var/empty", "/etc/shadow") == \
+            "/var/empty/etc/shadow"
+
+    def test_dotdot_cannot_escape(self, vfs):
+        resolved = vfs.resolve("/var/empty", "/../../etc/shadow")
+        assert resolved.startswith("/var/empty")
+
+    def test_chrooted_shadow_is_absent(self, vfs):
+        real = vfs.resolve("/var/empty", "/etc/shadow")
+        assert not vfs.exists(real)

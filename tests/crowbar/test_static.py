@@ -1,0 +1,210 @@
+"""Static analysis (§7) and its comparison against dynamic traces."""
+
+import pytest
+
+from repro.crowbar import CbLog
+from repro.crowbar.static import (StaticAnalysis, compare_with_trace,
+                                  static_policy)
+
+
+@pytest.fixture
+def world(kernel):
+    tags = {
+        "config": kernel.tag_new(name="config"),
+        "secrets": kernel.tag_new(name="secrets"),
+        "output": kernel.tag_new(name="output"),
+    }
+    bufs = {
+        "config_buf": kernel.alloc_buf(32, tag=tags["config"],
+                                       init=b"debug=no" + bytes(24)),
+        "secret_buf": kernel.alloc_buf(32, tag=tags["secrets"],
+                                       init=b"K" * 32),
+        "out_buf": kernel.alloc_buf(32, tag=tags["output"]),
+    }
+    return kernel, tags, bufs
+
+
+class TestResolution:
+    def test_mem_read_via_buffer_addr(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+
+        def body():
+            return kernel.mem_read(config_buf.addr, 8)
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "config_buf": config_buf})
+        assert report.grants == {tags["config"].id: "r"}
+
+    def test_mem_write_is_rw(self, world):
+        kernel, tags, bufs = world
+        out_buf = bufs["out_buf"]
+
+        def body():
+            kernel.mem_write(out_buf.addr, b"result")
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "out_buf": out_buf})
+        assert report.grants == {tags["output"].id: "rw"}
+
+    def test_offset_arithmetic_keeps_base(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+
+        def body():
+            return kernel.mem_read(config_buf.addr + 8, 4)
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "config_buf": config_buf})
+        assert tags["config"].id in report.grants
+
+    def test_buffer_methods(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        out_buf = bufs["out_buf"]
+
+        def body():
+            data = config_buf.read(8)
+            out_buf.write(data)
+
+        report = static_policy(body, {"config_buf": config_buf,
+                                      "out_buf": out_buf})
+        assert report.grants[tags["config"].id] == "r"
+        assert report.grants[tags["output"].id] == "rw"
+
+    def test_smalloc_by_tag_name(self, world):
+        kernel, tags, bufs = world
+        output = tags["output"]
+
+        def body():
+            return kernel.smalloc(16, output)
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "output": output})
+        assert report.grants == {output.id: "rw"}
+
+    def test_closure_bindings_found(self, world):
+        kernel, tags, bufs = world
+        secret_buf = bufs["secret_buf"]
+
+        def make_body():
+            def body():
+                return kernel.mem_read(secret_buf.addr, 8)
+            return body
+
+        report = static_policy(make_body(), {"kernel": kernel})
+        assert tags["secrets"].id in report.grants
+
+    def test_unresolved_reported_not_dropped(self, world):
+        kernel, tags, bufs = world
+
+        def body(mystery_addr):
+            return kernel.mem_read(mystery_addr, 8)
+
+        report = static_policy(body, {"kernel": kernel})
+        assert report.grants == {}
+        assert report.unresolved
+
+    def test_descends_into_callees(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        out_buf = bufs["out_buf"]
+
+        def helper():
+            out_buf.write(b"x")
+
+        def body():
+            config_buf.read(4)
+            helper()
+
+        report = static_policy(
+            body, {"config_buf": config_buf, "out_buf": out_buf},
+            callees=[helper])
+        assert set(report.grants) == {tags["config"].id,
+                                      tags["output"].id}
+
+    def test_recursion_terminates(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        analysis = StaticAnalysis({"config_buf": config_buf})
+
+        def ping():
+            config_buf.read(1)
+            pong()
+
+        def pong():
+            ping()
+
+        analysis.register(ping)
+        analysis.register(pong)
+        report = analysis.analyse(ping, depth=5)
+        assert tags["config"].id in report.grants
+
+
+class TestPaperTradeOff:
+    def test_static_is_superset_of_dynamic(self, world):
+        """§7: 'static analysis will yield a superset of the required
+        permissions ... some code paths may never execute in practice'
+        — and those excess grants can cover sensitive data."""
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        secret_buf = bufs["secret_buf"]
+        out_buf = bufs["out_buf"]
+
+        def handle():
+            config = config_buf.read(8)
+            if config.startswith(b"debug=yes"):
+                # the dead branch: dumps key material when debugging
+                out_buf.write(secret_buf.read(32))
+            out_buf.write(b"served ok")
+
+        bindings = {"kernel": kernel, "config_buf": config_buf,
+                    "secret_buf": secret_buf, "out_buf": out_buf}
+        report = static_policy(handle, bindings)
+        # static demands the secret (the branch *could* run)...
+        assert tags["secrets"].id in report.grants
+
+        with CbLog(kernel) as log:
+            handle()   # config says debug=no: branch never taken
+        excess, missing = compare_with_trace(report, log.trace,
+                                             "handle")
+        # ...dynamic analysis shows correct execution never needed it
+        assert tags["secrets"].id in excess
+        assert missing == {}
+
+    def test_dynamic_grants_always_within_static(self, world):
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        out_buf = bufs["out_buf"]
+
+        def straight_line():
+            out_buf.write(config_buf.read(4))
+
+        bindings = {"config_buf": config_buf, "out_buf": out_buf}
+        report = static_policy(straight_line, bindings)
+        with CbLog(kernel) as log:
+            straight_line()
+        excess, missing = compare_with_trace(report, log.trace,
+                                             "straight_line")
+        assert missing == {}
+
+    def test_static_policy_actually_runs_the_sthread(self, world):
+        """Closing the loop: the static grants are sufficient."""
+        from repro.core.memory import PROT_READ, PROT_RW
+        from repro.core.policy import SecurityContext, sc_mem_add
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        out_buf = bufs["out_buf"]
+
+        def body(arg):
+            out_buf.write(config_buf.read(4))
+            return "ok"
+
+        report = static_policy(body, {"config_buf": config_buf,
+                                      "out_buf": out_buf})
+        sc = SecurityContext()
+        for tag_id, mode in report.grants.items():
+            sc_mem_add(sc, tag_id,
+                       PROT_RW if mode == "rw" else PROT_READ)
+        child = kernel.sthread_create(sc, body, spawn="inline")
+        assert kernel.sthread_join(child) == "ok"

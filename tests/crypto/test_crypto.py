@@ -1,0 +1,257 @@
+"""Unit tests for the crypto substrate."""
+
+import pytest
+
+from repro.core.errors import CryptoError
+from repro.crypto import DetRNG, StreamCipher, hmac_sha256
+from repro.crypto import dsa, prf, primes, rsa, skey
+from repro.crypto.mac import constant_time_eq
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return rsa.generate_keypair(DetRNG("test-rsa"), 512)
+
+
+@pytest.fixture(scope="module")
+def dsa_key():
+    return dsa.generate_keypair(DetRNG("test-dsa"))
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert DetRNG("seed").bytes(32) == DetRNG("seed").bytes(32)
+
+    def test_different_seeds_differ(self):
+        assert DetRNG("a").bytes(32) != DetRNG("b").bytes(32)
+
+    def test_randint_bounds(self):
+        rng = DetRNG(1)
+        values = [rng.randint(5, 9) for _ in range(200)]
+        assert min(values) == 5 and max(values) == 9
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DetRNG(1).randint(5, 4)
+
+    def test_odd_integer_has_top_bit(self):
+        value = DetRNG(2).odd_integer(64)
+        assert value % 2 == 1
+        assert value.bit_length() == 64
+
+    def test_fork_is_independent(self):
+        rng = DetRNG("x")
+        assert rng.fork("a").bytes(8) != rng.fork("b").bytes(8)
+
+    def test_stream_continuity(self):
+        rng = DetRNG("y")
+        first = rng.bytes(10)
+        second = rng.bytes(10)
+        both = DetRNG("y").bytes(20)
+        assert first + second == both
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        rng = DetRNG(3)
+        for n in (2, 3, 5, 7, 97, 101):
+            assert primes.is_probable_prime(n, rng)
+
+    def test_small_composites(self):
+        rng = DetRNG(3)
+        for n in (0, 1, 4, 100, 561, 1105):   # incl. Carmichael numbers
+            assert not primes.is_probable_prime(n, rng)
+
+    def test_gen_prime_size(self):
+        p = primes.gen_prime(128, DetRNG(4))
+        assert p.bit_length() == 128
+        assert primes.is_probable_prime(p, DetRNG(5))
+
+    def test_invmod(self):
+        assert (primes.invmod(3, 11) * 3) % 11 == 1
+        with pytest.raises(ValueError):
+            primes.invmod(6, 9)
+
+    def test_int_bytes_roundtrip(self):
+        for n in (0, 1, 255, 256, 2 ** 64 + 17):
+            assert primes.bytes_to_int(primes.int_to_bytes(n)) == n
+
+    def test_int_to_bytes_fixed_length(self):
+        assert len(primes.int_to_bytes(5, 8)) == 8
+
+
+class TestRsa:
+    def test_encrypt_decrypt(self, rsa_key):
+        rng = DetRNG("enc")
+        ct = rsa_key.public().encrypt(b"premaster", rng)
+        assert rsa_key.decrypt(ct) == b"premaster"
+
+    def test_padding_randomises_ciphertext(self, rsa_key):
+        rng = DetRNG("enc2")
+        a = rsa_key.public().encrypt(b"same", rng)
+        b = rsa_key.public().encrypt(b"same", rng)
+        assert a != b
+
+    def test_message_too_long(self, rsa_key):
+        with pytest.raises(CryptoError):
+            rsa_key.public().encrypt(b"x" * 100, DetRNG(1))
+
+    def test_tampered_ciphertext_fails(self, rsa_key):
+        ct = bytearray(rsa_key.public().encrypt(b"hi", DetRNG(2)))
+        ct[5] ^= 0xFF
+        with pytest.raises(CryptoError):
+            rsa_key.decrypt(bytes(ct))
+
+    def test_sign_verify(self, rsa_key):
+        sig = rsa_key.sign(b"message")
+        assert rsa_key.public().verify(b"message", sig)
+        assert not rsa_key.public().verify(b"other", sig)
+        assert not rsa_key.public().verify(b"message", b"\x00" * 64)
+
+    def test_serialization_roundtrip(self, rsa_key):
+        pub = rsa.RsaPublicKey.from_bytes(rsa_key.public().to_bytes())
+        assert pub == rsa_key.public()
+        priv = rsa.RsaPrivateKey.from_bytes(rsa_key.to_bytes())
+        assert priv.decrypt(pub.encrypt(b"x", DetRNG(6))) == b"x"
+
+    def test_malformed_public_key(self):
+        with pytest.raises(CryptoError):
+            rsa.RsaPublicKey.from_bytes(b"\x00\x01")
+
+    def test_distinct_primes(self, rsa_key):
+        assert rsa_key.p != rsa_key.q
+        assert rsa_key.p * rsa_key.q == rsa_key.n
+
+
+class TestDsa:
+    def test_sign_verify(self, dsa_key):
+        sig = dsa_key.sign(b"host identity", DetRNG("k"))
+        assert dsa_key.public().verify(b"host identity", sig)
+        assert not dsa_key.public().verify(b"imposter", sig)
+
+    def test_wrong_key_fails(self, dsa_key):
+        other = dsa.generate_keypair(DetRNG("other"))
+        sig = dsa_key.sign(b"msg", DetRNG("k2"))
+        assert not other.public().verify(b"msg", sig)
+
+    def test_garbage_signature(self, dsa_key):
+        assert not dsa_key.public().verify(b"msg", b"junk")
+        assert not dsa_key.public().verify(b"msg", dsa.encode_sig(0, 1))
+
+    def test_params_structure(self):
+        params = dsa.default_params()
+        assert (params.p - 1) % params.q == 0
+        assert pow(params.g, params.q, params.p) == 1
+        assert params.g != 1
+
+    def test_serialization(self, dsa_key):
+        pub = dsa.DsaPublicKey.from_bytes(dsa_key.public().to_bytes())
+        sig = dsa_key.sign(b"m", DetRNG("k3"))
+        assert pub.verify(b"m", sig)
+        priv = dsa.DsaPrivateKey.from_bytes(dsa_key.to_bytes())
+        assert priv.y == dsa_key.y
+
+    def test_private_magic_required(self):
+        with pytest.raises(CryptoError):
+            dsa.DsaPrivateKey.from_bytes(b"\x00\x04abcd")
+
+    def test_sig_codec_rejects_trailing(self):
+        good = dsa.encode_sig(123, 456)
+        assert dsa.decode_sig(good) == (123, 456)
+        with pytest.raises(CryptoError):
+            dsa.decode_sig(good + b"x")
+
+
+class TestMacAndStream:
+    def test_hmac_rfc_vector(self):
+        # RFC 4231 test case 2
+        digest = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert digest.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+            "64ec3843")
+
+    def test_constant_time_eq(self):
+        assert constant_time_eq(b"abc", b"abc")
+        assert not constant_time_eq(b"abc", b"abd")
+        assert not constant_time_eq(b"abc", b"abcd")
+
+    def test_stream_roundtrip(self):
+        enc = StreamCipher(b"k" * 32, b"nonce")
+        dec = StreamCipher(b"k" * 32, b"nonce")
+        messages = [b"first", b"second message", b"x" * 1000]
+        for msg in messages:
+            assert dec.decrypt(enc.encrypt(msg)) == msg
+
+    def test_stream_position_matters(self):
+        a = StreamCipher(b"k" * 32)
+        b = StreamCipher(b"k" * 32)
+        a.encrypt(b"offset")
+        assert a.encrypt(b"hello") != b.encrypt(b"hello")
+
+    def test_different_nonce_different_stream(self):
+        a = StreamCipher(b"k" * 32, b"n1").encrypt(b"hello")
+        b = StreamCipher(b"k" * 32, b"n2").encrypt(b"hello")
+        assert a != b
+
+    def test_clone_preserves_position(self):
+        a = StreamCipher(b"k" * 32)
+        a.encrypt(b"abcdef")
+        b = a.clone()
+        assert a.encrypt(b"tail") == b.encrypt(b"tail")
+
+
+class TestPrf:
+    def test_deterministic_and_length(self):
+        out = prf.prf(b"secret", "label", b"seed", 48)
+        assert len(out) == 48
+        assert out == prf.prf(b"secret", "label", b"seed", 48)
+
+    def test_label_separates(self):
+        a = prf.prf(b"s", "client finished", b"x", 12)
+        b = prf.prf(b"s", "server finished", b"x", 12)
+        assert a != b
+
+    def test_key_block_fields(self):
+        master = prf.derive_master_secret(b"pm", b"c" * 32, b"s" * 32)
+        assert len(master) == prf.MASTER_SECRET_LEN
+        keys = prf.derive_key_block(master, b"c" * 32, b"s" * 32)
+        assert sorted(keys) == ["client_enc", "client_mac", "server_enc",
+                                "server_mac"]
+        assert len(set(keys.values())) == 4   # all distinct
+
+    def test_randoms_change_master(self):
+        a = prf.derive_master_secret(b"pm", b"c" * 32, b"s" * 32)
+        b = prf.derive_master_secret(b"pm", b"c" * 32, b"t" * 32)
+        assert a != b
+
+
+class TestSkey:
+    def test_enroll_challenge_respond(self):
+        entry = skey.SkeyEntry.enroll(b"password", b"seed99")
+        count, seed = entry.challenge()
+        assert entry.verify(skey.respond(b"password", seed, count))
+
+    def test_chain_steps_down(self):
+        entry = skey.SkeyEntry.enroll(b"pw", b"s", sequence=10)
+        for expected in (9, 8, 7):
+            count, seed = entry.challenge()
+            assert count == expected
+            assert entry.verify(skey.respond(b"pw", seed, count))
+
+    def test_wrong_password_fails(self):
+        entry = skey.SkeyEntry.enroll(b"pw", b"s")
+        count, seed = entry.challenge()
+        assert not entry.verify(skey.respond(b"wrong", seed, count))
+
+    def test_replay_fails(self):
+        entry = skey.SkeyEntry.enroll(b"pw", b"s")
+        count, seed = entry.challenge()
+        response = skey.respond(b"pw", seed, count)
+        assert entry.verify(response)
+        assert not entry.verify(response)   # chain moved on
+
+    def test_exhaustion(self):
+        from repro.core.errors import AuthenticationFailure
+        entry = skey.SkeyEntry.enroll(b"pw", b"s", sequence=1)
+        with pytest.raises(AuthenticationFailure):
+            entry.challenge()

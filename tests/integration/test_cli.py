@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["fig7"], ["fig8"], ["fig9", "--scale", "quick"],
+                     ["table2-apache", "-n", "3"], ["table2-ssh"],
+                     ["metrics"], ["trace", "mcf"],
+                     ["attack", "mitm"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+
+class TestCommands:
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "pthread" in out and "sthread" in out
+        assert "Figure 7" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "tag_new (reused)" in out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "httpd" in out and "sshd" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "traced mcf" in out
+        assert "alloc_words" in out
+
+    def test_trace_unknown_workload(self, capsys):
+        assert main(["trace", "nope"]) == 2
+
+    def test_trace_with_procedure(self, capsys):
+        assert main(["trace", "bzip2", "--procedure", "bzip2"]) == 0
+
+    def test_attack_unknown_scenario(self, capsys):
+        assert main(["attack", "nothing"]) == 2
+
+    @pytest.mark.slow
+    def test_attack_mitm(self, capsys):
+        assert main(["attack", "mitm"]) == 0
+        out = capsys.readouterr().out
+        assert "STOLEN" in out and "safe" in out
+
+    @pytest.mark.slow
+    def test_table2_ssh(self, capsys):
+        assert main(["table2-ssh"]) == 0
+        out = capsys.readouterr().out
+        assert "vanilla" in out and "wedge" in out

@@ -1,0 +1,94 @@
+"""Concurrent connection handling: overlapping clients, isolated workers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.httpd import MitmPartitionHttpd, SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+
+class TestConcurrentHttpd:
+    def test_slow_client_does_not_block_others(self):
+        """Client A opens a connection and stalls mid-handshake; client
+        B must still be served — the paper's one-worker-per-connection
+        model, not a serial accept loop."""
+        net = Network()
+        server = SimplePartitionHttpd(net, "conc:443",
+                                      concurrent=True).start()
+        try:
+            stalled = net.connect("conc:443")   # says nothing at all
+            fast = TlsClient(DetRNG("fast"),
+                             expected_server_key=server.public_key)
+            conn = fast.connect(net, "conc:443")
+            response = conn.request(build_request("/"))
+            assert response.startswith(b"HTTP/1.0 200")
+            stalled.close()
+        finally:
+            server.stop()
+
+    def test_parallel_clients_all_served(self):
+        net = Network()
+        server = MitmPartitionHttpd(net, "conc2:443",
+                                    concurrent=True).start()
+        results = {}
+        errors = []
+
+        def one_client(index):
+            try:
+                client = TlsClient(
+                    DetRNG(f"par{index}"),
+                    expected_server_key=server.public_key)
+                conn = client.connect(net, "conc2:443")
+                response = conn.request(build_request("/about"))
+                results[index] = response_body(response)
+            except Exception as exc:   # noqa: BLE001
+                errors.append((index, exc))
+
+        try:
+            threads = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(20)
+            assert errors == []
+            assert len(results) == 4
+            assert all(b"Wedge" in body for body in results.values())
+        finally:
+            server.stop()
+
+    def test_concurrent_workers_remain_isolated(self):
+        """Two live workers at once: each still cannot read the other's
+        session state (isolation is per-compartment, not per-time)."""
+        net = Network()
+        server = MitmPartitionHttpd(net, "conc3:443",
+                                    concurrent=True).start()
+        try:
+            barrier = threading.Barrier(2, timeout=20)
+
+            def one_client(index):
+                client = TlsClient(
+                    DetRNG(f"iso{index}"),
+                    expected_server_key=server.public_key)
+                conn = client.connect(net, "conc3:443")
+                barrier.wait()      # both sessions established at once
+                conn.request(build_request("/"))
+
+            threads = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(20)
+            time.sleep(0.2)
+            assert server.errors == []
+            # the two connections got distinct session tags
+            names = {st.name for st in server.handshake_sthreads}
+            assert len(names) == 2
+        finally:
+            server.stop()

@@ -1,0 +1,126 @@
+"""The §3.2 legacy-conversion aids, used as the paper intends.
+
+"When partitioning existing applications, one may need to tag global
+variables, or convert many malloc calls within a function to use
+smalloc instead, which may not even be possible for allocations in
+binary-only libraries."  The two aids:
+
+* ``smalloc_on/off`` — every ``malloc`` between the two calls lands in
+  the given tag, even mallocs inside a library we cannot edit;
+* ``BOUNDARY_VAR``/``BOUNDARY_TAG`` — statically-initialised globals
+  carved into their own page-aligned section so they can be granted
+  (or withheld) like any tag.
+"""
+
+from repro.core.boundary import BOUNDARY_TAG, BOUNDARY_VAR
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import SecurityContext, sc_mem_add
+
+
+def legacy_session_library(kernel, payload):
+    """A 'binary-only' library: allocates scratch internally with plain
+    malloc and returns the allocation's address.  We cannot edit it."""
+    scratch = kernel.malloc(len(payload) + 16)
+    kernel.mem_write(scratch, payload)
+    return scratch
+
+
+class TestSmallocOnConversion:
+    def test_library_allocations_become_tagged(self, kernel):
+        session_tag = kernel.tag_new(name="session-objects")
+        kernel.smalloc_on(session_tag)
+        try:
+            addr = legacy_session_library(kernel, b"session-state")
+        finally:
+            kernel.smalloc_off()
+        segment, _ = kernel.space.find(addr)
+        assert segment.tag_id == session_tag.id
+
+    def test_converted_allocations_are_shareable(self, kernel):
+        """The point of the conversion: another sthread can now be
+        granted access to the library's objects."""
+        session_tag = kernel.tag_new(name="shared-session")
+        kernel.smalloc_on(session_tag)
+        addr = legacy_session_library(kernel, b"to-be-shared!")
+        kernel.smalloc_off()
+
+        sc = sc_mem_add(SecurityContext(), session_tag, PROT_READ)
+        reader = kernel.sthread_create(
+            sc, lambda a: kernel.mem_read(addr, 13), spawn="inline")
+        assert kernel.sthread_join(reader) == b"to-be-shared!"
+
+    def test_unconverted_allocations_stay_private(self, kernel):
+        addr = legacy_session_library(kernel, b"still-private")
+        reader = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(addr, 13),
+            spawn="inline")
+        assert reader.faulted
+
+    def test_interleaved_conversion_windows(self, kernel):
+        """Only the calls inside the window convert — the surgical
+        precision the mechanism exists for."""
+        tag = kernel.tag_new(name="window")
+        before = legacy_session_library(kernel, b"before")
+        kernel.smalloc_on(tag)
+        inside = legacy_session_library(kernel, b"inside")
+        kernel.smalloc_off()
+        after = legacy_session_library(kernel, b"after")
+        seg_of = lambda addr: kernel.space.find(addr)[0].tag_id
+        assert seg_of(before) is None
+        assert seg_of(inside) == tag.id
+        assert seg_of(after) is None
+
+
+class TestBoundaryConversion:
+    def test_sensitive_static_global_withheld(self, bare_kernel):
+        """A statically-initialised credential is carved out of the
+        default snapshot: workers cannot read it, a gate granted the
+        boundary tag can."""
+        kernel = bare_kernel
+        # ordinary global: part of every sthread's snapshot
+        kernel.declare_global("motd", 16, b"welcome!")
+        # sensitive global: its own section via BOUNDARY_VAR
+        BOUNDARY_VAR(kernel, 7, "api_token", 24, b"static-secret-token")
+        kernel.start_main()
+        token_tag = BOUNDARY_TAG(kernel, 7)
+        token_addr = kernel.boundary.section(7).addr_of("api_token")
+        motd_addr = kernel.image.addr_of("motd")
+
+        def worker_body(arg):
+            motd = kernel.mem_read(motd_addr, 8)     # snapshot: fine
+            try:
+                kernel.mem_read(token_addr, 19)
+                return (motd, "TOKEN-LEAKED")
+            except Exception:
+                return (motd, "token-denied")
+
+        worker = kernel.sthread_create(SecurityContext(), worker_body,
+                                       spawn="inline")
+        assert kernel.sthread_join(worker) == (b"welcome!",
+                                               "token-denied")
+
+        sc = sc_mem_add(SecurityContext(), token_tag, PROT_READ)
+        trusted = kernel.sthread_create(
+            sc, lambda a: kernel.mem_read(token_addr, 19),
+            spawn="inline")
+        assert kernel.sthread_join(trusted) == b"static-secret-token"
+
+    def test_boundary_section_shared_read_write(self, bare_kernel):
+        """The other advertised use: sharing global state between
+        sthreads at tag granularity."""
+        kernel = bare_kernel
+        BOUNDARY_VAR(kernel, 8, "counter", 8, (0).to_bytes(8, "big"))
+        kernel.start_main()
+        tag = BOUNDARY_TAG(kernel, 8)
+        addr = kernel.boundary.section(8).addr_of("counter")
+
+        def bump(arg):
+            value = int.from_bytes(kernel.mem_read(addr, 8), "big")
+            kernel.mem_write(addr, (value + 1).to_bytes(8, "big"))
+
+        sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+        for _ in range(3):
+            child = kernel.sthread_create(sc, bump, spawn="inline")
+            kernel.sthread_join(child)
+        # unlike snapshot globals, the writes are SHARED
+        assert int.from_bytes(kernel.mem_read(addr, 8), "big") == 3

@@ -1,0 +1,53 @@
+"""Tests for the partitioning-metrics module."""
+
+from repro.metrics import (app_total_loc, count_lines, full_report,
+                           partition_report)
+
+
+class TestCountLines:
+    def test_counts_a_function(self):
+        def three_lines():
+            x = 1
+            return x
+
+        assert count_lines(three_lines) == 3
+
+    def test_counts_a_module(self):
+        import repro.apps.sshd.pam as pam
+        assert count_lines(pam) > 20
+
+
+class TestReports:
+    def test_both_apps_reported(self):
+        report = full_report()
+        assert set(report) == {"httpd", "sshd"}
+
+    def test_fraction_arithmetic(self):
+        for app in ("httpd", "sshd"):
+            numbers = partition_report(app)
+            total = numbers["callgate_loc"] + numbers["sthread_loc"]
+            assert abs(numbers["privileged_fraction"] -
+                       numbers["callgate_loc"] / total) < 1e-9
+            assert 0 < numbers["changed_fraction"] < 1
+            assert numbers["total_loc"] > numbers["changed_loc"]
+
+    def test_unknown_app(self):
+        import pytest
+        with pytest.raises(ValueError):
+            partition_report("nginx")
+        with pytest.raises(ValueError):
+            app_total_loc("nginx")
+
+    def test_gate_bodies_are_counted_as_callgate_code(self):
+        """The five httpd gates and four sshd gates are in the
+        privileged set — the enumerable audit surface."""
+        from repro.metrics.partition import httpd_units, sshd_units
+        httpd_gates, _, _ = httpd_units()
+        names = {getattr(u, "__name__", "") for u in httpd_gates}
+        assert {"setup_session_key_gate", "receive_finished_gate",
+                "send_finished_gate", "ssl_read_gate",
+                "ssl_write_gate"} <= names
+        sshd_gates, _, _ = sshd_units()
+        names = {getattr(u, "__name__", "") for u in sshd_gates}
+        assert {"dsa_sign_gate", "password_gate", "dsa_auth_gate",
+                "skey_gate"} <= names

@@ -1,0 +1,122 @@
+"""Integration: the full Crowbar-assisted partitioning workflow (§3.4).
+
+The paper's development story, end to end on a toy application:
+
+1. run the monolithic code under cb-log on an innocuous workload;
+2. ask cb-analyze which memory a procedure (and descendants) needs;
+3. put the procedure in a default-deny sthread with exactly those
+   grants — it runs;
+4. refactor the code so it touches something new — it faults;
+5. re-run under the emulation library + cb-log, learn the missing
+   grant, extend the policy — it runs again.
+"""
+
+from repro.core.emulation import emulated_sthread_create
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import SecurityContext, sc_mem_add
+from repro.crowbar import CbLog, emulation_gaps, suggest_policy
+
+
+def test_full_workflow(bare_kernel):
+    kernel = bare_kernel
+    kernel.start_main()
+
+    # the application's data: three tagged stores
+    accounts_tag = kernel.tag_new(name="accounts")
+    audit_tag = kernel.tag_new(name="audit-log")
+    secrets_tag = kernel.tag_new(name="secrets")
+    accounts = kernel.alloc_buf(64, tag=accounts_tag,
+                                init=b"alice=100;bob=50" + bytes(48))
+    audit = kernel.alloc_buf(64, tag=audit_tag, init=bytes(64))
+    secrets = kernel.alloc_buf(16, tag=secrets_tag, init=b"api-key-123")
+
+    # the monolithic procedure we want to compartmentalise
+    def post_transaction():
+        ledger = kernel.mem_read(accounts.addr, 16)
+        kernel.mem_write(audit.addr, b"posted:" + ledger[:8])
+        return ledger
+
+    # -- step 1+2: trace a run, query the permissions ---------------------
+    with CbLog(kernel, label="innocuous") as log:
+        post_transaction()
+    grants, untaggable = suggest_policy(log.trace, "post_transaction")
+    assert grants == {accounts_tag.id: "r", audit_tag.id: "rw"}
+    assert untaggable == []
+
+    # -- step 3: apply exactly those grants --------------------------------
+    def grants_to_sc(grant_map):
+        sc = SecurityContext()
+        for tag_id, mode in grant_map.items():
+            sc_mem_add(sc, tag_id,
+                       PROT_RW if mode == "rw" else PROT_READ)
+        return sc
+
+    worker = kernel.sthread_create(
+        grants_to_sc(grants), lambda a: post_transaction(),
+        spawn="inline")
+    assert kernel.sthread_join(worker) is not None
+    assert not worker.faulted
+    # and the secrets stayed out of reach by construction
+    probe = kernel.sthread_create(
+        grants_to_sc(grants),
+        lambda a: kernel.mem_read(secrets.addr, 11), spawn="inline")
+    assert probe.faulted
+
+    # -- step 4: refactoring adds a new dependency — crash ----------------
+    def post_transaction_v2():
+        ledger = post_transaction()
+        kernel.mem_read(secrets.addr, 11)   # new: signs with the key
+        return ledger
+
+    crashed = kernel.sthread_create(
+        grants_to_sc(grants), lambda a: post_transaction_v2(),
+        spawn="inline")
+    assert crashed.faulted
+
+    # -- step 5: emulation + cb-log reveal the gap -------------------------
+    with CbLog(kernel, label="emulated") as log2:
+        emulated = emulated_sthread_create(
+            kernel, grants_to_sc(grants),
+            lambda a: post_transaction_v2())
+        kernel.sthread_join(emulated)
+    assert not emulated.faulted   # emulation keeps it alive
+    gaps = emulation_gaps(log2.trace)
+    gap_tags = {item.tag_id for item in gaps}
+    assert secrets_tag.id in gap_tags
+
+    # extend the policy with the discovered grant: green again
+    grants[secrets_tag.id] = "r"
+    fixed = kernel.sthread_create(
+        grants_to_sc(grants), lambda a: post_transaction_v2(),
+        spawn="inline")
+    kernel.sthread_join(fixed)
+    assert not fixed.faulted
+
+
+def test_query3_feeds_query2(bare_kernel):
+    """§3.4: find where sensitive data flows, then who touches it."""
+    from repro.crowbar import procedures_using, writes_of_procedure
+    kernel = bare_kernel
+    kernel.start_main()
+    keys_tag = kernel.tag_new(name="keymat")
+    out = kernel.alloc_buf(32, tag=keys_tag)
+
+    def derive_key():
+        kernel.mem_write(out.addr, b"derived-key-bytes")
+
+    def use_key():
+        return kernel.mem_read(out.addr, 17)
+
+    def main_flow():
+        derive_key()
+        use_key()
+
+    with CbLog(kernel) as log:
+        main_flow()
+    # query 3: where does derive_key write?
+    written = writes_of_procedure(log.trace, "derive_key")
+    assert written
+    # query 2: who uses those items? -> the callgate candidate set
+    users = procedures_using(log.trace, list(written),
+                             innermost_only=True)
+    assert users == {"derive_key", "use_key"}

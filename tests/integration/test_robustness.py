@@ -1,0 +1,146 @@
+"""Failure injection: servers must survive hostile or flaky peers.
+
+A compartment dying on bad input is fine (that is the design); the
+*server* — master plus subsequent connections — must keep working.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.httpd import MitmPartitionHttpd, SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.apps.sshd import WedgeSshd
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.sshlib import SshClient
+from repro.tls import TlsClient
+from repro.tls.records import frame, RT_HANDSHAKE
+
+
+def assert_still_serves(server):
+    client = TlsClient(DetRNG(f"recheck{time.time()}"),
+                       expected_server_key=server.public_key)
+    conn = client.connect(server.network, server.addr)
+    response = conn.request(build_request("/"))
+    assert response.startswith(b"HTTP/1.0 200")
+
+
+class TestHttpdRobustness:
+    @pytest.fixture(params=[SimplePartitionHttpd, MitmPartitionHttpd],
+                    ids=["simple", "mitm"])
+    def server(self, request):
+        net = Network()
+        srv = request.param(net,
+                            f"robust-{request.node.name}:443").start()
+        yield srv
+        srv.stop()
+
+    def test_garbage_bytes_then_real_client(self, server):
+        sock = server.network.connect(server.addr)
+        sock.send(b"\x00\xff" * 50)
+        sock.close()
+        time.sleep(0.1)
+        assert_still_serves(server)
+
+    def test_client_disconnects_mid_handshake(self, server):
+        sock = server.network.connect(server.addr)
+        from repro.tls.handshake import ClientHello
+        sock.send(frame(RT_HANDSHAKE,
+                        ClientHello(b"r" * 32, b"", b"").pack()))
+        sock.close()   # vanish before the key exchange
+        time.sleep(0.1)
+        assert_still_serves(server)
+
+    def test_malformed_hello_record(self, server):
+        sock = server.network.connect(server.addr)
+        sock.send(frame(RT_HANDSHAKE, b"\x01not-a-valid-hello"))
+        time.sleep(0.1)
+        assert_still_serves(server)
+
+    def test_oversized_frame_header(self, server):
+        sock = server.network.connect(server.addr)
+        sock.send(bytes([RT_HANDSHAKE]) + (1 << 24).to_bytes(4, "big"))
+        time.sleep(0.1)
+        assert_still_serves(server)
+
+    def test_half_frame_then_silence(self, server):
+        sock = server.network.connect(server.addr)
+        sock.send(bytes([RT_HANDSHAKE]) + (100).to_bytes(4, "big") +
+                  b"only-part")
+        sock.shutdown_write()
+        time.sleep(0.1)
+        assert_still_serves(server)
+
+    def test_many_bad_clients_in_a_row(self, server):
+        for i in range(5):
+            sock = server.network.connect(server.addr)
+            sock.send(bytes([i]) * (i + 1))
+            sock.close()
+        time.sleep(0.2)
+        assert_still_serves(server)
+
+
+class TestSshdRobustness:
+    def test_bad_version_then_real_login(self):
+        net = Network()
+        server = WedgeSshd(net, "robust-ssh:22").start()
+        try:
+            sock = net.connect("robust-ssh:22")
+            sock.send(frame(40, b"HTTP/1.0 GET /"))   # wrong protocol
+            sock.close()
+            time.sleep(0.1)
+            client = SshClient(
+                DetRNG("after"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "robust-ssh:22")
+            conn.auth_password("alice", b"wonderland")
+            assert b"alice" in conn.exec("whoami")
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_degenerate_dh_public_rejected(self):
+        """A client sending e=1 must not yield a usable channel."""
+        from repro.sshlib.transport import (FT_KEXINIT, FT_VERSION,
+                                            pack_kexinit)
+        from repro.tls.records import read_frame, StreamTransport
+        net = Network()
+        server = WedgeSshd(net, "robust-dh:22").start()
+        try:
+            sock = net.connect("robust-dh:22")
+            transport = StreamTransport(sock, 2)
+            read_frame(transport)                     # server version
+            sock.send(frame(FT_VERSION, b"SSH-SIM-1.0-evil"))
+            sock.send(frame(FT_KEXINIT, pack_kexinit(b"r" * 32, 1)))
+            # the worker rejects the degenerate value and hangs up
+            time.sleep(0.2)
+            worker = server.workers[0]
+            assert worker.status in ("error", "exited", "faulted")
+            # and the server still serves honest clients
+            client = SshClient(
+                DetRNG("honest"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "robust-dh:22")
+            conn.auth_password("alice", b"wonderland")
+            conn.close()
+        finally:
+            server.stop()
+
+    def test_auth_attempt_limit(self):
+        from repro.core.errors import AuthenticationFailure
+        net = Network()
+        server = WedgeSshd(net, "robust-auth:22").start()
+        try:
+            client = SshClient(
+                DetRNG("bruteforce"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "robust-auth:22")
+            for i in range(6):
+                with pytest.raises(AuthenticationFailure):
+                    conn.auth_password("alice", f"guess{i}".encode())
+            # the worker gave up; the connection is dead
+            with pytest.raises(Exception):
+                conn.auth_password("alice", b"wonderland")
+        finally:
+            server.stop()

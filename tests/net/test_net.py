@@ -1,0 +1,174 @@
+"""Unit tests for streams, the network, and interposition."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import ConnectionClosed, NetworkError
+from repro.net import ByteStream, DuplexStream, Network
+
+
+class TestByteStream:
+    def test_send_recv(self):
+        s = ByteStream("t")
+        s.send(b"hello")
+        assert s.recv(5, timeout=1) == b"hello"
+
+    def test_short_reads_allowed(self):
+        s = ByteStream("t")
+        s.send(b"abcdef")
+        assert s.recv(2, timeout=1) == b"ab"
+        assert s.recv(100, timeout=1) == b"cdef"
+
+    def test_eof_returns_none(self):
+        s = ByteStream("t")
+        s.close()
+        assert s.recv(1, timeout=1) is None
+
+    def test_pending_bytes_readable_after_close(self):
+        s = ByteStream("t")
+        s.send(b"tail")
+        s.close()
+        assert s.recv(4, timeout=1) == b"tail"
+        assert s.recv(1, timeout=1) is None
+
+    def test_send_after_close_raises(self):
+        s = ByteStream("t")
+        s.close()
+        with pytest.raises(ConnectionClosed):
+            s.send(b"x")
+
+    def test_recv_timeout(self):
+        s = ByteStream("t")
+        with pytest.raises(NetworkError):
+            s.recv(1, timeout=0.05)
+
+    def test_recv_exact_blocks_for_all(self):
+        s = ByteStream("t")
+
+        def feeder():
+            s.send(b"abc")
+            s.send(b"def")
+
+        t = threading.Thread(target=feeder)
+        t.start()
+        assert s.recv_exact(6, timeout=2) == b"abcdef"
+        t.join()
+
+    def test_recv_exact_eof_mid_message(self):
+        s = ByteStream("t")
+        s.send(b"ab")
+        s.close()
+        with pytest.raises(ConnectionClosed):
+            s.recv_exact(4, timeout=1)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            ByteStream("t").send("text")
+
+
+class TestDuplex:
+    def test_pipe_pair_full_duplex(self):
+        a, b = DuplexStream.pipe_pair("t")
+        a.send(b"ping")
+        assert b.recv(4, timeout=1) == b"ping"
+        b.send(b"pong")
+        assert a.recv(4, timeout=1) == b"pong"
+
+    def test_shutdown_write_half_close(self):
+        a, b = DuplexStream.pipe_pair("t")
+        a.shutdown_write()
+        assert b.recv(1, timeout=1) is None
+        b.send(b"still works")
+        assert a.recv(11, timeout=1) == b"still works"
+
+
+class TestNetwork:
+    def test_listen_connect_accept(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        client = net.connect("svc:80")
+        server = listener.accept(timeout=1)
+        client.send(b"req")
+        assert server.recv(3, timeout=1) == b"req"
+
+    def test_connection_refused(self):
+        with pytest.raises(NetworkError):
+            Network().connect("nobody:1")
+
+    def test_address_in_use(self):
+        net = Network()
+        net.listen("svc:80")
+        with pytest.raises(NetworkError):
+            net.listen("svc:80")
+
+    def test_listener_close_frees_address(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        listener.close()
+        net.listen("svc:80")
+
+    def test_accept_timeout(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        with pytest.raises(NetworkError):
+            listener.accept(timeout=0.05)
+
+    def test_multiple_connections_queue(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        c1 = net.connect("svc:80")
+        c2 = net.connect("svc:80")
+        s1 = listener.accept(timeout=1)
+        s2 = listener.accept(timeout=1)
+        c1.send(b"one")
+        c2.send(b"two")
+        assert s1.recv(3, timeout=1) == b"one"
+        assert s2.recv(3, timeout=1) == b"two"
+
+
+class TestInterposition:
+    def test_interposer_sees_connections(self):
+        net = Network()
+        listener = net.listen("svc:443")
+
+        class Tap:
+            def __init__(self):
+                self.count = 0
+
+            def _client_connected(self, addr):
+                self.count += 1
+                # pass-through: wire victim directly to the real server
+                return net.connect_direct(addr)
+
+        tap = Tap()
+        net.interpose("svc:443", tap)
+        client = net.connect("svc:443")
+        server = listener.accept(timeout=1)
+        client.send(b"through the tap")
+        assert server.recv(15, timeout=1) == b"through the tap"
+        assert tap.count == 1
+
+    def test_connect_direct_bypasses_interposer(self):
+        net = Network()
+        net.listen("svc:443")
+
+        class Boom:
+            def _client_connected(self, addr):
+                raise AssertionError("should not be called")
+
+        net.interpose("svc:443", Boom())
+        net.connect_direct("svc:443")   # no exception
+
+    def test_remove_interposer(self):
+        net = Network()
+        listener = net.listen("svc:443")
+
+        class Boom:
+            def _client_connected(self, addr):
+                raise AssertionError("should not be called")
+
+        net.interpose("svc:443", Boom())
+        net.remove_interposer("svc:443")
+        net.connect("svc:443")
+        assert listener.pending_count() == 1

@@ -1,0 +1,122 @@
+"""Property-based tests: the heap allocator never corrupts itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocator import OVERHEAD, Heap
+from repro.core.errors import OutOfMemory
+from repro.core.memory import AddressSpace
+
+HEAP_SIZE = 16384
+
+
+def fresh_heap():
+    space = AddressSpace()
+    seg = space.create_segment(HEAP_SIZE, name="prop-heap")
+    heap = Heap(seg, HEAP_SIZE)
+    heap.format()
+    return heap
+
+
+# an operation is either an allocation size or an index of a live
+# allocation to free (modulo the live count)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 800)),
+        st.tuples(st.just("free"), st.integers(0, 10_000)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=150, deadline=None)
+def test_random_alloc_free_sequences_preserve_invariants(sequence):
+    heap = fresh_heap()
+    live = []
+    for op, value in sequence:
+        if op == "alloc":
+            try:
+                off = heap.alloc(value)
+            except OutOfMemory:
+                continue
+            live.append((off, value))
+        elif live:
+            idx = value % len(live)
+            off, _ = live.pop(idx)
+            heap.free(off)
+    heap.check_invariants()
+    # every live allocation is still in-use and correctly sized
+    inuse = dict(heap.inuse_chunks())
+    for off, size in live:
+        assert off in inuse
+        assert inuse[off] >= size
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_live_allocations_never_overlap(sequence):
+    heap = fresh_heap()
+    live = []
+    for op, value in sequence:
+        if op == "alloc":
+            try:
+                off = heap.alloc(value)
+            except OutOfMemory:
+                continue
+            live.append((off, value))
+        elif live:
+            off, _ = live.pop(value % len(live))
+            heap.free(off)
+        spans = sorted((off, off + size) for off, size in live)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 + OVERHEAD - 8 <= b0 + OVERHEAD  # payloads disjoint
+            assert a1 <= b0 or a0 == b0
+
+
+@given(st.lists(st.integers(1, 500), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_free_all_restores_single_chunk(sizes):
+    heap = fresh_heap()
+    offsets = []
+    for size in sizes:
+        try:
+            offsets.append(heap.alloc(size))
+        except OutOfMemory:
+            break
+    for off in offsets:
+        heap.free(off)
+    heap.check_invariants()
+    assert len(list(heap.walk())) == 1
+
+
+@given(st.lists(st.integers(1, 300), min_size=1, max_size=20),
+       st.randoms())
+@settings(max_examples=80, deadline=None)
+def test_free_order_does_not_matter(sizes, rng):
+    heap = fresh_heap()
+    offsets = []
+    for size in sizes:
+        try:
+            offsets.append(heap.alloc(size))
+        except OutOfMemory:
+            break
+    rng.shuffle(offsets)
+    for off in offsets:
+        heap.free(off)
+    heap.check_invariants()
+    assert heap.free_bytes() == fresh_heap().free_bytes()
+
+
+@given(st.binary(min_size=1, max_size=600))
+@settings(max_examples=80, deadline=None)
+def test_payload_bytes_survive_other_operations(data):
+    heap = fresh_heap()
+    region = heap.region
+    off = heap.alloc(len(data))
+    region.write_raw(off, data)
+    # interleave unrelated churn
+    others = [heap.alloc(64) for _ in range(8)]
+    for other in others[::2]:
+        heap.free(other)
+    assert region.read_raw(off, len(data)) == data

@@ -1,0 +1,87 @@
+"""Property-based tests: privilege monotonicity can never be violated.
+
+The central security invariant of paper §3.1: however a chain of
+sthreads delegates privileges, no compartment ever ends up with more
+access to a tag than its ancestor chain allows.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PolicyError
+from repro.core.kernel import Kernel
+from repro.core.memory import PROT_COW, PROT_READ, PROT_RW, PROT_WRITE
+from repro.core.policy import (SecurityContext, mem_prot_subset,
+                               sc_mem_add, validate_mem_prot)
+
+PROTS = [PROT_READ, PROT_RW, PROT_READ | PROT_COW]
+
+
+@given(st.sampled_from(PROTS), st.sampled_from(PROTS),
+       st.sampled_from(PROTS))
+@settings(max_examples=50, deadline=None)
+def test_subset_relation_is_transitive(a, b, c):
+    if mem_prot_subset(b, a) and mem_prot_subset(c, b):
+        assert mem_prot_subset(c, a)
+
+
+@given(st.sampled_from(PROTS))
+@settings(max_examples=20, deadline=None)
+def test_subset_relation_is_reflexive(prot):
+    assert mem_prot_subset(prot, prot)
+
+
+@given(st.lists(st.sampled_from(PROTS), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_delegation_chains_never_escalate(chain):
+    """Build a chain of sthreads, each granting the next the listed
+    protection; every link that would escalate must be rejected, and
+    whatever is granted is ≤ every ancestor's grant."""
+    kernel = Kernel()
+    kernel.start_main()
+    tag = kernel.tag_new()
+    buf = kernel.alloc_buf(8, tag=tag, init=b"????????")
+
+    outcome = {"chain": []}
+
+    def nest(level):
+        def body(arg):
+            granted = arg
+            outcome["chain"].append(granted)
+            if level + 1 >= len(chain):
+                return
+            child_prot = chain[level + 1]
+            sc = sc_mem_add(SecurityContext(), tag, child_prot)
+            try:
+                child = kernel.sthread_create(sc, nest(level + 1),
+                                              child_prot,
+                                              spawn="inline")
+                kernel.sthread_join(child)
+            except PolicyError:
+                outcome.setdefault("rejected", []).append(
+                    (granted, child_prot))
+        return body
+
+    root_prot = chain[0]
+    sc = sc_mem_add(SecurityContext(), tag, root_prot)
+    top = kernel.sthread_create(sc, nest(0), root_prot, spawn="inline")
+    kernel.sthread_join(top)
+
+    # every accepted link respects the subset relation
+    accepted = outcome["chain"]
+    for parent_prot, child_prot in zip(accepted, accepted[1:]):
+        assert mem_prot_subset(child_prot, parent_prot)
+    # every rejection was a genuine escalation attempt
+    for parent_prot, child_prot in outcome.get("rejected", []):
+        assert not mem_prot_subset(child_prot, parent_prot)
+
+
+@given(st.integers(0, 7))
+@settings(max_examples=16, deadline=None)
+def test_validate_mem_prot_total(prot):
+    """validate_mem_prot either returns a readable prot or raises."""
+    try:
+        result = validate_mem_prot(prot)
+    except PolicyError:
+        return
+    assert result & PROT_READ
+    assert result != PROT_WRITE

@@ -1,0 +1,120 @@
+"""Property-based fuzzing of the protocol surfaces.
+
+The rule under test: no byte sequence a peer sends may produce anything
+other than a clean :class:`~repro.core.errors.WedgeError` subclass —
+arbitrary Python exceptions out of a parser would be simulation bugs
+(and, in the real system, crashes-at-best).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import WedgeError
+from repro.sshlib import userauth
+from repro.sshlib.transport import parse_kexinit, parse_kexreply
+from repro.tls.codec import unpack_fields
+from repro.tls.handshake import parse_handshake
+from repro.tls.records import open_record
+from repro.apps.pop3 import store
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_handshake_parser_total(data):
+    try:
+        parse_handshake(data)
+    except WedgeError:
+        pass
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_codec_total(data):
+    try:
+        unpack_fields(data)
+    except WedgeError:
+        pass
+
+
+@given(st.binary(max_size=300), st.integers(0, 2 ** 63))
+@settings(max_examples=150, deadline=None)
+def test_record_opener_total(data, seq):
+    try:
+        open_record(b"e" * 32, b"m" * 32, seq, 23, data)
+    except WedgeError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_kex_parsers_total(data):
+    for parser in (parse_kexinit, parse_kexreply):
+        try:
+            parser(data)
+        except WedgeError:
+            pass
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_auth_parsers_total(data):
+    for parser in (userauth.parse_auth_request,
+                   userauth.parse_auth_result):
+        try:
+            parser(data)
+        except WedgeError:
+            pass
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_shadow_parser_total(data):
+    try:
+        userauth.parse_shadow(data)
+    except WedgeError:
+        pass
+
+
+@given(st.text(max_size=50), st.binary(max_size=30),
+       st.integers(0, 65535))
+@settings(max_examples=100, deadline=None)
+def test_pop3_store_roundtrip(user, password, uid):
+    user = "".join(c for c in user if c.isalnum()) or "u"
+    # format constraints: line-oriented, colon-separated, and NUL-padded
+    # when stored in zero-filled tagged memory
+    password = (password.replace(b"\n", b"").replace(b":", b"")
+                .strip(b"\x00"))
+    accounts = {user: (uid, password)}
+    parsed = store.parse_passwords(store.serialize_passwords(accounts))
+    assert parsed[user] == (uid, password)
+
+
+@given(st.dictionaries(st.integers(1, 10),
+                       st.lists(st.binary(min_size=1, max_size=40),
+                                max_size=3), max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_pop3_spool_roundtrip(mail):
+    mail = {uid: msgs for uid, msgs in mail.items() if msgs}
+    parsed = store.parse_spool(store.serialize_spool(mail))
+    assert parsed == mail
+
+
+@given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                max_size=10),
+       st.integers(1, 7))
+@settings(max_examples=100, deadline=None)
+def test_stream_reassembly_any_chunking(chunks, read_size):
+    """Stream semantics: any send-chunking and any read granularity
+    reassemble to the same byte sequence."""
+    from repro.net.stream import ByteStream
+    stream = ByteStream("fuzz")
+    payload = b"".join(chunks)
+    for chunk in chunks:
+        stream.send(chunk)
+    stream.close()
+    out = bytearray()
+    while True:
+        piece = stream.recv(read_size, timeout=1)
+        if piece is None:
+            break
+        out += piece
+    assert bytes(out) == payload

@@ -1,0 +1,175 @@
+"""Unit tests for the attack harness itself (blobs, loot, MITM plumbing)."""
+
+import pytest
+
+from repro.attacks.exploit import (EXPLOIT_MAGIC, ExploitApi,
+                                   ExploitTakeover, Loot,
+                                   make_exploit_blob,
+                                   maybe_trigger_exploit, registry,
+                                   start_campaign)
+from repro.attacks.mitm import MitmAttacker, hello_exploit_rewriter
+from repro.net import Network
+from repro.net.stream import DuplexStream
+
+
+class TestBlob:
+    def test_roundtrip_triggers_payload(self, kernel):
+        ran = []
+        registry.register("unit-payload", lambda api: ran.append(api))
+        blob = make_exploit_blob("unit-payload", data=b"extra")
+        with pytest.raises(ExploitTakeover):
+            maybe_trigger_exploit(kernel, b"prefix" + blob + b"suffix")
+        assert ran and ran[0].data == b"extra"
+
+    def test_benign_input_ignored(self, kernel):
+        maybe_trigger_exploit(kernel, b"GET / HTTP/1.0")
+        maybe_trigger_exploit(kernel, b"")
+        maybe_trigger_exploit(kernel, EXPLOIT_MAGIC)  # truncated blob
+
+    def test_unregistered_payload_ignored(self, kernel):
+        blob = make_exploit_blob("nobody-registered-this")
+        maybe_trigger_exploit(kernel, blob)   # no exception
+
+    def test_context_passed_through(self, kernel):
+        seen = {}
+        registry.register("ctx-payload",
+                          lambda api: seen.update(api.context))
+        with pytest.raises(ExploitTakeover):
+            maybe_trigger_exploit(kernel, make_exploit_blob("ctx-payload"),
+                                  context={"marker": 42})
+        assert seen["marker"] == 42
+
+    def test_takeover_is_a_compartment_fault(self, kernel):
+        from repro.core.policy import SecurityContext
+        registry.register("die", lambda api: None)
+
+        def body(arg):
+            maybe_trigger_exploit(kernel, make_exploit_blob("die"))
+            return "unreachable"
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        assert child.faulted
+        assert isinstance(child.fault, ExploitTakeover)
+
+
+class TestLoot:
+    def test_grab_and_contains(self):
+        loot = Loot()
+        loot.grab("key", b"value")
+        assert "key" in loot
+        assert loot.get("key") == b"value"
+        assert loot.get("missing") is None
+
+    def test_denied_records_reason(self):
+        loot = Loot()
+        loot.denied("the vault", ValueError("no"))
+        assert loot.attempts == [("the vault", "ValueError: no")]
+
+    def test_campaign_scopes_loot(self, kernel):
+        first = start_campaign()
+        registry.register("grabber",
+                          lambda api: api.loot.grab("x", 1))
+        with pytest.raises(ExploitTakeover):
+            maybe_trigger_exploit(kernel, make_exploit_blob("grabber"))
+        assert "x" in first
+        second = start_campaign()
+        assert "x" not in second
+
+
+class TestExploitApi:
+    def test_try_read_logs_denial(self, kernel):
+        tag = kernel.tag_new()
+        buf = kernel.alloc_buf(8, tag=tag)
+        from repro.core.policy import SecurityContext
+
+        outcome = {}
+
+        def body(arg):
+            api = ExploitApi(kernel, loot=Loot())
+            outcome["data"] = api.try_read(buf.addr, 8, what="the tag")
+            outcome["attempts"] = list(api.loot.attempts)
+
+        child = kernel.sthread_create(SecurityContext(), body,
+                                      spawn="inline")
+        kernel.sthread_join(child)
+        assert outcome["data"] is None
+        assert outcome["attempts"][0][0] == "the tag"
+
+    def test_scan_reports_hits_and_denials(self, kernel):
+        mine = kernel.alloc_buf(16, init=b"FINDME-0123456!!")
+        api = ExploitApi(kernel, loot=Loot())
+        hits = api.scan_all_memory(b"FINDME")
+        assert any(name == "main:heap" for name, _ in hits)
+
+
+class TestMitmPlumbing:
+    def test_transcript_and_passthrough(self):
+        from repro.tls.records import frame, read_frame, StreamTransport
+        net = Network()
+        listener = net.listen("tap:1")
+        attacker = MitmAttacker()
+        net.interpose("tap:1", attacker)
+        client = net.connect("tap:1")
+        server = listener.accept(timeout=2)
+        client.send(frame(22, b"hello"))
+        rtype, body = read_frame(StreamTransport(server, 2))
+        assert (rtype, body) == (22, b"hello")
+        server.send(frame(23, b"reply"))
+        rtype, body = read_frame(StreamTransport(client, 2))
+        assert (rtype, body) == (23, b"reply")
+        attacker.sessions[0].join(1)
+        directions = [d for d, _, _ in attacker.sessions[0].transcript]
+        assert "c2s" in directions and "s2c" in directions
+
+    def test_loot_frames_swallowed(self):
+        from repro.attacks.exploit import LOOT_PREFIX
+        from repro.tls.records import frame, RT_ALERT, RT_HANDSHAKE
+        from repro.tls.records import read_frame, StreamTransport
+        net = Network()
+        listener = net.listen("tap:2")
+        attacker = MitmAttacker()
+        net.interpose("tap:2", attacker)
+        client = net.connect("tap:2")
+        server = listener.accept(timeout=2)
+        # the "hijacked server" exfiltrates; the client sends normally
+        server.send(frame(RT_ALERT, LOOT_PREFIX + b"stolen-key"))
+        server.send(frame(RT_HANDSHAKE, b"normal"))
+        rtype, body = read_frame(StreamTransport(client, 2))
+        # the loot frame never reached the client...
+        assert (rtype, body) == (RT_HANDSHAKE, b"normal")
+        # ...because the attacker kept it
+        assert attacker.exfiltrated() == [b"stolen-key"]
+
+    def test_drop_hook(self):
+        from repro.core.errors import NetworkError
+        from repro.tls.records import frame, read_frame, StreamTransport
+        net = Network()
+        listener = net.listen("tap:3")
+        attacker = MitmAttacker(
+            client_to_server=lambda rtype, body, s: None)  # drop all
+        net.interpose("tap:3", attacker)
+        client = net.connect("tap:3")
+        server = listener.accept(timeout=2)
+        client.send(frame(22, b"dropped"))
+        with pytest.raises(NetworkError):
+            read_frame(StreamTransport(server, 0.3))
+
+    def test_hello_rewriter_only_arms_first_handshake_frame(self):
+        from repro.tls.handshake import ClientHello, parse_handshake
+        from repro.attacks.exploit import _parse_blob
+        hook = hello_exploit_rewriter("some-payload")
+
+        class FakeSession:
+            pass
+
+        session = FakeSession()
+        hello = ClientHello(b"r" * 32, b"", b"").pack()
+        rtype, armed = hook(22, hello, session)
+        parsed = parse_handshake(armed)
+        payload_id, data = _parse_blob(parsed.extensions)
+        assert payload_id == "some-payload"
+        assert data == hello      # original bytes ride inside
+        # subsequent frames pass through unmodified
+        rtype, body = hook(22, b"second-frame", session)
+        assert body == b"second-frame"

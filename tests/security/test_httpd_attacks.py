@@ -1,0 +1,222 @@
+"""Security tests: the paper's §5.1 threat models against httpd.
+
+Simple model (no interposition): an attacker who can exploit any
+unprivileged compartment must not obtain the RSA private key, a
+decryption oracle, or influence over session-key generation.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.httpd import (MitmPartitionHttpd, MonolithicHttpd,
+                              SimplePartitionHttpd)
+from repro.attacks import payloads
+from repro.attacks.exploit import make_exploit_blob, start_campaign
+from repro.crypto import DetRNG
+from repro.crypto.rsa import RsaPrivateKey
+from repro.net import Network
+from repro.tls import TlsClient
+
+
+def attack_connection(server, payload_id, data=b"", seed="attacker"):
+    """Connect with an exploit blob in the ClientHello extensions."""
+    client = TlsClient(DetRNG(seed),
+                       expected_server_key=server.public_key)
+    blob = make_exploit_blob(payload_id, data=data)
+    try:
+        return client.connect(server.network, server.addr,
+                              extensions=blob)
+    except Exception:
+        return None   # a hijacked worker may never answer
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestMonolithicBaseline:
+    def test_exploit_steals_private_key(self):
+        """The monolithic server loses everything to one exploit."""
+        net = Network()
+        srv = MonolithicHttpd(net, "atk-mono:443").start()
+        try:
+            loot = start_campaign()
+            attack_connection(srv, payloads.PAYLOAD_STEAL_PRIVATE_KEY,
+                              data=srv.public_key.to_bytes())
+            assert wait_for(lambda: "private_key" in loot)
+            stolen = RsaPrivateKey.from_bytes(loot.get("private_key"))
+            assert stolen.n == srv.private_key.n
+            assert stolen.d == srv.private_key.d
+        finally:
+            srv.stop()
+
+
+class TestSimplePartition:
+    def test_private_key_out_of_reach(self):
+        """Figure 2's goal: the key tag is not in the worker's table."""
+        net = Network()
+        srv = SimplePartitionHttpd(net, "atk-simple:443").start()
+        try:
+            loot = start_campaign()
+            attack_connection(srv, payloads.PAYLOAD_STEAL_PRIVATE_KEY,
+                              data=srv.public_key.to_bytes())
+            time.sleep(0.3)
+            assert "private_key" not in loot
+            denied = [what for what, _ in loot.attempts]
+            assert any("rsa-private-key" in what for what in denied)
+        finally:
+            srv.stop()
+
+    def test_no_decryption_oracle_for_past_sessions(self):
+        """An exploited worker cannot recover a *victim's* session key
+        by replaying the victim's key exchange through the gate: the
+        gate binds a fresh server random it generated itself."""
+        net = Network()
+        srv = SimplePartitionHttpd(net, "atk-oracle:443").start()
+        try:
+            # a victim completes a session; the attacker eavesdropped
+            # (client_random, encrypted premaster) off the wire
+            victim = TlsClient(DetRNG("victim"),
+                               expected_server_key=srv.public_key)
+            conn = victim.connect(net, srv.addr)
+            from repro.apps.httpd.content import build_request
+            conn.request(build_request("/"))   # complete the session
+            victim_master = conn.master
+
+            # the attacker exploits a worker and replays the captured
+            # exchange through the setup_session_key gate
+            from repro.attacks.exploit import registry
+
+            result = {}
+
+            @registry.register("oracle-replay")
+            def oracle_replay(api):
+                kernel = api.kernel
+                gate_id = api.context["gate_id"]
+                reply = kernel.cgate(gate_id, None, {
+                    "op": "hello", "session_id": b""})
+                # gate picked ITS OWN random; bind the victim's capture
+                import repro.crypto.rsa as rsa_mod
+                epms = srv.public_key.encrypt(b"fake-premaster",
+                                              DetRNG("fake"))
+                reply2 = kernel.cgate(gate_id, None, {
+                    "op": "key",
+                    "server_random": reply["server_random"],
+                    "client_random": b"c" * 32,
+                    "epms": epms})
+                result["derived"] = reply2["master"]
+                # forging the server random is rejected outright
+                try:
+                    kernel.cgate(gate_id, None, {
+                        "op": "key", "server_random": b"Z" * 32,
+                        "client_random": b"c" * 32, "epms": epms})
+                except Exception as exc:   # noqa: BLE001
+                    result["forged_random"] = type(exc).__name__
+
+            attack_connection(srv, "oracle-replay")
+            assert wait_for(lambda: "derived" in result)
+            # whatever the gate derived is NOT the victim's key
+            assert result["derived"] != victim_master
+            assert "forged_random" in result
+        finally:
+            srv.stop()
+
+    def test_requests_isolated_across_connections(self):
+        """Workers terminate after one request: no cross-request state."""
+        net = Network()
+        srv = SimplePartitionHttpd(net, "atk-iso:443").start()
+        try:
+            from repro.attacks.exploit import registry
+            stashes = []
+
+            @registry.register("stash-then-look")
+            def stash_then_look(api):
+                kernel = api.kernel
+                # remember this compartment's heap segment id and leave
+                # a marker in it
+                buf = kernel.alloc_buf(16, init=b"attacker-marker!")
+                stashes.append((kernel.current().heap_segment.id,
+                                buf.addr))
+                if len(stashes) > 1:
+                    prev_addr = stashes[0][1]
+                    api.try_read(prev_addr, 16,
+                                 what="previous worker's heap")
+
+            loot = start_campaign()
+            attack_connection(srv, "stash-then-look", seed="a1")
+            attack_connection(srv, "stash-then-look", seed="a2")
+            assert wait_for(lambda: len(stashes) == 2)
+            seg_ids = {seg for seg, _ in stashes}
+            assert len(seg_ids) == 2     # fresh heap per worker
+            assert any("previous worker" in what
+                       for what, _ in loot.attempts)
+        finally:
+            srv.stop()
+
+
+class TestMitmPartitionDirect:
+    def test_handshake_sthread_cannot_reach_key(self):
+        net = Network()
+        srv = MitmPartitionHttpd(net, "atk-fine:443").start()
+        try:
+            loot = start_campaign()
+            attack_connection(srv, payloads.PAYLOAD_PROBE_FINE_PARTITION)
+            assert wait_for(lambda: "scan_hits" in loot)
+            assert loot.get("session_master") is None
+            assert loot.get("finished_state") is None
+            # the oracle probe got a bare boolean failure
+            assert loot.get("oracle_reply") == (("ok", False),)
+            denied = [what for what, _ in loot.attempts]
+            assert "session key tag" in denied
+            assert "finished_state tag" in denied
+        finally:
+            srv.stop()
+
+    def test_handler_exploit_defense_in_depth(self):
+        """A malicious *authenticated* client exploits client_handler:
+        no key material, no raw network write (paper Figure 5)."""
+        net = Network()
+        srv = MitmPartitionHttpd(net, "atk-handler:443").start()
+        try:
+            loot = start_campaign()
+            client = TlsClient(DetRNG("insider"),
+                               expected_server_key=srv.public_key)
+            conn = client.connect(net, srv.addr)
+            # the exploit rides a correctly MAC'ed request
+            evil = (b"GET /" +
+                    make_exploit_blob(payloads.PAYLOAD_HANDLER_LEAK) +
+                    b" HTTP/1.0\r\n\r\n")
+            conn.send(evil)
+            assert wait_for(lambda: "handler_hijacked" in loot)
+            assert loot.get("session_master") is None
+            denied = [what for what, _ in loot.attempts]
+            assert "session key tag" in denied
+            assert "exfiltration" in denied   # no network write
+        finally:
+            srv.stop()
+
+    def test_injected_ciphertext_dropped_by_ssl_read(self):
+        """Garbage injected into the protected phase dies at the MAC
+        inside ssl_read and never reaches the request parser."""
+        net = Network()
+        srv = MitmPartitionHttpd(net, "atk-inject:443").start()
+        try:
+            client = TlsClient(DetRNG("honest"),
+                               expected_server_key=srv.public_key)
+            conn = client.connect(net, srv.addr)
+            # inject a forged appdata frame before the real request
+            from repro.tls.records import frame, RT_APPDATA
+            conn.channel.transport.sock.send(
+                frame(RT_APPDATA, b"\x00" * 48))
+            from repro.apps.httpd.content import build_request
+            resp = conn.request(build_request("/"))
+            assert resp.startswith(b"HTTP/1.0 200")
+            assert srv.requests_served == 1
+        finally:
+            srv.stop()

@@ -1,0 +1,214 @@
+"""The paper's headline: MITM + exploit vs the two partitionings (§5.1.2).
+
+The same campaign — interpose on the server address, arm the legitimate
+client's ClientHello with an exploit, relay everything else — succeeds
+against the Figure 2 partitioning (the worker holds the session key and
+leaks it) and fails against the Figures 3-5 partitioning (the hijacked
+handshake sthread can neither read the key nor abuse the finished gates
+as oracles, and the victim's session completes safely).
+"""
+
+import time
+
+import pytest
+
+from repro.apps.httpd import MitmPartitionHttpd, SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.attacks import payloads
+from repro.attacks.exploit import start_campaign
+from repro.attacks.mitm import MitmAttacker, hello_exploit_rewriter
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+
+def run_campaign(server_cls, payload_id, addr, **server_kwargs):
+    net = Network()
+    server = server_cls(net, addr, **server_kwargs).start()
+    loot = start_campaign()
+    attacker = MitmAttacker(
+        client_to_server=hello_exploit_rewriter(payload_id), loot=loot)
+    net.interpose(addr, attacker)
+    victim = TlsClient(DetRNG("victim"),
+                       expected_server_key=server.public_key)
+    conn = victim.connect(net, addr)
+    response = conn.request(build_request("/account"))
+    time.sleep(0.3)
+    return server, attacker, loot, conn, response
+
+
+class TestFigure2Falls:
+    def test_session_key_stolen_and_exfiltrated(self):
+        server, attacker, loot, conn, response = run_campaign(
+            SimplePartitionHttpd, payloads.PAYLOAD_STEAL_SESSION_KEY,
+            "mitm-f2:443")
+        try:
+            # the victim noticed nothing
+            assert b"balance" in response_body(response)
+            # the attacker holds the victim's master secret
+            assert loot.get("session_master") == conn.master
+            # and it crossed the wire to the MITM
+            assert conn.master in attacker.exfiltrated()
+        finally:
+            server.stop()
+
+    def test_stolen_key_decrypts_the_victims_traffic(self):
+        """Close the loop: the attacker actually reads the plaintext."""
+        server, attacker, loot, conn, response = run_campaign(
+            SimplePartitionHttpd, payloads.PAYLOAD_STEAL_SESSION_KEY,
+            "mitm-f2b:443")
+        try:
+            master = loot.get("session_master")
+            assert master is not None
+            # the MITM observed the randoms in the clear; re-derive keys
+            from repro.crypto.prf import derive_key_block
+            from repro.tls import records as rec
+            from repro.tls.handshake import (parse_handshake,
+                                             HS_CLIENT_HELLO,
+                                             HS_SERVER_HELLO)
+            session = attacker.sessions[0]
+            hellos = [body for direction, rtype, body
+                      in session.transcript if rtype == rec.RT_HANDSHAKE]
+            # victim's hello was rewritten before forwarding; the
+            # *original* randoms are inside — use server hello + the
+            # armed hello (randoms unchanged by the rewriter)
+            client_hello = parse_handshake(hellos[0],
+                                           expect=HS_CLIENT_HELLO)
+            server_hello = parse_handshake(hellos[1],
+                                           expect=HS_SERVER_HELLO)
+            keys = derive_key_block(master, client_hello.client_random,
+                                    server_hello.server_random)
+            # decrypt the server's application-data record (the page)
+            appdata = [(d, b) for d, rtype, b in session.transcript
+                       if rtype == rec.RT_APPDATA]
+            s2c = [b for d, b in appdata if d == "s2c"]
+            plaintext = rec.open_record(keys["server_enc"],
+                                        keys["server_mac"], 1,
+                                        rec.RT_APPDATA, s2c[-1])
+            assert b"balance" in plaintext
+        finally:
+            server.stop()
+
+
+class TestFigures35Hold:
+    @pytest.mark.parametrize("gate_mode", ["fresh", "recycled"])
+    def test_same_campaign_fails(self, gate_mode):
+        server, attacker, loot, conn, response = run_campaign(
+            MitmPartitionHttpd, payloads.PAYLOAD_PROBE_FINE_PARTITION,
+            f"mitm-f35-{gate_mode}:443", gate_mode=gate_mode)
+        try:
+            # the victim is still served correctly...
+            assert b"balance" in response_body(response)
+            # ...the attacker got nothing
+            assert loot.get("session_master") is None
+            assert attacker.exfiltrated() == []
+            assert loot.get("oracle_reply") == (("ok", False),)
+            denied = [what for what, _ in loot.attempts]
+            assert "session key tag" in denied
+        finally:
+            server.stop()
+
+    def test_exploited_handshake_sthread_is_dead_after(self):
+        """The hijacked sthread terminated; the master moved on to the
+        client handler only because the *gates* recorded completion."""
+        server, attacker, loot, conn, response = run_campaign(
+            MitmPartitionHttpd, payloads.PAYLOAD_PROBE_FINE_PARTITION,
+            "mitm-f35b:443")
+        try:
+            hs = server.handshake_sthreads[0]
+            assert hs.faulted            # ExploitTakeover ended it
+            handler = server.handler_sthreads[0]
+            assert handler.status == "exited"
+        finally:
+            server.stop()
+
+    def test_passive_mitm_sees_only_ciphertext(self):
+        """Without the exploit, the MITM is just a wire: it observes
+        the handshake in clear but application data only sealed."""
+        net = Network()
+        server = MitmPartitionHttpd(net, "mitm-passive:443").start()
+        try:
+            from repro.attacks.mitm import passive_tap
+            attacker = passive_tap()
+            net.interpose("mitm-passive:443", attacker)
+            victim = TlsClient(DetRNG("v"),
+                               expected_server_key=server.public_key)
+            conn = victim.connect(net, "mitm-passive:443")
+            response = conn.request(build_request("/account"))
+            assert b"balance" in response_body(response)
+            time.sleep(0.2)
+            from repro.tls import records as rec
+            session = attacker.sessions[0]
+            for direction, rtype, body in session.transcript:
+                if rtype == rec.RT_APPDATA:
+                    assert b"balance" not in body
+                    assert b"GET /" not in body
+        finally:
+            server.stop()
+
+
+class TestRecycledTradeOff:
+    def test_cross_connection_state_addressing(self):
+        """Recycled gates accept caller-named state inside the shared
+        pool — the paper's warning made concrete: a hijacked handshake
+        sthread can invoke a gate against *another* connection's state
+        block (here: probe its handshake-done flag)."""
+        net = Network()
+        server = MitmPartitionHttpd(net, "recycled-risk:443",
+                                    gate_mode="recycled").start()
+        try:
+            # connection 1: honest, completes and stays resident long
+            # enough to observe
+            honest = TlsClient(DetRNG("h"),
+                               expected_server_key=server.public_key)
+            honest.connect(net, "recycled-risk:443").request(
+                build_request("/"))
+            time.sleep(0.2)
+
+            from repro.attacks.exploit import registry
+            result = {}
+
+            @registry.register("cross-state-probe")
+            def cross_state_probe(api):
+                kernel = api.kernel
+                gates = api.context["gates"]
+                my_state = api.context["state_addr"]
+                # guess a neighbouring allocation in the pool tag
+                for delta in (-512, -256, 256, 512):
+                    probe = {"op": "hello", "session_id": b"",
+                             "client_random": b"c" * 32,
+                             "state_addr": my_state + delta,
+                             "finished_addr":
+                                 api.context["finished_addr"]}
+                    reply = api.try_cgate(
+                        gates["setup_session_key_gate"], None, probe,
+                        what=f"foreign state at {delta:+d}")
+                    if reply is not None:
+                        result.setdefault("accepted", []).append(delta)
+                # an address *outside* the pool is always rejected
+                outside = dict(probe, state_addr=0x10000000)
+                reply = api.try_cgate(gates["setup_session_key_gate"],
+                                      None, outside,
+                                      what="state outside pool")
+                result["outside_rejected"] = reply is None
+
+            loot = start_campaign()
+            attacker_client = TlsClient(
+                DetRNG("atk"), expected_server_key=server.public_key)
+            from repro.attacks.exploit import make_exploit_blob
+            try:
+                attacker_client.connect(
+                    net, "recycled-risk:443",
+                    extensions=make_exploit_blob("cross-state-probe"))
+            except Exception:
+                pass
+            deadline = time.time() + 5
+            while "outside_rejected" not in result and \
+                    time.time() < deadline:
+                time.sleep(0.02)
+            # inside the pool: the gate cannot tell states apart
+            assert result.get("accepted")
+            # outside the pool: the bound check holds
+            assert result["outside_rejected"] is True
+        finally:
+            server.stop()

@@ -1,0 +1,119 @@
+"""Security tests for the POP3 example: §2's claims made executable."""
+
+import time
+
+from repro.apps.pop3 import MonolithicPop3, PartitionedPop3, Pop3Client
+from repro.attacks.exploit import (make_exploit_blob, registry,
+                                   start_campaign)
+from repro.net import Network
+
+
+def exploit_command(server_cls, addr, payload_id):
+    net = Network()
+    server = server_cls(net, addr).start()
+    client = Pop3Client(net, addr)
+    try:
+        client.raw_command(b"USER " + make_exploit_blob(payload_id))
+    except Exception:
+        pass
+    return server, client
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def _register_mail_thief():
+    result = {}
+
+    @registry.register("pop3-thief")
+    def pop3_thief(api):
+        result["password_hits"] = api.scan_all_memory(b"wonderland")
+        result["mail_hits"] = api.scan_all_memory(
+            b"queen@hearts".hex().encode())
+        # try to bless ourselves as uid 1000 by writing the uid region
+        uid_addr = api.context.get("uid_addr")
+        if uid_addr is not None:
+            try:
+                api.kernel.mem_write(uid_addr,
+                                     (1000).to_bytes(8, "big"))
+                result["uid_forged"] = True
+            except Exception as exc:   # noqa: BLE001
+                result["uid_forge_denied"] = type(exc).__name__
+        # try to fetch mail without logging in
+        gates = api.context.get("gates")
+        if gates is not None:
+            reply = api.try_cgate(gates["retrieve_gate"], None,
+                                  {"op": "list"},
+                                  what="retrieve before login")
+            result["unauthed_list"] = reply
+        result["done"] = True
+
+    return result
+
+
+class TestMonolithicPop3:
+    def test_exploit_reads_passwords_and_all_mail(self):
+        result = _register_mail_thief()
+        server, client = exploit_command(MonolithicPop3,
+                                         "pop3-atk-mono:110",
+                                         "pop3-thief")
+        try:
+            assert wait_for(lambda: "done" in result)
+            # everything in the process was readable
+            assert result["password_hits"]
+            assert result["mail_hits"]
+        finally:
+            server.stop()
+
+
+class TestPartitionedPop3:
+    def test_client_handler_cannot_reach_secrets(self):
+        """An exploit within the client handler cannot reveal any
+        passwords or e-mails (paper §2)."""
+        result = _register_mail_thief()
+        start_campaign()
+        server, client = exploit_command(PartitionedPop3,
+                                         "pop3-atk-part:110",
+                                         "pop3-thief")
+        try:
+            assert wait_for(lambda: "done" in result)
+            assert result["password_hits"] == []
+            assert result["mail_hits"] == []
+        finally:
+            server.stop()
+
+    def test_authentication_cannot_be_skipped(self):
+        """The retriever only serves the uid that *login* recorded, and
+        the handler cannot write the uid region itself."""
+        result = _register_mail_thief()
+        start_campaign()
+        server, client = exploit_command(PartitionedPop3,
+                                         "pop3-atk-skip:110",
+                                         "pop3-thief")
+        try:
+            assert wait_for(lambda: "done" in result)
+            assert result.get("uid_forged") is None
+            assert result["uid_forge_denied"] == "MemoryViolation"
+            assert result["unauthed_list"] == {"ok": False,
+                                               "error":
+                                               "not authenticated"}
+        finally:
+            server.stop()
+
+    def test_login_gate_sets_uid_for_retriever(self):
+        """The legitimate flow through the same gates still works."""
+        net = Network()
+        server = PartitionedPop3(net, "pop3-legit:110").start()
+        try:
+            client = Pop3Client(net, "pop3-legit:110")
+            assert client.login("alice", b"wonderland")
+            assert len(client.list_messages()) == 2
+            client.quit()
+        finally:
+            server.stop()

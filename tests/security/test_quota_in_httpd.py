@@ -1,0 +1,73 @@
+"""The DoS extension end to end: a memory bomb in a quota'd worker."""
+
+import time
+
+from repro.apps.httpd import SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.attacks.exploit import (make_exploit_blob, registry,
+                                   start_campaign)
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+
+def test_memory_bomb_confined_and_service_continues():
+    """The exploit the paper says Wedge cannot stop (§7): consuming
+    memory without bound.  With per-worker quotas it is cut off, and
+    the server keeps serving."""
+    result = {}
+
+    @registry.register("memory-bomb")
+    def memory_bomb(api):
+        kernel = api.kernel
+        allocated = 0
+        try:
+            while True:
+                kernel.malloc(4096)
+                allocated += 4096
+        except Exception as exc:   # noqa: BLE001
+            result["stopped_by"] = type(exc).__name__
+            result["allocated"] = allocated
+
+    net = Network()
+    server = SimplePartitionHttpd(net, "quota-httpd:443",
+                                  worker_quota=64 * 1024).start()
+    try:
+        start_campaign()
+        attacker = TlsClient(DetRNG("bomber"),
+                             expected_server_key=server.public_key)
+        try:
+            attacker.connect(net, "quota-httpd:443",
+                             extensions=make_exploit_blob("memory-bomb"))
+        except Exception:
+            pass
+        deadline = time.time() + 5
+        while "stopped_by" not in result and time.time() < deadline:
+            time.sleep(0.02)
+        assert result["stopped_by"] == "QuotaExceeded"
+        assert result["allocated"] <= 64 * 1024
+        # the machine is fine: the next client is served normally
+        honest = TlsClient(DetRNG("honest"),
+                           expected_server_key=server.public_key)
+        conn = honest.connect(net, "quota-httpd:443")
+        assert b"It works" in response_body(
+            conn.request(build_request("/")))
+    finally:
+        server.stop()
+
+
+def test_quota_generous_enough_for_honest_workers():
+    """The quota must not break legitimate service."""
+    net = Network()
+    server = SimplePartitionHttpd(net, "quota-ok:443",
+                                  worker_quota=64 * 1024).start()
+    try:
+        client = TlsClient(DetRNG("c"),
+                           expected_server_key=server.public_key)
+        for _ in range(3):
+            conn = client.connect(net, "quota-ok:443")
+            assert conn.request(build_request("/")).startswith(
+                b"HTTP/1.0 200")
+        assert server.errors == []
+    finally:
+        server.stop()

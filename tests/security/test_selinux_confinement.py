@@ -1,0 +1,121 @@
+"""SELinux-lite confinement of httpd workers (sc_sel_context in anger).
+
+The paper's evaluation grants all syscalls to every sthread to focus on
+memory privileges; these tests run the Figure-2 worker inside a
+restrictive domain instead and show the syscall filter catching what
+the memory policy cannot express.
+"""
+
+import time
+
+from repro.apps.httpd import SimplePartitionHttpd
+from repro.apps.httpd.content import build_request, response_body
+from repro.attacks.exploit import (make_exploit_blob, registry,
+                                   start_campaign)
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.tls import TlsClient
+
+
+def test_confined_worker_still_serves():
+    net = Network()
+    server = SimplePartitionHttpd(net, "sel-serve:443",
+                                  confine=True).start()
+    try:
+        client = TlsClient(DetRNG("c"),
+                           expected_server_key=server.public_key)
+        conn = client.connect(net, "sel-serve:443")
+        response = conn.request(build_request("/about"))
+        assert b"Wedge" in response_body(response)
+        assert server.errors == []
+        worker = server.workers[0]
+        assert worker.sel_sid == "system_u:system_r:httpd_worker_t"
+    finally:
+        server.stop()
+
+
+def test_confined_worker_exploit_cannot_use_filesystem():
+    """The exploited worker's memory policy never covered files, but
+    without SELinux it could still *try* syscalls; the domain's
+    allow-set stops open/listen/fork outright."""
+    result = {}
+
+    @registry.register("selinux-probe")
+    def selinux_probe(api):
+        kernel = api.kernel
+        for name, attempt in (
+                ("open", lambda: kernel.open("/etc/passwd", "r")),
+                ("listen", lambda: kernel.listen("evil:31337")),
+                ("fork", lambda: kernel.fork(lambda a: None,
+                                             spawn="inline")),
+                ("pipe", lambda: kernel.pipe()),
+                ("setuid", lambda: kernel.setuid(0))):
+            try:
+                attempt()
+                result[name] = "allowed"
+            except Exception as exc:   # noqa: BLE001
+                result[name] = type(exc).__name__
+        # the worker's legitimate syscalls still work
+        result["send"] = "allowed"
+        kernel.send(api.context["fd"], b"")
+        result["done"] = True
+
+    net = Network()
+    server = SimplePartitionHttpd(net, "sel-atk:443",
+                                  confine=True).start()
+    try:
+        start_campaign()
+        client = TlsClient(DetRNG("atk"),
+                           expected_server_key=server.public_key)
+        try:
+            client.connect(net, "sel-atk:443",
+                           extensions=make_exploit_blob("selinux-probe"))
+        except Exception:
+            pass
+        deadline = time.time() + 5
+        while "done" not in result and time.time() < deadline:
+            time.sleep(0.02)
+        assert result["open"] == "SyscallDenied"
+        assert result["listen"] == "SyscallDenied"
+        assert result["fork"] == "SyscallDenied"
+        assert result["pipe"] == "SyscallDenied"
+        assert result["setuid"] == "SyscallDenied"
+        assert result["send"] == "allowed"
+    finally:
+        server.stop()
+
+
+def test_unconfined_worker_can_issue_syscalls():
+    """For contrast: without the domain, the same probe's syscalls get
+    past SELinux (and are stopped, if at all, by uid/VFS checks)."""
+    result = {}
+
+    @registry.register("selinux-contrast")
+    def selinux_contrast(api):
+        kernel = api.kernel
+        try:
+            kernel.pipe()
+            result["pipe"] = "allowed"
+        except Exception as exc:   # noqa: BLE001
+            result["pipe"] = type(exc).__name__
+        result["done"] = True
+
+    net = Network()
+    server = SimplePartitionHttpd(net, "sel-open:443",
+                                  confine=False).start()
+    try:
+        start_campaign()
+        client = TlsClient(DetRNG("atk2"),
+                           expected_server_key=server.public_key)
+        try:
+            client.connect(
+                net, "sel-open:443",
+                extensions=make_exploit_blob("selinux-contrast"))
+        except Exception:
+            pass
+        deadline = time.time() + 5
+        while "done" not in result and time.time() < deadline:
+            time.sleep(0.02)
+        assert result["pipe"] == "allowed"
+    finally:
+        server.stop()

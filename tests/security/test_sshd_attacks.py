@@ -1,0 +1,267 @@
+"""Security tests: the paper's §5.2 comparisons across sshd variants.
+
+One reconnaissance payload is thrown at a pre-auth compartment of each
+architecture; what it steals differs exactly as the paper describes.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.sshd import MonolithicSshd, PrivsepSshd, WedgeSshd
+from repro.attacks import payloads
+from repro.attacks.exploit import make_exploit_blob, start_campaign
+from repro.crypto import DetRNG
+from repro.crypto.dsa import DsaPrivateKey
+from repro.net import Network
+from repro.sshlib import SshClient
+
+
+def run_recon(server_cls, addr, *, warm_login=True):
+    """Stand up a server, optionally do a legit login (so PAM residue
+    exists), then exploit a pre-auth compartment."""
+    net = Network()
+    server = server_cls(net, addr).start()
+    legit = SshClient(DetRNG("legit"),
+                      expected_host_key=server.env.host_key.public())
+    if warm_login:
+        conn = legit.connect(net, addr)
+        conn.auth_password("alice", b"wonderland")
+        conn.close()
+        time.sleep(0.1)
+    loot = start_campaign()
+    attacker = SshClient(DetRNG("attacker"))
+    conn = attacker.connect(net, addr)
+    blob = make_exploit_blob(payloads.PAYLOAD_SSHD_RECON)
+    try:
+        conn.auth_password("mallory", blob)
+    except Exception:
+        pass
+    deadline = time.time() + 5
+    while "uid_after_probe" not in loot.items and time.time() < deadline:
+        time.sleep(0.02)
+    return server, loot
+
+
+class TestMonolithic:
+    def test_total_compromise(self):
+        server, loot = run_recon(MonolithicSshd, "recon-mono:22")
+        try:
+            # the host private key is in inherited memory
+            stolen = loot.get("host_private_key")
+            assert stolen is not None
+            assert DsaPrivateKey.from_bytes(stolen).y == \
+                server.env.host_key.y
+            # the child is root: shadow file and user files fall too
+            assert b"alice" in loot.get("shadow_file")
+            assert loot.get("alice_secret") is not None
+            assert loot.get("uid_after_probe") == 0
+        finally:
+            server.stop()
+
+
+class TestPrivsep:
+    def test_host_key_scrubbed(self):
+        server, loot = run_recon(PrivsepSshd, "recon-priv:22")
+        try:
+            assert loot.get("host_private_key") is None
+        finally:
+            server.stop()
+
+    def test_pam_residue_inherited_via_fork(self):
+        """The paper's reference-[8] lesson: library scratch storage is
+        inherited by forked slaves and leaks a *previous* user's
+        password to an exploited slave."""
+        server, loot = run_recon(PrivsepSshd, "recon-priv2:22")
+        try:
+            residue = loot.get("pam_residue")
+            assert residue is not None
+            assert b"alice" in residue and b"wonderland" in residue
+        finally:
+            server.stop()
+
+    def test_no_residue_without_prior_login(self):
+        server, loot = run_recon(PrivsepSshd, "recon-priv3:22",
+                                 warm_login=False)
+        try:
+            assert loot.get("pam_residue") is None
+        finally:
+            server.stop()
+
+    def test_username_probe_oracle(self):
+        """The monitor's getpwnam answers differently for real and fake
+        users — the leak still in portable OpenSSH 4.7 per the paper."""
+        server, loot = run_recon(PrivsepSshd, "recon-priv4:22")
+        try:
+            assert loot.get("username_oracle") is True
+            probes = loot.get("username_probe")
+            assert probes["alice"] is True
+            assert probes["zz-no-such-user"] is False
+        finally:
+            server.stop()
+
+    def test_slave_demoted_and_confined(self):
+        server, loot = run_recon(PrivsepSshd, "recon-priv5:22")
+        try:
+            assert loot.get("uid_after_probe") == 22
+            assert loot.get("setuid_root") is None
+            assert loot.get("shadow_file") is None
+            assert loot.get("alice_secret") is None
+        finally:
+            server.stop()
+
+
+class TestWedge:
+    def test_nothing_leaks(self):
+        server, loot = run_recon(WedgeSshd, "recon-wedge:22")
+        try:
+            assert loot.get("host_private_key") is None
+            assert loot.get("pam_residue") is None
+            assert loot.get("shadow_file") is None
+            assert loot.get("alice_secret") is None
+            assert loot.get("uid_after_probe") == 22
+        finally:
+            server.stop()
+
+    def test_dummy_passwd_defeats_username_probe(self):
+        server, loot = run_recon(WedgeSshd, "recon-wedge2:22")
+        try:
+            assert loot.get("username_oracle") is False
+            probes = loot.get("username_probe")
+            assert probes["alice"] is True
+            assert probes["zz-no-such-user"] is True   # dummy entry
+        finally:
+            server.stop()
+
+    def test_pam_scratch_dies_with_the_gate(self):
+        """PAM runs inside the password callgate: its unscrubbed
+        scratch lands in the gate's private heap, which no worker maps
+        and which is discarded per invocation."""
+        server, loot = run_recon(WedgeSshd, "recon-wedge3:22")
+        try:
+            assert loot.get("pam_residue") is None
+            # the worker's sweep was blocked at every gate compartment
+            denied = [what for what, _ in loot.attempts]
+            assert any("cg:password_gate" in what for what in denied)
+        finally:
+            server.stop()
+
+    def test_skey_dummy_challenge(self):
+        """The reference-[14] fix: challenges come back for any name."""
+        net = Network()
+        server = WedgeSshd(net, "skey-probe:22").start()
+        try:
+            client = SshClient(
+                DetRNG("probe"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "skey-probe:22")
+            real = conn.skey_challenge("alice")
+            fake = conn.skey_challenge("zz-no-such-user")
+            assert real is not None and fake is not None
+            conn.close()
+            # and privsep leaks here, for contrast
+            net2 = Network()
+            leaky = PrivsepSshd(net2, "skey-leak:22").start()
+            try:
+                client2 = SshClient(
+                    DetRNG("probe2"),
+                    expected_host_key=leaky.env.host_key.public())
+                conn2 = client2.connect(net2, "skey-leak:22")
+                assert conn2.skey_challenge("alice") is not None
+                assert conn2.skey_challenge("zz-no-such-user") is None
+                conn2.close()
+            finally:
+                leaky.stop()
+        finally:
+            server.stop()
+
+    def test_auth_cannot_be_bypassed(self):
+        """Skipping the callgates leaves the worker jailed: uid 22,
+        empty chroot, no way to read anyone's files or setuid."""
+        net = Network()
+        server = WedgeSshd(net, "bypass:22").start()
+        try:
+            from repro.attacks.exploit import registry
+            result = {}
+
+            @registry.register("bypass-auth")
+            def bypass_auth(api):
+                kernel = api.kernel
+                # 1. straight to the session without any gate call
+                try:
+                    fd = kernel.open("/home/alice/secret.txt", "r")
+                    result["secret"] = kernel.read(fd, 64)
+                except Exception as exc:   # noqa: BLE001
+                    result["file_denied"] = type(exc).__name__
+                # 2. setuid directly
+                try:
+                    kernel.setuid(1000)
+                    result["setuid"] = "worked"
+                except Exception as exc:   # noqa: BLE001
+                    result["setuid_denied"] = type(exc).__name__
+                # 3. promote self
+                try:
+                    kernel.promote(kernel.current(), uid=1000)
+                    result["promote"] = "worked"
+                except Exception as exc:   # noqa: BLE001
+                    result["promote_denied"] = type(exc).__name__
+                result["uid"] = kernel.getuid()
+
+            client = SshClient(
+                DetRNG("bypasser"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "bypass:22")
+            try:
+                conn.auth_password("x", make_exploit_blob("bypass-auth"))
+            except Exception:
+                pass
+            deadline = time.time() + 5
+            while "uid" not in result and time.time() < deadline:
+                time.sleep(0.02)
+            assert result["file_denied"] == "VfsError"
+            assert result["setuid_denied"] == "SyscallDenied"
+            assert result["promote_denied"] == "SyscallDenied"
+            assert result["uid"] == 22
+        finally:
+            server.stop()
+
+    def test_dsa_sign_gate_is_not_a_raw_oracle(self):
+        """The gate signs only hashes it computes itself: two calls on
+        the same data give signatures over the same digest, and the key
+        never leaves the gate."""
+        net = Network()
+        server = WedgeSshd(net, "sign-oracle:22").start()
+        try:
+            from repro.attacks.exploit import registry
+            result = {}
+
+            @registry.register("sign-probe")
+            def sign_probe(api):
+                kernel = api.kernel
+                gates = api.context["gates"]
+                reply = kernel.cgate(gates["dsa_sign_gate"], None,
+                                     {"data": b"attacker chosen"})
+                result["signature"] = reply["signature"]
+                result["key_read"] = api.try_read(
+                    api.context["key_addr"], 64, what="host key tag")
+
+            loot = start_campaign()
+            client = SshClient(
+                DetRNG("signer"),
+                expected_host_key=server.env.host_key.public())
+            conn = client.connect(net, "sign-oracle:22")
+            try:
+                conn.auth_password("x", make_exploit_blob("sign-probe"))
+            except Exception:
+                pass
+            deadline = time.time() + 5
+            while "signature" not in result and time.time() < deadline:
+                time.sleep(0.02)
+            # the signature is over SHA256("attacker chosen") — valid
+            # as a signature, but usable only as DSA over a hash, never
+            # as a decryption of chosen ciphertext
+            assert server.env.host_key.public().verify(
+                b"attacker chosen", result["signature"])
+            assert result["key_read"] is None
+        finally:
+            server.stop()

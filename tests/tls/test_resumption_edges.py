@@ -1,0 +1,111 @@
+"""Session-resumption corner cases."""
+
+import threading
+
+import pytest
+
+from repro.crypto import DetRNG, rsa
+from repro.net import Network
+from repro.tls import SessionCache, StreamTransport, TlsClient
+from repro.tls.records import RT_APPDATA
+from repro.tls.server_core import ServerHandshake
+
+
+@pytest.fixture(scope="module")
+def server_key():
+    return rsa.generate_keypair(DetRNG("resume-edges"))
+
+
+def serve(net, addr, key, cache, count):
+    listener = net.listen(addr)
+    outcomes = []
+
+    def run():
+        for i in range(count):
+            try:
+                sock = listener.accept(timeout=10)
+                hs = ServerHandshake(StreamTransport(sock, 5), key,
+                                     DetRNG(f"s{i}"),
+                                     session_cache=cache)
+                channel = hs.run()
+                channel.recv_record()
+                channel.send_record(RT_APPDATA, b"ok")
+                outcomes.append(hs.resumed)
+            except Exception as exc:   # noqa: BLE001
+                outcomes.append(exc)
+
+    threading.Thread(target=run, daemon=True).start()
+    return outcomes
+
+
+class TestResumptionEdges:
+    def test_offering_evicted_session_falls_back_to_full(self,
+                                                         server_key):
+        net = Network()
+        cache = SessionCache(capacity=1)
+        outcomes = serve(net, "re:1", server_key, cache, 3)
+        client = TlsClient(DetRNG("c"),
+                           expected_server_key=server_key.public())
+        client.connect(net, "re:1").request(b"a")   # seeds the cache
+        # another client's session evicts ours (capacity 1)
+        other = TlsClient(DetRNG("c2"),
+                          expected_server_key=server_key.public())
+        other.connect(net, "re:1").request(b"b")
+        # our offer now misses: the server runs a full handshake and the
+        # client follows along transparently
+        conn = client.connect(net, "re:1")
+        assert conn.request(b"c") == b"ok"
+        assert not conn.resumed
+        assert outcomes[2] is False
+
+    def test_forged_session_id_offer_gets_full_handshake(self,
+                                                         server_key):
+        net = Network()
+        cache = SessionCache()
+        serve(net, "re:2", server_key, cache, 1)
+        client = TlsClient(DetRNG("c3"),
+                           expected_server_key=server_key.public())
+        from repro.tls.client import ClientSession
+        client.session = ClientSession(b"F" * 16, b"forged-master")
+        conn = client.connect(net, "re:2")
+        assert not conn.resumed
+        assert conn.request(b"x") == b"ok"
+
+    def test_server_resuming_unknown_session_rejected_by_client(
+            self, server_key):
+        """A malicious server claiming resumption of a session the
+        client never had must be refused (it would otherwise dictate
+        the master secret's provenance)."""
+        from repro.core.errors import HandshakeFailure
+        from repro.tls.handshake import ServerHello
+        from repro.tls.records import RecordChannel, RT_HANDSHAKE
+        net = Network()
+        listener = net.listen("re:3")
+
+        def evil():
+            sock = listener.accept(timeout=5)
+            channel = RecordChannel(StreamTransport(sock, 5))
+            channel.recv_record(expect=RT_HANDSHAKE)
+            channel.send_record(RT_HANDSHAKE, ServerHello(
+                b"r" * 32, b"E" * 16, True).pack())   # "resumed"!
+
+        threading.Thread(target=evil, daemon=True).start()
+        client = TlsClient(DetRNG("c4"),
+                           expected_server_key=server_key.public())
+        with pytest.raises(HandshakeFailure, match="unknown session"):
+            client.connect(net, "re:3")
+
+    def test_resumed_sessions_have_fresh_randoms(self, server_key):
+        """Resumption reuses the master but never the channel keys —
+        both sides contribute fresh randoms every connection."""
+        net = Network()
+        cache = SessionCache()
+        serve(net, "re:4", server_key, cache, 2)
+        client = TlsClient(DetRNG("c5"),
+                           expected_server_key=server_key.public())
+        conn1 = client.connect(net, "re:4")
+        conn1.request(b"a")
+        conn2 = client.connect(net, "re:4")
+        conn2.request(b"b")
+        assert conn2.resumed
+        assert conn1.keys != conn2.keys

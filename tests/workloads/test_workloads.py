@@ -1,0 +1,91 @@
+"""Workload kernels: functional determinism and instrumentation shape."""
+
+import pytest
+
+from repro.workloads import SPEC_KERNELS, run_spec, run_workload
+from repro.workloads.memlib import Xorshift, make_kernel
+
+
+class TestMemlib:
+    def test_xorshift_deterministic(self):
+        a = Xorshift(42)
+        b = Xorshift(42)
+        assert [a.next() for _ in range(10)] == \
+            [b.next() for _ in range(10)]
+
+    def test_xorshift_below(self):
+        rng = Xorshift(7)
+        assert all(0 <= rng.below(13) < 13 for _ in range(100))
+
+
+from repro.workloads import ALL_KERNELS
+
+
+class TestKernelsFunctional:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_deterministic_checksum(self, name):
+        _, c1, _ = run_spec(name, "native", "quick")
+        _, c2, _ = run_spec(name, "native", "quick")
+        assert c1 == c2
+
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_instrumentation_preserves_semantics(self, name):
+        """The same answer under native, Pin, and Crowbar."""
+        checks = {mode: run_spec(name, mode, "quick")[1]
+                  for mode in ("native", "pin", "crowbar")}
+        assert len(set(checks.values())) == 1
+
+    def test_extras_off_the_figure(self):
+        """perlbench and gcc are runnable but not plotted — matching
+        the paper's 'we omit three of these ... for brevity'."""
+        from repro.workloads import EXTRA_KERNELS, FIGURE9_ORDER
+        assert set(EXTRA_KERNELS) == {"perlbench", "gcc"}
+        assert not set(EXTRA_KERNELS) & set(FIGURE9_ORDER)
+
+    def test_unknown_scale(self):
+        kernel = make_kernel("t")
+        with pytest.raises(ValueError):
+            SPEC_KERNELS["mcf"](kernel, "galactic")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run_spec("mcf", "turbo", "quick")
+
+
+class TestInstrumentationShape:
+    def test_crowbar_slower_than_native(self):
+        native, _, _ = run_spec("bzip2", "native", "quick")
+        crowbar, _, _ = run_spec("bzip2", "crowbar", "quick")
+        assert crowbar > 2 * native
+
+    def test_pin_between_native_and_crowbar(self):
+        native, _, _ = run_spec("hmmer", "native", "quick")
+        pin, _, events = run_spec("hmmer", "pin", "quick")
+        crowbar, _, _ = run_spec("hmmer", "crowbar", "quick")
+        assert native < pin < crowbar
+        assert events > 0
+
+    def test_crowbar_records_events(self):
+        _, _, events = run_spec("mcf", "crowbar", "quick")
+        assert events > 100
+
+
+@pytest.mark.slow
+class TestAppWorkloads:
+    def test_ssh_login_workload(self):
+        elapsed, checksum, _ = run_workload("ssh", "native", "quick")
+        assert checksum > 0
+
+    def test_apache_request_workload(self):
+        elapsed, checksum, _ = run_workload("apache", "native", "quick")
+        assert checksum > 0
+
+    def test_apps_have_lower_ratio_than_spec(self):
+        """Figure 9's key contrast: servers suffer least under cb-log."""
+        ssh_native, _, _ = run_workload("ssh", "native", "quick")
+        ssh_crowbar, _, _ = run_workload("ssh", "crowbar", "quick")
+        spec_native, _, _ = run_spec("h264ref", "native", "quick")
+        spec_crowbar, _, _ = run_spec("h264ref", "crowbar", "quick")
+        ssh_ratio = ssh_crowbar / ssh_native
+        spec_ratio = spec_crowbar / spec_native
+        assert ssh_ratio < spec_ratio
