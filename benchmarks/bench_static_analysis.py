@@ -1,0 +1,39 @@
+"""Analyzer runtime over every shipped application (static leg only).
+
+The interprocedural fixpoint has to stay cheap enough to run in CI on
+every commit (`python -m repro lint --strict`); this benchmark records
+per-app wall time, rounds-to-convergence, and graph size so regressions
+in the engine show up as numbers rather than as a slow CI job.
+"""
+
+import time
+
+from repro.analysis import lint_app
+from repro.analysis.targets import APP_NAMES
+
+
+def test_static_analysis_runtime(benchmark):
+    print("\nStatic analyzer runtime (per shipped app):")
+    timings = {}
+    for app in APP_NAMES:
+        start = time.perf_counter()
+        results = lint_app(app, with_trace=False)
+        elapsed = time.perf_counter() - start
+        rounds = max(r.inferred.rounds for r in results)
+        visited = max(r.inferred.visited for r in results)
+        timings[app] = elapsed
+        print(f"  {app:14s} {elapsed:7.3f}s  "
+              f"{len(results)} compartments, "
+              f"{visited} functions, {rounds} rounds")
+        benchmark.extra_info[app] = {
+            "seconds": round(elapsed, 4),
+            "compartments": len(results),
+            "functions": visited,
+            "rounds": rounds,
+        }
+        assert all(r.inferred.converged for r in results)
+        assert all(r.findings == [] for r in results)
+
+    # the whole static sweep must stay interactive
+    assert sum(timings.values()) < 30.0
+    benchmark(lambda: None)

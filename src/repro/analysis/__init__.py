@@ -1,0 +1,63 @@
+"""Interprocedural least-privilege analysis (static + three-way lint).
+
+The package has four layers:
+
+* :mod:`repro.analysis.callgraph` — a cycle-safe abstract interpreter
+  over the application source (fixpoint iteration, finite value sets);
+* :mod:`repro.analysis.infer` — the Wedge kernel model on top of it,
+  turning kernel call sites into an :class:`InferredPolicy` (memory
+  tags, file descriptors, callgates, syscalls);
+* :mod:`repro.analysis.lint` — the three-way diff of declared vs
+  static vs traced policies, producing typed findings;
+* :mod:`repro.analysis.targets` — the shipped applications as lintable
+  targets (``python -m repro lint``).
+"""
+
+from repro.analysis.callgraph import CallGraphAnalysis
+from repro.analysis.infer import GateRef, InferredPolicy, infer_policy
+from repro.analysis.lint import (
+    SEVERITY,
+    CompartmentResult,
+    CompartmentSpec,
+    Finding,
+    PolicyView,
+    declared_view,
+    gate_compartment_specs,
+    gate_refs_of,
+    lint_compartment,
+    static_view,
+    tag_label,
+    traced_view,
+)
+from repro.analysis.report import format_compartment, format_report
+from repro.analysis.targets import (
+    APP_NAMES,
+    TARGETS,
+    lint_app,
+    lint_shipped,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "CallGraphAnalysis",
+    "CompartmentResult",
+    "CompartmentSpec",
+    "Finding",
+    "GateRef",
+    "InferredPolicy",
+    "PolicyView",
+    "SEVERITY",
+    "TARGETS",
+    "declared_view",
+    "format_compartment",
+    "format_report",
+    "gate_compartment_specs",
+    "gate_refs_of",
+    "infer_policy",
+    "lint_app",
+    "lint_compartment",
+    "lint_shipped",
+    "static_view",
+    "tag_label",
+    "traced_view",
+]

@@ -1,0 +1,1022 @@
+"""Interprocedural call-graph construction with cycle-safe fixpoint.
+
+This replaces the depth-2 descent of :mod:`repro.crowbar.static` with a
+real (if deliberately small) abstract interpreter:
+
+* Every reachable function becomes a :class:`FunctionNode` holding a
+  flow-insensitive abstract environment (``name -> ValueSet``) and an
+  abstract return value.  Call sites join argument values into the
+  callee's environment and read the callee's current return value.
+* The whole graph is iterated to a **fixpoint**: nodes are re-walked
+  until no environment, attribute, or return set changes.  Recursion is
+  therefore safe — a cycle simply stops producing new facts.  The value
+  universe (constants from the program text, objects reachable from the
+  root bindings, one abstract instance per constructor call site) is
+  finite, so termination is guaranteed; a round cap backstops bugs.
+* Values are over-approximated as *sets of possibilities*.  Concrete
+  Python objects from the analysis bindings (a real ``Kernel``, ``Tag``,
+  ``Buffer``, a server instance...) flow through directly; objects the
+  analysed code would construct at runtime are modelled abstractly
+  (:class:`AbstractInstance`, :class:`AbstractMap`, :class:`Closure`).
+
+What the engine does *not* do by itself is assign meaning to kernel
+operations — that is the job of an *intrinsics* object (see
+:class:`repro.analysis.infer.KernelModel`), which intercepts method
+calls on chosen receivers (the kernel, buffers) and records grants.
+The split keeps the fixpoint machinery policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+
+#: Modules whose functions the analysis walks into.  The substrate
+#: (``repro.core``) is the TCB and is modelled by intrinsics instead;
+#: exploit payloads (``repro.attacks``) must never contribute grants to
+#: a policy; crowbar/analysis are the tools themselves.
+FOLLOW_PREFIX = "repro."
+NO_FOLLOW_PREFIXES = ("repro.core", "repro.crowbar", "repro.attacks",
+                      "repro.analysis")
+
+#: Hard caps: fixpoint rounds and per-ValueSet width.
+MAX_ROUNDS = 80
+MAX_WIDTH = 64
+
+
+def default_follow(fn):
+    """Should the analysis descend into *fn*'s body?"""
+    module = getattr(fn, "__module__", None) or ""
+    if not module.startswith(FOLLOW_PREFIX):
+        return False
+    return not module.startswith(NO_FOLLOW_PREFIXES)
+
+
+# ---------------------------------------------------------------------------
+# the value domain
+# ---------------------------------------------------------------------------
+
+_SCALARS = (int, float, bool, str, bytes, type(None))
+
+
+def _value_key(value):
+    """Dedup key: scalars by equality, everything else by identity."""
+    if isinstance(value, _SCALARS):
+        return ("scalar", type(value).__name__, value)
+    return ("object", id(value))
+
+
+class ValueSet:
+    """A finite over-approximation of an expression's possible values.
+
+    The empty set means *unknown* — no information, not "no value".
+    """
+
+    __slots__ = ("_items", "widened")
+
+    def __init__(self, values=()):
+        self._items = {}
+        self.widened = False
+        for value in values:
+            self.add(value)
+
+    def add(self, value):
+        """Add one value; returns True if the set grew."""
+        if len(self._items) >= MAX_WIDTH:
+            self.widened = True
+            return False
+        key = _value_key(value)
+        if key in self._items:
+            return False
+        self._items[key] = value
+        return True
+
+    def update(self, other):
+        changed = False
+        for value in other:
+            if self.add(value):
+                changed = True
+        return changed
+
+    def copy(self):
+        out = ValueSet()
+        out._items = dict(self._items)
+        return out
+
+    def __iter__(self):
+        return iter(list(self._items.values()))
+
+    def __len__(self):
+        return len(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    def __repr__(self):
+        return f"<ValueSet {list(self._items.values())!r}>"
+
+
+class AbstractInstance:
+    """One abstract object per constructor call site.
+
+    ``cls`` may be a real class (method lookup descends into it) or a
+    plain label string for synthesised objects (e.g. the sthread the
+    intrinsics hand out for ``kernel.current()``).
+    """
+
+    __slots__ = ("cls", "label", "attrs")
+
+    def __init__(self, cls, label=""):
+        self.cls = cls if isinstance(cls, type) else None
+        self.label = label or getattr(cls, "__name__", str(cls))
+        self.attrs = {}
+
+    def attr_set(self, name):
+        vs = self.attrs.get(name)
+        if vs is None:
+            vs = self.attrs[name] = ValueSet()
+        return vs
+
+    def __repr__(self):
+        return f"<AbstractInstance {self.label}>"
+
+
+class AbstractMap:
+    """An abstract dict.  Constant keys keep per-key value sets; other
+    keys collapse into ``rest``.
+
+    One domain-specific refinement keeps the apps' gate-table idiom
+    precise: in ``mapping[record.entry.__name__] = gate_id`` both the
+    key set and the value set range over *all* granted gates, which
+    would smear every gate under every name.  When a string key is
+    stored together with gate references (values exposing a ``name``),
+    only the reference whose name matches the key is kept.
+    """
+
+    __slots__ = ("label", "keyed", "rest", "keys")
+
+    def __init__(self, label=""):
+        self.label = label
+        self.keyed = {}       # constant key -> ValueSet
+        self.rest = ValueSet()
+        self.keys = ValueSet()
+
+    def store(self, key_values, values):
+        changed = False
+        const_keys = [k for k in key_values if isinstance(k, _SCALARS)]
+        if self.keys.update(key_values):
+            changed = True
+        if not const_keys:
+            return self.rest.update(values) or changed
+        for key in const_keys:
+            slot = self.keyed.get(key)
+            if slot is None:
+                slot = self.keyed[key] = ValueSet()
+            for value in values:
+                name = getattr(value, "name", None)
+                if (isinstance(key, str) and isinstance(name, str)
+                        and name != key
+                        and any(getattr(v, "name", None) == key
+                                for v in values)):
+                    continue   # the correlated reference exists; skip
+                if slot.add(value):
+                    changed = True
+        return changed
+
+    def load(self, key_values):
+        const_keys = [k for k in key_values if isinstance(k, _SCALARS)]
+        out = ValueSet()
+        if const_keys and all(k in self.keyed for k in const_keys):
+            for key in const_keys:
+                out.update(self.keyed[key])
+        else:
+            for slot in self.keyed.values():
+                out.update(slot)
+        out.update(self.rest)
+        return out
+
+    def all_values(self):
+        out = ValueSet()
+        for slot in self.keyed.values():
+            out.update(slot)
+        out.update(self.rest)
+        return out
+
+    def __repr__(self):
+        return f"<AbstractMap {self.label} keys={list(self.keyed)}>"
+
+
+class AbstractSeq:
+    """A tuple/list/set literal: a tuple of per-element value sets."""
+
+    __slots__ = ("elts",)
+
+    def __init__(self, elts):
+        self.elts = tuple(elts)
+
+    def join(self):
+        out = ValueSet()
+        for vs in self.elts:
+            out.update(vs)
+        return out
+
+    def __repr__(self):
+        return f"<AbstractSeq n={len(self.elts)}>"
+
+
+class Closure:
+    """A nested ``def`` or ``lambda``: body plus the defining scope."""
+
+    __slots__ = ("node", "outer", "qualname")
+
+    def __init__(self, node, outer, qualname):
+        self.node = node          # ast.FunctionDef / ast.Lambda
+        self.outer = outer        # defining FunctionNode
+        self.qualname = qualname
+
+    def __repr__(self):
+        return f"<Closure {self.qualname}>"
+
+
+class FunctionNode:
+    """One function in the call graph, with its joined environment."""
+
+    __slots__ = ("key", "qualname", "params", "vararg", "kwarg",
+                 "body", "globals", "defaults", "env", "ret", "closure")
+
+    def __init__(self, key, qualname, args, body, globals_,
+                 closure=None):
+        self.key = key
+        self.qualname = qualname
+        self.params = ([a.arg for a in args.posonlyargs]
+                       + [a.arg for a in args.args]
+                       + [a.arg for a in args.kwonlyargs])
+        self.vararg = args.vararg.arg if args.vararg else None
+        self.kwarg = args.kwarg.arg if args.kwarg else None
+        self.defaults = args.defaults
+        self.body = body
+        self.globals = globals_
+        self.env = {}
+        self.ret = ValueSet()
+        self.closure = closure    # defining FunctionNode, for Closures
+
+    def env_set(self, name):
+        vs = self.env.get(name)
+        if vs is None:
+            vs = self.env[name] = ValueSet()
+        return vs
+
+    def __repr__(self):
+        return f"<FunctionNode {self.qualname}>"
+
+
+# ---------------------------------------------------------------------------
+# the analysis driver
+# ---------------------------------------------------------------------------
+
+def _parse_function(fn):
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source)
+    fdef = tree.body[0]
+    if not isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"not a function definition: {fn!r}")
+    return fdef
+
+
+class CallGraphAnalysis:
+    """Builds the call graph and iterates all nodes to a fixpoint."""
+
+    def __init__(self, intrinsics=None, follow=None,
+                 max_rounds=MAX_ROUNDS):
+        self.intrinsics = intrinsics
+        self.follow = follow or default_follow
+        self.max_rounds = max_rounds
+        self.nodes = {}            # key -> FunctionNode
+        self.edges = set()         # (caller qualname, callee qualname)
+        self.rounds = 0
+        self.converged = True
+        self.changed = False
+        self._instances = {}       # id(ast.Call) -> (node, instance)
+        self._maps = {}            # id(ast node) -> (node, AbstractMap)
+        self._closures = {}        # id(ast def) -> (node, Closure)
+        self._unparsable = []
+
+    # -- node management --------------------------------------------------
+
+    def node_for_function(self, fn):
+        key = fn.__code__
+        node = self.nodes.get(key)
+        if node is None:
+            try:
+                fdef = _parse_function(fn)
+            except (OSError, TypeError, SyntaxError):
+                self._unparsable.append(getattr(fn, "__qualname__",
+                                                repr(fn)))
+                return None
+            node = FunctionNode(key, fn.__qualname__, fdef.args,
+                                fdef.body, fn.__globals__)
+            if fn.__closure__:
+                # a real closure: its free variables are concrete
+                # runtime values — seed the environment with them
+                for name, cell in zip(fn.__code__.co_freevars,
+                                      fn.__closure__):
+                    try:
+                        node.env_set(name).add(cell.cell_contents)
+                    except ValueError:
+                        pass
+            self.nodes[key] = node
+            self.changed = True
+        return node
+
+    def node_for_closure(self, clo):
+        key = id(clo.node)
+        node = self.nodes.get(key)
+        if node is None:
+            body = (clo.node.body if isinstance(clo.node.body, list)
+                    else [ast.Return(value=clo.node.body)])
+            node = FunctionNode(key, clo.qualname, clo.node.args, body,
+                                clo.outer.globals, closure=clo.outer)
+            self.nodes[key] = node
+            self.changed = True
+        return node
+
+    def instance_for(self, call_node, cls, walker_node):
+        entry = self._instances.get(id(call_node))
+        if entry is None:
+            inst = AbstractInstance(cls)
+            self._instances[id(call_node)] = (call_node, inst)
+            return inst
+        return entry[1]
+
+    def map_for(self, ast_node, label=""):
+        entry = self._maps.get(id(ast_node))
+        if entry is None:
+            amap = AbstractMap(label)
+            self._maps[id(ast_node)] = (ast_node, amap)
+            return amap
+        return entry[1]
+
+    def closure_for(self, def_node, outer, qualname):
+        entry = self._closures.get(id(def_node))
+        if entry is None:
+            clo = Closure(def_node, outer, qualname)
+            self._closures[id(def_node)] = (def_node, clo)
+            return clo
+        return entry[1]
+
+    # -- entry points ------------------------------------------------------
+
+    def add_root(self, fn, bindings):
+        """Register *fn* as a root with its name bindings."""
+        fn = getattr(fn, "__func__", fn)
+        node = self.node_for_function(fn)
+        if node is None:
+            raise TypeError(f"cannot analyse {fn!r}: no source")
+        for name, value in bindings.items():
+            node.env_set(name).add(value)
+        return node
+
+    def run(self):
+        """Iterate every node until nothing changes (the fixpoint)."""
+        for _ in range(self.max_rounds):
+            self.rounds += 1
+            self.changed = False
+            for node in list(self.nodes.values()):
+                _Walker(self, node).walk()
+            if not self.changed:
+                return self
+        self.converged = False
+        return self
+
+    def walk_once(self):
+        """One extra pass over every node, without growing the graph.
+
+        Used after convergence as a *reporting* pass: intrinsics that
+        record diagnostics (e.g. unresolved operands) can reset their
+        lists first, so entries reflect the final environments rather
+        than the not-yet-propagated early rounds.
+        """
+        for node in list(self.nodes.values()):
+            _Walker(self, node).walk()
+        return self
+
+    def mark_changed(self, did_change):
+        if did_change:
+            self.changed = True
+        return did_change
+
+
+# ---------------------------------------------------------------------------
+# the abstract walker (one pass over one function body)
+# ---------------------------------------------------------------------------
+
+_BUILTIN_PASSTHROUGH = frozenset(["iter", "list", "tuple", "set",
+                                  "frozenset", "sorted", "reversed"])
+
+
+class _Walker:
+    """Flow-insensitive abstract execution of one FunctionNode body."""
+
+    def __init__(self, analysis, node):
+        self.analysis = analysis
+        self.node = node
+
+    def walk(self):
+        if self.node.closure is not None:
+            # a closure sees the defining scope's names (monotone join)
+            for name, vs in self.node.closure.env.items():
+                if name not in self.node.params:
+                    self.mark(self.node.env_set(name).update(vs))
+        self.exec_block(self.node.body)
+
+    def mark(self, changed):
+        return self.analysis.mark_changed(changed)
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, stmts):
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt):
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            self.bind(stmt.target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.mark(self.node.ret.update(self.eval(stmt.value)))
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            elements = self.elements_of(self.eval(stmt.iter))
+            self.bind(stmt.target, elements)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                ctx = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, ctx)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.FunctionDef):
+            clo = self.analysis.closure_for(
+                stmt, self.node, f"{self.node.qualname}.{stmt.name}")
+            self.mark(self.node.env_set(stmt.name).add(clo))
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        # Pass/Break/Continue/Global/Nonlocal/Import*: no dataflow here
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, target, values):
+        if isinstance(target, ast.Name):
+            self.mark(self.node.env_set(target.id).update(values))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self.bind_unpack(target.elts, values)
+        elif isinstance(target, ast.Attribute):
+            for base in self.eval(target.value):
+                if isinstance(base, AbstractInstance):
+                    self.mark(base.attr_set(target.attr).update(values))
+                # never mutate concrete objects
+        elif isinstance(target, ast.Subscript):
+            key = self.eval(target.slice)
+            for base in self.eval(target.value):
+                if isinstance(base, AbstractMap):
+                    self.mark(base.store(key, values))
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, values)
+
+    def bind_unpack(self, elt_targets, values):
+        """Distribute tuple-unpacking over concrete tuples and seqs."""
+        per_slot = [ValueSet() for _ in elt_targets]
+        for value in values:
+            if isinstance(value, (tuple, list)):
+                if len(value) == len(elt_targets):
+                    for i, item in enumerate(value):
+                        per_slot[i].add(item)
+                else:
+                    for slot in per_slot:
+                        slot.update(ValueSet(value))
+            elif isinstance(value, AbstractSeq):
+                if len(value.elts) == len(elt_targets):
+                    for i, vs in enumerate(value.elts):
+                        per_slot[i].update(vs)
+                else:
+                    joined = value.join()
+                    for slot in per_slot:
+                        slot.update(joined)
+        for target, slot in zip(elt_targets, per_slot):
+            if isinstance(target, ast.Starred):
+                self.bind(target.value, slot)
+            else:
+                self.bind(target, slot)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node):
+        if node is None:
+            return ValueSet()
+        method = getattr(self, f"eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # unhandled expression kinds: evaluate children for effects
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return ValueSet()
+
+    def eval_Constant(self, node):
+        return ValueSet([node.value])
+
+    def eval_Name(self, node):
+        vs = self.node.env.get(node.id)
+        if vs:
+            return vs.copy()
+        if node.id in self.node.globals:
+            return ValueSet([self.node.globals[node.id]])
+        if hasattr(builtins, node.id):
+            return ValueSet([getattr(builtins, node.id)])
+        return ValueSet()
+
+    def eval_Attribute(self, node):
+        out = ValueSet()
+        for base in self.eval(node.value):
+            out.update(self.resolve_attr(base, node.attr))
+        return out
+
+    def resolve_attr(self, base, attr):
+        intr = self.analysis.intrinsics
+        if intr is not None:
+            hit = intr.attribute(base, attr)
+            if hit is not None:
+                return hit
+        if isinstance(base, AbstractInstance):
+            out = ValueSet()
+            vs = base.attrs.get(attr)
+            if vs:
+                out.update(vs)
+            if base.cls is not None:
+                cls_attr = getattr(base.cls, attr, None)
+                if cls_attr is not None and not callable(cls_attr) \
+                        and not isinstance(cls_attr, property):
+                    out.add(cls_attr)
+            return out
+        if isinstance(base, (AbstractMap, AbstractSeq, Closure)):
+            return ValueSet()
+        if isinstance(base, _SCALARS):
+            return ValueSet()
+        # concrete object / module / class: a plain data attribute or a
+        # bound method is safe to materialise; properties are not run
+        if isinstance(getattr(type(base), attr, None), property):
+            return ValueSet()
+        try:
+            value = getattr(base, attr)
+        except Exception:
+            return ValueSet()
+        return ValueSet([value])
+
+    def eval_Subscript(self, node):
+        keys = self.eval(node.slice)
+        out = ValueSet()
+        for base in self.eval(node.value):
+            if isinstance(base, AbstractMap):
+                out.update(base.load(keys))
+            elif isinstance(base, dict):
+                const = [k for k in keys
+                         if isinstance(k, _SCALARS) and k in base]
+                if const:
+                    for key in const:
+                        out.add(base[key])
+                elif not keys:
+                    for value in base.values():
+                        out.add(value)
+            elif isinstance(base, (tuple, list)):
+                const = [k for k in keys if isinstance(k, int)
+                         and not isinstance(k, bool)
+                         and -len(base) <= k < len(base)]
+                if const:
+                    for key in const:
+                        out.add(base[key])
+                else:
+                    out.update(ValueSet(base))
+            elif isinstance(base, AbstractSeq):
+                out.update(base.join())
+        return out
+
+    def eval_BinOp(self, node):
+        # offset arithmetic: the left operand names the base object;
+        # joining both sides would let small integer constants alias
+        # into unrelated segments
+        left = self.eval(node.left)
+        if left:
+            self.eval(node.right)
+            return left
+        return self.eval(node.right)
+
+    def eval_BoolOp(self, node):
+        out = ValueSet()
+        for value in node.values:
+            out.update(self.eval(value))
+        return out
+
+    def eval_IfExp(self, node):
+        self.eval(node.test)
+        out = self.eval(node.body)
+        out.update(self.eval(node.orelse))
+        return out
+
+    def eval_Compare(self, node):
+        self.eval(node.left)
+        for comp in node.comparators:
+            self.eval(comp)
+        return ValueSet()
+
+    def eval_UnaryOp(self, node):
+        self.eval(node.operand)
+        return ValueSet()
+
+    def eval_Tuple(self, node):
+        return ValueSet([AbstractSeq([self.eval(e) for e in node.elts])])
+
+    eval_List = eval_Tuple
+    eval_Set = eval_Tuple
+
+    def eval_Dict(self, node):
+        amap = self.analysis.map_for(node, "dict-literal")
+        for key_node, value_node in zip(node.keys, node.values):
+            values = self.eval(value_node)
+            if key_node is None:       # {**other}
+                for value in values:
+                    if isinstance(value, AbstractMap):
+                        self.mark(amap.rest.update(value.all_values()))
+                    elif isinstance(value, dict):
+                        self.mark(amap.rest.update(
+                            ValueSet(value.values())))
+                continue
+            self.mark(amap.store(self.eval(key_node), values))
+        return ValueSet([amap])
+
+    def eval_Starred(self, node):
+        return self.eval(node.value)
+
+    def eval_Lambda(self, node):
+        clo = self.analysis.closure_for(
+            node, self.node, f"{self.node.qualname}.<lambda>")
+        return ValueSet([clo])
+
+    def eval_JoinedStr(self, node):
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self.eval(value.value)
+        return ValueSet()
+
+    def eval_Await(self, node):
+        return self.eval(node.value)
+
+    def eval_NamedExpr(self, node):
+        values = self.eval(node.value)
+        self.bind(node.target, values)
+        return values
+
+    def _eval_comprehension(self, node, result_exprs):
+        for gen in node.generators:
+            elements = self.elements_of(self.eval(gen.iter))
+            self.bind(gen.target, elements)
+            for cond in gen.ifs:
+                self.eval(cond)
+        return [self.eval(e) for e in result_exprs]
+
+    def eval_ListComp(self, node):
+        (elt,) = self._eval_comprehension(node, [node.elt])
+        return ValueSet([AbstractSeq([elt])])
+
+    eval_SetComp = eval_ListComp
+    eval_GeneratorExp = eval_ListComp
+
+    def eval_DictComp(self, node):
+        keys, values = self._eval_comprehension(node,
+                                                [node.key, node.value])
+        amap = self.analysis.map_for(node, "dict-comp")
+        self.mark(amap.store(keys, values))
+        return ValueSet([amap])
+
+    # -- containers --------------------------------------------------------
+
+    def elements_of(self, values):
+        out = ValueSet()
+        for value in values:
+            if isinstance(value, (tuple, list, set, frozenset)):
+                out.update(ValueSet(value))
+            elif isinstance(value, dict):
+                out.update(ValueSet(value.keys()))
+            elif isinstance(value, AbstractSeq):
+                out.update(value.join())
+            elif isinstance(value, AbstractMap):
+                out.update(value.keys)
+        return out
+
+    # -- calls -------------------------------------------------------------
+
+    def eval_Call(self, node):
+        args = [self.eval(a) for a in node.args
+                if not isinstance(a, ast.Starred)]
+        star_args = [self.eval(a.value) for a in node.args
+                     if isinstance(a, ast.Starred)]
+        kwargs = {}
+        kw_rest = ValueSet()
+        for kw in node.keywords:
+            if kw.arg is None:          # **mapping
+                for value in self.eval(kw.value):
+                    if isinstance(value, AbstractMap):
+                        kw_rest.update(value.all_values())
+                    elif isinstance(value, dict):
+                        for k, v in value.items():
+                            kwargs.setdefault(k, ValueSet()).add(v)
+            else:
+                kwargs[kw.arg] = self.eval(kw.value)
+        call = _CallSite(node, args, star_args, kwargs, kw_rest)
+
+        out = ValueSet()
+        handled = False
+        if isinstance(node.func, ast.Attribute):
+            bases = self.eval(node.func.value)
+            attr = node.func.attr
+            for base in bases:
+                result = self.dispatch_method(base, attr, call)
+                if result is not None:
+                    out.update(result)
+                    handled = True
+            if not handled:
+                self.unknown_call(attr, node, had_target=bool(bases))
+        else:
+            callees = self.eval(node.func)
+            for callee in callees:
+                result = self.dispatch_value(callee, call)
+                if result is not None:
+                    out.update(result)
+                    handled = True
+            if not handled:
+                name = (node.func.id
+                        if isinstance(node.func, ast.Name) else "?")
+                self.unknown_call(name, node, had_target=bool(callees))
+        return out
+
+    def unknown_call(self, name, node, *, had_target):
+        intr = self.analysis.intrinsics
+        if intr is not None:
+            intr.unknown_call(name, node, self, had_target=had_target)
+
+    def dispatch_method(self, base, attr, call):
+        """A ``base.attr(...)`` call; returns a ValueSet or None."""
+        intr = self.analysis.intrinsics
+        if intr is not None:
+            hit = intr.method_call(base, attr, call, self)
+            if hit is not None:
+                return hit
+        if isinstance(base, AbstractInstance):
+            out = ValueSet()
+            handled = False
+            if base.cls is not None:
+                target = getattr(base.cls, attr, None)
+                target = getattr(target, "__func__", target)
+                if inspect.isfunction(target):
+                    out.update(self.call_function(
+                        target, call, self_value=base))
+                    handled = True
+            stored = base.attrs.get(attr)
+            if stored:
+                for value in stored:
+                    result = self.dispatch_value(value, call)
+                    if result is not None:
+                        out.update(result)
+                        handled = True
+            return out if handled else None
+        if isinstance(base, (AbstractMap, AbstractSeq, Closure)):
+            return self.dict_method(base, attr, call)
+        if isinstance(base, dict):
+            return self.dict_method(base, attr, call)
+        if isinstance(base, _SCALARS) or base is None:
+            return ValueSet()   # scalar methods: opaque but harmless
+        # concrete object, class, or module
+        owner = base if inspect.isclass(base) or inspect.ismodule(base) \
+            else type(base)
+        target = getattr(owner, attr, None)
+        target = getattr(target, "__func__", target)
+        if inspect.isfunction(target):
+            if self.analysis.follow(target):
+                self_value = None if inspect.isclass(base) \
+                    or inspect.ismodule(base) else base
+                if inspect.ismodule(base):
+                    return self.call_function(target, call)
+                return self.call_function(target, call,
+                                          self_value=self_value)
+            return ValueSet()   # outside the followed set: opaque
+        if target is not None:
+            return ValueSet()   # builtin / C-level method: opaque
+        return None
+
+    def dict_method(self, base, attr, call):
+        if isinstance(base, dict):
+            if attr == "get":
+                keys = call.arg(0, "key") or ValueSet()
+                out = ValueSet()
+                hit = False
+                for key in keys:
+                    if isinstance(key, _SCALARS) and key in base:
+                        out.add(base[key])
+                        hit = True
+                if not hit:
+                    out.update(ValueSet(base.values()))
+                    if call.arg(1, "default"):
+                        out.update(call.arg(1, "default"))
+                return out
+            if attr in ("keys",):
+                return ValueSet([tuple(base.keys())])
+            if attr in ("values",):
+                return ValueSet([tuple(base.values())])
+            if attr in ("items",):
+                return ValueSet([tuple(base.items())])
+            if attr in ("pop", "setdefault"):
+                return ValueSet(base.values())
+            return ValueSet()
+        if isinstance(base, AbstractMap):
+            if attr in ("get", "pop"):
+                keys = call.arg(0, "key") or ValueSet()
+                out = base.load(keys) if keys else base.all_values()
+                default = call.arg(1, "default")
+                if default:
+                    out.update(default)
+                return out
+            if attr == "setdefault":
+                keys = call.arg(0, "key") or ValueSet()
+                default = call.arg(1, "default") or ValueSet()
+                self.mark(base.store(keys, default))
+                return base.load(keys)
+            if attr == "update":
+                extra = call.arg(0, None) or ValueSet()
+                for value in extra:
+                    if isinstance(value, AbstractMap):
+                        self.mark(base.rest.update(value.all_values()))
+                    elif isinstance(value, dict):
+                        self.mark(base.rest.update(
+                            ValueSet(value.values())))
+                return ValueSet()
+            if attr == "values":
+                return ValueSet([AbstractSeq([base.all_values()])])
+            if attr == "items":
+                pair = AbstractSeq([base.keys, base.all_values()])
+                return ValueSet([AbstractSeq([ValueSet([pair])])])
+            if attr == "keys":
+                return ValueSet([AbstractSeq([base.keys.copy()])])
+            return ValueSet()
+        return ValueSet()
+
+    def dispatch_value(self, callee, call):
+        """A plain ``callee(...)``; returns a ValueSet or None."""
+        intr = self.analysis.intrinsics
+        if intr is not None:
+            hit = intr.plain_call(callee, call, self)
+            if hit is not None:
+                return hit
+        if inspect.ismethod(callee):
+            fn = callee.__func__
+            if self.analysis.follow(fn):
+                return self.call_function(fn, call,
+                                          self_value=callee.__self__)
+            return ValueSet()
+        if isinstance(callee, Closure):
+            node = self.analysis.node_for_closure(callee)
+            return self.enter(node, call)
+        if inspect.isfunction(callee):
+            if self.analysis.follow(callee):
+                return self.call_function(callee, call)
+            return ValueSet()
+        if inspect.isclass(callee):
+            if self.analysis.follow(callee):
+                inst = self.analysis.instance_for(call.node, callee,
+                                                  self.node)
+                init = getattr(callee, "__init__", None)
+                init = getattr(init, "__func__", init)
+                if inspect.isfunction(init):
+                    self.call_function(init, call, self_value=inst)
+                return ValueSet([inst])
+            return ValueSet()
+        if callee is getattr(builtins, "next", None):
+            return self.elements_of(call.arg(0, None) or ValueSet())
+        if callee in (getattr(builtins, n, None)
+                      for n in _BUILTIN_PASSTHROUGH):
+            return (call.arg(0, None) or ValueSet()).copy()
+        if callee is getattr(builtins, "dict", None):
+            seed = call.arg(0, None) or ValueSet()
+            amap = self.analysis.map_for(call.node, "dict()")
+            for value in seed:
+                if isinstance(value, dict):
+                    for k, v in value.items():
+                        self.mark(amap.store(ValueSet([k]),
+                                             ValueSet([v])))
+                elif isinstance(value, AbstractMap):
+                    self.mark(amap.rest.update(value.all_values()))
+                    self.mark(amap.keys.update(value.keys))
+                    for k, slot in value.keyed.items():
+                        self.mark(amap.store(ValueSet([k]), slot))
+            for name, vs in call.kwargs.items():
+                self.mark(amap.store(ValueSet([name]), vs))
+            return ValueSet([amap])
+        if callable(callee):
+            return ValueSet()   # other builtins: opaque
+        return None
+
+    def call_function(self, fn, call, self_value=None):
+        node = self.analysis.node_for_function(fn)
+        if node is None:
+            return ValueSet()
+        return self.enter(node, call, self_value=self_value)
+
+    def enter(self, callee, call, self_value=None):
+        """Join the call's arguments into *callee* and use its ret."""
+        self.analysis.edges.add((self.node.qualname, callee.qualname))
+        params = list(callee.params)
+        positional = list(call.args)
+        if self_value is not None and params:
+            self.mark(callee.env_set(params[0]).add(self_value))
+            params = params[1:]
+        for name, values in zip(params, positional):
+            self.mark(callee.env_set(name).update(values))
+        leftover = positional[len(params):]
+        for name, values in call.kwargs.items():
+            if name in params:
+                self.mark(callee.env_set(name).update(values))
+            elif callee.kwarg is not None:
+                amap = self.analysis.map_for(callee.body[0]
+                                             if callee.body else call.node,
+                                             f"**{callee.kwarg}")
+                self.mark(amap.store(ValueSet([name]), values))
+                self.mark(callee.env_set(callee.kwarg).add(amap))
+        if call.kw_rest and callee.kwarg is not None:
+            amap = self.analysis.map_for(callee.body[0]
+                                         if callee.body else call.node,
+                                         f"**{callee.kwarg}")
+            self.mark(amap.rest.update(call.kw_rest))
+            self.mark(callee.env_set(callee.kwarg).add(amap))
+        if callee.vararg is not None and (leftover or call.star_args):
+            joined = ValueSet()
+            for vs in leftover:
+                joined.update(vs)
+            for vs in call.star_args:
+                joined.update(self.elements_of(vs))
+            self.mark(callee.env_set(callee.vararg).add(
+                AbstractSeq([joined])))
+        # constant defaults for parameters no call site supplied
+        n_def = len(callee.defaults)
+        if n_def:
+            for param, default in zip(callee.params[-n_def:],
+                                      callee.defaults):
+                if isinstance(default, ast.Constant) \
+                        and param not in callee.env:
+                    self.mark(callee.env_set(param).add(default.value))
+        return callee.ret.copy()
+
+
+class _CallSite:
+    """Evaluated arguments of one call expression."""
+
+    __slots__ = ("node", "args", "star_args", "kwargs", "kw_rest")
+
+    def __init__(self, node, args, star_args, kwargs, kw_rest):
+        self.node = node
+        self.args = args
+        self.star_args = star_args
+        self.kwargs = kwargs
+        self.kw_rest = kw_rest
+
+    def arg(self, index, name):
+        """The value set for positional *index* / keyword *name*."""
+        if index is not None and index < len(self.args):
+            return self.args[index]
+        if name is not None and name in self.kwargs:
+            return self.kwargs[name]
+        return None

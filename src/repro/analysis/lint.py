@@ -1,0 +1,341 @@
+"""The three-way least-privilege lint: declared / static / traced.
+
+For each compartment the linter lines up three policies:
+
+* **declared** — the ``SecurityContext`` the application actually
+  installs (what an exploit in the compartment gets);
+* **static** — what :func:`repro.analysis.infer.infer_policy` says any
+  code path could need (a superset of correct executions, §7's
+  over-approximation warning);
+* **traced** — what a Crowbar (cb-log) trace of an innocuous workload
+  shows the compartment *using* (memory only: the trace records memory
+  accesses, not fd or gate activity).
+
+and emits typed findings:
+
+``UNUSED_GRANT``
+    declared privilege (memory tag, fd, or callgate) that is neither
+    statically reachable nor dynamically used — pure attack surface.
+``OVER_PRIV``
+    declared mode exceeds every observed need (e.g. ``rw`` where both
+    static and trace say ``r``).
+``SENSITIVE_EXPOSURE``
+    a tag from the sensitive set (e.g. the RSA private key) is
+    declared for or statically reachable from an exploit-facing
+    compartment — exactly the leak §7 warns static derivation invites.
+``UNSOUND``
+    the trace used a memory grant the static pass failed to require —
+    the analyzer's unsoundness debt, which must be zero on shipped apps.
+``MISSING_SYSCALL``
+    a statically reachable syscall the compartment's SELinux domain
+    denies — the run would fault on a legitimate path.
+
+Per-connection tags get fresh names each connection (``session0``,
+``session1``...), so policies are compared by *label*: the tag name
+with any trailing connection counter stripped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.infer import GateRef, infer_policy
+from repro.core.errors import SyscallDenied, WedgeError
+from repro.core.memory import PROT_WRITE
+from repro.core.policy import FD_READ, FD_WRITE
+
+SEVERITY = {"UNSOUND": "error", "SENSITIVE_EXPOSURE": "error",
+            "MISSING_SYSCALL": "error", "OVER_PRIV": "warning",
+            "UNUSED_GRANT": "warning"}
+
+_MODE_RANK = {None: 0, "r": 1, "rw": 2}
+
+
+def tag_label(name):
+    """Normalise a tag name: strip the per-connection counter suffix."""
+    return re.sub(r"\d+$", "", name) or name
+
+
+def _join_mode(a, b):
+    return a if _MODE_RANK[a] >= _MODE_RANK[b] else b
+
+
+def _fd_modes(bits):
+    return {FD_READ & bits and "read" or None,
+            FD_WRITE & bits and "write" or None} - {None}
+
+
+class Finding:
+    """One lint result."""
+
+    __slots__ = ("kind", "compartment", "subject", "detail")
+
+    def __init__(self, kind, compartment, subject, detail):
+        self.kind = kind
+        self.compartment = compartment
+        self.subject = subject
+        self.detail = detail
+
+    @property
+    def severity(self):
+        return SEVERITY[self.kind]
+
+    def __repr__(self):
+        return (f"<{self.kind} [{self.severity}] {self.compartment}: "
+                f"{self.subject} — {self.detail}>")
+
+
+class PolicyView:
+    """A policy normalised for comparison: labels, bits, names."""
+
+    def __init__(self):
+        self.mem = {}       # tag label -> "r" | "rw"
+        self.fds = {}       # fd -> FD_* bits
+        self.gates = set()  # gate entry names
+        self.syscalls = set()
+        self.unresolved = []
+
+    def __repr__(self):
+        return (f"<PolicyView mem={self.mem} fds={self.fds} "
+                f"gates={sorted(self.gates)}>")
+
+
+class CompartmentSpec:
+    """Everything the linter needs to know about one compartment."""
+
+    def __init__(self, name, app, kernel, declared_sc, roots, *,
+                 sthread_prefix, exploit_facing=False,
+                 sensitive_tags=(), sid=None, follow=None):
+        self.name = name
+        self.app = app
+        self.kernel = kernel
+        self.declared_sc = declared_sc
+        self.roots = roots
+        self.sthread_prefix = sthread_prefix
+        self.exploit_facing = exploit_facing
+        #: sensitive tag *labels* (normalised names)
+        self.sensitive_tags = frozenset(sensitive_tags)
+        self.sid = sid if sid is not None else declared_sc.sid
+        self.follow = follow
+
+    def __repr__(self):
+        return f"<CompartmentSpec {self.app}/{self.name}>"
+
+
+class CompartmentResult:
+    """The three policies plus the findings for one compartment."""
+
+    def __init__(self, spec, declared, static, traced, findings,
+                 inferred):
+        self.spec = spec
+        self.declared = declared
+        self.static = static
+        self.traced = traced        # None when no trace was supplied
+        self.findings = findings
+        self.inferred = inferred    # the raw InferredPolicy
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self):
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+# ---------------------------------------------------------------------------
+# building the three views
+# ---------------------------------------------------------------------------
+
+def _label_for_tag(kernel, tag_id):
+    tag = kernel.tags.get(tag_id)
+    if tag is not None:
+        return tag_label(tag.name)
+    return f"tag{tag_id}"
+
+
+def declared_view(sc, kernel):
+    """Normalise a SecurityContext into a PolicyView."""
+    view = PolicyView()
+    for tag_id, prot in sc.mem.items():
+        mode = "rw" if prot & PROT_WRITE else "r"
+        label = _label_for_tag(kernel, tag_id)
+        view.mem[label] = _join_mode(view.mem.get(label), mode)
+    for fd, bits in sc.fds.items():
+        view.fds[fd] = view.fds.get(fd, 0) | bits
+    for ref in gate_refs_of(sc, kernel):
+        view.gates.add(ref.name)
+    return view
+
+
+def static_view(policy, kernel):
+    """Normalise an InferredPolicy into a PolicyView."""
+    view = PolicyView()
+    for tag_id, mode in policy.mem.items():
+        name = policy.mem_names.get(tag_id) \
+            or _label_for_tag(kernel, tag_id)
+        label = tag_label(name)
+        view.mem[label] = _join_mode(view.mem.get(label), mode)
+    view.fds = dict(policy.fds)
+    view.gates = set(policy.gates)
+    view.syscalls = set(policy.syscalls)
+    view.unresolved = list(policy.unresolved)
+    return view
+
+
+def traced_view(trace, sthread_prefix):
+    """The memory grants a Crowbar trace shows a compartment using.
+
+    Only accesses to tagged memory made *by* sthreads whose name starts
+    with the prefix count; the item's recorded segment name (captured
+    at access time, so deleted per-connection tags still resolve) gives
+    the label.
+    """
+    view = PolicyView()
+    for record in trace.accesses:
+        if not record.sthread.startswith(sthread_prefix):
+            continue
+        if record.item.tag_id is None:
+            continue
+        label = tag_label(record.item.segment_name)
+        mode = "rw" if record.op == "write" else "r"
+        view.mem[label] = _join_mode(view.mem.get(label), mode)
+    return view
+
+
+def gate_refs_of(sc, kernel):
+    """GateRefs for every callgate a SecurityContext grants."""
+    refs = []
+    for spec in sc.gate_specs:
+        refs.append(GateRef(spec.entry, gate_sc=spec.gate_sc,
+                            trusted=spec.trusted_arg,
+                            recycled=spec.recycled))
+    for gate_id in sc.gate_ids:
+        try:
+            record = kernel.gate_record(gate_id)
+        except WedgeError:
+            continue
+        refs.append(GateRef(record.entry, gate_sc=record.sc,
+                            trusted=record.trusted_arg,
+                            gate_id=gate_id, recycled=record.recycled))
+    return refs
+
+
+def gate_compartment_specs(sc, kernel, *, app, sensitive_tags=(),
+                           follow=None):
+    """One CompartmentSpec per callgate granted by *sc*.
+
+    Gates run in their own compartments (named ``cg:<entry>`` by the
+    kernel); their declared context is the gate's ``gate_sc`` and their
+    body is the entry function with the trusted argument bound.
+    """
+    specs = []
+    seen = set()
+    for ref in gate_refs_of(sc, kernel):
+        if ref.name in seen:
+            continue
+        seen.add(ref.name)
+        specs.append(CompartmentSpec(
+            ref.name, app, kernel, ref.gate_sc,
+            [(ref.entry, {"trusted": ref.trusted, "arg": {}})],
+            sthread_prefix=f"cg:{ref.name}",
+            exploit_facing=False,
+            sensitive_tags=sensitive_tags,
+            follow=follow))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# the three-way diff
+# ---------------------------------------------------------------------------
+
+def lint_compartment(spec, trace=None):
+    """Run the analyzer for *spec* and diff the three policies."""
+    inferred = infer_policy(
+        spec.roots, spec.kernel,
+        gates=gate_refs_of(spec.declared_sc, spec.kernel),
+        follow=spec.follow)
+    declared = declared_view(spec.declared_sc, spec.kernel)
+    static = static_view(inferred, spec.kernel)
+    traced = traced_view(trace, spec.sthread_prefix) \
+        if trace is not None else None
+
+    findings = []
+    where = f"{spec.app}/{spec.name}"
+
+    # -- memory -----------------------------------------------------------
+    for label, declared_mode in declared.mem.items():
+        static_mode = static.mem.get(label)
+        traced_mode = traced.mem.get(label) if traced else None
+        needed = _join_mode(static_mode, traced_mode)
+        if needed is None:
+            findings.append(Finding(
+                "UNUSED_GRANT", where, f"mem:{label}",
+                f"declared {declared_mode}, never statically reachable"
+                + ("" if traced is None else " nor used in the trace")))
+        elif _MODE_RANK[declared_mode] > _MODE_RANK[needed]:
+            findings.append(Finding(
+                "OVER_PRIV", where, f"mem:{label}",
+                f"declared {declared_mode}, but only {needed} is "
+                f"needed (static {static_mode or '-'}, "
+                f"traced {traced_mode or '-'})"))
+    if traced is not None:
+        for label, traced_mode in traced.mem.items():
+            static_mode = static.mem.get(label)
+            if _MODE_RANK[traced_mode] > _MODE_RANK[static_mode]:
+                findings.append(Finding(
+                    "UNSOUND", where, f"mem:{label}",
+                    f"trace used {traced_mode} but static analysis "
+                    f"only found {static_mode or 'nothing'}"))
+
+    # -- sensitive exposure ----------------------------------------------
+    if spec.exploit_facing:
+        for label in sorted(spec.sensitive_tags):
+            sources = []
+            if label in declared.mem:
+                sources.append(f"declared {declared.mem[label]}")
+            if label in static.mem:
+                sources.append(f"statically reachable "
+                               f"{static.mem[label]}")
+            if sources:
+                findings.append(Finding(
+                    "SENSITIVE_EXPOSURE", where, f"mem:{label}",
+                    "sensitive tag reachable from an exploit-facing "
+                    "compartment (" + ", ".join(sources) + ")"))
+
+    # -- file descriptors --------------------------------------------------
+    for fd, declared_bits in declared.fds.items():
+        static_bits = static.fds.get(fd, 0)
+        if static_bits == 0:
+            findings.append(Finding(
+                "UNUSED_GRANT", where, f"fd:{fd}",
+                f"declared {sorted(_fd_modes(declared_bits))}, never "
+                f"statically reachable"))
+        elif declared_bits & ~static_bits:
+            extra = _fd_modes(declared_bits & ~static_bits)
+            findings.append(Finding(
+                "OVER_PRIV", where, f"fd:{fd}",
+                f"declared {sorted(_fd_modes(declared_bits))} but "
+                f"static analysis only needs "
+                f"{sorted(_fd_modes(static_bits))} "
+                f"(unneeded: {sorted(extra)})"))
+
+    # -- callgates ---------------------------------------------------------
+    for gate in sorted(declared.gates - static.gates):
+        findings.append(Finding(
+            "UNUSED_GRANT", where, f"cgate:{gate}",
+            "callgate granted but no reachable call site invokes it"))
+
+    # -- syscalls vs the SELinux domain -----------------------------------
+    if spec.sid is not None:
+        for syscall in sorted(static.syscalls):
+            try:
+                spec.kernel.selinux.check_syscall(spec.sid, syscall)
+            except SyscallDenied:
+                findings.append(Finding(
+                    "MISSING_SYSCALL", where, f"syscall:{syscall}",
+                    f"statically reachable but denied by SELinux "
+                    f"domain {spec.sid}"))
+
+    return CompartmentResult(spec, declared, static, traced, findings,
+                             inferred)

@@ -1,0 +1,95 @@
+"""Rendering for ``python -m repro lint`` reports."""
+
+from __future__ import annotations
+
+from repro.core.policy import FD_READ, FD_WRITE
+
+
+def _fd_mode(bits):
+    if bits is None:
+        return "-"
+    out = ""
+    out += "r" if bits & FD_READ else ""
+    out += "w" if bits & FD_WRITE else ""
+    return out or "-"
+
+
+def _grant_rows(result):
+    """(subject, declared, static, traced) rows for one compartment."""
+    declared, static, traced = (result.declared, result.static,
+                                result.traced)
+    rows = []
+    labels = sorted(set(declared.mem) | set(static.mem)
+                    | (set(traced.mem) if traced else set()))
+    for label in labels:
+        rows.append((f"mem:{label}",
+                     declared.mem.get(label, "-"),
+                     static.mem.get(label, "-"),
+                     traced.mem.get(label, "-") if traced else "n/a"))
+    for fd in sorted(set(declared.fds) | set(static.fds)):
+        rows.append((f"fd:{fd}",
+                     _fd_mode(declared.fds.get(fd)),
+                     _fd_mode(static.fds.get(fd)),
+                     "n/a"))
+    for gate in sorted(declared.gates | static.gates):
+        rows.append((f"cgate:{gate}",
+                     "yes" if gate in declared.gates else "-",
+                     "call" if gate in static.gates else "-",
+                     "n/a"))
+    return rows
+
+
+def format_compartment(result):
+    """A report block for one compartment."""
+    spec = result.spec
+    flags = []
+    if spec.exploit_facing:
+        flags.append("exploit-facing")
+    if spec.sid:
+        flags.append(f"sid={spec.sid}")
+    header = f"[{spec.app}/{spec.name}]"
+    if flags:
+        header += "  (" + ", ".join(flags) + ")"
+    lines = [header]
+
+    rows = _grant_rows(result)
+    widths = [max([len(r[i]) for r in rows] + [8])
+              for i in range(4)] if rows else [8, 8, 8, 8]
+    head = ("grant", "declared", "static", "traced")
+    widths = [max(w, len(h)) for w, h in zip(widths, head)]
+    fmt = ("  {:<%d}  {:>%d}  {:>%d}  {:>%d}" % tuple(widths))
+    lines.append(fmt.format(*head))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    if result.static.syscalls:
+        lines.append("  syscalls: "
+                     + " ".join(sorted(result.static.syscalls)))
+    if result.inferred.unresolved:
+        lines.append(f"  unresolved operands: "
+                     f"{len(result.inferred.unresolved)}")
+        for context, source in result.inferred.unresolved:
+            lines.append(f"    [{context}] {source}")
+    if not result.inferred.converged:
+        lines.append("  WARNING: fixpoint did not converge")
+
+    if result.findings:
+        for finding in result.findings:
+            lines.append(f"  {finding.severity.upper():<7} "
+                         f"{finding.kind:<18} {finding.subject}: "
+                         f"{finding.detail}")
+    else:
+        lines.append("  findings: none")
+    return "\n".join(lines)
+
+
+def format_report(results, *, title="least-privilege lint"):
+    """The full report over many compartments."""
+    lines = [f"== {title} ==", ""]
+    for result in results:
+        lines.append(format_compartment(result))
+        lines.append("")
+    errors = sum(len(r.errors) for r in results)
+    warnings = sum(len(r.warnings) for r in results)
+    lines.append(f"{len(results)} compartments analyzed: "
+                 f"{errors} errors, {warnings} warnings")
+    return "\n".join(lines)

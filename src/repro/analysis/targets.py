@@ -1,0 +1,134 @@
+"""The shipped lint targets: every partitioned compartment body.
+
+Each partitioned application module exposes
+``analysis_compartments(server, conn_fd=...)`` returning the
+:class:`~repro.analysis.lint.CompartmentSpec` list for its sthread
+bodies and callgates.  This module knows how to *build* each server and
+how to *exercise* it for the dynamic (Crowbar-traced) leg of the
+three-way diff.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import lint_compartment
+
+#: Descriptor number used for the modelled per-connection socket.  Any
+#: value works — declared and static policies are built from the same
+#: spec, and traces are never compared by descriptor number.
+ANALYSIS_CONN_FD = 3
+
+
+class AppTarget:
+    """One shipped application: build, expose specs, exercise."""
+
+    def __init__(self, name, make, specs, exercise):
+        self.name = name
+        self.make = make
+        self.specs = specs
+        self.exercise = exercise
+
+
+# -- builders ----------------------------------------------------------------
+
+def _make_httpd_simple():
+    from repro.apps.httpd.simple import SimplePartitionHttpd
+    from repro.net import Network
+    # confine=True so the syscall dimension is exercised too
+    return SimplePartitionHttpd(Network(), "lint-simple:443",
+                                confine=True)
+
+
+def _make_httpd_mitm():
+    from repro.apps.httpd.mitm import MitmPartitionHttpd
+    from repro.net import Network
+    return MitmPartitionHttpd(Network(), "lint-mitm:443")
+
+
+def _make_sshd_wedge():
+    from repro.apps.sshd.wedge import WedgeSshd
+    from repro.net import Network
+    return WedgeSshd(Network(), "lint-sshd:22")
+
+
+def _make_pop3():
+    from repro.apps.pop3.server import PartitionedPop3
+    from repro.net import Network
+    return PartitionedPop3(Network(), "lint-pop3:110")
+
+
+def _specs_of(server):
+    import importlib
+    module = importlib.import_module(type(server).__module__)
+    return module.analysis_compartments(server,
+                                        conn_fd=ANALYSIS_CONN_FD)
+
+
+# -- innocuous workloads (the traced leg) ------------------------------------
+
+def _exercise_httpd(server):
+    from repro.apps.httpd.content import build_request
+    from repro.crypto import DetRNG
+    from repro.tls import TlsClient
+    client = TlsClient(DetRNG("lint"),
+                       expected_server_key=server.public_key)
+    conn = client.connect(server.network, server.addr)
+    conn.request(build_request("/"))
+
+
+def _exercise_sshd(server):
+    from repro.crypto import DetRNG
+    from repro.sshlib import SshClient
+    client = SshClient(DetRNG("lint"),
+                       expected_host_key=server.env.host_key.public())
+    conn = client.connect(server.network, server.addr)
+    conn.auth_password("alice", b"wonderland")
+    conn.exec("whoami")
+    conn.close()
+
+
+def _exercise_pop3(server):
+    from repro.apps.pop3.client import Pop3Client
+    client = Pop3Client(server.network, server.addr)
+    client.login("alice", b"wonderland")
+    client.list_messages()
+    client.retrieve(1)
+    client.quit()
+
+
+TARGETS = {
+    "httpd-simple": AppTarget("httpd-simple", _make_httpd_simple,
+                              _specs_of, _exercise_httpd),
+    "httpd-mitm": AppTarget("httpd-mitm", _make_httpd_mitm,
+                            _specs_of, _exercise_httpd),
+    "sshd-wedge": AppTarget("sshd-wedge", _make_sshd_wedge,
+                            _specs_of, _exercise_sshd),
+    "pop3": AppTarget("pop3", _make_pop3, _specs_of, _exercise_pop3),
+}
+
+APP_NAMES = tuple(TARGETS)
+
+
+def lint_app(name, *, with_trace=True):
+    """Lint one shipped app; returns its CompartmentResult list."""
+    from repro.crowbar import CbLog
+    target = TARGETS[name]
+    server = target.make()
+    specs = target.specs(server)
+    trace = None
+    if with_trace:
+        server.start()
+        try:
+            with CbLog(server.kernel, label=f"lint-{name}") as log:
+                target.exercise(server)
+        finally:
+            server.stop()
+        trace = log.trace
+    return [lint_compartment(spec, trace) for spec in specs]
+
+
+def lint_shipped(apps=APP_NAMES, *, with_trace=True):
+    """Lint several shipped apps; returns a flat result list."""
+    results = []
+    for name in apps:
+        results.extend(lint_app(name, with_trace=with_trace))
+    return results

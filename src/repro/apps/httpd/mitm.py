@@ -609,3 +609,55 @@ class HandlerDriver:
         perms = SecurityContext()
         sc_fd_add(perms, self.fd, FD_WRITE)
         return perms
+
+
+def analysis_compartments(server, conn_fd=3):
+    """CompartmentSpecs for ``python -m repro lint`` (repro.analysis).
+
+    Models one fresh-gate connection: the session and finished tags are
+    allocated here with counter-free names, so their labels line up with
+    the per-connection runtime tags (``session0``...) after
+    normalisation.
+    """
+    from repro.analysis.lint import (CompartmentSpec,
+                                     gate_compartment_specs)
+    if server.gate_mode != "fresh":
+        raise WedgeError("lint targets model gate_mode='fresh'")
+    kernel = server.kernel
+    session_tag = kernel.tag_new(name="session")
+    finished_tag = kernel.tag_new(name="finished")
+    state_buf = kernel.alloc_buf(STATE_SIZE, tag=session_tag,
+                                 init=bytes(STATE_SIZE))
+    fin_buf = kernel.alloc_buf(FINISHED_STATE_SIZE, tag=finished_tag,
+                               init=bytes(FINISHED_STATE_SIZE))
+    hs_sc = server._handshake_context(conn_fd, state_buf, fin_buf,
+                                      session_tag, finished_tag)
+    handler_sc = server._handler_context(conn_fd, state_buf, fin_buf,
+                                         session_tag)
+    app = f"httpd.{server.variant}"
+    sensitive = ("rsa-private-key",)
+    specs = [
+        CompartmentSpec(
+            "ssl-handshake", app, kernel, hs_sc,
+            [(MitmPartitionHttpd._handshake_body,
+              {"self": server,
+               "arg": {"fd": conn_fd, "state_addr": state_buf.addr,
+                       "finished_addr": fin_buf.addr}})],
+            sthread_prefix="ssl-handshake", exploit_facing=True,
+            sensitive_tags=sensitive),
+        CompartmentSpec(
+            "client-handler", app, kernel, handler_sc,
+            [(MitmPartitionHttpd._handler_body,
+              {"self": server,
+               "arg": {"fd": conn_fd,
+                       "state_addr": state_buf.addr}})],
+            sthread_prefix="client-handler", exploit_facing=True,
+            sensitive_tags=sensitive),
+    ]
+    seen = {spec.name for spec in specs}
+    for sc in (hs_sc, handler_sc):
+        for spec in gate_compartment_specs(sc, kernel, app=app):
+            if spec.name not in seen:
+                seen.add(spec.name)
+                specs.append(spec)
+    return specs

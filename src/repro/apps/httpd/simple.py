@@ -273,3 +273,19 @@ class WorkerDriver:
         })
         channel.send_record(RT_APPDATA,
                             self.server.respond_to(bytes(request)))
+
+
+def analysis_compartments(server, conn_fd=3):
+    """CompartmentSpecs for ``python -m repro lint`` (repro.analysis)."""
+    from repro.analysis.lint import (CompartmentSpec,
+                                     gate_compartment_specs)
+    sc = server._worker_context(conn_fd)
+    app = f"httpd.{server.variant}"
+    specs = [CompartmentSpec(
+        "worker", app, server.kernel, sc,
+        [(SimplePartitionHttpd._worker_body,
+          {"self": server, "arg": {"fd": conn_fd}})],
+        sthread_prefix="worker", exploit_facing=True,
+        sensitive_tags=("rsa-private-key",))]
+    specs += gate_compartment_specs(sc, server.kernel, app=app)
+    return specs

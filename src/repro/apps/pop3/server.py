@@ -313,7 +313,8 @@ class PartitionedPop3(Pop3Base):
                                          init=spool)
         self.handlers = []
 
-    def handle_connection(self, conn_fd):
+    def _connection_contexts(self, conn_fd):
+        """Per-connection uid region + the handler's SecurityContext."""
         kernel = self.kernel
         # per-connection uid region, writable only by the login gate
         uid_tag = kernel.tag_new(name=f"pop3-uid{self.connections_served}")
@@ -336,6 +337,11 @@ class PartitionedPop3(Pop3Base):
         sc_mem_add(retr_sc, self.mail_tag, PROT_READ)
         sc_mem_add(retr_sc, uid_tag, PROT_READ)
         sc_cgate_add(sc, retrieve_gate, retr_sc, trusted)
+        return sc, uid_tag, uid_buf
+
+    def handle_connection(self, conn_fd):
+        kernel = self.kernel
+        sc, uid_tag, uid_buf = self._connection_contexts(conn_fd)
 
         handler = kernel.sthread_create(
             sc, self._handler_body,
@@ -366,3 +372,20 @@ class PartitionedPop3(Pop3Base):
             "mail_addr": self.mail_buf.addr,
         })
         return loop.run()
+
+
+def analysis_compartments(server, conn_fd=3):
+    """CompartmentSpecs for ``python -m repro lint`` (repro.analysis)."""
+    from repro.analysis.lint import (CompartmentSpec,
+                                     gate_compartment_specs)
+    sc, uid_tag, uid_buf = server._connection_contexts(conn_fd)
+    app = f"pop3.{server.variant}"
+    specs = [CompartmentSpec(
+        "handler", app, server.kernel, sc,
+        [(PartitionedPop3._handler_body,
+          {"self": server,
+           "arg": {"fd": conn_fd, "uid_addr": uid_buf.addr}})],
+        sthread_prefix="pop3-handler", exploit_facing=True,
+        sensitive_tags=("pop3-passwords", "pop3-mail"))]
+    specs += gate_compartment_specs(sc, server.kernel, app=app)
+    return specs

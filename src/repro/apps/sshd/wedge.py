@@ -263,10 +263,16 @@ class WedgeSshd(SshdBase):
         sc_mem_add(sign_sc, self.key_tag, PROT_READ)
         sc_cgate_add(sc, dsa_sign_gate, sign_sc, self._gate_trusted)
 
-        for entry in (password_gate, dsa_auth_gate, skey_gate):
-            gate_sc = SecurityContext()
-            sc_mem_add(gate_sc, self.config_tag, PROT_READ)
-            sc_cgate_add(sc, entry, gate_sc, self._gate_trusted)
+        # only the password gate consults the tagged configuration (for
+        # the password_authentication switch); dsa_auth and skey work
+        # purely from files, so granting them the config tag was pure
+        # excess — caught by `python -m repro lint` as UNUSED_GRANT
+        pw_sc = SecurityContext()
+        sc_mem_add(pw_sc, self.config_tag, PROT_READ)
+        sc_cgate_add(sc, password_gate, pw_sc, self._gate_trusted)
+        for entry in (dsa_auth_gate, skey_gate):
+            sc_cgate_add(sc, entry, SecurityContext(),
+                         self._gate_trusted)
         return sc
 
     def handle_connection(self, conn_fd):
@@ -319,3 +325,19 @@ class WedgeSshd(SshdBase):
                 **extra,
             })
         return hook
+
+
+def analysis_compartments(server, conn_fd=3):
+    """CompartmentSpecs for ``python -m repro lint`` (repro.analysis)."""
+    from repro.analysis.lint import (CompartmentSpec,
+                                     gate_compartment_specs)
+    sc = server._worker_context(conn_fd)
+    app = f"sshd.{server.variant}"
+    specs = [CompartmentSpec(
+        "worker", app, server.kernel, sc,
+        [(WedgeSshd._worker_body,
+          {"self": server, "arg": {"fd": conn_fd}})],
+        sthread_prefix="ssh-worker", exploit_facing=True,
+        sensitive_tags=("host-private-key",))]
+    specs += gate_compartment_specs(sc, server.kernel, app=app)
+    return specs

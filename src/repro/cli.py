@@ -12,6 +12,8 @@ command            prints
 ``table2-ssh``     login and scp latency, vanilla vs wedge
 ``metrics``        partitioning LoC accounting (§5.1/§5.2)
 ``trace``          run a workload under cb-log; cb-analyze report
+``lint``           three-way least-privilege lint (declared vs
+                   static vs traced) over the shipped compartments
 ``attack``         run the MITM or sshd attack scenario end to end
 =================  ====================================================
 """
@@ -218,6 +220,25 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_lint(args):
+    from repro.analysis import APP_NAMES, format_report, lint_app
+    names = [args.app] if args.app else list(APP_NAMES)
+    unknown = [name for name in names if name not in APP_NAMES]
+    if unknown:
+        print(f"unknown app {unknown[0]!r}; choose from "
+              f"{sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        results.extend(lint_app(name, with_trace=not args.no_trace))
+    print(format_report(results))
+    errors = sum(len(r.errors) for r in results)
+    warnings = sum(len(r.warnings) for r in results)
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
 def cmd_attack(args):
     if args.scenario == "mitm":
         print("running the MITM campaign against both partitionings "
@@ -286,6 +307,15 @@ def build_parser():
     pt.add_argument("workload")
     pt.add_argument("--procedure", default=None)
     pt.set_defaults(fn=cmd_trace)
+    pl = sub.add_parser("lint",
+                        help="three-way least-privilege lint")
+    pl.add_argument("--app", default=None,
+                    help="lint one app instead of all")
+    pl.add_argument("--strict", action="store_true",
+                    help="exit non-zero on warnings too")
+    pl.add_argument("--no-trace", action="store_true",
+                    help="skip the dynamic (Crowbar-traced) leg")
+    pl.set_defaults(fn=cmd_lint)
     pk = sub.add_parser("attack", help="run an attack scenario")
     pk.add_argument("scenario", nargs="?", default="mitm")
     pk.set_defaults(fn=cmd_attack)

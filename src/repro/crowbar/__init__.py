@@ -10,7 +10,7 @@ middle bars of Figure 9).
 from repro.crowbar.analyze import (aggregate, emulation_gaps,
                                    format_report, memory_for_procedure,
                                    procedures_using, suggest_policy,
-                                   writes_of_procedure)
+                                   traced_policy, writes_of_procedure)
 from repro.crowbar.cblog import CbLog, PinStub, capture_backtrace
 from repro.crowbar.records import (AccessRecord, AllocationRecord,
                                    FrameInfo, Item, Trace)
@@ -18,4 +18,5 @@ from repro.crowbar.records import (AccessRecord, AllocationRecord,
 __all__ = ["AccessRecord", "AllocationRecord", "CbLog", "FrameInfo",
            "Item", "PinStub", "Trace", "aggregate", "capture_backtrace",
            "emulation_gaps", "format_report", "memory_for_procedure",
-           "procedures_using", "suggest_policy", "writes_of_procedure"]
+           "procedures_using", "suggest_policy", "traced_policy",
+           "writes_of_procedure"]

@@ -109,6 +109,29 @@ def suggest_policy(trace, procedure):
     return grants, untaggable
 
 
+def traced_policy(trace, sthread_prefix):
+    """Grants a trace shows a *compartment* (not a procedure) using.
+
+    Where :func:`suggest_policy` slices the trace by backtrace
+    procedure, this slices it by the accessing sthread's name prefix —
+    the natural unit once the partition exists (``worker``,
+    ``ssh-worker``, ``cg:password_gate``...).  Returns ``tag_id ->
+    "r"/"rw"`` for tagged items only; used by ``repro.analysis`` as the
+    dynamic leg of its three-way lint.
+    """
+    grants = {}
+    for record in trace.accesses:
+        if not record.sthread.startswith(sthread_prefix):
+            continue
+        if record.item.tag_id is None:
+            continue
+        mode = "rw" if record.op == "write" else "r"
+        prev = grants.get(record.item.tag_id)
+        grants[record.item.tag_id] = "rw" if "rw" in (prev, mode) \
+            else mode
+    return grants
+
+
 def emulation_gaps(trace):
     """Accesses that only succeeded thanks to the emulation library.
 

@@ -80,6 +80,17 @@ class _BodyVisitor(ast.NodeVisitor):
         "sfree": "rw",
         "alloc_buf": "rw",
     }
+    #: method name -> (positional index, keyword name, optional?) of the
+    #: argument that carries the tag/address.  ``alloc_buf`` without a
+    #: ``tag`` allocates private (untagged) memory, so its target is
+    #: optional; everywhere else a missing target is an analysis gap.
+    TARGET_ARGS = {
+        "mem_read": (0, "addr", False),
+        "mem_write": (0, "addr", False),
+        "smalloc": (1, "tag", False),
+        "sfree": (0, "addr", False),
+        "alloc_buf": (1, "tag", True),
+    }
     BUFFER_METHODS = {"read": "r", "write": "rw"}
 
     def __init__(self, analysis, bindings, depth):
@@ -124,6 +135,17 @@ class _BodyVisitor(ast.NodeVisitor):
 
     # -- the interesting nodes ----------------------------------------------------
 
+    def _call_target(self, node, index, name):
+        """The AST node bound to a positional-or-keyword parameter."""
+        positional = node.args[:index + 1]
+        if len(positional) > index and not any(
+                isinstance(arg, ast.Starred) for arg in positional):
+            return node.args[index]
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
     def visit_Call(self, node):
         self.generic_visit(node)
         func = node.func
@@ -134,16 +156,16 @@ class _BodyVisitor(ast.NodeVisitor):
                                       self.depth - 1)
             return
         method = func.attr
-        if method in self.KERNEL_METHODS and node.args:
-            if method == "smalloc" and len(node.args) >= 2:
-                self._record(node.args[1], "rw", method)
-            elif method == "alloc_buf":
-                for keyword in node.keywords:
-                    if keyword.arg == "tag":
-                        self._record(keyword.value, "rw", method)
-            else:
-                self._record(node.args[0],
-                             self.KERNEL_METHODS[method], method)
+        if method in self.KERNEL_METHODS:
+            index, name, optional = self.TARGET_ARGS[method]
+            target = self._call_target(node, index, name)
+            if target is not None:
+                self._record(target, self.KERNEL_METHODS[method],
+                             method)
+            elif not optional:
+                self.analysis.report.unresolved.append(
+                    (method, f"no {name!r} argument in "
+                             f"{ast.unparse(node)}"))
             return
         if method in self.BUFFER_METHODS:
             base = self._resolve(func.value)
@@ -214,19 +236,34 @@ def static_policy(fn, bindings, *, callees=(), depth=2):
     return analysis.analyse(fn, depth=depth)
 
 
+_MODE_RANK = {"r": 1, "rw": 2}
+
+
 def compare_with_trace(report, trace, procedure):
-    """The §7 trade-off, quantified.
+    """The §7 trade-off, quantified — comparing *modes*, not just tags.
 
     Returns ``(excess, missing)``: *excess* are grants static analysis
-    demands but the dynamic trace of *procedure* never used (privileges
-    an exploit could abuse but correct execution never needed); *missing*
-    are grants the trace used that the static pass failed to resolve
-    (its unsoundness debt, also reported in ``report.unresolved``).
+    demands but the dynamic trace of *procedure* never exercised —
+    either whole tags the trace never touched (value ``"r"``/``"rw"``)
+    or mode over-grants where static wants ``rw`` but the trace only
+    read (value ``"rw>r"``).  *missing* is the mirror image: tags (or
+    write modes) the trace used that the static pass failed to find —
+    its unsoundness debt, also reported in ``report.unresolved``.
     """
     from repro.crowbar.analyze import suggest_policy
     dynamic, _ = suggest_policy(trace, procedure)
-    excess = {tag_id: mode for tag_id, mode in report.grants.items()
-              if tag_id not in dynamic}
-    missing = {tag_id: mode for tag_id, mode in dynamic.items()
-               if tag_id not in report.grants}
+    excess = {}
+    for tag_id, mode in report.grants.items():
+        used = dynamic.get(tag_id)
+        if used is None:
+            excess[tag_id] = mode
+        elif _MODE_RANK[mode] > _MODE_RANK[used]:
+            excess[tag_id] = f"{mode}>{used}"
+    missing = {}
+    for tag_id, used in dynamic.items():
+        granted = report.grants.get(tag_id)
+        if granted is None:
+            missing[tag_id] = used
+        elif _MODE_RANK[used] > _MODE_RANK[granted]:
+            missing[tag_id] = f"{used}>{granted}"
     return excess, missing

@@ -1,7 +1,8 @@
 """Partitioning metrics (trusted-code reduction, changed lines)."""
 
+from repro.metrics.overprivilege import overprivilege_report
 from repro.metrics.partition import (app_total_loc, count_lines,
                                      full_report, partition_report)
 
 __all__ = ["app_total_loc", "count_lines", "full_report",
-           "partition_report"]
+           "overprivilege_report", "partition_report"]

@@ -1,0 +1,186 @@
+"""The interprocedural inference engine (repro.analysis.infer).
+
+These tests drive :func:`infer_policy` over synthetic bodies.  The
+test module itself is outside the ``repro.`` follow prefix, so each
+test passes an explicit *follow* accepting its own helpers — which also
+exercises the pluggable follow policy.
+"""
+
+import pytest
+
+from repro.analysis import infer_policy
+from repro.core.policy import FD_READ, FD_RW, FD_WRITE
+
+
+def _follow_local(fn):
+    return fn.__module__ == __name__
+
+
+def infer(roots, kernel, **kwargs):
+    kwargs.setdefault("follow", _follow_local)
+    return infer_policy(roots, kernel, **kwargs)
+
+
+@pytest.fixture
+def world(kernel):
+    tags = {
+        "config": kernel.tag_new(name="config"),
+        "secrets": kernel.tag_new(name="secrets"),
+    }
+    bufs = {
+        "config_buf": kernel.alloc_buf(32, tag=tags["config"],
+                                       init=b"x" * 32),
+        "secret_buf": kernel.alloc_buf(32, tag=tags["secrets"],
+                                       init=b"K" * 32),
+    }
+    return kernel, tags, bufs
+
+
+class TestInterprocedural:
+    def test_binding_flows_through_call_chain(self, world):
+        """Deeper than the old depth-2 descent: a four-hop chain."""
+        kernel, tags, bufs = world
+
+        def leaf(k, addr):
+            return k.mem_read(addr, 4)
+
+        def mid2(k, addr):
+            return leaf(k, addr)
+
+        def mid1(k, addr):
+            return mid2(k, addr)
+
+        def body(k, buf):
+            return mid1(k, buf.addr)
+
+        policy = infer(
+            [(body, {"k": kernel, "buf": bufs["config_buf"]})], kernel)
+        assert policy.mem == {tags["config"].id: "r"}
+        assert policy.unresolved == []
+
+    def test_return_value_propagates(self, world):
+        kernel, tags, bufs = world
+
+        def pick(buf):
+            return buf
+
+        def body(k, buf):
+            chosen = pick(buf)
+            k.mem_write(chosen.addr, b"data")
+
+        policy = infer(
+            [(body, {"k": kernel, "buf": bufs["secret_buf"]})], kernel)
+        assert policy.mem == {tags["secrets"].id: "rw"}
+
+    def test_recursive_cycle_converges(self, world):
+        kernel, tags, bufs = world
+
+        def ping(k, buf, n):
+            if n:
+                return pong(k, buf, n)
+            return k.mem_read(buf.addr, 4)
+
+        def pong(k, buf, n):
+            return ping(k, buf, n - 1)
+
+        policy = infer(
+            [(ping, {"k": kernel, "buf": bufs["config_buf"],
+                     "n": 3})], kernel)
+        assert policy.converged
+        assert tags["config"].id in policy.mem
+
+    def test_dict_dispatch_resolves(self, world):
+        """The gate-table idiom: values stored under computed keys."""
+        kernel, tags, bufs = world
+
+        def body(k, bufs_in):
+            table = {}
+            for name, buf in bufs_in.items():
+                table[name] = buf
+            return k.mem_read(table["config_buf"].addr, 4)
+
+        policy = infer([(body, {"k": kernel, "bufs_in": bufs})], kernel)
+        assert tags["config"].id in policy.mem
+
+    def test_keyword_call_resolved(self, world):
+        kernel, tags, bufs = world
+
+        def body(k, buf):
+            return k.mem_read(addr=buf.addr, size=8)
+
+        policy = infer(
+            [(body, {"k": kernel, "buf": bufs["config_buf"]})], kernel)
+        assert policy.mem == {tags["config"].id: "r"}
+
+
+class TestFdAndSyscalls:
+    def test_granted_fd_modes(self, world):
+        kernel, _, _ = world
+
+        def body(k, fd):
+            k.send(fd, b"hello")
+            return k.recv(fd, 64)
+
+        policy = infer([(body, {"k": kernel, "fd": 3})], kernel)
+        assert policy.fds == {3: FD_RW}
+        assert {"send", "recv"} <= policy.syscalls
+
+    def test_write_only_fd(self, world):
+        kernel, _, _ = world
+
+        def body(k, fd):
+            k.send(fd, b"out")
+
+        policy = infer([(body, {"k": kernel, "fd": 7})], kernel)
+        assert policy.fds == {7: FD_WRITE}
+        assert FD_READ & policy.fds[7] == 0
+
+    def test_self_opened_fd_needs_no_grant(self, world):
+        """open/read/close on a descriptor the body creates itself."""
+        kernel, _, _ = world
+
+        def body(k):
+            fd = k.open("/etc/motd", "r")
+            data = k.read(fd, 64)
+            k.close(fd)
+            return data
+
+        policy = infer([(body, {"k": kernel})], kernel)
+        assert policy.fds == {}
+        assert {"open", "read", "close"} <= policy.syscalls
+        assert policy.unresolved == []
+
+    def test_private_malloc_needs_no_grant(self, world):
+        kernel, _, _ = world
+
+        def body(k):
+            scratch = k.malloc(64)
+            k.mem_write(scratch, b"tmp")
+
+        policy = infer([(body, {"k": kernel})], kernel)
+        assert policy.mem == {}
+        assert policy.unresolved == []
+
+
+class TestSoundnessReporting:
+    def test_unknown_operand_reported(self, world):
+        kernel, _, _ = world
+
+        def body(k, mystery):
+            return k.mem_read(mystery, 8)
+
+        policy = infer([(body, {"k": kernel})], kernel)
+        assert policy.mem == {}
+        assert policy.unresolved
+
+    def test_smalloc_returns_tagged_value(self, world):
+        kernel, tags, _ = world
+
+        def body(k, tag):
+            addr = k.smalloc(16, tag)
+            k.mem_write(addr, b"x")
+
+        policy = infer(
+            [(body, {"k": kernel, "tag": tags["secrets"]})], kernel)
+        assert policy.mem == {tags["secrets"].id: "rw"}
+        assert policy.unresolved == []

@@ -1,0 +1,172 @@
+"""The three-way diff (declared / static / traced) and its findings."""
+
+import pytest
+
+from repro.analysis import (CompartmentSpec, lint_compartment,
+                            tag_label)
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
+                               sc_fd_add, sc_mem_add)
+from repro.crowbar import CbLog
+
+
+def _follow_local(fn):
+    return fn.__module__ == __name__
+
+
+def _unused_gate(trusted, arg):
+    return {"ok": True}
+
+
+@pytest.fixture
+def world(kernel):
+    tags = {
+        "secret": kernel.tag_new(name="secret"),
+        "scratch": kernel.tag_new(name="scratch"),
+    }
+    bufs = {
+        "secret_buf": kernel.alloc_buf(32, tag=tags["secret"],
+                                       init=b"K" * 32),
+        "scratch_buf": kernel.alloc_buf(32, tag=tags["scratch"],
+                                        init=b"s" * 32),
+    }
+    return kernel, tags, bufs
+
+
+def _spec(kernel, sc, body, bindings, **kwargs):
+    kwargs.setdefault("sthread_prefix", "fixture")
+    return CompartmentSpec("fixture", "test", kernel, sc,
+                           [(body, bindings)], follow=_follow_local,
+                           **kwargs)
+
+
+class TestFindings:
+    def test_clean_compartment_has_no_findings(self, world):
+        kernel, tags, bufs = world
+        sc = SecurityContext()
+        sc_mem_add(sc, tags["scratch"], PROT_READ)
+
+        def body(k, buf):
+            return k.mem_read(buf.addr, 4)
+
+        result = lint_compartment(_spec(
+            kernel, sc, body,
+            {"k": kernel, "buf": bufs["scratch_buf"]}))
+        assert result.findings == []
+
+    def test_overprivileged_fixture(self, world):
+        """A deliberately fat context: every warning class fires."""
+        kernel, tags, bufs = world
+        sc = SecurityContext()
+        sc_mem_add(sc, tags["secret"], PROT_READ)    # never touched
+        sc_mem_add(sc, tags["scratch"], PROT_RW)     # only read
+        sc_fd_add(sc, 9, FD_RW)                      # never used
+        sc_cgate_add(sc, _unused_gate, SecurityContext())
+
+        def body(k, buf):
+            return k.mem_read(buf.addr, 4)
+
+        result = lint_compartment(_spec(
+            kernel, sc, body,
+            {"k": kernel, "buf": bufs["scratch_buf"]},
+            exploit_facing=True, sensitive_tags=("secret",)))
+        kinds = {(f.kind, f.subject) for f in result.findings}
+        assert ("UNUSED_GRANT", "mem:secret") in kinds
+        assert ("OVER_PRIV", "mem:scratch") in kinds
+        assert ("UNUSED_GRANT", "fd:9") in kinds
+        assert ("UNUSED_GRANT", "cgate:_unused_gate") in kinds
+        assert ("SENSITIVE_EXPOSURE", "mem:secret") in kinds
+
+    def test_sensitive_exposure_only_when_exploit_facing(self, world):
+        kernel, tags, bufs = world
+        sc = SecurityContext()
+        sc_mem_add(sc, tags["secret"], PROT_READ)
+
+        def body(k, buf):
+            return k.mem_read(buf.addr, 4)
+
+        bindings = {"k": kernel, "buf": bufs["secret_buf"]}
+        exposed = lint_compartment(_spec(
+            kernel, sc, body, bindings, exploit_facing=True,
+            sensitive_tags=("secret",)))
+        assert any(f.kind == "SENSITIVE_EXPOSURE"
+                   for f in exposed.findings)
+        trusted = lint_compartment(_spec(
+            kernel, sc, body, bindings, exploit_facing=False,
+            sensitive_tags=("secret",)))
+        assert not any(f.kind == "SENSITIVE_EXPOSURE"
+                       for f in trusted.findings)
+
+    def test_missing_syscall(self, world):
+        kernel, _, _ = world
+        sid = "system_u:system_r:fixture_t"
+        kernel.selinux.define_domain(sid, {"recv"})  # send missing
+        sc = SecurityContext()
+        sc_fd_add(sc, 3, FD_RW)
+
+        def body(k, fd):
+            k.send(fd, b"x")
+            return k.recv(fd, 8)
+
+        result = lint_compartment(_spec(
+            kernel, sc, body, {"k": kernel, "fd": 3}, sid=sid))
+        kinds = {(f.kind, f.subject) for f in result.findings}
+        assert ("MISSING_SYSCALL", "syscall:send") in kinds
+        assert ("MISSING_SYSCALL", "syscall:recv") not in kinds
+
+
+class TestTracedLeg:
+    def test_trace_confirms_static(self, world):
+        kernel, tags, bufs = world
+        sc = SecurityContext()
+        sc_mem_add(sc, tags["scratch"], PROT_READ)
+        buf = bufs["scratch_buf"]
+
+        def body(arg):
+            return kernel.mem_read(buf.addr, 4)
+
+        with CbLog(kernel) as log:
+            sthread = kernel.sthread_create(sc, body, name="fixture0",
+                                            spawn="inline")
+            kernel.sthread_join(sthread)
+        result = lint_compartment(
+            _spec(kernel, sc, body, {"kernel": kernel, "buf": buf,
+                                     "arg": {}}),
+            trace=log.trace)
+        assert result.traced.mem == {"scratch": "r"}
+        assert result.findings == []
+
+    def test_unsound_when_trace_exceeds_static(self, world):
+        """A body whose operand the static pass cannot resolve: the
+        traced leg catches what static missed and flags UNSOUND."""
+        kernel, tags, bufs = world
+        sc = SecurityContext()
+        sc_mem_add(sc, tags["scratch"], PROT_RW)
+        buf = bufs["scratch_buf"]
+
+        def body(arg):
+            kernel.mem_write(arg["addr"], b"data")
+
+        with CbLog(kernel) as log:
+            sthread = kernel.sthread_create(
+                sc, body, {"addr": buf.addr}, name="fixture0",
+                spawn="inline")
+            kernel.sthread_join(sthread)
+        # static analysis sees an empty arg dict: operand unresolved
+        result = lint_compartment(
+            _spec(kernel, sc, body, {"kernel": kernel, "arg": {}}),
+            trace=log.trace)
+        assert result.static.mem == {}
+        assert result.inferred.unresolved
+        kinds = {(f.kind, f.subject) for f in result.findings}
+        assert ("UNSOUND", "mem:scratch") in kinds
+
+
+class TestTagLabels:
+    def test_connection_counter_stripped(self):
+        assert tag_label("session17") == "session"
+        assert tag_label("pop3-uid3") == "pop3-uid"
+        assert tag_label("rsa-private-key") == "rsa-private-key"
+
+    def test_all_digit_name_kept(self):
+        assert tag_label("42") == "42"

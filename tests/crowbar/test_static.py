@@ -188,6 +188,71 @@ class TestPaperTradeOff:
                                              "straight_line")
         assert missing == {}
 
+    def test_keyword_argument_calls_resolved(self, world):
+        """Keyword-only call sites used to be silently dropped."""
+        kernel, tags, bufs = world
+        config_buf = bufs["config_buf"]
+        output = tags["output"]
+
+        def body():
+            kernel.mem_read(addr=config_buf.addr, size=8)
+            kernel.smalloc(16, tag=output)
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "config_buf": config_buf,
+                                      "output": output})
+        assert report.grants == {tags["config"].id: "r",
+                                 output.id: "rw"}
+
+    def test_missing_target_argument_reported(self, world):
+        """A kernel call with no resolvable target argument must land
+        in ``unresolved``, never vanish."""
+        kernel, tags, bufs = world
+
+        def body(args):
+            kernel.mem_read(*args)
+
+        report = static_policy(body, {"kernel": kernel})
+        assert report.grants == {}
+        assert any(context == "mem_read"
+                   for context, _ in report.unresolved)
+
+    def test_excess_includes_mode_overgrants(self, world):
+        """Static ``rw`` over a traced ``r`` is excess privilege too."""
+        kernel, tags, bufs = world
+        out_buf = bufs["out_buf"]
+
+        def body():
+            data = out_buf.read(4)
+            if not data:
+                out_buf.write(b"init")   # branch never taken at runtime
+
+        report = static_policy(body, {"out_buf": out_buf})
+        assert report.grants[tags["output"].id] == "rw"
+        with CbLog(kernel) as log:
+            body()
+        excess, missing = compare_with_trace(report, log.trace, "body")
+        assert excess[tags["output"].id] == "rw>r"
+        assert missing == {}
+
+    def test_missing_is_mode_aware(self, world):
+        """A traced write against a static read-only grant is debt."""
+        kernel, tags, bufs = world
+        out_buf = bufs["out_buf"]
+
+        def body(dest_addr):
+            kernel.mem_write(dest_addr, out_buf.read(4))
+
+        report = static_policy(body, {"kernel": kernel,
+                                      "out_buf": out_buf})
+        # the read resolves; the write target does not
+        assert report.grants == {tags["output"].id: "r"}
+        assert report.unresolved
+        with CbLog(kernel) as log:
+            body(out_buf.addr)
+        excess, missing = compare_with_trace(report, log.trace, "body")
+        assert missing == {tags["output"].id: "rw>r"}
+
     def test_static_policy_actually_runs_the_sthread(self, world):
         """Closing the loop: the static grants are sufficient."""
         from repro.core.memory import PROT_READ, PROT_RW

@@ -15,6 +15,8 @@ class TestParser:
         for argv in (["fig7"], ["fig8"], ["fig9", "--scale", "quick"],
                      ["table2-apache", "-n", "3"], ["table2-ssh"],
                      ["metrics"], ["trace", "mcf"],
+                     ["lint", "--strict", "--no-trace"],
+                     ["lint", "--app", "pop3"],
                      ["attack", "mitm"]):
             args = parser.parse_args(argv)
             assert callable(args.fn)
@@ -48,6 +50,22 @@ class TestCommands:
 
     def test_trace_with_procedure(self, capsys):
         assert main(["trace", "bzip2", "--procedure", "bzip2"]) == 0
+
+    def test_lint_one_app(self, capsys):
+        assert main(["lint", "--app", "pop3", "--no-trace",
+                     "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "pop3.partitioned/handler" in out
+        assert "compartments analyzed: 0 errors, 0 warnings" in out
+
+    def test_lint_unknown_app(self, capsys):
+        assert main(["lint", "--app", "nope"]) == 2
+
+    @pytest.mark.slow
+    def test_lint_all_with_traces(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "17 compartments analyzed: 0 errors, 0 warnings" in out
 
     def test_attack_unknown_scenario(self, capsys):
         assert main(["attack", "nothing"]) == 2
