@@ -25,6 +25,7 @@ from repro.analysis.lint import (
     gate_compartment_specs,
     gate_refs_of,
     lint_compartment,
+    restart_widening_findings,
     static_view,
     tag_label,
     traced_view,
@@ -57,6 +58,7 @@ __all__ = [
     "lint_app",
     "lint_compartment",
     "lint_shipped",
+    "restart_widening_findings",
     "static_view",
     "tag_label",
     "traced_view",

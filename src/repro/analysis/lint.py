@@ -29,6 +29,12 @@ and emits typed findings:
 ``MISSING_SYSCALL``
     a statically reachable syscall the compartment's SELinux domain
     denies — the run would fault on a legitimate path.
+``RESTART_WIDENING``
+    a *supervised* callgate's live security context holds grants wider
+    than the baseline frozen at instantiation.  A supervised gate is
+    rebuilt from its context on every restart, so widening it at run
+    time means the next crash silently re-binds the compartment with
+    more privilege than the partitioning declared.
 
 Per-connection tags get fresh names each connection (``session0``,
 ``session1``...), so policies are compared by *label*: the tag name
@@ -45,8 +51,8 @@ from repro.core.memory import PROT_WRITE
 from repro.core.policy import FD_READ, FD_WRITE
 
 SEVERITY = {"UNSOUND": "error", "SENSITIVE_EXPOSURE": "error",
-            "MISSING_SYSCALL": "error", "OVER_PRIV": "warning",
-            "UNUSED_GRANT": "warning"}
+            "MISSING_SYSCALL": "error", "RESTART_WIDENING": "error",
+            "OVER_PRIV": "warning", "UNUSED_GRANT": "warning"}
 
 _MODE_RANK = {None: 0, "r": 1, "rw": 2}
 
@@ -339,3 +345,50 @@ def lint_compartment(spec, trace=None):
 
     return CompartmentResult(spec, declared, static, traced, findings,
                              inferred)
+
+
+# ---------------------------------------------------------------------------
+# supervised-gate monotonicity (the restart dimension)
+# ---------------------------------------------------------------------------
+
+def restart_widening_findings(kernel, *, app="app"):
+    """RESTART_WIDENING findings for every supervised gate in *kernel*.
+
+    Each supervised :class:`~repro.core.callgate.CallgateRecord` froze
+    its grants (``baseline_grants``) when it was instantiated.  The live
+    security context must stay a subset of that baseline: restarts
+    rebuild the gate compartment from the live context, so any widening
+    becomes real privilege at the next crash.
+    """
+    from repro.core.memory import prot_name
+    findings = []
+    for record in kernel._gates.values():
+        if record.supervise is None:
+            continue
+        base_mem, base_fds, base_gates = record.baseline_grants
+        where = f"{app}/cg:{record.name}"
+        for tag_id, prot in record.sc.mem.items():
+            base = base_mem.get(tag_id, 0)
+            if prot & ~base:
+                label = _label_for_tag(kernel, tag_id)
+                findings.append(Finding(
+                    "RESTART_WIDENING", where, f"mem:{label}",
+                    f"live grant {prot_name(prot)} exceeds the "
+                    f"instantiation baseline "
+                    f"{prot_name(base) if base else 'none'}; a restart "
+                    f"re-binds the widened policy"))
+        for fd, bits in record.sc.fds.items():
+            base = base_fds.get(fd, 0)
+            if bits & ~base:
+                findings.append(Finding(
+                    "RESTART_WIDENING", where, f"fd:{fd}",
+                    f"live modes {sorted(_fd_modes(bits))} exceed the "
+                    f"instantiation baseline "
+                    f"{sorted(_fd_modes(base)) or 'none'}"))
+        for gate_id in sorted(set(record.sc.gate_ids) - set(base_gates)):
+            findings.append(Finding(
+                "RESTART_WIDENING", where, f"cgate:{gate_id}",
+                "callgate granted after instantiation; restarts would "
+                "hand the rebuilt compartment a gate its declared "
+                "policy never held"))
+    return findings

@@ -29,31 +29,41 @@ class AppTarget:
 
 
 # -- builders ----------------------------------------------------------------
+#
+# Lint servers are built with supervision on, so the traced leg leaves
+# supervised gate records behind for the RESTART_WIDENING check to scan.
+
+def _lint_policy():
+    from repro.faults import RestartPolicy
+    return RestartPolicy()
+
 
 def _make_httpd_simple():
     from repro.apps.httpd.simple import SimplePartitionHttpd
     from repro.net import Network
     # confine=True so the syscall dimension is exercised too
     return SimplePartitionHttpd(Network(), "lint-simple:443",
-                                confine=True)
+                                confine=True, supervise=_lint_policy())
 
 
 def _make_httpd_mitm():
     from repro.apps.httpd.mitm import MitmPartitionHttpd
     from repro.net import Network
-    return MitmPartitionHttpd(Network(), "lint-mitm:443")
+    return MitmPartitionHttpd(Network(), "lint-mitm:443",
+                              supervise=_lint_policy())
 
 
 def _make_sshd_wedge():
     from repro.apps.sshd.wedge import WedgeSshd
     from repro.net import Network
-    return WedgeSshd(Network(), "lint-sshd:22")
+    return WedgeSshd(Network(), "lint-sshd:22", supervise=_lint_policy())
 
 
 def _make_pop3():
     from repro.apps.pop3.server import PartitionedPop3
     from repro.net import Network
-    return PartitionedPop3(Network(), "lint-pop3:110")
+    return PartitionedPop3(Network(), "lint-pop3:110",
+                           supervise=_lint_policy())
 
 
 def _specs_of(server):
@@ -110,6 +120,7 @@ APP_NAMES = tuple(TARGETS)
 
 def lint_app(name, *, with_trace=True):
     """Lint one shipped app; returns its CompartmentResult list."""
+    from repro.analysis.lint import restart_widening_findings
     from repro.crowbar import CbLog
     target = TARGETS[name]
     server = target.make()
@@ -123,7 +134,15 @@ def lint_app(name, *, with_trace=True):
         finally:
             server.stop()
         trace = log.trace
-    return [lint_compartment(spec, trace) for spec in specs]
+    results = [lint_compartment(spec, trace) for spec in specs]
+    # the restart dimension: supervised gate records instantiated while
+    # exercising the app must not have outgrown their baselines
+    for finding in restart_widening_findings(server.kernel, app=name):
+        gate_name = finding.compartment.rsplit("cg:", 1)[-1]
+        home = next((r for r in results if r.spec.name == gate_name),
+                    results[0])
+        home.findings.append(finding)
+    return results
 
 
 def lint_shipped(apps=APP_NAMES, *, with_trace=True):

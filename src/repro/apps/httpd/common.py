@@ -148,7 +148,8 @@ class HttpdBase:
     variant = "base"
 
     def __init__(self, network, addr, *, pages=None, seed="httpd",
-                 tag_cache=True, key_bits=512, concurrent=False):
+                 tag_cache=True, key_bits=512, concurrent=False,
+                 supervise=None):
         self.network = network
         self.addr = addr
         self.pages = dict(pages or content.DEFAULT_PAGES)
@@ -157,6 +158,8 @@ class HttpdBase:
         #: per connection, like the paper's per-connection workers); the
         #: default stays sequential for deterministic tests
         self.concurrent = concurrent
+        #: optional RestartPolicy applied to per-connection compartments
+        self.supervise = supervise
         self.kernel = Kernel(net=network, tag_cache=tag_cache,
                              name=f"httpd-{self.variant}")
         self.main = self.kernel.start_main()

@@ -41,8 +41,9 @@ import threading
 from repro.apps.httpd import content
 from repro.apps.httpd.common import STATE_SIZE, HttpdBase, SessionState
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import (CallgateError, HandshakeFailure,
-                               MacFailure, ProtocolError, TagError,
+from repro.core.errors import (CallgateError, CompartmentDown,
+                               HandshakeFailure, MacFailure,
+                               ProtocolError, SthreadFaulted, TagError,
                                WedgeError)
 from repro.core.memory import PROT_READ, PROT_RW
 from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
@@ -362,11 +363,14 @@ class MitmPartitionHttpd(HttpdBase):
             hs_sc, self._handshake_body,
             {"fd": conn_fd, "state_addr": state_buf.addr,
              "finished_addr": fin_buf.addr},
-            name=f"ssl-handshake{n}", spawn="thread")
+            name=f"ssl-handshake{n}", spawn="thread",
+            supervise=self.supervise)
         self.handshake_sthreads.append(hs)
-        self.kernel.sthread_join(hs, timeout=20.0)
-        if hs.faulted:
-            self.errors.append(f"handshake faulted: {hs.fault}")
+        try:
+            self.kernel.sthread_join(hs, timeout=20.0)
+        except (SthreadFaulted, CompartmentDown) as exc:
+            # contained: the phase-1 compartment died, the master did not
+            self.errors.append(f"handshake faulted: {exc}")
 
         # the master starts phase 2 only after phase 1 *exited* and the
         # gates confirmed completion in memory the sthread cannot forge
@@ -379,11 +383,13 @@ class MitmPartitionHttpd(HttpdBase):
         handler = self.kernel.sthread_create(
             handler_sc, self._handler_body,
             {"fd": conn_fd, "state_addr": state_buf.addr},
-            name=f"client-handler{n}", spawn="thread")
+            name=f"client-handler{n}", spawn="thread",
+            supervise=self.supervise)
         self.handler_sthreads.append(handler)
-        self.kernel.sthread_join(handler, timeout=20.0)
-        if handler.faulted:
-            self.errors.append(f"handler faulted: {handler.fault}")
+        try:
+            self.kernel.sthread_join(handler, timeout=20.0)
+        except (SthreadFaulted, CompartmentDown) as exc:
+            self.errors.append(f"handler faulted: {exc}")
 
     def _handshake_context(self, conn_fd, state_buf, fin_buf, session_tag,
                            finished_tag):
@@ -400,15 +406,18 @@ class MitmPartitionHttpd(HttpdBase):
         setup_sc = SecurityContext()
         sc_mem_add(setup_sc, self.key_tag, PROT_READ)
         sc_mem_add(setup_sc, session_tag, PROT_RW)
-        sc_cgate_add(sc, setup_session_key_gate, setup_sc, trusted)
+        sc_cgate_add(sc, setup_session_key_gate, setup_sc, trusted,
+                     supervise=self.supervise)
         recv_sc = SecurityContext()
         sc_mem_add(recv_sc, session_tag, PROT_RW)
         sc_mem_add(recv_sc, finished_tag, PROT_RW)
-        sc_cgate_add(sc, receive_finished_gate, recv_sc, trusted)
+        sc_cgate_add(sc, receive_finished_gate, recv_sc, trusted,
+                     supervise=self.supervise)
         send_sc = SecurityContext()
         sc_mem_add(send_sc, session_tag, PROT_RW)
         sc_mem_add(send_sc, finished_tag, PROT_READ)
-        sc_cgate_add(sc, send_finished_gate, send_sc, trusted)
+        sc_cgate_add(sc, send_finished_gate, send_sc, trusted,
+                     supervise=self.supervise)
         return sc
 
     def _handler_context(self, conn_fd, state_buf, fin_buf, session_tag):
@@ -429,11 +438,13 @@ class MitmPartitionHttpd(HttpdBase):
                        fd=conn_fd)
         read_sc = SecurityContext()
         sc_mem_add(read_sc, session_tag, PROT_RW)
-        sc_cgate_add(sc, ssl_read_gate, read_sc, trusted)
+        sc_cgate_add(sc, ssl_read_gate, read_sc, trusted,
+                     supervise=self.supervise)
         write_sc = SecurityContext()
         sc_mem_add(write_sc, session_tag, PROT_RW)
         sc_fd_add(write_sc, conn_fd, FD_WRITE)
-        sc_cgate_add(sc, ssl_write_gate, write_sc, trusted)
+        sc_cgate_add(sc, ssl_write_gate, write_sc, trusted,
+                     supervise=self.supervise)
         return sc
 
     # -- phase 1 body (runs inside the ssl_handshake sthread) ----------------

@@ -25,7 +25,8 @@ import threading
 from repro.apps.httpd import content
 from repro.apps.httpd.common import HttpdBase
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import HandshakeFailure, ProtocolError, WedgeError
+from repro.core.errors import (CompartmentDown, HandshakeFailure,
+                               ProtocolError, SthreadFaulted, WedgeError)
 from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
                                sc_fd_add, sc_mem_add, sc_sel_context)
 from repro.core.memory import PROT_READ
@@ -146,18 +147,22 @@ class SimplePartitionHttpd(HttpdBase):
         gate_sc = SecurityContext()
         sc_mem_add(gate_sc, self.key_tag, PROT_READ)
         sc_cgate_add(sc, setup_session_key_gate, gate_sc,
-                     self._gate_trusted)
+                     self._gate_trusted, supervise=self.supervise)
         return sc
 
     def handle_connection(self, conn_fd):
         sc = self._worker_context(conn_fd)
         worker = self.kernel.sthread_create(
             sc, self._worker_body, {"fd": conn_fd},
-            name=f"worker{self.connections_served}", spawn="thread")
+            name=f"worker{self.connections_served}", spawn="thread",
+            supervise=self.supervise)
         self.workers.append(worker)
-        self.kernel.sthread_join(worker, timeout=20.0)
-        if worker.faulted:
-            self.errors.append(f"worker faulted: {worker.fault}")
+        try:
+            self.kernel.sthread_join(worker, timeout=20.0)
+        except (SthreadFaulted, CompartmentDown) as exc:
+            # contained: this client's connection dies with its worker;
+            # the listener keeps accepting
+            self.errors.append(f"worker faulted: {exc}")
 
     # -- code below this line executes inside the worker sthread ------------
 

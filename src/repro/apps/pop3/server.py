@@ -25,7 +25,8 @@ import threading
 
 from repro.apps.pop3 import store
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import ProtocolError, WedgeError
+from repro.core.errors import (CallgateError, CompartmentDown,
+                               ProtocolError, SthreadFaulted, WedgeError)
 from repro.core.kernel import Kernel
 from repro.core.memory import PROT_READ, PROT_RW
 from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
@@ -155,12 +156,19 @@ class GateAdapter:
         self.retrieve_id = retrieve_id
 
     def login(self, user, password):
-        reply = self.kernel.cgate(self.login_id, None,
-                                  {"user": user, "password": password})
+        try:
+            reply = self.kernel.cgate(self.login_id, None,
+                                      {"user": user, "password": password})
+        except (CallgateError, CompartmentDown):
+            return False   # a dead login gate denies, it never grants
         return reply["ok"]
 
     def list_messages(self):
-        reply = self.kernel.cgate(self.retrieve_id, None, {"op": "list"})
+        try:
+            reply = self.kernel.cgate(self.retrieve_id, None,
+                                      {"op": "list"})
+        except (CallgateError, CompartmentDown):
+            return False, "service unavailable"
         if not reply["ok"]:
             return False, reply.get("error", "failed")
         return True, reply["sizes"]
@@ -170,8 +178,11 @@ class GateAdapter:
             index = int(index_str)
         except ValueError:
             return False, "bad message number"
-        reply = self.kernel.cgate(self.retrieve_id, None,
-                                  {"op": "retr", "index": index})
+        try:
+            reply = self.kernel.cgate(self.retrieve_id, None,
+                                      {"op": "retr", "index": index})
+        except (CallgateError, CompartmentDown):
+            return False, "service unavailable"
         if not reply["ok"]:
             return False, reply.get("error", "failed")
         return True, reply["message"]
@@ -222,9 +233,11 @@ class Pop3Base:
     variant = "base"
 
     def __init__(self, network, addr, *, accounts=None, mail=None,
-                 partitioned=True):
+                 partitioned=True, supervise=None):
         self.network = network
         self.addr = addr
+        #: optional RestartPolicy applied to per-connection handlers
+        self.supervise = supervise
         self.kernel = Kernel(net=network, name=f"pop3-{self.variant}")
         self.main = self.kernel.start_main()
         self.accounts = dict(accounts or store.DEFAULT_ACCOUNTS)
@@ -332,11 +345,13 @@ class PartitionedPop3(Pop3Base):
         login_sc = SecurityContext()
         sc_mem_add(login_sc, self.pw_tag, PROT_READ)
         sc_mem_add(login_sc, uid_tag, PROT_RW)
-        sc_cgate_add(sc, login_gate, login_sc, trusted)
+        sc_cgate_add(sc, login_gate, login_sc, trusted,
+                     supervise=self.supervise)
         retr_sc = SecurityContext()
         sc_mem_add(retr_sc, self.mail_tag, PROT_READ)
         sc_mem_add(retr_sc, uid_tag, PROT_READ)
-        sc_cgate_add(sc, retrieve_gate, retr_sc, trusted)
+        sc_cgate_add(sc, retrieve_gate, retr_sc, trusted,
+                     supervise=self.supervise)
         return sc, uid_tag, uid_buf
 
     def handle_connection(self, conn_fd):
@@ -346,12 +361,17 @@ class PartitionedPop3(Pop3Base):
         handler = kernel.sthread_create(
             sc, self._handler_body,
             {"fd": conn_fd, "uid_addr": uid_buf.addr},
-            name=f"pop3-handler{self.connections_served}", spawn="thread")
+            name=f"pop3-handler{self.connections_served}", spawn="thread",
+            supervise=self.supervise)
         self.handlers.append(handler)
-        kernel.sthread_join(handler, timeout=20.0)
-        if handler.faulted:
-            self.errors.append(f"handler faulted: {handler.fault}")
-        kernel.tag_delete(uid_tag)
+        try:
+            kernel.sthread_join(handler, timeout=20.0)
+        except (SthreadFaulted, CompartmentDown) as exc:
+            # contained: this session's connection drops; the mailbox
+            # and password blobs are untouched and the listener lives
+            self.errors.append(f"handler faulted: {exc}")
+        finally:
+            kernel.tag_delete(uid_tag)
 
     # -- runs inside the client handler sthread ------------------------------
 

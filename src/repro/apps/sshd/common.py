@@ -95,10 +95,12 @@ class SshdBase:
     variant = "base"
 
     def __init__(self, network, addr, *, seed="sshd", env=None,
-                 tag_cache=True):
+                 tag_cache=True, supervise=None):
         self.network = network
         self.addr = addr
         self.rng = DetRNG(seed)
+        #: optional RestartPolicy applied to per-connection compartments
+        self.supervise = supervise
         self.env = env or SshdEnvironment(self.rng.fork("env"))
         self.kernel = Kernel(net=network, name=f"sshd-{self.variant}")
         self.main = self.kernel.start_main()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.apps.sshd import pam
 from repro.apps.sshd.common import SshdBase
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import WedgeError
+from repro.core.errors import SthreadFaulted, WedgeError
 from repro.sshlib import userauth
 from repro.sshlib.server import (AuthOutcome, KernelSessionOps,
                                  ServerSession)
@@ -162,9 +162,10 @@ class MonolithicSshd(SshdBase):
         child = self.kernel.fork(self._child_body, {"fd": conn_fd},
                                  name=f"sshd-child{self.connections_served}",
                                  spawn="thread")
-        self.kernel.sthread_join(child, timeout=30.0)
-        if child.faulted:
-            self.errors.append(f"child faulted: {child.fault}")
+        try:
+            self.kernel.sthread_join(child, timeout=30.0)
+        except SthreadFaulted as exc:
+            self.errors.append(f"child faulted: {exc}")
 
     # -- runs in the fork child ------------------------------------------------
 

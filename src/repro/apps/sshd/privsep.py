@@ -31,6 +31,7 @@ import threading
 
 from repro.apps.sshd.common import SSHD_UID, SshdBase
 from repro.apps.sshd.monolithic import DirectAuthBackend
+from repro.core.errors import SthreadFaulted
 from repro.attacks.exploit import maybe_trigger_exploit
 from repro.crypto.dsa import DsaPrivateKey
 from repro.sshlib import userauth
@@ -169,9 +170,10 @@ class PrivsepSshd(SshdBase):
             self._slave_body, {"fd": conn_fd},
             name=f"slave{self.connections_served}", spawn="thread")
         self.slaves.append(slave)
-        self.kernel.sthread_join(slave, timeout=30.0)
-        if slave.faulted:
-            self.errors.append(f"slave faulted: {slave.fault}")
+        try:
+            self.kernel.sthread_join(slave, timeout=30.0)
+        except SthreadFaulted as exc:
+            self.errors.append(f"slave faulted: {exc}")
 
     # -- runs in the forked slave -------------------------------------------------
 

@@ -36,7 +36,8 @@ import threading
 from repro.apps.sshd import pam
 from repro.apps.sshd.common import EMPTY_DIR, SSHD_UID, SshdBase
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import ProtocolError, WedgeError
+from repro.core.errors import (CallgateError, CompartmentDown,
+                               ProtocolError, SthreadFaulted, WedgeError)
 from repro.core.memory import PROT_READ
 from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
                                sc_fd_add, sc_mem_add)
@@ -176,6 +177,14 @@ class GateAuthBackend:
         self.gates = gates
 
     def handle(self, method, user, payload, session_hash):
+        try:
+            return self._dispatch(method, user, payload, session_hash)
+        except (CallgateError, CompartmentDown):
+            # a crashed (or degraded) auth gate denies — it never
+            # grants — and the daemon survives the gate's death
+            return AuthOutcome.fail(b"authentication service unavailable")
+
+    def _dispatch(self, method, user, payload, session_hash):
         kernel = self.kernel
         if method == userauth.AUTH_PASSWORD:
             # two-step flow kept for ease of coding (paper section 5.2);
@@ -261,7 +270,8 @@ class WedgeSshd(SshdBase):
 
         sign_sc = SecurityContext()
         sc_mem_add(sign_sc, self.key_tag, PROT_READ)
-        sc_cgate_add(sc, dsa_sign_gate, sign_sc, self._gate_trusted)
+        sc_cgate_add(sc, dsa_sign_gate, sign_sc, self._gate_trusted,
+                     supervise=self.supervise)
 
         # only the password gate consults the tagged configuration (for
         # the password_authentication switch); dsa_auth and skey work
@@ -269,21 +279,25 @@ class WedgeSshd(SshdBase):
         # excess — caught by `python -m repro lint` as UNUSED_GRANT
         pw_sc = SecurityContext()
         sc_mem_add(pw_sc, self.config_tag, PROT_READ)
-        sc_cgate_add(sc, password_gate, pw_sc, self._gate_trusted)
+        sc_cgate_add(sc, password_gate, pw_sc, self._gate_trusted,
+                     supervise=self.supervise)
         for entry in (dsa_auth_gate, skey_gate):
             sc_cgate_add(sc, entry, SecurityContext(),
-                         self._gate_trusted)
+                         self._gate_trusted, supervise=self.supervise)
         return sc
 
     def handle_connection(self, conn_fd):
         sc = self._worker_context(conn_fd)
         worker = self.kernel.sthread_create(
             sc, self._worker_body, {"fd": conn_fd},
-            name=f"ssh-worker{self.connections_served}", spawn="thread")
+            name=f"ssh-worker{self.connections_served}", spawn="thread",
+            supervise=self.supervise)
         self.workers.append(worker)
-        self.kernel.sthread_join(worker, timeout=30.0)
-        if worker.faulted:
-            self.errors.append(f"worker faulted: {worker.fault}")
+        try:
+            self.kernel.sthread_join(worker, timeout=30.0)
+        except (SthreadFaulted, CompartmentDown) as exc:
+            # contained: the pre-auth worker dies, the daemon does not
+            self.errors.append(f"worker faulted: {exc}")
 
     # -- runs inside the worker sthread ---------------------------------------
 

@@ -15,6 +15,8 @@ command            prints
 ``lint``           three-way least-privilege lint (declared vs
                    static vs traced) over the shipped compartments
 ``attack``         run the MITM or sshd attack scenario end to end
+``chaos``          seeded fault-injection campaign against the shipped
+                   apps; proves crash containment end to end
 =================  ====================================================
 """
 
@@ -281,6 +283,28 @@ def cmd_attack(args):
     return 2
 
 
+def cmd_chaos(args):
+    from repro.faults.chaos import (CHAOS_APP_NAMES, cow_freshness_probe,
+                                    run_chaos)
+    names = [args.app] if args.app else list(CHAOS_APP_NAMES)
+    unknown = [name for name in names if name not in CHAOS_APP_NAMES]
+    if unknown:
+        print(f"unknown app {unknown[0]!r}; choose from "
+              f"{sorted(CHAOS_APP_NAMES)}", file=sys.stderr)
+        return 2
+    failed = False
+    for name in names:
+        report = run_chaos(name, seed=args.seed, faults=args.faults)
+        print(report.format())
+        failed = failed or not report.passed
+    probe = cow_freshness_probe()
+    print(f"cow freshness probe: "
+          f"{'ok' if probe['fresh'] else 'FAILED'} "
+          f"(observations={probe['observations']})")
+    failed = failed or not probe["fresh"]
+    return 1 if failed else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -319,6 +343,15 @@ def build_parser():
     pk = sub.add_parser("attack", help="run an attack scenario")
     pk.add_argument("scenario", nargs="?", default="mitm")
     pk.set_defaults(fn=cmd_attack)
+    pc = sub.add_parser("chaos",
+                        help="fault-injection campaign (containment)")
+    pc.add_argument("--seed", type=int, default=0,
+                    help="FaultPlan seed (campaigns are reproducible)")
+    pc.add_argument("--faults", type=int, default=50,
+                    help="injections to reach per app")
+    pc.add_argument("--app", default=None,
+                    help="chaos one app instead of all")
+    pc.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -21,7 +21,7 @@ class CallgateRecord:
 
     def __init__(self, gate_id, entry, sc, trusted_arg, *, creator_uid,
                  creator_root, creator_sid, fd_files, recycled=False,
-                 name=""):
+                 supervise=None, name=""):
         self.id = gate_id
         self.entry = entry
         self.sc = sc
@@ -39,6 +39,15 @@ class CallgateRecord:
         #: persistent compartment for recycled gates (built lazily)
         self.persistent = None
         self.invocations = 0
+        #: RestartPolicy for supervised gates, or None
+        self.supervise = supervise
+        #: grants frozen at instantiation: a restart may never widen them
+        #: (lint's RESTART_WIDENING compares the live sc against this)
+        self.baseline_grants = (dict(sc.mem), dict(sc.fds),
+                                tuple(sorted(sc.gate_ids)))
+        self.restarts = 0
+        self.degraded = False
+        self.last_fault = None
 
     def __repr__(self):
         flavor = "recycled " if self.recycled else ""

@@ -98,12 +98,79 @@ class SthreadError(WedgeError):
     """Sthread lifecycle error (double join, join of unknown thread)."""
 
 
+class JoinTimeout(SthreadError):
+    """``sthread_join`` gave up waiting; the child may still be running."""
+
+    def __init__(self, message, *, sthread=None, timeout=None):
+        super().__init__(message)
+        self.sthread = sthread
+        self.timeout = timeout
+
+
+class SthreadFaulted(SthreadError):
+    """The joined sthread died of a :class:`CompartmentFault`.
+
+    The fault that killed the compartment is chained as ``__cause__``
+    and also exposed as :attr:`fault` for callers that match on it.
+    """
+
+    def __init__(self, message, *, sthread=None, fault=None):
+        super().__init__(message)
+        self.sthread = sthread
+        self.fault = fault
+
+
+class CompartmentDown(WedgeError):
+    """A supervised compartment exhausted its restart budget.
+
+    Surfaced to callers instead of the raw fault traceback once a
+    :class:`~repro.faults.RestartPolicy` declares the compartment
+    *degraded*: the service keeps running, the compartment does not.
+    """
+
+    def __init__(self, message, *, name=None, restarts=None, last_fault=None):
+        super().__init__(message)
+        self.name = name
+        self.restarts = restarts
+        self.last_fault = last_fault
+
+
+class CallgateDegraded(CompartmentDown):
+    """A supervised callgate is terminally degraded (no more restarts)."""
+
+
+class GateTimeout(CallgateError):
+    """A watchdogged callgate invocation exceeded its deadline.
+
+    The incarnation that hung is abandoned; a supervised gate may be
+    restarted from the COW snapshot on the next invocation.
+    """
+
+    def __init__(self, message, *, gate_id=None, timeout=None):
+        super().__init__(message)
+        self.gate_id = gate_id
+        self.timeout = timeout
+
+
 class NetworkError(WedgeError):
     """Simulated network failure (no listener, connection reset)."""
 
 
 class ConnectionClosed(NetworkError):
     """The peer closed the simulated stream."""
+
+
+class NetTimeout(NetworkError):
+    """A blocking network operation (accept/recv) exceeded its timeout."""
+
+    def __init__(self, message, *, op=None, timeout=None):
+        super().__init__(message)
+        self.op = op
+        self.timeout = timeout
+
+
+class PeerReset(NetworkError):
+    """The connection was torn down abruptly (simulated RST)."""
 
 
 class ProtocolError(WedgeError):

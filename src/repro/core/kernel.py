@@ -31,12 +31,16 @@ its costs and checks its permissions against that compartment.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.core.callgate import CallgateRecord
 from repro.core.costs import CostAccount
-from repro.core.errors import (CallgateError, CompartmentFault,
-                               PolicyError, SthreadError, SyscallDenied,
-                               TagError, VfsError, WedgeError)
+from repro.core.errors import (CallgateDegraded, CallgateError,
+                               CompartmentDown, CompartmentFault,
+                               GateTimeout, MemoryViolation, OutOfMemory,
+                               PolicyError, SthreadError, SthreadFaulted,
+                               SyscallDenied, TagError, VfsError,
+                               WedgeError)
 from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
                                 SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
@@ -129,6 +133,10 @@ class Kernel:
         #: late-attaching cb-log resolve objects allocated before it
         self.live_allocations = {}
         self.sthreads = []
+        #: installed FaultPlan, or None.  The hot paths test this one
+        #: attribute and branch away, so the disabled overhead is a
+        #: single None check.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -249,15 +257,57 @@ class Kernel:
         return st
 
     # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan):
+        """Attach a :class:`~repro.faults.FaultPlan` (or None to remove).
+
+        The plan is consulted at the kernel chokepoints and propagated
+        to the attached network so connect/send faults fire too.
+        """
+        self.faults = plan
+        if self.net is not None:
+            self.net.faults = plan
+        return plan
+
+    def _fault_point(self, site, addr=None):
+        """Consult the installed plan at *site*; raise the chosen fault."""
+        st = self.current()
+        spec = self.faults.fire(site, compartment=st)
+        if spec is None:
+            return
+        kind = spec.kind
+        if kind == "memfault":
+            raise MemoryViolation(
+                f"injected fault: {site} in {st.name}", addr=addr,
+                op="injected", sthread=st)
+        if kind == "enomem":
+            raise OutOfMemory(
+                f"injected allocator exhaustion in {st.name}")
+        if kind == "crash":
+            raise MemoryViolation(
+                f"injected crash at {site} in {st.name}",
+                op="injected", sthread=st)
+        if kind == "delay":
+            time.sleep(spec.delay)
+            return
+        raise WedgeError(f"unhandled injected fault kind {kind!r}")
+
+    # ------------------------------------------------------------------
     # memory: loads/stores, tags, allocators
     # ------------------------------------------------------------------
 
     def mem_read(self, addr, size):
         """Load *size* bytes under the current compartment's protections."""
+        if self.faults is not None and self.faults.enabled:
+            self._fault_point("mem_read", addr)
         return self.bus.read(self.current().table, addr, size)
 
     def mem_write(self, addr, data):
         """Store bytes under the current compartment's protections."""
+        if self.faults is not None and self.faults.enabled:
+            self._fault_point("mem_write", addr)
         self.bus.write(self.current().table, addr, bytes(data))
 
     def tag_new(self, size=DEFAULT_TAG_SIZE, *, name=""):
@@ -310,6 +360,8 @@ class Kernel:
             raise TagError(f"tag {tag.id} is a boundary section; "
                            f"it cannot back smalloc")
         self._check_quota(st, size)
+        if self.faults is not None and self.faults.enabled:
+            self._fault_point("smalloc")
         from repro.core.allocator import Heap
         view = TableView(self.bus, st.table, tag.segment, tag.segment.size)
         heap = Heap(view, tag.segment.size, costs=self.costs)
@@ -325,6 +377,8 @@ class Kernel:
         st = self.current()
         if st.smalloc_tag is not None:
             return self.smalloc(size, st.smalloc_tag)
+        if self.faults is not None and self.faults.enabled:
+            self._fault_point("malloc")
         self._check_quota(st, size)
         heap = self._heap_for(st)
         offset = heap.alloc(size)
@@ -456,7 +510,7 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def sthread_create(self, sc, body, arg=None, *, name="",
-                       spawn="thread", emulate=False):
+                       spawn="thread", emulate=False, supervise=None):
         """Create a compartment with exactly the privileges in *sc*.
 
         ``spawn="thread"`` runs *body* concurrently; ``spawn="inline"``
@@ -464,9 +518,21 @@ class Kernel:
         ``emulate=True`` uses the sthread emulation library: the child
         gets grant-all memory and its violations are recorded on
         ``child.table.violations`` instead of killing it (paper §3.4).
+        ``supervise=RestartPolicy(...)`` wraps the compartment in a
+        supervisor that restarts it from the COW snapshot on a
+        :class:`CompartmentFault`, up to the policy's budget; the
+        returned handle is a
+        :class:`~repro.faults.supervise.SupervisedSthread`.
         """
         parent = self._syscall("sthread_create")
         check_subset_of(sc, parent, self.selinux)
+        if supervise is not None:
+            from repro.faults.supervise import SupervisedSthread
+            handle = SupervisedSthread(
+                self, sc, parent, body, arg,
+                name=name or f"sup{self._next_sthread_id}",
+                policy=supervise, spawn=spawn, emulate=emulate)
+            return handle.start()
         child = self._build_sthread(sc, parent, name=name or None,
                                     kind="sthread")
         child.table.emulation = emulate
@@ -515,11 +581,27 @@ class Kernel:
             raise WedgeError(f"unknown spawn mode {spawn!r}")
 
     def sthread_join(self, st, timeout=30.0):
-        """Wait for *st*; returns its result (``None`` if it faulted)."""
+        """Wait for *st*; returns its result.
+
+        Raises typed errors instead of burying failure in ``None``:
+
+        * :class:`~repro.core.errors.JoinTimeout` — *st* is still
+          running after *timeout*;
+        * :class:`~repro.core.errors.SthreadFaulted` — *st* died of a
+          :class:`CompartmentFault` (chained as ``__cause__``);
+        * :class:`~repro.core.errors.CompartmentDown` — a supervised
+          *st* exhausted its restart budget.
+        """
         result = st.join(timeout)
         self.costs.charge("task_destroy")
         if st.kind != "pthread":  # pthreads share the mm; nothing to tear down
             self.costs.charge("mm_destroy")
+        if getattr(st, "degraded", False):
+            raise st.down_error() from st.last_fault
+        if st.faulted:
+            raise SthreadFaulted(
+                f"sthread {st.name!r} faulted: {st.fault}",
+                sthread=st, fault=st.fault) from st.fault
         return result
 
     def fork(self, body, arg=None, *, name="", spawn="thread"):
@@ -601,12 +683,13 @@ class Kernel:
             gate_id, spec.entry, spec.gate_sc, spec.trusted_arg,
             creator_uid=creator.uid, creator_root=creator.root,
             creator_sid=(spec.gate_sc.sid or creator.sel_sid),
-            fd_files=fd_files, recycled=spec.recycled)
+            fd_files=fd_files, recycled=spec.recycled,
+            supervise=spec.supervise)
         self._gates[gate_id] = record
         return record
 
     def create_gate(self, entry, gate_sc, trusted_arg=None, *,
-                    recycled=False):
+                    recycled=False, supervise=None):
         """Create a callgate for the *current* compartment.
 
         The paper's primary idiom: "after a privileged sthread creates a
@@ -617,7 +700,8 @@ class Kernel:
         """
         from repro.core.policy import CallgateSpec
         creator = self.current()
-        spec = CallgateSpec(entry, gate_sc, trusted_arg, recycled=recycled)
+        spec = CallgateSpec(entry, gate_sc, trusted_arg, recycled=recycled,
+                            supervise=supervise)
         record = self._instantiate_gate(spec, creator)
         creator.gates.add(record.id)
         return record
@@ -645,6 +729,11 @@ class Kernel:
             if perms.gate_specs or perms.gate_ids:
                 raise PolicyError("cgate arg perms cannot carry callgates")
         record.invocations += 1
+        if record.supervise is not None:
+            return self._invoke_supervised(record, caller, perms, arg)
+        return self._invoke_once(record, caller, perms, arg)
+
+    def _invoke_once(self, record, caller, perms, arg):
         if record.recycled:
             return self._invoke_recycled(record, caller, perms, arg)
         return self._invoke_fresh(record, caller, perms, arg)
@@ -696,6 +785,8 @@ class Kernel:
         gate.status = "running"
         with self._as_current(gate):
             try:
+                if self.faults is not None and self.faults.enabled:
+                    self._fault_point("cgate")
                 result = record.entry(record.trusted_arg, arg)
                 gate.status = "exited"
                 return result
@@ -744,6 +835,85 @@ class Kernel:
                 record.persistent = None  # a dead gate is not reused
             else:
                 gate.status = "running"
+
+    def _invoke_supervised(self, record, caller, perms, arg):
+        """Invoke a supervised gate: watchdog, restart-on-fault, degrade.
+
+        A faulted (or watchdog-abandoned) incarnation is discarded —
+        ``record.persistent = None`` forces the next attempt to rebuild
+        the compartment from the pristine COW snapshot — and the call is
+        retried after a backoff, up to the policy's cumulative restart
+        budget.  Past the budget the gate turns terminally *degraded*:
+        this and every later invocation raise
+        :class:`~repro.core.errors.CallgateDegraded`.
+
+        Only compartment deaths count: a gate that raises an ordinary
+        application error (bad password, handshake failure) finished its
+        job and is not restarted.
+        """
+        policy = record.supervise
+        if record.degraded:
+            raise CallgateDegraded(
+                f"callgate {record.name!r} is degraded after "
+                f"{record.restarts} restart(s)",
+                name=record.name, restarts=record.restarts,
+                last_fault=record.last_fault)
+        delay = policy.backoff
+        while True:
+            try:
+                if policy.watchdog is not None:
+                    return self._invoke_with_watchdog(
+                        record, caller, perms, arg, policy.watchdog)
+                return self._invoke_once(record, caller, perms, arg)
+            except CallgateError as exc:
+                # CallgateError here means the incarnation died (a
+                # CompartmentFault surfaced by _run_gate, or a watchdog
+                # GateTimeout); application-level errors pass through
+                record.last_fault = exc
+                record.persistent = None   # restart = rebuild from COW
+                if record.restarts >= policy.max_restarts:
+                    record.degraded = True
+                    raise CallgateDegraded(
+                        f"callgate {record.name!r} degraded after "
+                        f"{record.restarts} restart(s): {exc}",
+                        name=record.name, restarts=record.restarts,
+                        last_fault=exc) from exc
+                record.restarts += 1
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= policy.backoff_factor
+
+    def _invoke_with_watchdog(self, record, caller, perms, arg, deadline):
+        """Run one invocation on a worker thread; abandon it on timeout.
+
+        The worker's compartment-context stack is pre-seeded with the
+        real caller so ``kernel.caller()`` keeps resolving correctly for
+        promote-style gates.  On timeout the hung incarnation is simply
+        abandoned (daemon thread) and the persistent compartment, if
+        any, is dropped so it cannot be reused mid-invocation.
+        """
+        box = {}
+
+        def run():
+            self._stack().append(caller)
+            try:
+                box["result"] = self._invoke_once(record, caller, perms,
+                                                  arg)
+            except BaseException as exc:  # re-raised on the caller thread
+                box["error"] = exc
+
+        worker = threading.Thread(target=run, name=f"wd:{record.name}",
+                                  daemon=True)
+        worker.start()
+        worker.join(deadline)
+        if worker.is_alive():
+            record.persistent = None   # never reuse a hung incarnation
+            raise GateTimeout(
+                f"callgate {record.name!r} exceeded its {deadline}s "
+                f"watchdog", gate_id=record.id, timeout=deadline)
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
 
     def gate_record(self, gate_id):
         return self._gates.get(int(gate_id))

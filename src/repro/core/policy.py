@@ -48,11 +48,15 @@ class CallgateSpec:
     bound to a new sthread, per paper section 4.1.
     """
 
-    def __init__(self, entry, gate_sc, trusted_arg, *, recycled=False):
+    def __init__(self, entry, gate_sc, trusted_arg, *, recycled=False,
+                 supervise=None):
         self.entry = entry
         self.gate_sc = gate_sc
         self.trusted_arg = trusted_arg
         self.recycled = recycled
+        #: optional RestartPolicy: restart the gate from the COW
+        #: snapshot on a fault, bounded by the policy's budget
+        self.supervise = supervise
 
     def __repr__(self):
         name = getattr(self.entry, "__name__", repr(self.entry))
@@ -113,7 +117,7 @@ def sc_sel_context(sc, sid):
 
 
 def sc_cgate_add(sc, gate, gate_sc=None, trusted_arg=None, *,
-                 recycled=False):
+                 recycled=False, supervise=None):
     """Add a callgate grant (``sc_cgate_add`` in Table 1).
 
     Two forms, matching how the paper's API is used:
@@ -121,7 +125,9 @@ def sc_cgate_add(sc, gate, gate_sc=None, trusted_arg=None, *,
     * ``sc_cgate_add(sc, entry_fn, gate_sc, trusted_arg)`` — define a new
       callgate at entry point *entry_fn* running with *gate_sc*; it is
       instantiated kernel-side when *sc* is bound to a new sthread.
-      ``recycled=True`` makes it a long-lived recycled callgate.
+      ``recycled=True`` makes it a long-lived recycled callgate;
+      ``supervise=RestartPolicy(...)`` makes the kernel restart it from
+      the COW snapshot when an invocation faults.
     * ``sc_cgate_add(sc, gate_id)`` — re-grant an existing callgate the
       caller itself may invoke (delegation to a child).
     """
@@ -129,9 +135,11 @@ def sc_cgate_add(sc, gate, gate_sc=None, trusted_arg=None, *,
         if gate_sc is None:
             raise PolicyError("a new callgate needs a security context")
         sc.gate_specs.append(
-            CallgateSpec(gate, gate_sc, trusted_arg, recycled=recycled))
+            CallgateSpec(gate, gate_sc, trusted_arg, recycled=recycled,
+                         supervise=supervise))
     else:
-        if gate_sc is not None or trusted_arg is not None:
+        if gate_sc is not None or trusted_arg is not None or \
+                supervise is not None:
             raise PolicyError(
                 "re-granting an existing callgate takes no context/arg")
         sc.gate_ids.append(int(gate))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.errors import CompartmentFault, SthreadError
+from repro.core.errors import CompartmentFault, JoinTimeout, SthreadError
 from repro.core.memory import PAGE_SIZE, PageTable
 
 #: Default private-region sizes (paper: every sthread receives a private
@@ -108,7 +108,9 @@ class Sthread:
         if self._joined:
             raise SthreadError(f"{self.name} already joined")
         if not self._done.wait(timeout):
-            raise SthreadError(f"join of {self.name} timed out")
+            raise JoinTimeout(f"join of {self.name} timed out "
+                              f"after {timeout}s",
+                              sthread=self, timeout=timeout)
         self._joined = True
         if self._thread is not None:
             self._thread.join(timeout)

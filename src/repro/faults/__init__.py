@@ -1,0 +1,37 @@
+"""Deterministic fault injection and compartment supervision.
+
+The Wedge promise is *containment*: a crashing or hijacked compartment
+must not take the application down with it.  This package provides the
+machinery to prove that empirically:
+
+* :mod:`repro.faults.plan` — a seeded :class:`FaultPlan` the kernel
+  consults at its chokepoints (memory access, allocation, callgate
+  invocation, network connect/send) to inject faults at configurable
+  rates or exact hit counts;
+* :mod:`repro.faults.supervise` — :class:`RestartPolicy` and the
+  supervised-sthread machinery: bounded restart-with-backoff from the
+  COW snapshot, watchdog timeouts on callgates, and a terminal
+  ``degraded`` state surfaced as a typed
+  :class:`~repro.core.errors.CompartmentDown`;
+* :mod:`repro.faults.chaos` — the ``python -m repro chaos`` harness:
+  run every shipped app under randomized injection and assert the
+  service invariants (listener alive, stores intact, no secrets in
+  error paths, restarted gates observe fresh COW state).
+"""
+
+from repro.faults.chaos import (CHAOS_APP_NAMES, ChaosReport,
+                                cow_freshness_probe, run_chaos)
+from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.faults.supervise import RestartPolicy, SupervisedSthread
+
+__all__ = [
+    "CHAOS_APP_NAMES",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "RestartPolicy",
+    "SupervisedSthread",
+    "cow_freshness_probe",
+    "run_chaos",
+]

@@ -1,0 +1,357 @@
+"""The chaos harness: prove crash containment end-to-end.
+
+For each shipped application this module runs a fault-injection
+campaign::
+
+    build server (per-connection compartments supervised)
+      -> one clean session (capture the expected observation)
+      -> install a seeded FaultPlan, hammer sessions until the target
+         injection count is reached
+      -> disable injection, run one clean probe session
+      -> verify: probe result identical to the baseline, sensitive
+         blobs byte-identical, listener still accepting
+
+A campaign passes when every injected fault was *contained*: client
+sessions may fail or be denied, but the daemon never dies, no sensitive
+state is corrupted, and a post-chaos clean session is served exactly as
+before the storm.  :func:`cow_freshness_probe` separately proves that a
+restarted compartment observes the pristine pre-``main`` snapshot, not
+the scribblings of its crashed predecessor.
+
+Run from the command line: ``python -m repro chaos --seed 1 --faults 50``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.errors import ProtocolError, WedgeError
+from repro.faults.plan import FaultPlan
+from repro.faults.supervise import RestartPolicy
+
+#: Client-side timeout for chaos sessions, seconds.  Short: a session
+#: whose peer compartment crashed should give up quickly so the
+#: campaign keeps moving.
+CLIENT_TIMEOUT = 2.0
+
+#: Safety valve: stop hammering even if the injection target was not
+#: reached (the report then shows the shortfall).
+MAX_SESSIONS = 400
+
+#: Per-site injection rates used by :func:`default_plan`.  ``reset`` is
+#: preferred over ``drop`` for the network leg: a reset surfaces at both
+#: ends immediately, a silent drop costs a full client timeout per hit.
+DEFAULT_RATES = {
+    ("mem_read", "memfault"): 0.004,
+    ("mem_write", "memfault"): 0.004,
+    ("smalloc", "enomem"): 0.01,
+    ("malloc", "enomem"): 0.01,
+    ("cgate", "crash"): 0.05,
+    ("net_connect", "refuse"): 0.02,
+    ("net_send", "reset"): 0.004,
+}
+
+
+def default_plan(seed, rates=None):
+    """The standard chaos mix: every site armed at a low rate."""
+    plan = FaultPlan(seed)
+    for (site, kind), rate in (rates or DEFAULT_RATES).items():
+        plan.add(site, kind, rate=rate)
+    return plan
+
+
+def default_policy():
+    """Supervision applied to per-connection compartments under chaos."""
+    return RestartPolicy(max_restarts=2, backoff=0.001)
+
+
+# -- per-app drivers ----------------------------------------------------------
+
+
+class ChaosTarget:
+    """One application under chaos: build it, poke it, check it."""
+
+    def __init__(self, name, make, session, snapshot, rates=None):
+        self.name = name
+        self.make = make
+        self.session = session
+        self.snapshot = snapshot
+        #: per-app rate overrides (sparser apps need hotter sites to
+        #: reach the same injection count in a bounded session budget)
+        self.rates = dict(DEFAULT_RATES)
+        self.rates.update(rates or {})
+
+
+def _make_httpd_simple(policy):
+    from repro.apps.httpd.simple import SimplePartitionHttpd
+    from repro.net import Network
+    return SimplePartitionHttpd(Network(), "chaos-simple:443",
+                                supervise=policy)
+
+
+def _make_httpd_mitm(policy):
+    from repro.apps.httpd.mitm import MitmPartitionHttpd
+    from repro.net import Network
+    return MitmPartitionHttpd(Network(), "chaos-mitm:443",
+                              supervise=policy)
+
+
+def _make_sshd(policy):
+    from repro.apps.sshd.wedge import WedgeSshd
+    from repro.net import Network
+    return WedgeSshd(Network(), "chaos-sshd:22", supervise=policy)
+
+
+def _make_pop3(policy):
+    from repro.apps.pop3.server import PartitionedPop3
+    from repro.net import Network
+    return PartitionedPop3(Network(), "chaos-pop3:110", supervise=policy)
+
+
+def _httpd_session(server, index, strict=False):
+    from repro.apps.httpd.content import build_request
+    from repro.crypto import DetRNG
+    from repro.tls import TlsClient
+    client = TlsClient(DetRNG(f"chaos{index}"),
+                       expected_server_key=server.public_key)
+    # connect the socket ourselves so it is closed even when the
+    # handshake dies half-way (an abandoned open socket would park the
+    # server worker on its recv timeout)
+    sock = server.network.connect(server.addr)
+    try:
+        conn = client.handshake(sock, resume=False, timeout=CLIENT_TIMEOUT)
+        return conn.request(build_request("/"))
+    finally:
+        sock.close()
+
+
+def _httpd_snapshot(server):
+    from repro.apps.httpd.content import build_response
+    return {"page /": build_response(server.pages, "/"),
+            "server key": server.public_key.to_bytes()}
+
+
+def _sshd_session(server, index, strict=False):
+    from repro.crypto import DetRNG
+    from repro.sshlib.client import SshConnection
+    from repro.sshlib.transport import ClientTransport
+    from repro.tls.records import StreamTransport
+    sock = server.network.connect(server.addr)
+    try:
+        driver = ClientTransport(
+            StreamTransport(sock, CLIENT_TIMEOUT), DetRNG(f"chaos{index}"),
+            expected_host_key=server.env.host_key.public())
+        conn = SshConnection(driver.run(), driver.session_hash,
+                             driver.host_key)
+        conn.auth_password("alice", b"wonderland")
+        out = conn.exec("whoami")
+        conn.close()
+        return out
+    finally:
+        sock.close()
+
+
+def _sshd_snapshot(server):
+    kernel = server.kernel
+    fd = kernel.open("/etc/shadow", "r")
+    try:
+        shadow = kernel.read(fd, 1 << 20)
+    finally:
+        kernel.close(fd)
+    return {"/etc/shadow": shadow,
+            "host key": server.env.host_key.public().to_bytes()}
+
+
+def _pop3_session(server, index, strict=False):
+    from repro.apps.pop3.client import Pop3Client
+    client = Pop3Client(server.network, server.addr,
+                        timeout=CLIENT_TIMEOUT)
+    try:
+        if not client.login("alice", b"wonderland"):
+            # a dead login gate *denies*; only the clean probe treats
+            # that as a failure
+            if strict:
+                raise ProtocolError("clean probe: login denied")
+            client.quit()
+            return None
+        sizes = client.list_messages()
+        message = client.retrieve(1)
+        client.quit()
+        return {"sizes": sizes, "message 1": message}
+    finally:
+        client.sock.close()
+
+
+def _pop3_snapshot(server):
+    return {"passwords": bytes(server.pw_buf.read()),
+            "mail spool": bytes(server.mail_buf.read())}
+
+
+CHAOS_TARGETS = {
+    "httpd-simple": ChaosTarget("httpd-simple", _make_httpd_simple,
+                                _httpd_session, _httpd_snapshot),
+    "httpd-mitm": ChaosTarget("httpd-mitm", _make_httpd_mitm,
+                              _httpd_session, _httpd_snapshot),
+    "sshd-wedge": ChaosTarget(
+        "sshd-wedge", _make_sshd, _sshd_session, _sshd_snapshot,
+        # few kernel-site hits per login, so run the gates hotter
+        rates={("cgate", "crash"): 0.12, ("mem_read", "memfault"): 0.01,
+               ("mem_write", "memfault"): 0.01}),
+    "pop3": ChaosTarget(
+        "pop3", _make_pop3, _pop3_session, _pop3_snapshot,
+        # a POP3 exchange touches only a handful of eligible sites
+        rates={("cgate", "crash"): 0.12, ("mem_read", "memfault"): 0.03,
+               ("mem_write", "memfault"): 0.03,
+               ("net_send", "reset"): 0.01}),
+}
+
+CHAOS_APP_NAMES = tuple(CHAOS_TARGETS)
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+class ChaosReport:
+    """What one campaign did and whether containment held."""
+
+    def __init__(self, app, seed, target_faults):
+        self.app = app
+        self.seed = seed
+        self.target_faults = target_faults
+        self.sessions = 0
+        self.failed_sessions = 0
+        self.degraded_sessions = 0
+        self.injected = 0
+        self.by_site = Counter()
+        self.restarts = 0
+        self.server_errors = 0
+        self.probe_ok = False
+        self.violations = []
+
+    @property
+    def passed(self):
+        return (self.probe_ok and not self.violations
+                and self.injected >= self.target_faults)
+
+    def format(self):
+        mix = " ".join(f"{site}:{kind}={n}" for (site, kind), n
+                       in sorted(self.by_site.items()))
+        lines = [
+            f"chaos {self.app} seed={self.seed}: "
+            f"{'PASS' if self.passed else 'FAIL'}",
+            f"  injected {self.injected} faults "
+            f"(target {self.target_faults}) over {self.sessions} sessions",
+            f"  mix: {mix or '-'}",
+            f"  contained: {self.failed_sessions} failed + "
+            f"{self.degraded_sessions} degraded sessions, "
+            f"{self.restarts} supervised restarts, "
+            f"{self.server_errors} server-side containments",
+            f"  clean probe: {'ok' if self.probe_ok else 'FAILED'}",
+        ]
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def _count_restarts(kernel):
+    # supervised sthread incarnations are named "<base>~r<generation>";
+    # supervised gates count their own restarts on the record
+    return (sum(1 for st in kernel.sthreads if "~r" in st.name)
+            + sum(r.restarts for r in kernel._gates.values()))
+
+
+def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
+              policy=None, plan=None):
+    """Run one chaos campaign; returns a :class:`ChaosReport`."""
+    target = CHAOS_TARGETS[app]
+    report = ChaosReport(app, seed, faults)
+    server = target.make(policy or default_policy())
+    server.start()
+    try:
+        # the expected behaviour, captured before any fault is armed
+        baseline_obs = target.session(server, 0, strict=True)
+        baseline = target.snapshot(server)
+
+        plan = plan or default_plan(seed, target.rates)
+        server.kernel.install_faults(plan)
+        index = 0
+        while plan.injection_count < faults and index < max_sessions:
+            index += 1
+            report.sessions += 1
+            try:
+                if target.session(server, index, strict=False) is None:
+                    report.degraded_sessions += 1
+            except WedgeError:
+                # contained by definition: the failure surfaced as a
+                # typed error in *this* client session
+                report.failed_sessions += 1
+        report.injected = plan.injection_count
+        report.by_site = Counter((e.site, e.kind) for e in plan.injected)
+
+        # the storm is over: injection off, the daemon must still serve
+        plan.enabled = False
+        try:
+            probe_obs = target.session(server, max_sessions + 1,
+                                       strict=True)
+            report.probe_ok = probe_obs == baseline_obs
+            if not report.probe_ok:
+                report.violations.append(
+                    "clean probe served different content than before "
+                    "the campaign")
+        except WedgeError as exc:
+            report.violations.append(f"clean probe failed: {exc}")
+
+        for name, blob in target.snapshot(server).items():
+            if blob != baseline[name]:
+                report.violations.append(
+                    f"sensitive state {name!r} changed during chaos")
+        report.restarts = _count_restarts(server.kernel)
+        report.server_errors = len(server.errors)
+    finally:
+        server.stop()
+    if report.injected < faults:
+        report.violations.append(
+            f"only {report.injected} of {faults} faults injected in "
+            f"{report.sessions} sessions")
+    return report
+
+
+def cow_freshness_probe():
+    """Prove a restarted compartment starts from the pristine snapshot.
+
+    A supervised sthread reads a pre-``main`` global, scribbles over its
+    copy-on-write view of it, then faults.  The restarted incarnation
+    must observe the *pristine* value again: per paper section 4.1 every
+    sthread maps the pre-``main`` image COW, so a crashed compartment's
+    writes die with it.  Returns the per-incarnation observations.
+    """
+    from repro.core.kernel import Kernel
+    from repro.core.policy import SecurityContext
+
+    kernel = Kernel(name="cow-probe")
+    kernel.declare_global("cow-sentinel", 8, b"pristine")
+    kernel.start_main()
+    addr = kernel.image.addr_of("cow-sentinel")
+    # heap memory of main, deliberately NOT granted to the sthread: the
+    # first incarnation faults by touching it
+    tripwire = kernel.alloc_buf(8, init=b"\0" * 8)
+    observations = []
+
+    def body(arg):
+        observations.append(bytes(kernel.mem_read(addr, 8)))
+        kernel.mem_write(addr, b"scribble")     # hits this COW copy only
+        if len(observations) == 1:
+            kernel.mem_read(tripwire.addr, 1)   # MemoryViolation: faults
+        return bytes(kernel.mem_read(addr, 8))
+
+    st = kernel.sthread_create(SecurityContext(), body, name="cow-probe",
+                               spawn="thread",
+                               supervise=RestartPolicy(max_restarts=2))
+    result = kernel.sthread_join(st)
+    return {
+        "observations": observations,
+        "result": result,
+        "fresh": (len(observations) == 2
+                  and observations[1] == b"pristine"
+                  and result == b"scribble"),
+    }

@@ -1,0 +1,193 @@
+"""Supervision: restart crashed compartments from the COW snapshot.
+
+The paper's fork-from-checkpoint semantics make sthread creation cheap
+and *clean*: every incarnation starts from the pristine pre-``main``
+image plus a fresh private heap and stack.  Supervision leans on
+exactly that — restarting a crashed compartment is just building a new
+sthread from the same :class:`~repro.core.policy.SecurityContext`, so
+no state leaks from the faulted incarnation into its replacement.
+
+* :class:`RestartPolicy` bounds the restarts (count, backoff, optional
+  per-invocation watchdog for callgates).
+* :class:`SupervisedSthread` is the parent-facing handle returned by
+  ``sthread_create(..., supervise=policy)``.  It absorbs
+  :class:`~repro.core.errors.CompartmentFault` deaths up to the restart
+  budget; beyond that it turns terminally *degraded* and
+  ``sthread_join`` surfaces a typed
+  :class:`~repro.core.errors.CompartmentDown` instead of a raw
+  traceback.
+
+Ordinary runtime errors (peer hung up, protocol violation — the
+``status == "error"`` path) do **not** trigger a restart: the
+compartment finished its job badly, it was not killed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.errors import (CompartmentDown, JoinTimeout, SthreadError)
+from repro.core.sthread import STATUS_FAULTED
+
+
+class RestartPolicy:
+    """How a supervised compartment may be restarted.
+
+    ``max_restarts`` bounds the *total* restarts over the compartment's
+    lifetime; ``backoff`` (doubling by ``backoff_factor`` each restart)
+    spaces them; ``watchdog`` — callgates only — abandons an invocation
+    that exceeds the deadline and raises
+    :class:`~repro.core.errors.GateTimeout`.
+    """
+
+    def __init__(self, max_restarts=3, *, backoff=0.005,
+                 backoff_factor=2.0, watchdog=None):
+        if max_restarts < 0:
+            raise SthreadError("max_restarts must be >= 0")
+        self.max_restarts = int(max_restarts)
+        self.backoff = float(backoff)
+        self.backoff_factor = float(backoff_factor)
+        self.watchdog = watchdog
+
+    def __repr__(self):
+        return (f"<RestartPolicy max_restarts={self.max_restarts} "
+                f"backoff={self.backoff} watchdog={self.watchdog}>")
+
+
+class SupervisedSthread:
+    """Parent-facing handle over a restartable chain of incarnations.
+
+    API-compatible with :class:`~repro.core.sthread.Sthread` where the
+    apps need it (``name``, ``status``, ``result``, ``faulted``,
+    ``fault``, ``join``), so ``kernel.sthread_join`` accepts either.
+    """
+
+    kind = "sthread"
+
+    def __init__(self, kernel, sc, parent, body, arg, *, name, policy,
+                 spawn="thread", emulate=False):
+        self.kernel = kernel
+        self.sc = sc
+        self.parent = parent
+        self.body = body
+        self.arg = arg
+        self.name = name
+        self.policy = policy
+        self.spawn = spawn
+        self.emulate = emulate
+        self.restarts = 0
+        self.degraded = False
+        self.last_fault = None
+        self.result = None
+        self.error = None
+        self.incarnations = []
+        self._thread = None
+        self._done = threading.Event()
+        self._joined = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        if self.spawn == "inline":
+            self._supervise()
+        elif self.spawn == "thread":
+            self._thread = threading.Thread(
+                target=self._supervise, name=f"sup:{self.name}",
+                daemon=True)
+            self._thread.start()
+        else:
+            raise SthreadError(f"unknown spawn mode {self.spawn!r}")
+        return self
+
+    def _spawn_incarnation(self, generation):
+        """Build a fresh sthread from the COW snapshot (no carry-over)."""
+        kernel = self.kernel
+        name = self.name if generation == 0 \
+            else f"{self.name}~r{generation}"
+        child = kernel._build_sthread(self.sc, self.parent, name=name,
+                                      kind="sthread")
+        child.table.emulation = self.emulate
+        kernel.costs.charge("task_create")
+        self.incarnations.append(child)
+        return child
+
+    def _supervise(self):
+        delay = self.policy.backoff
+        generation = 0
+        while True:
+            child = self._spawn_incarnation(generation)
+            # run the incarnation on *this* thread: the supervisor is
+            # the thread of control, each incarnation is a compartment
+            child.run_body(self.kernel, self.body, self.arg)
+            if child.status != STATUS_FAULTED:
+                self.result = child.result
+                self.error = child.error
+                break
+            self.last_fault = child.fault
+            if self.restarts >= self.policy.max_restarts:
+                self.degraded = True
+                break
+            self.restarts += 1
+            generation += 1
+            if delay > 0:
+                time.sleep(delay)
+            delay *= self.policy.backoff_factor
+        self._done.set()
+
+    # -- Sthread-compatible surface ------------------------------------------
+
+    @property
+    def current_incarnation(self):
+        return self.incarnations[-1] if self.incarnations else None
+
+    @property
+    def status(self):
+        if self.degraded:
+            return "degraded"
+        child = self.current_incarnation
+        return child.status if child is not None else "new"
+
+    @property
+    def done(self):
+        return self._done.is_set()
+
+    @property
+    def faulted(self):
+        """Only a *terminal* failure counts: absorbed faults do not."""
+        return self.degraded
+
+    @property
+    def fault(self):
+        return self.last_fault if self.degraded else None
+
+    def join(self, timeout=30.0):
+        """Wait for the supervised chain to settle; return the result.
+
+        Raises :class:`~repro.core.errors.JoinTimeout` if the chain is
+        still running (or restarting) after *timeout*.  A degraded chain
+        returns ``None`` here; ``kernel.sthread_join`` turns that into a
+        typed :class:`~repro.core.errors.CompartmentDown`.
+        """
+        if self._joined:
+            raise SthreadError(f"{self.name} already joined")
+        if not self._done.wait(timeout):
+            raise JoinTimeout(f"join of {self.name} timed out "
+                              f"after {timeout}s",
+                              sthread=self, timeout=timeout)
+        self._joined = True
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.result
+
+    def down_error(self):
+        """The typed error a caller should see for this degraded chain."""
+        return CompartmentDown(
+            f"compartment {self.name!r} degraded after "
+            f"{self.restarts} restart(s): {self.last_fault}",
+            name=self.name, restarts=self.restarts,
+            last_fault=self.last_fault)
+
+    def __repr__(self):
+        return (f"<SupervisedSthread {self.name!r} status={self.status} "
+                f"restarts={self.restarts}>")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.errors import NetworkError
+from repro.core.errors import NetTimeout, NetworkError
 from repro.net.stream import DuplexStream
 
 
@@ -42,7 +42,8 @@ class Listener:
         with self._cond:
             if not self._cond.wait_for(
                     lambda: self._pending or self._closed, timeout):
-                raise NetworkError(f"accept timed out on {self.addr!r}")
+                raise NetTimeout(f"accept timed out on {self.addr!r}",
+                                 op="accept", timeout=timeout)
             if self._closed and not self._pending:
                 raise NetworkError(f"listener {self.addr!r} is closed")
             return self._pending.pop(0)
@@ -66,6 +67,8 @@ class Network:
         self._interposers = {}
         self._lock = threading.Lock()
         self.connections_made = 0
+        #: FaultPlan propagated by Kernel.install_faults, or None
+        self.faults = None
 
     # -- server side -------------------------------------------------------
 
@@ -95,11 +98,17 @@ class Network:
             interposer = self._interposers.get(addr)
             listener = self._listeners.get(addr)
         self.connections_made += 1
+        if self.faults is not None and \
+                self.faults.fire("net_connect") is not None:
+            raise NetworkError(f"connection refused (injected): {addr!r}")
         if interposer is not None:
             return interposer._client_connected(addr)
         if listener is None:
             raise NetworkError(f"connection refused: {addr!r}")
         client_end, server_end = DuplexStream.pipe_pair(addr)
+        if self.faults is not None:
+            client_end.faults = self.faults
+            server_end.faults = self.faults
         listener._enqueue(server_end)
         return client_end
 

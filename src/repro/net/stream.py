@@ -10,8 +10,9 @@ has to do real framing, as it would over TCP.
 from __future__ import annotations
 
 import threading
+import time
 
-from repro.core.errors import ConnectionClosed, NetworkError
+from repro.core.errors import ConnectionClosed, NetTimeout, PeerReset
 
 #: Default blocking-receive timeout.  Finite so a deadlocked test fails
 #: loudly instead of hanging the suite.
@@ -25,6 +26,7 @@ class ByteStream:
         self.name = name
         self._buf = bytearray()
         self._eof = False
+        self._reset = False
         self._cond = threading.Condition()
 
     def send(self, data):
@@ -32,6 +34,9 @@ class ByteStream:
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError("streams carry bytes")
         with self._cond:
+            if self._reset:
+                raise PeerReset(
+                    f"send on reset stream {self.name!r}")
             if self._eof:
                 raise ConnectionClosed(
                     f"send on closed stream {self.name!r}")
@@ -43,15 +48,20 @@ class ByteStream:
         """Return 1..size bytes, or ``None`` at EOF.
 
         Blocks until data is available; raises
-        :class:`~repro.core.errors.NetworkError` on timeout.
+        :class:`~repro.core.errors.NetTimeout` on timeout and
+        :class:`~repro.core.errors.PeerReset` on an abrupt teardown.
         """
         if size <= 0:
             return b""
         with self._cond:
             if not self._cond.wait_for(
                     lambda: self._buf or self._eof, timeout):
-                raise NetworkError(
-                    f"recv timed out after {timeout}s on {self.name!r}")
+                raise NetTimeout(
+                    f"recv timed out after {timeout}s on {self.name!r}",
+                    op="recv", timeout=timeout)
+            if self._reset:
+                raise PeerReset(
+                    f"connection reset on stream {self.name!r}")
             if not self._buf:
                 return None  # EOF
             data = bytes(self._buf[:size])
@@ -76,6 +86,14 @@ class ByteStream:
             self._eof = True
             self._cond.notify_all()
 
+    def reset(self):
+        """Tear down abruptly: pending bytes are lost (simulated RST)."""
+        with self._cond:
+            self._reset = True
+            self._eof = True
+            del self._buf[:]
+            self._cond.notify_all()
+
     @property
     def closed(self):
         with self._cond:
@@ -88,6 +106,11 @@ class ByteStream:
 
 class DuplexStream:
     """A connected socket: paired read/write byte streams."""
+
+    #: per-endpoint FaultPlan attached by Network.connect, or None; the
+    #: send path tests this one attribute (same discipline as the kernel
+    #: hot paths)
+    faults = None
 
     def __init__(self, rx, tx, *, name=""):
         self._rx = rx
@@ -104,6 +127,17 @@ class DuplexStream:
         return end_a, end_b
 
     def send(self, data):
+        if self.faults is not None:
+            spec = self.faults.fire("net_send")
+            if spec is not None:
+                if spec.kind == "drop":
+                    return len(data)   # silently lost in transit
+                if spec.kind == "delay":
+                    time.sleep(spec.delay)
+                elif spec.kind == "reset":
+                    self.reset()
+                    raise PeerReset(
+                        f"connection reset on {self.name!r} (injected)")
         return self._tx.send(data)
 
     def recv(self, size, timeout=DEFAULT_TIMEOUT):
@@ -116,6 +150,11 @@ class DuplexStream:
         """Close both directions (full socket close)."""
         self._tx.close()
         self._rx.close()
+
+    def reset(self):
+        """Abruptly tear down both directions (simulated RST)."""
+        self._tx.reset()
+        self._rx.reset()
 
     def shutdown_write(self):
         self._tx.close()

@@ -1,0 +1,69 @@
+"""RESTART_WIDENING: supervised gates must not outgrow their baseline.
+
+A restarted gate is rebuilt from its :class:`CallgateRecord`'s live
+security context — if anything widened that context after instantiation,
+every restart silently re-grants the widened rights.  The lint compares
+the live context against the baseline frozen at instantiation.
+"""
+
+import pytest
+
+from repro.analysis import restart_widening_findings
+from repro.core.memory import PROT_READ, PROT_RW
+from repro.core.policy import FD_READ, SecurityContext, sc_mem_add
+from repro.faults import RestartPolicy
+
+
+def _supervised_gate(kernel, gate_sc):
+    return kernel.create_gate(lambda trusted, arg: None, gate_sc,
+                              supervise=RestartPolicy())
+
+
+class TestRestartWidening:
+    def test_clean_gate_produces_no_findings(self, kernel):
+        tag = kernel.tag_new(name="keys")
+        _supervised_gate(kernel, sc_mem_add(SecurityContext(), tag,
+                                            PROT_READ))
+        assert restart_widening_findings(kernel) == []
+
+    def test_mem_widening_is_an_error(self, kernel):
+        tag = kernel.tag_new(name="keys")
+        record = _supervised_gate(
+            kernel, sc_mem_add(SecurityContext(), tag, PROT_READ))
+        record.sc.mem[tag.id] = PROT_RW  # read-only baseline grew write
+        findings = restart_widening_findings(kernel, app="demo")
+        assert [f.kind for f in findings] == ["RESTART_WIDENING"]
+        assert findings[0].severity == "error"
+        assert findings[0].compartment == f"demo/cg:{record.name}"
+        assert findings[0].subject.startswith("mem:")
+
+    def test_new_fd_grant_is_widening(self, kernel):
+        record = _supervised_gate(kernel, SecurityContext())
+        record.sc.fds[7] = FD_READ
+        findings = restart_widening_findings(kernel)
+        assert [f.subject for f in findings] == ["fd:7"]
+
+    def test_new_gate_grant_is_widening(self, kernel):
+        other = kernel.create_gate(lambda trusted, arg: None,
+                                   SecurityContext())
+        record = _supervised_gate(kernel, SecurityContext())
+        record.sc.gate_ids.append(other.id)
+        findings = restart_widening_findings(kernel)
+        assert [f.subject for f in findings] == [f"cgate:{other.id}"]
+
+    def test_unsupervised_gates_are_exempt(self, kernel):
+        # an unsupervised gate never restarts, so widening its record
+        # is a different bug class (caught by the declared-vs-traced
+        # lint), not this one
+        tag = kernel.tag_new(name="keys")
+        record = kernel.create_gate(
+            lambda trusted, arg: None,
+            sc_mem_add(SecurityContext(), tag, PROT_READ))
+        record.sc.mem[tag.id] = PROT_RW
+        assert restart_widening_findings(kernel) == []
+
+    def test_shipped_apps_do_not_widen(self):
+        from repro.analysis import lint_app
+        results = lint_app("pop3")
+        kinds = [f.kind for r in results for f in r.findings]
+        assert "RESTART_WIDENING" not in kinds

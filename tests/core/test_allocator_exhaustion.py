@@ -1,0 +1,65 @@
+"""Allocator exhaustion through the kernel: clean failure, intact heap.
+
+The fault-injection work leans on ``smalloc`` failing *cleanly* — a
+typed :class:`OutOfMemory` with no corruption — so these tests drive a
+tagged heap to genuine exhaustion (no injection) and prove the free
+list coalesces back to one arena-sized chunk.
+"""
+
+import pytest
+
+from repro.core.errors import OutOfMemory
+from repro.faults import FaultPlan
+
+
+def _heap_of(kernel, tag):
+    return kernel.tags.resolve(tag).heap
+
+
+class TestExhaustion:
+    def test_full_heap_raises_cleanly(self, kernel):
+        tag = kernel.tag_new(4096, name="tiny")
+        held = []
+        with pytest.raises(OutOfMemory):
+            while True:
+                held.append(kernel.smalloc(256, tag))
+        assert held  # some allocations succeeded before the wall
+        # the failed allocation left no half-carved chunk behind
+        _heap_of(kernel, tag).check_invariants()
+        # held allocations are still usable
+        kernel.mem_write(held[0], b"z" * 256)
+        assert kernel.mem_read(held[0], 256) == b"z" * 256
+
+    def test_free_list_coalesces_after_exhaustion(self, kernel):
+        tag = kernel.tag_new(4096, name="churn")
+        heap = _heap_of(kernel, tag)
+        held = []
+        with pytest.raises(OutOfMemory):
+            while True:
+                held.append(kernel.smalloc(128, tag))
+        # free in an interleaved order to force both-neighbour merges
+        for addr in held[::2] + held[1::2]:
+            kernel.sfree(addr)
+        heap.check_invariants()
+        chunks = list(heap.walk())
+        assert len(chunks) == 1 and not chunks[0][2]
+        # the proof of coalescing: one allocation spanning nearly the
+        # whole arena succeeds again
+        # (- ALIGN: the payload is rounded up before adding the chunk
+        # overhead, so the exact free-byte count may not quite fit)
+        big = kernel.smalloc(heap.free_bytes() - 8, tag)
+        kernel.mem_write(big, b"\xaa" * 64)
+        heap.check_invariants()
+
+    def test_injected_enomem_matches_real_exhaustion(self, kernel):
+        """An injected ``enomem`` is indistinguishable from a real one:
+        same type, and the heap it never touched stays pristine."""
+        tag = kernel.tag_new(4096, name="inj")
+        before = _heap_of(kernel, tag).free_bytes()
+        plan = kernel.install_faults(FaultPlan(scope="all"))
+        plan.add("smalloc", "enomem", at=(1,))
+        with pytest.raises(OutOfMemory):
+            kernel.smalloc(64, tag)
+        heap = _heap_of(kernel, tag)
+        heap.check_invariants()
+        assert heap.free_bytes() == before

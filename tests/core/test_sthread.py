@@ -199,14 +199,20 @@ class TestLifecycle:
         with pytest.raises(SthreadError):
             kernel.sthread_join(child)
 
-    def test_faulted_child_returns_none(self, kernel):
+    def test_faulted_child_raises_typed_error(self, kernel):
+        from repro.core.errors import MemoryViolation, SthreadFaulted
         tag = kernel.tag_new()
         buf = kernel.alloc_buf(8, tag=tag)
         child = kernel.sthread_create(
             SecurityContext(), lambda a: kernel.mem_read(buf.addr, 8),
             spawn="inline")
-        assert kernel.sthread_join(child) is None
+        with pytest.raises(SthreadFaulted) as exc_info:
+            kernel.sthread_join(child)
         assert child.faulted
+        assert exc_info.value.sthread is child
+        assert isinstance(exc_info.value.fault, MemoryViolation)
+        # the killing fault is chained for debuggability
+        assert exc_info.value.__cause__ is child.fault
 
     def test_runtime_error_recorded_separately(self, kernel):
         def body(arg):

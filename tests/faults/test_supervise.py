@@ -1,0 +1,123 @@
+"""Supervision: restart-from-COW, degradation, watchdogs, typed joins."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import (CallgateDegraded, CallgateError,
+                               CompartmentDown, GateTimeout, JoinTimeout,
+                               WedgeError)
+from repro.core.policy import SecurityContext
+from repro.faults import FaultPlan, RestartPolicy, cow_freshness_probe
+
+
+class TestSupervisedSthreads:
+    def test_restart_then_succeed(self, kernel):
+        tripwire = kernel.alloc_buf(8)  # main-private: not granted below
+        state = {"tries": 0}
+
+        def body(arg):
+            arg["tries"] += 1
+            if arg["tries"] == 1:
+                kernel.mem_read(tripwire.addr, 8)  # faults incarnation 0
+            return "ok"
+
+        st = kernel.sthread_create(
+            SecurityContext(), body, state, name="flaky", spawn="inline",
+            supervise=RestartPolicy(max_restarts=2, backoff=0.0))
+        assert kernel.sthread_join(st) == "ok"
+        assert st.restarts == 1
+        assert state["tries"] == 2
+        assert st.current_incarnation.name == "flaky~r1"
+
+    def test_budget_exhaustion_degrades(self, kernel):
+        tripwire = kernel.alloc_buf(8)
+        st = kernel.sthread_create(
+            SecurityContext(), lambda a: kernel.mem_read(tripwire.addr, 8),
+            name="doomed", spawn="inline",
+            supervise=RestartPolicy(max_restarts=1, backoff=0.0))
+        with pytest.raises(CompartmentDown) as err:
+            kernel.sthread_join(st)
+        assert st.status == "degraded"
+        assert st.restarts == 1
+        assert err.value.__cause__ is st.last_fault
+
+    def test_application_errors_are_not_restarted(self, kernel):
+        def body(arg):
+            raise WedgeError("bad request")  # an error, not a crash
+
+        st = kernel.sthread_create(
+            SecurityContext(), body, name="erring", spawn="inline",
+            supervise=RestartPolicy(max_restarts=3, backoff=0.0))
+        assert kernel.sthread_join(st) is None
+        assert st.restarts == 0
+        assert not st.faulted
+
+    def test_join_timeout_is_typed_and_retryable(self, kernel):
+        gate = threading.Event()
+        st = kernel.sthread_create(
+            SecurityContext(), lambda a: (gate.wait(5.0), "done")[1],
+            name="slow", spawn="thread",
+            supervise=RestartPolicy(max_restarts=0))
+        with pytest.raises(JoinTimeout):
+            kernel.sthread_join(st, timeout=0.05)
+        gate.set()
+        assert kernel.sthread_join(st) == "done"
+
+    def test_restart_observes_fresh_cow_state(self):
+        probe = cow_freshness_probe()
+        # incarnation 0 scribbled on the pre-main global through its COW
+        # mapping; the restarted incarnation still reads the snapshot
+        assert probe["observations"] == [b"pristine", b"pristine"]
+        assert probe["result"] == b"scribble"
+        assert probe["fresh"]
+
+
+class TestSupervisedGates:
+    @staticmethod
+    def _gate(kernel, policy):
+        return kernel.create_gate(lambda trusted, arg: "pong",
+                                  SecurityContext(), supervise=policy)
+
+    def test_crash_is_retried_behind_the_gate(self, kernel):
+        record = self._gate(kernel, RestartPolicy(max_restarts=2,
+                                                  backoff=0.0))
+        plan = kernel.install_faults(FaultPlan(3))
+        plan.add("cgate", "crash", at=(1,))
+        assert kernel.cgate(record.id) == "pong"  # caller never sees it
+        assert record.restarts == 1
+        assert plan.injection_count == 1
+
+    def test_budget_exhaustion_degrades_the_gate(self, kernel):
+        record = self._gate(kernel, RestartPolicy(max_restarts=1,
+                                                  backoff=0.0))
+        plan = kernel.install_faults(FaultPlan(3))
+        plan.add("cgate", "crash", rate=1.0)
+        with pytest.raises(CallgateDegraded) as err:
+            kernel.cgate(record.id)
+        assert record.degraded
+        assert err.value.restarts == 1
+        # degradation is terminal: even fault-free invocations refuse
+        plan.enabled = False
+        with pytest.raises(CallgateDegraded):
+            kernel.cgate(record.id)
+
+    def test_degraded_is_not_a_retryable_gate_error(self):
+        # callers that retry CallgateError must not swallow CompartmentDown
+        assert not issubclass(CallgateDegraded, CallgateError)
+        assert issubclass(CallgateDegraded, CompartmentDown)
+
+    def test_watchdog_abandons_hung_incarnations(self, kernel):
+        record = self._gate(kernel, RestartPolicy(max_restarts=2,
+                                                  backoff=0.0,
+                                                  watchdog=0.05))
+        plan = kernel.install_faults(FaultPlan(3))
+        plan.add("cgate", "delay", at=(1,), delay=0.3)
+        assert kernel.cgate(record.id) == "pong"
+        assert record.restarts == 1
+        assert isinstance(record.last_fault, GateTimeout)
+
+    def test_negative_restart_budget_rejected(self):
+        from repro.core.errors import SthreadError
+        with pytest.raises(SthreadError):
+            RestartPolicy(max_restarts=-1)
