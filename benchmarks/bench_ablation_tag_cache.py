@@ -25,6 +25,22 @@ def start_server(tag_cache, addr):
                               tag_cache=tag_cache).start()
 
 
+def settle(kernel):
+    """Wait until the server's connection threads stop charging costs.
+
+    ``conn.request()`` returns once the client has its response, but the
+    server-side connection thread still runs teardown; metering before
+    it quiesces attributes that work to the wrong side of a checkpoint.
+    """
+    prev = kernel.costs.cycles()
+    while True:
+        time.sleep(0.02)
+        cur = kernel.costs.cycles()
+        if cur == prev:
+            return
+        prev = cur
+
+
 def request_op(server):
     client = TlsClient(DetRNG("ablation"),
                        expected_server_key=server.public_key)
@@ -56,15 +72,17 @@ def test_ablation_shape(benchmark):
         server = start_server(cache, f"ablation-shape-{cache}:443")
         try:
             op = request_op(server)
-            # model cycles per request (deterministic)
+            settle(server.kernel)
+            # model cycles per request, averaged over the loop with
+            # quiescence at both window edges so each side counts
+            # exactly its own requests' work
             checkpoint = server.kernel.costs.checkpoint()
-            op()
-            cycles = server.kernel.costs.delta(checkpoint)
-            # wall throughput
             start = time.perf_counter()
             for _ in range(10):
                 op()
             wall = 10 / (time.perf_counter() - start)
+            settle(server.kernel)
+            cycles = server.kernel.costs.delta(checkpoint) // 10
             results[cache] = {"cycles": cycles, "rps": wall,
                               "reused": server.kernel.tags.stats[
                                   "reused"]}

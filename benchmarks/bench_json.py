@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Emit the repo's machine-readable perf trajectory: ``BENCH_*.json``.
+
+Re-measures the Figure 7 / Figure 8 shapes and the TLB ablation with the
+kernel's deterministic cost model and writes one JSON artifact each::
+
+    python benchmarks/bench_json.py --out bench-out [--rounds N]
+    python benchmarks/bench_json.py --out bench-out --check benchmarks/baselines
+
+Each artifact separates ``metrics`` (model-cycle costs — deterministic,
+*checked*: higher is a regression) from ``wall`` (host wall-clock —
+recorded for the trajectory, never checked) and ``info`` (counters and
+ratios for context).  ``--check DIR`` compares every metric against the
+same-named artifact in *DIR* and exits non-zero if any model-cycle cost
+regressed by more than ``TOLERANCE`` (10%), which is what the CI
+``bench-smoke`` job runs on every push.
+
+Committed baselines live in ``benchmarks/baselines/``; refresh them with
+``--out benchmarks/baselines`` when a PR deliberately moves the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "src"))
+
+#: A checked metric may grow this much before --check fails.
+TOLERANCE = 0.10
+
+
+def _meter(kernel, fn):
+    checkpoint = kernel.costs.checkpoint()
+    fn()
+    return kernel.costs.delta(checkpoint)
+
+
+def bench_fig7(rounds):
+    """Primitive-creation costs (Figure 7) in model cycles."""
+    from repro.core.kernel import Kernel
+    from repro.core.policy import SecurityContext
+    kernel = Kernel(name="bench-fig7")
+    kernel.start_main()
+    gate = kernel.create_gate(lambda t, a: None, SecurityContext())
+    recycled = kernel.create_gate(lambda t, a: None, SecurityContext(),
+                                  recycled=True)
+    kernel.cgate(recycled.id)
+    ops = {
+        "pthread": lambda: kernel.sthread_join(
+            kernel.pthread_create(lambda a: None, spawn="inline")),
+        "recycled_cgate": lambda: kernel.cgate(recycled.id),
+        "sthread": lambda: kernel.sthread_join(kernel.sthread_create(
+            SecurityContext(), lambda a: None, spawn="inline")),
+        "callgate": lambda: kernel.cgate(gate.id),
+        "fork": lambda: kernel.sthread_join(
+            kernel.fork(lambda a: None, spawn="inline")),
+    }
+    # meter model cycles for every op before any wall loop runs: fork's
+    # COW-mark cost scales with the pages mapped so far, so interleaving
+    # wall iterations would make the metric depend on --rounds
+    metrics = {name + "_cycles": _meter(kernel, op)
+               for name, op in ops.items()}
+    wall = {}
+    for name, op in ops.items():
+        start = time.perf_counter()
+        for _ in range(rounds):
+            op()
+        wall[name + "_seconds"] = (time.perf_counter() - start) / rounds
+    info = {"sthread_over_pthread":
+            round(metrics["sthread_cycles"]
+                  / metrics["pthread_cycles"], 2)}
+    return {"artifact": "fig7", "metrics": metrics, "wall": wall,
+            "info": info}
+
+
+def bench_fig8(rounds):
+    """malloc / smalloc / tag_new costs (Figure 8) in model cycles."""
+    from repro.core.kernel import Kernel
+    kernel = Kernel(name="bench-fig8")
+    kernel.start_main()
+    tag = kernel.tag_new()
+    metrics = {
+        "malloc_cycles": _meter(
+            kernel, lambda: kernel.free(kernel.malloc(64))),
+        "smalloc_cycles": _meter(
+            kernel, lambda: kernel.sfree(kernel.smalloc(64, tag))),
+    }
+    seed = kernel.tag_new()
+    kernel.tag_delete(seed)
+    metrics["tag_new_reused_cycles"] = _meter(
+        kernel, lambda: kernel.tag_delete(kernel.tag_new()))
+    nocache = Kernel(name="bench-fig8-nocache", tag_cache=False)
+    nocache.start_main()
+    nocache.tag_delete(nocache.tag_new())
+    metrics["tag_new_fresh_cycles"] = _meter(
+        nocache, lambda: nocache.tag_delete(nocache.tag_new()))
+    info = {"fresh_over_malloc":
+            round(metrics["tag_new_fresh_cycles"]
+                  / metrics["malloc_cycles"], 1)}
+    return {"artifact": "fig8", "metrics": metrics, "wall": {},
+            "info": info}
+
+
+def _apache_cached(tlb, rounds, addr):
+    """Model cycles + wall per cached-session request (vanilla httpd)."""
+    from repro.apps.httpd import MonolithicHttpd
+    from repro.apps.httpd.content import build_request
+    from repro.core.kernel import Kernel
+    from repro.crypto import DetRNG
+    from repro.net import Network
+    from repro.tls import TlsClient
+
+    saved = Kernel.DEFAULT_TLB
+    Kernel.DEFAULT_TLB = tlb
+    try:
+        server = MonolithicHttpd(Network(), addr).start()
+    finally:
+        Kernel.DEFAULT_TLB = saved
+    try:
+        client = TlsClient(DetRNG("bench-json"),
+                           expected_server_key=server.public_key)
+        client.connect(server.network, server.addr).request(
+            build_request("/"))
+
+        def op():
+            conn = client.connect(server.network, server.addr)
+            conn.request(build_request("/"))
+
+        op()  # warm
+        checkpoint = server.kernel.costs.checkpoint()
+        before = server.kernel.tlb_stats()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            op()
+        wall = (time.perf_counter() - start) / rounds
+        cycles = server.kernel.costs.delta(checkpoint) / rounds
+        after = server.kernel.tlb_stats()
+        return {
+            "cycles_per_request": round(cycles, 1),
+            "wall_seconds_per_request": wall,
+            "hits_per_request":
+                (after["hits"] - before["hits"]) / rounds,
+            "walks_per_request":
+                (after["walks"] - before["walks"]) / rounds,
+        }
+    finally:
+        server.stop()
+
+
+def _hot_loop(tlb, accesses=4000):
+    """The pure bus fast path: single-page loads/stores, model + wall."""
+    from repro.core.kernel import Kernel
+    kernel = Kernel(name=f"bench-hot-{tlb}", tlb=tlb)
+    kernel.start_main()
+    addr = kernel.malloc(256)
+    kernel.mem_write(addr, b"\x5a" * 256)
+    checkpoint = kernel.costs.checkpoint()
+    start = time.perf_counter()
+    for _ in range(accesses // 2):
+        kernel.mem_read(addr, 64)
+        kernel.mem_write(addr, b"\xa5" * 64)
+    wall = time.perf_counter() - start
+    cycles = kernel.costs.delta(checkpoint)
+    return {"cycles_per_access": round(cycles / accesses, 2),
+            "wall_seconds": wall}
+
+
+def bench_tlb(rounds):
+    """The TLB ablation: Apache hot path and the raw bus loop."""
+    apache = {tlb: _apache_cached(tlb, rounds,
+                                  f"bench-json-{tlb}:443")
+              for tlb in (True, False)}
+    hot = {tlb: _hot_loop(tlb) for tlb in (True, False)}
+    on, off = apache[True], apache[False]
+    hit_rate = on["hits_per_request"] / max(
+        1, on["hits_per_request"] + on["walks_per_request"])
+    metrics = {
+        "apache_cached_cycles_per_request_tlb_on":
+            on["cycles_per_request"],
+        "apache_cached_cycles_per_request_tlb_off":
+            off["cycles_per_request"],
+        "hot_loop_cycles_per_access_tlb_on":
+            hot[True]["cycles_per_access"],
+        "hot_loop_cycles_per_access_tlb_off":
+            hot[False]["cycles_per_access"],
+    }
+    wall = {
+        "apache_cached_wall_seconds_per_request_tlb_on":
+            on["wall_seconds_per_request"],
+        "apache_cached_wall_seconds_per_request_tlb_off":
+            off["wall_seconds_per_request"],
+        "hot_loop_wall_seconds_tlb_on": hot[True]["wall_seconds"],
+        "hot_loop_wall_seconds_tlb_off": hot[False]["wall_seconds"],
+    }
+    info = {
+        "apache_hit_rate_tlb_on": round(hit_rate, 3),
+        "apache_cycle_saving": round(
+            1 - on["cycles_per_request"] / off["cycles_per_request"], 3),
+        "apache_wall_saving": round(
+            1 - on["wall_seconds_per_request"]
+            / off["wall_seconds_per_request"], 3),
+        "hot_loop_wall_speedup": round(
+            hot[False]["wall_seconds"] / hot[True]["wall_seconds"], 2),
+        "rounds": rounds,
+    }
+    return {"artifact": "tlb", "metrics": metrics, "wall": wall,
+            "info": info}
+
+
+BENCHES = {"fig7": bench_fig7, "fig8": bench_fig8, "tlb": bench_tlb}
+
+
+def check(out_dir, baseline_dir):
+    """Compare checked metrics against the baselines; True iff clean."""
+    clean = True
+    for name in BENCHES:
+        base_path = baseline_dir / f"BENCH_{name}.json"
+        new_path = out_dir / f"BENCH_{name}.json"
+        if not base_path.exists():
+            print(f"  {name}: no baseline at {base_path}, skipping")
+            continue
+        base = json.loads(base_path.read_text())["metrics"]
+        new = json.loads(new_path.read_text())["metrics"]
+        for key, old_value in sorted(base.items()):
+            value = new.get(key)
+            if value is None:
+                print(f"  {name}.{key}: MISSING from new run")
+                clean = False
+                continue
+            ratio = value / old_value if old_value else float("inf")
+            flag = "ok"
+            if ratio > 1 + TOLERANCE:
+                flag = f"REGRESSION (+{(ratio - 1):.1%})"
+                clean = False
+            elif ratio < 1 - TOLERANCE:
+                flag = f"improved ({(ratio - 1):+.1%})"
+            print(f"  {name}.{key}: {old_value:,.1f} -> {value:,.1f} "
+                  f"[{flag}]")
+    return clean
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="emit BENCH_*.json perf artifacts")
+    parser.add_argument("--out", default="bench-out",
+                        help="directory to write BENCH_*.json into")
+    parser.add_argument("--rounds", type=int, default=16,
+                        help="requests per measurement (CI uses fewer)")
+    parser.add_argument("--check", default=None, metavar="BASELINE_DIR",
+                        help="compare against committed baselines; exit "
+                             "1 on >10%% model-cycle regression")
+    parser.add_argument("--only", choices=sorted(BENCHES), default=None,
+                        help="run a single artifact")
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    names = [args.only] if args.only else list(BENCHES)
+    for name in names:
+        result = BENCHES[name](args.rounds)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(result, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"wrote {path}")
+        for key, value in sorted(result["metrics"].items()):
+            print(f"  {key} = {value:,}")
+
+    if args.check is not None:
+        print(f"checking against {args.check} "
+              f"(tolerance {TOLERANCE:.0%}):")
+        if not check(out_dir, pathlib.Path(args.check)):
+            print("FAIL: model-cycle regression past tolerance")
+            return 1
+        print("ok: no model-cycle regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -293,8 +293,10 @@ def cmd_chaos(args):
               f"{sorted(CHAOS_APP_NAMES)}", file=sys.stderr)
         return 2
     failed = False
+    tlb = False if args.no_tlb else None
     for name in names:
-        report = run_chaos(name, seed=args.seed, faults=args.faults)
+        report = run_chaos(name, seed=args.seed, faults=args.faults,
+                           tlb=tlb)
         print(report.format())
         failed = failed or not report.passed
     probe = cow_freshness_probe()
@@ -351,6 +353,9 @@ def build_parser():
                     help="injections to reach per app")
     pc.add_argument("--app", default=None,
                     help="chaos one app instead of all")
+    pc.add_argument("--no-tlb", action="store_true",
+                    help="run with the simulated TLB disabled "
+                         "(differential ablation)")
     pc.set_defaults(fn=cmd_chaos)
     return parser
 

@@ -43,6 +43,9 @@ WEIGHTS = {
     "alloc_op": 60,           # one malloc/smalloc/free list operation
     "policy_check": 25,       # one permission-table lookup
     "cgate_lookup": 150,      # kernel-side callgate record fetch + checks
+    "tlb_hit": 2,             # translation served from the simulated TLB
+    "pt_walk": 50,            # full page-table walk (TLB miss or tlb=False)
+    "tlb_shootdown": 200,     # invalidate one cached translation (invlpg)
 }
 
 
@@ -56,6 +59,7 @@ class CostAccount:
     """
 
     counters: dict = field(default_factory=dict)
+    _sources: list = field(default_factory=list, repr=False)
 
     def charge(self, kind, units=1):
         """Charge *units* of work of the given *kind* (a WEIGHTS key)."""
@@ -63,12 +67,32 @@ class CostAccount:
             raise KeyError(f"unknown cost kind: {kind!r}")
         self.counters[kind] = self.counters.get(kind, 0) + units
 
+    def register_source(self, drain):
+        """Register a batched-work source: a callable returning
+        ``{kind: units}`` of work counted since its last call.
+
+        Hot paths (the memory bus's per-access TLB accounting) tally
+        work in plain integers and surface it here lazily, so charging
+        one access costs an integer increment instead of a dict update.
+        The batched work is absorbed into :attr:`counters` whenever the
+        account is observed (:meth:`cycles` / :meth:`checkpoint`).
+        """
+        self._sources.append(drain)
+
+    def _absorb(self):
+        for drain in self._sources:
+            for kind, units in drain().items():
+                if units:
+                    self.counters[kind] = self.counters.get(kind, 0) + units
+
     def cycles(self):
         """Total model cycles charged so far."""
+        self._absorb()
         return sum(WEIGHTS[k] * units for k, units in self.counters.items())
 
     def checkpoint(self):
         """Snapshot the counters; pass the result to :meth:`delta`."""
+        self._absorb()
         return dict(self.counters)
 
     def delta(self, checkpoint):
@@ -77,6 +101,7 @@ class CostAccount:
         return self.cycles() - then
 
     def reset(self):
+        self._absorb()   # batched work before the reset dies with it
         self.counters.clear()
 
 
@@ -84,4 +109,7 @@ class NullAccount(CostAccount):
     """A cost account that ignores charges (used by raw workload runs)."""
 
     def charge(self, kind, units=1):  # noqa: D102 - intentionally inert
+        pass
+
+    def register_source(self, drain):  # noqa: D102 - intentionally inert
         pass

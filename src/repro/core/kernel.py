@@ -105,12 +105,18 @@ class Buffer:
 class Kernel:
     """One simulated machine running one Wedge-partitioned application."""
 
+    #: Default for the ``tlb=`` switch.  Tests and the chaos runner
+    #: override this (not the instances) to ablate apps that construct
+    #: their own Kernel internally.
+    DEFAULT_TLB = True
+
     def __init__(self, *, selinux=None, tag_cache=True, net=None,
-                 name="wedge"):
+                 name="wedge", tlb=None):
         self.name = name
         self.costs = CostAccount()
         self.space = AddressSpace()
-        self.bus = MemoryBus(self.space, self.costs)
+        self.bus = MemoryBus(self.space, self.costs,
+                             tlb=self.DEFAULT_TLB if tlb is None else tlb)
         self.tags = TagManager(self.space, self.costs,
                                cache_enabled=tag_cache)
         self.selinux = selinux if selinux is not None else SELinuxPolicy()
@@ -310,6 +316,25 @@ class Kernel:
             self._fault_point("mem_write", addr)
         self.bus.write(self.current().table, addr, bytes(data))
 
+    def tlb_stats(self):
+        """Aggregate simulated-TLB counters for this kernel.
+
+        ``hits``/``walks`` come from the bus (a walk is any full
+        page-table lookup: a TLB miss, or every access when disabled);
+        ``shootdowns`` and ``entries`` are summed over the distinct live
+        page tables (pthreads share their parent's table).
+        """
+        tables = {}
+        for st in self.sthreads:
+            tables[id(st.table)] = st.table
+        return {
+            "enabled": self.bus.tlb_enabled,
+            "hits": self.bus.tlb_hits,
+            "walks": self.bus.tlb_walks,
+            "shootdowns": sum(t.tlb_shootdowns for t in tables.values()),
+            "entries": sum(len(t.tlb) for t in tables.values()),
+        }
+
     def tag_new(self, size=DEFAULT_TAG_SIZE, *, name=""):
         """Create a tag; the creator gets read-write access implicitly."""
         st = self.current()
@@ -329,7 +354,7 @@ class Kernel:
         tag = self.tags.resolve(tag)
         if st.ctx.mem.get(tag.id) is None:
             raise TagError(f"{st.name} holds no access to tag {tag.id}")
-        st.table.unmap_segment(tag.segment)
+        st.table.unmap_segment(tag.segment, costs=self.costs)
         st.ctx.mem.pop(tag.id, None)
         self.tags.tag_delete(tag)
 
@@ -617,13 +642,11 @@ class Kernel:
         self.costs.charge("mm_create")
         child.table = parent.table.clone(costs=self.costs,
                                          owner_name=child.name)
-        # private (non-shared) regions become COW on both sides
+        # private (non-shared) regions become COW on both sides; the
+        # downgrade narrows rights, so it shoots down cached translations
         for table in (parent.table, child.table):
-            for pte in table.entries.values():
-                if pte.segment.kind in ("heap", "stack", "globals") \
-                        and pte.prot & 2:
-                    pte.prot = PROT_READ | PROT_COW
-                    self.costs.charge("cow_mark")
+            table.downgrade_to_cow(("heap", "stack", "globals"),
+                                   costs=self.costs)
         child.heap_segment = parent.heap_segment
         child.stack_segment = parent.stack_segment
         child.stack_sp = parent.stack_sp
@@ -793,6 +816,9 @@ class Kernel:
             except CompartmentFault as fault:
                 gate.fault = fault
                 gate.status = "faulted"
+                # the incarnation is dead; none of its cached
+                # translations may survive into a rebuilt/reused gate
+                gate.table.flush_tlb(costs=self.costs)
                 raise CallgateError(
                     f"callgate {record.name!r} faulted: {fault}") from fault
 
@@ -826,7 +852,7 @@ class Kernel:
             return self._run_gate(gate, record, arg)
         finally:
             for tag in mapped:
-                gate.table.unmap_segment(tag.segment)
+                gate.table.unmap_segment(tag.segment, costs=self.costs)
                 gate.ctx.mem.pop(tag.id, None)
             for fd in extra_fds:
                 if fd in gate.fdtable:

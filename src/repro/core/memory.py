@@ -13,6 +13,15 @@ Copy-on-write is modelled at page granularity: a PTE carrying
 :data:`PROT_COW` shares the pristine frame until the first write, at which
 point the frame is copied privately into that page table (and the copy is
 charged to the cost account).
+
+Like a real MMU, the bus amortises the page-table walk with a simulated
+per-table TLB: resolved ``(frame, prot, segment)`` translations are
+cached so repeated accesses skip the walk.  Correctness rests on one
+rule, enforced by tests: **every** PTE mutation goes through
+:meth:`PageTable._invalidate` (the single choke point), so rights can
+never be exercised through a stale cached translation — not after a
+revocation (``unmap_segment``), a protection narrowing (remap), a COW
+first-write frame replacement, a fork downgrade, or a compartment fault.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from repro.core.errors import BadAddress, MemoryViolation
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+PAGE_MASK = PAGE_SIZE - 1
 
 #: Page / tag protection bits.  Wedge has no write-only memory (paper
 #: section 3.1): :data:`PROT_WRITE` alone is rejected at the policy layer.
@@ -230,6 +240,50 @@ class PageTable:
         self.owner_name = owner_name
         self.emulation = False
         self.violations = []
+        #: simulated TLB: absolute page number -> (frame, prot, segment).
+        #: Filled by the memory bus; invalidated only via _invalidate().
+        self.tlb = {}
+        self.tlb_shootdowns = 0
+
+    # -- TLB maintenance (the single invalidation choke point) -------------
+
+    def _invalidate(self, first_page, npages, *, costs=None):
+        """Drop cached translations for ``[first_page, first_page+npages)``.
+
+        This is the **only** way TLB entries leave the cache, and every
+        PTE mutation below funnels through it — so a mapping can never
+        move or narrow while a stale translation survives.  Returns the
+        number of entries shot down (0 when nothing was cached, in which
+        case nothing is charged either).
+        """
+        tlb = self.tlb
+        if not tlb:
+            return 0
+        dropped = 0
+        if npages > len(tlb):
+            last = first_page + npages
+            for pageno in [p for p in tlb if first_page <= p < last]:
+                del tlb[pageno]
+                dropped += 1
+        else:
+            for pageno in range(first_page, first_page + npages):
+                if tlb.pop(pageno, None) is not None:
+                    dropped += 1
+        if dropped:
+            self.tlb_shootdowns += dropped
+            if costs is not None:
+                costs.charge("tlb_shootdown", dropped)
+        return dropped
+
+    def flush_tlb(self, *, costs=None):
+        """Drop every cached translation (compartment fault / teardown)."""
+        dropped = len(self.tlb)
+        if dropped:
+            self.tlb.clear()
+            self.tlb_shootdowns += dropped
+            if costs is not None:
+                costs.charge("tlb_shootdown", dropped)
+        return dropped
 
     # -- construction ------------------------------------------------------
 
@@ -237,25 +291,34 @@ class PageTable:
         """Map every page of *seg* with *prot*.
 
         *frames* overrides the segment's own frames (used to map the
-        pristine snapshot image rather than the live globals).
+        pristine snapshot image rather than the live globals).  A remap
+        over live pages may narrow rights or move frames, so the mapped
+        range is shot down from the TLB.
         """
         source = frames if frames is not None else seg.frames
         first_page = seg.base >> PAGE_SHIFT
         for i in range(seg.npages):
             self.entries[first_page + i] = PTE(source[i], prot, seg)
+        self._invalidate(first_page, seg.npages, costs=costs)
         if costs is not None:
             costs.charge("pte_copy", seg.npages)
             if prot & PROT_COW:
                 costs.charge("cow_mark", seg.npages)
         return seg.npages
 
-    def unmap_segment(self, seg):
+    def unmap_segment(self, seg, *, costs=None):
+        """Remove *seg*'s pages — revocation, so shoot down the range."""
         first_page = seg.base >> PAGE_SHIFT
         for i in range(seg.npages):
             self.entries.pop(first_page + i, None)
+        self._invalidate(first_page, seg.npages, costs=costs)
 
     def clone(self, *, costs=None, owner_name=""):
-        """Full copy of this table (what ``fork`` does)."""
+        """Full copy of this table (what ``fork`` does).
+
+        The clone starts with a cold TLB: translations are an execution
+        artefact of the original compartment, never inherited state.
+        """
         other = PageTable(owner_name=owner_name)
         for pageno, pte in self.entries.items():
             other.entries[pageno] = pte.copy()
@@ -266,13 +329,42 @@ class PageTable:
     def mark_all_cow(self, *, costs=None):
         """Downgrade every writable mapping to COW (fork semantics)."""
         marked = 0
-        for pte in self.entries.values():
+        for pageno, pte in self.entries.items():
             if pte.prot & PROT_WRITE:
                 pte.prot = PROT_READ | PROT_COW
+                self._invalidate(pageno, 1, costs=costs)
                 marked += 1
         if costs is not None and marked:
             costs.charge("cow_mark", marked)
         return marked
+
+    def downgrade_to_cow(self, kinds, *, costs=None):
+        """Downgrade writable mappings of the given segment *kinds* to
+        COW (fork's treatment of private, non-shared regions)."""
+        marked = 0
+        for pageno, pte in self.entries.items():
+            if pte.segment.kind in kinds and pte.prot & PROT_WRITE:
+                pte.prot = PROT_READ | PROT_COW
+                if costs is not None:
+                    costs.charge("cow_mark")
+                self._invalidate(pageno, 1, costs=costs)
+                marked += 1
+        return marked
+
+    def cow_break(self, pageno, *, costs=None):
+        """First write to a COW page: copy the frame privately.
+
+        The frame reference changes, so the old cached translation (which
+        still points at the shared pristine frame) is shot down; the bus
+        refills it with the private copy.  Returns the updated PTE.
+        """
+        pte = self.entries[pageno]
+        pte.frame = pte.frame.copy()
+        pte.prot = PROT_RW
+        if costs is not None:
+            costs.charge("page_copy")
+        self._invalidate(pageno, 1, costs=costs)
+        return pte
 
     # -- lookup -------------------------------------------------------------
 
@@ -293,12 +385,58 @@ class MemoryBus:
     ``hooks`` is the Crowbar attachment point: each hook is called as
     ``hook(op, table, addr, size, segment, offset)`` for every access that
     passes the permission check (and for emulated violations).
+
+    With ``tlb=True`` (the default) the bus caches resolved translations
+    in the accessing table's :attr:`PageTable.tlb` and serves single-page
+    accesses whose cached protection already admits the operation without
+    walking ``entries`` at all.  The fast path may change *cycles*, never
+    *behaviour*: any access that could fault, break COW, span pages, or
+    run under emulation falls through to the walk path, and every PTE
+    mutation shoots down its cached translation (see module docstring).
     """
 
-    def __init__(self, space, costs):
+    def __init__(self, space, costs, *, tlb=True):
         self.space = space
         self.costs = costs
         self.hooks = []
+        self.tlb_enabled = tlb
+        #: lifetime translation counters (plain ints on the hot path;
+        #: the cost account absorbs them lazily via the drain below).
+        self.tlb_hits = 0
+        self.tlb_walks = 0
+        self._drained_hits = 0
+        self._drained_walks = 0
+        register = getattr(costs, "register_source", None)
+        if register is not None:
+            register(self._drain_translation_work)
+
+    def _drain_translation_work(self):
+        """Batched-work source for :meth:`CostAccount.register_source`."""
+        hits = self.tlb_hits - self._drained_hits
+        walks = self.tlb_walks - self._drained_walks
+        self._drained_hits = self.tlb_hits
+        self._drained_walks = self.tlb_walks
+        return {"tlb_hit": hits, "pt_walk": walks}
+
+    def _translate(self, table, pageno):
+        """Resolve *pageno* to ``(frame, prot, segment)``, TLB first.
+
+        Returns ``None`` for unmapped pages.  Fills the TLB on a miss so
+        the next access to the page can take the fast path.
+        """
+        if self.tlb_enabled:
+            entry = table.tlb.get(pageno)
+            if entry is not None:
+                self.tlb_hits += 1
+                return entry
+        self.tlb_walks += 1
+        pte = table.lookup(pageno)
+        if pte is None:
+            return None
+        entry = (pte.frame, pte.prot, pte.segment)
+        if self.tlb_enabled:
+            table.tlb[pageno] = entry
+        return entry
 
     # -- hook management ----------------------------------------------------
 
@@ -328,14 +466,28 @@ class MemoryBus:
         """Read *size* bytes at *addr* under *table*'s protections."""
         if size < 0:
             raise ValueError("negative read size")
+        if self.tlb_enabled:
+            # Fast path: single-page access through a cached translation
+            # whose protection already admits the read.  Anything else
+            # (miss, prot fault, page-spanning, size 0) walks below.
+            entry = table.tlb.get(addr >> PAGE_SHIFT)
+            if entry is not None and entry[1] & PROT_READ:
+                off = addr & PAGE_MASK
+                if 0 < size <= PAGE_SIZE - off:
+                    self.tlb_hits += 1
+                    if self.hooks:
+                        seg = entry[2]
+                        self._fire("read", table, addr, size, seg,
+                                   addr - seg.base)
+                    return bytes(entry[0].data[off:off + size])
         out = bytearray()
         pos = addr
         remaining = size
         while remaining:
             pageno, off = divmod(pos, PAGE_SIZE)
             take = min(remaining, PAGE_SIZE - off)
-            pte = table.lookup(pageno)
-            if pte is None:
+            entry = self._translate(table, pageno)
+            if entry is None:
                 seg, seg_off = self._find_for_fault(pos)
                 denied = self._violation(
                     table, pos, "read",
@@ -354,22 +506,40 @@ class MemoryBus:
                 pos += take
                 remaining -= take
                 continue
-            if not pte.prot & PROT_READ:
+            frame, prot, segment = entry
+            if not prot & PROT_READ:
                 self._violation(
                     table, pos, "read",
                     f"sthread {table.owner_name!r} read of "
-                    f"{prot_name(pte.prot)} page at 0x{pos:x} "
-                    f"(segment {pte.segment.name!r})",
-                    segment=pte.segment)
-            out += pte.frame.data[off:off + take]
-            self._fire("read", table, pos, take, pte.segment,
-                       pos - pte.segment.base)
+                    f"{prot_name(prot)} page at 0x{pos:x} "
+                    f"(segment {segment.name!r})",
+                    segment=segment)
+            out += frame.data[off:off + take]
+            self._fire("read", table, pos, take, segment,
+                       pos - segment.base)
             pos += take
             remaining -= take
         return bytes(out)
 
     def write(self, table, addr, data):
         """Write *data* at *addr* under *table*'s protections (with COW)."""
+        if self.tlb_enabled:
+            # Fast path: single-page store through a cached translation
+            # that is already privately writable.  COW pages never carry
+            # PROT_WRITE, so first writes always take the walk path and
+            # break the COW there.
+            entry = table.tlb.get(addr >> PAGE_SHIFT)
+            if entry is not None and entry[1] & PROT_WRITE:
+                off = addr & PAGE_MASK
+                size = len(data)
+                if 0 < size <= PAGE_SIZE - off:
+                    self.tlb_hits += 1
+                    entry[0].data[off:off + size] = bytes(data)
+                    if self.hooks:
+                        seg = entry[2]
+                        self._fire("write", table, addr, size, seg,
+                                   addr - seg.base)
+                    return
         pos = addr
         view = memoryview(bytes(data))
         offset = 0
@@ -377,8 +547,8 @@ class MemoryBus:
         while offset < total:
             pageno, page_off = divmod(pos, PAGE_SIZE)
             take = min(total - offset, PAGE_SIZE - page_off)
-            pte = table.lookup(pageno)
-            if pte is None:
+            entry = self._translate(table, pageno)
+            if entry is None:
                 seg, seg_off = self._find_for_fault(pos)
                 denied = self._violation(
                     table, pos, "write",
@@ -392,26 +562,30 @@ class MemoryBus:
                 pos += take
                 offset += take
                 continue
-            if pte.prot & PROT_WRITE:
+            frame, prot, segment = entry
+            if prot & PROT_WRITE:
                 pass
-            elif pte.prot & PROT_COW:
+            elif prot & PROT_COW:
                 # first write to a COW page: copy the frame privately
-                pte.frame = pte.frame.copy()
-                pte.prot = PROT_RW
-                self.costs.charge("page_copy")
+                # (shoots down the stale shared-frame translation, then
+                # re-caches the private copy)
+                pte = table.cow_break(pageno, costs=self.costs)
+                frame = pte.frame
+                if self.tlb_enabled:
+                    table.tlb[pageno] = (pte.frame, pte.prot, pte.segment)
             else:
                 self._violation(
                     table, pos, "write",
                     f"sthread {table.owner_name!r} write to "
-                    f"{prot_name(pte.prot)} page at 0x{pos:x} "
-                    f"(segment {pte.segment.name!r})",
-                    segment=pte.segment)
+                    f"{prot_name(prot)} page at 0x{pos:x} "
+                    f"(segment {segment.name!r})",
+                    segment=segment)
                 pos += take
                 offset += take
                 continue
-            pte.frame.data[page_off:page_off + take] = view[offset:offset + take]
-            self._fire("write", table, pos, take, pte.segment,
-                       pos - pte.segment.base)
+            frame.data[page_off:page_off + take] = view[offset:offset + take]
+            self._fire("write", table, pos, take, segment,
+                       pos - segment.base)
             pos += take
             offset += take
 

@@ -75,9 +75,11 @@ class Sthread:
                 self.status = STATUS_EXITED
             except CompartmentFault as fault:
                 # the kernel kills a faulting sthread; the parent learns of
-                # it at join time
+                # it at join time.  Its cached translations die with it —
+                # a supervised restart must start translation-cold.
                 self.fault = fault
                 self.status = STATUS_FAULTED
+                self.table.flush_tlb(costs=kernel.costs)
             except WedgeError as exc:
                 # an ordinary runtime error (peer hung up, protocol
                 # violation): the compartment exits abnormally but it is

@@ -227,6 +227,13 @@ class ChaosReport:
         self.server_errors = 0
         self.probe_ok = False
         self.violations = []
+        #: observable record for differential (tlb on/off) comparison:
+        #: the clean observations and the final sensitive-state blobs
+        self.tlb_mode = None
+        self.baseline_obs = None
+        self.probe_obs = None
+        self.baseline = None
+        self.final_snapshot = None
 
     @property
     def passed(self):
@@ -248,6 +255,9 @@ class ChaosReport:
             f"{self.server_errors} server-side containments",
             f"  clean probe: {'ok' if self.probe_ok else 'FAILED'}",
         ]
+        if self.tlb_mode is not None:
+            mode = "on" if self.tlb_mode else "off"
+            lines.insert(1, f"  tlb: {mode}")
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         return "\n".join(lines)
@@ -261,16 +271,33 @@ def _count_restarts(kernel):
 
 
 def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
-              policy=None, plan=None):
-    """Run one chaos campaign; returns a :class:`ChaosReport`."""
+              policy=None, plan=None, tlb=None):
+    """Run one chaos campaign; returns a :class:`ChaosReport`.
+
+    ``tlb`` overrides :attr:`Kernel.DEFAULT_TLB` for the duration of the
+    server build (the apps construct their kernels internally), letting
+    the differential suite run the same campaign with and without the
+    simulated TLB.
+    """
+    from repro.core.kernel import Kernel
+
     target = CHAOS_TARGETS[app]
     report = ChaosReport(app, seed, faults)
-    server = target.make(policy or default_policy())
+    report.tlb_mode = tlb
+    saved_default = Kernel.DEFAULT_TLB
+    if tlb is not None:
+        Kernel.DEFAULT_TLB = tlb
+    try:
+        server = target.make(policy or default_policy())
+    finally:
+        Kernel.DEFAULT_TLB = saved_default
     server.start()
     try:
         # the expected behaviour, captured before any fault is armed
         baseline_obs = target.session(server, 0, strict=True)
         baseline = target.snapshot(server)
+        report.baseline_obs = baseline_obs
+        report.baseline = baseline
 
         plan = plan or default_plan(seed, target.rates)
         server.kernel.install_faults(plan)
@@ -293,6 +320,7 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         try:
             probe_obs = target.session(server, max_sessions + 1,
                                        strict=True)
+            report.probe_obs = probe_obs
             report.probe_ok = probe_obs == baseline_obs
             if not report.probe_ok:
                 report.violations.append(
@@ -301,7 +329,8 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         except WedgeError as exc:
             report.violations.append(f"clean probe failed: {exc}")
 
-        for name, blob in target.snapshot(server).items():
+        report.final_snapshot = target.snapshot(server)
+        for name, blob in report.final_snapshot.items():
             if blob != baseline[name]:
                 report.violations.append(
                     f"sensitive state {name!r} changed during chaos")

@@ -1,0 +1,148 @@
+"""Differential harness: the TLB fast path may change cycles, never
+behaviour.
+
+Every scenario here runs twice — ``tlb=True`` and ``tlb=False`` — under
+the same deterministic seeds, and asserts the two runs are observably
+identical: byte-identical application stores, identical client-visible
+responses, and identical :class:`~repro.core.errors.MemoryViolation`
+sites.  The chaos campaigns additionally pin the full injection trace
+(sites, hit counts, session/restart totals) so the fast path provably
+does not perturb the fault schedule either.
+"""
+
+import pytest
+
+from repro.core.errors import MemoryViolation
+from repro.core.kernel import Kernel
+from repro.core.policy import SecurityContext
+from repro.faults.chaos import (CHAOS_APP_NAMES, CHAOS_TARGETS,
+                                default_policy, run_chaos)
+
+
+def _make_server(app, tlb):
+    """Build an app server with Kernel.DEFAULT_TLB forced to *tlb*.
+
+    The shipped apps construct their kernels internally, so the class
+    default is the only ablation knob that reaches them.
+    """
+    saved = Kernel.DEFAULT_TLB
+    Kernel.DEFAULT_TLB = tlb
+    try:
+        return CHAOS_TARGETS[app].make(default_policy())
+    finally:
+        Kernel.DEFAULT_TLB = saved
+
+
+def _run_app(app, tlb, sessions=3):
+    """Serve *sessions* deterministic clean sessions; return observables."""
+    target = CHAOS_TARGETS[app]
+    server = _make_server(app, tlb)
+    server.start()
+    try:
+        responses = [target.session(server, i, strict=True)
+                     for i in range(sessions)]
+        store = target.snapshot(server)
+        stats = server.kernel.tlb_stats()
+    finally:
+        server.stop()
+    return responses, store, stats
+
+
+@pytest.mark.parametrize("app", CHAOS_APP_NAMES)
+def test_app_identical_with_and_without_tlb(app):
+    responses_on, store_on, stats_on = _run_app(app, True)
+    responses_off, store_off, stats_off = _run_app(app, False)
+    # identical client-visible responses, byte-identical stores
+    assert responses_on == responses_off
+    assert store_on == store_off
+    # the comparison was not vacuous: the TLB run really used the TLB
+    assert stats_on["enabled"] and stats_on["hits"] > 0
+    # and the ablated run really walked every access
+    assert not stats_off["enabled"]
+    assert stats_off["hits"] == 0 and stats_off["entries"] == 0
+
+
+def _violation_sites(tlb):
+    """Provoke read and write violations after warming the TLB."""
+    kernel = Kernel(name="diff", tlb=tlb)
+    kernel.start_main()
+    secret = kernel.alloc_buf(16, init=b"top-secret-bytes")
+    seen = {}
+
+    def body(arg):
+        own = kernel.malloc(64)
+        # warm this sthread's TLB with legitimate traffic first, so a
+        # buggy fast path would have cached state to get wrong
+        kernel.mem_write(own, b"x" * 64)
+        seen["own"] = kernel.mem_read(own, 64)
+        try:
+            kernel.mem_read(secret.addr, 4)
+        except MemoryViolation as exc:
+            seen["read"] = (exc.addr, exc.op, str(exc))
+        try:
+            kernel.mem_write(secret.addr, b"!!")
+        except MemoryViolation as exc:
+            seen["write"] = (exc.addr, exc.op, str(exc))
+        return b"done"
+
+    st = kernel.sthread_create(SecurityContext(), body, name="probe",
+                               spawn="inline")
+    assert kernel.sthread_join(st) == b"done"
+    return seen
+
+
+def test_violation_sites_identical():
+    """Same addresses, ops and messages with the TLB on and off."""
+    assert _violation_sites(True) == _violation_sites(False)
+
+
+def _emulated_violations(tlb):
+    """Emulation mode records (instead of raising) identically."""
+    kernel = Kernel(name="emu", tlb=tlb)
+    kernel.start_main()
+    secret = kernel.alloc_buf(16, init=b"grant-all probes")
+
+    def body(arg):
+        kernel.mem_read(secret.addr, 8)
+        kernel.mem_write(secret.addr + 4, b"??")
+        return kernel.mem_read(secret.addr, 8)
+
+    st = kernel.sthread_create(SecurityContext(), body, name="emu",
+                               spawn="inline", emulate=True)
+    result = kernel.sthread_join(st)
+    return result, [(v.addr, v.op, str(v)) for v in st.table.violations]
+
+
+def test_emulation_mode_identical():
+    assert _emulated_violations(True) == _emulated_violations(False)
+
+
+def _campaign_fingerprint(report):
+    return {
+        "passed": report.passed,
+        "injected": report.injected,
+        "sessions": report.sessions,
+        "failed": report.failed_sessions,
+        "degraded": report.degraded_sessions,
+        "restarts": report.restarts,
+        "by_site": dict(report.by_site),
+        "violations": report.violations,
+        "baseline_obs": report.baseline_obs,
+        "probe_obs": report.probe_obs,
+        "store": report.final_snapshot,
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_chaos_campaign_identical_with_and_without_tlb(seed):
+    on = run_chaos("pop3", seed=seed, faults=10, tlb=True)
+    off = run_chaos("pop3", seed=seed, faults=10, tlb=False)
+    assert on.passed, on.format()
+    assert _campaign_fingerprint(on) == _campaign_fingerprint(off)
+
+
+def test_chaos_httpd_campaign_identical():
+    on = run_chaos("httpd-simple", seed=1, faults=10, tlb=True)
+    off = run_chaos("httpd-simple", seed=1, faults=10, tlb=False)
+    assert on.passed, on.format()
+    assert _campaign_fingerprint(on) == _campaign_fingerprint(off)

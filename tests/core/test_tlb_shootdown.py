@@ -1,0 +1,260 @@
+"""TLB shootdown: every rights-narrowing point invalidates, and the
+``PageTable._invalidate`` choke point is the only mutator.
+
+The five invalidation points documented in DESIGN.md §2:
+
+1. revocation — ``unmap_segment`` (tag_delete, recycled-gate teardown)
+2. protection narrowing — ``map_segment`` remap over live pages
+3. COW first-write — ``cow_break`` replaces the frame
+4. fork — ``mark_all_cow`` / ``downgrade_to_cow``
+5. compartment fault — ``flush_tlb`` (sthread death, gate death)
+
+Plus the meta-test: a source scan asserting no code outside
+``memory.py`` mutates PTEs or TLB entries directly, so a future
+mutation site cannot silently skip shootdown.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.core.costs import CostAccount
+from repro.core.errors import MemoryViolation
+from repro.core.kernel import Kernel
+from repro.core.memory import (PAGE_SIZE, PROT_COW, PROT_READ, PROT_RW,
+                               AddressSpace, MemoryBus, PageTable)
+from repro.core.policy import SecurityContext, sc_mem_add
+
+
+@pytest.fixture()
+def rig():
+    space = AddressSpace()
+    bus = MemoryBus(space, CostAccount(), tlb=True)
+    table = PageTable(owner_name="rig")
+    seg = space.create_segment(2 * PAGE_SIZE, name="rig-seg", kind="tag")
+    table.map_segment(seg, PROT_RW)
+    return space, bus, table, seg
+
+
+def test_read_fills_tlb_and_hits_on_repeat(rig):
+    space, bus, table, seg = rig
+    assert table.tlb == {}
+    bus.write(table, seg.base, b"hello")
+    assert (seg.base >> 12) in table.tlb
+    walks = bus.tlb_walks
+    for _ in range(5):
+        assert bus.read(table, seg.base, 5) == b"hello"
+    assert bus.tlb_walks == walks          # all served from the TLB
+    assert bus.tlb_hits >= 5
+
+
+def test_unmap_revokes_cached_translation(rig):
+    space, bus, table, seg = rig
+    bus.read(table, seg.base, 1)           # cache the translation
+    table.unmap_segment(seg)
+    assert table.tlb == {}
+    assert table.tlb_shootdowns >= 1
+    with pytest.raises(MemoryViolation):
+        bus.read(table, seg.base, 1)
+
+
+def test_remap_readonly_narrows_cached_rights(rig):
+    space, bus, table, seg = rig
+    bus.write(table, seg.base, b"w")       # caches an RW translation
+    table.map_segment(seg, PROT_READ)      # mprotect-style narrowing
+    with pytest.raises(MemoryViolation):
+        bus.write(table, seg.base, b"x")
+    assert bus.read(table, seg.base, 1) == b"w"
+
+
+def test_cow_break_replaces_cached_frame(rig):
+    space, bus, table, seg = rig
+    seg.write_raw(0, b"pristine")
+    table.map_segment(seg, PROT_READ | PROT_COW)
+    assert bus.read(table, seg.base, 8) == b"pristine"   # caches COW entry
+    bus.write(table, seg.base, b"scribble")              # breaks the COW
+    # the write went to a private frame; the segment stayed pristine
+    assert bus.read(table, seg.base, 8) == b"scribble"
+    assert seg.read_raw(0, 8) == b"pristine"
+    assert table.tlb_shootdowns >= 1
+    # and the re-cached translation is the private frame, not the shared
+    pte = table.lookup(seg.base >> 12)
+    assert table.tlb[seg.base >> 12][0] is pte.frame
+    assert pte.frame is not seg.frames[0]
+
+
+def test_mark_all_cow_downgrades_cached_rights(rig):
+    space, bus, table, seg = rig
+    bus.write(table, seg.base, b"parent")  # caches RW
+    table.mark_all_cow()
+    # next write must COW-copy, not scribble the shared frame through a
+    # stale writable translation
+    bus.write(table, seg.base, b"child!")
+    assert seg.read_raw(0, 6) == b"parent"
+
+
+def test_flush_drops_everything(rig):
+    space, bus, table, seg = rig
+    bus.read(table, seg.base, 1)
+    bus.read(table, seg.base + PAGE_SIZE, 1)
+    assert len(table.tlb) == 2
+    assert table.flush_tlb() == 2
+    assert table.tlb == {}
+
+
+def test_clone_starts_translation_cold(rig):
+    space, bus, table, seg = rig
+    bus.read(table, seg.base, 1)
+    child = table.clone(owner_name="child")
+    assert child.tlb == {}
+
+
+def test_disabled_bus_never_populates_tlb(rig):
+    space, _, table, seg = rig
+    cold = MemoryBus(space, CostAccount(), tlb=False)
+    cold.write(table, seg.base, b"x")
+    assert cold.read(table, seg.base, 1) == b"x"
+    assert table.tlb == {}
+    assert cold.tlb_hits == 0
+    assert cold.tlb_walks >= 2
+
+
+# -- kernel-level invalidation points -----------------------------------------
+
+
+def test_tag_delete_shoots_down_and_reuse_is_scrubbed():
+    kernel = Kernel(name="sd")
+    kernel.start_main()
+    tag = kernel.tag_new(name="loot")
+    addr = kernel.smalloc(64, tag)
+    kernel.mem_write(addr, b"secret!!")
+    assert kernel.mem_read(addr, 8) == b"secret!!"     # warm
+    kernel.tag_delete(tag)
+    # revoked: the cached translation must not survive the unmap
+    with pytest.raises(MemoryViolation):
+        kernel.mem_read(addr, 8)
+    # tag-cache reuse hands back the same segment, scrubbed; the new
+    # mapping resolves freshly (no stale bytes, no stale translation)
+    tag2 = kernel.tag_new(name="reuse")
+    assert tag2.segment is tag.segment
+    addr2 = kernel.smalloc(64, tag2)
+    data = kernel.mem_read(addr2, 64)
+    assert b"secret!!" not in data
+
+
+def test_fork_downgrade_shoots_down_parent_translations():
+    kernel = Kernel(name="fork-sd")
+    kernel.start_main()
+    main = kernel.main
+    addr = kernel.malloc(32)
+    kernel.mem_write(addr, b"pre-fork")                # warm RW entry
+    child = kernel.fork(lambda a: kernel.mem_read(addr, 8),
+                        spawn="inline")
+    # the fork downgraded main's heap to COW; its cached RW translation
+    # was shot down, so this write COW-copies instead of leaking into
+    # the frame the child still shares
+    kernel.mem_write(addr, b"postfork")
+    assert kernel.sthread_join(child) == b"pre-fork"
+    assert main.table.tlb_shootdowns > 0
+
+
+def test_tlb_stats_shape():
+    kernel = Kernel(name="stats")
+    kernel.start_main()
+    addr = kernel.malloc(16)
+    kernel.mem_write(addr, b"x")
+    kernel.mem_read(addr, 1)
+    stats = kernel.tlb_stats()
+    assert stats["enabled"] is True
+    assert stats["hits"] > 0 and stats["walks"] > 0
+    assert stats["entries"] > 0
+    off = Kernel(name="stats-off", tlb=False)
+    off.start_main()
+    addr = off.malloc(16)
+    off.mem_write(addr, b"x")
+    assert off.tlb_stats() == {"enabled": False, "hits": 0,
+                               "walks": off.bus.tlb_walks,
+                               "shootdowns": 0, "entries": 0}
+
+
+def test_sthread_cannot_reach_revoked_tag_after_warming():
+    """End-to-end revocation: grant, warm, revoke, fault."""
+    kernel = Kernel(name="revoke")
+    kernel.start_main()
+    tag = kernel.tag_new(name="shared")
+    addr = kernel.smalloc(32, tag)
+    kernel.mem_write(addr, b"visible!")
+    outcomes = []
+
+    def body(arg):
+        outcomes.append(kernel.mem_read(addr, 8))      # warm the TLB
+        st = kernel.current()
+        st.table.unmap_segment(tag.segment, costs=kernel.costs)
+        try:
+            outcomes.append(kernel.mem_read(addr, 8))
+        except MemoryViolation:
+            outcomes.append("revoked")
+        return b"ok"
+
+    sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+    st = kernel.sthread_create(sc, body, name="revokee", spawn="inline")
+    assert kernel.sthread_join(st) == b"ok"
+    assert outcomes == [b"visible!", "revoked"]
+
+
+# -- the choke point is the only mutator --------------------------------------
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Patterns that mutate page-table or TLB state in place.  Any of these
+#: appearing outside memory.py is a mutation site that bypasses the
+#: _invalidate choke point.
+MUTATION_PATTERNS = [
+    r"\.entries\[",            # direct PTE install
+    r"\.entries\.pop",         # direct PTE removal
+    r"\.entries\.clear",
+    r"\.entries\.update",
+    r"\.entries\s*=",          # wholesale replacement
+    r"\.prot\s*=[^=]",         # in-place protection change
+    r"\.frame\s*=[^=]",        # in-place frame replacement
+    r"\.tlb\[",                # direct TLB install
+    r"\.tlb\.pop",
+    r"\.tlb\.clear",
+    r"\.tlb\s*=[^=]",
+    r"del\s+\w+\.tlb",
+]
+
+
+def test_memory_py_is_the_only_pte_and_tlb_mutator():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "memory.py":
+            continue
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern in MUTATION_PATTERNS:
+                if re.search(pattern, line):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}: "
+                                     f"{line.strip()}")
+    assert offenders == [], (
+        "PTE/TLB mutations outside memory.py bypass the _invalidate "
+        "choke point:\n" + "\n".join(offenders))
+
+
+def test_tlb_entries_leave_only_through_the_choke_point():
+    """Within memory.py itself, TLB-entry removal is confined to
+    ``_invalidate`` and ``flush_tlb`` — the documented choke points."""
+    text = (SRC / "core" / "memory.py").read_text()
+    # split into top-level def blocks of the PageTable/MemoryBus classes
+    removals = []
+    current = "<module>"
+    for line in text.splitlines():
+        match = re.match(r"\s+def\s+(\w+)", line)
+        if match:
+            current = match.group(1)
+        if re.search(r"tlb\.pop|tlb\.clear|del\s+tlb\[|del\s+\w+\.tlb\[",
+                     line):
+            removals.append(current)
+    assert removals and set(removals) <= {"_invalidate", "flush_tlb"}, \
+        f"TLB entries removed outside the choke point: {removals}"

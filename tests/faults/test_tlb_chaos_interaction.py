@@ -1,0 +1,100 @@
+"""Regression: supervised restart must not inherit TLB state.
+
+The stale-translation isolation hole: incarnation 0 of a supervised
+sthread maps a tag dynamically (``tag_new`` inside the body grants only
+*its own* table), warms the TLB on it, then is killed mid-request by an
+injected fault.  The :class:`RestartPolicy` rebuilds the compartment
+from the COW snapshot with the *original* security context — which never
+granted that tag.  If any cached translation leaked across the restart,
+the new incarnation would silently re-acquire its predecessor's
+pre-crash rights; instead it must take a :class:`MemoryViolation` on the
+very page the previous incarnation had cached.
+"""
+
+import pytest
+
+from repro.core.errors import MemoryViolation
+from repro.core.kernel import Kernel
+from repro.core.policy import SecurityContext
+from repro.faults.plan import FaultPlan
+from repro.faults.supervise import RestartPolicy
+
+
+def _run_restart_scenario(tlb):
+    kernel = Kernel(name="tlb-chaos", tlb=tlb)
+    kernel.start_main()
+    plan = FaultPlan(seed=7)
+    # mem_read eligible hits in untrusted scope: hit 1 warms the TLB,
+    # hit 2 kills the incarnation mid-request
+    plan.add("mem_read", "memfault", at=[2])
+    kernel.install_faults(plan)
+
+    shared = {}       # gen-0 publishes the loot address for gen-1
+    outcomes = []
+
+    def body(arg):
+        generation = len(outcomes)
+        if generation == 0:
+            tag = kernel.tag_new(name="loot")
+            addr = kernel.smalloc(64, tag)
+            kernel.mem_write(addr, b"pre-crash secret" * 4)
+            shared["addr"] = addr
+            outcomes.append(("gen0", kernel.mem_read(addr, 16)))  # hit 1
+            kernel.mem_read(addr, 16)                             # hit 2: dies
+            raise AssertionError("unreachable: fault must fire")
+        # the restarted incarnation: fresh table, no grant to the tag
+        try:
+            leaked = kernel.mem_read(shared["addr"], 16)          # hit 3
+            outcomes.append(("gen1", "LEAKED", leaked))
+        except MemoryViolation as exc:
+            outcomes.append(("gen1", "denied", exc.addr))
+        return b"done"
+
+    st = kernel.sthread_create(SecurityContext(), body, name="victim",
+                               spawn="inline",
+                               supervise=RestartPolicy(max_restarts=2))
+    result = kernel.sthread_join(st)
+    return kernel, st, shared, outcomes, result
+
+
+@pytest.mark.parametrize("tlb", [True, False])
+def test_restarted_incarnation_cannot_use_predecessors_translations(tlb):
+    kernel, st, shared, outcomes, result = _run_restart_scenario(tlb)
+    assert result == b"done"
+    assert st.restarts == 1
+    # gen-0 really read the secret before dying
+    assert outcomes[0] == ("gen0", b"pre-crash secret")
+    # gen-1 was denied at exactly the address gen-0 had warmed
+    assert outcomes[1] == ("gen1", "denied", shared["addr"])
+
+    gen0, gen1 = st.incarnations
+    assert gen0.table is not gen1.table        # restart = fresh table
+    loot_page = shared["addr"] >> 12
+    # the faulting incarnation's cache was flushed at the moment of
+    # death, and the replacement never cached the revoked page
+    assert gen0.table.tlb == {}
+    assert loot_page not in gen1.table.tlb
+    if tlb:
+        # the scenario was not vacuous: gen-0 did warm its TLB (the
+        # flush-on-fault counted those entries as shootdowns)
+        assert gen0.table.tlb_shootdowns > 0
+
+
+def test_faulted_incarnation_flushes_at_death():
+    """The flush happens at fault time, not lazily at reuse time."""
+    kernel = Kernel(name="flush-at-death")
+    kernel.start_main()
+
+    def body(arg):
+        addr = kernel.malloc(32)
+        kernel.mem_write(addr, b"warm")
+        kernel.mem_read(addr, 4)
+        # touch main's memory without a grant -> CompartmentFault
+        kernel.mem_read(tripwire.addr, 1)
+
+    tripwire = kernel.alloc_buf(8, init=b"\0" * 8)
+    st = kernel.sthread_create(SecurityContext(), body, name="dying",
+                               spawn="inline")
+    assert st.faulted
+    assert st.table.tlb == {}
+    assert st.table.tlb_shootdowns > 0
