@@ -33,6 +33,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
 #: A checked metric may grow this much before --check fails.
 TOLERANCE = 0.10
 
+#: Per-artifact overrides.  ``observe`` re-measures the Figure 7
+#: primitives with the (default, disabled) kernel event bus in place:
+#: the disabled path is one attribute test and must cost nothing, so it
+#: is held to 2% instead of the generic 10%.
+TOLERANCES = {"observe": 0.02}
+
 
 def _meter(kernel, fn):
     checkpoint = kernel.costs.checkpoint()
@@ -212,7 +218,47 @@ def bench_tlb(rounds):
             "info": info}
 
 
-BENCHES = {"fig7": bench_fig7, "fig8": bench_fig8, "tlb": bench_tlb}
+def bench_observe(rounds):
+    """Figure 7 primitives under the default no-op observability path.
+
+    Every kernel carries an :class:`~repro.observe.bus.EventBus`; with
+    no sink attached each chokepoint costs a single attribute test and
+    charges zero model cycles, so the ``noop_*`` metrics must track the
+    ``fig7`` artifact exactly (TOLERANCES holds them to 2% in CI).
+    ``info`` additionally records the *enabled* cost of two primitives
+    with a counting sink attached — context for the overhead model in
+    DESIGN.md, never checked.
+    """
+    base = bench_fig7(rounds)
+    metrics = {f"noop_{key}": value
+               for key, value in base["metrics"].items()}
+
+    from repro.core.kernel import Kernel
+    from repro.core.policy import SecurityContext
+    from repro.observe.counters import CounterRegistry
+    kernel = Kernel(name="bench-observe-on")
+    kernel.start_main()
+    kernel.observe.add_sink(CounterRegistry())
+    enabled = {
+        "pthread": _meter(kernel, lambda: kernel.sthread_join(
+            kernel.pthread_create(lambda a: None, spawn="inline"))),
+        "sthread": _meter(kernel, lambda: kernel.sthread_join(
+            kernel.sthread_create(SecurityContext(), lambda a: None,
+                                  spawn="inline"))),
+    }
+    info = {
+        "enabled_pthread_cycles": enabled["pthread"],
+        "enabled_sthread_cycles": enabled["sthread"],
+        "enabled_sthread_overhead": round(
+            enabled["sthread"] / base["metrics"]["sthread_cycles"] - 1,
+            4),
+    }
+    return {"artifact": "observe", "metrics": metrics, "wall": {},
+            "info": info}
+
+
+BENCHES = {"fig7": bench_fig7, "fig8": bench_fig8, "tlb": bench_tlb,
+           "observe": bench_observe}
 
 
 def check(out_dir, baseline_dir):
@@ -226,6 +272,7 @@ def check(out_dir, baseline_dir):
             continue
         base = json.loads(base_path.read_text())["metrics"]
         new = json.loads(new_path.read_text())["metrics"]
+        tolerance = TOLERANCES.get(name, TOLERANCE)
         for key, old_value in sorted(base.items()):
             value = new.get(key)
             if value is None:
@@ -234,10 +281,10 @@ def check(out_dir, baseline_dir):
                 continue
             ratio = value / old_value if old_value else float("inf")
             flag = "ok"
-            if ratio > 1 + TOLERANCE:
+            if ratio > 1 + tolerance:
                 flag = f"REGRESSION (+{(ratio - 1):.1%})"
                 clean = False
-            elif ratio < 1 - TOLERANCE:
+            elif ratio < 1 - tolerance:
                 flag = f"improved ({(ratio - 1):+.1%})"
             print(f"  {name}.{key}: {old_value:,.1f} -> {value:,.1f} "
                   f"[{flag}]")

@@ -11,12 +11,16 @@ command            prints
 ``table2-apache``  requests/s for vanilla / wedge / recycled
 ``table2-ssh``     login and scp latency, vanilla vs wedge
 ``metrics``        partitioning LoC accounting (§5.1/§5.2)
-``trace``          run a workload under cb-log; cb-analyze report
+``trace``          run a workload under Crowbar's cb-log and print the
+                   cb-analyze memory report (NOT the observability
+                   tracer — that is ``observe``)
 ``lint``           three-way least-privilege lint (declared vs
                    static vs traced) over the shipped compartments
 ``attack``         run the MITM or sshd attack scenario end to end
 ``chaos``          seeded fault-injection campaign against the shipped
                    apps; proves crash containment end to end
+``observe``        serve demo sessions under the kernel event bus and
+                   span tracer; top-style summary, Chrome trace export
 =================  ====================================================
 """
 
@@ -297,7 +301,7 @@ def cmd_chaos(args):
     for name in names:
         report = run_chaos(name, seed=args.seed, faults=args.faults,
                            tlb=tlb)
-        print(report.format())
+        print(report.format(flight_dump=args.flight_dump))
         failed = failed or not report.passed
     probe = cow_freshness_probe()
     print(f"cow freshness probe: "
@@ -305,6 +309,45 @@ def cmd_chaos(args):
           f"(observations={probe['observations']})")
     failed = failed or not probe["fresh"]
     return 1 if failed else 0
+
+
+def cmd_observe(args):
+    from repro.observe.export import validate_file
+    if args.validate:
+        problems = validate_file(args.validate)
+        if problems:
+            print(f"{args.validate}: INVALID Chrome trace JSON:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"{args.validate}: valid Chrome trace-event JSON")
+        return 0
+
+    from repro.observe.session import (OBSERVE_APP_NAMES, observed_session,
+                                       resolve_app)
+    try:
+        resolve_app(args.app)
+    except KeyError:
+        print(f"unknown app {args.app!r}; choose from "
+              f"{sorted(OBSERVE_APP_NAMES)}", file=sys.stderr)
+        return 2
+    observer = observed_session(args.app, requests=args.requests,
+                                tlb_events=args.tlb_events)
+    print(observer.summary())
+    if args.export:
+        from repro.observe.export import validate_chrome_trace
+        trace = observer.chrome_trace()
+        problems = validate_chrome_trace(trace)
+        observer.export(args.export)
+        if problems:
+            print(f"wrote {args.export} — but it FAILED validation:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"wrote {args.export} "
+              f"({len(trace['traceEvents'])} trace events; load it in "
+              f"ui.perfetto.dev or chrome://tracing)")
+    return 0
 
 
 def build_parser():
@@ -329,7 +372,10 @@ def build_parser():
     sub.add_parser("metrics",
                    help="partitioning metrics").set_defaults(
         fn=cmd_metrics)
-    pt = sub.add_parser("trace", help="cb-log + cb-analyze a workload")
+    pt = sub.add_parser(
+        "trace",
+        help="Crowbar cb-log + cb-analyze a memory workload (for the "
+             "kernel event/span tracer, see 'observe')")
     pt.add_argument("workload")
     pt.add_argument("--procedure", default=None)
     pt.set_defaults(fn=cmd_trace)
@@ -356,7 +402,27 @@ def build_parser():
     pc.add_argument("--no-tlb", action="store_true",
                     help="run with the simulated TLB disabled "
                          "(differential ablation)")
+    pc.add_argument("--flight-dump", action="store_true",
+                    help="print the newest flight-recorder dump even "
+                         "when the campaign passed")
     pc.set_defaults(fn=cmd_chaos)
+    po = sub.add_parser(
+        "observe",
+        help="event bus + span tracing over one app's demo sessions")
+    po.add_argument("--app", default="httpd",
+                    help="which app to observe (default: httpd)")
+    po.add_argument("-n", "--requests", type=int, default=1,
+                    help="client sessions to serve under observation")
+    po.add_argument("--export", default=None, metavar="PATH",
+                    help="write a Chrome trace-event JSON "
+                         "(ui.perfetto.dev / chrome://tracing)")
+    po.add_argument("--tlb-events", action="store_true",
+                    help="also record the high-volume tlb.hit/tlb.miss "
+                         "stream")
+    po.add_argument("--validate", default=None, metavar="PATH",
+                    help="validate an exported trace JSON instead of "
+                         "running anything")
+    po.set_defaults(fn=cmd_observe)
     return parser
 
 

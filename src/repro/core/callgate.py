@@ -49,6 +49,11 @@ class CallgateRecord:
         self.degraded = False
         self.last_fault = None
 
+    @property
+    def span_name(self):
+        """Label for this gate's trace spans (repro.observe)."""
+        return f"cgate:{self.name}"
+
     def __repr__(self):
         flavor = "recycled " if self.recycled else ""
         return f"<{flavor}Callgate #{self.id} {self.name!r}>"

@@ -46,6 +46,7 @@ WEIGHTS = {
     "tlb_hit": 2,             # translation served from the simulated TLB
     "pt_walk": 50,            # full page-table walk (TLB miss or tlb=False)
     "tlb_shootdown": 200,     # invalidate one cached translation (invlpg)
+    "observe_emit": 5,        # one enabled tracepoint firing (repro.observe)
 }
 
 

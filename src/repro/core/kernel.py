@@ -30,6 +30,7 @@ its costs and checks its permissions against that compartment.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 
@@ -53,6 +54,32 @@ from repro.core.sthread import HEAP_SIZE, STACK_SIZE, Sthread
 from repro.core.tags import DEFAULT_TAG_SIZE, TagManager
 from repro.core.vfs import Vfs
 from repro.net.stream import ByteStream, DuplexStream
+from repro.observe import events as ev
+from repro.observe.bus import EventBus
+
+
+def _traced_syscall(fn):
+    """Emit paired ``syscall.enter``/``syscall.exit`` events around a
+    syscall method.  The disabled path is one attribute test and a
+    plain call — no event, no kwargs, no model cycles."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        obs = self.observe
+        if not obs.enabled:
+            return fn(self, *args, **kwargs)
+        comp = self._comp_name()
+        obs.emit(ev.SYSCALL_ENTER, comp=comp, name=name)
+        try:
+            result = fn(self, *args, **kwargs)
+        except BaseException as exc:
+            obs.emit(ev.SYSCALL_EXIT, comp=comp, name=name, ok=False,
+                     error=type(exc).__name__)
+            raise
+        obs.emit(ev.SYSCALL_EXIT, comp=comp, name=name, ok=True)
+        return result
+    return wrapper
 
 
 class TableView:
@@ -114,9 +141,13 @@ class Kernel:
                  name="wedge", tlb=None):
         self.name = name
         self.costs = CostAccount()
+        #: the observability event bus; disabled (no sinks) until an
+        #: Observer attaches, at which point the chokepoints light up
+        self.observe = EventBus(self.costs, kernel_name=name)
         self.space = AddressSpace()
         self.bus = MemoryBus(self.space, self.costs,
                              tlb=self.DEFAULT_TLB if tlb is None else tlb)
+        self.bus.observe = self.observe
         self.tags = TagManager(self.space, self.costs,
                                cache_enabled=tag_cache)
         self.selinux = selinux if selinux is not None else SELinuxPolicy()
@@ -172,6 +203,9 @@ class Kernel:
         main.status = "running"
         self.main = main
         self._stack().append(main)
+        if self.observe.enabled:
+            self.observe.emit(ev.COW_SNAPSHOT, comp=main.name,
+                              pages=len(self.image.snapshot_frames))
         return main
 
     def _new_compartment(self, name, ctx, *, uid, root, sel_sid, kind,
@@ -181,6 +215,7 @@ class Kernel:
             self._next_sthread_id += 1
         st = Sthread(sid, name, ctx, uid=uid, root=root, sel_sid=sel_sid,
                      kind=kind, parent=parent)
+        st.table.observe = self.observe   # tlb.shootdown emit point
         self.sthreads.append(st)
         return st
 
@@ -223,6 +258,17 @@ class Kernel:
                 raise WedgeError("kernel not booted: call start_main()")
             return self.main
         return stack[-1]
+
+    def _comp_name(self):
+        """Current compartment's name for event stamping (None pre-boot).
+
+        Unlike :meth:`current` this never raises, so the enabled branch
+        of an emit point is safe at any kernel lifecycle stage.
+        """
+        stack = self._stack()
+        if stack:
+            return stack[-1].name
+        return self.main.name if self.main is not None else None
 
     def caller(self):
         """The compartment that invoked the current callgate.
@@ -270,9 +316,13 @@ class Kernel:
         """Attach a :class:`~repro.faults.FaultPlan` (or None to remove).
 
         The plan is consulted at the kernel chokepoints and propagated
-        to the attached network so connect/send faults fire too.
+        to the attached network so connect/send faults fire too.  The
+        plan also learns this kernel's event bus, so every injection —
+        kernel- or network-site — shows up as a ``fault.fired`` event.
         """
         self.faults = plan
+        if plan is not None:
+            plan.observer = self.observe
         if self.net is not None:
             self.net.faults = plan
         return plan
@@ -534,6 +584,7 @@ class Kernel:
     # sthreads, fork, pthreads
     # ------------------------------------------------------------------
 
+    @_traced_syscall
     def sthread_create(self, sc, body, arg=None, *, name="",
                        spawn="thread", emulate=False, supervise=None):
         """Create a compartment with exactly the privileges in *sc*.
@@ -565,8 +616,13 @@ class Kernel:
         self._start(child, body, arg, spawn)
         return child
 
-    def _build_sthread(self, sc, parent, *, name, kind):
-        """Construct the compartment state for a bound security context."""
+    def _build_sthread(self, sc, parent, *, name, kind, span_parent=None):
+        """Construct the compartment state for a bound security context.
+
+        *span_parent* overrides the trace linkage (default: the
+        spawner's current span); supervision passes the crashed
+        incarnation's span here so restarts chain visibly.
+        """
         uid = sc.uid if sc.uid is not None else parent.uid
         root = sc.root if sc.root is not None else parent.root
         sel_sid = sc.sid if sc.sid is not None else parent.sel_sid
@@ -595,7 +651,21 @@ class Kernel:
             child.gates.add(record.id)
         for gate_id in sc.gate_ids:
             child.gates.add(gate_id)
+        self._observe_spawn(child, parent, span_parent=span_parent)
         return child
+
+    def _observe_spawn(self, child, parent, *, span_parent=None):
+        """Emit the spawn event and open the child's span (if tracing)."""
+        obs = self.observe
+        if obs.enabled:
+            obs.emit(ev.STHREAD_SPAWN, comp=parent.name,
+                     child=child.name, kind=child.kind)
+        tracer = obs.tracer
+        if tracer is not None:
+            origin = span_parent if span_parent is not None \
+                else parent.span
+            child.span = tracer.begin(f"{child.kind}:{child.name}",
+                                      comp=child.name, parent=origin)
 
     def _start(self, child, body, arg, spawn):
         if spawn == "inline":
@@ -629,6 +699,7 @@ class Kernel:
                 sthread=st, fault=st.fault) from st.fault
         return result
 
+    @_traced_syscall
     def fork(self, body, arg=None, *, name="", spawn="thread"):
         """UNIX fork: the child inherits *everything* — which is the
         paper's core criticism of processes as compartments."""
@@ -653,9 +724,12 @@ class Kernel:
         child.stack_frames = list(parent.stack_frames)
         child.fdtable = parent.fdtable.dup_all(costs=self.costs)
         child.gates = set(parent.gates)
+        child.table.observe = self.observe  # the clone replaced the table
+        self._observe_spawn(child, parent)
         self._start(child, body, arg, spawn)
         return child
 
+    @_traced_syscall
     def pthread_create(self, body, arg=None, *, name="", spawn="thread"):
         """POSIX thread: shares the address space, fds and privileges."""
         parent = self._syscall("pthread_create")
@@ -674,6 +748,7 @@ class Kernel:
             STACK_SIZE, name=f"{child.name}:stack", kind="stack")
         child.stack_segment = stack_seg
         parent.table.map_segment(stack_seg, PROT_RW, costs=self.costs)
+        self._observe_spawn(child, parent)
         self._start(child, body, arg, spawn)
         return child
 
@@ -729,6 +804,7 @@ class Kernel:
         creator.gates.add(record.id)
         return record
 
+    @_traced_syscall
     def cgate(self, gate_id, perms=None, arg=None):
         """Invoke a callgate (paper Table 1's ``cgate``).
 
@@ -804,8 +880,19 @@ class Kernel:
             gate.fdtable.install(entry.file, fperms, fd=fd)
         return mapped
 
-    def _run_gate(self, gate, record, arg):
+    def _run_gate(self, gate, record, arg, caller=None):
         gate.status = "running"
+        obs = self.observe
+        if obs.enabled:
+            obs.emit(ev.CGATE_ENTER,
+                     comp=caller.name if caller is not None else None,
+                     gate=record.name, recycled=record.recycled)
+        tracer = obs.tracer
+        if tracer is not None:
+            # the span context crosses the trust boundary with the call
+            gate.span = tracer.begin(
+                record.span_name, comp=gate.name,
+                parent=caller.span if caller is not None else None)
         with self._as_current(gate):
             try:
                 if self.faults is not None and self.faults.enabled:
@@ -821,13 +908,23 @@ class Kernel:
                 gate.table.flush_tlb(costs=self.costs)
                 raise CallgateError(
                     f"callgate {record.name!r} faulted: {fault}") from fault
+            finally:
+                # "running" here means the entry raised an ordinary
+                # application error rather than exiting or faulting
+                status = ("error" if gate.status == "running"
+                          else gate.status)
+                if tracer is not None:
+                    tracer.end(gate.span, status=status)
+                if obs.enabled:
+                    obs.emit(ev.CGATE_EXIT, comp=gate.name,
+                             gate=record.name, status=status)
 
     def _invoke_fresh(self, record, caller, perms, arg):
         self.costs.charge("task_create")
         gate = self._gate_base_context(record)
         self._apply_caller_perms(gate, caller, perms)
         try:
-            return self._run_gate(gate, record, arg)
+            return self._run_gate(gate, record, arg, caller)
         finally:
             gate.fdtable.close_all()
             self.costs.charge("task_destroy")
@@ -849,7 +946,7 @@ class Kernel:
         mapped = self._apply_caller_perms(gate, caller, perms)
         extra_fds = list(perms.fds) if perms is not None else []
         try:
-            return self._run_gate(gate, record, arg)
+            return self._run_gate(gate, record, arg, caller)
         finally:
             for tag in mapped:
                 gate.table.unmap_segment(tag.segment, costs=self.costs)
@@ -899,12 +996,20 @@ class Kernel:
                 record.persistent = None   # restart = rebuild from COW
                 if record.restarts >= policy.max_restarts:
                     record.degraded = True
+                    if self.observe.enabled:
+                        self.observe.emit(
+                            ev.CGATE_DEGRADED, comp=caller.name,
+                            gate=record.name, restarts=record.restarts)
                     raise CallgateDegraded(
                         f"callgate {record.name!r} degraded after "
                         f"{record.restarts} restart(s): {exc}",
                         name=record.name, restarts=record.restarts,
                         last_fault=exc) from exc
                 record.restarts += 1
+                if self.observe.enabled:
+                    self.observe.emit(
+                        ev.SUPERVISE_RESTART, comp=caller.name,
+                        gate=record.name, generation=record.restarts)
                 if delay > 0:
                     time.sleep(delay)
                 delay *= policy.backoff_factor
@@ -951,6 +1056,7 @@ class Kernel:
     def getuid(self):
         return self.current().uid
 
+    @_traced_syscall
     def setuid(self, uid):
         st = self._syscall("setuid")
         if st.uid != 0 and uid != st.uid:
@@ -958,6 +1064,7 @@ class Kernel:
                                 syscall="setuid", sid=st.sel_sid)
         st.uid = uid
 
+    @_traced_syscall
     def chroot(self, path):
         st = self._syscall("chroot")
         if st.uid != 0:
@@ -983,6 +1090,7 @@ class Kernel:
     # files
     # ------------------------------------------------------------------
 
+    @_traced_syscall
     def open(self, path, mode="r"):
         """Open a VFS file; returns an fd with matching permission bits."""
         st = self._syscall("open")
@@ -1003,20 +1111,24 @@ class Kernel:
             return st.fdtable.install(VfsOpenFile(node, real), FD_RW)
         raise VfsError(f"bad open mode {mode!r}")
 
+    @_traced_syscall
     def read(self, fd, size):
         st = self._syscall("read")
         entry = st.fdtable.lookup(fd, needed=FD_READ)
         return entry.file.read(size)
 
+    @_traced_syscall
     def write(self, fd, data):
         st = self._syscall("write")
         entry = st.fdtable.lookup(fd, needed=FD_WRITE)
         return entry.file.write(bytes(data))
 
+    @_traced_syscall
     def close(self, fd):
         st = self._syscall("close")
         st.fdtable.close(fd)
 
+    @_traced_syscall
     def pipe(self):
         """Create a pipe; returns ``(read_fd, write_fd)``."""
         st = self._syscall("pipe")
@@ -1036,27 +1148,57 @@ class Kernel:
             raise WedgeError("kernel has no network attached")
         return self.net
 
+    @_traced_syscall
     def listen(self, addr):
         st = self._syscall("listen")
         listener = self._need_net().listen(addr)
-        return st.fdtable.install(ListenerOpenFile(listener), FD_READ)
+        fd = st.fdtable.install(ListenerOpenFile(listener), FD_READ)
+        if self.observe.enabled:
+            self.observe.emit(ev.NET_LISTEN, comp=st.name, addr=addr,
+                              fd=fd)
+        return fd
 
+    @_traced_syscall
     def accept(self, listen_fd, timeout=30.0):
         st = self._syscall("accept")
         entry = st.fdtable.lookup(listen_fd, needed=FD_READ)
         sock = entry.file.listener.accept(timeout)
-        return st.fdtable.install(SocketOpenFile(sock), FD_RW)
+        fd = st.fdtable.install(SocketOpenFile(sock), FD_RW)
+        obs = self.observe
+        if obs.enabled:
+            obs.emit(ev.NET_ACCEPT, comp=st.name, fd=fd,
+                     addr=getattr(sock, "addr", None))
+        tracer = obs.tracer
+        if tracer is not None:
+            # one inbound connection, one trace: a fresh root span
+            # replaces the accepting compartment's previous request root
+            if st.span is not None and st.span.parent_id is None:
+                tracer.end(st.span)
+            st.span = tracer.begin("request", comp=st.name,
+                                   addr=getattr(sock, "addr", None))
+        return fd
 
+    @_traced_syscall
     def connect(self, addr):
         st = self._syscall("connect")
         sock = self._need_net().connect(addr)
-        return st.fdtable.install(SocketOpenFile(sock), FD_RW)
+        fd = st.fdtable.install(SocketOpenFile(sock), FD_RW)
+        if self.observe.enabled:
+            self.observe.emit(ev.NET_CONNECT, comp=st.name, addr=addr,
+                              fd=fd)
+        return fd
 
+    @_traced_syscall
     def send(self, fd, data):
         st = self._syscall("send")
         entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        if self.observe.enabled:
+            # nbytes only: payload bytes never enter the event stream
+            self.observe.emit(ev.NET_SEND, comp=st.name, fd=fd,
+                              nbytes=len(data))
         return entry.file.write(bytes(data))
 
+    @_traced_syscall
     def recv(self, fd, size, timeout=None):
         st = self._syscall("recv")
         entry = st.fdtable.lookup(fd, needed=FD_READ)
@@ -1065,8 +1207,13 @@ class Kernel:
             if data is None:
                 from repro.core.errors import ConnectionClosed
                 raise ConnectionClosed("peer closed the connection")
-            return data
-        return entry.file.read(size)
+        else:
+            data = entry.file.read(size)
+        if self.observe.enabled:
+            # nbytes only: payload bytes never enter the event stream
+            self.observe.emit(ev.NET_RECV, comp=st.name, fd=fd,
+                              nbytes=len(data))
+        return data
 
     def recv_exact(self, fd, size, timeout=30.0):
         """Framing helper: exactly *size* bytes or ConnectionClosed."""

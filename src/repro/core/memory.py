@@ -30,6 +30,8 @@ import bisect
 import threading
 
 from repro.core.errors import BadAddress, MemoryViolation
+from repro.observe.events import (COW_BREAK, MEM_VIOLATION, TLB_HIT,
+                                  TLB_MISS, TLB_SHOOTDOWN)
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -235,6 +237,11 @@ class PageTable:
     (paper section 3.4).
     """
 
+    #: EventBus emitting tlb.shootdown, or None.  A class default so
+    #: tables built outside a kernel (unit tests) stay silent; the
+    #: kernel stamps every compartment table with its bus.
+    observe = None
+
     def __init__(self, owner_name=""):
         self.entries = {}   # absolute page number -> PTE
         self.owner_name = owner_name
@@ -273,6 +280,10 @@ class PageTable:
             self.tlb_shootdowns += dropped
             if costs is not None:
                 costs.charge("tlb_shootdown", dropped)
+            obs = self.observe
+            if obs is not None and obs.enabled:
+                obs.emit(TLB_SHOOTDOWN, comp=self.owner_name,
+                         pages=dropped)
         return dropped
 
     def flush_tlb(self, *, costs=None):
@@ -283,6 +294,10 @@ class PageTable:
             self.tlb_shootdowns += dropped
             if costs is not None:
                 costs.charge("tlb_shootdown", dropped)
+            obs = self.observe
+            if obs is not None and obs.enabled:
+                obs.emit(TLB_SHOOTDOWN, comp=self.owner_name,
+                         pages=dropped, flush=True)
         return dropped
 
     # -- construction ------------------------------------------------------
@@ -398,6 +413,11 @@ class MemoryBus:
     def __init__(self, space, costs, *, tlb=True):
         self.space = space
         self.costs = costs
+        #: EventBus for mem.violation / cow.break / tlb.* events, or
+        #: None (buses built outside a kernel).  The high-volume
+        #: tlb.hit/tlb.miss kinds additionally require a sink that
+        #: subscribed to them (``observe.tlb_active``).
+        self.observe = None
         self.hooks = []
         self.tlb_enabled = tlb
         #: lifetime translation counters (plain ints on the hot path;
@@ -430,6 +450,10 @@ class MemoryBus:
                 self.tlb_hits += 1
                 return entry
         self.tlb_walks += 1
+        obs = self.observe
+        if obs is not None and obs.tlb_active:
+            obs.emit(TLB_MISS, comp=table.owner_name, pageno=pageno,
+                     walk_only=not self.tlb_enabled)
         pte = table.lookup(pageno)
         if pte is None:
             return None
@@ -455,6 +479,12 @@ class MemoryBus:
     def _violation(self, table, addr, op, message, segment=None):
         fault = MemoryViolation(message, addr=addr, op=op,
                                 sthread=table.owner_name, segment=segment)
+        obs = self.observe
+        if obs is not None and obs.enabled:
+            obs.emit(MEM_VIOLATION, comp=table.owner_name,
+                     addr=addr, op=op, emulated=table.emulation,
+                     segment=segment.name if segment is not None
+                     else None)
         if table.emulation:
             table.violations.append(fault)
             return False
@@ -475,6 +505,10 @@ class MemoryBus:
                 off = addr & PAGE_MASK
                 if 0 < size <= PAGE_SIZE - off:
                     self.tlb_hits += 1
+                    obs = self.observe
+                    if obs is not None and obs.tlb_active:
+                        obs.emit(TLB_HIT, comp=table.owner_name,
+                                 addr=addr, op="read")
                     if self.hooks:
                         seg = entry[2]
                         self._fire("read", table, addr, size, seg,
@@ -534,6 +568,10 @@ class MemoryBus:
                 size = len(data)
                 if 0 < size <= PAGE_SIZE - off:
                     self.tlb_hits += 1
+                    obs = self.observe
+                    if obs is not None and obs.tlb_active:
+                        obs.emit(TLB_HIT, comp=table.owner_name,
+                                 addr=addr, op="write")
                     entry[0].data[off:off + size] = bytes(data)
                     if self.hooks:
                         seg = entry[2]
@@ -571,6 +609,10 @@ class MemoryBus:
                 # re-caches the private copy)
                 pte = table.cow_break(pageno, costs=self.costs)
                 frame = pte.frame
+                obs = self.observe
+                if obs is not None and obs.enabled:
+                    obs.emit(COW_BREAK, comp=table.owner_name,
+                             pageno=pageno, segment=pte.segment.name)
                 if self.tlb_enabled:
                     table.tlb[pageno] = (pte.frame, pte.prot, pte.segment)
             else:

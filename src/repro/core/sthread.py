@@ -20,6 +20,7 @@ import threading
 
 from repro.core.errors import CompartmentFault, JoinTimeout, SthreadError
 from repro.core.memory import PAGE_SIZE, PageTable
+from repro.observe.events import STHREAD_EXIT
 
 #: Default private-region sizes (paper: every sthread receives a private
 #: stack and heap as part of its pristine snapshot).
@@ -59,6 +60,9 @@ class Sthread:
         self.result = None
         self.fault = None
         self.error = None
+        #: current trace span (repro.observe): the request root set at
+        #: accept time, or the spawn span this compartment was born with
+        self.span = None
         self._thread = None
         self._done = threading.Event()
         self._joined = False
@@ -92,6 +96,12 @@ class Sthread:
                 # pthreads share the parent's table and must not close it
                 if self.kind != "pthread" and self.fdtable is not None:
                     self.fdtable.close_all()
+                obs = kernel.observe
+                if obs.enabled:
+                    obs.emit(STHREAD_EXIT, comp=self.name,
+                             status=self.status)
+                if obs.tracer is not None:
+                    obs.tracer.end(self.span, status=self.status)
                 self._done.set()
 
     def start_thread(self, kernel, body, arg):

@@ -28,6 +28,8 @@ from collections import Counter
 from repro.core.errors import ProtocolError, WedgeError
 from repro.faults.plan import FaultPlan
 from repro.faults.supervise import RestartPolicy
+from repro.observe.events import CGATE_DEGRADED, COMPARTMENT_DOWN
+from repro.observe.record import FlightRecorder
 
 #: Client-side timeout for chaos sessions, seconds.  Short: a session
 #: whose peer compartment crashed should give up quickly so the
@@ -37,6 +39,10 @@ CLIENT_TIMEOUT = 2.0
 #: Safety valve: stop hammering even if the injection target was not
 #: reached (the report then shows the shortfall).
 MAX_SESSIONS = 400
+
+#: Ring capacity of the flight recorder that rides along with every
+#: campaign (bounded: memory cost is fixed no matter how long the storm).
+FLIGHT_CAPACITY = 200
 
 #: Per-site injection rates used by :func:`default_plan`.  ``reset`` is
 #: preferred over ``drop`` for the network leg: a reset surfaces at both
@@ -234,13 +240,21 @@ class ChaosReport:
         self.probe_obs = None
         self.baseline = None
         self.final_snapshot = None
+        #: flight-recorder ride-along: event volume, ring overflow, and
+        #: the newest fault-triggered dump (redacted, "" if none fired)
+        self.flight_events = 0
+        self.flight_dropped = 0
+        self.flight_dump = ""
 
     @property
     def passed(self):
         return (self.probe_ok and not self.violations
                 and self.injected >= self.target_faults)
 
-    def format(self):
+    def format(self, *, flight_dump=False):
+        """Render the report; ``flight_dump=True`` forces the newest
+        flight-recorder dump even when the campaign passed (a failing
+        campaign always shows it)."""
         mix = " ".join(f"{site}:{kind}={n}" for (site, kind), n
                        in sorted(self.by_site.items()))
         lines = [
@@ -253,6 +267,8 @@ class ChaosReport:
             f"{self.degraded_sessions} degraded sessions, "
             f"{self.restarts} supervised restarts, "
             f"{self.server_errors} server-side containments",
+            f"  flight recorder: {self.flight_events} events seen, "
+            f"{self.flight_dropped} scrolled off the ring",
             f"  clean probe: {'ok' if self.probe_ok else 'FAILED'}",
         ]
         if self.tlb_mode is not None:
@@ -260,6 +276,9 @@ class ChaosReport:
             lines.insert(1, f"  tlb: {mode}")
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
+        if self.flight_dump and (flight_dump or not self.passed):
+            lines += ["  " + line for line
+                      in self.flight_dump.splitlines()]
         return "\n".join(lines)
 
 
@@ -291,6 +310,12 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         server = target.make(policy or default_policy())
     finally:
         Kernel.DEFAULT_TLB = saved_default
+    # the flight recorder rides along for the whole campaign: when a
+    # compartment terminally degrades it snapshots the 50 events that
+    # led up to the death (payloads redacted)
+    recorder = FlightRecorder(capacity=FLIGHT_CAPACITY,
+                              dump_on=(COMPARTMENT_DOWN, CGATE_DEGRADED))
+    server.kernel.observe.add_sink(recorder)
     server.start()
     try:
         # the expected behaviour, captured before any fault is armed
@@ -338,6 +363,10 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         report.server_errors = len(server.errors)
     finally:
         server.stop()
+        server.kernel.observe.remove_sink(recorder)
+        report.flight_events = recorder.accepted
+        report.flight_dropped = recorder.dropped
+        report.flight_dump = recorder.format_dump()
     if report.injected < faults:
         report.violations.append(
             f"only {report.injected} of {faults} faults injected in "

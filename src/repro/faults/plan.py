@@ -35,6 +35,7 @@ import random
 import threading
 
 from repro.core.errors import WedgeError
+from repro.observe.events import FAULT_FIRED
 
 #: Compartment kinds eligible for injection under the default scope.
 UNTRUSTED_KINDS = ("sthread", "callgate")
@@ -115,6 +116,9 @@ class FaultPlan:
         self.specs = []
         self.hits = {}           # site -> eligible-hit counter
         self.injected = []       # FaultEvent log, in firing order
+        #: kernel event bus (set by Kernel.install_faults); every
+        #: injection that fires is also announced as ``fault.fired``
+        self.observer = None
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
 
@@ -140,6 +144,8 @@ class FaultPlan:
         """
         if not self.enabled or not self._eligible(compartment):
             return None
+        chosen = None
+        hit = 0
         with self._lock:
             hit = self.hits.get(site, 0) + 1
             self.hits[site] = hit
@@ -154,8 +160,15 @@ class FaultPlan:
                     name = getattr(compartment, "name", None)
                     self.injected.append(
                         FaultEvent(site, spec.kind, hit, name))
-                    return spec
-        return None
+                    chosen = spec
+                    break
+        if chosen is not None:
+            obs = self.observer
+            if obs is not None and obs.enabled:
+                obs.emit(FAULT_FIRED,
+                         comp=getattr(compartment, "name", None),
+                         site=site, kind=chosen.kind, hit=hit)
+        return chosen
 
     @property
     def injection_count(self):

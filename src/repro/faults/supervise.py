@@ -29,6 +29,8 @@ import time
 
 from repro.core.errors import (CompartmentDown, JoinTimeout, SthreadError)
 from repro.core.sthread import STATUS_FAULTED
+from repro.observe.events import (COMPARTMENT_DOWN, COW_RESTORE,
+                                  SUPERVISE_RESTART)
 
 
 class RestartPolicy:
@@ -82,6 +84,10 @@ class SupervisedSthread:
         self.result = None
         self.error = None
         self.incarnations = []
+        #: span of the compartment that created this handle, captured on
+        #: the *calling* thread (the supervisor runs on its own thread,
+        #: where `parent.span` could race with the parent's next request)
+        self.origin_span = getattr(parent, "span", None)
         self._thread = None
         self._done = threading.Event()
         self._joined = False
@@ -105,10 +111,27 @@ class SupervisedSthread:
         kernel = self.kernel
         name = self.name if generation == 0 \
             else f"{self.name}~r{generation}"
+        # a restart is a *fresh* span linked to the crashed incarnation's
+        # span, so a trace shows the whole restart chain end to end
+        if generation == 0 or not self.incarnations:
+            span_parent = self.origin_span
+        else:
+            span_parent = self.incarnations[-1].span
         child = kernel._build_sthread(self.sc, self.parent, name=name,
-                                      kind="sthread")
+                                      kind="sthread",
+                                      span_parent=span_parent)
         child.table.emulation = self.emulate
         kernel.costs.charge("task_create")
+        if generation > 0:
+            obs = kernel.observe
+            if obs.enabled:
+                obs.emit(SUPERVISE_RESTART, comp=self.name,
+                         generation=generation, restarts=self.restarts)
+                obs.emit(COW_RESTORE, comp=name,
+                         pages=len(kernel.image.snapshot_frames))
+            if child.span is not None:
+                child.span.fields.update(restart=True,
+                                         generation=generation)
         self.incarnations.append(child)
         return child
 
@@ -127,6 +150,11 @@ class SupervisedSthread:
             self.last_fault = child.fault
             if self.restarts >= self.policy.max_restarts:
                 self.degraded = True
+                obs = self.kernel.observe
+                if obs.enabled:
+                    obs.emit(COMPARTMENT_DOWN, comp=self.name,
+                             restarts=self.restarts,
+                             fault=str(self.last_fault))
                 break
             self.restarts += 1
             generation += 1

@@ -18,6 +18,7 @@ import threading
 
 from repro.core.errors import NetTimeout, NetworkError
 from repro.net.stream import DuplexStream
+from repro.observe.events import NET_CONNECT
 
 
 class Listener:
@@ -69,6 +70,10 @@ class Network:
         self.connections_made = 0
         #: FaultPlan propagated by Kernel.install_faults, or None
         self.faults = None
+        #: EventBus attached by repro.observe.Observer, or None (a
+        #: network is shared between kernels, so it is not wired up by
+        #: any single kernel's constructor)
+        self.observer = None
 
     # -- server side -------------------------------------------------------
 
@@ -98,6 +103,10 @@ class Network:
             interposer = self._interposers.get(addr)
             listener = self._listeners.get(addr)
         self.connections_made += 1
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.emit(NET_CONNECT, addr=addr,
+                     interposed=interposer is not None)
         if self.faults is not None and \
                 self.faults.fire("net_connect") is not None:
             raise NetworkError(f"connection refused (injected): {addr!r}")

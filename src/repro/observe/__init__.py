@@ -1,0 +1,39 @@
+"""``repro.observe`` — the kernel observability subsystem.
+
+Three layers over one event bus:
+
+* :mod:`~repro.observe.events` / :mod:`~repro.observe.bus` — the typed
+  kernel event taxonomy and the zero-overhead-when-disabled dispatch
+  point every kernel carries as ``kernel.observe``;
+* :mod:`~repro.observe.trace` — spans that propagate across callgate
+  invocations, sthread/fork/pthread spawns and supervised restarts,
+  with model-cycle attribution per hop;
+* sinks — the :mod:`~repro.observe.record` flight recorder (bounded
+  ring + drop counter + fault dumps), the :mod:`~repro.observe.counters`
+  registry, and the :mod:`~repro.observe.export` Chrome
+  trace-event/Perfetto exporter.
+
+:class:`Observer` bundles the standard attachment; the CLI front end is
+``python -m repro observe`` (:mod:`repro.observe.session` — imported
+lazily there, as it pulls in the application stack).
+
+This package (minus ``session``) imports nothing from ``repro.core``,
+so the kernel's chokepoints can import it without cycles.
+"""
+
+from repro.observe import events
+from repro.observe.bus import EventBus
+from repro.observe.counters import CounterRegistry
+from repro.observe.events import TAXONOMY, Event, format_event, redact
+from repro.observe.export import (chrome_trace, validate_chrome_trace,
+                                  validate_file, write_trace)
+from repro.observe.observer import Observer
+from repro.observe.record import FlightRecorder
+from repro.observe.trace import Span, Tracer
+
+__all__ = [
+    "events", "EventBus", "CounterRegistry", "TAXONOMY", "Event",
+    "format_event", "redact", "chrome_trace", "validate_chrome_trace",
+    "validate_file", "write_trace", "Observer", "FlightRecorder",
+    "Span", "Tracer",
+]

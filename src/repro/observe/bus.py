@@ -1,0 +1,121 @@
+"""The kernel event bus: one dispatch point, zero disabled overhead.
+
+Every kernel holds exactly one :class:`EventBus` (``kernel.observe``),
+created unconditionally at boot so chokepoints never need a ``None``
+test — they follow the same single-attribute-test discipline as fault
+injection::
+
+    obs = self.observe
+    if obs.enabled:
+        obs.emit(ev.SYSCALL_ENTER, comp=st.name, name="open")
+
+``enabled`` is simply "does any sink exist", so with no observer
+attached the *entire* per-event cost is that one attribute test: no
+Event is constructed, no kwargs dict is built, no model cycles are
+charged.  The ``bench_observe`` artifact in ``benchmarks/bench_json.py``
+holds this to <2% of the Figure 7 primitives in CI.
+
+When enabled, each emission charges the ``observe_emit`` cost weight
+(the model's stand-in for a tracepoint firing), stamps the event with a
+sequence number and the account's model-cycle clock — observing the
+clock drains batched sources registered via
+:meth:`~repro.core.costs.CostAccount.register_source`, so TLB work is
+settled up to the event — and fans out to every subscribed sink.
+
+Storm control: the high-volume kinds (``tlb.hit``/``tlb.miss``, one per
+load/store) are delivered only to sinks that subscribed to them by
+name, and the precomputed :attr:`tlb_active` flag lets the memory bus
+skip building them entirely when nobody asked.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.observe.events import HIGH_VOLUME, TAXONOMY, Event
+
+
+class EventBus:
+    """Fan-out point between the kernel's chokepoints and the sinks.
+
+    A *sink* is any object with an ``accept(event)`` method.  Sinks
+    subscribe via :meth:`add_sink`, either to the default set (every
+    kind except the high-volume ones) or to an explicit frozen set of
+    kinds.  ``tracer`` is the span-tracing attachment point (see
+    :mod:`repro.observe.trace`); chokepoints that manage spans test it
+    the same single-attribute way.
+    """
+
+    def __init__(self, costs, *, kernel_name="wedge"):
+        self.costs = costs
+        self.kernel_name = kernel_name
+        #: True iff at least one sink is attached.  THE hot-path gate:
+        #: chokepoints must test this before building any event.
+        self.enabled = False
+        #: True iff some sink subscribed to a high-volume TLB kind; the
+        #: memory bus fast path tests this instead of ``enabled``.
+        self.tlb_active = False
+        #: active Tracer, or None (set by Observer.attach)
+        self.tracer = None
+        self._sinks = []            # [(sink, kinds-or-None), ...]
+        self._seq = itertools.count()
+
+    # -- sink management ---------------------------------------------------
+
+    def add_sink(self, sink, kinds=None):
+        """Attach *sink*; deliver the default kinds or exactly *kinds*.
+
+        ``kinds=None`` means every kind in the taxonomy except
+        :data:`~repro.observe.events.HIGH_VOLUME`; pass an iterable of
+        kind names (which may include the high-volume ones) to narrow
+        or widen that.
+        """
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - set(TAXONOMY)
+            if unknown:
+                raise KeyError(f"unknown event kinds: {sorted(unknown)}")
+        self._sinks.append((sink, kinds))
+        self._recompute()
+        return sink
+
+    def remove_sink(self, sink):
+        self._sinks = [(s, k) for s, k in self._sinks if s is not sink]
+        self._recompute()
+
+    def _recompute(self):
+        self.enabled = bool(self._sinks)
+        self.tlb_active = any(kinds is not None and kinds & HIGH_VOLUME
+                              for _, kinds in self._sinks)
+
+    @property
+    def sinks(self):
+        return [sink for sink, _ in self._sinks]
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind, /, comp=None, **fields):
+        """Build one event and deliver it to the subscribed sinks.
+
+        Callers are responsible for the ``enabled`` test — this method
+        assumes observation is on and always pays the emit cost.
+        (*kind* is positional-only so a payload field may itself be
+        called ``kind`` — ``fault.fired`` carries one.)
+        """
+        if kind not in TAXONOMY:
+            raise KeyError(f"unknown event kind: {kind!r}")
+        self.costs.charge("observe_emit")
+        event = Event(next(self._seq), self.costs.cycles(), kind, comp,
+                      fields)
+        for sink, kinds in self._sinks:
+            if kinds is None:
+                if kind in HIGH_VOLUME:
+                    continue
+            elif kind not in kinds:
+                continue
+            sink.accept(event)
+        return event
+
+    def __repr__(self):
+        return (f"<EventBus {self.kernel_name!r} sinks={len(self._sinks)} "
+                f"enabled={self.enabled}>")

@@ -1,0 +1,64 @@
+"""Per-compartment counters and latency histograms.
+
+The aggregation sink behind ``python -m repro observe``'s top-style
+summary: event counts keyed ``(compartment, kind)`` and power-of-two
+model-cycle histograms of span durations per compartment.  Unlike the
+flight recorder it keeps no event objects, so it can stay attached
+indefinitely at O(compartments × kinds) memory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observe.events import SPAN_END
+
+
+class CounterRegistry:
+    """Counting sink: who did what, how often, and how long it took."""
+
+    def __init__(self):
+        self.counts = {}        # (comp, kind) -> occurrences
+        self.span_cycles = {}   # comp -> total model cycles in spans
+        self.histograms = {}    # comp -> {log2 bucket -> spans}
+        self._lock = threading.Lock()
+
+    def accept(self, event):
+        comp = event.comp or "-"
+        with self._lock:
+            key = (comp, event.kind)
+            self.counts[key] = self.counts.get(key, 0) + 1
+            if event.kind == SPAN_END:
+                cycles = event.fields.get("cycles") or 0
+                self.span_cycles[comp] = (self.span_cycles.get(comp, 0)
+                                          + cycles)
+                bucket = int(cycles).bit_length()
+                hist = self.histograms.setdefault(comp, {})
+                hist[bucket] = hist.get(bucket, 0) + 1
+
+    # -- queries -----------------------------------------------------------
+
+    def compartments(self):
+        with self._lock:
+            return sorted({comp for comp, _ in self.counts})
+
+    def by_kind(self, comp):
+        """``{kind: count}`` for one compartment."""
+        with self._lock:
+            return {kind: n for (c, kind), n in self.counts.items()
+                    if c == comp}
+
+    def total(self, kind):
+        with self._lock:
+            return sum(n for (_, k), n in self.counts.items()
+                       if k == kind)
+
+    def histogram(self, comp):
+        """``{log2-bucket: spans}``; bucket *b* covers
+        ``[2**(b-1), 2**b)`` model cycles."""
+        with self._lock:
+            return dict(self.histograms.get(comp, {}))
+
+    def __repr__(self):
+        return (f"<CounterRegistry comps={len(self.compartments())} "
+                f"events={sum(self.counts.values())}>")

@@ -1,0 +1,142 @@
+"""Typed kernel events: the observability subsystem's vocabulary.
+
+Every chokepoint the kernel already owns (the syscall gate, callgate
+transitions, the memory bus, the TLB choke point, the fault plan, the
+supervisors, the network syscalls) emits exactly one kind of
+:class:`Event` from :data:`TAXONOMY`.  The taxonomy is deliberately
+closed: an unknown kind is a programming error, caught eagerly by the
+bus, so sinks and exporters can rely on the field shapes documented
+here.
+
+Events are cheap value objects (``__slots__``, no methods beyond
+formatting) because a single request can produce hundreds of them; the
+no-op path never constructs one at all (the chokepoints test
+``bus.enabled`` first — see :mod:`repro.observe.bus`).
+
+This module imports nothing from :mod:`repro.core`, so the kernel's
+emit sites (and the fault plan, supervisor, and memory bus) can import
+the kind constants without a cycle.
+"""
+
+from __future__ import annotations
+
+# -- event kinds (the closed taxonomy) ---------------------------------------
+
+SYSCALL_ENTER = "syscall.enter"
+SYSCALL_EXIT = "syscall.exit"
+CGATE_ENTER = "cgate.enter"
+CGATE_EXIT = "cgate.exit"
+CGATE_DEGRADED = "cgate.degraded"
+MEM_VIOLATION = "mem.violation"
+TLB_HIT = "tlb.hit"
+TLB_MISS = "tlb.miss"
+TLB_SHOOTDOWN = "tlb.shootdown"
+COW_SNAPSHOT = "cow.snapshot"
+COW_BREAK = "cow.break"
+COW_RESTORE = "cow.restore"
+FAULT_FIRED = "fault.fired"
+SUPERVISE_RESTART = "supervise.restart"
+COMPARTMENT_DOWN = "compartment.down"
+STHREAD_SPAWN = "sthread.spawn"
+STHREAD_EXIT = "sthread.exit"
+NET_LISTEN = "net.listen"
+NET_ACCEPT = "net.accept"
+NET_CONNECT = "net.connect"
+NET_SEND = "net.send"
+NET_RECV = "net.recv"
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
+#: kind -> (emitting chokepoint, meaning).  DESIGN.md §4d renders this.
+TAXONOMY = {
+    SYSCALL_ENTER: ("Kernel syscall gate", "a syscall trapped in"),
+    SYSCALL_EXIT: ("Kernel syscall gate", "the syscall returned/raised"),
+    CGATE_ENTER: ("Kernel._run_gate", "control entered a callgate"),
+    CGATE_EXIT: ("Kernel._run_gate", "the callgate returned or faulted"),
+    CGATE_DEGRADED: ("Kernel._invoke_supervised",
+                     "a supervised gate exhausted its restart budget"),
+    MEM_VIOLATION: ("MemoryBus._violation",
+                    "a load/store hit a protection fault"),
+    TLB_HIT: ("MemoryBus fast path", "translation served from the TLB"),
+    TLB_MISS: ("MemoryBus._translate", "full page-table walk on miss"),
+    TLB_SHOOTDOWN: ("PageTable._invalidate",
+                    "cached translations dropped at a rights narrowing"),
+    COW_SNAPSHOT: ("Kernel.start_main",
+                   "the pre-main image was sealed and snapshotted"),
+    COW_BREAK: ("MemoryBus.write", "first write copied a COW frame"),
+    COW_RESTORE: ("SupervisedSthread._spawn_incarnation",
+                  "a restart remapped the pristine snapshot"),
+    FAULT_FIRED: ("FaultPlan.fire", "an injected fault fired"),
+    SUPERVISE_RESTART: ("supervisor loops",
+                        "a crashed compartment was restarted"),
+    COMPARTMENT_DOWN: ("SupervisedSthread._supervise",
+                       "a supervised sthread degraded terminally"),
+    STHREAD_SPAWN: ("Kernel._build_sthread / fork / pthread_create",
+                    "a compartment was created"),
+    STHREAD_EXIT: ("Sthread.run_body", "a compartment finished"),
+    NET_LISTEN: ("Kernel.listen", "a listener was bound"),
+    NET_ACCEPT: ("Kernel.accept", "an inbound connection was accepted"),
+    NET_CONNECT: ("Kernel.connect / Network.connect",
+                  "an outbound connection was made"),
+    NET_SEND: ("Kernel.send", "bytes left through a socket fd"),
+    NET_RECV: ("Kernel.recv", "bytes arrived through a socket fd"),
+    SPAN_BEGIN: ("Tracer.begin", "a trace span opened"),
+    SPAN_END: ("Tracer.end", "a trace span closed"),
+}
+
+#: Storm-level kinds: delivered only to sinks that *explicitly* ask for
+#: them, so an attached flight recorder does not turn every load/store
+#: into an event (see EventBus.tlb_active).
+HIGH_VOLUME = frozenset({TLB_HIT, TLB_MISS})
+
+
+class Event:
+    """One observed kernel event.
+
+    ``seq`` is the bus's monotonically increasing sequence number,
+    ``cycles`` the kernel's model-cycle clock at emission (drained from
+    the :class:`~repro.core.costs.CostAccount`, so batched TLB work is
+    settled up to this point), ``comp`` the *name* of the compartment it
+    happened in (or ``None`` for kernel-global events), and ``fields``
+    the kind-specific payload.
+    """
+
+    __slots__ = ("seq", "cycles", "kind", "comp", "fields")
+
+    def __init__(self, seq, cycles, kind, comp, fields):
+        self.seq = seq
+        self.cycles = cycles
+        self.kind = kind
+        self.comp = comp
+        self.fields = fields
+
+    def __repr__(self):
+        return (f"<Event #{self.seq} {self.kind} in {self.comp!r} "
+                f"@{self.cycles}cy>")
+
+
+def redact(value, *, max_str=48):
+    """Payload hygiene for logs and flight-recorder dumps.
+
+    Byte payloads (wire records, key material, file contents) are
+    replaced by their length; long strings are truncated.  Containers
+    are redacted shallowly.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return f"<{len(value)} bytes>"
+    if isinstance(value, str) and len(value) > max_str:
+        return value[:max_str] + "..."
+    if isinstance(value, (list, tuple)):
+        return type(value)(redact(v, max_str=max_str) for v in value)
+    if isinstance(value, dict):
+        return {k: redact(v, max_str=max_str) for k, v in value.items()}
+    return value
+
+
+def format_event(event):
+    """One redacted, human-readable line per event."""
+    fields = " ".join(f"{k}={redact(v)!r}"
+                      for k, v in sorted(event.fields.items()))
+    comp = event.comp or "-"
+    return (f"#{event.seq:<6d} {event.cycles:>12,d}cy  "
+            f"{event.kind:<18s} {comp:<20s} {fields}")

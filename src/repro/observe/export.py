@@ -1,0 +1,194 @@
+"""Chrome trace-event / Perfetto JSON export and schema validation.
+
+Spans become complete (``"ph": "X"``) duration events and notable bus
+events become instants (``"ph": "i"``), in the JSON object format the
+Chrome trace-event spec defines: ``{"traceEvents": [...]}`` with
+integer ``pid``/``tid`` plus ``process_name``/``thread_name`` metadata
+(``"ph": "M"``) events.  Load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev (EXPERIMENTS.md has the recipe).
+
+Timebase: one **model cycle is exported as one microsecond** — the
+simulation has no meaningful wall clock, and the deterministic cycle
+clock is exactly what the trace should show.  ``dur`` of a span is its
+total cycles; ``args.self_cycles`` carries the per-hop attribution
+(total minus direct children).
+
+:func:`validate_chrome_trace` is a self-contained structural check used
+by the CI ``observe-smoke`` job and ``repro observe --validate``; it
+returns a list of problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Event kinds exported as instant markers on their compartment's row.
+INSTANT_KINDS = ("mem.violation", "fault.fired", "supervise.restart",
+                 "compartment.down", "cgate.degraded", "tlb.shootdown",
+                 "cow.break", "cow.snapshot", "cow.restore")
+
+#: Phase types the validator accepts (the subset of the trace-event
+#: spec this exporter and common tooling produce).
+KNOWN_PHASES = frozenset("XBEiIbencstfPNODMvR")
+
+_EXPORT_PID = 1
+
+
+def chrome_trace(spans, events=(), *, kernel_name="wedge"):
+    """Build the trace-event JSON object for *spans* (+ instant *events*).
+
+    Open spans are skipped (callers normally run
+    :meth:`~repro.observe.trace.Tracer.finish_open` first).  Rows
+    (``tid``) are compartments in first-appearance order.
+    """
+    tids = {}
+
+    def tid_for(comp):
+        comp = comp or "-"
+        if comp not in tids:
+            tids[comp] = len(tids) + 1
+        return tids[comp]
+
+    by_id = {span.span_id: span for span in spans}
+    child_cycles = {}
+    for span in spans:
+        if span.parent_id is not None and span.cycles is not None:
+            child_cycles[span.parent_id] = (
+                child_cycles.get(span.parent_id, 0) + span.cycles)
+
+    trace_events = []
+    for span in spans:
+        if not span.done:
+            continue
+        args = {
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "cycles": span.cycles,
+            "self_cycles": max(0, span.cycles
+                               - child_cycles.get(span.span_id, 0)),
+            "status": span.status,
+        }
+        args.update({k: _jsonable(v) for k, v in span.fields.items()})
+        trace_events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": span.start_cycles,
+            "dur": span.cycles,
+            "pid": _EXPORT_PID,
+            "tid": tid_for(span.comp),
+            "args": args,
+        })
+    for event in events:
+        if event.kind not in INSTANT_KINDS:
+            continue
+        trace_events.append({
+            "name": event.kind,
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": event.cycles,
+            "pid": _EXPORT_PID,
+            "tid": tid_for(event.comp),
+            "args": {k: _jsonable(v) for k, v in event.fields.items()},
+        })
+
+    meta = [{
+        "name": "process_name", "ph": "M", "pid": _EXPORT_PID, "tid": 0,
+        "args": {"name": f"kernel:{kernel_name}"},
+    }]
+    for comp, tid in tids.items():
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": _EXPORT_PID,
+            "tid": tid, "args": {"name": comp},
+        })
+    # root spans first within a tree renders best; stable ts order is
+    # enough for both Chrome and Perfetto
+    trace_events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kernel": kernel_name,
+            "timebase": "1 model cycle = 1 us",
+            "spans": len(by_id),
+        },
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return f"<{len(value)} bytes>"
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_trace(path, trace):
+    """Serialise a trace object to *path*; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome_trace(obj):
+    """Structural check against the Chrome trace-event JSON format.
+
+    Returns a list of problem strings; an empty list means the object
+    is a loadable trace.  Checks the object form (``traceEvents`` list),
+    per-event required keys and types, known phase codes, non-negative
+    durations, and that every referenced ``tid`` has a ``thread_name``
+    metadata row (Perfetto renders nameless rows as bare numbers).
+    """
+    problems = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    named_tids = set()
+    used_tids = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event.get("tid"))
+            continue
+        used_tids.add(event.get("tid"))
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0, "
+                                f"got {dur!r}")
+        if ph == "i" and event.get("s") not in (None, "t", "p", "g"):
+            problems.append(f"{where}: bad instant scope "
+                            f"{event.get('s')!r}")
+    for tid in sorted(used_tids - named_tids):
+        problems.append(f"tid {tid} has no thread_name metadata")
+    return problems
+
+
+def validate_file(path):
+    """Validate a trace JSON file; returns the problem list."""
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(obj)

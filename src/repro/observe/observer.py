@@ -1,0 +1,121 @@
+"""The one-call attachment facade: ``with Observer(kernel): ...``.
+
+Wires the standard sink set onto a kernel's event bus — a
+:class:`~repro.observe.record.FlightRecorder` (fault dumps armed), a
+:class:`~repro.observe.counters.CounterRegistry`, and a
+:class:`~repro.observe.trace.Tracer` — plus the network-side
+``net.connect`` hook when the kernel has a network attached, and
+detaches all of it symmetrically.  Detaching restores the bus to its
+free disabled state, so observation is strictly a scoped decision.
+"""
+
+from __future__ import annotations
+
+from repro.observe import events as ev
+from repro.observe.counters import CounterRegistry
+from repro.observe.export import chrome_trace, write_trace
+from repro.observe.record import FlightRecorder
+from repro.observe.trace import Tracer
+
+#: Terminal-degradation kinds that trigger a flight-recorder dump.
+FAULT_DUMP_KINDS = (ev.COMPARTMENT_DOWN, ev.CGATE_DEGRADED)
+
+
+class Observer:
+    """Scoped observation of one kernel: recorder + counters + spans."""
+
+    def __init__(self, kernel, *, flight_capacity=1024, tlb_events=False):
+        self.kernel = kernel
+        self.bus = kernel.observe
+        self.tracer = Tracer(self.bus)
+        self.recorder = FlightRecorder(capacity=flight_capacity,
+                                       dump_on=FAULT_DUMP_KINDS)
+        self.counters = CounterRegistry()
+        #: with tlb_events=True the recorder also receives the
+        #: high-volume tlb.hit/tlb.miss stream (event-storm mode)
+        self._recorder_kinds = (frozenset(ev.TAXONOMY) if tlb_events
+                                else None)
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self):
+        if self._attached:
+            return self
+        self.bus.add_sink(self.recorder, kinds=self._recorder_kinds)
+        self.bus.add_sink(self.counters)
+        self.bus.tracer = self.tracer
+        net = self.kernel.net
+        if net is not None:
+            net.observer = self.bus
+        self._attached = True
+        return self
+
+    def detach(self):
+        if not self._attached:
+            return
+        self.bus.remove_sink(self.recorder)
+        self.bus.remove_sink(self.counters)
+        if self.bus.tracer is self.tracer:
+            self.bus.tracer = None
+        net = self.kernel.net
+        if net is not None and getattr(net, "observer", None) is self.bus:
+            net.observer = None
+        self._attached = False
+
+    def __enter__(self):
+        return self.attach()
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    # -- results -----------------------------------------------------------
+
+    def chrome_trace(self):
+        """The Chrome trace-event object for everything observed."""
+        self.tracer.finish_open()
+        return chrome_trace(self.tracer.spans, self.recorder.last(),
+                            kernel_name=self.bus.kernel_name)
+
+    def export(self, path):
+        """Write the trace JSON to *path*; returns the path."""
+        return write_trace(path, self.chrome_trace())
+
+    def summary(self):
+        """Top-style text summary: per-compartment events and cycles."""
+        self.tracer.finish_open(status="open")
+        spans_by_comp = {}
+        for span in self.tracer.spans:
+            spans_by_comp.setdefault(span.comp or "-", []).append(span)
+        lines = [
+            f"observe {self.bus.kernel_name}: "
+            f"{self.recorder.accepted} events "
+            f"({self.recorder.dropped} dropped from the ring), "
+            f"{len(self.tracer.spans)} spans, "
+            f"{len(self.tracer.traces())} traces",
+            f"  {'compartment':24s} {'spans':>5s} {'cycles':>12s} "
+            f"{'self':>12s}  top events",
+        ]
+        order = sorted(
+            spans_by_comp,
+            key=lambda comp: -sum(s.cycles or 0
+                                  for s in spans_by_comp[comp]))
+        for comp in order:
+            spans = spans_by_comp[comp]
+            total = sum(s.cycles or 0 for s in spans)
+            self_total = sum(self.tracer.self_cycles(s) or 0
+                             for s in spans)
+            kinds = self.counters.by_kind(comp)
+            top = " ".join(
+                f"{kind}={n}" for kind, n in sorted(
+                    kinds.items(), key=lambda kv: -kv[1])[:3])
+            lines.append(f"  {comp:24s} {len(spans):5d} {total:12,d} "
+                         f"{self_total:12,d}  {top}")
+        for trace_id in self.tracer.traces():
+            comps = self.tracer.compartments(trace_id)
+            lines.append(f"  trace {trace_id}: "
+                         f"{len(self.tracer.trace(trace_id))} spans "
+                         f"across {len(comps)} compartments "
+                         f"({' -> '.join(comps)})")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The flight recorder: a bounded ring of the most recent events.
+
+Like an aircraft flight recorder, it keeps only the last *capacity*
+events and counts what it had to throw away — so it can run attached
+for an entire chaos campaign at fixed memory cost, and when a
+compartment dies the moments *before* the death are still on the tape.
+
+Trigger kinds (``dump_on``) snapshot the tail at the instant the
+trigger event arrives: ``repro chaos`` arms it with
+``compartment.down`` and ``cgate.degraded`` so every terminal
+degradation self-documents its last 50 events (payload bytes redacted
+— see :func:`~repro.observe.events.redact`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.observe.events import format_event
+
+#: Events shown per captured dump (the satellite-task contract).
+DUMP_EVENTS = 50
+
+#: Keep at most this many trigger snapshots; under a long chaos storm
+#: the *latest* failures are the diagnostic ones.
+MAX_DUMPS = 4
+
+
+class FlightRecorder:
+    """Ring-buffer sink with a drop counter and fault-triggered dumps."""
+
+    def __init__(self, capacity=256, *, dump_on=()):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self.accepted = 0
+        self.dump_on = frozenset(dump_on)
+        #: [(trigger_event, [tail events]), ...] — newest last
+        self.dumps = []
+        self._ring = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def accept(self, event):
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.accepted += 1
+            if event.kind in self.dump_on:
+                if len(self.dumps) >= MAX_DUMPS:
+                    self.dumps.pop(0)
+                self.dumps.append((event,
+                                   list(self._ring)[-DUMP_EVENTS:]))
+
+    def last(self, n=None):
+        """The newest *n* events (all buffered events if ``n=None``)."""
+        with self._lock:
+            tail = list(self._ring)
+        return tail if n is None else tail[-n:]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)
+
+    def format_dump(self, dump=None, *, title=None):
+        """Render one captured dump (default: the newest) redacted.
+
+        Returns ``""`` when nothing was captured.
+        """
+        if dump is None:
+            if not self.dumps:
+                return ""
+            dump = self.dumps[-1]
+        trigger, tail = dump
+        head = title or (f"flight recorder: last {len(tail)} events "
+                         f"before {trigger.kind} "
+                         f"in {trigger.comp or '-'}")
+        lines = [head]
+        lines += ["  " + format_event(event) for event in tail]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"<FlightRecorder {len(self)}/{self.capacity} "
+                f"dropped={self.dropped} dumps={len(self.dumps)}>")

@@ -1,0 +1,55 @@
+"""Observed demo sessions: drive one app under a fully-armed Observer.
+
+The back end of ``python -m repro observe``: builds one of the shipped
+applications (reusing the chaos harness's per-app drivers, so all four
+demo paths — both Apache partitionings, OpenSSH and POP3 — are
+covered), attaches an :class:`~repro.observe.Observer` to the server
+kernel, serves the requested number of clean client sessions, and
+returns the observer with its spans, counters and flight-recorder tape.
+
+Kept out of the package ``__init__`` on purpose: it imports the
+application stack, which the kernel-side emit points must not.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import CHAOS_TARGETS
+from repro.observe.observer import Observer
+
+#: Short names accepted by the CLI, mapped onto the chaos drivers.
+APP_ALIASES = {
+    "httpd": "httpd-mitm",       # the fine-grained (≥3 compartment) split
+    "sshd": "sshd-wedge",
+}
+
+OBSERVE_APP_NAMES = tuple(sorted(set(CHAOS_TARGETS) | set(APP_ALIASES)))
+
+
+def resolve_app(name):
+    """Map a CLI app name to its chaos-driver key, or raise KeyError."""
+    name = APP_ALIASES.get(name, name)
+    if name not in CHAOS_TARGETS:
+        raise KeyError(name)
+    return name
+
+
+def observed_session(app, *, requests=1, flight_capacity=1024,
+                     tlb_events=False):
+    """Serve *requests* clean sessions of *app* under observation.
+
+    Returns the detached :class:`Observer` holding everything that was
+    recorded.  The server is built unsupervised (no restart policy) and
+    torn down before returning.
+    """
+    target = CHAOS_TARGETS[resolve_app(app)]
+    server = target.make(None)
+    server.start()
+    observer = Observer(server.kernel, flight_capacity=flight_capacity,
+                        tlb_events=tlb_events)
+    try:
+        with observer:
+            for index in range(requests):
+                target.session(server, index + 1, strict=True)
+    finally:
+        server.stop()
+    return observer

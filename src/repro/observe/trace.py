@@ -1,0 +1,145 @@
+"""Cross-compartment span tracing with model-cycle attribution.
+
+A :class:`Span` is one hop of work inside one compartment; a *trace* is
+the tree of spans sharing a ``trace_id``.  The kernel propagates the
+span context across every boundary the paper introduces:
+
+* ``kernel.accept`` opens a fresh **root span** on the accepting
+  compartment — one inbound connection, one trace;
+* ``sthread_create`` / ``fork`` / ``pthread_create`` open a child span
+  on the spawned compartment, parented to the spawner's current span;
+* callgate invocation (``Kernel._run_gate``) opens a child span on the
+  gate compartment, parented to the *caller's* span — so a request that
+  crosses master → worker → gate stays one connected tree;
+* a supervised restart opens a **fresh** span parented to the crashed
+  incarnation's span (fields ``restart=True, generation=N``): the chain
+  of incarnations is legible in the trace.
+
+Cycle attribution rides the kernel's deterministic cost model: a span
+records the :class:`~repro.core.costs.CostAccount` clock at begin and
+end, and reading the clock drains the batched sources registered via
+``register_source`` — so the memory bus's TLB tallies land inside the
+hop that incurred them.  ``self_cycles`` (total minus direct children)
+is computed at export time.  With concurrent compartments the kernel
+clock is shared, so attribution is exact for the sequential demo paths
+and an upper bound when compartments overlap (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.observe.events import SPAN_BEGIN, SPAN_END
+
+
+class Span:
+    """One hop: a named unit of work attributed to one compartment."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "comp",
+                 "start_cycles", "end_cycles", "status", "fields")
+
+    def __init__(self, trace_id, span_id, parent_id, name, comp,
+                 start_cycles, fields):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.comp = comp
+        self.start_cycles = start_cycles
+        self.end_cycles = None
+        self.status = None
+        self.fields = fields
+
+    @property
+    def done(self):
+        return self.end_cycles is not None
+
+    @property
+    def cycles(self):
+        """Total model cycles spent in this hop (children included)."""
+        if self.end_cycles is None:
+            return None
+        return self.end_cycles - self.start_cycles
+
+    def __repr__(self):
+        state = (f"{self.cycles}cy" if self.done else "open")
+        return (f"<Span t{self.trace_id}/s{self.span_id} {self.name!r} "
+                f"in {self.comp!r} parent={self.parent_id} {state}>")
+
+
+class Tracer:
+    """Allocates span/trace ids and keeps the finished-span ledger."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.spans = []
+        self._next_span = itertools.count(1)
+        self._next_trace = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def begin(self, name, comp=None, parent=None, **fields):
+        """Open a span.  ``parent=None`` starts a new trace (a root)."""
+        with self._lock:
+            span_id = next(self._next_span)
+            trace_id = (parent.trace_id if parent is not None
+                        else next(self._next_trace))
+            span = Span(trace_id, span_id,
+                        parent.span_id if parent is not None else None,
+                        name, comp, self.bus.costs.cycles(), dict(fields))
+            self.spans.append(span)
+        if self.bus.enabled:
+            self.bus.emit(SPAN_BEGIN, comp=comp, name=name,
+                          trace=trace_id, span=span_id,
+                          parent=span.parent_id)
+        return span
+
+    def end(self, span, status="ok", **fields):
+        """Close a span; idempotent (a finished span stays finished)."""
+        if span is None or span.end_cycles is not None:
+            return
+        span.end_cycles = self.bus.costs.cycles()
+        span.status = status
+        span.fields.update(fields)
+        if self.bus.enabled:
+            self.bus.emit(SPAN_END, comp=span.comp, name=span.name,
+                          trace=span.trace_id, span=span.span_id,
+                          cycles=span.cycles, status=status)
+
+    def finish_open(self, status="open"):
+        """Close every still-open span (export-time hygiene)."""
+        for span in list(self.spans):
+            if not span.done:
+                self.end(span, status=status)
+
+    # -- queries -----------------------------------------------------------
+
+    def trace(self, trace_id):
+        """Spans of one trace, in begin order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def traces(self):
+        """Trace ids in first-seen order."""
+        seen = []
+        for span in self.spans:
+            if span.trace_id not in seen:
+                seen.append(span.trace_id)
+        return seen
+
+    def children(self, span):
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def self_cycles(self, span):
+        """*span*'s cycles minus those of its direct children."""
+        if span.cycles is None:
+            return None
+        nested = sum(child.cycles or 0 for child in self.children(span))
+        return max(0, span.cycles - nested)
+
+    def compartments(self, trace_id):
+        """Distinct compartments a trace touched, in first-hop order."""
+        seen = []
+        for span in self.trace(trace_id):
+            if span.comp is not None and span.comp not in seen:
+                seen.append(span.comp)
+        return seen

@@ -17,7 +17,11 @@ class TestParser:
                      ["metrics"], ["trace", "mcf"],
                      ["lint", "--strict", "--no-trace"],
                      ["lint", "--app", "pop3"],
-                     ["attack", "mitm"]):
+                     ["attack", "mitm"],
+                     ["chaos", "--app", "pop3", "--flight-dump"],
+                     ["observe", "--app", "httpd", "-n", "2",
+                      "--export", "t.json", "--tlb-events"],
+                     ["observe", "--validate", "t.json"]):
             args = parser.parse_args(argv)
             assert callable(args.fn)
 

@@ -1,0 +1,115 @@
+"""EventBus semantics and the no-op-path guarantees (satellite 4)."""
+
+import pytest
+
+from repro.core.costs import CostAccount
+from repro.observe import events as ev
+from repro.observe.bus import EventBus
+
+
+class _Collector:
+    def __init__(self):
+        self.events = []
+
+    def accept(self, event):
+        self.events.append(event)
+
+
+class TestBus:
+    def test_disabled_until_a_sink_attaches(self):
+        bus = EventBus(CostAccount())
+        assert not bus.enabled
+        sink = bus.add_sink(_Collector())
+        assert bus.enabled
+        bus.remove_sink(sink)
+        assert not bus.enabled
+
+    def test_unknown_kind_is_a_programming_error(self):
+        bus = EventBus(CostAccount())
+        bus.add_sink(_Collector())
+        with pytest.raises(KeyError):
+            bus.emit("no.such.kind")
+        with pytest.raises(KeyError):
+            bus.add_sink(_Collector(), kinds={"no.such.kind"})
+
+    def test_emit_charges_and_stamps(self):
+        costs = CostAccount()
+        bus = EventBus(costs)
+        sink = _Collector()
+        bus.add_sink(sink)
+        event = bus.emit(ev.SYSCALL_ENTER, comp="c", name="open")
+        assert costs.counters["observe_emit"] == 1
+        assert event.seq == 0
+        assert event.cycles == costs.cycles()
+        assert sink.events == [event]
+        assert sink.events[0].fields == {"name": "open"}
+
+    def test_kind_filtered_subscription(self):
+        bus = EventBus(CostAccount())
+        only_net = _Collector()
+        bus.add_sink(only_net, kinds={ev.NET_SEND})
+        bus.emit(ev.SYSCALL_ENTER, comp="c", name="open")
+        bus.emit(ev.NET_SEND, comp="c", fd=3, nbytes=10)
+        assert [e.kind for e in only_net.events] == [ev.NET_SEND]
+
+    def test_high_volume_kinds_need_explicit_subscription(self):
+        bus = EventBus(CostAccount())
+        default = _Collector()
+        explicit = _Collector()
+        bus.add_sink(default)
+        assert not bus.tlb_active
+        bus.add_sink(explicit, kinds={ev.TLB_HIT, ev.TLB_MISS})
+        assert bus.tlb_active
+        bus.emit(ev.TLB_HIT, comp="c", addr=0, op="read")
+        assert default.events == []
+        assert [e.kind for e in explicit.events] == [ev.TLB_HIT]
+        bus.remove_sink(explicit)
+        assert not bus.tlb_active
+
+    def test_field_named_kind_is_allowed(self):
+        # fault.fired carries a payload field literally called "kind"
+        bus = EventBus(CostAccount())
+        sink = _Collector()
+        bus.add_sink(sink)
+        bus.emit(ev.FAULT_FIRED, comp="c", site="cgate", kind="crash",
+                 hit=4)
+        assert sink.events[0].fields["kind"] == "crash"
+
+
+class TestNoOpPath:
+    """With no sink attached, observation must cost nothing at all."""
+
+    def test_workload_builds_no_events_and_charges_nothing(self, kernel):
+        from repro.core.policy import SecurityContext
+        bus = kernel.observe
+        assert not bus.enabled
+        st = kernel.sthread_create(SecurityContext(), lambda a: a + 1,
+                                   41, spawn="inline")
+        assert kernel.sthread_join(st) == 42
+        # the bus allocated nothing: its sequence counter never moved
+        assert next(bus._seq) == 0
+        # and no observe_emit work was ever charged to the cost model
+        assert "observe_emit" not in kernel.costs.counters
+
+    def test_enabled_cost_is_exactly_the_emit_charges(self):
+        """Attaching a sink changes primitive cost only by the metered
+        observe_emit weight — nothing hidden rides along."""
+        from repro.core.costs import WEIGHTS
+        from repro.core.kernel import Kernel
+        from repro.core.policy import SecurityContext
+
+        def measure(observed):
+            k = Kernel(name=f"noop-guard-{observed}")
+            k.start_main()
+            if observed:
+                k.observe.add_sink(_Collector())
+            checkpoint = k.costs.checkpoint()
+            k.sthread_join(k.sthread_create(
+                SecurityContext(), lambda a: None, spawn="inline"))
+            emits = k.costs.counters.get("observe_emit", 0)
+            return k.costs.delta(checkpoint), emits
+
+        baseline, no_emits = measure(False)
+        enabled, emits = measure(True)
+        assert no_emits == 0 and emits > 0
+        assert enabled - baseline == emits * WEIGHTS["observe_emit"]

@@ -1,0 +1,106 @@
+"""Chrome trace-event export and the structural validator."""
+
+import json
+
+from repro.core.costs import CostAccount
+from repro.observe import events as ev
+from repro.observe.bus import EventBus
+from repro.observe.export import (chrome_trace, validate_chrome_trace,
+                                  validate_file, write_trace)
+from repro.observe.trace import Tracer
+
+
+def _tracer():
+    return Tracer(EventBus(CostAccount()))
+
+
+def _sample_spans():
+    tracer = _tracer()
+    root = tracer.begin("request", comp="master")
+    tracer.bus.costs.charge("syscall", 2)
+    child = tracer.begin("cgate:auth", comp="auth-gate", parent=root,
+                         secret=b"\x00" * 16)
+    tracer.bus.costs.charge("syscall", 3)
+    tracer.end(child)
+    tracer.bus.costs.charge("syscall")
+    tracer.end(root)
+    return tracer, root, child
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self):
+        tracer, root, child = _sample_spans()
+        trace = chrome_trace(tracer.spans, kernel_name="t")
+        assert validate_chrome_trace(trace) == []
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        by_name = {e["name"]: e for e in xs}
+        assert by_name["request"]["dur"] == root.cycles
+        assert by_name["request"]["args"]["self_cycles"] \
+            == root.cycles - child.cycles
+        # distinct compartments land on distinct named rows
+        assert by_name["request"]["tid"] != by_name["cgate:auth"]["tid"]
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"master", "auth-gate"} <= names
+
+    def test_byte_payloads_never_reach_the_json(self, tmp_path):
+        tracer, _, _ = _sample_spans()
+        path = tmp_path / "trace.json"
+        write_trace(path, chrome_trace(tracer.spans))
+        text = path.read_text()
+        assert "\\x00" not in text and "\\u0000" not in text
+        assert "<16 bytes>" in text
+        assert validate_file(path) == []
+
+    def test_instant_events_ride_along(self):
+        bus = EventBus(CostAccount())
+        sink_events = []
+        bus.add_sink(type("S", (), {"accept":
+                                    lambda self, e: sink_events.append(e)})())
+        bus.emit(ev.MEM_VIOLATION, comp="w", addr=4096, op="read",
+                 emulated=False, segment="heap")
+        bus.emit(ev.NET_SEND, comp="w", fd=3, nbytes=8)   # not an instant
+        trace = chrome_trace([], sink_events)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [ev.MEM_VIOLATION]
+        assert instants[0]["s"] == "t"
+        assert validate_chrome_trace(trace) == []
+
+    def test_open_spans_are_skipped(self):
+        tracer = _tracer()
+        tracer.begin("never-finished", comp="x")
+        trace = chrome_trace(tracer.spans)
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_rejects_unknown_phase_and_negative_dur(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1, "ts": 0,
+             "dur": -5},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("bad phase" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_rejects_unnamed_rows(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 7, "ts": 0,
+             "dur": 1},
+        ]}
+        assert any("thread_name" in p
+                   for p in validate_chrome_trace(bad))
+
+    def test_validate_file_reports_unreadable_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert validate_file(path)
+        json_path = tmp_path / "ok.json"
+        json_path.write_text(json.dumps({"traceEvents": []}))
+        assert validate_file(json_path) == []

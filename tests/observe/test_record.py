@@ -1,0 +1,84 @@
+"""Flight-recorder bounds, drop counting, and dumps (satellite 4)."""
+
+import pytest
+
+from repro.core.costs import CostAccount
+from repro.observe import events as ev
+from repro.observe.bus import EventBus
+from repro.observe.record import (DUMP_EVENTS, MAX_DUMPS, FlightRecorder)
+
+
+def _bus(recorder, kinds=None):
+    bus = EventBus(CostAccount())
+    bus.add_sink(recorder, kinds=kinds)
+    return bus
+
+
+class TestRing:
+    def test_capacity_holds_under_a_storm(self):
+        recorder = FlightRecorder(capacity=32)
+        bus = _bus(recorder)
+        for i in range(1000):
+            bus.emit(ev.SYSCALL_ENTER, comp="c", name=f"op{i}")
+        assert len(recorder) == 32
+        assert recorder.accepted == 1000
+        assert recorder.dropped == 1000 - 32
+        # the tape holds the *newest* events
+        assert [e.fields["name"] for e in recorder.last(2)] \
+            == ["op998", "op999"]
+
+    def test_no_drops_below_capacity(self):
+        recorder = FlightRecorder(capacity=100)
+        bus = _bus(recorder)
+        for i in range(40):
+            bus.emit(ev.NET_SEND, comp="c", fd=3, nbytes=i)
+        assert recorder.dropped == 0
+        assert len(recorder) == 40
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDumps:
+    def test_trigger_snapshots_the_tail(self):
+        recorder = FlightRecorder(capacity=256,
+                                  dump_on=(ev.COMPARTMENT_DOWN,))
+        bus = _bus(recorder)
+        for i in range(120):
+            bus.emit(ev.SYSCALL_ENTER, comp="w1", name=f"op{i}")
+        bus.emit(ev.COMPARTMENT_DOWN, comp="w1", restarts=2,
+                 fault="memfault")
+        assert len(recorder.dumps) == 1
+        trigger, tail = recorder.dumps[0]
+        assert trigger.kind == ev.COMPARTMENT_DOWN
+        assert len(tail) == DUMP_EVENTS
+        assert tail[-1] is trigger          # the death is on the tape
+
+    def test_only_the_newest_dumps_are_kept(self):
+        recorder = FlightRecorder(capacity=64,
+                                  dump_on=(ev.CGATE_DEGRADED,))
+        bus = _bus(recorder)
+        for generation in range(MAX_DUMPS + 3):
+            bus.emit(ev.CGATE_DEGRADED, comp="g", gate="auth",
+                     restarts=generation)
+        assert len(recorder.dumps) == MAX_DUMPS
+        newest_trigger, _ = recorder.dumps[-1]
+        assert newest_trigger.fields["restarts"] == MAX_DUMPS + 2
+
+    def test_format_dump_redacts_payload_bytes(self):
+        recorder = FlightRecorder(capacity=16,
+                                  dump_on=(ev.COMPARTMENT_DOWN,))
+        bus = _bus(recorder)
+        bus.emit(ev.NET_SEND, comp="w1", fd=3,
+                 payload=b"secret-session-key-material")
+        bus.emit(ev.COMPARTMENT_DOWN, comp="w1", restarts=1,
+                 fault="crash")
+        text = recorder.format_dump()
+        assert "flight recorder: last 2 events" in text
+        assert "secret-session-key-material" not in text
+        assert "<27 bytes>" in text
+
+    def test_format_dump_empty_without_a_trigger(self):
+        recorder = FlightRecorder(capacity=16, dump_on=(ev.FAULT_FIRED,))
+        assert recorder.format_dump() == ""

@@ -1,0 +1,86 @@
+"""Acceptance: one observed Apache request is one connected,
+multi-compartment trace, exportable as valid Chrome trace JSON."""
+
+import json
+
+import pytest
+
+from repro.observe.export import validate_chrome_trace
+from repro.observe.session import (APP_ALIASES, OBSERVE_APP_NAMES,
+                                   observed_session, resolve_app)
+
+
+class TestResolve:
+    def test_aliases_point_at_chaos_drivers(self):
+        assert resolve_app("httpd") == "httpd-mitm"
+        assert resolve_app("sshd") == "sshd-wedge"
+        assert resolve_app("pop3") == "pop3"
+        for name in OBSERVE_APP_NAMES:
+            assert resolve_app(name)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            resolve_app("gopherd")
+
+
+class TestHttpdAcceptance:
+    @pytest.fixture(scope="class")
+    def observer(self):
+        return observed_session("httpd", requests=1)
+
+    def test_one_request_is_one_connected_trace(self, observer):
+        traces = observer.tracer.traces()
+        assert len(traces) == 1
+        trace_id = traces[0]
+        comps = observer.tracer.compartments(trace_id)
+        # the fine-grained partitioning: master + handshake worker +
+        # at least one callgate compartment
+        assert len(comps) >= 3
+        assert any(c.startswith("cg:") for c in comps)
+        # connected: every non-root span's parent is in the same trace
+        spans = observer.tracer.trace(trace_id)
+        ids = {s.span_id for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in ids
+
+    def test_per_hop_cycle_attribution(self, observer):
+        observer.tracer.finish_open()     # export-time hygiene
+        trace_id = observer.tracer.traces()[0]
+        spans = observer.tracer.trace(trace_id)
+        for span in spans:
+            assert span.done
+            assert span.cycles >= 0
+            assert observer.tracer.self_cycles(span) <= span.cycles
+        # the handshake compartment did real attributed work
+        handshake = [s for s in spans if "handshake" in (s.comp or "")]
+        assert handshake and all(
+            observer.tracer.self_cycles(s) > 0 for s in handshake)
+
+    def test_export_is_valid_chrome_trace_json(self, observer, tmp_path):
+        path = observer.export(tmp_path / "trace.json")
+        obj = json.loads(open(path).read())
+        assert validate_chrome_trace(obj) == []
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) >= 3
+        assert all(e["args"]["self_cycles"] >= 0 for e in xs)
+
+    def test_summary_reads_like_top(self, observer):
+        text = observer.summary()
+        assert "events" in text and "spans" in text
+        assert "trace 1:" in text
+        assert "->" in text           # the compartment chain
+
+    def test_payload_bytes_stay_out_of_the_record(self, observer):
+        for event in observer.recorder.last():
+            for value in event.fields.values():
+                assert not isinstance(value, (bytes, bytearray)), event
+
+
+class TestDetach:
+    def test_bus_is_free_again_after_the_session(self):
+        observer = observed_session("pop3", requests=1)
+        bus = observer.bus
+        assert not bus.enabled
+        assert bus.tracer is None
+        assert observer.counters.compartments()   # but the data remains

@@ -1,0 +1,137 @@
+"""Span propagation across compartment boundaries (satellite 3)."""
+
+from repro.core.policy import SecurityContext, sc_cgate_add
+from repro.faults import RestartPolicy
+from repro.observe import Observer
+from repro.observe import events as ev
+
+
+def _span_of(observer, name_part):
+    matches = [s for s in observer.tracer.spans if name_part in s.name]
+    assert matches, (name_part, observer.tracer.spans)
+    return matches[0]
+
+
+class TestSpawnSpans:
+    def test_sthread_spawn_opens_a_child_span(self, kernel):
+        with Observer(kernel) as obs:
+            # give main a root span so the spawn has a parent to join
+            kernel.main.span = obs.tracer.begin("request",
+                                                comp=kernel.main.name)
+            st = kernel.sthread_create(SecurityContext(),
+                                       lambda a: "done", name="worker",
+                                       spawn="inline")
+            kernel.sthread_join(st)
+        root = _span_of(obs, "request")
+        child = _span_of(obs, "sthread:worker")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert child.comp == "worker"
+        assert child.done and child.status == "exited"
+
+    def test_fork_and_pthread_join_the_same_trace(self, kernel):
+        with Observer(kernel) as obs:
+            kernel.main.span = obs.tracer.begin("request",
+                                                comp=kernel.main.name)
+            kernel.sthread_join(kernel.fork(lambda a: None,
+                                            spawn="inline"))
+            kernel.sthread_join(kernel.pthread_create(lambda a: None,
+                                                      spawn="inline"))
+        root = _span_of(obs, "request")
+        forked = _span_of(obs, "process:")
+        pthread = _span_of(obs, "pthread:")
+        assert forked.parent_id == root.span_id
+        assert pthread.parent_id == root.span_id
+        assert {forked.trace_id, pthread.trace_id} == {root.trace_id}
+
+    def test_unparented_spawn_starts_its_own_trace(self, kernel):
+        with Observer(kernel) as obs:
+            st = kernel.sthread_create(SecurityContext(), lambda a: None,
+                                       name="orphan", spawn="inline")
+            kernel.sthread_join(st)
+        span = _span_of(obs, "sthread:orphan")
+        assert span.parent_id is None
+
+
+class TestCallgateSpans:
+    def test_gate_span_parents_to_the_callers_span(self, kernel):
+        def doubler(trusted, arg):
+            return arg * 2
+
+        gate = kernel.create_gate(doubler, SecurityContext())
+        sc = SecurityContext()
+        sc_cgate_add(sc, gate.id)
+        with Observer(kernel) as obs:
+            kernel.main.span = obs.tracer.begin("request",
+                                                comp=kernel.main.name)
+            st = kernel.sthread_create(
+                sc, lambda a: kernel.cgate(gate.id, arg=21),
+                name="caller", spawn="inline")
+            assert kernel.sthread_join(st) == 42
+        caller = _span_of(obs, "sthread:caller")
+        gate_span = _span_of(obs, "cgate:doubler")
+        assert gate_span.parent_id == caller.span_id
+        assert gate_span.trace_id == caller.trace_id
+        assert gate_span.status == "exited"
+        # per-hop attribution: the caller's total covers the gate hop
+        assert caller.cycles >= gate_span.cycles > 0
+        assert obs.tracer.self_cycles(caller) \
+            == caller.cycles - gate_span.cycles
+
+
+class TestSupervisedRestartSpans:
+    def test_restart_is_a_fresh_span_linked_to_the_old_one(self, kernel):
+        tripwire = kernel.alloc_buf(8)   # main-private: body faults on it
+        state = {"tries": 0}
+
+        def body(arg):
+            arg["tries"] += 1
+            if arg["tries"] == 1:
+                kernel.mem_read(tripwire.addr, 8)
+            return "ok"
+
+        with Observer(kernel) as obs:
+            kernel.main.span = obs.tracer.begin("request",
+                                                comp=kernel.main.name)
+            st = kernel.sthread_create(
+                SecurityContext(), body, state, name="flaky",
+                spawn="inline",
+                supervise=RestartPolicy(max_restarts=2, backoff=0.0))
+            assert kernel.sthread_join(st) == "ok"
+        root = _span_of(obs, "request")
+        first = _span_of(obs, "sthread:flaky")
+        second = _span_of(obs, "sthread:flaky~r1")
+        # incarnation 0 hangs off the creator; its crash is recorded
+        assert first.parent_id == root.span_id
+        assert first.status == "faulted"
+        # the restart is a *fresh* span linked to the crashed one, in
+        # the same trace, and tagged as a restart
+        assert second.span_id != first.span_id
+        assert second.parent_id == first.span_id
+        assert second.trace_id == first.trace_id
+        assert second.fields["restart"] is True
+        assert second.fields["generation"] == 1
+        assert second.status == "exited"
+        # the supervisor announced the restart-from-snapshot on the bus
+        assert obs.counters.total(ev.SUPERVISE_RESTART) == 1
+        assert obs.counters.total(ev.COW_RESTORE) == 1
+
+    def test_terminal_degradation_announces_compartment_down(self,
+                                                             kernel):
+        tripwire = kernel.alloc_buf(8)
+        with Observer(kernel) as obs:
+            st = kernel.sthread_create(
+                SecurityContext(),
+                lambda a: kernel.mem_read(tripwire.addr, 8),
+                name="doomed", spawn="inline",
+                supervise=RestartPolicy(max_restarts=1, backoff=0.0))
+            try:
+                kernel.sthread_join(st)
+            except Exception:
+                pass
+        assert obs.counters.total(ev.COMPARTMENT_DOWN) == 1
+        # the flight recorder captured a dump at the death
+        assert len(obs.recorder.dumps) == 1
+        trigger, _ = obs.recorder.dumps[0]
+        assert trigger.kind == ev.COMPARTMENT_DOWN
+        assert trigger.comp == "doomed"
