@@ -19,6 +19,10 @@ command            prints
 ``attack``         run the MITM or sshd attack scenario end to end
 ``chaos``          seeded fault-injection campaign against the shipped
                    apps; proves crash containment end to end
+``overload``       seeded connection surge against the shipped apps;
+                   proves bounded backlogs, deterministic shedding,
+                   stream backpressure, and byte-identical admitted
+                   responses (writes/checks ``BENCH_overload.json``)
 ``observe``        serve demo sessions under the kernel event bus and
                    span tracer; top-style summary, Chrome trace export
 =================  ====================================================
@@ -311,6 +315,49 @@ def cmd_chaos(args):
     return 1 if failed else 0
 
 
+def cmd_overload(args):
+    import json
+    import os
+
+    from repro.resilience.overload import (check_artifact,
+                                           overload_app_names,
+                                           run_overload, write_artifact)
+    app_names = overload_app_names()
+    names = [args.app] if args.app else list(app_names)
+    unknown = [name for name in names if name not in app_names]
+    if unknown:
+        print(f"unknown app {unknown[0]!r}; choose from "
+              f"{sorted(app_names)}", file=sys.stderr)
+        return 2
+    report = run_overload(names, clients=args.clients,
+                          backlog=args.backlog, seed=args.seed,
+                          high_water=args.high_water,
+                          compare=not args.no_compare)
+    print(report.format())
+    failed = not report.passed
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_overload.json")
+        write_artifact(report, path)
+        print(f"wrote {path}")
+    if args.check:
+        baseline_path = os.path.join(args.check, "BENCH_overload.json")
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        problems = check_artifact(report.artifact(), baseline)
+        if problems:
+            print(f"REGRESSION vs {baseline_path}:")
+            for problem in problems:
+                print(f"  {problem}")
+            failed = True
+        else:
+            print(f"goodput within tolerance of {baseline_path}")
+    return 1 if failed else 0
+
+
 def cmd_observe(args):
     from repro.observe.export import validate_file
     if args.validate:
@@ -406,6 +453,28 @@ def build_parser():
                     help="print the newest flight-recorder dump even "
                          "when the campaign passed")
     pc.set_defaults(fn=cmd_chaos)
+    pv = sub.add_parser(
+        "overload",
+        help="connection-surge campaign (overload resilience)")
+    pv.add_argument("-n", "--clients", type=int, default=200,
+                    help="surge size per app (default: 200)")
+    pv.add_argument("--backlog", type=int, default=32,
+                    help="listener accept-queue cap (default: 32)")
+    pv.add_argument("--seed", type=int, default=0,
+                    help="client seed (campaigns are reproducible)")
+    pv.add_argument("--high-water", type=int, default=64 * 1024,
+                    help="per-stream buffer cap in bytes "
+                         "(default: 65536)")
+    pv.add_argument("--app", default=None,
+                    help="surge one app instead of all")
+    pv.add_argument("--no-compare", action="store_true",
+                    help="skip the resilience on-vs-off comparison leg")
+    pv.add_argument("--out", default=None, metavar="DIR",
+                    help="write BENCH_overload.json into DIR")
+    pv.add_argument("--check", default=None, metavar="DIR",
+                    help="compare goodput against DIR/"
+                         "BENCH_overload.json (fail on >10%% drop)")
+    pv.set_defaults(fn=cmd_overload)
     po = sub.add_parser(
         "observe",
         help="event bus + span tracing over one app's demo sessions")

@@ -48,6 +48,10 @@ class CallgateRecord:
         self.restarts = 0
         self.degraded = False
         self.last_fault = None
+        #: CircuitBreaker built lazily on first degrade when the policy
+        #: carries a BreakerPolicy; stays None otherwise (degraded is
+        #: then terminal, the pre-breaker behaviour)
+        self.breaker = None
 
     @property
     def span_name(self):

@@ -160,6 +160,30 @@ class ConnectionClosed(NetworkError):
     """The peer closed the simulated stream."""
 
 
+class ConnectionRefused(NetworkError):
+    """No listener at the address (or the connect was refused/raced a
+    concurrent ``Listener.close``).  The typed face of every failure on
+    the connect path that is *not* load shedding."""
+
+    def __init__(self, message, *, addr=None):
+        super().__init__(message)
+        self.addr = addr
+
+
+class ConnectionShed(NetworkError):
+    """The listener's accept backlog was full: the connection was
+    deterministically shed at admission (overload, not failure).
+
+    Retryable by design — a client-side
+    :class:`~repro.resilience.RetryPolicy` backs off and tries again.
+    """
+
+    def __init__(self, message, *, addr=None, backlog=None):
+        super().__init__(message)
+        self.addr = addr
+        self.backlog = backlog
+
+
 class NetTimeout(NetworkError):
     """A blocking network operation (accept/recv) exceeded its timeout."""
 
@@ -167,6 +191,20 @@ class NetTimeout(NetworkError):
         super().__init__(message)
         self.op = op
         self.timeout = timeout
+
+
+class DeadlineExceeded(NetTimeout):
+    """The request's end-to-end :class:`~repro.resilience.Deadline`
+    expired before the operation completed.
+
+    Subclasses :class:`NetTimeout` so timeout-tolerant code keeps
+    working, but is *not* retryable: the whole request is out of budget,
+    no per-hop retry can help.
+    """
+
+    def __init__(self, message, *, op=None, deadline=None):
+        super().__init__(message, op=op, timeout=None)
+        self.deadline = deadline
 
 
 class PeerReset(NetworkError):

@@ -38,10 +38,10 @@ from repro.core.callgate import CallgateRecord
 from repro.core.costs import CostAccount
 from repro.core.errors import (CallgateDegraded, CallgateError,
                                CompartmentDown, CompartmentFault,
-                               GateTimeout, MemoryViolation, OutOfMemory,
-                               PolicyError, SthreadError, SthreadFaulted,
-                               SyscallDenied, TagError, VfsError,
-                               WedgeError)
+                               DeadlineExceeded, GateTimeout,
+                               MemoryViolation, OutOfMemory, PolicyError,
+                               SthreadError, SthreadFaulted, SyscallDenied,
+                               TagError, VfsError, WedgeError)
 from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
                                 SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
@@ -56,6 +56,8 @@ from repro.core.vfs import Vfs
 from repro.net.stream import ByteStream, DuplexStream
 from repro.observe import events as ev
 from repro.observe.bus import EventBus
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import current_deadline, deadline_scope
 
 
 def _traced_syscall(fn):
@@ -828,6 +830,16 @@ class Kernel:
             if perms.gate_specs or perms.gate_ids:
                 raise PolicyError("cgate arg perms cannot carry callgates")
         record.invocations += 1
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired:
+            # fail at the trust boundary, before any compartment is
+            # built: the caller is out of end-to-end budget
+            if self.observe.enabled:
+                self.observe.emit(ev.DEADLINE_EXCEEDED, comp=caller.name,
+                                  gate=record.name, op="cgate")
+            raise DeadlineExceeded(
+                f"deadline expired before invoking callgate "
+                f"{record.name!r}", op="cgate", deadline=deadline)
         if record.supervise is not None:
             return self._invoke_supervised(record, caller, perms, arg)
         return self._invoke_once(record, caller, perms, arg)
@@ -973,14 +985,27 @@ class Kernel:
         Only compartment deaths count: a gate that raises an ordinary
         application error (bad password, handshake failure) finished its
         job and is not restarted.
+
+        When the policy carries a :class:`~repro.resilience.BreakerPolicy`
+        the degraded state is no longer terminal: the degrade trips a
+        circuit breaker, calls fail fast while it is open, and once the
+        cooldown elapses exactly one caller is admitted as a half-open
+        probe.  A successful probe closes the breaker — the gate rebuilds
+        from the pristine COW snapshot with a fresh restart budget; a
+        failed probe re-opens it with an escalated cooldown.
         """
         policy = record.supervise
         if record.degraded:
-            raise CallgateDegraded(
-                f"callgate {record.name!r} is degraded after "
-                f"{record.restarts} restart(s)",
-                name=record.name, restarts=record.restarts,
-                last_fault=record.last_fault)
+            breaker = record.breaker
+            if breaker is None or not breaker.try_probe():
+                # no breaker (terminal, the pre-breaker contract), still
+                # cooling down, or another probe is in flight: fail fast
+                raise CallgateDegraded(
+                    f"callgate {record.name!r} is degraded after "
+                    f"{record.restarts} restart(s)",
+                    name=record.name, restarts=record.restarts,
+                    last_fault=record.last_fault)
+            return self._invoke_probe(record, caller, perms, arg, breaker)
         delay = policy.backoff
         while True:
             try:
@@ -996,6 +1021,15 @@ class Kernel:
                 record.persistent = None   # restart = rebuild from COW
                 if record.restarts >= policy.max_restarts:
                     record.degraded = True
+                    if policy.breaker is not None:
+                        if record.breaker is None:
+                            record.breaker = CircuitBreaker(policy.breaker)
+                        record.breaker.trip()
+                        if self.observe.enabled:
+                            self.observe.emit(
+                                ev.BREAKER_OPEN, comp=caller.name,
+                                gate=record.name,
+                                cooldown=record.breaker.current_cooldown)
                     if self.observe.enabled:
                         self.observe.emit(
                             ev.CGATE_DEGRADED, comp=caller.name,
@@ -1014,34 +1048,90 @@ class Kernel:
                     time.sleep(delay)
                 delay *= policy.backoff_factor
 
-    def _invoke_with_watchdog(self, record, caller, perms, arg, deadline):
+    def _invoke_probe(self, record, caller, perms, arg, breaker):
+        """One admitted half-open invocation of a degraded gate."""
+        policy = record.supervise
+        if self.observe.enabled:
+            self.observe.emit(ev.BREAKER_HALF_OPEN, comp=caller.name,
+                              gate=record.name,
+                              probes=breaker.probe_count)
+        try:
+            if policy.watchdog is not None:
+                result = self._invoke_with_watchdog(
+                    record, caller, perms, arg, policy.watchdog)
+            else:
+                result = self._invoke_once(record, caller, perms, arg)
+        except CallgateError as exc:
+            record.last_fault = exc
+            record.persistent = None
+            breaker.probe_failed()
+            if self.observe.enabled:
+                self.observe.emit(ev.BREAKER_OPEN, comp=caller.name,
+                                  gate=record.name, reopened=True,
+                                  cooldown=breaker.current_cooldown)
+            raise CallgateDegraded(
+                f"callgate {record.name!r} half-open probe failed: {exc}",
+                name=record.name, restarts=record.restarts,
+                last_fault=exc) from exc
+        breaker.probe_succeeded()
+        record.degraded = False
+        record.restarts = 0
+        record.last_fault = None
+        if self.observe.enabled:
+            self.observe.emit(ev.BREAKER_CLOSE, comp=caller.name,
+                              gate=record.name,
+                              recoveries=breaker.recoveries)
+        return result
+
+    def _invoke_with_watchdog(self, record, caller, perms, arg, watchdog):
         """Run one invocation on a worker thread; abandon it on timeout.
 
         The worker's compartment-context stack is pre-seeded with the
         real caller so ``kernel.caller()`` keeps resolving correctly for
-        promote-style gates.  On timeout the hung incarnation is simply
-        abandoned (daemon thread) and the persistent compartment, if
-        any, is dropped so it cannot be reused mid-invocation.
+        promote-style gates, and the caller's ambient deadline (if any)
+        is carried onto the worker thread so gate-internal net ops keep
+        honouring the end-to-end budget.  The effective wait is the
+        *smaller* of the watchdog and the remaining budget; a wait cut
+        short by the deadline raises
+        :class:`~repro.core.errors.DeadlineExceeded` (the request is out
+        of time), a genuine watchdog expiry raises
+        :class:`~repro.core.errors.GateTimeout` (the gate hung).  Either
+        way the hung incarnation is simply abandoned (daemon thread) and
+        the persistent compartment, if any, is dropped so it cannot be
+        reused mid-invocation.
         """
         box = {}
+        ambient = current_deadline()
 
         def run():
             self._stack().append(caller)
             try:
-                box["result"] = self._invoke_once(record, caller, perms,
-                                                  arg)
+                with deadline_scope(ambient):
+                    box["result"] = self._invoke_once(record, caller,
+                                                      perms, arg)
             except BaseException as exc:  # re-raised on the caller thread
                 box["error"] = exc
 
         worker = threading.Thread(target=run, name=f"wd:{record.name}",
                                   daemon=True)
         worker.start()
-        worker.join(deadline)
+        budget = (watchdog if ambient is None
+                  else ambient.clamp(watchdog))
+        worker.join(budget)
         if worker.is_alive():
             record.persistent = None   # never reuse a hung incarnation
+            if ambient is not None and ambient.expired:
+                if self.observe.enabled:
+                    self.observe.emit(ev.DEADLINE_EXCEEDED,
+                                      comp=caller.name, gate=record.name,
+                                      op="watchdog")
+                raise DeadlineExceeded(
+                    f"deadline expired inside callgate {record.name!r} "
+                    f"(incarnation abandoned)", op="watchdog",
+                    deadline=ambient)
             raise GateTimeout(
-                f"callgate {record.name!r} exceeded its {deadline}s "
-                f"watchdog", gate_id=record.id, timeout=deadline)
+                f"callgate {record.name!r} exceeded its {watchdog}s "
+                f"watchdog", gate_id=record.id, timeout=watchdog)
         if "error" in box:
             raise box["error"]
         return box.get("result")
@@ -1149,13 +1239,13 @@ class Kernel:
         return self.net
 
     @_traced_syscall
-    def listen(self, addr):
+    def listen(self, addr, backlog=None):
         st = self._syscall("listen")
-        listener = self._need_net().listen(addr)
+        listener = self._need_net().listen(addr, backlog=backlog)
         fd = st.fdtable.install(ListenerOpenFile(listener), FD_READ)
         if self.observe.enabled:
             self.observe.emit(ev.NET_LISTEN, comp=st.name, addr=addr,
-                              fd=fd)
+                              fd=fd, backlog=listener.backlog)
         return fd
 
     @_traced_syscall

@@ -20,6 +20,7 @@ machinery to prove that empirically:
 """
 
 from repro.faults.chaos import (CHAOS_APP_NAMES, ChaosReport,
+                                breaker_recovery_drill,
                                 cow_freshness_probe, run_chaos)
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.faults.supervise import RestartPolicy, SupervisedSthread
@@ -32,6 +33,7 @@ __all__ = [
     "FaultSpec",
     "RestartPolicy",
     "SupervisedSthread",
+    "breaker_recovery_drill",
     "cow_freshness_probe",
     "run_chaos",
 ]

@@ -25,11 +25,16 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.errors import ProtocolError, WedgeError
+import time
+
+from repro.core.errors import (CallgateDegraded, MemoryViolation,
+                               ProtocolError, WedgeError)
 from repro.faults.plan import FaultPlan
 from repro.faults.supervise import RestartPolicy
-from repro.observe.events import CGATE_DEGRADED, COMPARTMENT_DOWN
+from repro.observe.events import (BREAKER_CLOSE, CGATE_DEGRADED,
+                                  COMPARTMENT_DOWN)
 from repro.observe.record import FlightRecorder
+from repro.resilience.breaker import BreakerPolicy
 
 #: Client-side timeout for chaos sessions, seconds.  Short: a session
 #: whose peer compartment crashed should give up quickly so the
@@ -67,8 +72,16 @@ def default_plan(seed, rates=None):
 
 
 def default_policy():
-    """Supervision applied to per-connection compartments under chaos."""
-    return RestartPolicy(max_restarts=2, backoff=0.001)
+    """Supervision applied to per-connection compartments under chaos.
+
+    The breaker runs with ``cooldown=0.0`` so probe admission depends
+    only on control flow, never on wall-clock elapsed time — campaigns
+    stay bit-for-bit deterministic per seed (a time-based cooldown
+    would make the fault plan's RNG consumption racy against the
+    scheduler).
+    """
+    return RestartPolicy(max_restarts=2, backoff=0.001,
+                         breaker=BreakerPolicy(cooldown=0.0))
 
 
 # -- per-app drivers ----------------------------------------------------------
@@ -114,7 +127,7 @@ def _make_pop3(policy):
     return PartitionedPop3(Network(), "chaos-pop3:110", supervise=policy)
 
 
-def _httpd_session(server, index, strict=False):
+def _httpd_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
     from repro.apps.httpd.content import build_request
     from repro.crypto import DetRNG
     from repro.tls import TlsClient
@@ -125,7 +138,7 @@ def _httpd_session(server, index, strict=False):
     # server worker on its recv timeout)
     sock = server.network.connect(server.addr)
     try:
-        conn = client.handshake(sock, resume=False, timeout=CLIENT_TIMEOUT)
+        conn = client.handshake(sock, resume=False, timeout=timeout)
         return conn.request(build_request("/"))
     finally:
         sock.close()
@@ -137,7 +150,7 @@ def _httpd_snapshot(server):
             "server key": server.public_key.to_bytes()}
 
 
-def _sshd_session(server, index, strict=False):
+def _sshd_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
     from repro.crypto import DetRNG
     from repro.sshlib.client import SshConnection
     from repro.sshlib.transport import ClientTransport
@@ -145,7 +158,7 @@ def _sshd_session(server, index, strict=False):
     sock = server.network.connect(server.addr)
     try:
         driver = ClientTransport(
-            StreamTransport(sock, CLIENT_TIMEOUT), DetRNG(f"chaos{index}"),
+            StreamTransport(sock, timeout), DetRNG(f"chaos{index}"),
             expected_host_key=server.env.host_key.public())
         conn = SshConnection(driver.run(), driver.session_hash,
                              driver.host_key)
@@ -168,10 +181,10 @@ def _sshd_snapshot(server):
             "host key": server.env.host_key.public().to_bytes()}
 
 
-def _pop3_session(server, index, strict=False):
+def _pop3_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
     from repro.apps.pop3.client import Pop3Client
     client = Pop3Client(server.network, server.addr,
-                        timeout=CLIENT_TIMEOUT)
+                        timeout=timeout)
     try:
         if not client.login("alice", b"wonderland"):
             # a dead login gate *denies*; only the clean probe treats
@@ -245,11 +258,16 @@ class ChaosReport:
         self.flight_events = 0
         self.flight_dropped = 0
         self.flight_dump = ""
+        #: breaker recovery drill: every campaign must demonstrate at
+        #: least one degraded -> half-open -> closed recovery
+        self.breaker_recoveries = 0
+        self.breaker_transitions = []
 
     @property
     def passed(self):
         return (self.probe_ok and not self.violations
-                and self.injected >= self.target_faults)
+                and self.injected >= self.target_faults
+                and self.breaker_recoveries >= 1)
 
     def format(self, *, flight_dump=False):
         """Render the report; ``flight_dump=True`` forces the newest
@@ -269,6 +287,9 @@ class ChaosReport:
             f"{self.server_errors} server-side containments",
             f"  flight recorder: {self.flight_events} events seen, "
             f"{self.flight_dropped} scrolled off the ring",
+            f"  breaker: {self.breaker_recoveries} recover"
+            f"{'y' if self.breaker_recoveries == 1 else 'ies'} "
+            f"({' '.join(self.breaker_transitions) or 'no transitions'})",
             f"  clean probe: {'ok' if self.probe_ok else 'FAILED'}",
         ]
         if self.tlb_mode is not None:
@@ -287,6 +308,55 @@ def _count_restarts(kernel):
     # supervised gates count their own restarts on the record
     return (sum(1 for st in kernel.sthreads if "~r" in st.name)
             + sum(r.restarts for r in kernel._gates.values()))
+
+
+def breaker_recovery_drill(kernel, *, cooldown=0.005, crashes=2):
+    """Force one degraded -> half-open -> closed recovery on *kernel*.
+
+    Random injection rarely degrades the *same* per-connection gate and
+    then revisits it after the cooldown, so every campaign runs this
+    deterministic drill instead of hoping: a supervised+breakered gate
+    whose entry crashes exactly *crashes* times (one more than its
+    restart budget) is driven to ``CallgateDegraded``, then re-invoked
+    until the half-open probe is admitted and succeeds.  The breaker
+    transitions land on the kernel's own event bus, so the campaign's
+    flight recorder captures the full open -> half_open -> close
+    sequence.
+
+    Returns the gate's :class:`~repro.core.callgate.CallgateRecord`
+    (``record.breaker`` holds the transition log) or ``None`` if the
+    recovery did not complete.
+    """
+    from repro.core.policy import SecurityContext
+
+    state = {"left": int(crashes)}
+
+    def breaker_drill(trusted, arg):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise MemoryViolation("breaker drill: induced crash",
+                                  op="drill")
+        return "recovered"
+
+    policy = RestartPolicy(max_restarts=crashes - 1, backoff=0.0,
+                           breaker=BreakerPolicy(cooldown=cooldown))
+    record = kernel.create_gate(breaker_drill, SecurityContext(),
+                                supervise=policy)
+    try:
+        kernel.cgate(record.id)
+    except CallgateDegraded:
+        pass
+    else:
+        return None  # the crashes did not land: no degrade to recover
+    give_up = time.monotonic() + max(2.0, cooldown * 100)
+    while time.monotonic() < give_up:
+        try:
+            if kernel.cgate(record.id) == "recovered":
+                return record
+            return None
+        except CallgateDegraded:
+            time.sleep(cooldown / 2 or 0.001)
+    return None
 
 
 def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
@@ -311,10 +381,12 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
     finally:
         Kernel.DEFAULT_TLB = saved_default
     # the flight recorder rides along for the whole campaign: when a
-    # compartment terminally degrades it snapshots the 50 events that
-    # led up to the death (payloads redacted)
+    # compartment terminally degrades (or a breaker closes after the
+    # recovery drill) it snapshots the 50 events that led up to the
+    # moment (payloads redacted)
     recorder = FlightRecorder(capacity=FLIGHT_CAPACITY,
-                              dump_on=(COMPARTMENT_DOWN, CGATE_DEGRADED))
+                              dump_on=(COMPARTMENT_DOWN, CGATE_DEGRADED,
+                                       BREAKER_CLOSE))
     server.kernel.observe.add_sink(recorder)
     server.start()
     try:
@@ -361,6 +433,19 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
                     f"sensitive state {name!r} changed during chaos")
         report.restarts = _count_restarts(server.kernel)
         report.server_errors = len(server.errors)
+
+        # every campaign must demonstrate the previously-terminal
+        # CallgateDegraded path recovering through the breaker (runs
+        # after the restart count so the drill's restarts do not skew it)
+        drilled = breaker_recovery_drill(server.kernel)
+        if drilled is not None and drilled.breaker is not None:
+            report.breaker_recoveries = drilled.breaker.recoveries
+            report.breaker_transitions = [
+                f"{a}->{b}" for a, b in drilled.breaker.transitions]
+        if report.breaker_recoveries < 1:
+            report.violations.append(
+                "breaker recovery drill failed: no degraded -> "
+                "half-open -> closed transition observed")
     finally:
         server.stop()
         server.kernel.observe.remove_sink(recorder)

@@ -40,21 +40,28 @@ class RestartPolicy:
     lifetime; ``backoff`` (doubling by ``backoff_factor`` each restart)
     spaces them; ``watchdog`` — callgates only — abandons an invocation
     that exceeds the deadline and raises
-    :class:`~repro.core.errors.GateTimeout`.
+    :class:`~repro.core.errors.GateTimeout`.  ``breaker`` — callgates
+    only — is an optional
+    :class:`~repro.resilience.BreakerPolicy`: instead of staying
+    terminally degraded past the restart budget, the gate opens a
+    circuit breaker and may recover through a half-open probe after the
+    cooldown (see :mod:`repro.resilience.breaker`).
     """
 
     def __init__(self, max_restarts=3, *, backoff=0.005,
-                 backoff_factor=2.0, watchdog=None):
+                 backoff_factor=2.0, watchdog=None, breaker=None):
         if max_restarts < 0:
             raise SthreadError("max_restarts must be >= 0")
         self.max_restarts = int(max_restarts)
         self.backoff = float(backoff)
         self.backoff_factor = float(backoff_factor)
         self.watchdog = watchdog
+        self.breaker = breaker
 
     def __repr__(self):
         return (f"<RestartPolicy max_restarts={self.max_restarts} "
-                f"backoff={self.backoff} watchdog={self.watchdog}>")
+                f"backoff={self.backoff} watchdog={self.watchdog} "
+                f"breaker={self.breaker}>")
 
 
 class SupervisedSthread:

@@ -1,7 +1,8 @@
 """Simulated network substrate: byte streams, rendezvous, interposition."""
 
 from repro.net.network import Listener, Network
-from repro.net.stream import DEFAULT_TIMEOUT, ByteStream, DuplexStream
+from repro.net.stream import (DEFAULT_HIGH_WATER, DEFAULT_TIMEOUT,
+                              ByteStream, DuplexStream)
 
-__all__ = ["ByteStream", "DEFAULT_TIMEOUT", "DuplexStream", "Listener",
-           "Network"]
+__all__ = ["ByteStream", "DEFAULT_HIGH_WATER", "DEFAULT_TIMEOUT",
+           "DuplexStream", "Listener", "Network"]

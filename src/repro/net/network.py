@@ -5,6 +5,13 @@ Servers :meth:`listen` on string addresses (``"server:443"``); clients
 :meth:`connect` to them and get one end of a
 :class:`~repro.net.stream.DuplexStream`.
 
+Admission control is part of the medium: every :class:`Listener` has a
+bounded accept backlog.  A connect that finds the backlog full is
+**shed deterministically** — the client gets a typed
+:class:`~repro.core.errors.ConnectionShed` and nothing is queued — so a
+connect flood can never grow server-side state without bound (the
+overload regime the resilience layer is built around).
+
 The network also exposes the attacker's vantage point: an
 :meth:`interpose` hook places a man-in-the-middle on an address, so every
 new connection is routed through attacker code that can eavesdrop on,
@@ -16,30 +23,50 @@ from __future__ import annotations
 
 import threading
 
-from repro.core.errors import NetTimeout, NetworkError
+from repro.core.errors import (ConnectionRefused, ConnectionShed,
+                               NetTimeout, NetworkError)
 from repro.net.stream import DuplexStream
-from repro.observe.events import NET_CONNECT
+from repro.observe.events import NET_CONNECT, NET_SHED
+from repro.resilience.deadline import current_deadline
 
 
 class Listener:
-    """A bound address's accept queue."""
+    """A bound address's accept queue — bounded, like a real somaxconn."""
 
-    def __init__(self, network, addr):
+    def __init__(self, network, addr, *, backlog=None):
         self.network = network
         self.addr = addr
+        self.backlog = (network.default_backlog if backlog is None
+                        else max(1, int(backlog)))
         self._pending = []
         self._cond = threading.Condition()
         self._closed = False
+        #: admission-control accounting for the overload campaign
+        self.shed_count = 0
+        self.peak_pending = 0
+        self.accepted_count = 0
 
     def _enqueue(self, sock):
         with self._cond:
             if self._closed:
                 raise NetworkError(f"listener {self.addr!r} is closed")
+            if len(self._pending) >= self.backlog:
+                self.shed_count += 1
+                raise ConnectionShed(
+                    f"listener {self.addr!r} backlog full "
+                    f"({self.backlog}): connection shed",
+                    addr=self.addr, backlog=self.backlog)
             self._pending.append(sock)
+            if len(self._pending) > self.peak_pending:
+                self.peak_pending = len(self._pending)
             self._cond.notify()
 
     def accept(self, timeout=30.0):
         """Block for the next inbound connection."""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("accept")
+            timeout = deadline.clamp(timeout)
         with self._cond:
             if not self._cond.wait_for(
                     lambda: self._pending or self._closed, timeout):
@@ -47,6 +74,7 @@ class Listener:
                                  op="accept", timeout=timeout)
             if self._closed and not self._pending:
                 raise NetworkError(f"listener {self.addr!r} is closed")
+            self.accepted_count += 1
             return self._pending.pop(0)
 
     def pending_count(self):
@@ -54,20 +82,52 @@ class Listener:
             return len(self._pending)
 
     def close(self):
+        """Close the listener; queued-but-unaccepted clients are reset.
+
+        Resetting the stranded server ends gives every already-admitted
+        client a prompt typed outcome (:class:`PeerReset`) instead of a
+        silent hang until its recv timeout — the queue cannot leak
+        streams across a close.
+        """
         with self._cond:
             self._closed = True
+            stranded = list(self._pending)
+            self._pending.clear()
             self._cond.notify_all()
+        for sock in stranded:
+            sock.reset()
         self.network._unbind(self.addr, self)
 
 
 class Network:
     """One shared medium connecting every kernel attached to it."""
 
-    def __init__(self):
+    #: Class-level default backlog, overridable per instance/listener.
+    #: Campaign harnesses (chaos/overload) tighten it around internally
+    #: constructed Networks, the same save/restore idiom as
+    #: ``Kernel.DEFAULT_TLB``.
+    DEFAULT_BACKLOG = 128
+    #: Class-level per-stream high-water override (None = the stream
+    #: module's default).
+    DEFAULT_HIGH_WATER = None
+
+    def __init__(self, *, default_backlog=None, default_high_water=None):
         self._listeners = {}
         self._interposers = {}
         self._lock = threading.Lock()
         self.connections_made = 0
+        self.default_backlog = (self.DEFAULT_BACKLOG
+                                if default_backlog is None
+                                else max(1, int(default_backlog)))
+        self.default_high_water = (self.DEFAULT_HIGH_WATER
+                                   if default_high_water is None
+                                   else default_high_water)
+        #: total connections shed by any listener on this medium
+        self.shed_count = 0
+        #: when a campaign sets this to a list, every ByteStream built by
+        #: connect is appended for post-hoc peak-buffer audits (None by
+        #: default: no references are retained)
+        self.streams = None
         #: FaultPlan propagated by Kernel.install_faults, or None
         self.faults = None
         #: EventBus attached by repro.observe.Observer, or None (a
@@ -77,11 +137,11 @@ class Network:
 
     # -- server side -------------------------------------------------------
 
-    def listen(self, addr):
+    def listen(self, addr, *, backlog=None):
         with self._lock:
             if addr in self._listeners:
                 raise NetworkError(f"address {addr!r} already in use")
-            listener = Listener(self, addr)
+            listener = Listener(self, addr, backlog=backlog)
             self._listeners[addr] = listener
             return listener
 
@@ -97,7 +157,10 @@ class Network:
 
         If an interposer is registered for *addr*, the connection is
         silently routed through it instead of reaching the listener
-        directly — the client cannot tell.
+        directly — the client cannot tell.  A full backlog sheds the
+        connection (:class:`~repro.core.errors.ConnectionShed`); a
+        missing or concurrently-closed listener refuses it
+        (:class:`~repro.core.errors.ConnectionRefused`).
         """
         with self._lock:
             interposer = self._interposers.get(addr)
@@ -109,27 +172,68 @@ class Network:
                      interposed=interposer is not None)
         if self.faults is not None and \
                 self.faults.fire("net_connect") is not None:
-            raise NetworkError(f"connection refused (injected): {addr!r}")
+            raise ConnectionRefused(
+                f"connection refused (injected): {addr!r}", addr=addr)
         if interposer is not None:
             return interposer._client_connected(addr)
         if listener is None:
-            raise NetworkError(f"connection refused: {addr!r}")
-        client_end, server_end = DuplexStream.pipe_pair(addr)
-        if self.faults is not None:
-            client_end.faults = self.faults
-            server_end.faults = self.faults
-        listener._enqueue(server_end)
-        return client_end
+            raise ConnectionRefused(f"connection refused: {addr!r}",
+                                    addr=addr)
+        return self._deliver(listener, addr)
 
     def connect_direct(self, addr):
         """Connect bypassing any interposer (the attacker's own upstream
-        path to the real server)."""
+        path to the real server).  Same accounting, fault attachment and
+        admission control as :meth:`connect`."""
         with self._lock:
             listener = self._listeners.get(addr)
+        self.connections_made += 1
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.emit(NET_CONNECT, addr=addr, interposed=False,
+                     direct=True)
         if listener is None:
-            raise NetworkError(f"connection refused: {addr!r}")
-        client_end, server_end = DuplexStream.pipe_pair(addr)
-        listener._enqueue(server_end)
+            raise ConnectionRefused(f"connection refused: {addr!r}",
+                                    addr=addr)
+        return self._deliver(listener, addr)
+
+    def _deliver(self, listener, addr):
+        """Build the pipe pair and enqueue the server end.
+
+        The enqueue can race a concurrent :meth:`Listener.close` (or hit
+        a full backlog); either way both just-created stream ends are
+        closed before the typed error propagates, so a losing connect
+        never leaks a half-open pipe pair.
+        """
+        client_end, server_end = DuplexStream.pipe_pair(
+            addr, high_water=self.default_high_water)
+        if self.faults is not None:
+            client_end.faults = self.faults
+            server_end.faults = self.faults
+        obs = self.observer
+        for stream in (client_end._rx, client_end._tx):
+            if obs is not None:
+                stream.observer = obs
+            if self.streams is not None:
+                self.streams.append(stream)
+        try:
+            listener._enqueue(server_end)
+        except ConnectionShed:
+            self.shed_count += 1
+            client_end.close()
+            server_end.close()
+            if obs is not None and obs.enabled:
+                obs.emit(NET_SHED, addr=addr, backlog=listener.backlog,
+                         shed_total=self.shed_count)
+            raise
+        except NetworkError as exc:
+            # lost the race against Listener.close(): map to the typed
+            # connection-refused path instead of a bare NetworkError
+            client_end.close()
+            server_end.close()
+            raise ConnectionRefused(
+                f"connection refused: {addr!r} (listener closed)",
+                addr=addr) from exc
         return client_end
 
     # -- the attacker's vantage point ------------------------------------------

@@ -5,6 +5,15 @@ blocking reads, EOF, and timeouts.  A :class:`DuplexStream` pairs two of
 them into a connected-socket-like object.  These are deliberately
 stream-oriented (``recv`` may return short reads) so protocol code on top
 has to do real framing, as it would over TCP.
+
+The queue is **bounded and blocking in both directions**: a reader
+blocks until bytes arrive, and a sender blocks once the buffered bytes
+reach the stream's high-water mark, until the reader drains room (real
+backpressure — a fast sender cannot grow the buffer without bound).
+Both directions honour their timeout and any ambient
+:class:`~repro.resilience.Deadline`; deadline exhaustion surfaces as
+:class:`~repro.core.errors.DeadlineExceeded` rather than a generic
+timeout.
 """
 
 from __future__ import annotations
@@ -12,50 +21,133 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.core.errors import ConnectionClosed, NetTimeout, PeerReset
+from repro.core.errors import (ConnectionClosed, DeadlineExceeded,
+                               NetTimeout, PeerReset)
+from repro.observe.events import STREAM_BACKPRESSURE
+from repro.resilience.deadline import current_deadline
 
 #: Default blocking-receive timeout.  Finite so a deadlocked test fails
 #: loudly instead of hanging the suite.
 DEFAULT_TIMEOUT = 10.0
 
+#: Default high-water mark, bytes.  Large enough that the shipped
+#: protocols' single-threaded request/response phases never block, small
+#: enough that a flood is bounded; the overload campaign tightens it.
+DEFAULT_HIGH_WATER = 256 * 1024
+
 
 class ByteStream:
     """One direction of a connection: a bounded-blocking byte queue."""
 
-    def __init__(self, name=""):
+    def __init__(self, name="", *, high_water=None):
         self.name = name
+        self.high_water = (DEFAULT_HIGH_WATER if high_water is None
+                           else max(1, int(high_water)))
         self._buf = bytearray()
         self._eof = False
         self._reset = False
         self._cond = threading.Condition()
+        #: high-water accounting for the overload campaign's audits
+        self.peak_buffered = 0
+        self.backpressure_waits = 0
+        #: EventBus attached by Network when an Observer is wired up, or
+        #: None (the hot path tests this one attribute, same discipline
+        #: as the kernel chokepoints)
+        self.observer = None
 
-    def send(self, data):
-        """Append bytes; wakes any blocked reader."""
+    def _check_open_for_send(self):
+        if self._reset:
+            raise PeerReset(f"send on reset stream {self.name!r}")
+        if self._eof:
+            raise ConnectionClosed(f"send on closed stream {self.name!r}")
+
+    def send(self, data, timeout=DEFAULT_TIMEOUT):
+        """Append bytes; wakes any blocked reader.
+
+        Blocks while the buffer is at its high-water mark until the
+        reader drains room (chunking as room appears, so the buffered
+        bytes never exceed ``high_water``).  Raises
+        :class:`~repro.core.errors.NetTimeout` if room does not appear
+        within *timeout* and
+        :class:`~repro.core.errors.DeadlineExceeded` when an ambient
+        deadline expires first.
+        """
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError("streams carry bytes")
+        data = bytes(data)
+        if not data:
+            with self._cond:
+                self._check_open_for_send()
+            return 0
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("send")
+        give_up = (None if timeout is None
+                   else time.monotonic() + float(timeout))
+        offset = 0
         with self._cond:
-            if self._reset:
-                raise PeerReset(
-                    f"send on reset stream {self.name!r}")
-            if self._eof:
-                raise ConnectionClosed(
-                    f"send on closed stream {self.name!r}")
-            self._buf += bytes(data)
-            self._cond.notify_all()
-        return len(data)
+            while True:
+                self._check_open_for_send()
+                room = self.high_water - len(self._buf)
+                if room > 0:
+                    chunk = data[offset:offset + room]
+                    self._buf += chunk
+                    offset += len(chunk)
+                    if len(self._buf) > self.peak_buffered:
+                        self.peak_buffered = len(self._buf)
+                    self._cond.notify_all()
+                    if offset >= len(data):
+                        return len(data)
+                # at the high-water mark: block until the reader drains
+                self.backpressure_waits += 1
+                obs = self.observer
+                if obs is not None and obs.enabled:
+                    obs.emit(STREAM_BACKPRESSURE, stream=self.name,
+                             buffered=len(self._buf),
+                             waiting=len(data) - offset)
+                wait = None if give_up is None \
+                    else give_up - time.monotonic()
+                if deadline is not None:
+                    wait = deadline.clamp(wait)
+                if wait is not None and wait <= 0:
+                    self._raise_send_stall(deadline, timeout, offset)
+                if not self._cond.wait_for(
+                        lambda: self._eof or self._reset
+                        or len(self._buf) < self.high_water, wait):
+                    self._raise_send_stall(deadline, timeout, offset)
+
+    def _raise_send_stall(self, deadline, timeout, offset):
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                f"deadline expired mid-send on {self.name!r} "
+                f"({offset} bytes written)", op="send", deadline=deadline)
+        raise NetTimeout(
+            f"send blocked on backpressure for {timeout}s on "
+            f"{self.name!r} ({offset} bytes written)",
+            op="send", timeout=timeout)
 
     def recv(self, size, timeout=DEFAULT_TIMEOUT):
         """Return 1..size bytes, or ``None`` at EOF.
 
         Blocks until data is available; raises
-        :class:`~repro.core.errors.NetTimeout` on timeout and
+        :class:`~repro.core.errors.NetTimeout` on timeout,
+        :class:`~repro.core.errors.DeadlineExceeded` when an ambient
+        deadline expires first, and
         :class:`~repro.core.errors.PeerReset` on an abrupt teardown.
         """
         if size <= 0:
             return b""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("recv")
+        wait = timeout if deadline is None else deadline.clamp(timeout)
         with self._cond:
             if not self._cond.wait_for(
-                    lambda: self._buf or self._eof, timeout):
+                    lambda: self._buf or self._eof, wait):
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceeded(
+                        f"deadline expired in recv on {self.name!r}",
+                        op="recv", deadline=deadline)
                 raise NetTimeout(
                     f"recv timed out after {timeout}s on {self.name!r}",
                     op="recv", timeout=timeout)
@@ -66,6 +158,8 @@ class ByteStream:
                 return None  # EOF
             data = bytes(self._buf[:size])
             del self._buf[:size]
+            # room appeared: wake senders blocked at the high-water mark
+            self._cond.notify_all()
             return data
 
     def recv_exact(self, size, timeout=DEFAULT_TIMEOUT):
@@ -118,15 +212,15 @@ class DuplexStream:
         self.name = name
 
     @classmethod
-    def pipe_pair(cls, name=""):
+    def pipe_pair(cls, name="", *, high_water=None):
         """Two connected endpoints (socketpair semantics)."""
-        a_to_b = ByteStream(f"{name}:a>b")
-        b_to_a = ByteStream(f"{name}:b>a")
+        a_to_b = ByteStream(f"{name}:a>b", high_water=high_water)
+        b_to_a = ByteStream(f"{name}:b>a", high_water=high_water)
         end_a = cls(b_to_a, a_to_b, name=f"{name}:a")
         end_b = cls(a_to_b, b_to_a, name=f"{name}:b")
         return end_a, end_b
 
-    def send(self, data):
+    def send(self, data, timeout=DEFAULT_TIMEOUT):
         if self.faults is not None:
             spec = self.faults.fire("net_send")
             if spec is not None:
@@ -138,7 +232,7 @@ class DuplexStream:
                     self.reset()
                     raise PeerReset(
                         f"connection reset on {self.name!r} (injected)")
-        return self._tx.send(data)
+        return self._tx.send(data, timeout)
 
     def recv(self, size, timeout=DEFAULT_TIMEOUT):
         return self._rx.recv(size, timeout)

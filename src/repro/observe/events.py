@@ -44,6 +44,12 @@ NET_ACCEPT = "net.accept"
 NET_CONNECT = "net.connect"
 NET_SEND = "net.send"
 NET_RECV = "net.recv"
+NET_SHED = "net.shed"
+STREAM_BACKPRESSURE = "stream.backpressure"
+DEADLINE_EXCEEDED = "deadline.exceeded"
+BREAKER_OPEN = "breaker.open"
+BREAKER_HALF_OPEN = "breaker.half_open"
+BREAKER_CLOSE = "breaker.close"
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
 
@@ -80,6 +86,18 @@ TAXONOMY = {
                   "an outbound connection was made"),
     NET_SEND: ("Kernel.send", "bytes left through a socket fd"),
     NET_RECV: ("Kernel.recv", "bytes arrived through a socket fd"),
+    NET_SHED: ("Network.connect",
+               "admission control shed a connection (backlog full)"),
+    STREAM_BACKPRESSURE: ("ByteStream.send",
+                          "a sender blocked on the high-water mark"),
+    DEADLINE_EXCEEDED: ("deadline-aware chokepoints",
+                        "a request ran out of end-to-end budget"),
+    BREAKER_OPEN: ("Kernel._invoke_supervised",
+                   "a degraded gate's circuit breaker opened"),
+    BREAKER_HALF_OPEN: ("Kernel._invoke_supervised",
+                        "the cooldown elapsed; one probe admitted"),
+    BREAKER_CLOSE: ("Kernel._invoke_supervised",
+                    "the probe succeeded; the gate recovered"),
     SPAN_BEGIN: ("Tracer.begin", "a trace span opened"),
     SPAN_END: ("Tracer.end", "a trace span closed"),
 }

@@ -25,7 +25,9 @@ import json
 #: Event kinds exported as instant markers on their compartment's row.
 INSTANT_KINDS = ("mem.violation", "fault.fired", "supervise.restart",
                  "compartment.down", "cgate.degraded", "tlb.shootdown",
-                 "cow.break", "cow.snapshot", "cow.restore")
+                 "cow.break", "cow.snapshot", "cow.restore",
+                 "net.shed", "stream.backpressure", "deadline.exceeded",
+                 "breaker.open", "breaker.half_open", "breaker.close")
 
 #: Phase types the validator accepts (the subset of the trace-event
 #: spec this exporter and common tooling produce).

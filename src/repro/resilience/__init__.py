@@ -1,0 +1,45 @@
+"""Overload resilience: bounded queues, deadlines, breakers, retries.
+
+The ROADMAP's north star is a service that survives heavy traffic.  This
+package is the overload-robustness layer threaded through the simulated
+stack:
+
+* bounded **accept backlogs** and **high-water byte streams** live in
+  :mod:`repro.net` (admission control sheds with a typed
+  :class:`~repro.core.errors.ConnectionShed`; fast senders block on real
+  backpressure);
+* :mod:`repro.resilience.deadline` — an end-to-end
+  :class:`Deadline` propagated ambiently through every blocking
+  chokepoint, surfacing as typed
+  :class:`~repro.core.errors.DeadlineExceeded` at the caller;
+* :mod:`repro.resilience.breaker` — the :class:`CircuitBreaker` that
+  makes a degraded supervised callgate recoverable
+  (closed → open → half-open probe → closed);
+* :mod:`repro.resilience.retry` — a client-side
+  :class:`RetryPolicy` with seeded-jitter exponential backoff over the
+  transient typed errors;
+* :mod:`repro.resilience.overload` — the ``python -m repro overload``
+  campaign proving the bounds deterministically against all four
+  shipped apps (imported lazily: it pulls in the apps).
+"""
+
+from repro.resilience.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                      BreakerPolicy, CircuitBreaker)
+from repro.resilience.deadline import (Deadline, current_deadline,
+                                       deadline_scope)
+from repro.resilience.retry import (DEFAULT_RETRY_ON, RetryPolicy,
+                                    call_with_retry)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_ON",
+    "Deadline",
+    "RetryPolicy",
+    "call_with_retry",
+    "current_deadline",
+    "deadline_scope",
+]

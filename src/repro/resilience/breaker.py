@@ -1,0 +1,137 @@
+"""Circuit breaker: make a degraded callgate recoverable.
+
+PR 2's supervision gives a gate a restart budget; past it the gate turns
+terminally *degraded* and every later invocation raises
+:class:`~repro.core.errors.CallgateDegraded` forever.  That is the right
+fail-fast default, but the paper's availability argument (§3.1 — a
+crashed compartment is recoverable without restarting the application)
+wants a way back.  The breaker is that way back:
+
+* **closed** — healthy; invocations flow, failures are the supervisor's
+  problem.
+* **open** — the gate degraded; calls fail fast with
+  ``CallgateDegraded`` (no restart attempts, no queue build-up) until a
+  cooldown elapses.
+* **half-open** — the cooldown elapsed; exactly **one** probe invocation
+  is admitted.  Success closes the breaker (the gate rebuilds from the
+  pristine COW snapshot and is healthy again); failure re-opens it with
+  an escalated cooldown.
+
+The state machine is deliberately strict: the only legal transitions are
+``closed→open``, ``open→half_open``, ``half_open→closed`` and
+``half_open→open``.  Anything else raises, which is what the property
+tests lean on.  The clock is injectable so those tests are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.errors import WedgeError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: The legal edges of the state machine (from -> allowed targets).
+TRANSITIONS = {
+    CLOSED: (OPEN,),
+    OPEN: (HALF_OPEN,),
+    HALF_OPEN: (CLOSED, OPEN),
+}
+
+
+class BreakerPolicy:
+    """Tunables for a :class:`CircuitBreaker`.
+
+    ``cooldown`` is the open interval before the first probe; each
+    re-open multiplies it by ``cooldown_factor`` up to ``max_cooldown``
+    (the same escalation discipline as RestartPolicy's backoff).
+    """
+
+    def __init__(self, cooldown=0.05, *, cooldown_factor=2.0,
+                 max_cooldown=1.0):
+        if cooldown < 0:
+            raise WedgeError("breaker cooldown must be >= 0")
+        self.cooldown = float(cooldown)
+        self.cooldown_factor = float(cooldown_factor)
+        self.max_cooldown = float(max_cooldown)
+
+    def __repr__(self):
+        return (f"<BreakerPolicy cooldown={self.cooldown} "
+                f"factor={self.cooldown_factor}>")
+
+
+class CircuitBreaker:
+    """One gate's breaker: strict three-state machine with cooldown."""
+
+    def __init__(self, policy=None, *, clock=time.monotonic):
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = CLOSED
+        self.opened_at = None
+        self.current_cooldown = self.policy.cooldown
+        self.open_count = 0
+        self.probe_count = 0
+        self.recoveries = 0
+        #: audit log of (from_state, to_state) pairs, for tests and dumps
+        self.transitions = []
+
+    def _transition(self, new_state):
+        if new_state not in TRANSITIONS[self.state]:
+            raise WedgeError(
+                f"illegal breaker transition {self.state} -> {new_state}")
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+
+    # -- edges ---------------------------------------------------------------
+
+    def trip(self):
+        """The supervised gate degraded: open the breaker."""
+        with self._lock:
+            if self.state == OPEN:
+                return
+            self._transition(OPEN)
+            self.opened_at = self._clock()
+            self.open_count += 1
+
+    def try_probe(self):
+        """Admit one half-open probe if the cooldown has elapsed.
+
+        Returns ``True`` for the single admitted caller; every other
+        caller (cooldown still running, or a probe already in flight)
+        gets ``False`` and should fail fast.
+        """
+        with self._lock:
+            if self.state != OPEN:
+                return False
+            if self._clock() - self.opened_at < self.current_cooldown:
+                return False
+            self._transition(HALF_OPEN)
+            self.probe_count += 1
+            return True
+
+    def probe_succeeded(self):
+        """The half-open probe worked: close (the gate recovered)."""
+        with self._lock:
+            self._transition(CLOSED)
+            self.opened_at = None
+            self.current_cooldown = self.policy.cooldown
+            self.recoveries += 1
+
+    def probe_failed(self):
+        """The half-open probe died: re-open with escalated cooldown."""
+        with self._lock:
+            self._transition(OPEN)
+            self.opened_at = self._clock()
+            self.open_count += 1
+            self.current_cooldown = min(
+                self.current_cooldown * self.policy.cooldown_factor,
+                self.policy.max_cooldown)
+
+    def __repr__(self):
+        return (f"<CircuitBreaker {self.state} opens={self.open_count} "
+                f"recoveries={self.recoveries}>")

@@ -1,0 +1,111 @@
+"""End-to-end deadlines: one budget for a whole request.
+
+Per-hop timeouts compose badly: a request that crosses four compartments,
+each willing to wait 10 s, can take 40 s to fail — long after the client
+gave up.  A :class:`Deadline` is the alternative: the *entry point* of a
+request decides the total budget once, and every blocking chokepoint
+downstream (stream ``send``/``recv``, ``Listener.accept``, callgate
+entry) derives its local wait from the **remaining** budget.  Exhaustion
+surfaces as a typed :class:`~repro.core.errors.DeadlineExceeded` at the
+caller, within the deadline — not as a late
+:class:`~repro.core.errors.NetTimeout` deep in the callee.
+
+Propagation is ambient: :func:`deadline_scope` pushes a deadline onto a
+thread-local stack and the chokepoints consult :func:`current_deadline`.
+Nested scopes never *extend* the budget — an inner scope is clamped to
+its enclosing deadline, so a compartment cannot grant itself more time
+than its caller had.  This module imports only :mod:`repro.core.errors`,
+so the net layer and the kernel can use it without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.errors import DeadlineExceeded
+
+_tls = threading.local()
+
+
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat."""
+
+    __slots__ = ("expires_at", "label", "_clock")
+
+    def __init__(self, expires_at, *, label="", clock=time.monotonic):
+        self.expires_at = float(expires_at)
+        self.label = label
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds, *, label="", clock=time.monotonic):
+        """The usual constructor: a budget of *seconds* from now."""
+        return cls(clock() + float(seconds), label=label, clock=clock)
+
+    def remaining(self):
+        """Seconds of budget left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self):
+        return self.remaining() <= 0.0
+
+    def check(self, op="deadline"):
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"deadline {self.label or 'for request'!s} exceeded "
+                f"before {op}", op=op, deadline=self)
+
+    def clamp(self, timeout):
+        """The local wait a chokepoint may use: ``min(timeout,
+        remaining)``, floored at 0 (``timeout=None`` means the deadline
+        alone bounds the wait)."""
+        remaining = max(0.0, self.remaining())
+        if timeout is None:
+            return remaining
+        return min(float(timeout), remaining)
+
+    def __repr__(self):
+        return (f"<Deadline {self.label!r} "
+                f"remaining={self.remaining():.3f}s>")
+
+
+def current_deadline():
+    """The innermost active deadline on this thread, or ``None``."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+class deadline_scope:
+    """Context manager making *deadline* ambient for the calling thread.
+
+    A nested scope is clamped to the enclosing one (the earlier of the
+    two expiries wins), so budgets only ever shrink on the way down.
+    ``deadline_scope(None)`` is a no-op scope, convenient for call sites
+    that propagate an optional deadline.
+    """
+
+    def __init__(self, deadline):
+        self.deadline = deadline
+        self._pushed = False
+
+    def __enter__(self):
+        if self.deadline is None:
+            return None
+        outer = current_deadline()
+        effective = self.deadline
+        if outer is not None and outer.expires_at < effective.expires_at:
+            effective = outer
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        stack.append(effective)
+        self._pushed = True
+        return effective
+
+    def __exit__(self, *exc):
+        if self._pushed:
+            _tls.stack.pop()
+        return False

@@ -1,0 +1,109 @@
+"""Client-side retries: a bounded budget with seeded-jitter backoff.
+
+Overload makes three *transient* typed errors common at clients:
+:class:`~repro.core.errors.NetTimeout` (slow peer),
+:class:`~repro.core.errors.PeerReset` (torn connection) and
+:class:`~repro.core.errors.ConnectionShed` (admission control said "not
+now").  :func:`call_with_retry` retries exactly those, spacing attempts
+by exponential backoff with deterministic jitter (seeded — two runs of
+the same campaign retry at the same instants, which keeps the overload
+harness reproducible).
+
+Two things are deliberately **not** retried:
+
+* :class:`~repro.core.errors.DeadlineExceeded` — the whole request is
+  out of budget; retrying cannot help (and it subclasses ``NetTimeout``,
+  so the exclusion is explicit, not accidental).
+* Everything else (refused connections, protocol errors, degraded
+  gates) — those are not transients of the network.
+
+If an ambient :class:`~repro.resilience.Deadline` is active, the retry
+loop respects it: no sleep may overrun the budget, and an expired
+budget raises ``DeadlineExceeded`` instead of burning attempts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.errors import (ConnectionShed, DeadlineExceeded, NetTimeout,
+                               PeerReset, WedgeError)
+from repro.resilience.deadline import current_deadline
+
+#: The transient, retry-safe error classes (DeadlineExceeded is carved
+#: out explicitly in the loop even though it subclasses NetTimeout).
+DEFAULT_RETRY_ON = (NetTimeout, PeerReset, ConnectionShed)
+
+
+class RetryPolicy:
+    """A bounded retry budget with seeded-jitter exponential backoff.
+
+    ``max_attempts`` counts the first try too (``max_attempts=1`` means
+    no retries).  The delay before retry *k* (1-based) is
+    ``base_delay * factor**(k-1) * (1 + jitter * u_k)`` with ``u_k``
+    drawn from a private ``random.Random(seed)`` — deterministic per
+    policy instance.
+    """
+
+    def __init__(self, max_attempts=3, *, base_delay=0.01, factor=2.0,
+                 jitter=0.5, seed=0, max_delay=1.0):
+        if max_attempts < 1:
+            raise WedgeError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.max_delay = float(max_delay)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delays(self):
+        """The (deterministic) sleep before each retry, lazily."""
+        delay = self.base_delay
+        while True:
+            yield min(delay * (1.0 + self.jitter * self._rng.random()),
+                      self.max_delay)
+            delay *= self.factor
+
+    def __repr__(self):
+        return (f"<RetryPolicy attempts={self.max_attempts} "
+                f"base={self.base_delay} seed={self.seed}>")
+
+
+def call_with_retry(fn, policy=None, *, retry_on=DEFAULT_RETRY_ON,
+                    sleep=time.sleep, on_retry=None):
+    """Call ``fn()`` under *policy*; retry transient typed errors.
+
+    Returns ``fn``'s result.  Re-raises the last error once the attempt
+    budget is exhausted, immediately for non-retryable errors, and as
+    :class:`DeadlineExceeded` the moment the ambient deadline cannot
+    cover the next backoff sleep.  ``on_retry(attempt, exc, delay)`` is
+    an optional observation hook.
+    """
+    policy = policy or RetryPolicy()
+    delays = policy.delays()
+    last = None
+    for attempt in range(1, policy.max_attempts + 1):
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("retry attempt")
+        try:
+            return fn()
+        except DeadlineExceeded:
+            raise                     # out of budget: never retried
+        except retry_on as exc:
+            last = exc
+            if attempt >= policy.max_attempts:
+                raise
+            delay = next(delays)
+            if deadline is not None and deadline.remaining() < delay:
+                raise DeadlineExceeded(
+                    f"retry budget outlives the deadline "
+                    f"(attempt {attempt}: {exc})",
+                    op="retry", deadline=deadline) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+    raise last  # pragma: no cover - loop always returns or raises

@@ -1,0 +1,231 @@
+"""Overload behaviour of the net layer: shed, backpressure, close races."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import (ConnectionRefused, ConnectionShed,
+                               DeadlineExceeded, NetTimeout, NetworkError,
+                               PeerReset)
+from repro.net import ByteStream, Network
+from repro.resilience import Deadline, deadline_scope
+
+
+class RecordingBus:
+    """The two-attribute surface the net layer's hot paths test."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, **fields):
+        self.events.append((kind, fields))
+
+    def kinds(self):
+        return [kind for kind, _ in self.events]
+
+
+class TestBoundedBacklog:
+    def test_overflow_sheds_with_a_typed_error(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=2)
+        net.connect("svc:80")
+        net.connect("svc:80")
+        with pytest.raises(ConnectionShed) as exc:
+            net.connect("svc:80")
+        assert exc.value.addr == "svc:80"
+        assert exc.value.backlog == 2
+        assert listener.shed_count == 1
+        assert net.shed_count == 1
+        assert listener.peak_pending == 2
+
+    def test_shed_connection_leaks_no_half_open_streams(self):
+        net = Network()
+        net.streams = []
+        net.listen("svc:80", backlog=1)
+        net.connect("svc:80")
+        before = len(net.streams)
+        with pytest.raises(ConnectionShed):
+            net.connect("svc:80")
+        # the losing connect's pipe pair was built, then closed
+        assert all(s.closed for s in net.streams[before:])
+
+    def test_accepting_drains_room_for_new_connects(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=1)
+        net.connect("svc:80")
+        with pytest.raises(ConnectionShed):
+            net.connect("svc:80")
+        listener.accept(timeout=1)
+        net.connect("svc:80")   # room again — no exception
+        assert listener.shed_count == 1
+
+    def test_shed_emits_a_net_shed_event(self):
+        net = Network()
+        net.observer = RecordingBus()
+        net.listen("svc:80", backlog=1)
+        net.connect("svc:80")
+        with pytest.raises(ConnectionShed):
+            net.connect("svc:80")
+        assert "net.shed" in net.observer.kinds()
+
+    def test_instance_default_backlog_applies(self):
+        net = Network(default_backlog=1)
+        net.listen("svc:80")
+        net.connect("svc:80")
+        with pytest.raises(ConnectionShed):
+            net.connect("svc:80")
+
+
+class TestBackpressure:
+    def test_send_blocks_then_times_out_without_a_reader(self):
+        s = ByteStream("t", high_water=8)
+        with pytest.raises(NetTimeout):
+            s.send(b"x" * 64, timeout=0.05)
+        assert s.pending() == 8          # filled to the mark, no further
+        assert s.backpressure_waits >= 1
+
+    def test_send_completes_as_the_reader_drains(self):
+        s = ByteStream("t", high_water=8)
+        got = bytearray()
+
+        def reader():
+            while True:
+                data = s.recv(4, timeout=2)
+                if data is None:
+                    return
+                got.extend(data)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        payload = bytes(range(64))
+        assert s.send(payload, timeout=5) == 64
+        s.close()
+        t.join(5)
+        assert bytes(got) == payload
+        assert s.peak_buffered <= 8
+
+    def test_peer_close_unblocks_a_stuck_sender(self):
+        s = ByteStream("t", high_water=4)
+        threading.Timer(0.05, s.reset).start()
+        with pytest.raises(PeerReset):
+            s.send(b"x" * 64, timeout=5)
+
+    def test_backpressure_emits_events(self):
+        s = ByteStream("t", high_water=4)
+        s.observer = RecordingBus()
+        with pytest.raises(NetTimeout):
+            s.send(b"x" * 16, timeout=0.05)
+        assert "stream.backpressure" in s.observer.kinds()
+
+
+class TestListenerCloseRace:
+    def test_connect_after_close_is_refused(self):
+        net = Network()
+        net.listen("svc:80").close()
+        with pytest.raises(ConnectionRefused):
+            net.connect("svc:80")
+
+    def test_close_resets_queued_but_unaccepted_clients(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        client = net.connect("svc:80")
+        listener.close()
+        # a prompt typed outcome, not a silent hang until the timeout
+        with pytest.raises(PeerReset):
+            client.recv(1, timeout=5)
+
+    def test_concurrent_connects_and_close_always_end_typed(self):
+        """The lifecycle stress: every racer gets a socket or a typed
+        refusal/shed — never a bare NetworkError, never a leak."""
+        for round_ in range(5):
+            net = Network()
+            net.streams = []
+            listener = net.listen("svc:80", backlog=4)
+            outcomes = []
+            lock = threading.Lock()
+            start = threading.Barrier(9)
+
+            def racer():
+                start.wait()
+                try:
+                    sock = net.connect("svc:80")
+                    with lock:
+                        outcomes.append(("ok", sock))
+                except (ConnectionRefused, ConnectionShed) as exc:
+                    with lock:
+                        outcomes.append((type(exc).__name__, None))
+                except NetworkError as exc:  # pragma: no cover
+                    with lock:
+                        outcomes.append(("UNTYPED:" + repr(exc), None))
+
+            threads = [threading.Thread(target=racer, daemon=True)
+                       for _ in range(8)]
+            for t in threads:
+                t.start()
+            start.wait()
+            listener.close()
+            for t in threads:
+                t.join(5)
+            assert len(outcomes) == 8
+            untyped = [o for o, _ in outcomes if o.startswith("UNTYPED")]
+            assert not untyped, untyped
+            # every connection the winners got is promptly resolved:
+            # either it was accepted pre-close or its server end was
+            # reset by close; no socket is left hanging silently
+            for status, sock in outcomes:
+                if status == "ok":
+                    try:
+                        sock.recv(1, timeout=2)
+                    except (PeerReset, NetTimeout):
+                        pass
+            assert net._listeners == {}
+
+    def test_address_reusable_immediately_after_the_race(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        net.connect("svc:80")
+        listener.close()
+        net.listen("svc:80")
+        net.connect("svc:80")
+
+
+class TestConnectDirectParity:
+    def test_direct_counts_and_emits_like_connect(self):
+        net = Network()
+        net.observer = RecordingBus()
+        net.listen("svc:443")
+        net.connect_direct("svc:443")
+        assert net.connections_made == 1
+        events = [f for k, f in net.observer.events
+                  if k == "net.connect"]
+        assert events and events[0].get("direct") is True
+
+    def test_direct_honours_the_backlog(self):
+        net = Network()
+        net.listen("svc:443", backlog=1)
+        net.connect_direct("svc:443")
+        with pytest.raises(ConnectionShed):
+            net.connect_direct("svc:443")
+
+    def test_direct_refused_without_a_listener(self):
+        with pytest.raises(ConnectionRefused):
+            Network().connect_direct("nobody:1")
+
+
+class TestDeadlineAtTheNetLayer:
+    def test_accept_honours_the_ambient_deadline(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        with deadline_scope(Deadline.after(0.02)):
+            with pytest.raises((DeadlineExceeded, NetTimeout)):
+                listener.accept(timeout=30.0)
+
+    def test_expired_deadline_rejects_accept_up_front(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        d = Deadline(0.0)
+        with deadline_scope(d):
+            with pytest.raises(DeadlineExceeded):
+                listener.accept(timeout=30.0)

@@ -1,0 +1,113 @@
+"""Property tests: the circuit breaker is a *strict* state machine.
+
+Whatever interleaving of trips, probes, probe outcomes and clock ticks
+a caller produces, the breaker must (1) only ever traverse the four
+legal edges, (2) admit at most one probe per open period, and (3) keep
+its counters consistent with its transition log.  Illegal edges raise
+without corrupting the state — which is exactly what lets the kernel
+call these methods from racing threads and trust the audit log.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import WedgeError
+from repro.resilience import (CLOSED, HALF_OPEN, OPEN, BreakerPolicy,
+                              CircuitBreaker)
+from repro.resilience.breaker import TRANSITIONS
+
+OPS = ("trip", "probe", "ok", "fail", "tick")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@given(st.lists(st.sampled_from(OPS), min_size=1, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_any_op_sequence_preserves_the_invariants(ops):
+    clock = FakeClock()
+    breaker = CircuitBreaker(BreakerPolicy(cooldown=1.0, max_cooldown=4.0),
+                             clock=clock)
+    probes_admitted = 0
+    for op in ops:
+        state_before = breaker.state
+        log_before = list(breaker.transitions)
+        try:
+            if op == "trip":
+                breaker.trip()
+            elif op == "probe":
+                if breaker.try_probe():
+                    probes_admitted += 1
+            elif op == "ok":
+                breaker.probe_succeeded()
+            elif op == "fail":
+                breaker.probe_failed()
+            else:
+                clock.now += 0.7
+        except WedgeError:
+            # an illegal edge must be a clean no-op
+            assert breaker.state == state_before
+            assert breaker.transitions == log_before
+
+        # every recorded edge is a legal one
+        for src, dst in breaker.transitions:
+            assert dst in TRANSITIONS[src], (src, dst)
+
+        # the log replays from CLOSED to the current state
+        state = CLOSED
+        for src, dst in breaker.transitions:
+            assert src == state
+            state = dst
+        assert state == breaker.state
+
+        # counters match the log
+        edges = breaker.transitions
+        assert breaker.open_count == sum(1 for _, d in edges if d == OPEN)
+        assert breaker.recoveries == sum(1 for _, d in edges
+                                         if d == CLOSED)
+        assert breaker.probe_count == probes_admitted == \
+            sum(1 for _, d in edges if d == HALF_OPEN)
+
+        # cooldown escalation stays within policy bounds
+        assert (breaker.policy.cooldown <= breaker.current_cooldown
+                <= breaker.policy.max_cooldown)
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=30, deadline=None)
+def test_exactly_one_probe_per_open_period(extra_callers):
+    """However many callers race the half-open window, one gets in."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(BreakerPolicy(cooldown=1.0), clock=clock)
+    breaker.trip()
+    clock.now += 1.0
+    admitted = sum(1 for _ in range(extra_callers + 1)
+                   if breaker.try_probe())
+    assert admitted == 1
+    assert breaker.state == HALF_OPEN
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_repeated_probe_failures_escalate_but_saturate(failures):
+    clock = FakeClock()
+    policy = BreakerPolicy(cooldown=0.5, cooldown_factor=2.0,
+                           max_cooldown=2.0)
+    breaker = CircuitBreaker(policy, clock=clock)
+    breaker.trip()
+    for _ in range(failures):
+        clock.now += breaker.current_cooldown
+        assert breaker.try_probe()
+        breaker.probe_failed()
+    assert breaker.current_cooldown == min(
+        0.5 * 2.0 ** failures, 2.0)
+    # and recovery is still reachable
+    clock.now += breaker.current_cooldown
+    assert breaker.try_probe()
+    breaker.probe_succeeded()
+    assert breaker.state == CLOSED
+    assert breaker.current_cooldown == 0.5

@@ -1,0 +1,151 @@
+"""Circuit breaker unit tests: the strict three-state machine."""
+
+import pytest
+
+from repro.core.errors import WedgeError
+from repro.resilience import (CLOSED, HALF_OPEN, OPEN, BreakerPolicy,
+                              CircuitBreaker)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make(cooldown=1.0, **kwargs):
+    clock = FakeClock()
+    policy = BreakerPolicy(cooldown, **kwargs)
+    return CircuitBreaker(policy, clock=clock), clock
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.transitions == []
+
+    def test_trip_opens(self):
+        breaker, _ = make()
+        breaker.trip()
+        assert breaker.state == OPEN
+        assert breaker.open_count == 1
+        assert breaker.transitions == [(CLOSED, OPEN)]
+
+    def test_trip_is_idempotent_while_open(self):
+        breaker, _ = make()
+        breaker.trip()
+        breaker.trip()
+        assert breaker.open_count == 1
+        assert breaker.transitions == [(CLOSED, OPEN)]
+
+    def test_probe_denied_while_closed(self):
+        breaker, _ = make()
+        assert not breaker.try_probe()
+        assert breaker.state == CLOSED
+
+    def test_probe_denied_during_cooldown(self):
+        breaker, clock = make(cooldown=1.0)
+        breaker.trip()
+        clock.now += 0.5
+        assert not breaker.try_probe()
+        assert breaker.state == OPEN
+
+    def test_cooldown_elapsed_admits_exactly_one_probe(self):
+        breaker, clock = make(cooldown=1.0)
+        breaker.trip()
+        clock.now += 1.0
+        assert breaker.try_probe()
+        assert breaker.state == HALF_OPEN
+        # a second caller racing in must fail fast, not probe too
+        assert not breaker.try_probe()
+        assert breaker.probe_count == 1
+
+    def test_probe_success_closes_and_resets(self):
+        breaker, clock = make(cooldown=1.0)
+        breaker.trip()
+        clock.now += 2.0
+        assert breaker.try_probe()
+        breaker.probe_succeeded()
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 1
+        assert breaker.opened_at is None
+        assert breaker.current_cooldown == 1.0
+
+    def test_probe_failure_reopens_with_escalated_cooldown(self):
+        breaker, clock = make(cooldown=1.0, cooldown_factor=2.0,
+                              max_cooldown=3.0)
+        breaker.trip()
+        clock.now += 1.0
+        assert breaker.try_probe()
+        breaker.probe_failed()
+        assert breaker.state == OPEN
+        assert breaker.open_count == 2
+        assert breaker.current_cooldown == 2.0
+        # escalation saturates at max_cooldown
+        clock.now += 2.0
+        assert breaker.try_probe()
+        breaker.probe_failed()
+        assert breaker.current_cooldown == 3.0
+
+    def test_full_recovery_cycle_transitions(self):
+        breaker, clock = make(cooldown=0.5)
+        breaker.trip()
+        clock.now += 0.5
+        breaker.try_probe()
+        breaker.probe_succeeded()
+        assert breaker.transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                                       (HALF_OPEN, CLOSED)]
+
+    def test_reopened_breaker_can_recover_later(self):
+        breaker, clock = make(cooldown=1.0)
+        breaker.trip()
+        clock.now += 1.0
+        breaker.try_probe()
+        breaker.probe_failed()
+        clock.now += breaker.current_cooldown
+        assert breaker.try_probe()
+        breaker.probe_succeeded()
+        assert breaker.state == CLOSED
+        assert breaker.recoveries == 1
+
+
+class TestIllegalEdges:
+    def test_probe_succeeded_requires_half_open(self):
+        breaker, _ = make()
+        with pytest.raises(WedgeError):
+            breaker.probe_succeeded()
+        assert breaker.state == CLOSED
+
+    def test_probe_failed_requires_half_open(self):
+        breaker, _ = make()
+        breaker.trip()
+        with pytest.raises(WedgeError):
+            breaker.probe_failed()
+        assert breaker.state == OPEN
+
+    def test_trip_from_half_open_reopens(self):
+        # half_open -> open is a legal edge (the same one probe_failed
+        # takes), so a concurrent degrade during a probe re-opens
+        breaker, clock = make(cooldown=0.5)
+        breaker.trip()
+        clock.now += 1.0
+        breaker.try_probe()
+        breaker.trip()
+        assert breaker.state == OPEN
+        assert breaker.open_count == 2
+
+
+class TestPolicy:
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(WedgeError):
+            BreakerPolicy(-0.1)
+
+    def test_zero_cooldown_admits_an_immediate_probe(self):
+        # the chaos campaign leans on this: probe admission becomes a
+        # pure control-flow decision, independent of wall-clock speed
+        breaker, _ = make(cooldown=0.0)
+        breaker.trip()
+        assert breaker.try_probe()

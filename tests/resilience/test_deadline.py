@@ -1,0 +1,163 @@
+"""Deadlines: ambient propagation, clamping, and end-to-end exhaustion."""
+
+import time
+
+import pytest
+
+from repro.core.errors import DeadlineExceeded, NetTimeout
+from repro.core.kernel import Kernel
+from repro.core.policy import SecurityContext
+from repro.faults.plan import FaultPlan
+from repro.faults.supervise import RestartPolicy
+from repro.net import ByteStream
+from repro.resilience import Deadline, current_deadline, deadline_scope
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        clock = FakeClock()
+        d = Deadline.after(5.0, clock=clock)
+        assert d.remaining() == pytest.approx(5.0)
+        clock.now += 2.0
+        assert d.remaining() == pytest.approx(3.0)
+        assert not d.expired
+
+    def test_expired_and_check(self):
+        clock = FakeClock()
+        d = Deadline.after(1.0, label="req", clock=clock)
+        d.check("op")  # fine while budget remains
+        clock.now += 1.5
+        assert d.expired
+        with pytest.raises(DeadlineExceeded) as exc:
+            d.check("recv")
+        assert exc.value.op == "recv"
+
+    def test_clamp_bounds_local_waits(self):
+        clock = FakeClock()
+        d = Deadline.after(2.0, clock=clock)
+        assert d.clamp(10.0) == pytest.approx(2.0)
+        assert d.clamp(0.5) == pytest.approx(0.5)
+        assert d.clamp(None) == pytest.approx(2.0)
+        clock.now += 3.0
+        assert d.clamp(10.0) == 0.0
+
+    def test_deadline_exceeded_is_a_net_timeout(self):
+        # timeout-tolerant legacy code keeps working; retry logic carves
+        # the subclass out explicitly
+        assert issubclass(DeadlineExceeded, NetTimeout)
+
+
+class TestDeadlineScope:
+    def test_no_ambient_deadline_by_default(self):
+        assert current_deadline() is None
+
+    def test_scope_push_and_pop(self):
+        d = Deadline.after(5.0)
+        with deadline_scope(d) as active:
+            assert active is d
+            assert current_deadline() is d
+        assert current_deadline() is None
+
+    def test_none_scope_is_noop(self):
+        with deadline_scope(None) as active:
+            assert active is None
+            assert current_deadline() is None
+
+    def test_nested_scope_never_extends_the_budget(self):
+        clock = FakeClock()
+        outer = Deadline.after(1.0, clock=clock)
+        inner = Deadline.after(10.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner) as active:
+                # the inner scope wanted more time than the caller had:
+                # the enclosing (earlier) deadline wins
+                assert active is outer
+            assert current_deadline() is outer
+
+    def test_nested_scope_may_shrink_the_budget(self):
+        clock = FakeClock()
+        outer = Deadline.after(10.0, clock=clock)
+        inner = Deadline.after(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner) as active:
+                assert active is inner
+
+    def test_scope_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline.after(5.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+
+class TestDeadlineAtChokepoints:
+    def test_recv_raises_deadline_exceeded_not_timeout(self):
+        s = ByteStream("t")
+        with deadline_scope(Deadline.after(0.02)):
+            with pytest.raises(DeadlineExceeded):
+                s.recv(1, timeout=10.0)
+
+    def test_recv_deadline_cuts_the_wait_short(self):
+        s = ByteStream("t")
+        start = time.monotonic()
+        with deadline_scope(Deadline.after(0.05)):
+            with pytest.raises(DeadlineExceeded):
+                s.recv(1, timeout=30.0)
+        assert time.monotonic() - start < 5.0
+
+    def test_send_raises_deadline_exceeded_at_high_water(self):
+        s = ByteStream("t", high_water=4)
+        with deadline_scope(Deadline.after(0.02)):
+            with pytest.raises(DeadlineExceeded):
+                s.send(b"x" * 64, timeout=10.0)
+
+    def test_cgate_entry_rejects_an_exhausted_budget(self):
+        kernel = Kernel()
+        kernel.start_main()
+        gate = kernel.create_gate(lambda t, a: "ran", SecurityContext())
+        clock = FakeClock()
+        d = Deadline.after(1.0, clock=clock)
+        clock.now += 2.0
+        with deadline_scope(d):
+            with pytest.raises(DeadlineExceeded) as exc:
+                kernel.cgate(gate.id)
+        assert exc.value.op == "cgate"
+
+    def test_stalled_callee_fails_at_caller_within_the_deadline(self):
+        """The acceptance drill: deadline < injected callee stall.
+
+        A fault plan stalls the gate body for far longer than the
+        caller's budget; the caller must get a typed DeadlineExceeded
+        well before the stall finishes, not a late NetTimeout after it.
+        """
+        kernel = Kernel()
+        kernel.start_main()
+        gate = kernel.create_gate(
+            lambda t, a: "ok", SecurityContext(),
+            supervise=RestartPolicy(max_restarts=0, watchdog=5.0))
+        plan = FaultPlan(seed=1)
+        plan.add("cgate", "delay", at=(1,), delay=1.5)
+        kernel.install_faults(plan)
+        start = time.monotonic()
+        with deadline_scope(Deadline.after(0.3)):
+            with pytest.raises(DeadlineExceeded):
+                kernel.cgate(gate.id)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.2, \
+            f"caller waited {elapsed:.2f}s — past its 0.3s budget"
+        # the stall was really injected (the abandoned worker hit it)
+        assert plan.injection_count >= 1
+
+    def test_gate_runs_normally_inside_an_ample_deadline(self):
+        kernel = Kernel()
+        kernel.start_main()
+        gate = kernel.create_gate(lambda t, a: a + 1, SecurityContext())
+        with deadline_scope(Deadline.after(30.0)):
+            assert kernel.cgate(gate.id, arg=41) == 42

@@ -1,0 +1,130 @@
+"""Client-side retry: bounded budget, typed transients, deadline aware."""
+
+import itertools
+
+import pytest
+
+from repro.core.errors import (ConnectionRefused, ConnectionShed,
+                               DeadlineExceeded, NetTimeout, PeerReset,
+                               WedgeError)
+from repro.resilience import (Deadline, RetryPolicy, call_with_retry,
+                              deadline_scope)
+
+
+class Flaky:
+    """Fails with the scripted errors, then returns a value."""
+
+    def __init__(self, errors, value="done"):
+        self.errors = list(errors)
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.value
+
+
+def fast(max_attempts=3, **kwargs):
+    kwargs.setdefault("base_delay", 0.0)
+    return RetryPolicy(max_attempts, **kwargs)
+
+
+class TestRetryLoop:
+    def test_first_try_success_needs_no_retry(self):
+        fn = Flaky([])
+        assert call_with_retry(fn, fast()) == "done"
+        assert fn.calls == 1
+
+    def test_transient_errors_are_retried(self):
+        for exc in (NetTimeout("t"), PeerReset("r"),
+                    ConnectionShed("s")):
+            fn = Flaky([exc])
+            assert call_with_retry(fn, fast()) == "done"
+            assert fn.calls == 2
+
+    def test_budget_exhaustion_reraises_the_last_error(self):
+        fn = Flaky([NetTimeout("1"), NetTimeout("2"), NetTimeout("3")])
+        with pytest.raises(NetTimeout, match="3"):
+            call_with_retry(fn, fast(max_attempts=3))
+        assert fn.calls == 3
+
+    def test_non_transient_errors_pass_straight_through(self):
+        fn = Flaky([ConnectionRefused("nope")])
+        with pytest.raises(ConnectionRefused):
+            call_with_retry(fn, fast())
+        assert fn.calls == 1
+
+    def test_deadline_exceeded_is_never_retried(self):
+        # it subclasses NetTimeout, so the carve-out must be explicit
+        fn = Flaky([DeadlineExceeded("late")])
+        with pytest.raises(DeadlineExceeded):
+            call_with_retry(fn, fast())
+        assert fn.calls == 1
+
+    def test_max_attempts_one_means_no_retries(self):
+        fn = Flaky([NetTimeout("t")])
+        with pytest.raises(NetTimeout):
+            call_with_retry(fn, fast(max_attempts=1))
+        assert fn.calls == 1
+
+    def test_on_retry_hook_sees_each_retry(self):
+        seen = []
+        fn = Flaky([NetTimeout("a"), PeerReset("b")])
+        call_with_retry(fn, fast(max_attempts=3),
+                        on_retry=lambda n, exc, d: seen.append(
+                            (n, type(exc).__name__)))
+        assert seen == [(1, "NetTimeout"), (2, "PeerReset")]
+
+
+class TestBackoff:
+    def test_delays_are_deterministic_per_seed(self):
+        a = list(itertools.islice(RetryPolicy(5, seed=7).delays(), 4))
+        b = list(itertools.islice(RetryPolicy(5, seed=7).delays(), 4))
+        c = list(itertools.islice(RetryPolicy(5, seed=8).delays(), 4))
+        assert a == b
+        assert a != c
+
+    def test_delays_grow_and_saturate(self):
+        policy = RetryPolicy(9, base_delay=0.1, factor=2.0, jitter=0.0,
+                             max_delay=0.5)
+        delays = list(itertools.islice(policy.delays(), 5))
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[-1] == pytest.approx(0.5)
+
+    def test_sleeps_use_the_scheduled_delays(self):
+        slept = []
+        fn = Flaky([NetTimeout("a"), NetTimeout("b")])
+        policy = RetryPolicy(3, base_delay=0.01, jitter=0.0, factor=2.0)
+        call_with_retry(fn, policy, sleep=slept.append)
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(WedgeError):
+            RetryPolicy(0)
+
+
+class TestRetryUnderDeadline:
+    def test_expired_deadline_fails_before_the_first_attempt(self):
+        fn = Flaky([])
+        clock_off = Deadline(0.0)          # expired long ago
+        with deadline_scope(clock_off):
+            with pytest.raises(DeadlineExceeded):
+                call_with_retry(fn, fast())
+        assert fn.calls == 0
+
+    def test_backoff_never_overruns_the_deadline(self):
+        fn = Flaky([NetTimeout("a"), NetTimeout("b"), NetTimeout("c")])
+        policy = RetryPolicy(4, base_delay=10.0, jitter=0.0)
+        with deadline_scope(Deadline.after(0.5)):
+            with pytest.raises(DeadlineExceeded):
+                call_with_retry(fn, policy)
+        # the first attempt ran, the 10s backoff was refused up front
+        assert fn.calls == 1
+
+    def test_ample_deadline_does_not_interfere(self):
+        fn = Flaky([NetTimeout("a")])
+        with deadline_scope(Deadline.after(30.0)):
+            assert call_with_retry(fn, fast()) == "done"
