@@ -112,7 +112,7 @@ def bench_fig8(rounds):
             "info": info}
 
 
-def _apache_cached(tlb, rounds, addr):
+def _apache_cached(tlb, rounds, addr, certify=False):
     """Model cycles + wall per cached-session request (vanilla httpd)."""
     from repro.apps.httpd import MonolithicHttpd
     from repro.apps.httpd.content import build_request
@@ -128,6 +128,9 @@ def _apache_cached(tlb, rounds, addr):
     finally:
         Kernel.DEFAULT_TLB = saved
     try:
+        if certify:
+            from repro.analysis.verify import certify_monolithic_httpd
+            certify_monolithic_httpd(server)
         client = TlsClient(DetRNG("bench-json"),
                            expected_server_key=server.public_key)
         client.connect(server.network, server.addr).request(
@@ -140,12 +143,14 @@ def _apache_cached(tlb, rounds, addr):
         op()  # warm
         checkpoint = server.kernel.costs.checkpoint()
         before = server.kernel.tlb_stats()
+        vbefore = server.kernel.verified_stats()
         start = time.perf_counter()
         for _ in range(rounds):
             op()
         wall = (time.perf_counter() - start) / rounds
         cycles = server.kernel.costs.delta(checkpoint) / rounds
         after = server.kernel.tlb_stats()
+        vafter = server.kernel.verified_stats()
         return {
             "cycles_per_request": round(cycles, 1),
             "wall_seconds_per_request": wall,
@@ -153,6 +158,10 @@ def _apache_cached(tlb, rounds, addr):
                 (after["hits"] - before["hits"]) / rounds,
             "walks_per_request":
                 (after["walks"] - before["walks"]) / rounds,
+            "verified_accesses_per_request":
+                (vafter["accesses"] - vbefore["accesses"]) / rounds,
+            "verified_syscalls_per_request":
+                (vafter["syscalls"] - vbefore["syscalls"]) / rounds,
         }
     finally:
         server.stop()
@@ -257,14 +266,75 @@ def bench_observe(rounds):
             "info": info}
 
 
+def bench_verified(rounds):
+    """The certificate ablation: proof-carrying fast path vs checked.
+
+    Re-measures the monolithic httpd cached-session request with the
+    accept loop certified (``repro.analysis.verify``) and without, both
+    with the TLB on — so the verified number is an *additional* saving
+    past the PR-4 TLB fast path.  The hot loop isolates the raw bus:
+    a certified single-page access costs ``verified_access`` (1) against
+    ``tlb_hit`` + resolution (2+) on the checked path.
+    """
+    on = _apache_cached(True, rounds, "bench-verified-on:443",
+                        certify=True)
+    off = _apache_cached(True, rounds, "bench-verified-off:443")
+
+    from repro.analysis.verify import PolicyCertificate
+    from repro.core.kernel import Kernel
+    kernel = Kernel(name="bench-verified-hot")
+    kernel.start_main()
+    addr = kernel.malloc(256)
+    kernel.mem_write(addr, b"\x5a" * 256)
+    cert = PolicyCertificate(kernel.main.name, id(kernel.main.table),
+                             {}, {}, (), ())
+    cert.signature = kernel.sign_policy(cert.payload())
+    kernel.enter_verified(cert, kernel.main)
+    accesses = 4000
+    checkpoint = kernel.costs.checkpoint()
+    start = time.perf_counter()
+    for _ in range(accesses // 2):
+        kernel.mem_read(addr, 64)
+        kernel.mem_write(addr, b"\xa5" * 64)
+    hot_wall = time.perf_counter() - start
+    hot_cycles = kernel.costs.delta(checkpoint) / accesses
+
+    metrics = {
+        "apache_cached_cycles_per_request_verified":
+            on["cycles_per_request"],
+        "apache_cached_cycles_per_request_checked":
+            off["cycles_per_request"],
+        "hot_loop_cycles_per_access_verified": round(hot_cycles, 2),
+    }
+    wall = {
+        "apache_cached_wall_seconds_per_request_verified":
+            on["wall_seconds_per_request"],
+        "apache_cached_wall_seconds_per_request_checked":
+            off["wall_seconds_per_request"],
+        "hot_loop_wall_seconds_verified": hot_wall,
+    }
+    info = {
+        "apache_verified_speedup": round(
+            off["cycles_per_request"]
+            / max(1, on["cycles_per_request"]), 2),
+        "verified_accesses_per_request":
+            on["verified_accesses_per_request"],
+        "verified_syscalls_per_request":
+            on["verified_syscalls_per_request"],
+        "rounds": rounds,
+    }
+    return {"artifact": "verified", "metrics": metrics, "wall": wall,
+            "info": info}
+
+
 BENCHES = {"fig7": bench_fig7, "fig8": bench_fig8, "tlb": bench_tlb,
-           "observe": bench_observe}
+           "observe": bench_observe, "verified": bench_verified}
 
 
-def check(out_dir, baseline_dir):
+def check(out_dir, baseline_dir, names=None):
     """Compare checked metrics against the baselines; True iff clean."""
     clean = True
-    for name in BENCHES:
+    for name in (names if names is not None else BENCHES):
         base_path = baseline_dir / f"BENCH_{name}.json"
         new_path = out_dir / f"BENCH_{name}.json"
         if not base_path.exists():
@@ -320,7 +390,7 @@ def main(argv=None):
     if args.check is not None:
         print(f"checking against {args.check} "
               f"(tolerance {TOLERANCE:.0%}):")
-        if not check(out_dir, pathlib.Path(args.check)):
+        if not check(out_dir, pathlib.Path(args.check), names):
             print("FAIL: model-cycle regression past tolerance")
             return 1
         print("ok: no model-cycle regressions")

@@ -10,7 +10,10 @@ The package has four layers:
 * :mod:`repro.analysis.lint` — the three-way diff of declared vs
   static vs traced policies, producing typed findings;
 * :mod:`repro.analysis.targets` — the shipped applications as lintable
-  targets (``python -m repro lint``).
+  targets (``python -m repro lint``);
+* :mod:`repro.analysis.verify` — the proof-carrying fast path: prove
+  static ⊆ granted with zero unresolved operands and compile the result
+  into signed policy certificates (``python -m repro verify``).
 """
 
 from repro.analysis.callgraph import CallGraphAnalysis
@@ -36,19 +39,36 @@ from repro.analysis.targets import (
     TARGETS,
     lint_app,
     lint_shipped,
+    specs_of,
+)
+from repro.analysis.verify import (
+    CertificateTemplate,
+    PolicyCertificate,
+    VerificationReport,
+    certify_main,
+    certify_monolithic_httpd,
+    certify_server,
+    verify_app,
+    verify_policy,
 )
 
 __all__ = [
     "APP_NAMES",
     "CallGraphAnalysis",
+    "CertificateTemplate",
     "CompartmentResult",
     "CompartmentSpec",
     "Finding",
     "GateRef",
     "InferredPolicy",
+    "PolicyCertificate",
     "PolicyView",
     "SEVERITY",
     "TARGETS",
+    "VerificationReport",
+    "certify_main",
+    "certify_monolithic_httpd",
+    "certify_server",
     "declared_view",
     "format_compartment",
     "format_report",
@@ -59,7 +79,10 @@ __all__ = [
     "lint_compartment",
     "lint_shipped",
     "restart_widening_findings",
+    "specs_of",
     "static_view",
     "tag_label",
     "traced_view",
+    "verify_app",
+    "verify_policy",
 ]

@@ -27,13 +27,16 @@ contract that an unsound "static" tool would be worse than none.
 from __future__ import annotations
 
 import ast
+import functools
+import inspect
 
 from repro.analysis.callgraph import (AbstractInstance, CallGraphAnalysis,
-                                      ValueSet)
+                                      ValueSet, _CallSite)
 from repro.core.errors import WedgeError
 from repro.core.kernel import Buffer, Kernel
 from repro.core.policy import FD_READ, FD_WRITE
 from repro.core.tags import Tag
+from repro.resilience.retry import call_with_retry
 
 
 class _Marker:
@@ -52,6 +55,29 @@ PRIVATE_ALLOC = _Marker("private-alloc")
 #: Result of ``open``/``pipe``/``listen``/``connect``/``accept``: a
 #: descriptor the compartment created itself, not a granted one.
 OPENED_FD = _Marker("opened-fd")
+
+
+class BoundCall:
+    """``functools.partial`` modelled abstractly: target + frozen args.
+
+    ``functools.partial`` is a class in a module the analysis never
+    follows, so without this model a wrapped call site would evaluate to
+    an opaque value and the wrapped operation — often a kernel method or
+    a callgate invocation hidden behind a resilience wrapper — would
+    silently vanish from the inferred policy.  One ``BoundCall`` exists
+    per ``partial(...)`` call expression; its value sets grow
+    monotonically across fixpoint rounds.
+    """
+
+    __slots__ = ("targets", "args", "kwargs")
+
+    def __init__(self):
+        self.targets = ValueSet()
+        self.args = []      # per-position ValueSets, left to right
+        self.kwargs = {}    # keyword -> ValueSet
+
+    def __repr__(self):
+        return f"<BoundCall {list(self.targets)!r}>"
 
 
 class GateRef:
@@ -139,6 +165,7 @@ class KernelModel:
         sthread = AbstractInstance("sthread", label="current-sthread")
         sthread.attr_set("gates").add(tuple(self.gate_refs))
         self.sthread = sthread
+        self._partials = {}   # id(call node) -> BoundCall
 
     # -- engine hooks ------------------------------------------------------
 
@@ -156,6 +183,13 @@ class KernelModel:
         return None
 
     def method_call(self, base, attr, call, walker):
+        if inspect.ismodule(base):
+            # attribute-style spellings of the intercepted callables
+            # (``functools.partial(...)``) arrive here, not plain_call
+            target = getattr(base, attr, None)
+            if target is functools.partial or target is call_with_retry:
+                return self.plain_call(target, call, walker)
+            return None
         if isinstance(base, Kernel):
             return self._kernel_call(attr, call)
         if isinstance(base, Buffer):
@@ -180,7 +214,68 @@ class KernelModel:
         return None
 
     def plain_call(self, callee, call, walker):
+        # the PR-5 resilience wrappers: resolve *through* them so a
+        # retry- or partial-wrapped kernel operation still lands in the
+        # policy instead of vanishing behind an opaque value
+        if callee is call_with_retry:
+            fns = call.arg(0, "fn")
+            if fns:
+                return self._dispatch_thunks(fns, call, walker)
+            return None   # unresolved fn: fall through to source walk
+        if callee is functools.partial:
+            return self._partial_value(call, walker)
+        if isinstance(callee, BoundCall):
+            return self._bound_dispatch(callee, call, walker)
+        if inspect.ismethod(callee):
+            # a bound kernel/buffer method passed around as a value
+            # (e.g. through functools.partial) and called plainly
+            base = callee.__self__
+            if isinstance(base, (Kernel, Buffer, Tag)):
+                return self.method_call(base, callee.__name__, call,
+                                        walker)
         return None
+
+    def _dispatch_thunks(self, fns, call, walker):
+        """Call every value in *fns* with no arguments."""
+        inner = _CallSite(call.node, [], [], {}, ValueSet())
+        out = ValueSet()
+        for fn in fns:
+            result = walker.dispatch_value(fn, inner)
+            if result is not None:
+                out.update(result)
+        return out
+
+    def _partial_value(self, call, walker):
+        """``functools.partial(f, ...)`` — build/grow the BoundCall."""
+        bound = self._partials.get(id(call.node))
+        if bound is None:
+            bound = self._partials[id(call.node)] = BoundCall()
+        if call.args:
+            walker.mark(bound.targets.update(call.args[0]))
+            for i, values in enumerate(call.args[1:]):
+                while len(bound.args) <= i:
+                    bound.args.append(ValueSet())
+                walker.mark(bound.args[i].update(values))
+        for name, values in call.kwargs.items():
+            slot = bound.kwargs.setdefault(name, ValueSet())
+            walker.mark(slot.update(values))
+        return ValueSet([bound])
+
+    def _bound_dispatch(self, bound, call, walker):
+        """Calling a BoundCall: frozen args first, then the site's."""
+        merged = _CallSite(
+            call.node,
+            [vs.copy() for vs in bound.args] + list(call.args),
+            list(call.star_args),
+            {**{name: vs.copy() for name, vs in bound.kwargs.items()},
+             **call.kwargs},
+            call.kw_rest)
+        out = ValueSet()
+        for target in bound.targets:
+            result = walker.dispatch_value(target, merged)
+            if result is not None:
+                out.update(result)
+        return out
 
     def unknown_call(self, name, node, walker, *, had_target):
         if name in _WATCHLIST:

@@ -1,4 +1,4 @@
-"""Rendering for ``python -m repro lint`` reports."""
+"""Rendering for ``python -m repro lint`` reports (text and JSON)."""
 
 from __future__ import annotations
 
@@ -93,3 +93,72 @@ def format_report(results, *, title="least-privilege lint"):
     lines.append(f"{len(results)} compartments analyzed: "
                  f"{errors} errors, {warnings} warnings")
     return "\n".join(lines)
+
+
+# -- machine-readable output (``repro lint --json`` / ``repro verify``) -----
+
+def _view_json(view):
+    if view is None:
+        return None
+    return {"mem": dict(view.mem),
+            "fds": {str(fd): _fd_mode(bits)
+                    for fd, bits in sorted(view.fds.items())},
+            "gates": sorted(view.gates),
+            "syscalls": sorted(view.syscalls)}
+
+
+def compartment_json(result):
+    """One lint result as a JSON-serialisable dict."""
+    spec = result.spec
+    return {
+        "app": spec.app,
+        "compartment": spec.name,
+        "exploit_facing": spec.exploit_facing,
+        "sid": spec.sid,
+        "declared": _view_json(result.declared),
+        "static": _view_json(result.static),
+        "traced": _view_json(result.traced),
+        "converged": result.inferred.converged,
+        "unresolved": [{"context": context, "source": source}
+                       for context, source
+                       in result.inferred.unresolved],
+        "findings": [{"severity": f.severity, "kind": f.kind,
+                      "subject": f.subject, "detail": f.detail}
+                     for f in result.findings],
+    }
+
+
+def results_json(results):
+    """The full lint report as a JSON-serialisable dict.
+
+    The same shape feeds ``repro lint --json`` and the verification
+    pass: ``compartments`` carries the three-way views per compartment,
+    the summary counts mirror the text report's last line.
+    """
+    return {
+        "compartments": [compartment_json(r) for r in results],
+        "errors": sum(len(r.errors) for r in results),
+        "warnings": sum(len(r.warnings) for r in results),
+        "unresolved": sum(len(r.inferred.unresolved)
+                          for r in results),
+    }
+
+
+def verification_json(reports):
+    """Verification outcomes as a JSON-serialisable dict."""
+    entries = []
+    for report in reports:
+        spec = report.spec
+        entries.append({
+            "app": spec.app,
+            "compartment": spec.name,
+            "verified": report.ok,
+            "reasons": list(report.reasons),
+            "unresolved": len(report.inferred.unresolved),
+            "static": _view_json(report.static),
+        })
+    return {
+        "compartments": entries,
+        "verified": sum(1 for r in reports if r.ok),
+        "rejected": sum(1 for r in reports if not r.ok),
+    }

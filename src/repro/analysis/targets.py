@@ -66,11 +66,15 @@ def _make_pop3():
                            supervise=_lint_policy())
 
 
-def _specs_of(server):
+def specs_of(server):
+    """The CompartmentSpec list a live partitioned server exposes."""
     import importlib
     module = importlib.import_module(type(server).__module__)
     return module.analysis_compartments(server,
                                         conn_fd=ANALYSIS_CONN_FD)
+
+
+_specs_of = specs_of   # TARGETS below binds the original name
 
 
 # -- innocuous workloads (the traced leg) ------------------------------------

@@ -1,0 +1,329 @@
+"""Proof-carrying policies: prove static ⊆ granted, compile certificates.
+
+:mod:`repro.analysis.infer` computes what a compartment body *could*
+need; the runtime ``SecurityContext`` says what it was *granted*.  When
+the static result is complete — the fixpoint converged with **zero**
+unresolved operands — and every statically reachable demand is inside
+the grant, each permission check the kernel would perform at run time is
+provably redundant: the checked path can only ever answer yes.
+
+:func:`verify_policy` performs that proof for one
+:class:`~repro.analysis.lint.CompartmentSpec` and compiles the result
+into a :class:`CertificateTemplate`.  Registered with
+``Kernel.enable_verified``, the template binds a signed
+:class:`PolicyCertificate` to each matching compartment at spawn time;
+the memory bus then serves certificate-covered accesses without
+translation or permission resolution and the syscall gate skips the
+SELinux lookup for certificate-allowed names (DESIGN.md §2, "Verified
+bus mode").
+
+Soundness leans on three anchors:
+
+* the proof is over the analyzer's *superset* of any real execution, so
+  a certified compartment can never perform an access the checked path
+  would deny — behaviour stays byte-identical, only the accounting gets
+  cheaper;
+* certificates are HMAC-signed by a kernel-held secret and pinned to
+  one sthread *incarnation* (name plus page-table identity), so
+  compartment code cannot forge one and a supervised restart can never
+  reuse its predecessor's;
+* every rights narrowing already funnels through
+  ``PageTable._invalidate`` (the TLB-shootdown choke point), which
+  revokes the certificate atomically before the narrowing lands.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.infer import infer_policy
+from repro.analysis.lint import (_MODE_RANK, _label_for_tag,
+                                 declared_view, gate_refs_of,
+                                 static_view)
+from repro.core.errors import PolicyError, SyscallDenied, WedgeError
+from repro.core.memory import PROT_WRITE
+
+
+class PolicyCertificate:
+    """One compartment incarnation's proven privilege set, signed.
+
+    ``mem`` maps concrete tag ids to the proven mode, ``fds`` records
+    the descriptor rights proven at bind time, ``gates``/``syscalls``
+    the callgate and syscall allow-sets.  ``signature`` is the kernel's
+    HMAC over :meth:`payload`; ``Kernel.enter_verified`` rejects
+    anything it did not sign itself.
+    """
+
+    __slots__ = ("sthread", "table_id", "mem", "fds", "gates",
+                 "syscalls", "signature")
+
+    def __init__(self, sthread, table_id, mem, fds, gates, syscalls,
+                 signature=None):
+        self.sthread = sthread
+        self.table_id = table_id
+        self.mem = dict(mem)            # tag id -> "r" | "rw"
+        self.fds = dict(fds)            # fd -> FD_* bits
+        self.gates = frozenset(gates)   # callgate entry names
+        self.syscalls = frozenset(syscalls)
+        self.signature = signature
+
+    def payload(self):
+        """Canonical bytes the kernel signs (order-independent)."""
+        return repr((self.sthread, self.table_id,
+                     sorted(self.mem.items()),
+                     sorted(self.fds.items()),
+                     sorted(self.gates),
+                     sorted(self.syscalls))).encode()
+
+    def __repr__(self):
+        return (f"<PolicyCertificate {self.sthread!r} mem={self.mem} "
+                f"syscalls={sorted(self.syscalls)}>")
+
+
+class CertificateTemplate:
+    """A verified policy awaiting concrete compartments.
+
+    Verification proves the *shape* by tag label (per-connection tags
+    get fresh names: ``session0``, ``session1``...); binding resolves
+    the shape against one live sthread's granted context and re-checks
+    every demand, so a template never widens what the grant already
+    said.  A failed bind is not an error — the compartment simply runs
+    on the checked path (``rejects`` counts them for observability).
+    """
+
+    __slots__ = ("compartment", "prefix", "mem_labels", "fds", "gates",
+                 "syscalls", "binds", "rejects")
+
+    def __init__(self, compartment, prefix, mem_labels, fds, gates,
+                 syscalls):
+        self.compartment = compartment
+        self.prefix = prefix
+        self.mem_labels = dict(mem_labels)   # tag label -> "r" | "rw"
+        self.fds = dict(fds)
+        self.gates = frozenset(gates)
+        self.syscalls = frozenset(syscalls)
+        self.binds = 0
+        self.rejects = 0
+
+    def __repr__(self):
+        return (f"<CertificateTemplate {self.compartment!r} "
+                f"prefix={self.prefix!r} binds={self.binds}>")
+
+    def matches(self, st):
+        """Name-prefix match; also covers ``~r<gen>`` restart names."""
+        return st.name.startswith(self.prefix)
+
+    def bind(self, st, kernel):
+        """Prove this template against *st*'s live grant and certify.
+
+        Returns the installed :class:`PolicyCertificate`, or ``None``
+        when any demand is no longer inside the grant.
+        """
+        cert = self._prove(st, kernel)
+        if cert is not None:
+            cert.signature = kernel.sign_policy(cert.payload())
+            try:
+                kernel.enter_verified(cert, st)
+            except WedgeError:
+                cert = None
+        if cert is None:
+            self.rejects += 1
+            return None
+        self.binds += 1
+        return cert
+
+    def _prove(self, st, kernel):
+        granted = {}
+        for tag_id, prot in st.ctx.mem.items():
+            label = _label_for_tag(kernel, tag_id)
+            mode = "rw" if prot & PROT_WRITE else "r"
+            granted.setdefault(label, []).append((tag_id, mode))
+        mem = {}
+        for label, mode in self.mem_labels.items():
+            grants = granted.get(label)
+            if not grants:
+                return None
+            for tag_id, granted_mode in grants:
+                if _MODE_RANK[mode] > _MODE_RANK[granted_mode]:
+                    return None
+                mem[tag_id] = mode
+        # descriptor numbers are per-connection artifacts (the analysis
+        # ran against a placeholder fd), so demands resolve by rights
+        # shape: each one must claim a distinct granted fd covering it
+        fds = {}
+        available = dict(st.ctx.fds)
+        for fd, bits in sorted(self.fds.items()):
+            if not bits & ~available.get(fd, 0):
+                available.pop(fd)
+                fds[fd] = bits
+                continue
+            hit = next((g for g, gbits in sorted(available.items())
+                        if not bits & ~gbits), None)
+            if hit is None:
+                return None
+            available.pop(hit)
+            fds[hit] = bits
+        names = set()
+        for gate_id in st.gates:
+            try:
+                record = kernel.gate_record(gate_id)
+            except WedgeError:
+                continue
+            names.add(record.name)
+        if not self.gates <= names:
+            return None
+        # check against the *live* SID, not the spec's: an sthread built
+        # with sid=None inherits its parent's domain
+        for syscall in self.syscalls:
+            try:
+                kernel.selinux.check_syscall(st.sel_sid, syscall)
+            except SyscallDenied:
+                return None
+        return PolicyCertificate(st.name, id(st.table), mem, fds,
+                                 self.gates, self.syscalls)
+
+
+class VerificationReport:
+    """The outcome of one compartment's proof attempt."""
+
+    __slots__ = ("spec", "ok", "reasons", "static", "inferred",
+                 "template")
+
+    def __init__(self, spec, ok, reasons, static, inferred, template):
+        self.spec = spec
+        self.ok = ok
+        self.reasons = reasons
+        self.static = static
+        self.inferred = inferred
+        self.template = template   # None unless the proof succeeded
+
+    def __repr__(self):
+        state = "ok" if self.ok else f"{len(self.reasons)} reasons"
+        return (f"<VerificationReport {self.spec.app}/"
+                f"{self.spec.name}: {state}>")
+
+
+def verify_policy(spec, *, inferred=None):
+    """Prove static ⊆ granted for one compartment spec.
+
+    The proof demands completeness first — a converged fixpoint with
+    zero unresolved operands — because an access the analyzer could not
+    resolve is an access the certificate would silently exempt from
+    checking.  Every failure is recorded as a human-readable reason;
+    only a clean proof yields a :class:`CertificateTemplate`.
+    """
+    kernel = spec.kernel
+    if inferred is None:
+        inferred = infer_policy(
+            spec.roots, kernel,
+            gates=gate_refs_of(spec.declared_sc, kernel),
+            follow=spec.follow)
+    declared = declared_view(spec.declared_sc, kernel)
+    static = static_view(inferred, kernel)
+    reasons = []
+    if not inferred.converged:
+        reasons.append("fixpoint did not converge")
+    for context, source in inferred.unresolved:
+        reasons.append(f"unresolved operand [{context}] {source}")
+    for label, mode in sorted(static.mem.items()):
+        granted_mode = declared.mem.get(label)
+        if _MODE_RANK[mode] > _MODE_RANK[granted_mode]:
+            reasons.append(f"mem:{label} needs {mode}, granted "
+                           f"{granted_mode or 'nothing'}")
+    for fd, bits in sorted(static.fds.items()):
+        if bits & ~declared.fds.get(fd, 0):
+            reasons.append(f"fd:{fd} needs more than granted")
+    for gate in sorted(static.gates - declared.gates):
+        reasons.append(f"cgate:{gate} called but not granted")
+    if spec.sid is not None:
+        for syscall in sorted(static.syscalls):
+            try:
+                kernel.selinux.check_syscall(spec.sid, syscall)
+            except SyscallDenied:
+                reasons.append(f"syscall:{syscall} denied by domain "
+                               f"{spec.sid}")
+    template = None
+    if not reasons:
+        template = CertificateTemplate(
+            f"{spec.app}/{spec.name}", spec.sthread_prefix,
+            static.mem, static.fds, static.gates, static.syscalls)
+    return VerificationReport(spec, not reasons, reasons, static,
+                              inferred, template)
+
+
+def verify_app(name):
+    """Prove every compartment of one shipped app.
+
+    Returns ``(server, reports)``: the freshly built (unstarted) server
+    and one :class:`VerificationReport` per compartment.
+    """
+    from repro.analysis.targets import TARGETS
+    target = TARGETS[name]
+    server = target.make()
+    return server, [verify_policy(spec)
+                    for spec in target.specs(server)]
+
+
+def certify_server(server):
+    """Verify a live partitioned server and arm its kernel.
+
+    Call before ``server.start()`` so long-lived compartments spawn
+    certified; per-connection compartments certify as they appear.
+    Only fully proven compartments contribute templates — the rest run
+    on the checked path, unchanged.  Returns the reports.
+    """
+    from repro.analysis.targets import specs_of
+    reports = [verify_policy(spec) for spec in specs_of(server)]
+    server.kernel.enable_verified(
+        [report.template for report in reports
+         if report.template is not None])
+    return reports
+
+
+def certify_main(kernel, roots, *, gates=(), follow=None):
+    """Prove *roots* as the bootstrap compartment and certify ``main``.
+
+    The monolithic servers run everything in ``main``, which holds
+    every tag — the subset half of the proof is easy; completeness
+    (zero unresolved operands) is the work.  Call *after* the server
+    has opened its listener so the descriptor state the analyzer
+    consults is live.  Raises :class:`~repro.core.errors.PolicyError`
+    when the proof fails; returns the installed certificate.
+    """
+    main = kernel.main
+    inferred = infer_policy(roots, kernel, gates=gates, follow=follow)
+    reasons = []
+    if not inferred.converged:
+        reasons.append("fixpoint did not converge")
+    for context, source in inferred.unresolved:
+        reasons.append(f"unresolved operand [{context}] {source}")
+    mem = {}
+    for tag_id, mode in sorted(inferred.mem.items()):
+        prot = main.ctx.mem.get(tag_id)
+        granted = None if prot is None else \
+            ("rw" if prot & PROT_WRITE else "r")
+        if _MODE_RANK[mode] > _MODE_RANK[granted]:
+            name = inferred.mem_names.get(tag_id) or f"tag{tag_id}"
+            reasons.append(f"mem:{name} needs {mode}, granted "
+                           f"{granted or 'nothing'}")
+        else:
+            mem[tag_id] = mode
+    for syscall in sorted(inferred.syscalls):
+        try:
+            kernel.selinux.check_syscall(main.sel_sid, syscall)
+        except SyscallDenied:
+            reasons.append(f"syscall:{syscall} denied by domain "
+                           f"{main.sel_sid}")
+    if reasons:
+        raise PolicyError("cannot certify main: " + "; ".join(reasons))
+    cert = PolicyCertificate(main.name, id(main.table), mem,
+                             inferred.fds, inferred.gates,
+                             inferred.syscalls)
+    cert.signature = kernel.sign_policy(cert.payload())
+    kernel.enter_verified(cert, main)
+    return cert
+
+
+def certify_monolithic_httpd(server):
+    """Certify a *started* monolithic httpd's accept loop."""
+    from repro.apps.httpd.common import HttpdBase
+    return certify_main(server.kernel,
+                        [(HttpdBase._accept_loop, {"self": server})])

@@ -31,6 +31,7 @@ command            prints
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -232,6 +233,7 @@ def cmd_trace(args):
 
 def cmd_lint(args):
     from repro.analysis import APP_NAMES, format_report, lint_app
+    from repro.analysis.report import results_json
     names = [args.app] if args.app else list(APP_NAMES)
     unknown = [name for name in names if name not in APP_NAMES]
     if unknown:
@@ -241,12 +243,44 @@ def cmd_lint(args):
     results = []
     for name in names:
         results.extend(lint_app(name, with_trace=not args.no_trace))
-    print(format_report(results))
-    errors = sum(len(r.errors) for r in results)
-    warnings = sum(len(r.warnings) for r in results)
-    if errors or (args.strict and warnings):
+    payload = results_json(results)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(results))
+    # unresolved operands always fail: an operand the analyzer cannot
+    # resolve is a privilege demand the lint cannot see
+    if payload["errors"] or payload["unresolved"] \
+            or (args.strict and payload["warnings"]):
         return 1
     return 0
+
+
+def cmd_verify(args):
+    from repro.analysis import APP_NAMES, verify_app
+    from repro.analysis.report import verification_json
+    names = [args.app] if args.app else list(APP_NAMES)
+    unknown = [name for name in names if name not in APP_NAMES]
+    if unknown:
+        print(f"unknown app {unknown[0]!r}; choose from "
+              f"{sorted(APP_NAMES)}", file=sys.stderr)
+        return 2
+    reports = []
+    for name in names:
+        _, app_reports = verify_app(name)
+        reports.extend(app_reports)
+    payload = verification_json(reports)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for entry in payload["compartments"]:
+            state = "verified" if entry["verified"] else "REJECTED"
+            print(f"[{entry['app']}/{entry['compartment']}] {state}")
+            for reason in entry["reasons"]:
+                print(f"    {reason}")
+        print(f"{payload['verified']} verified, "
+              f"{payload['rejected']} rejected")
+    return 0 if payload["rejected"] == 0 else 1
 
 
 def cmd_attack(args):
@@ -434,7 +468,17 @@ def build_parser():
                     help="exit non-zero on warnings too")
     pl.add_argument("--no-trace", action="store_true",
                     help="skip the dynamic (Crowbar-traced) leg")
+    pl.add_argument("--json", action="store_true",
+                    help="emit the machine-readable report")
     pl.set_defaults(fn=cmd_lint)
+    pvf = sub.add_parser(
+        "verify",
+        help="prove static ⊆ granted; compile certificate templates")
+    pvf.add_argument("--app", default=None,
+                     help="verify one app instead of all")
+    pvf.add_argument("--json", action="store_true",
+                     help="emit the machine-readable report")
+    pvf.set_defaults(fn=cmd_verify)
     pk = sub.add_parser("attack", help="run an attack scenario")
     pk.add_argument("scenario", nargs="?", default="mitm")
     pk.set_defaults(fn=cmd_attack)

@@ -47,6 +47,9 @@ WEIGHTS = {
     "pt_walk": 50,            # full page-table walk (TLB miss or tlb=False)
     "tlb_shootdown": 200,     # invalidate one cached translation (invlpg)
     "observe_emit": 5,        # one enabled tracepoint firing (repro.observe)
+    "verified_access": 1,     # certificate-covered access (no translation)
+    "verified_syscall": 30,   # certificate-allowed syscall (no policy trap)
+    "cert_bind": 1_000,       # bind a policy certificate to an sthread
 }
 
 

@@ -31,6 +31,9 @@ its costs and checks its permissions against that compartment.
 from __future__ import annotations
 
 import functools
+import hashlib
+import hmac
+import os
 import threading
 import time
 
@@ -45,8 +48,9 @@ from repro.core.errors import (CallgateDegraded, CallgateError,
 from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
                                 SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
-from repro.core.memory import (PAGE_SIZE, PROT_COW, PROT_READ, PROT_RW,
-                               AddressSpace, MemoryBus)
+from repro.core.memory import (PAGE_SHIFT, PAGE_SIZE, PROT_COW, PROT_READ,
+                               PROT_RW, PROT_WRITE, AddressSpace, MemoryBus,
+                               VerifiedMap)
 from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
                                check_subset_of, validate_mem_prot)
 from repro.core.selinux import UNCONFINED, SELinuxPolicy
@@ -176,6 +180,14 @@ class Kernel:
         #: attribute and branch away, so the disabled overhead is a
         #: single None check.
         self.faults = None
+        #: proof-carrying fast path (repro.analysis.verify): certificate
+        #: templates consulted at compartment build time, the in-process
+        #: signing secret, and the verified-syscall counter.  Verified
+        #: mode is strictly opt-in: with no templates registered nothing
+        #: here is ever consulted on a hot path beyond a None check.
+        self._cert_templates = []
+        self._cert_secret = os.urandom(16)
+        self.verified_syscalls = 0
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -304,9 +316,20 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _syscall(self, name):
-        """Charge the trap and run the SELinux check for the caller."""
-        self.costs.charge("syscall")
+        """Charge the trap and run the SELinux check for the caller.
+
+        With a bound policy certificate whose allow-set covers *name*
+        the SELinux check is provably redundant (verified against the
+        granted SID at certification time), so the trap is charged at
+        the cheaper ``verified_syscall`` weight and the check elided.
+        """
         st = self.current()
+        ver = st.table.verified
+        if ver is not None and name in ver.syscalls:
+            self.costs.charge("verified_syscall")
+            self.verified_syscalls += 1
+            return st
+        self.costs.charge("syscall")
         self.selinux.check_syscall(st.sel_sid, name)
         return st
 
@@ -335,6 +358,10 @@ class Kernel:
         spec = self.faults.fire(site, compartment=st)
         if spec is None:
             return
+        # a fired injection falsifies the static proof's assumptions for
+        # this compartment: drop back to the checked path before the
+        # fault even surfaces (revocation goes through _invalidate)
+        st.table.revoke_certificate(costs=self.costs)
         kind = spec.kind
         if kind == "memfault":
             raise MemoryViolation(
@@ -386,6 +413,120 @@ class Kernel:
             "shootdowns": sum(t.tlb_shootdowns for t in tables.values()),
             "entries": sum(len(t.tlb) for t in tables.values()),
         }
+
+    def verified_stats(self):
+        """Aggregate verified-mode counters for this kernel."""
+        tables = {}
+        for st in self.sthreads:
+            tables[id(st.table)] = st.table
+        return {
+            "accesses": self.bus.verified_ops,
+            "syscalls": self.verified_syscalls,
+            "certified": sum(1 for t in tables.values()
+                             if t.verified is not None),
+            "revocations": sum(t.cert_revocations
+                               for t in tables.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # verified mode (repro.analysis.verify)
+    # ------------------------------------------------------------------
+
+    def enable_verified(self, templates):
+        """Register certificate templates (see
+        :class:`~repro.analysis.verify.CertificateTemplate`).
+
+        Every subsequently built compartment whose name matches a
+        template is bound a policy certificate at spawn time and runs
+        check-free until the first rights narrowing revokes it.
+        """
+        self._cert_templates = list(templates)
+        return self._cert_templates
+
+    def sign_policy(self, payload):
+        """HMAC a certificate payload with the kernel-held secret.
+
+        The signature makes certificates unforgeable by compartment
+        code: :meth:`enter_verified` rejects anything not signed here.
+        """
+        return hmac.new(self._cert_secret, payload,
+                        hashlib.sha256).hexdigest()
+
+    def _maybe_certify(self, st):
+        """Bind the first matching registered template to *st*, if any.
+
+        A failed bind (grants moved out from under the template) is not
+        an error — the compartment simply runs on the checked path.
+        """
+        for template in self._cert_templates:
+            if template.matches(st):
+                template.bind(st, self)
+                return
+
+    def enter_verified(self, cert, st=None):
+        """Install a signed policy certificate on *st* (default: the
+        current compartment), entering verified mode.
+
+        The certificate's claims were proven by ``repro.analysis.verify``
+        against the *granted* security context; this method re-derives
+        the concrete page maps from the table's live PTEs, so the
+        resulting :class:`VerifiedMap` can never exceed what the table
+        itself maps: a page is covered for reading (writing) only if its
+        PTE carries PROT_READ (PROT_WRITE) right now.  Any later
+        narrowing funnels through ``PageTable._invalidate``, which voids
+        the map atomically.
+        """
+        st = self.current() if st is None else st
+        table = st.table
+        if not hmac.compare_digest(cert.signature,
+                                   self.sign_policy(cert.payload())):
+            raise PolicyError(
+                f"policy certificate for {cert.sthread!r} has an "
+                f"invalid signature")
+        if cert.sthread != st.name or cert.table_id != id(table):
+            raise PolicyError(
+                f"certificate bound to {cert.sthread!r} cannot be "
+                f"installed on {st.name!r}: certificates are "
+                f"per-incarnation and never survive a restart")
+        rpages, wpages = {}, {}
+
+        def cover(segment, want_write):
+            first = segment.base >> PAGE_SHIFT
+            for i in range(segment.npages):
+                pte = table.entries.get(first + i)
+                if pte is None:
+                    continue
+                view = memoryview(pte.frame.data)
+                if pte.prot & PROT_READ:
+                    rpages[first + i] = (view, segment)
+                if want_write and pte.prot & PROT_WRITE:
+                    wpages[first + i] = (view, segment)
+
+        # the compartment's own regions: private by construction, so
+        # the analyzer's PRIVATE_ALLOC accesses are proven trivially
+        if st.heap_segment is not None:
+            cover(st.heap_segment, True)
+        if st.stack_segment is not None:
+            cover(st.stack_segment, True)
+        if self.image is not None:
+            # the globals image: RW for main, COW (read-only cover; a
+            # first write breaks COW on the checked path and revokes)
+            # for every other compartment
+            cover(self.image.segment, True)
+        for tag_id, rights in cert.mem.items():
+            tag = self.tags.get(tag_id)
+            if tag is None:
+                raise PolicyError(
+                    f"certificate for {st.name!r} names deleted tag "
+                    f"{tag_id}")
+            cover(tag.segment, "w" in rights)
+        vmap = VerifiedMap(rpages, wpages, cert.syscalls, cert)
+        table.install_certificate(vmap, costs=self.costs)
+        if self.observe.enabled:
+            self.observe.emit(ev.ANALYSIS_CERTIFIED, comp=st.name,
+                              rpages=len(rpages), wpages=len(wpages),
+                              syscalls=sorted(cert.syscalls))
+        return vmap
 
     def tag_new(self, size=DEFAULT_TAG_SIZE, *, name=""):
         """Create a tag; the creator gets read-write access implicitly."""
@@ -654,6 +795,8 @@ class Kernel:
         for gate_id in sc.gate_ids:
             child.gates.add(gate_id)
         self._observe_spawn(child, parent, span_parent=span_parent)
+        if self._cert_templates:
+            self._maybe_certify(child)
         return child
 
     def _observe_spawn(self, child, parent, *, span_parent=None):
@@ -873,6 +1016,8 @@ class Kernel:
             gate.fdtable.install(file, fperms, fd=fd)
             self.costs.charge("fd_copy")
         gate.gates = set(record.sc.gate_ids)
+        if self._cert_templates:
+            self._maybe_certify(gate)
         return gate
 
     def _apply_caller_perms(self, gate, caller, perms):

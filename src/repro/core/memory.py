@@ -30,8 +30,9 @@ import bisect
 import threading
 
 from repro.core.errors import BadAddress, MemoryViolation
-from repro.observe.events import (COW_BREAK, MEM_VIOLATION, TLB_HIT,
-                                  TLB_MISS, TLB_SHOOTDOWN)
+from repro.observe.events import (ANALYSIS_REVOKED, COW_BREAK,
+                                  MEM_VIOLATION, TLB_HIT, TLB_MISS,
+                                  TLB_SHOOTDOWN)
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -228,6 +229,33 @@ class PTE:
         return PTE(self.frame, self.prot, self.segment)
 
 
+class VerifiedMap:
+    """Certificate-proven translations for the verified bus fast path.
+
+    Built by :meth:`~repro.core.kernel.Kernel.enter_verified` from a
+    signed :class:`~repro.analysis.verify.PolicyCertificate` and
+    installed on a table via :meth:`PageTable.install_certificate`.
+    ``rpages`` / ``wpages`` map absolute page numbers to
+    ``(memoryview, segment)`` pairs over the proven frames — accesses
+    they cover need no permission resolution and no TLB lookup at all.
+    ``syscalls`` is the certificate's syscall allow-set, consulted by
+    the kernel's syscall gate for the matching fast path.
+    """
+
+    __slots__ = ("rpages", "wpages", "syscalls", "cert")
+
+    def __init__(self, rpages, wpages, syscalls, cert=None):
+        self.rpages = rpages
+        self.wpages = wpages
+        self.syscalls = frozenset(syscalls)
+        self.cert = cert
+
+    def __repr__(self):
+        return (f"<VerifiedMap r={len(self.rpages)}p "
+                f"w={len(self.wpages)}p "
+                f"syscalls={len(self.syscalls)}>")
+
+
 class PageTable:
     """Per-sthread virtual-to-physical mapping with protections.
 
@@ -251,6 +279,10 @@ class PageTable:
         #: Filled by the memory bus; invalidated only via _invalidate().
         self.tlb = {}
         self.tlb_shootdowns = 0
+        #: bound :class:`VerifiedMap`, or None (checked mode).  Installed
+        #: only via install_certificate(); revoked only via _invalidate().
+        self.verified = None
+        self.cert_revocations = 0
 
     # -- TLB maintenance (the single invalidation choke point) -------------
 
@@ -262,7 +294,19 @@ class PageTable:
         move or narrow while a stale translation survives.  Returns the
         number of entries shot down (0 when nothing was cached, in which
         case nothing is charged either).
+
+        A bound policy certificate is proven against the *current*
+        mappings, so any invalidation — even one that finds no cached
+        translation, on a ``tlb=False`` kernel — voids the proof first:
+        the table atomically drops back to the checked path.
         """
+        if self.verified is not None:
+            self.verified = None
+            self.cert_revocations += 1
+            obs = self.observe
+            if obs is not None and obs.enabled:
+                obs.emit(ANALYSIS_REVOKED, comp=self.owner_name,
+                         pages=npages)
         tlb = self.tlb
         if not tlb:
             return 0
@@ -287,18 +331,41 @@ class PageTable:
         return dropped
 
     def flush_tlb(self, *, costs=None):
-        """Drop every cached translation (compartment fault / teardown)."""
-        dropped = len(self.tlb)
-        if dropped:
-            self.tlb.clear()
-            self.tlb_shootdowns += dropped
-            if costs is not None:
-                costs.charge("tlb_shootdown", dropped)
-            obs = self.observe
-            if obs is not None and obs.enabled:
-                obs.emit(TLB_SHOOTDOWN, comp=self.owner_name,
-                         pages=dropped, flush=True)
-        return dropped
+        """Drop every cached translation (compartment fault / teardown).
+
+        Delegates to :meth:`_invalidate` so shootdown accounting and
+        certificate revocation have exactly one home: the choke point.
+        """
+        tlb = self.tlb
+        if not tlb:
+            if self.verified is not None:
+                self._invalidate(0, 0, costs=costs)
+            return 0
+        first = min(tlb)
+        return self._invalidate(first, max(tlb) - first + 1, costs=costs)
+
+    def install_certificate(self, vmap, *, costs=None):
+        """Bind a :class:`VerifiedMap` (kernel-only; the single install
+        site, mirroring ``_invalidate`` as the single revocation site).
+
+        Emulation-mode tables record violations instead of raising, so
+        a check-free path would change behaviour there: refuse.
+        """
+        if self.emulation:
+            raise ValueError(
+                f"cannot certify emulation-mode table {self.owner_name!r}")
+        self.verified = vmap
+        if costs is not None:
+            costs.charge("cert_bind")
+
+    def revoke_certificate(self, *, costs=None):
+        """Void the bound certificate, if any (delegates to the
+        :meth:`_invalidate` choke point).  Returns True if one was bound.
+        """
+        if self.verified is None:
+            return False
+        self._invalidate(0, 0, costs=costs)
+        return True
 
     # -- construction ------------------------------------------------------
 
@@ -424,8 +491,14 @@ class MemoryBus:
         #: the cost account absorbs them lazily via the drain below).
         self.tlb_hits = 0
         self.tlb_walks = 0
+        #: accesses served check-free from a policy certificate.  One
+        #: unit per bus call, however many pages the range spans —
+        #: the certificate proves the whole range at bind time, so the
+        #: model charges range-batched, not per-page.
+        self.verified_ops = 0
         self._drained_hits = 0
         self._drained_walks = 0
+        self._drained_verified = 0
         register = getattr(costs, "register_source", None)
         if register is not None:
             register(self._drain_translation_work)
@@ -434,9 +507,12 @@ class MemoryBus:
         """Batched-work source for :meth:`CostAccount.register_source`."""
         hits = self.tlb_hits - self._drained_hits
         walks = self.tlb_walks - self._drained_walks
+        verified = self.verified_ops - self._drained_verified
         self._drained_hits = self.tlb_hits
         self._drained_walks = self.tlb_walks
-        return {"tlb_hit": hits, "pt_walk": walks}
+        self._drained_verified = self.verified_ops
+        return {"tlb_hit": hits, "pt_walk": walks,
+                "verified_access": verified}
 
     def _translate(self, table, pageno):
         """Resolve *pageno* to ``(frame, prot, segment)``, TLB first.
@@ -492,10 +568,81 @@ class MemoryBus:
 
     # -- loads and stores ----------------------------------------------------
 
+    # -- the verified fast path (certificate-covered, check-free) ------------
+    #
+    # A bound VerifiedMap is a *proof* that this table may access the
+    # covered pages, established once at bind time and voided by the
+    # _invalidate choke point the instant any mapping narrows.  Accesses
+    # it covers therefore skip permission resolution and TLB lookup
+    # entirely; anything it does not cover (unproven page, emulation,
+    # COW first-write, zero-size) falls through to the checked path
+    # unchanged.  Each helper snapshots ``table.verified`` once: a
+    # concurrent shootdown linearises *between* bus calls — this call
+    # completes under the proof it started with, the next call walks.
+
+    def _verified_read_span(self, table, ver, addr, size):
+        """Bulk read across proven pages; None if any page is unproven."""
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        rpages = ver.rpages
+        if any(p not in rpages for p in range(first, last + 1)):
+            return None
+        out = bytearray()
+        pos, remaining = addr, size
+        while remaining:
+            off = pos & PAGE_MASK
+            take = min(remaining, PAGE_SIZE - off)
+            view, seg = rpages[pos >> PAGE_SHIFT]
+            out += view[off:off + take]
+            if self.hooks:
+                self._fire("read", table, pos, take, seg, pos - seg.base)
+            pos += take
+            remaining -= take
+        self.verified_ops += 1
+        return bytes(out)
+
+    def _verified_write_span(self, table, ver, addr, data):
+        """Bulk write across proven pages; False if any is unproven."""
+        size = len(data)
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        wpages = ver.wpages
+        if any(p not in wpages for p in range(first, last + 1)):
+            return False
+        view = memoryview(bytes(data))
+        pos, offset = addr, 0
+        while offset < size:
+            off = pos & PAGE_MASK
+            take = min(size - offset, PAGE_SIZE - off)
+            page_view, seg = wpages[pos >> PAGE_SHIFT]
+            page_view[off:off + take] = view[offset:offset + take]
+            if self.hooks:
+                self._fire("write", table, pos, take, seg, pos - seg.base)
+            pos += take
+            offset += take
+        self.verified_ops += 1
+        return True
+
     def read(self, table, addr, size):
         """Read *size* bytes at *addr* under *table*'s protections."""
         if size < 0:
             raise ValueError("negative read size")
+        ver = table.verified
+        if ver is not None and size > 0:
+            off = addr & PAGE_MASK
+            if size <= PAGE_SIZE - off:
+                page = ver.rpages.get(addr >> PAGE_SHIFT)
+                if page is not None:
+                    self.verified_ops += 1
+                    if self.hooks:
+                        seg = page[1]
+                        self._fire("read", table, addr, size, seg,
+                                   addr - seg.base)
+                    return bytes(page[0][off:off + size])
+            else:
+                data = self._verified_read_span(table, ver, addr, size)
+                if data is not None:
+                    return data
         if self.tlb_enabled:
             # Fast path: single-page access through a cached translation
             # whose protection already admits the read.  Anything else
@@ -557,6 +704,22 @@ class MemoryBus:
 
     def write(self, table, addr, data):
         """Write *data* at *addr* under *table*'s protections (with COW)."""
+        ver = table.verified
+        if ver is not None and data:
+            off = addr & PAGE_MASK
+            size = len(data)
+            if size <= PAGE_SIZE - off:
+                page = ver.wpages.get(addr >> PAGE_SHIFT)
+                if page is not None:
+                    self.verified_ops += 1
+                    page[0][off:off + size] = bytes(data)
+                    if self.hooks:
+                        seg = page[1]
+                        self._fire("write", table, addr, size, seg,
+                                   addr - seg.base)
+                    return
+            elif self._verified_write_span(table, ver, addr, data):
+                return
         if self.tlb_enabled:
             # Fast path: single-page store through a cached translation
             # that is already privately writable.  COW pages never carry

@@ -360,13 +360,16 @@ def breaker_recovery_drill(kernel, *, cooldown=0.005, crashes=2):
 
 
 def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
-              policy=None, plan=None, tlb=None):
+              policy=None, plan=None, tlb=None, verified=False):
     """Run one chaos campaign; returns a :class:`ChaosReport`.
 
     ``tlb`` overrides :attr:`Kernel.DEFAULT_TLB` for the duration of the
     server build (the apps construct their kernels internally), letting
     the differential suite run the same campaign with and without the
-    simulated TLB.
+    simulated TLB.  ``verified=True`` additionally runs the static
+    verify pass over the server's compartments and arms the kernel with
+    the resulting certificate templates before start, so the campaign
+    exercises the proof-carrying fast path under fault injection.
     """
     from repro.core.kernel import Kernel
 
@@ -380,6 +383,9 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         server = target.make(policy or default_policy())
     finally:
         Kernel.DEFAULT_TLB = saved_default
+    if verified:
+        from repro.analysis.verify import certify_server
+        certify_server(server)
     # the flight recorder rides along for the whole campaign: when a
     # compartment terminally degrades (or a breaker closes after the
     # recovery drill) it snapshots the 50 events that led up to the

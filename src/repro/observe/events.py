@@ -52,6 +52,8 @@ BREAKER_HALF_OPEN = "breaker.half_open"
 BREAKER_CLOSE = "breaker.close"
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
+ANALYSIS_CERTIFIED = "analysis.certified"
+ANALYSIS_REVOKED = "analysis.revoked"
 
 #: kind -> (emitting chokepoint, meaning).  DESIGN.md §4d renders this.
 TAXONOMY = {
@@ -100,6 +102,10 @@ TAXONOMY = {
                     "the probe succeeded; the gate recovered"),
     SPAN_BEGIN: ("Tracer.begin", "a trace span opened"),
     SPAN_END: ("Tracer.end", "a trace span closed"),
+    ANALYSIS_CERTIFIED: ("Kernel.enter_verified",
+                         "a policy certificate was bound; checks elided"),
+    ANALYSIS_REVOKED: ("PageTable._invalidate",
+                       "a rights narrowing revoked the certificate"),
 }
 
 #: Storm-level kinds: delivered only to sinks that *explicitly* ask for

@@ -1,0 +1,140 @@
+"""The analyzer resolves calls wrapped in PR-5 resilience primitives.
+
+A partitioned app that hardens a callgate behind ``call_with_retry``, a
+``deadline_scope`` or a ``functools.partial`` must not lose the wrapped
+operation from its inferred policy — an unresolved (or silently
+dropped) gate call would disqualify the compartment from the verified
+fast path and, worse, hide a privilege demand from the lint.
+"""
+
+import functools
+
+from repro.analysis import GateRef, infer_policy
+from repro.core.policy import FD_READ, FD_WRITE, SecurityContext
+from repro.faults import RestartPolicy
+from repro.resilience import (BreakerPolicy, Deadline, RetryPolicy,
+                              call_with_retry, deadline_scope)
+
+
+def _follow_local(fn):
+    module = getattr(fn, "__module__", "") or ""
+    return module == __name__ or module.startswith("repro.resilience")
+
+
+def infer(roots, kernel, **kwargs):
+    kwargs.setdefault("follow", _follow_local)
+    return infer_policy(roots, kernel, **kwargs)
+
+
+def _gate(kernel, name="audit_gate", **kwargs):
+    def audit_gate(trusted, arg):
+        return b"ok"
+    audit_gate.__name__ = name
+    record = kernel.create_gate(audit_gate, SecurityContext(), **kwargs)
+    return record, GateRef(record.entry, gate_id=record.id)
+
+
+class TestRetryWrapping:
+    def test_retry_wrapped_gate_resolves(self, kernel):
+        record, ref = _gate(kernel)
+        def body(k):
+            gate = next(iter(k.current().gates))
+            return call_with_retry(lambda: k.cgate(gate.id),
+                                   RetryPolicy(max_attempts=3))
+        policy = infer([(body, {"k": kernel})], kernel, gates=[ref])
+        assert policy.gates == {"audit_gate"}
+        assert "cgate" in policy.syscalls
+        assert policy.unresolved == []
+
+    def test_retry_wrapped_fd_op_resolves(self, kernel):
+        def body(k, fd):
+            return call_with_retry(lambda: k.recv(fd, 64))
+        policy = infer([(body, {"k": kernel, "fd": 5})], kernel)
+        assert policy.fds == {5: FD_READ}
+        assert policy.unresolved == []
+
+    def test_retry_of_partial_resolves(self, kernel):
+        """The two wrappers compose: retry(partial(kernel.send, fd))."""
+        def body(k, fd):
+            sender = functools.partial(k.send, fd)
+            return call_with_retry(sender)
+        policy = infer([(body, {"k": kernel, "fd": 7})], kernel)
+        assert policy.fds == {7: FD_WRITE}
+        assert policy.unresolved == []
+
+
+class TestPartialWrapping:
+    def test_partial_kernel_method_resolves(self, kernel):
+        def body(k, fd):
+            reader = functools.partial(k.recv, fd)
+            return reader(32)
+        policy = infer([(body, {"k": kernel, "fd": 4})], kernel)
+        assert policy.fds == {4: FD_READ}
+        assert policy.unresolved == []
+
+    def test_partial_gate_invocation_resolves(self, kernel):
+        record, ref = _gate(kernel, name="sign_gate")
+        def body(k):
+            gate = next(iter(k.current().gates))
+            invoke = functools.partial(k.cgate, gate.id)
+            return invoke(b"payload")
+        policy = infer([(body, {"k": kernel})], kernel, gates=[ref])
+        assert policy.gates == {"sign_gate"}
+        assert policy.unresolved == []
+
+    def test_partial_of_local_function_resolves(self, kernel):
+        tag = kernel.tag_new(name="journal")
+        buf = kernel.alloc_buf(16, tag=tag)
+        def write_to(k, addr, data):
+            k.mem_write(addr, data)
+        def body(k, buf):
+            writer = functools.partial(write_to, k, buf.addr)
+            writer(b"entry")
+        policy = infer([(body, {"k": kernel, "buf": buf})], kernel)
+        assert policy.mem == {tag.id: "rw"}
+        assert policy.unresolved == []
+
+    def test_partial_keywords_merge(self, kernel):
+        def body(k, fd):
+            op = functools.partial(k.recv, fd=fd)
+            return op(size=16)
+        policy = infer([(body, {"k": kernel, "fd": 9})], kernel)
+        assert policy.fds == {9: FD_READ}
+        assert policy.unresolved == []
+
+
+class TestDeadlineWrapping:
+    def test_deadline_scope_body_resolves(self, kernel):
+        def body(k, fd):
+            with deadline_scope(Deadline.after(0.5)):
+                return k.recv(fd, 64)
+        policy = infer([(body, {"k": kernel, "fd": 6})], kernel)
+        assert policy.fds == {6: FD_READ}
+        assert policy.unresolved == []
+
+    def test_deadline_and_retry_compose(self, kernel):
+        record, ref = _gate(kernel, name="slow_gate")
+        def body(k):
+            gate = next(iter(k.current().gates))
+            with deadline_scope(Deadline.after(1.0)):
+                return call_with_retry(lambda: k.cgate(gate.id))
+        policy = infer([(body, {"k": kernel})], kernel, gates=[ref])
+        assert policy.gates == {"slow_gate"}
+        assert policy.unresolved == []
+
+
+class TestBreakerWrappedGates:
+    def test_breaker_supervised_gate_target_resolves(self, kernel):
+        """A supervised gate with a breaker policy is still one gate
+        grant to the analyzer — supervision must not obscure it."""
+        record, ref = _gate(
+            kernel, name="guarded_gate",
+            supervise=RestartPolicy(
+                max_restarts=2, backoff=0.0,
+                breaker=BreakerPolicy(cooldown=0.01)))
+        def body(k):
+            gate = next(iter(k.current().gates))
+            return call_with_retry(lambda: k.cgate(gate.id))
+        policy = infer([(body, {"k": kernel})], kernel, gates=[ref])
+        assert policy.gates == {"guarded_gate"}
+        assert policy.unresolved == []

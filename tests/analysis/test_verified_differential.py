@@ -1,0 +1,96 @@
+"""Differential harness: verified mode may change cycles, never bytes.
+
+Every scenario runs twice — certificates armed and not — under the same
+deterministic seeds, and asserts the runs are observably identical:
+byte-identical application stores, identical client-visible responses,
+identical chaos fingerprints (injection sites, hit counts, restarts).
+The verified runs additionally assert the fast path actually fired, so
+the comparison is never vacuous.
+
+This mirrors ``tests/core/test_tlb_differential.py`` one abstraction
+level up: the TLB elides page-table walks, the certificate elides the
+permission checks themselves.
+"""
+
+import pytest
+
+from repro.analysis.verify import certify_server
+from repro.faults.chaos import (CHAOS_APP_NAMES, CHAOS_TARGETS,
+                                default_policy, run_chaos)
+
+
+def _run_app(app, verified, sessions=3):
+    """Serve deterministic clean sessions; return the observables."""
+    target = CHAOS_TARGETS[app]
+    server = target.make(default_policy())
+    if verified:
+        reports = certify_server(server)
+        assert all(r.ok for r in reports), \
+            [reason for r in reports for reason in r.reasons]
+    server.start()
+    try:
+        responses = [target.session(server, i, strict=True)
+                     for i in range(sessions)]
+        store = target.snapshot(server)
+        stats = server.kernel.verified_stats()
+    finally:
+        server.stop()
+    return responses, store, stats
+
+
+@pytest.mark.parametrize("app", CHAOS_APP_NAMES)
+def test_app_identical_with_and_without_certificates(app):
+    responses_on, store_on, stats_on = _run_app(app, True)
+    responses_off, store_off, stats_off = _run_app(app, False)
+    assert responses_on == responses_off
+    assert store_on == store_off
+    # not vacuous: the verified run really elided checks...
+    assert stats_on["accesses"] + stats_on["syscalls"] > 0
+    # ...and the baseline run never did
+    assert stats_off == {"accesses": 0, "syscalls": 0, "certified": 0,
+                         "revocations": 0}
+
+
+@pytest.mark.parametrize("app", CHAOS_APP_NAMES)
+def test_every_shipped_app_proves_clean(app):
+    """Satellite: zero unresolved operands across all shipped apps —
+    the completeness bar the certificate fast path stands on."""
+    from repro.analysis.targets import TARGETS, specs_of
+    from repro.analysis.verify import verify_policy
+    server = TARGETS[app].make()
+    for spec in specs_of(server):
+        report = verify_policy(spec)
+        assert report.inferred.unresolved == [], (
+            f"{app}/{spec.name}: {report.inferred.unresolved}")
+        assert report.ok, f"{app}/{spec.name}: {report.reasons}"
+
+
+def _campaign_fingerprint(report):
+    return {
+        "passed": report.passed,
+        "injected": report.injected,
+        "sessions": report.sessions,
+        "failed": report.failed_sessions,
+        "degraded": report.degraded_sessions,
+        "restarts": report.restarts,
+        "by_site": dict(report.by_site),
+        "violations": report.violations,
+        "baseline_obs": report.baseline_obs,
+        "probe_obs": report.probe_obs,
+        "store": report.final_snapshot,
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_chaos_campaign_identical_with_certificates(seed):
+    on = run_chaos("pop3", seed=seed, faults=10, verified=True)
+    off = run_chaos("pop3", seed=seed, faults=10)
+    assert on.passed, on.format()
+    assert _campaign_fingerprint(on) == _campaign_fingerprint(off)
+
+
+def test_chaos_httpd_campaign_identical():
+    on = run_chaos("httpd-simple", seed=1, faults=10, verified=True)
+    off = run_chaos("httpd-simple", seed=1, faults=10)
+    assert on.passed, on.format()
+    assert _campaign_fingerprint(on) == _campaign_fingerprint(off)

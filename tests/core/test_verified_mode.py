@@ -1,0 +1,400 @@
+"""Verified bus mode: certificates, revocation, and the checked oracle.
+
+The proof-carrying fast path (DESIGN.md §2, "Verified bus mode") must be
+*pure accounting*: a certified compartment behaves byte-identically to
+the checked path, it just pays ``verified_access``/``verified_syscall``
+instead of translation and policy lookups.  These tests pin:
+
+* certificate installation covers only what the live PTEs map;
+* forged signatures and cross-incarnation reuse are rejected;
+* every rights-narrowing funnels through ``PageTable._invalidate`` and
+  revokes the certificate atomically (including mid-span, via bus
+  hooks — the deterministic version of a concurrent shootdown);
+* a seeded random workload produces identical bytes on a certified
+  kernel and an uncertified oracle;
+* a source scan confining ``.verified`` mutation to ``memory.py``'s
+  documented sites, mirroring the TLB choke-point meta-test.
+"""
+
+import pathlib
+import random
+import re
+
+import pytest
+
+from repro.analysis.verify import CertificateTemplate, PolicyCertificate
+from repro.core.errors import MemoryViolation, PolicyError, SyscallDenied
+from repro.core.kernel import Kernel
+from repro.core.memory import PAGE_SIZE, PROT_RW
+from repro.core.policy import SecurityContext, sc_mem_add
+from repro.faults import RestartPolicy
+from repro.observe.events import ANALYSIS_CERTIFIED, ANALYSIS_REVOKED
+
+
+def make_kernel(name, **kwargs):
+    kernel = Kernel(name=name, **kwargs)
+    kernel.start_main()
+    return kernel
+
+
+def certify_main(kernel, mem=(), syscalls=()):
+    """Hand-build and install a signed certificate on main."""
+    main = kernel.main
+    cert = PolicyCertificate(main.name, id(main.table), dict(mem), {},
+                             (), syscalls)
+    cert.signature = kernel.sign_policy(cert.payload())
+    return kernel.enter_verified(cert, main)
+
+
+class TestCertificateLifecycle:
+    def test_verified_reads_skip_translation(self):
+        kernel = make_kernel("vm-basic")
+        addr = kernel.malloc(256)
+        kernel.mem_write(addr, b"payload!" * 8)
+        certify_main(kernel)
+        before = kernel.bus.verified_ops
+        walks = kernel.bus.tlb_walks
+        hits = kernel.bus.tlb_hits
+        assert kernel.mem_read(addr, 8) == b"payload!"
+        assert kernel.bus.verified_ops == before + 1
+        assert kernel.bus.tlb_walks == walks    # no page-table walk
+        assert kernel.bus.tlb_hits == hits      # not even a TLB lookup
+
+    def test_verified_and_checked_bytes_identical(self):
+        kernel = make_kernel("vm-bytes")
+        addr = kernel.malloc(4 * PAGE_SIZE)
+        blob = bytes(range(256)) * 16
+        kernel.mem_write(addr, blob)
+        checked = kernel.mem_read(addr, len(blob))
+        certify_main(kernel)
+        assert kernel.mem_read(addr, len(blob)) == checked
+        kernel.mem_write(addr + 100, b"verified-write")
+        vtable = kernel.main.table
+        vtable.revoke_certificate(costs=kernel.costs)
+        # the checked path sees exactly what the verified path wrote
+        assert kernel.mem_read(addr + 100, 14) == b"verified-write"
+
+    def test_forged_signature_rejected(self):
+        kernel = make_kernel("vm-forge")
+        main = kernel.main
+        cert = PolicyCertificate(main.name, id(main.table), {}, {}, (),
+                                 ())
+        cert.signature = "0" * 64   # not signed by this kernel
+        with pytest.raises(PolicyError, match="invalid signature"):
+            kernel.enter_verified(cert, main)
+        assert main.table.verified is None
+
+    def test_foreign_kernel_signature_rejected(self):
+        ours = make_kernel("vm-ours")
+        theirs = make_kernel("vm-theirs")
+        main = ours.main
+        cert = PolicyCertificate(main.name, id(main.table), {}, {}, (),
+                                 ())
+        cert.signature = theirs.sign_policy(cert.payload())
+        with pytest.raises(PolicyError, match="invalid signature"):
+            ours.enter_verified(cert, main)
+
+    def test_certificate_pinned_to_incarnation(self):
+        kernel = make_kernel("vm-pin")
+        main = kernel.main
+        cert = PolicyCertificate(main.name, id(main.table) + 1, {}, {},
+                                 (), ())
+        cert.signature = kernel.sign_policy(cert.payload())
+        with pytest.raises(PolicyError, match="never survive a restart"):
+            kernel.enter_verified(cert, main)
+
+    def test_syscall_fast_path_counts_and_elides(self):
+        from repro.core.costs import WEIGHTS
+        kernel = make_kernel("vm-sys")
+        certify_main(kernel, syscalls=("pipe", "close"))
+        ck = kernel.costs.checkpoint()
+        rd, wr = kernel.pipe()
+        assert kernel.verified_syscalls == 1
+        delta = kernel.costs.delta(ck)
+        # the trap cost the verified weight, not a full syscall + check
+        assert WEIGHTS["verified_syscall"] <= delta < WEIGHTS["syscall"]
+        # an allowed name outside the cert still takes the checked path
+        kernel.close(rd)
+        kernel.close(wr)
+        assert kernel.verified_syscalls == 3
+        kernel.setuid(0)   # "setuid" not in the allow-set
+        assert kernel.verified_syscalls == 3
+        assert kernel.main.table.verified is not None
+
+    def test_certified_event_emitted(self):
+        kernel = make_kernel("vm-event")
+        seen = []
+
+        class Sink:
+            def accept(self, event):
+                seen.append(event)
+
+        kernel.observe.add_sink(Sink(), kinds={ANALYSIS_CERTIFIED,
+                                               ANALYSIS_REVOKED})
+        certify_main(kernel)
+        assert [e.kind for e in seen] == [ANALYSIS_CERTIFIED]
+        kernel.main.table.revoke_certificate(costs=kernel.costs)
+        assert [e.kind for e in seen] == [ANALYSIS_CERTIFIED,
+                                          ANALYSIS_REVOKED]
+
+
+class TestRevocation:
+    def test_tag_delete_revokes(self):
+        kernel = make_kernel("vm-revoke")
+        tag = kernel.tag_new(name="loot")
+        addr = kernel.smalloc(64, tag)
+        kernel.mem_write(addr, b"covered!")
+        certify_main(kernel, mem={tag.id: "rw"})
+        table = kernel.main.table
+        assert (addr >> 12) in table.verified.rpages
+        assert kernel.mem_read(addr, 8) == b"covered!"
+        kernel.tag_delete(tag)
+        assert table.verified is None
+        assert table.cert_revocations == 1
+        with pytest.raises(MemoryViolation):
+            kernel.mem_read(addr, 8)
+
+    def test_narrowing_remap_revokes(self):
+        kernel = make_kernel("vm-narrow")
+        tag = kernel.tag_new(name="narrowed")
+        addr = kernel.smalloc(64, tag)
+        certify_main(kernel, mem={tag.id: "rw"})
+        table = kernel.main.table
+        from repro.core.memory import PROT_READ
+        table.map_segment(tag.segment, PROT_READ, costs=kernel.costs)
+        assert table.verified is None
+        with pytest.raises(MemoryViolation):
+            kernel.mem_write(addr, b"x")
+        assert isinstance(kernel.mem_read(addr, 1), bytes)
+
+    def test_fork_cow_downgrade_revokes(self):
+        kernel = make_kernel("vm-fork")
+        addr = kernel.malloc(64)
+        kernel.mem_write(addr, b"pre-fork")
+        certify_main(kernel)
+        child = kernel.fork(lambda a: kernel.mem_read(addr, 8),
+                            spawn="inline")
+        # mark_all_cow narrowed main's heap: certificate must be gone
+        assert kernel.main.table.verified is None
+        kernel.mem_write(addr, b"postfork")
+        assert kernel.sthread_join(child) == b"pre-fork"
+
+    def test_flush_tlb_revokes_even_when_tlb_is_empty(self):
+        kernel = make_kernel("vm-flush", tlb=False)
+        certify_main(kernel)
+        table = kernel.main.table
+        assert table.tlb == {}
+        table.flush_tlb(costs=kernel.costs)
+        assert table.verified is None
+        assert table.cert_revocations == 1
+
+    def test_fault_plan_hit_revokes(self):
+        from repro.faults import FaultPlan
+        kernel = make_kernel("vm-fault")
+        addr = kernel.malloc(16)
+        kernel.mem_write(addr, b"x")
+        certify_main(kernel)
+        plan = FaultPlan(seed=7, scope="all")
+        plan.add("mem_read", "memfault", rate=1.0, limit=1)
+        kernel.install_faults(plan)
+        with pytest.raises(MemoryViolation):
+            kernel.mem_read(addr, 1)
+        # the injected fault falsified the proof's assumptions: checked
+        # path from here on
+        assert kernel.main.table.verified is None
+        assert kernel.mem_read(addr, 1) == b"x"
+
+    def test_midspan_shootdown_is_atomic(self):
+        """The deterministic concurrent-shootdown race: a revocation
+        arriving *during* a verified multi-page write (via a bus hook)
+        must neither tear the write nor leave a stale certificate."""
+        kernel = make_kernel("vm-race")
+        addr = kernel.malloc(3 * PAGE_SIZE)
+        kernel.mem_write(addr, b"\x00" * (3 * PAGE_SIZE))
+        certify_main(kernel)
+        table = kernel.main.table
+        fired = []
+
+        def shootdown_hook(op, table_, a, size, seg, off):
+            if op == "write" and not fired:
+                fired.append(True)
+                table.revoke_certificate(costs=kernel.costs)
+
+        kernel.bus.add_hook(shootdown_hook)
+        blob = b"\xab" * (2 * PAGE_SIZE + 100)
+        kernel.mem_write(addr + 50, blob)   # spans 3 pages
+        kernel.bus.hooks.remove(shootdown_hook)
+        # the in-flight call used its snapshot: the write is complete
+        assert kernel.mem_read(addr + 50, len(blob)) == blob
+        # and the revocation landed for every subsequent call
+        assert table.verified is None
+        assert fired
+
+    def test_restart_never_reuses_predecessor_certificate(self):
+        """Satellite: a supervised restart builds a new incarnation,
+        which must get a *fresh* certificate — the predecessor's is
+        pinned to the dead table and rejected outright."""
+        kernel = make_kernel("vm-restart")
+        tag = kernel.tag_new(name="state")
+        template = CertificateTemplate("t/flaky", "flaky",
+                                       {"state": "rw"}, {}, (), ())
+        kernel.enable_verified([template])
+        tripwire = kernel.alloc_buf(8)   # main-private: not granted
+        certs = []
+
+        def body(arg):
+            st = kernel.current()
+            certs.append((st.name, st.table.verified.cert))
+            if len(certs) == 1:
+                kernel.mem_read(tripwire.addr, 8)   # crash gen 0
+            return "ok"
+
+        sc = sc_mem_add(SecurityContext(), tag, PROT_RW)
+        st = kernel.sthread_create(
+            sc, body, name="flaky", spawn="inline",
+            supervise=RestartPolicy(max_restarts=2, backoff=0.0))
+        assert kernel.sthread_join(st) == "ok"
+        assert template.binds == 2
+        (name0, cert0), (name1, cert1) = certs
+        assert name0 == "flaky" and name1 == "flaky~r1"
+        assert cert0 is not cert1
+        assert cert0.table_id != cert1.table_id
+        # replaying the dead incarnation's certificate is a PolicyError
+        with pytest.raises(PolicyError, match="never survive a restart"):
+            kernel.enter_verified(cert0, st.current_incarnation)
+
+
+class TestCheckedPathOracle:
+    """Seeded property test: certified kernel vs uncertified oracle."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_workload_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        span = 4 * PAGE_SIZE
+        kernels = []
+        for certified in (False, True):
+            kernel = make_kernel(f"vm-prop-{seed}-{certified}")
+            tag = kernel.tag_new(size=span, name="arena")
+            addr = kernel.smalloc(span - 64, tag)
+            kernel.mem_write(addr, b"\x00" * (span - 64))
+            if certified:
+                certify_main(kernel, mem={tag.id: "rw"})
+            kernels.append((kernel, tag, addr))
+        (oracle, otag, oaddr), (subject, stag, saddr) = kernels
+        for step in range(300):
+            off = rng.randrange(span - 64 - 1)
+            size = rng.randrange(1, min(3 * PAGE_SIZE,
+                                        span - 64 - off) + 1)
+            if rng.random() < 0.5:
+                got = subject.mem_read(saddr + off, size)
+                want = oracle.mem_read(oaddr + off, size)
+            else:
+                blob = bytes(rng.randrange(256) for _ in range(size))
+                subject.mem_write(saddr + off, blob)
+                oracle.mem_write(oaddr + off, blob)
+                got = subject.mem_read(saddr + off, size)
+                want = blob
+            assert got == want, f"divergence at step {step}"
+            if step == 150:
+                # revoke mid-workload: the rest runs on the checked path
+                subject.main.table.revoke_certificate(
+                    costs=subject.costs)
+        final_s = subject.mem_read(saddr, span - 64)
+        final_o = oracle.mem_read(oaddr, span - 64)
+        assert final_s == final_o
+        assert subject.bus.verified_ops > 0
+
+    def test_violations_identical_with_certificate(self):
+        """A certificate never covers what the grant would deny."""
+        for certified in (False, True):
+            kernel = make_kernel(f"vm-deny-{certified}")
+            tag = kernel.tag_new(name="private")
+            addr = kernel.smalloc(32, tag)
+            kernel.mem_write(addr, b"secret")
+            if certified:
+                kernel.enable_verified([CertificateTemplate(
+                    "t/blind", "blind", {}, {}, (), ("recv",))])
+            out = []
+
+            def body(arg):
+                try:
+                    kernel.mem_read(addr, 6)
+                    out.append("read")
+                except MemoryViolation:
+                    out.append("violation")
+                return "done"
+
+            st = kernel.sthread_create(SecurityContext(), body,
+                                       name="blind", spawn="inline")
+            kernel.sthread_join(st)
+            assert out == ["violation"]
+
+
+class TestVerifiedStats:
+    def test_stats_shape(self):
+        kernel = make_kernel("vm-stats")
+        stats = kernel.verified_stats()
+        assert stats == {"accesses": 0, "syscalls": 0, "certified": 0,
+                         "revocations": 0}
+        addr = kernel.malloc(16)
+        kernel.mem_write(addr, b"x")
+        certify_main(kernel)
+        kernel.mem_read(addr, 1)
+        stats = kernel.verified_stats()
+        assert stats["certified"] == 1
+        assert stats["accesses"] >= 1
+
+    def test_costs_drain_includes_verified_accesses(self):
+        from repro.core.costs import WEIGHTS
+        kernel = make_kernel("vm-drain")
+        addr = kernel.malloc(16)
+        kernel.mem_write(addr, b"y")
+        certify_main(kernel)
+        ck = kernel.costs.checkpoint()
+        kernel.mem_read(addr, 1)
+        assert kernel.costs.delta(ck) == WEIGHTS["verified_access"]
+
+
+# -- the choke points are the only certificate mutators -----------------------
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Patterns that install or clear a table's certificate in place.
+CERT_MUTATION_PATTERNS = [
+    r"\.verified\s*=[^=]",
+    r"del\s+\w+\.verified",
+]
+
+
+def test_memory_py_is_the_only_certificate_mutator():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "memory.py":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for pattern in CERT_MUTATION_PATTERNS:
+                if re.search(pattern, line):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}:"
+                                     f" {line.strip()}")
+    assert offenders == [], (
+        "certificate mutations outside memory.py bypass the "
+        "_invalidate revocation choke point:\n" + "\n".join(offenders))
+
+
+def test_certificates_leave_only_through_invalidate():
+    """Within memory.py, ``.verified`` is written in exactly three
+    places: initialisation, installation, and the ``_invalidate``
+    revocation choke point.  ``revoke_certificate`` must *delegate* to
+    ``_invalidate`` rather than clear the field itself."""
+    text = (SRC / "core" / "memory.py").read_text()
+    writers = []
+    current = "<module>"
+    for line in text.splitlines():
+        match = re.match(r"\s+def\s+(\w+)", line)
+        if match:
+            current = match.group(1)
+        if re.search(r"self\.verified\s*=[^=]", line):
+            writers.append(current)
+    assert sorted(set(writers)) == ["__init__", "_invalidate",
+                                    "install_certificate"], \
+        f"certificate written outside the documented sites: {writers}"
