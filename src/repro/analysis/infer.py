@@ -134,7 +134,8 @@ class InferredPolicy:
 _MEM_MODES = {"mem_read": "r", "mem_write": "rw"}
 _FD_OPS = {"send": ("send", FD_WRITE), "write": ("write", FD_WRITE),
            "recv": ("recv", FD_READ), "recv_exact": ("recv", FD_READ),
-           "read": ("read", FD_READ), "accept": ("accept", FD_READ)}
+           "read": ("read", FD_READ), "accept": ("accept", FD_READ),
+           "shutdown": ("shutdown", FD_WRITE)}
 _FD_MAKERS = {"open": "open", "listen": "listen", "connect": "connect"}
 _SYSCALL_ONLY = {"close": "close", "tag_new": "tag_new",
                  "tag_delete": "tag_delete",

@@ -66,6 +66,23 @@ def _make_pop3():
                            supervise=_lint_policy())
 
 
+def _make_lb():
+    from repro.apps.httpd.monolithic import MonolithicHttpd
+    from repro.apps.lb.server import LbServer
+    from repro.cluster.health import HealthResponder
+    from repro.net import Network
+    network = Network()
+    backend = MonolithicHttpd(network, "lint-be:443")
+    responder = HealthResponder(network, "lint-be:health")
+    server = LbServer(network, "lint-lb:443",
+                      [{"name": "lint-be", "addr": "lint-be:443",
+                        "health": "lint-be:health"}],
+                      supervise=_lint_policy(),
+                      managed=[backend, responder])
+    server.public_key = backend.public_key
+    return server
+
+
 def specs_of(server):
     """The CompartmentSpec list a live partitioned server exposes."""
     import importlib
@@ -100,6 +117,23 @@ def _exercise_sshd(server):
     conn.close()
 
 
+def _exercise_lb(server):
+    from repro.apps.lb.server import encode_preamble
+    from repro.apps.httpd.content import build_request
+    from repro.crypto import DetRNG
+    from repro.tls import TlsClient
+    server.health_sweep()     # the health gate's probe path, traced
+    client = TlsClient(DetRNG("lint"),
+                       expected_server_key=server.public_key)
+    sock = server.network.connect(server.addr)
+    try:
+        sock.send(encode_preamble(b"lintkey1"))
+        conn = client.handshake(sock, resume=False)
+        conn.request(build_request("/"))
+    finally:
+        sock.close()
+
+
 def _exercise_pop3(server):
     from repro.apps.pop3.client import Pop3Client
     client = Pop3Client(server.network, server.addr)
@@ -117,6 +151,7 @@ TARGETS = {
     "sshd-wedge": AppTarget("sshd-wedge", _make_sshd_wedge,
                             _specs_of, _exercise_sshd),
     "pop3": AppTarget("pop3", _make_pop3, _specs_of, _exercise_pop3),
+    "lb": AppTarget("lb", _make_lb, _specs_of, _exercise_lb),
 }
 
 APP_NAMES = tuple(TARGETS)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 
 from repro.apps.httpd import content
-from repro.core.errors import WedgeError
+from repro.core.errors import KernelDead, WedgeError
 from repro.core.kernel import Kernel
 from repro.crypto.prf import MASTER_SECRET_LEN
 from repro.crypto.rng import DetRNG
@@ -149,20 +149,32 @@ class HttpdBase:
 
     def __init__(self, network, addr, *, pages=None, seed="httpd",
                  tag_cache=True, key_bits=512, concurrent=False,
-                 supervise=None):
+                 supervise=None, kernel=None, instance=None):
         self.network = network
         self.addr = addr
         self.pages = dict(pages or content.DEFAULT_PAGES)
         self.rng = DetRNG(seed)
+        #: per-replica entropy label: cluster replicas share *seed* (one
+        #: RSA identity for the whole cluster) but must not mint
+        #: colliding TLS session ids — a failover resumption against a
+        #: twin's cache would pair the wrong master secret with a known
+        #: session id and die in the Finished check
+        self.instance = instance
         #: serve connections concurrently (one master-side dispatcher
         #: per connection, like the paper's per-connection workers); the
         #: default stays sequential for deterministic tests
         self.concurrent = concurrent
         #: optional RestartPolicy applied to per-connection compartments
         self.supervise = supervise
-        self.kernel = Kernel(net=network, tag_cache=tag_cache,
-                             name=f"httpd-{self.variant}")
-        self.main = self.kernel.start_main()
+        if kernel is not None:
+            # cluster mode: several replicas share one host kernel
+            self.kernel = kernel
+            self.main = (kernel.main if kernel.main is not None
+                         else kernel.start_main())
+        else:
+            self.kernel = Kernel(net=network, tag_cache=tag_cache,
+                                 name=f"httpd-{self.variant}")
+            self.main = self.kernel.start_main()
         # the server's long-lived RSA key pair, generated at startup
         self.private_key = generate_keypair(self.rng.fork("rsa"),
                                             key_bits)
@@ -200,6 +212,8 @@ class HttpdBase:
         while not self._stop.is_set():
             try:
                 conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
+            except KernelDead:
+                return   # the host kernel died: no spinning on a ghost
             except WedgeError:
                 continue
             self.connections_served += 1
@@ -226,6 +240,13 @@ class HttpdBase:
         raise NotImplementedError
 
     # -- shared helpers ----------------------------------------------------------
+
+    def conn_rng(self):
+        """The per-connection RNG fork (instance-salted in a cluster)."""
+        label = f"conn{self.connections_served}"
+        if self.instance is not None:
+            label = f"{self.instance}-{label}"
+        return self.rng.fork(label)
 
     def respond_to(self, request_bytes):
         """Parse a complete request and build its response."""

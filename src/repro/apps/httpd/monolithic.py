@@ -45,8 +45,7 @@ class MonolithicHttpd(HttpdBase):
         from repro.crypto.rsa import RsaPrivateKey
         key = RsaPrivateKey.from_bytes(self.key_buf.read())
         handshake = ServerHandshake(
-            transport, key,
-            self.rng.fork(f"conn{self.connections_served}"),
+            transport, key, self.conn_rng(),
             session_cache=self.session_cache,
             on_client_hello=lambda hello: self._parse_hello_vuln(
                 hello, conn_fd))

@@ -1,0 +1,7 @@
+"""The Wedge-partitioned load balancer (the cluster's front door)."""
+
+from repro.apps.lb.server import (ROUTE_KEY_LEN, LbServer, health_gate,
+                                  probe_backend, route_gate)
+
+__all__ = ["LbServer", "ROUTE_KEY_LEN", "health_gate", "probe_backend",
+           "route_gate"]

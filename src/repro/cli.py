@@ -25,6 +25,10 @@ command            prints
                    responses (writes/checks ``BENCH_overload.json``)
 ``observe``        serve demo sessions under the kernel event bus and
                    span tracer; top-style summary, Chrome trace export
+``cluster``        sharded multi-kernel cluster campaign behind the
+                   Wedge-partitioned lb: goodput-vs-replica scaling and
+                   (``--kill-kernel``) a seeded whole-kernel kill with
+                   byte-identical failover (``BENCH_cluster.json``)
 =================  ====================================================
 """
 
@@ -392,6 +396,40 @@ def cmd_overload(args):
     return 1 if failed else 0
 
 
+def cmd_cluster(args):
+    import json
+    import os
+
+    from repro.cluster.campaign import run_cluster
+    from repro.resilience.overload import check_artifact, write_artifact
+    report = run_cluster(kernels=args.kernels, replicas=args.replicas,
+                         requests=args.requests, rounds=args.rounds,
+                         seed=args.seed, kill=args.kill_kernel)
+    print(report.format())
+    failed = not report.passed
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_cluster.json")
+        write_artifact(report, path)
+        print(f"wrote {path}")
+    if args.check:
+        baseline_path = os.path.join(args.check, "BENCH_cluster.json")
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        problems = check_artifact(report.artifact(), baseline)
+        if problems:
+            print(f"REGRESSION vs {baseline_path}:")
+            for problem in problems:
+                print(f"  {problem}")
+            failed = True
+        else:
+            print(f"goodput within tolerance of {baseline_path}")
+    return 1 if failed else 0
+
+
 def cmd_observe(args):
     from repro.observe.export import validate_file
     if args.validate:
@@ -519,6 +557,27 @@ def build_parser():
                     help="compare goodput against DIR/"
                          "BENCH_overload.json (fail on >10%% drop)")
     pv.set_defaults(fn=cmd_overload)
+    pcl = sub.add_parser(
+        "cluster",
+        help="sharded multi-kernel cluster campaign (failover)")
+    pcl.add_argument("--kernels", type=int, default=3,
+                     help="simulated kernels to boot (default: 3)")
+    pcl.add_argument("--replicas", type=int, default=2,
+                     help="httpd replicas per kernel (default: 2)")
+    pcl.add_argument("-n", "--requests", type=int, default=8,
+                     help="distinct routing keys per leg (default: 8)")
+    pcl.add_argument("--rounds", type=int, default=7,
+                     help="kill-leg scheduling rounds (default: 7)")
+    pcl.add_argument("--seed", type=int, default=0,
+                     help="KernelFailure seed (victim and kill round)")
+    pcl.add_argument("--kill-kernel", action="store_true",
+                     help="run the seeded whole-kernel kill leg too")
+    pcl.add_argument("--out", default=None, metavar="DIR",
+                     help="write BENCH_cluster.json into DIR")
+    pcl.add_argument("--check", default=None, metavar="DIR",
+                     help="compare against DIR/BENCH_cluster.json "
+                          "(fail on >10%% goodput drop)")
+    pcl.set_defaults(fn=cmd_cluster)
     po = sub.add_parser(
         "observe",
         help="event bus + span tracing over one app's demo sessions")

@@ -1,0 +1,25 @@
+"""``repro.cluster`` — N kernels, replicas, and a partitioned balancer.
+
+Everything before this package ran on one simulated kernel, so one
+kernel crash meant total outage.  The cluster layer makes whole-kernel
+death a survivable, observable event:
+
+* :mod:`repro.cluster.ring` — the consistent-hash ring (vnode points,
+  preference-order walks, a compact wire form the lb router keeps in
+  private tagged memory);
+* :mod:`repro.cluster.health` — the per-node :class:`HealthResponder`
+  the lb health-checker probes over the wire;
+* :mod:`repro.cluster.cluster` — :class:`Cluster`: boots N kernels of
+  httpd replicas behind a Wedge-partitioned ``lb`` app, with
+  :meth:`~Cluster.kill_kernel` / :meth:`~Cluster.revive` as the chaos
+  verbs;
+* :mod:`repro.cluster.campaign` — the ``python -m repro cluster``
+  campaign (goodput-vs-replica scaling, seeded whole-kernel kill,
+  byte-identical admitted responses, BENCH_cluster.json).
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.health import HealthResponder
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "HashRing", "HealthResponder"]

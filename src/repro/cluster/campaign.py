@@ -1,0 +1,383 @@
+"""The ``python -m repro cluster`` campaign: scale it, then kill it.
+
+Two legs, both seeded and deterministic:
+
+**Scaling** — build the cluster at 1..N kernels and serve the same
+request mix at each size.  Goodput must stay total (every request
+served), and the *modeled* aggregate capacity — replicas divided by the
+mean backend cycles per request, i.e. what independent kernels would
+sustain side by side — must grow linearly with the kernel count: adding
+machines must not make each request more expensive.
+
+**Kill** — serve rounds of requests against a full-size cluster twice:
+once clean (the baseline observations), once with a seeded
+:class:`~repro.faults.KernelFailure` powering off a whole kernel
+mid-campaign.  The contract:
+
+* every admitted request is served **byte-identical** to the no-kill
+  baseline (failover re-handshakes against the same pinned key and the
+  same content);
+* the dead kernel's replicas are ejected within the breaker failure
+  threshold, asserted via ``cluster.ejected`` events;
+* after ejection **no routing decision ever includes a dead replica**
+  (a replay of the router's audit trail);
+* at least one TLS session resumes across the campaign (the
+  consistent-hash ring keeps sessions on their replica);
+* reviving the node re-admits its replicas through half-open probes
+  (``cluster.recovered`` events), and the cross-kernel span stitcher
+  links lb traces to backend traces through shared connection ids.
+
+The artifact rides the overload-benchmark rails: every checked metric
+ends in ``_goodput`` (lower than baseline = regression) and lands in
+``BENCH_cluster.json`` via the same writer/checker.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.cluster import Cluster
+from repro.core.errors import WedgeError
+from repro.faults.kernelfail import KernelFailure
+from repro.faults.plan import FaultPlan
+from repro.observe.events import (CLUSTER_EJECTED, CLUSTER_FAILOVER,
+                                  CLUSTER_RECOVERED)
+from repro.observe.observer import Observer
+from repro.observe.trace import stitch
+from repro.resilience.breaker import BreakerPolicy
+
+#: Default request-mix size per leg (distinct routing keys).
+DEFAULT_REQUESTS = 8
+#: Default rounds for the kill leg (the seeded kill lands mid-window).
+DEFAULT_ROUNDS = 7
+#: Modeled capacity may deviate this much from perfectly linear.
+LINEARITY_TOLERANCE = 0.25
+#: Give the revived node this many sweeps to win back admission.
+MAX_RECOVERY_SWEEPS = 5
+
+
+def _keys(count):
+    return [f"k{i:07d}".encode() for i in range(count)]
+
+
+def _campaign_breaker():
+    # cooldown 0.0: probe admission depends only on control flow, so
+    # campaigns are reproducible per seed (chaos harness precedent)
+    return BreakerPolicy(cooldown=0.0)
+
+
+class ClusterReport:
+    """What one campaign measured and whether the contract held."""
+
+    def __init__(self, *, kernels, replicas, requests, rounds, seed):
+        self.kernels = kernels
+        self.replicas = replicas
+        self.requests = requests
+        self.rounds = rounds
+        self.seed = seed
+        #: per-size scaling rows: {kernels, served, issued, cycles_per
+        #: _request, capacity, wall}
+        self.scaling = []
+        self.linearity = None
+        self.victim = None
+        self.kill_round = None
+        self.killed_backends = []
+        self.kill_issued = 0
+        self.kill_served = 0
+        self.kill_identical = 0
+        self.outage_issued = 0
+        self.outage_served = 0
+        self.sweeps_to_eject = None
+        self.recovery_sweeps = None
+        self.resumed_sessions = 0
+        self.failovers = 0
+        self.stitched_traces = 0
+        self.kill_wall = 0.0
+        self.violations = []
+
+    @property
+    def passed(self):
+        return not self.violations
+
+    # -- derived metrics ---------------------------------------------------
+
+    def kill_goodput(self):
+        if not self.kill_issued:
+            return 1.0
+        return self.kill_identical / self.kill_issued
+
+    def availability(self):
+        if not self.outage_issued:
+            return 1.0
+        return self.outage_served / self.outage_issued
+
+    def artifact(self):
+        """The ``BENCH_cluster.json`` payload (overload-checker rails)."""
+        metrics = {}
+        wall = {}
+        for row in self.scaling:
+            metrics[f"scale{row['kernels']}_goodput"] = round(
+                row["served"] / row["issued"], 4)
+            wall[f"scale{row['kernels']}_seconds"] = row["wall"]
+        if self.linearity is not None:
+            metrics["linearity_goodput"] = round(self.linearity, 4)
+        if self.kill_round is not None:
+            metrics["kill_goodput"] = round(self.kill_goodput(), 4)
+            metrics["availability_goodput"] = round(self.availability(), 4)
+            wall["kill_seconds"] = self.kill_wall
+        info = {
+            "kernels": self.kernels,
+            "replicas_per_kernel": self.replicas,
+            "requests": self.requests,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "victim": self.victim,
+            "kill_round": self.kill_round,
+            "killed_backends": self.killed_backends,
+            "sweeps_to_eject": self.sweeps_to_eject,
+            "recovery_sweeps": self.recovery_sweeps,
+            "resumed_sessions": self.resumed_sessions,
+            "failovers": self.failovers,
+            "stitched_traces": self.stitched_traces,
+            "capacity": {str(row["kernels"]): row["capacity"]
+                         for row in self.scaling},
+            "passed": self.passed,
+        }
+        return {"artifact": "cluster", "metrics": metrics, "wall": wall,
+                "info": info}
+
+    def format(self):
+        lines = [f"cluster kernels={self.kernels} "
+                 f"replicas={self.replicas} seed={self.seed}: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        for row in self.scaling:
+            lines.append(
+                f"  scale {row['kernels']}x{self.replicas}: "
+                f"{row['served']}/{row['issued']} served, "
+                f"{row['cycles_per_request']:,d} cycles/request, "
+                f"capacity {row['capacity']:.2f} req/Mcycle")
+        if self.linearity is not None:
+            lines.append(f"  linear scaling: {self.linearity:.2f} of "
+                         f"ideal (floor {1 - LINEARITY_TOLERANCE:.2f})")
+        if self.kill_round is not None:
+            lines.append(
+                f"  kill: {self.victim} at round {self.kill_round} "
+                f"(backends {', '.join(self.killed_backends)})")
+            lines.append(
+                f"  served {self.kill_served}/{self.kill_issued} "
+                f"({self.kill_identical} byte-identical to baseline), "
+                f"availability under kill "
+                f"{self.availability():.2%}")
+            lines.append(
+                f"  ejected in {self.sweeps_to_eject} sweep(s), "
+                f"re-admitted in {self.recovery_sweeps} sweep(s) after "
+                f"revive; {self.failovers} failovers, "
+                f"{self.resumed_sessions} resumed sessions")
+            lines.append(
+                f"  {self.stitched_traces} cross-kernel stitched traces")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# -- the legs -----------------------------------------------------------------
+
+
+def _build(kernels, replicas, *, failure_threshold=1):
+    return Cluster(kernels=kernels, replicas=replicas,
+                   failure_threshold=failure_threshold,
+                   breaker_policy=_campaign_breaker(), probe_timeout=1.0)
+
+
+def _node_cycles(cluster):
+    return sum(node.kernel.costs.cycles() for node in cluster.nodes
+               if node.alive)
+
+
+def _scaling_leg(report, keys):
+    capacities = {}
+    for k in range(1, report.kernels + 1):
+        cluster = _build(k, report.replicas)
+        cluster.start()
+        served = 0
+        before = _node_cycles(cluster)
+        start = time.perf_counter()
+        try:
+            cluster.lb.health_sweep()
+            for key in keys:
+                try:
+                    if cluster.request(key, resume=False):
+                        served += 1
+                except WedgeError:
+                    pass
+            cycles = _node_cycles(cluster) - before
+        finally:
+            cluster.stop()
+        wall = time.perf_counter() - start
+        per_request = max(1, cycles // max(1, served))
+        n_replicas = k * report.replicas
+        # independent kernels run side by side: aggregate modeled
+        # capacity is replicas over the per-request cost
+        capacity = n_replicas / per_request * 1_000_000
+        capacities[k] = capacity
+        report.scaling.append({
+            "kernels": k, "issued": len(keys), "served": served,
+            "cycles_per_request": per_request,
+            "capacity": round(capacity, 4), "wall": round(wall, 4)})
+        if served < len(keys):
+            report.violations.append(
+                f"scale {k}: only {served}/{len(keys)} served")
+    ideal = capacities[1]
+    report.linearity = min(
+        capacities[k] / (k * ideal) for k in capacities)
+    if report.linearity < 1 - LINEARITY_TOLERANCE:
+        report.violations.append(
+            f"capacity is sub-linear: {report.linearity:.2f} of ideal")
+
+
+def _cluster_events(observers, kind):
+    return [e for obs in observers for e in obs.recorder.last()
+            if e.kind == kind]
+
+
+def _kill_leg(report, keys):
+    # baseline pass: the same rounds, nobody dies
+    baseline = {}
+    cluster = _build(report.kernels, report.replicas)
+    cluster.start()
+    try:
+        cluster.lb.health_sweep()
+        for key in keys:
+            baseline[key] = cluster.request(key, resume=False)
+    finally:
+        cluster.stop()
+
+    # kill pass: a seeded KernelFailure takes one kernel down mid-run
+    cluster = _build(report.kernels, report.replicas)
+    observers = [Observer(cluster.lb.kernel).attach()]
+    observers += [Observer(node.kernel).attach()
+                  for node in cluster.nodes]
+    plan = FaultPlan(report.seed)
+    failure = KernelFailure(plan, [n.name for n in cluster.nodes],
+                            window=(2, max(3, report.rounds - 2)))
+    clients = {key: cluster.make_client(key.hex()) for key in keys}
+    start = time.perf_counter()
+    cluster.start()
+    try:
+        cluster.lb.health_sweep()
+        dead_backends = set()
+        audit_at_eject = None
+        for round_no in range(report.rounds):
+            victim = failure.step()
+            if victim is not None:
+                report.victim = victim
+                report.kill_round = round_no
+                report.killed_backends = cluster.kill_kernel(victim)
+            for key in keys:
+                report.kill_issued += 1
+                if failure.killed and report.recovery_sweeps is None:
+                    report.outage_issued += 1
+                try:
+                    response = cluster.request(key, client=clients[key])
+                except WedgeError:
+                    continue
+                report.kill_served += 1
+                if failure.killed and report.recovery_sweeps is None:
+                    report.outage_served += 1
+                if response == baseline[key]:
+                    report.kill_identical += 1
+                if clients[key].last_resumed:
+                    report.resumed_sessions += 1
+            sweep = cluster.lb.health_sweep()
+            if failure.killed and report.sweeps_to_eject is None:
+                ejected = {e.fields["backend"] for e in _cluster_events(
+                    observers, CLUSTER_EJECTED)}
+                if set(report.killed_backends) <= ejected:
+                    report.sweeps_to_eject = round_no - report.kill_round + 1
+                    dead_backends = {cluster.backend_index(name)
+                                     for name in report.killed_backends}
+                    audit_at_eject = len(cluster.lb.audit)
+            if (failure.killed and report.sweeps_to_eject is not None
+                    and report.recovery_sweeps is None
+                    and round_no >= report.kill_round + 1):
+                # the replacement machine comes up; half-open probes
+                # must re-admit it without operator involvement
+                cluster.revive(report.victim)
+                for attempt in range(1, MAX_RECOVERY_SWEEPS + 1):
+                    cluster.lb.health_sweep()
+                    recovered = {e.fields["backend"]
+                                 for e in _cluster_events(
+                                     observers, CLUSTER_RECOVERED)}
+                    if set(report.killed_backends) <= recovered:
+                        report.recovery_sweeps = attempt
+                        break
+                if report.recovery_sweeps is None:
+                    report.violations.append(
+                        f"revived {report.victim} not re-admitted in "
+                        f"{MAX_RECOVERY_SWEEPS} sweeps")
+                    report.recovery_sweeps = -1
+
+        # the no-dead-routing proof: replay the audit trail from the
+        # moment of ejection; no decision may offer a dead replica
+        # until the health table shows the node re-admitted
+        if audit_at_eject is not None:
+            for decision in cluster.lb.audit[audit_at_eject:]:
+                if all(decision["alive"][d] for d in dead_backends):
+                    break              # health restored; later rows ok
+                if set(decision["order"]) & dead_backends:
+                    report.violations.append(
+                        f"request routed to dead replica after "
+                        f"ejection: {decision}")
+                    break
+        report.failovers = len(
+            _cluster_events(observers, CLUSTER_FAILOVER))
+        report.kill_wall = round(time.perf_counter() - start, 4)
+
+        if report.kill_round is None:
+            report.violations.append("the seeded kill never fired")
+        if report.sweeps_to_eject is None:
+            report.violations.append(
+                "dead replicas were never ejected (no cluster.ejected "
+                "events for the victim's backends)")
+        elif report.sweeps_to_eject > max(
+                1, cluster.lb._health_trusted["threshold"]):
+            report.violations.append(
+                f"ejection took {report.sweeps_to_eject} sweeps "
+                f"(threshold "
+                f"{cluster.lb._health_trusted['threshold']})")
+        if report.kill_identical < report.kill_served:
+            report.violations.append(
+                f"{report.kill_served - report.kill_identical} served "
+                f"responses deviated from the no-kill baseline")
+        if report.outage_issued and \
+                report.outage_served < report.outage_issued:
+            report.violations.append(
+                f"availability under kill: only {report.outage_served}"
+                f"/{report.outage_issued} served during the outage")
+        if not report.resumed_sessions:
+            report.violations.append(
+                "no TLS session resumed (ring stability broken?)")
+        groups = stitch([obs.tracer for obs in observers])
+        report.stitched_traces = sum(
+            1 for g in groups
+            if len({t[0] for t in g["traces"]}) > 1)
+        if not report.stitched_traces:
+            report.violations.append(
+                "span stitching linked no lb trace to a backend trace")
+    finally:
+        cluster.stop()
+        for obs in observers:
+            obs.detach()
+
+
+def run_cluster(*, kernels=3, replicas=2, requests=DEFAULT_REQUESTS,
+                rounds=DEFAULT_ROUNDS, seed=0, kill=True, scaling=True):
+    """Run the cluster campaign; returns a :class:`ClusterReport`."""
+    report = ClusterReport(kernels=kernels, replicas=replicas,
+                           requests=requests, rounds=rounds, seed=seed)
+    keys = _keys(requests)
+    if scaling:
+        _scaling_leg(report, keys)
+    if kill:
+        _kill_leg(report, keys)
+    return report

@@ -1,0 +1,211 @@
+"""The sharded multi-kernel cluster behind the partitioned balancer.
+
+A :class:`Cluster` is the paper's compartment story scaled out one
+level: instead of sthreads inside one kernel, whole *kernels* become
+the fault domain.  N simulated kernels (``node0`` .. ``nodeN-1``) each
+host R httpd replicas plus one :class:`~repro.cluster.health.
+HealthResponder`, all sharing the node's kernel — so killing the kernel
+takes down everything on the node at once, exactly like powering off a
+machine.  An ``lb`` app (its own kernel, its own compartments) fronts
+the lot.
+
+The chaos verbs are :meth:`Cluster.kill_kernel` (syscalls refuse with
+:class:`~repro.core.errors.KernelDead`, listeners close, in-flight
+probes get typed errors — never hangs) and :meth:`Cluster.revive`
+(a fresh kernel at the same addresses; the balancer's half-open probes
+re-admit the replicas without anyone telling it).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.httpd.content import build_request
+from repro.apps.httpd.monolithic import MonolithicHttpd
+from repro.cluster.health import HealthResponder
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.core.errors import WedgeError
+from repro.core.kernel import Kernel
+from repro.crypto.rng import DetRNG
+from repro.net import Network
+from repro.tls.client import TlsClient
+
+
+class ClusterNode:
+    """One simulated machine: a kernel, R replicas, a health endpoint."""
+
+    def __init__(self, cluster, index):
+        self.cluster = cluster
+        self.index = index
+        self.name = f"node{index}"
+        self.alive = True
+        self.incarnation = 0
+        self.kernel = None
+        self.responder = None
+        self.replicas = []
+        self._build()
+
+    @property
+    def health_addr(self):
+        return f"{self.name}:health"
+
+    def replica_name(self, r):
+        return f"{self.name}-r{r}"
+
+    def replica_addr(self, r):
+        return f"{self.replica_name(r)}:443"
+
+    def _build(self):
+        c = self.cluster
+        self.kernel = Kernel(net=c.network, name=self.name)
+        self.kernel.start_main()
+        self.responder = HealthResponder(c.network, self.health_addr,
+                                         kernel=self.kernel)
+        self.replicas = [
+            MonolithicHttpd(c.network, self.replica_addr(r),
+                            seed=c.seed, kernel=self.kernel,
+                            instance=(f"{self.replica_name(r)}"
+                                      f"~{self.incarnation}"))
+            for r in range(c.replicas_per_kernel)]
+
+    def start(self):
+        self.responder.start()
+        for replica in self.replicas:
+            replica.start()
+
+    def stop(self):
+        for replica in self.replicas:
+            replica.stop()
+        self.responder.stop()
+
+    def kill(self):
+        """Power the node off: every syscall after this refuses."""
+        self.alive = False
+        self.kernel.kill()
+        self.stop()     # join the (now returning) service threads
+
+    def revive(self):
+        """A replacement machine at the same addresses."""
+        if self.alive:
+            raise WedgeError(f"{self.name} is already alive")
+        self.incarnation += 1
+        self._build()
+        self.start()
+        self.alive = True
+
+
+class Cluster:
+    """N kernels of httpd replicas behind the Wedge-partitioned lb."""
+
+    def __init__(self, network=None, *, kernels=3, replicas=2,
+                 seed="httpd", vnodes=DEFAULT_VNODES, failure_threshold=1,
+                 breaker_policy=None, probe_timeout=2.0,
+                 clock=time.monotonic, supervise=None, lb_addr="lb:443"):
+        # deferred: repro.apps.lb imports repro.cluster.ring, so pulling
+        # LbServer in at module scope would be a circular import
+        from repro.apps.lb.server import LbServer
+
+        self.network = network if network is not None else Network()
+        self.seed = seed
+        self.replicas_per_kernel = int(replicas)
+        self.nodes = [ClusterNode(self, k) for k in range(int(kernels))]
+        backends = []
+        for node in self.nodes:
+            for r in range(self.replicas_per_kernel):
+                backends.append({"name": node.replica_name(r),
+                                 "addr": node.replica_addr(r),
+                                 "health": node.health_addr})
+        self.lb = LbServer(self.network, lb_addr, backends,
+                           vnodes=vnodes,
+                           failure_threshold=failure_threshold,
+                           breaker_policy=breaker_policy,
+                           probe_timeout=probe_timeout, clock=clock,
+                           supervise=supervise)
+        # every replica derives the same key from the shared seed, so
+        # one pin covers the whole cluster (and failover re-handshakes
+        # verify against the same identity)
+        self.lb.public_key = self.nodes[0].replicas[0].public_key
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        if self._started:
+            raise WedgeError("cluster already started")
+        for node in self.nodes:
+            node.start()
+        self.lb.start()
+        self._started = True
+        return self
+
+    def stop(self):
+        self.lb.stop()
+        for node in self.nodes:
+            if node.alive:
+                node.stop()
+        self._started = False
+
+    # -- chaos verbs -------------------------------------------------------
+
+    def node(self, name):
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise WedgeError(f"no such node: {name!r}")
+
+    def kill_kernel(self, name):
+        """Kill a whole node; returns the backend names it hosted."""
+        node = self.node(name)
+        node.kill()
+        return [node.replica_name(r)
+                for r in range(self.replicas_per_kernel)]
+
+    def revive(self, name):
+        self.node(name).revive()
+
+    # -- client helpers ----------------------------------------------------
+
+    def backend_index(self, backend_name):
+        for i, b in enumerate(self.lb.backends):
+            if b["name"] == backend_name:
+                return i
+        raise WedgeError(f"no such backend: {backend_name!r}")
+
+    def make_client(self, label):
+        return TlsClient(DetRNG(f"cluster-{label}"),
+                         expected_server_key=self.lb.public_key)
+
+    def request(self, key, path="/", *, client=None, resume=True,
+                timeout=10.0):
+        """One end-to-end request through the balancer.
+
+        Sends the 8-byte routing *key*, handshakes TLS end-to-end with
+        whichever replica the router picked, and returns the plaintext
+        response (which must be byte-identical no matter the replica).
+        """
+        from repro.apps.lb.server import ROUTE_KEY_LEN, encode_preamble
+        key = bytes(key)
+        if len(key) != ROUTE_KEY_LEN:
+            raise WedgeError(
+                f"routing key must be {ROUTE_KEY_LEN} bytes")
+        if client is None:
+            client = self.make_client(key.hex())
+        sock = self.network.connect(self.lb.addr)
+        try:
+            sock.send(encode_preamble(key))
+            conn = client.handshake(sock, resume=resume, timeout=timeout)
+            return conn.request(build_request(path))
+        finally:
+            sock.close()
+
+    # -- observability -----------------------------------------------------
+
+    def observers(self):
+        """Every kernel's observer, lb first (for cross-kernel stitch)."""
+        return ([self.lb.kernel.observe]
+                + [node.kernel.observe for node in self.nodes
+                   if node.alive])
+
+    def tracers(self):
+        return [obs.tracer for obs in self.observers()
+                if obs.tracer is not None]

@@ -1,0 +1,81 @@
+"""The per-node health endpoint the lb health-checker probes.
+
+One :class:`HealthResponder` runs on every cluster node, answering the
+four-byte ``ping`` with ``OK`` over a fresh connection.  It shares the
+node's kernel with the app replicas, so its liveness *is* the node's
+liveness: a killed kernel closes the responder's listener with
+everything else, and the health-checker's next probe maps to the typed
+:class:`~repro.core.errors.ConnectionRefused` — never a hang (the
+connect-vs-close race fix extends to the probe path).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import KernelDead, WedgeError
+from repro.core.kernel import Kernel
+
+PING = b"ping"
+PONG = b"OK"
+
+
+class HealthResponder:
+    """Answer ``ping`` with ``OK`` on *addr*; one per cluster node."""
+
+    def __init__(self, network, addr, *, kernel=None, name="health"):
+        self.network = network
+        self.addr = addr
+        if kernel is None:
+            kernel = Kernel(net=network, name=name)
+        self.kernel = kernel
+        self.main = (kernel.main if kernel.main is not None
+                     else kernel.start_main())
+        self._listen_fd = None
+        self._thread = None
+        self._stop = threading.Event()
+        self.probes_answered = 0
+        self.errors = []
+
+    def start(self):
+        if self._thread is not None:
+            raise WedgeError("responder already started")
+        self._listen_fd = self.kernel.listen(self.addr)
+        self._thread = threading.Thread(
+            target=self._serve_loop, daemon=True,
+            name=f"health:{self.addr}")
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        try:
+            self.kernel.close(self._listen_fd)
+        except WedgeError:
+            pass
+        if self._thread is not None:
+            self._thread.join(5.0)
+
+    def _serve_loop(self):
+        kernel = self.kernel
+        while not self._stop.is_set():
+            try:
+                conn_fd = kernel.accept(self._listen_fd, timeout=0.5)
+            except KernelDead:
+                return
+            except WedgeError:
+                continue
+            try:
+                if kernel.recv_exact(conn_fd, len(PING),
+                                     timeout=2.0) == PING:
+                    kernel.send(conn_fd, PONG)
+                    self.probes_answered += 1
+            except KernelDead:
+                return
+            except WedgeError as exc:
+                self.errors.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                try:
+                    kernel.close(conn_fd)
+                except WedgeError:
+                    pass

@@ -1,0 +1,127 @@
+"""Consistent-hash ring with virtual nodes and preference orders.
+
+The lb router keeps one of these, serialized, in private tagged memory
+(the ``lb-ring`` tag): the route gate deserializes the blob under its
+own compartment's privileges on every invocation, so the ring's shape
+is never readable from the network-facing listener.
+
+Properties the cluster leans on:
+
+* **Stability** — a key maps to the same replica for the life of the
+  ring, so the httpd TLS session cache keeps hitting (the same backend
+  sees every resumption of a session it created).
+* **Bounded remapping** — removing one replica from the alive set moves
+  only the keys whose preference walk started at that replica's vnodes
+  (≈1/N of the keyspace); everyone else keeps their primary.
+* **Deterministic failover order** — :meth:`HashRing.order` is the
+  clockwise walk from the key's point, so every router instance agrees
+  on who takes over when a replica is ejected.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+
+from repro.core.errors import WedgeError
+
+DEFAULT_VNODES = 16
+_SALT = b"wedge-ring:"
+
+
+def _point(data):
+    """A ring position: the first 8 bytes of a salted SHA-256."""
+    return int.from_bytes(
+        hashlib.sha256(_SALT + data).digest()[:8], "big")
+
+
+class HashRing:
+    """Vnode consistent hashing over an ordered list of member names."""
+
+    def __init__(self, names, *, vnodes=DEFAULT_VNODES):
+        self.names = [str(n) for n in names]
+        if not self.names:
+            raise WedgeError("a hash ring needs at least one member")
+        self.vnodes = int(vnodes)
+        points = []
+        for index, name in enumerate(self.names):
+            for v in range(self.vnodes):
+                points.append((_point(f"{name}#{v}".encode()), index))
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    # -- routing -----------------------------------------------------------
+
+    def order(self, key, alive=None):
+        """Preference order of member indices for *key*.
+
+        The clockwise walk from the key's ring position, first
+        occurrence of each member wins.  *alive* (an index -> truthy
+        mapping or sequence) filters the walk; the primary of a dead
+        member fails over to the next distinct member on the ring.
+        """
+        start = bisect.bisect_right(self._keys, _point(bytes(key)))
+        seen = []
+        n = len(self._points)
+        for step in range(n):
+            index = self._points[(start + step) % n][1]
+            if index not in seen:
+                seen.append(index)
+        if alive is not None:
+            seen = [i for i in seen if alive[i]]
+        return seen
+
+    def route(self, key, alive=None):
+        """The chosen member index for *key*, or None if nobody is up."""
+        order = self.order(key, alive=alive)
+        return order[0] if order else None
+
+    # -- wire form ---------------------------------------------------------
+
+    def serialize(self):
+        """Compact blob the router keeps in the ``lb-ring`` tag."""
+        out = [struct.pack(">HH", len(self.names), self.vnodes)]
+        for name in self.names:
+            encoded = name.encode()
+            out.append(struct.pack(">H", len(encoded)))
+            out.append(encoded)
+        out.append(struct.pack(">I", len(self._points)))
+        for point, index in self._points:
+            out.append(struct.pack(">QH", point, index))
+        return b"".join(out)
+
+    @classmethod
+    def deserialize(cls, blob):
+        blob = bytes(blob)
+        try:
+            n_names, vnodes = struct.unpack_from(">HH", blob, 0)
+            offset = 4
+            names = []
+            for _ in range(n_names):
+                (length,) = struct.unpack_from(">H", blob, offset)
+                offset += 2
+                names.append(blob[offset:offset + length].decode())
+                offset += length
+            (n_points,) = struct.unpack_from(">I", blob, offset)
+            offset += 4
+            points = []
+            for _ in range(n_points):
+                point, index = struct.unpack_from(">QH", blob, offset)
+                offset += 10
+                points.append((point, index))
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise WedgeError(f"corrupt ring blob: {exc}") from exc
+        ring = cls.__new__(cls)
+        ring.names = names
+        ring.vnodes = vnodes
+        ring._points = points
+        ring._keys = [p for p, _ in points]
+        if not points:
+            raise WedgeError("corrupt ring blob: no points")
+        return ring
+
+    def __repr__(self):
+        return (f"<HashRing members={len(self.names)} "
+                f"vnodes={self.vnodes}>")

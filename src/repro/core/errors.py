@@ -152,6 +152,20 @@ class GateTimeout(CallgateError):
         self.timeout = timeout
 
 
+class KernelDead(WedgeError):
+    """A syscall trapped into a kernel that has been killed.
+
+    Whole-kernel failure (the ``repro.cluster`` chaos mode) marks the
+    kernel dead; every subsequent syscall on it raises this instead of
+    executing, so in-flight compartments on the dead node unwind
+    promptly rather than computing on a ghost.
+    """
+
+    def __init__(self, message, *, kernel=None):
+        super().__init__(message)
+        self.kernel = kernel
+
+
 class NetworkError(WedgeError):
     """Simulated network failure (no listener, connection reset)."""
 

@@ -41,7 +41,7 @@ from repro.core.callgate import CallgateRecord
 from repro.core.costs import CostAccount
 from repro.core.errors import (CallgateDegraded, CallgateError,
                                CompartmentDown, CompartmentFault,
-                               DeadlineExceeded, GateTimeout,
+                               DeadlineExceeded, GateTimeout, KernelDead,
                                MemoryViolation, OutOfMemory, PolicyError,
                                SthreadError, SthreadFaulted, SyscallDenied,
                                TagError, VfsError, WedgeError)
@@ -188,6 +188,15 @@ class Kernel:
         self._cert_templates = []
         self._cert_secret = os.urandom(16)
         self.verified_syscalls = 0
+        #: whole-kernel liveness (repro.cluster): kill() flips this and
+        #: every subsequent syscall raises KernelDead.  The hot path is
+        #: a single truthiness test.
+        self.alive = True
+        #: network endpoints opened by this kernel's syscalls, so that
+        #: kill() can tear the machine off the wire: listeners unbind,
+        #: established connections reset (peers see PeerReset, not hangs)
+        self._owned_listeners = []
+        self._owned_socks = []
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -323,6 +332,10 @@ class Kernel:
         granted SID at certification time), so the trap is charged at
         the cheaper ``verified_syscall`` weight and the check elided.
         """
+        if not self.alive:
+            raise KernelDead(
+                f"kernel {self.name!r} is dead: syscall {name!r} refused",
+                kernel=self.name)
         st = self.current()
         ver = st.table.verified
         if ver is not None and name in ver.syscalls:
@@ -332,6 +345,36 @@ class Kernel:
         self.costs.charge("syscall")
         self.selinux.check_syscall(st.sel_sid, name)
         return st
+
+    # ------------------------------------------------------------------
+    # whole-kernel liveness (repro.cluster)
+    # ------------------------------------------------------------------
+
+    def kill(self):
+        """Kill the whole machine: the cluster chaos mode's one verb.
+
+        Marks the kernel dead (every later syscall raises
+        :class:`~repro.core.errors.KernelDead`) and tears it off the
+        network — owned listeners close (in-flight connects map to the
+        typed :class:`~repro.core.errors.ConnectionRefused` race path),
+        established connections reset so remote peers blocked in
+        recv/send wake promptly with
+        :class:`~repro.core.errors.PeerReset` instead of timing out.
+        Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for listener in self._owned_listeners:
+            try:
+                listener.close()
+            except WedgeError:
+                pass
+        for sock in self._owned_socks:
+            try:
+                sock.reset()
+            except WedgeError:
+                pass
 
     # ------------------------------------------------------------------
     # fault injection (repro.faults)
@@ -1387,6 +1430,7 @@ class Kernel:
     def listen(self, addr, backlog=None):
         st = self._syscall("listen")
         listener = self._need_net().listen(addr, backlog=backlog)
+        self._owned_listeners.append(listener)
         fd = st.fdtable.install(ListenerOpenFile(listener), FD_READ)
         if self.observe.enabled:
             self.observe.emit(ev.NET_LISTEN, comp=st.name, addr=addr,
@@ -1398,11 +1442,12 @@ class Kernel:
         st = self._syscall("accept")
         entry = st.fdtable.lookup(listen_fd, needed=FD_READ)
         sock = entry.file.listener.accept(timeout)
+        self._owned_socks.append(sock)
         fd = st.fdtable.install(SocketOpenFile(sock), FD_RW)
         obs = self.observe
         if obs.enabled:
             obs.emit(ev.NET_ACCEPT, comp=st.name, fd=fd,
-                     addr=getattr(sock, "addr", None))
+                     addr=getattr(sock, "addr", None), cid=sock.cid)
         tracer = obs.tracer
         if tracer is not None:
             # one inbound connection, one trace: a fresh root span
@@ -1410,17 +1455,23 @@ class Kernel:
             if st.span is not None and st.span.parent_id is None:
                 tracer.end(st.span)
             st.span = tracer.begin("request", comp=st.name,
-                                   addr=getattr(sock, "addr", None))
+                                   addr=getattr(sock, "addr", None),
+                                   cid=sock.cid)
         return fd
 
     @_traced_syscall
     def connect(self, addr):
         st = self._syscall("connect")
         sock = self._need_net().connect(addr)
+        self._owned_socks.append(sock)
         fd = st.fdtable.install(SocketOpenFile(sock), FD_RW)
         if self.observe.enabled:
             self.observe.emit(ev.NET_CONNECT, comp=st.name, addr=addr,
-                              fd=fd)
+                              fd=fd, cid=sock.cid)
+        if st.span is not None and sock.cid is not None:
+            # the outbound hop's cid joins this span's trace to the
+            # accepting span on the remote kernel (observe.stitch)
+            st.span.fields.setdefault("cids", []).append(sock.cid)
         return fd
 
     @_traced_syscall
@@ -1432,6 +1483,21 @@ class Kernel:
             self.observe.emit(ev.NET_SEND, comp=st.name, fd=fd,
                               nbytes=len(data))
         return entry.file.write(bytes(data))
+
+    @_traced_syscall
+    def shutdown(self, fd):
+        """Half-close: end the write direction of a socket fd.
+
+        The peer's reads drain buffered bytes and then see EOF, while
+        this side can keep reading — the forwarding idiom the lb app's
+        splice compartments rely on.  Demands FD_WRITE (it is the write
+        direction being retired).
+        """
+        st = self._syscall("shutdown")
+        entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        if entry.file.kind != "socket":
+            raise WedgeError(f"shutdown on non-socket fd {fd}")
+        entry.file.sock.shutdown_write()
 
     @_traced_syscall
     def recv(self, fd, size, timeout=None):

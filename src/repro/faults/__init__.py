@@ -22,6 +22,7 @@ machinery to prove that empirically:
 from repro.faults.chaos import (CHAOS_APP_NAMES, ChaosReport,
                                 breaker_recovery_drill,
                                 cow_freshness_probe, run_chaos)
+from repro.faults.kernelfail import KernelFailure
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
 from repro.faults.supervise import RestartPolicy, SupervisedSthread
 
@@ -31,6 +32,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
+    "KernelFailure",
     "RestartPolicy",
     "SupervisedSthread",
     "breaker_recovery_drill",

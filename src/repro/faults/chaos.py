@@ -127,10 +127,28 @@ def _make_pop3(policy):
     return PartitionedPop3(Network(), "chaos-pop3:110", supervise=policy)
 
 
+def _make_lb(policy):
+    from repro.apps.httpd.monolithic import MonolithicHttpd
+    from repro.apps.lb.server import LbServer
+    from repro.cluster.health import HealthResponder
+    from repro.net import Network
+    network = Network()
+    backend = MonolithicHttpd(network, "chaos-be:443")
+    responder = HealthResponder(network, "chaos-be:health")
+    server = LbServer(network, "chaos-lb:443",
+                      [{"name": "chaos-be", "addr": "chaos-be:443",
+                        "health": "chaos-be:health"}],
+                      breaker_policy=BreakerPolicy(cooldown=0.0),
+                      supervise=policy, managed=[backend, responder])
+    server.public_key = backend.public_key
+    return server
+
+
 def _httpd_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
     from repro.apps.httpd.content import build_request
     from repro.crypto import DetRNG
     from repro.tls import TlsClient
+    from repro.apps.lb.server import encode_preamble
     client = TlsClient(DetRNG(f"chaos{index}"),
                        expected_server_key=server.public_key)
     # connect the socket ourselves so it is closed even when the
@@ -148,6 +166,38 @@ def _httpd_snapshot(server):
     from repro.apps.httpd.content import build_response
     return {"page /": build_response(server.pages, "/"),
             "server key": server.public_key.to_bytes()}
+
+
+def _lb_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
+    from repro.apps.httpd.content import build_request
+    from repro.crypto import DetRNG
+    from repro.tls import TlsClient
+    if strict or index % 8 == 0:
+        # chaos trips the backend's breaker (one refused connect ejects
+        # it); the health-checker cadence re-admits it through the
+        # half-open probe — under injection for the periodic sweeps,
+        # clean for the strict probes
+        for _ in range(3):
+            try:
+                if server.health_sweep()["health"] == [1]:
+                    break
+            except WedgeError:
+                continue
+    from repro.apps.lb.server import encode_preamble
+    client = TlsClient(DetRNG(f"chaos{index}"),
+                       expected_server_key=server.public_key)
+    sock = server.network.connect(server.addr)
+    try:
+        sock.send(encode_preamble(b"chaoskey"))
+        conn = client.handshake(sock, resume=False, timeout=timeout)
+        return conn.request(build_request("/"))
+    finally:
+        sock.close()
+
+
+def _lb_snapshot(server):
+    return {"ring": bytes(server._ring_buf.read()),
+            "health": bytes(server.health_bytes())}
 
 
 def _sshd_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
@@ -222,6 +272,15 @@ CHAOS_TARGETS = {
         rates={("cgate", "crash"): 0.12, ("mem_read", "memfault"): 0.03,
                ("mem_write", "memfault"): 0.03,
                ("net_send", "reset"): 0.01}),
+    "lb": ChaosTarget(
+        "lb", _make_lb, _lb_session, _lb_snapshot,
+        # the balancer's own kernel sees few mem sites (the ring and
+        # health table) but many forwarded records; run the gates and
+        # the backend leg hotter
+        rates={("cgate", "crash"): 0.10, ("mem_read", "memfault"): 0.02,
+               ("mem_write", "memfault"): 0.02,
+               ("net_connect", "refuse"): 0.05,
+               ("net_send", "reset"): 0.008}),
 }
 
 CHAOS_APP_NAMES = tuple(CHAOS_TARGETS)

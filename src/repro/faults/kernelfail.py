@@ -1,0 +1,68 @@
+"""Whole-kernel failure: the cluster chaos mode.
+
+Every other fault site wounds one compartment; ``kernel:kill`` takes a
+whole machine.  A :class:`KernelFailure` draws a victim kernel and a
+kill round from the plan's seed (same seed, same kill — the campaign's
+no-kill baseline and kill run stay comparable) and registers an
+exact-hit ``kernel`` spec on the plan.  The campaign calls
+:meth:`KernelFailure.step` once per scheduling round; the round the
+spec fires, the victim's name comes back and the caller performs the
+kill (:meth:`~repro.core.kernel.Kernel.kill`).
+
+The firing decision lives in the :class:`~repro.faults.FaultPlan` (it
+shows up in ``plan.injected`` and as a ``fault.fired`` event like every
+other injection); the *effect* — tearing the kernel off the wire — is
+applied by the cluster, which owns the kernel objects.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import WedgeError
+
+#: seed-mixing constant so the kill draw is independent of the plan's
+#: own rate draws
+_KILL_SALT = 0x6B696C6C   # "kill"
+
+
+class KernelFailure:
+    """One seeded whole-kernel kill, scheduled on a :class:`FaultPlan`.
+
+    *kernels* is the ordered collection of kernel names eligible to die;
+    *window* = ``(lo, hi)`` bounds the 1-based scheduling round the kill
+    lands in.
+    """
+
+    def __init__(self, plan, kernels, *, window=(2, 6)):
+        names = list(kernels)
+        if not names:
+            raise WedgeError("KernelFailure needs at least one kernel")
+        lo, hi = int(window[0]), int(window[1])
+        if lo < 1 or hi < lo:
+            raise WedgeError(f"bad kill window {window!r}")
+        rng = random.Random((int(plan.seed) << 1) ^ _KILL_SALT)
+        #: 1-based round the kill fires in
+        self.round = rng.randint(lo, hi)
+        #: name of the kernel that will die
+        self.victim = names[rng.randrange(len(names))]
+        self.plan = plan
+        self.spec = plan.add("kernel", "kill", at=(self.round,), limit=1)
+        #: victim name once the kill has fired, else None
+        self.killed = None
+
+    def step(self):
+        """Advance one scheduling round.
+
+        Returns the victim kernel's name the round the kill fires,
+        ``None`` every other round.  The caller owns the effect.
+        """
+        if self.plan.fire("kernel") is not None:
+            self.killed = self.victim
+            return self.victim
+        return None
+
+    def __repr__(self):
+        state = f"killed={self.killed!r}" if self.killed else "pending"
+        return (f"<KernelFailure victim={self.victim!r} "
+                f"round={self.round} {state}>")

@@ -14,6 +14,7 @@ site             chokepoint
                  a crash or a delay (for watchdog testing)
 ``net_connect``  :meth:`Network.connect` — connection refused
 ``net_send``     :meth:`DuplexStream.send` — drop / delay / reset
+``kernel``       :class:`~repro.faults.KernelFailure` — whole-kernel kill
 ===============  ========================================================
 
 Each :class:`FaultSpec` fires either probabilistically (``rate``) from
@@ -49,6 +50,7 @@ SITE_KINDS = {
     "cgate": ("crash", "delay"),
     "net_connect": ("refuse",),
     "net_send": ("drop", "delay", "reset"),
+    "kernel": ("kill",),
 }
 
 

@@ -21,6 +21,7 @@ paper section 5.1.2.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 from repro.core.errors import (ConnectionRefused, ConnectionShed,
@@ -134,6 +135,10 @@ class Network:
         #: network is shared between kernels, so it is not wired up by
         #: any single kernel's constructor)
         self.observer = None
+        #: medium-wide connection ids; both ends of every delivered
+        #: connection share one, so traces on different kernels can be
+        #: stitched by cid (repro.observe.stitch)
+        self._cids = itertools.count(1)
 
     # -- server side -------------------------------------------------------
 
@@ -207,6 +212,9 @@ class Network:
         """
         client_end, server_end = DuplexStream.pipe_pair(
             addr, high_water=self.default_high_water)
+        cid = next(self._cids)
+        client_end.cid = cid
+        server_end.cid = cid
         if self.faults is not None:
             client_end.faults = self.faults
             server_end.faults = self.faults

@@ -205,6 +205,9 @@ class DuplexStream:
     #: send path tests this one attribute (same discipline as the kernel
     #: hot paths)
     faults = None
+    #: connection id stamped by Network._deliver on both endpoints —
+    #: the join key for cross-kernel span stitching (repro.observe.stitch)
+    cid = None
 
     def __init__(self, rx, tx, *, name=""):
         self._rx = rx

@@ -29,11 +29,11 @@ from repro.observe.export import (chrome_trace, validate_chrome_trace,
                                   validate_file, write_trace)
 from repro.observe.observer import Observer
 from repro.observe.record import FlightRecorder
-from repro.observe.trace import Span, Tracer
+from repro.observe.trace import Span, Tracer, stitch
 
 __all__ = [
     "events", "EventBus", "CounterRegistry", "TAXONOMY", "Event",
     "format_event", "redact", "chrome_trace", "validate_chrome_trace",
     "validate_file", "write_trace", "Observer", "FlightRecorder",
-    "Span", "Tracer",
+    "Span", "Tracer", "stitch",
 ]

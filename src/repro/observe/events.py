@@ -54,6 +54,9 @@ SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
 ANALYSIS_CERTIFIED = "analysis.certified"
 ANALYSIS_REVOKED = "analysis.revoked"
+CLUSTER_EJECTED = "cluster.ejected"
+CLUSTER_RECOVERED = "cluster.recovered"
+CLUSTER_FAILOVER = "cluster.failover"
 
 #: kind -> (emitting chokepoint, meaning).  DESIGN.md §4d renders this.
 TAXONOMY = {
@@ -106,6 +109,12 @@ TAXONOMY = {
                          "a policy certificate was bound; checks elided"),
     ANALYSIS_REVOKED: ("PageTable._invalidate",
                        "a rights narrowing revoked the certificate"),
+    CLUSTER_EJECTED: ("lb health gate",
+                      "a replica's breaker opened; routing excludes it"),
+    CLUSTER_RECOVERED: ("lb health gate",
+                        "a half-open probe succeeded; replica re-admitted"),
+    CLUSTER_FAILOVER: ("lb router / forwarder",
+                       "a request was re-routed off its primary replica"),
 }
 
 #: Storm-level kinds: delivered only to sinks that *explicitly* ask for

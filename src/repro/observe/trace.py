@@ -143,3 +143,99 @@ class Tracer:
             if span.comp is not None and span.comp not in seen:
                 seen.append(span.comp)
         return seen
+
+
+# ---------------------------------------------------------------------------
+# cross-kernel stitching
+# ---------------------------------------------------------------------------
+
+def _span_cids(span):
+    """Connection ids recorded on one span.
+
+    ``kernel.accept`` stamps the connection id as ``cid`` on the root
+    request span; ``kernel.connect`` appends each outbound hop's id to
+    the current span's ``cids`` list.  Both ends of a connection share
+    the id (:class:`~repro.net.network.Network` allocates it), so it is
+    the join key across kernels.
+    """
+    cids = set()
+    cid = span.fields.get("cid")
+    if cid is not None:
+        cids.add(cid)
+    cids.update(span.fields.get("cids", ()))
+    return cids
+
+
+def stitch(tracers):
+    """Join traces from different kernels' tracers into end-to-end ones.
+
+    Each kernel traces its own hops; a request that crosses the wire
+    appears as one trace per kernel.  Traces sharing a connection id are
+    the same logical request, so this unions them (transitively — an
+    lb-fronted request stitches client-facing and backend-facing hops
+    into one group).
+
+    Returns one dict per stitched group, ordered by earliest span::
+
+        {"traces": [(tracer_index, trace_id), ...],
+         "cids": sorted connection ids,
+         "spans": spans of every member trace, in begin order,
+         "compartments": distinct compartments, first-hop order}
+    """
+    nodes = []          # (tracer_index, trace_id)
+    node_cids = {}      # node -> set of cids
+    by_cid = {}         # cid -> first node seen with it
+    parent = {}
+
+    def find(node):
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for t_idx, tracer in enumerate(tracers):
+        for trace_id in tracer.traces():
+            node = (t_idx, trace_id)
+            nodes.append(node)
+            parent[node] = node
+            cids = set()
+            for span in tracer.trace(trace_id):
+                cids |= _span_cids(span)
+            node_cids[node] = cids
+            for cid in cids:
+                if cid in by_cid:
+                    union(by_cid[cid], node)
+                else:
+                    by_cid[cid] = node
+
+    groups = {}
+    for node in nodes:
+        groups.setdefault(find(node), []).append(node)
+
+    out = []
+    for members in groups.values():
+        spans = []
+        for t_idx, trace_id in members:
+            spans.extend(tracers[t_idx].trace(trace_id))
+        spans.sort(key=lambda s: (s.start_cycles, s.span_id))
+        comps = []
+        for span in spans:
+            if span.comp is not None and span.comp not in comps:
+                comps.append(span.comp)
+        cids = set()
+        for node in members:
+            cids |= node_cids[node]
+        out.append({
+            "traces": members,
+            "cids": sorted(cids),
+            "spans": spans,
+            "compartments": comps,
+        })
+    out.sort(key=lambda g: (g["spans"][0].start_cycles
+                            if g["spans"] else 0))
+    return out

@@ -1,0 +1,138 @@
+"""Functional tests for the Wedge-partitioned load balancer."""
+
+import time
+
+import pytest
+
+from repro.apps.httpd.content import build_request
+from repro.apps.httpd.monolithic import MonolithicHttpd
+from repro.apps.lb.server import MAX_PREAMBLE, LbServer, encode_preamble
+from repro.cluster.health import HealthResponder
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.resilience.breaker import BreakerPolicy
+from repro.tls import TlsClient
+
+
+def make_lb(backends=2):
+    net = Network()
+    managed = []
+    entries = []
+    servers = []
+    for i in range(backends):
+        server = MonolithicHttpd(net, f"be{i}:443", seed="httpd",
+                                 instance=f"be{i}")
+        responder = HealthResponder(net, f"be{i}:health",
+                                    kernel=server.kernel)
+        managed += [server, responder]
+        servers.append(server)
+        entries.append({"name": f"be{i}", "addr": f"be{i}:443",
+                        "health": f"be{i}:health"})
+    lb = LbServer(net, "lb:443", entries,
+                  breaker_policy=BreakerPolicy(cooldown=0.0),
+                  probe_timeout=1.0, managed=managed)
+    lb.public_key = servers[0].public_key
+    return lb, servers
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def key_routed_to(lb, index):
+    """An 8-byte key whose ring primary is backend *index*."""
+    for i in range(10000):
+        key = f"k{i:07d}".encode()
+        if lb.ring.route(key) == index:
+            return key
+    raise AssertionError(f"no key routes to backend {index}")
+
+
+def session(lb, key, label="client"):
+    client = TlsClient(DetRNG(label), expected_server_key=lb.public_key)
+    sock = lb.network.connect(lb.addr)
+    try:
+        sock.send(encode_preamble(key))
+        conn = client.handshake(sock, resume=False)
+        return conn.request(build_request("/"))
+    finally:
+        sock.close()
+
+
+@pytest.fixture
+def lb():
+    lb, _ = make_lb()
+    lb.start()
+    lb.health_sweep()
+    try:
+        yield lb
+    finally:
+        lb.stop()
+
+
+class TestForwarding:
+    def test_end_to_end_request(self, lb):
+        response = session(lb, b"lb-key01")
+        assert response
+        # the splice bookkeeping completes after the client hangs up
+        assert wait_for(lambda: lb.requests_forwarded == 1)
+
+    def test_routing_is_deterministic(self, lb):
+        key = key_routed_to(lb, 1)
+        session(lb, key, label="a")
+        session(lb, key, label="b")
+        assert {d["primary"] for d in lb.audit
+                if d["key"] == key} == {1}
+        assert wait_for(lambda: lb.last_backend == 1)
+
+    def test_tls_is_end_to_end(self, lb):
+        """The balancer forwards ciphertext it cannot read: the client
+        pins the *backend's* key and the handshake still verifies."""
+        assert session(lb, b"lb-key02")
+
+
+class TestHealth:
+    def test_report_ejects_then_sweep_readmits(self, lb):
+        index = 0
+        assert lb.report_backend_failure(index)["ejected"]
+        assert lb.health_bytes()[index] == 0
+        # routing now excludes the ejected replica
+        key = key_routed_to(lb, index)
+        assert session(lb, key)
+        assert lb.audit[-1]["order"] and \
+            index not in lb.audit[-1]["order"]
+        # the replica is actually fine: the half-open probe re-admits
+        sweep = lb.health_sweep()
+        assert f"be{index}" in sweep["recovered"]
+        assert lb.health_bytes()[index] == 1
+
+    def test_dead_backend_fails_over_to_next(self, lb):
+        key = key_routed_to(lb, 0)
+        baseline = session(lb, key, label="pre")
+        victim = lb.managed[0]          # backend 0's httpd
+        victim.kernel.kill()
+        victim.stop()
+        assert "be0" in lb.health_sweep()["ejected"]
+        response = session(lb, key, label="post")
+        assert response == baseline
+        assert wait_for(lambda: lb.last_backend == 1)
+
+
+class TestPreamble:
+    def test_oversized_preamble_dropped(self, lb):
+        sock = lb.network.connect(lb.addr)
+        try:
+            sock.send((MAX_PREAMBLE + 1).to_bytes(2, "big") + b"x")
+            # the listener drops the connection without reading further
+            assert sock.recv(1, timeout=10.0) is None
+        finally:
+            sock.close()
+        assert lb.requests_forwarded == 0
+
+    def test_short_key_padded_not_crashed(self, lb):
+        assert session(lb, b"abc")

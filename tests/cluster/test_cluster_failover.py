@@ -1,0 +1,133 @@
+"""Failover tests: kill a kernel, watch the balancer route around it."""
+
+import pytest
+
+from repro.cluster.campaign import run_cluster
+from repro.cluster.cluster import Cluster
+from repro.faults.kernelfail import KernelFailure
+from repro.faults.plan import FaultPlan
+from repro.observe.events import CLUSTER_EJECTED, CLUSTER_RECOVERED
+from repro.observe.observer import Observer
+from repro.resilience.breaker import BreakerPolicy
+
+KEYS = [f"fo-key{i:02d}".encode()[:8].ljust(8, b"0") for i in range(4)]
+
+
+def small_cluster(kernels=2, replicas=2):
+    # cooldown 0.0 so half-open admission depends only on control flow
+    return Cluster(kernels=kernels, replicas=replicas,
+                   breaker_policy=BreakerPolicy(cooldown=0.0),
+                   probe_timeout=1.0)
+
+
+@pytest.fixture
+def cluster():
+    c = small_cluster().start()
+    c.lb.health_sweep()
+    try:
+        yield c
+    finally:
+        c.stop()
+
+
+class TestServing:
+    def test_responses_byte_identical_across_replicas(self, cluster):
+        for key in KEYS:
+            first = cluster.request(key, resume=False)
+            second = cluster.request(key, resume=False)
+            assert first and first == second
+
+    def test_routing_is_stable(self, cluster):
+        key = KEYS[0]
+        cluster.request(key, resume=False)
+        cluster.request(key, resume=False)
+        primaries = {d["primary"] for d in cluster.lb.audit
+                     if d["key"] == key}
+        assert len(primaries) == 1
+
+    def test_session_resumes_on_its_replica(self, cluster):
+        client = cluster.make_client("sticky")
+        key = KEYS[1]
+        assert cluster.request(key, client=client)
+        assert not client.last_resumed
+        assert cluster.request(key, client=client)
+        # ring stability keeps the key on the replica that cached the
+        # session, so the abbreviated handshake hits
+        assert client.last_resumed
+
+
+class TestKillAndRecover:
+    def test_kill_eject_failover_revive(self, cluster):
+        observers = [Observer(cluster.lb.kernel).attach()]
+        try:
+            baseline = {key: cluster.request(key, resume=False)
+                        for key in KEYS}
+            killed = cluster.kill_kernel("node1")
+            dead = {cluster.backend_index(name) for name in killed}
+
+            # threshold is 1: a single sweep must eject both replicas
+            sweep = cluster.lb.health_sweep()
+            assert set(killed) <= set(sweep["ejected"])
+            health = cluster.lb.health_bytes()
+            assert all(health[i] == 0 for i in dead)
+            ejected_events = [
+                e for e in observers[0].recorder.last()
+                if e.kind == CLUSTER_EJECTED]
+            assert {e.fields["backend"]
+                    for e in ejected_events} >= set(killed)
+
+            # every key still serves, byte-identical, and no routing
+            # decision offers a dead replica
+            audit_mark = len(cluster.lb.audit)
+            for key in KEYS:
+                assert cluster.request(key, resume=False) == baseline[key]
+            for decision in cluster.lb.audit[audit_mark:]:
+                assert not set(decision["order"]) & dead
+
+            # the replacement machine is re-admitted by half-open
+            # probes alone — nobody tells the balancer it is back
+            cluster.revive("node1")
+            recovered = set()
+            for _ in range(5):
+                recovered |= set(cluster.lb.health_sweep()["recovered"])
+                if set(killed) <= recovered:
+                    break
+            assert set(killed) <= recovered
+            assert all(cluster.lb.health_bytes())
+            recovered_events = [
+                e for e in observers[0].recorder.last()
+                if e.kind == CLUSTER_RECOVERED]
+            assert {e.fields["backend"]
+                    for e in recovered_events} >= set(killed)
+
+            for key in KEYS:
+                assert cluster.request(key, resume=False) == baseline[key]
+        finally:
+            for obs in observers:
+                obs.detach()
+
+
+class TestSeededKill:
+    def test_kernel_failure_is_deterministic_per_seed(self):
+        names = ["node0", "node1", "node2"]
+
+        def schedule(seed):
+            failure = KernelFailure(FaultPlan(seed), names, window=(2, 5))
+            return [(i, failure.step()) for i in range(8)]
+
+        assert schedule(7) == schedule(7)
+        kills = [v for _, v in schedule(7) if v is not None]
+        assert len(kills) == 1 and kills[0] in names
+
+    def test_campaign_smoke(self):
+        report = run_cluster(kernels=2, replicas=1, requests=3,
+                             rounds=4, seed=3)
+        assert report.passed, report.violations
+        artifact = report.artifact()
+        assert artifact["artifact"] == "cluster"
+        for metric in ("scale1_goodput", "scale2_goodput",
+                       "linearity_goodput", "kill_goodput",
+                       "availability_goodput"):
+            assert metric in artifact["metrics"]
+        assert artifact["info"]["victim"] is not None
+        assert artifact["info"]["sweeps_to_eject"] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the consistent-hash ring (repro.cluster.ring)."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.core.errors import WedgeError
+
+NAMES = [f"replica{i}" for i in range(6)]
+KEYS = [f"key{i:05d}".encode() for i in range(200)]
+
+
+class TestRingBasics:
+    def test_needs_members(self):
+        with pytest.raises(WedgeError):
+            HashRing([])
+
+    def test_route_is_deterministic(self):
+        a = HashRing(NAMES)
+        b = HashRing(list(NAMES))
+        for key in KEYS:
+            assert a.route(key) == b.route(key)
+            assert a.order(key) == b.order(key)
+
+    def test_order_is_a_permutation_of_members(self):
+        ring = HashRing(NAMES)
+        for key in KEYS[:50]:
+            order = ring.order(key)
+            assert sorted(order) == list(range(len(NAMES)))
+
+    def test_alive_filter_drops_dead_members(self):
+        ring = HashRing(NAMES)
+        alive = [1, 0, 1, 1, 0, 1]
+        for key in KEYS[:50]:
+            order = ring.order(key, alive=alive)
+            assert 1 not in order and 4 not in order
+            assert sorted(order) == [0, 2, 3, 5]
+
+    def test_route_none_when_everyone_dead(self):
+        ring = HashRing(NAMES)
+        assert ring.route(b"key", alive=[0] * len(NAMES)) is None
+
+
+class TestBoundedRemapping:
+    def test_killing_one_member_only_moves_its_keys(self):
+        """The property TLS session caches lean on: ejecting one
+        replica remaps only the keys whose primary died."""
+        ring = HashRing(NAMES)
+        before = {key: ring.route(key) for key in KEYS}
+        victim = 2
+        alive = [0 if i == victim else 1 for i in range(len(NAMES))]
+        moved = 0
+        for key in KEYS:
+            after = ring.route(key, alive=alive)
+            if before[key] == victim:
+                assert after != victim
+                moved += 1
+            else:
+                assert after == before[key]
+        # the victim owned a nontrivial share of the keyspace
+        assert 0 < moved < len(KEYS)
+
+    def test_failover_target_is_next_in_preference_order(self):
+        ring = HashRing(NAMES)
+        victim = 0
+        alive = [0 if i == victim else 1 for i in range(len(NAMES))]
+        for key in KEYS[:50]:
+            full = ring.order(key)
+            if full[0] != victim:
+                continue
+            assert ring.route(key, alive=alive) == full[1]
+
+
+class TestSerialization:
+    def test_round_trip_preserves_routing(self):
+        ring = HashRing(NAMES, vnodes=8)
+        clone = HashRing.deserialize(ring.serialize())
+        assert clone.names == ring.names
+        assert clone.vnodes == ring.vnodes
+        for key in KEYS[:50]:
+            assert clone.order(key) == ring.order(key)
+
+    def test_truncated_blob_rejected(self):
+        blob = HashRing(NAMES).serialize()
+        with pytest.raises(WedgeError):
+            HashRing.deserialize(blob[:7])
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(WedgeError):
+            HashRing.deserialize(b"\xff" * 3)
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(WedgeError):
+            HashRing.deserialize(b"")

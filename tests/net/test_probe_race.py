@@ -1,0 +1,87 @@
+"""The connect-vs-close race: typed outcomes, never a hang.
+
+A health-checker probing an address while the node is going down must
+get :class:`ConnectionRefused` (or a clean answer) promptly — the lb's
+sweep cadence depends on probes never wedging.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.lb.server import probe_backend
+from repro.cluster.health import HealthResponder
+from repro.core.errors import ConnectionRefused, PeerReset
+from repro.core.kernel import Kernel
+from repro.net import Network
+
+
+class TestConnectCloseRace:
+    def test_race_is_typed_and_never_hangs(self):
+        for _ in range(10):
+            net = Network()
+            listener = net.listen("svc:80")
+            outcomes = []
+
+            def connector():
+                try:
+                    sock = net.connect("svc:80")
+                    outcomes.append("connected")
+                    sock.close()
+                except ConnectionRefused:
+                    outcomes.append("refused")
+
+            threads = [threading.Thread(target=connector)
+                       for _ in range(8)]
+            closer = threading.Thread(target=listener.close)
+            for t in threads:
+                t.start()
+            closer.start()
+            for t in threads + [closer]:
+                t.join(5.0)
+                assert not t.is_alive(), "connect hung against close"
+            assert len(outcomes) == 8
+
+    def test_pending_connection_reset_on_listener_close(self):
+        net = Network()
+        listener = net.listen("svc:80")
+        sock = net.connect("svc:80")       # queued, never accepted
+        listener.close()
+        with pytest.raises(PeerReset):
+            sock.recv(1, timeout=2.0)
+
+
+class TestProbeRace:
+    def test_probes_racing_responder_stop_are_typed(self):
+        net = Network()
+        prober = Kernel(net=net, name="prober")
+        prober.start_main()
+        responder = HealthResponder(net, "node:health").start()
+        results = []
+
+        def probe():
+            results.append(
+                probe_backend(prober, "node:health", timeout=1.0))
+
+        threads = [threading.Thread(target=probe) for _ in range(6)]
+        for i, t in enumerate(threads):
+            t.start()
+            if i == 2:
+                responder.stop()
+        for t in threads:
+            t.join(5.0)
+            assert not t.is_alive(), "probe hung against close"
+        assert len(results) == 6
+        assert all(isinstance(r, bool) for r in results)
+
+    def test_probe_of_killed_kernel_is_false_and_prompt(self):
+        net = Network()
+        prober = Kernel(net=net, name="prober")
+        prober.start_main()
+        responder = HealthResponder(net, "node:health").start()
+        assert probe_backend(prober, "node:health") is True
+        responder.kernel.kill()
+        start = time.monotonic()
+        assert probe_backend(prober, "node:health") is False
+        assert time.monotonic() - start < 2.0

@@ -8,6 +8,8 @@ without corrupting the state — which is exactly what lets the kernel
 call these methods from racing threads and trust the audit log.
 """
 
+import threading
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import WedgeError
@@ -89,6 +91,43 @@ def test_exactly_one_probe_per_open_period(extra_callers):
                    if breaker.try_probe())
     assert admitted == 1
     assert breaker.state == HALF_OPEN
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_one_probe_per_window_under_concurrent_racers(racers, windows):
+    """Real threads race ``try_probe`` at the cooldown boundary — the
+    shape of the lb's health checks hammering one open breaker.  Every
+    window admits exactly one half-open probe, no matter the
+    interleaving."""
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(cooldown=1.0, cooldown_factor=1.0), clock=clock)
+    breaker.trip()
+    for _ in range(windows):
+        clock.now += breaker.current_cooldown
+        admitted = []
+        barrier = threading.Barrier(racers)
+
+        def racer():
+            barrier.wait()
+            if breaker.try_probe():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=racer)
+                   for _ in range(racers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+            assert not t.is_alive()
+        assert len(admitted) == 1
+        assert breaker.state == HALF_OPEN
+        # the loser's next window: fail the probe, re-open, repeat
+        breaker.probe_failed()
+        assert breaker.state == OPEN
+    assert breaker.probe_count == windows
 
 
 @given(st.integers(min_value=1, max_value=6))

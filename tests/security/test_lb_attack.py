@@ -1,0 +1,162 @@
+"""Attack tests for the balancer: an exploited listener holds nothing.
+
+The listener compartment parses the untrusted routing preamble, so it
+is the exploit surface.  Wedge's claim: injected code running with the
+listener's privileges cannot read the router's hash ring, cannot touch
+the health table, and holds no probe fds — and the lint proves the
+same partition statically.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_report, lint_app
+from repro.apps.httpd.content import build_request
+from repro.apps.httpd.monolithic import MonolithicHttpd
+from repro.apps.lb.server import LbServer, encode_preamble
+from repro.attacks.exploit import (make_exploit_blob, registry,
+                                   start_campaign)
+from repro.cluster.health import HealthResponder
+from repro.core.errors import WedgeError
+from repro.crypto import DetRNG
+from repro.net import Network
+from repro.resilience.breaker import BreakerPolicy
+from repro.tls import TlsClient
+
+
+def make_lb():
+    net = Network()
+    backend = MonolithicHttpd(net, "atk-be0:443", seed="httpd")
+    responder = HealthResponder(net, "atk-be0:health",
+                                kernel=backend.kernel)
+    lb = LbServer(net, "atk-lb:443",
+                  [{"name": "atk-be0", "addr": "atk-be0:443",
+                    "health": "atk-be0:health"}],
+                  breaker_policy=BreakerPolicy(cooldown=0.0),
+                  probe_timeout=1.0, managed=[backend, responder])
+    lb.public_key = backend.public_key
+    return lb
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def _register_ring_thief():
+    result = {}
+
+    @registry.register("lb-thief")
+    def lb_thief(api):
+        # the serialized ring embeds the member names: a readable hit
+        # anywhere would reveal the cluster topology
+        result["ring_hits"] = api.scan_all_memory(b"atk-be0")
+        # which segments refused the sweep outright
+        denied = []
+        for seg in api.kernel.space.segments():
+            if api.try_read(seg.base, seg.size,
+                            what=f"segment {seg.name!r}") is None:
+                denied.append(seg.name)
+        result["denied_segments"] = denied
+        # hunt for usable descriptors: the health-checker's probe fds
+        # must not exist in this compartment's fd-table
+        conn_fd = api.context.get("fd")
+        writable = []
+        for fd in range(16):
+            if api.try_send(fd, b"x", what=f"fd {fd} write") is not None:
+                writable.append(fd)
+        result["writable_fds"] = writable
+        result["conn_fd"] = conn_fd
+        result["done"] = True
+
+    return result
+
+
+class TestExploitedListener:
+    def test_listener_cannot_reach_ring_health_or_probe_fds(self):
+        result = _register_ring_thief()
+        start_campaign()
+        lb = make_lb().start()
+        try:
+            lb.health_sweep()
+            sock = lb.network.connect(lb.addr)
+            try:
+                sock.send(encode_preamble(make_exploit_blob("lb-thief")))
+                assert wait_for(lambda: "done" in result)
+            finally:
+                sock.close()
+
+            # the ring is invisible: no readable copy anywhere
+            assert result["ring_hits"] == []
+            # both privileged tags refused the scan
+            assert "lb-ring" in result["denied_segments"]
+            assert "lb-health" in result["denied_segments"]
+            # no writable descriptor at all: the client fd is read-only
+            # and the probe fds never existed in this fd-table
+            assert result["writable_fds"] == []
+
+            # containment: the hijacked listener died, the balancer did
+            # not — a clean request still serves end to end
+            assert wait_for(
+                lambda: any("listener faulted" in e for e in lb.errors))
+            client = TlsClient(DetRNG("post-attack"),
+                               expected_server_key=lb.public_key)
+            sock = lb.network.connect(lb.addr)
+            try:
+                sock.send(encode_preamble(b"okenough"))
+                conn = client.handshake(sock, resume=False)
+                assert conn.request(build_request("/"))
+            finally:
+                sock.close()
+            # and the router's state never changed
+            assert lb.health_bytes() == b"\x01"
+        finally:
+            lb.stop()
+            registry._payloads.pop("lb-thief", None)
+
+    def test_exploit_key_never_reaches_routing(self):
+        """The hijack replaces the decision: no audit row carries it."""
+        result = _register_ring_thief()
+        start_campaign()
+        lb = make_lb().start()
+        try:
+            lb.health_sweep()
+            sock = lb.network.connect(lb.addr)
+            try:
+                sock.send(encode_preamble(make_exploit_blob("lb-thief")))
+                assert wait_for(lambda: "done" in result)
+            finally:
+                sock.close()
+            blob = make_exploit_blob("lb-thief")
+            assert all(d["key"] != blob[:8] for d in lb.audit)
+        finally:
+            lb.stop()
+            registry._payloads.pop("lb-thief", None)
+
+
+class TestLbLint:
+    """The static half: ``repro lint --app lb`` proves the partition."""
+
+    def test_static_clean(self):
+        results = lint_app("lb", with_trace=False)
+        report = format_report(results)
+        assert all(r.inferred.converged for r in results), report
+        assert all(r.static.unresolved == [] for r in results), report
+        assert all(r.findings == [] for r in results), report
+
+    def test_traced_clean_and_listener_blind(self):
+        results = lint_app("lb", with_trace=True)
+        report = format_report(results)
+        assert all(r.findings == [] for r in results), report
+        listener = next(r for r in results
+                        if r.spec.name == "listener")
+        # the exploit-facing compartment's static footprint touches
+        # neither sensitive tag
+        touched = {m[0] for m in listener.static.mem}
+        assert "lb-ring" not in touched
+        assert "lb-health" not in touched
