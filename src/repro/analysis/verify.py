@@ -326,4 +326,4 @@ def certify_monolithic_httpd(server):
     """Certify a *started* monolithic httpd's accept loop."""
     from repro.apps.httpd.common import HttpdBase
     return certify_main(server.kernel,
-                        [(HttpdBase._accept_loop, {"self": server})])
+                        [(HttpdBase._serve_cycle, {"self": server})])

@@ -14,8 +14,9 @@ from __future__ import annotations
 import threading
 
 from repro.apps.httpd import content
-from repro.core.errors import KernelDead, WedgeError
+from repro.core.errors import WedgeError
 from repro.core.kernel import Kernel
+from repro.net.serve import start_accept_loop
 from repro.crypto.prf import MASTER_SECRET_LEN
 from repro.crypto.rng import DetRNG
 from repro.crypto.rsa import generate_keypair
@@ -180,7 +181,7 @@ class HttpdBase:
                                             key_bits)
         self.public_key = self.private_key.public()
         self._listen_fd = None
-        self._accept_thread = None
+        self._accept_runner = None
         self._stop = threading.Event()
         self.connections_served = 0
         self.requests_served = 0
@@ -190,13 +191,13 @@ class HttpdBase:
 
     def start(self):
         """Bind the listener and start accepting connections."""
-        if self._accept_thread is not None:
+        if self._accept_runner is not None:
             raise WedgeError("server already started")
         self._listen_fd = self.kernel.listen(self.addr)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"{self.variant}-accept",
-            daemon=True)
-        self._accept_thread.start()
+        self._accept_runner = start_accept_loop(
+            self.kernel, self._listen_fd, self._on_conn,
+            stop=self._stop, name=f"{self.variant}-accept",
+            concurrent=self.concurrent)
         return self
 
     def stop(self):
@@ -205,25 +206,24 @@ class HttpdBase:
             self.kernel.close(self._listen_fd)
         except WedgeError:
             pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(5.0)
+        if self._accept_runner is not None:
+            self._accept_runner.join(5.0)
 
-    def _accept_loop(self):
-        while not self._stop.is_set():
-            try:
-                conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
-            except KernelDead:
-                return   # the host kernel died: no spinning on a ghost
-            except WedgeError:
-                continue
-            self.connections_served += 1
-            if self.concurrent:
-                threading.Thread(
-                    target=self._handle_safely, args=(conn_fd,),
-                    name=f"{self.variant}-conn{self.connections_served}",
-                    daemon=True).start()
-            else:
-                self._handle_safely(conn_fd)
+    def _on_conn(self, conn_fd):
+        self.connections_served += 1
+        return lambda: self._handle_safely(conn_fd)
+
+    def _serve_cycle(self):
+        """Analysis root: one accept-serve cycle.
+
+        This is the privilege envelope of the accept loop — identical
+        syscall/descriptor surface whichever runner (thread or reactor)
+        drives it; the policy verifier analyzes this instead of the
+        scheduler-specific loop plumbing in repro.net.serve.
+        """
+        conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
+        self.connections_served += 1
+        self._handle_safely(conn_fd)
 
     def _handle_safely(self, conn_fd):
         try:

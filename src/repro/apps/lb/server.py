@@ -40,12 +40,13 @@ from repro.attacks.exploit import maybe_trigger_exploit
 from repro.cluster.health import PING, PONG
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.core.errors import (CallgateError, CompartmentDown,
-                               ConnectionShed, KernelDead, NetworkError,
+                               ConnectionShed, NetworkError,
                                SthreadFaulted, WedgeError)
 from repro.core.kernel import Kernel
 from repro.core.memory import PROT_READ, PROT_RW
 from repro.core.policy import (FD_READ, FD_WRITE, SecurityContext,
                                sc_cgate_add, sc_fd_add, sc_mem_add)
+from repro.net.serve import start_accept_loop
 from repro.observe.events import (CLUSTER_EJECTED, CLUSTER_FAILOVER,
                                   CLUSTER_RECOVERED)
 from repro.resilience import CLOSED, OPEN, CircuitBreaker
@@ -278,7 +279,7 @@ class LbServer:
             supervise=supervise)
 
         self._listen_fd = None
-        self._accept_thread = None
+        self._accept_runner = None
         self._stop = threading.Event()
         self.connections_served = 0
         self.requests_forwarded = 0
@@ -289,14 +290,14 @@ class LbServer:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self):
-        if self._accept_thread is not None:
+        if self._accept_runner is not None:
             raise WedgeError("lb already started")
         for server in self.managed:
             server.start()
         self._listen_fd = self.kernel.listen(self.addr)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="lb-accept", daemon=True)
-        self._accept_thread.start()
+        self._accept_runner = start_accept_loop(
+            self.kernel, self._listen_fd, self._on_conn,
+            stop=self._stop, name="lb-accept")
         return self
 
     def stop(self):
@@ -305,8 +306,8 @@ class LbServer:
             self.kernel.close(self._listen_fd)
         except WedgeError:
             pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(5.0)
+        if self._accept_runner is not None:
+            self._accept_runner.join(5.0)
         for server in self.managed:
             server.stop()
 
@@ -328,24 +329,20 @@ class LbServer:
 
     # -- data plane --------------------------------------------------------
 
-    def _accept_loop(self):
-        while not self._stop.is_set():
+    def _on_conn(self, conn_fd):
+        self.connections_served += 1
+        return lambda: self._handle_safely(conn_fd)
+
+    def _handle_safely(self, conn_fd):
+        try:
+            self.handle_connection(conn_fd)
+        except WedgeError as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
             try:
-                conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
-            except KernelDead:
-                return
+                self.kernel.close(conn_fd)
             except WedgeError:
-                continue
-            self.connections_served += 1
-            try:
-                self.handle_connection(conn_fd)
-            except WedgeError as exc:
-                self.errors.append(f"{type(exc).__name__}: {exc}")
-            finally:
-                try:
-                    self.kernel.close(conn_fd)
-                except WedgeError:
-                    pass
+                pass
 
     def handle_connection(self, conn_fd):
         """Listener sthread for the preamble, then splice to a replica."""

@@ -29,6 +29,7 @@ from repro.core.errors import (CallgateError, CompartmentDown,
                                ProtocolError, SthreadFaulted, WedgeError)
 from repro.core.kernel import Kernel
 from repro.core.memory import PROT_READ, PROT_RW
+from repro.net.serve import start_accept_loop
 from repro.core.policy import (FD_RW, SecurityContext, sc_cgate_add,
                                sc_fd_add, sc_mem_add)
 
@@ -243,7 +244,7 @@ class Pop3Base:
         self.accounts = dict(accounts or store.DEFAULT_ACCOUNTS)
         self.mail = dict(mail or store.DEFAULT_MAIL)
         self._listen_fd = None
-        self._accept_thread = None
+        self._accept_runner = None
         self._stop = threading.Event()
         self.connections_served = 0
         self.errors = []
@@ -254,10 +255,9 @@ class Pop3Base:
 
     def start(self):
         self._listen_fd = self.kernel.listen(self.addr)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"pop3-{self.variant}-accept")
-        self._accept_thread.start()
+        self._accept_runner = start_accept_loop(
+            self.kernel, self._listen_fd, self._on_conn,
+            stop=self._stop, name=f"pop3-{self.variant}-accept")
         return self
 
     def stop(self):
@@ -266,25 +266,23 @@ class Pop3Base:
             self.kernel.close(self._listen_fd)
         except WedgeError:
             pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(5.0)
+        if self._accept_runner is not None:
+            self._accept_runner.join(5.0)
 
-    def _accept_loop(self):
-        while not self._stop.is_set():
+    def _on_conn(self, conn_fd):
+        self.connections_served += 1
+        return lambda: self._handle_safely(conn_fd)
+
+    def _handle_safely(self, conn_fd):
+        try:
+            self.handle_connection(conn_fd)
+        except WedgeError as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
             try:
-                conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
+                self.kernel.close(conn_fd)
             except WedgeError:
-                continue
-            self.connections_served += 1
-            try:
-                self.handle_connection(conn_fd)
-            except WedgeError as exc:
-                self.errors.append(f"{type(exc).__name__}: {exc}")
-            finally:
-                try:
-                    self.kernel.close(conn_fd)
-                except WedgeError:
-                    pass
+                pass
 
 
 class MonolithicPop3(Pop3Base):

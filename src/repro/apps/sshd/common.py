@@ -13,6 +13,7 @@ import threading
 
 from repro.core.errors import WedgeError
 from repro.core.kernel import Kernel
+from repro.net.serve import start_accept_loop
 from repro.crypto import skey as skeymod
 from repro.crypto.dsa import generate_keypair
 from repro.crypto.rng import DetRNG
@@ -107,20 +108,19 @@ class SshdBase:
         self.env.populate(self.kernel.vfs)
         self.host_pub_bytes = self.env.host_key.public().to_bytes()
         self._listen_fd = None
-        self._accept_thread = None
+        self._accept_runner = None
         self._stop = threading.Event()
         self.connections_served = 0
         self.logins = 0
         self.errors = []
 
     def start(self):
-        if self._accept_thread is not None:
+        if self._accept_runner is not None:
             raise WedgeError("server already started")
         self._listen_fd = self.kernel.listen(self.addr)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"sshd-{self.variant}-accept",
-            daemon=True)
-        self._accept_thread.start()
+        self._accept_runner = start_accept_loop(
+            self.kernel, self._listen_fd, self._on_conn,
+            stop=self._stop, name=f"sshd-{self.variant}-accept")
         return self
 
     def stop(self):
@@ -129,25 +129,23 @@ class SshdBase:
             self.kernel.close(self._listen_fd)
         except WedgeError:
             pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(5.0)
+        if self._accept_runner is not None:
+            self._accept_runner.join(5.0)
 
-    def _accept_loop(self):
-        while not self._stop.is_set():
+    def _on_conn(self, conn_fd):
+        self.connections_served += 1
+        return lambda: self._handle_safely(conn_fd)
+
+    def _handle_safely(self, conn_fd):
+        try:
+            self.handle_connection(conn_fd)
+        except WedgeError as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
             try:
-                conn_fd = self.kernel.accept(self._listen_fd, timeout=0.5)
+                self.kernel.close(conn_fd)
             except WedgeError:
-                continue
-            self.connections_served += 1
-            try:
-                self.handle_connection(conn_fd)
-            except WedgeError as exc:
-                self.errors.append(f"{type(exc).__name__}: {exc}")
-            finally:
-                try:
-                    self.kernel.close(conn_fd)
-                except WedgeError:
-                    pass
+                pass
 
     def handle_connection(self, conn_fd):
         raise NotImplementedError

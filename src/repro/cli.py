@@ -342,7 +342,7 @@ def cmd_chaos(args):
     tlb = False if args.no_tlb else None
     for name in names:
         report = run_chaos(name, seed=args.seed, faults=args.faults,
-                           tlb=tlb)
+                           tlb=tlb, scheduler=args.scheduler)
         print(report.format(flight_dump=args.flight_dump))
         failed = failed or not report.passed
     probe = cow_freshness_probe()
@@ -370,7 +370,9 @@ def cmd_overload(args):
     report = run_overload(names, clients=args.clients,
                           backlog=args.backlog, seed=args.seed,
                           high_water=args.high_water,
-                          compare=not args.no_compare)
+                          compare=not args.no_compare,
+                          scheduler=args.scheduler,
+                          connections=args.connections)
     print(report.format())
     failed = not report.passed
     if args.out:
@@ -401,10 +403,13 @@ def cmd_cluster(args):
     import os
 
     from repro.cluster.campaign import run_cluster
+    from repro.core.kernel import Kernel
     from repro.resilience.overload import check_artifact, write_artifact
-    report = run_cluster(kernels=args.kernels, replicas=args.replicas,
-                         requests=args.requests, rounds=args.rounds,
-                         seed=args.seed, kill=args.kill_kernel)
+    with Kernel.scheduler_override(args.scheduler):
+        report = run_cluster(kernels=args.kernels,
+                             replicas=args.replicas,
+                             requests=args.requests, rounds=args.rounds,
+                             seed=args.seed, kill=args.kill_kernel)
     print(report.format())
     failed = not report.passed
     if args.out:
@@ -531,6 +536,10 @@ def build_parser():
     pc.add_argument("--no-tlb", action="store_true",
                     help="run with the simulated TLB disabled "
                          "(differential ablation)")
+    pc.add_argument("--scheduler", default=None,
+                    choices=["threads", "reactor"],
+                    help="kernel scheduling mode for the campaign "
+                         "(default: the kernel default, threads)")
     pc.add_argument("--flight-dump", action="store_true",
                     help="print the newest flight-recorder dump even "
                          "when the campaign passed")
@@ -551,6 +560,13 @@ def build_parser():
                     help="surge one app instead of all")
     pv.add_argument("--no-compare", action="store_true",
                     help="skip the resilience on-vs-off comparison leg")
+    pv.add_argument("--scheduler", default=None,
+                    choices=["threads", "reactor"],
+                    help="kernel scheduling mode for the app surges "
+                         "(default: the kernel default, threads)")
+    pv.add_argument("--connections", type=int, default=0,
+                    help="also run the reactor scale leg at this "
+                         "connection count (0 = skip; try 10000)")
     pv.add_argument("--out", default=None, metavar="DIR",
                     help="write BENCH_overload.json into DIR")
     pv.add_argument("--check", default=None, metavar="DIR",
@@ -572,6 +588,10 @@ def build_parser():
                      help="KernelFailure seed (victim and kill round)")
     pcl.add_argument("--kill-kernel", action="store_true",
                      help="run the seeded whole-kernel kill leg too")
+    pcl.add_argument("--scheduler", default=None,
+                     choices=["threads", "reactor"],
+                     help="kernel scheduling mode for every cluster "
+                          "node (default: the kernel default, threads)")
     pcl.add_argument("--out", default=None, metavar="DIR",
                      help="write BENCH_cluster.json into DIR")
     pcl.add_argument("--check", default=None, metavar="DIR",

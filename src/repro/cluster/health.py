@@ -15,6 +15,7 @@ import threading
 
 from repro.core.errors import KernelDead, WedgeError
 from repro.core.kernel import Kernel
+from repro.net.serve import start_accept_loop
 
 PING = b"ping"
 PONG = b"OK"
@@ -32,19 +33,18 @@ class HealthResponder:
         self.main = (kernel.main if kernel.main is not None
                      else kernel.start_main())
         self._listen_fd = None
-        self._thread = None
+        self._runner = None
         self._stop = threading.Event()
         self.probes_answered = 0
         self.errors = []
 
     def start(self):
-        if self._thread is not None:
+        if self._runner is not None:
             raise WedgeError("responder already started")
         self._listen_fd = self.kernel.listen(self.addr)
-        self._thread = threading.Thread(
-            target=self._serve_loop, daemon=True,
-            name=f"health:{self.addr}")
-        self._thread.start()
+        self._runner = start_accept_loop(
+            self.kernel, self._listen_fd, self._on_conn,
+            stop=self._stop, name=f"health:{self.addr}")
         return self
 
     def stop(self):
@@ -53,29 +53,25 @@ class HealthResponder:
             self.kernel.close(self._listen_fd)
         except WedgeError:
             pass
-        if self._thread is not None:
-            self._thread.join(5.0)
+        if self._runner is not None:
+            self._runner.join(5.0)
 
-    def _serve_loop(self):
+    def _on_conn(self, conn_fd):
+        return lambda: self._answer(conn_fd)
+
+    def _answer(self, conn_fd):
         kernel = self.kernel
-        while not self._stop.is_set():
+        try:
+            if kernel.recv_exact(conn_fd, len(PING),
+                                 timeout=2.0) == PING:
+                kernel.send(conn_fd, PONG)
+                self.probes_answered += 1
+        except KernelDead:
+            return
+        except WedgeError as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
             try:
-                conn_fd = kernel.accept(self._listen_fd, timeout=0.5)
-            except KernelDead:
-                return
+                kernel.close(conn_fd)
             except WedgeError:
-                continue
-            try:
-                if kernel.recv_exact(conn_fd, len(PING),
-                                     timeout=2.0) == PING:
-                    kernel.send(conn_fd, PONG)
-                    self.probes_answered += 1
-            except KernelDead:
-                return
-            except WedgeError as exc:
-                self.errors.append(f"{type(exc).__name__}: {exc}")
-            finally:
-                try:
-                    kernel.close(conn_fd)
-                except WedgeError:
-                    pass
+                pass

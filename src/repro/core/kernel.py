@@ -30,9 +30,11 @@ its costs and checks its permissions against that compartment.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import hmac
+import inspect
 import os
 import threading
 import time
@@ -42,9 +44,10 @@ from repro.core.costs import CostAccount
 from repro.core.errors import (CallgateDegraded, CallgateError,
                                CompartmentDown, CompartmentFault,
                                DeadlineExceeded, GateTimeout, KernelDead,
-                               MemoryViolation, OutOfMemory, PolicyError,
-                               SthreadError, SthreadFaulted, SyscallDenied,
-                               TagError, VfsError, WedgeError)
+                               MemoryViolation, NetTimeout, OutOfMemory,
+                               PolicyError, SthreadError, SthreadFaulted,
+                               SyscallDenied, TagError, VfsError,
+                               WedgeError)
 from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
                                 SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
@@ -53,10 +56,13 @@ from repro.core.memory import (PAGE_SHIFT, PAGE_SIZE, PROT_COW, PROT_READ,
                                VerifiedMap)
 from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
                                check_subset_of, validate_mem_prot)
+from repro.core.reactor import (Reactor, wait_acceptable, wait_readable,
+                                wait_writable)
 from repro.core.selinux import UNCONFINED, SELinuxPolicy
 from repro.core.sthread import HEAP_SIZE, STACK_SIZE, Sthread
 from repro.core.tags import DEFAULT_TAG_SIZE, TagManager
 from repro.core.vfs import Vfs
+from repro.net.stream import DEFAULT_TIMEOUT as DEFAULT_STREAM_TIMEOUT
 from repro.net.stream import ByteStream, DuplexStream
 from repro.observe import events as ev
 from repro.observe.bus import EventBus
@@ -143,9 +149,24 @@ class Kernel:
     #: their own Kernel internally.
     DEFAULT_TLB = True
 
+    #: Default for the ``scheduler=`` switch: ``"threads"`` is the
+    #: original thread-per-connection path (the deterministic reference
+    #: oracle); ``"reactor"`` multiplexes generator-bodied sthreads as
+    #: cooperative continuations on one readiness loop per kernel.
+    #: Campaign harnesses override the *class* attribute (same idiom as
+    #: DEFAULT_TLB) to flip apps that construct their Kernel internally.
+    DEFAULT_SCHEDULER = "threads"
+
     def __init__(self, *, selinux=None, tag_cache=True, net=None,
-                 name="wedge", tlb=None):
+                 name="wedge", tlb=None, scheduler=None):
         self.name = name
+        scheduler = (self.DEFAULT_SCHEDULER if scheduler is None
+                     else scheduler)
+        if scheduler not in ("threads", "reactor"):
+            raise WedgeError(f"unknown scheduler {scheduler!r} "
+                             "(expected 'threads' or 'reactor')")
+        self.scheduler = scheduler
+        self._reactor = None
         self.costs = CostAccount()
         #: the observability event bus; disabled (no sinks) until an
         #: Observer attaches, at which point the chokepoints light up
@@ -197,6 +218,45 @@ class Kernel:
         #: established connections reset (peers see PeerReset, not hangs)
         self._owned_listeners = []
         self._owned_socks = []
+
+    # ------------------------------------------------------------------
+    # scheduling (repro.core.reactor)
+    # ------------------------------------------------------------------
+
+    @property
+    def reactor(self):
+        """This kernel's readiness loop (created on first use).
+
+        Only meaningful under ``scheduler="reactor"``; asking a
+        threads-scheduled kernel for one is a programming error and
+        raises, so tests can't silently run the wrong mode.
+        """
+        if self.scheduler != "reactor":
+            raise WedgeError(
+                f"kernel {self.name!r} uses scheduler='threads'; "
+                "construct it with scheduler='reactor' for a reactor")
+        if self._reactor is None:
+            self._reactor = Reactor(kernel=self,
+                                    name=f"{self.name}-reactor")
+        return self._reactor
+
+    @classmethod
+    @contextlib.contextmanager
+    def scheduler_override(cls, scheduler):
+        """Temporarily flip :attr:`DEFAULT_SCHEDULER` (save/restore).
+
+        The campaign harnesses wrap app construction in this so apps
+        that build their own Kernel internally pick up the requested
+        scheduler, exactly like the chaos runner's DEFAULT_TLB idiom.
+        ``scheduler=None`` is a no-op scope.
+        """
+        saved = cls.DEFAULT_SCHEDULER
+        if scheduler is not None:
+            cls.DEFAULT_SCHEDULER = scheduler
+        try:
+            yield
+        finally:
+            cls.DEFAULT_SCHEDULER = saved
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -375,6 +435,8 @@ class Kernel:
                 sock.reset()
             except WedgeError:
                 pass
+        if self._reactor is not None:
+            self._reactor.close()
 
     # ------------------------------------------------------------------
     # fault injection (repro.faults)
@@ -772,7 +834,8 @@ class Kernel:
 
     @_traced_syscall
     def sthread_create(self, sc, body, arg=None, *, name="",
-                       spawn="thread", emulate=False, supervise=None):
+                       spawn="thread", emulate=False, supervise=None,
+                       heap_size=None, stack_size=None):
         """Create a compartment with exactly the privileges in *sc*.
 
         ``spawn="thread"`` runs *body* concurrently; ``spawn="inline"``
@@ -785,6 +848,16 @@ class Kernel:
         :class:`CompartmentFault`, up to the policy's budget; the
         returned handle is a
         :class:`~repro.faults.supervise.SupervisedSthread`.
+
+        ``heap_size``/``stack_size`` (bytes, page-granular) override the
+        default private-region sizes — the 10k-connection campaigns
+        spawn per-connection sthreads with page-sized regions so memory
+        stays linear in live connections, not in default heap size.
+
+        Under ``scheduler="reactor"``, a *generator-function* body is
+        scheduled as a cooperative continuation on the kernel's
+        readiness loop instead of an OS thread; plain callables keep
+        their thread (the escape hatch for blocking bodies).
         """
         parent = self._syscall("sthread_create")
         check_subset_of(sc, parent, self.selinux)
@@ -796,13 +869,15 @@ class Kernel:
                 policy=supervise, spawn=spawn, emulate=emulate)
             return handle.start()
         child = self._build_sthread(sc, parent, name=name or None,
-                                    kind="sthread")
+                                    kind="sthread", heap_size=heap_size,
+                                    stack_size=stack_size)
         child.table.emulation = emulate
         self.costs.charge("task_create")
         self._start(child, body, arg, spawn)
         return child
 
-    def _build_sthread(self, sc, parent, *, name, kind, span_parent=None):
+    def _build_sthread(self, sc, parent, *, name, kind, span_parent=None,
+                       heap_size=None, stack_size=None):
         """Construct the compartment state for a bound security context.
 
         *span_parent* overrides the trace linkage (default: the
@@ -824,7 +899,10 @@ class Kernel:
         child.table.map_segment(self.image.segment,
                                 PROT_READ | PROT_COW, costs=self.costs,
                                 frames=self.image.snapshot_frames)
-        self._give_private_regions(child)
+        self._give_private_regions(
+            child,
+            heap_size=HEAP_SIZE if heap_size is None else heap_size,
+            stack_size=STACK_SIZE if stack_size is None else stack_size)
         # policy-granted tagged memory
         for tag_id, prot in sc.mem.items():
             tag = self.tags.resolve(tag_id)
@@ -859,7 +937,11 @@ class Kernel:
         if spawn == "inline":
             child.run_body(self, body, arg)
         elif spawn == "thread":
-            child.start_thread(self, body, arg)
+            if (self.scheduler == "reactor"
+                    and inspect.isgeneratorfunction(body)):
+                child.start_coop(self, body, arg)
+            else:
+                child.start_thread(self, body, arg)
         else:
             raise WedgeError(f"unknown spawn mode {spawn!r}")
 
@@ -1522,3 +1604,113 @@ class Kernel:
         while len(out) < size:
             out += self.recv(fd, size - len(out), timeout)
         return bytes(out)
+
+    # ------------------------------------------------------------------
+    # cooperative network syscalls (repro.core.reactor)
+    # ------------------------------------------------------------------
+    #
+    # Each co_* helper is a generator for reactor tasks to ``yield
+    # from``.  The contract is *readiness, then syscall*: the helper
+    # waits silently (no cycle charges, no events — a parked waiter
+    # costs nothing, like a thread asleep in the threaded oracle) until
+    # the endpoint's level-triggered predicate guarantees the unchanged
+    # blocking syscall above completes without blocking, then calls it.
+    # Everything observable — bytes, model cycles, emitted events,
+    # SELinux checks — therefore happens in the real syscall, identical
+    # to the threaded path by construction.
+
+    def _co_endpoint(self, fd, needed):
+        """Resolve *fd* to its waitable endpoint without charging.
+
+        ``FdTable.lookup`` is cost-free (the trap is charged by the
+        eventual real syscall); it still enforces the fd permission
+        bits, so a policy violation surfaces at the wait site too.
+        """
+        st = self.current()
+        entry = st.fdtable.lookup(fd, needed=needed)
+        file = entry.file
+        if file.kind == "socket":
+            return file.sock.rx if needed == FD_READ else file.sock.tx
+        if file.kind == "pipe":
+            return file.stream
+        if file.kind == "listener":
+            return file.listener
+        raise WedgeError(f"fd {fd} ({file.kind}) is not waitable")
+
+    def _co_stall(self, op, deadline, timeout, give_up):
+        """Typed timeout/deadline handling for a still-blocked wait;
+        returns the wake_at for the next Wait descriptor."""
+        now = time.monotonic()
+        if deadline is not None and deadline.expired:
+            deadline.check(op)
+        if give_up is not None and now >= give_up:
+            raise NetTimeout(f"{op} timed out after {timeout}s",
+                             op=op, timeout=timeout)
+        wake_at = give_up
+        if deadline is not None:
+            expiry = now + max(0.0, deadline.remaining())
+            wake_at = expiry if wake_at is None else min(wake_at, expiry)
+        return wake_at
+
+    def co_accept(self, listen_fd, timeout=None):
+        """Cooperative :meth:`accept`: wait acceptable, then accept.
+
+        ``timeout=None`` waits indefinitely (the accept-loop idiom —
+        the listener closing wakes the waiter with the typed
+        closed-listener error instead of a poll timeout).
+        """
+        deadline = current_deadline()
+        give_up = (None if timeout is None
+                   else time.monotonic() + float(timeout))
+        while True:
+            listener = self._co_endpoint(listen_fd, FD_READ)
+            if listener.acceptable:
+                # readiness guaranteed: cannot block (a raced-away
+                # connection re-enters the wait loop via NetTimeout)
+                try:
+                    return self.accept(listen_fd, timeout=0.05)
+                except NetTimeout:
+                    continue
+            wake_at = self._co_stall("accept", deadline, timeout, give_up)
+            yield wait_acceptable(listener, wake_at=wake_at)
+
+    def co_recv(self, fd, size, timeout=None):
+        """Cooperative :meth:`recv`: wait readable, then recv."""
+        eff = DEFAULT_STREAM_TIMEOUT if timeout is None else timeout
+        deadline = current_deadline()
+        give_up = time.monotonic() + float(eff)
+        while True:
+            stream = self._co_endpoint(fd, FD_READ)
+            if stream.readable:
+                return self.recv(fd, size, timeout=eff)
+            wake_at = self._co_stall("recv", deadline, eff, give_up)
+            yield wait_readable(stream, wake_at=wake_at)
+
+    def co_recv_exact(self, fd, size, timeout=30.0):
+        """Cooperative :meth:`recv_exact`."""
+        out = bytearray()
+        while len(out) < size:
+            out += yield from self.co_recv(fd, size - len(out), timeout)
+        return bytes(out)
+
+    def co_send(self, fd, data, timeout=None):
+        """Cooperative :meth:`send`: wait for room, then send.
+
+        Fully cooperative for payloads up to the stream's high-water
+        mark (the wait guarantees the whole payload fits, so the real
+        send never blocks).  Larger payloads fall back to the blocking
+        chunk loop inside :meth:`send` once high-water bytes of room
+        exist — callers moving bulk data under the reactor should
+        offload or frame their writes below the mark.
+        """
+        eff = DEFAULT_STREAM_TIMEOUT if timeout is None else timeout
+        deadline = current_deadline()
+        give_up = time.monotonic() + float(eff)
+        need = len(data)
+        while True:
+            stream = self._co_endpoint(fd, FD_WRITE)
+            if stream.has_room(need):
+                return self.send(fd, data)
+            stream.backpressure_waits += 1
+            wake_at = self._co_stall("send", deadline, eff, give_up)
+            yield wait_writable(stream, need, wake_at=wake_at)

@@ -64,6 +64,7 @@ class Sthread:
         #: accept time, or the spawn span this compartment was born with
         self.span = None
         self._thread = None
+        self._task = None                   # reactor Task (coop spawn)
         self._done = threading.Event()
         self._joined = False
 
@@ -109,6 +110,52 @@ class Sthread:
             target=self.run_body, args=(kernel, body, arg),
             name=self.name, daemon=True)
         self._thread.start()
+
+    def coop_body(self, kernel, body, arg):
+        """Generator twin of :meth:`run_body` for the reactor scheduler.
+
+        *body* is a generator function; its yields (Wait descriptors)
+        pass straight through to the reactor, which re-enters this
+        compartment's context around every step — so the status machine,
+        fd teardown and exit events here are line-for-line the threaded
+        path's, just suspendable.
+        """
+        from repro.core.errors import WedgeError
+        self.status = STATUS_RUNNING
+        try:
+            self.result = yield from body(arg)
+            self.status = STATUS_EXITED
+        except CompartmentFault as fault:
+            self.fault = fault
+            self.status = STATUS_FAULTED
+            self.table.flush_tlb(costs=kernel.costs)
+        except WedgeError as exc:
+            self.error = exc
+            self.status = STATUS_ERROR
+        finally:
+            if self.kind != "pthread" and self.fdtable is not None:
+                self.fdtable.close_all()
+            obs = kernel.observe
+            if obs.enabled:
+                obs.emit(STHREAD_EXIT, comp=self.name,
+                         status=self.status)
+            if obs.tracer is not None:
+                obs.tracer.end(self.span, status=self.status)
+            self._done.set()
+
+    def start_coop(self, kernel, body, arg):
+        """Schedule *body* as a cooperative task on the kernel's reactor.
+
+        The reactor pushes this sthread as the current compartment
+        around every step, so kernel syscalls made by the body are
+        attributed (and policy-checked) exactly as on an OS thread.
+        Nothing runs until something drives the loop —
+        ``reactor.run_until_idle()`` or ``reactor.ensure_running()``.
+        """
+        self._task = kernel.reactor.spawn(
+            self.coop_body(kernel, body, arg),
+            name=self.name, sthread=self)
+        return self._task
 
     def join(self, timeout=30.0):
         """Block until the compartment exits; return its result.

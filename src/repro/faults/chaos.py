@@ -308,6 +308,7 @@ class ChaosReport:
         #: observable record for differential (tlb on/off) comparison:
         #: the clean observations and the final sensitive-state blobs
         self.tlb_mode = None
+        self.scheduler_mode = None
         self.baseline_obs = None
         self.probe_obs = None
         self.baseline = None
@@ -419,27 +420,34 @@ def breaker_recovery_drill(kernel, *, cooldown=0.005, crashes=2):
 
 
 def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
-              policy=None, plan=None, tlb=None, verified=False):
+              policy=None, plan=None, tlb=None, verified=False,
+              scheduler=None):
     """Run one chaos campaign; returns a :class:`ChaosReport`.
 
     ``tlb`` overrides :attr:`Kernel.DEFAULT_TLB` for the duration of the
     server build (the apps construct their kernels internally), letting
     the differential suite run the same campaign with and without the
-    simulated TLB.  ``verified=True`` additionally runs the static
-    verify pass over the server's compartments and arms the kernel with
-    the resulting certificate templates before start, so the campaign
-    exercises the proof-carrying fast path under fault injection.
+    simulated TLB.  ``scheduler`` does the same for the kernel
+    scheduling mode (``"threads"``/``"reactor"``) via
+    :meth:`Kernel.scheduler_override`, so the reactor differential
+    suite can run identical storms on both schedulers.
+    ``verified=True`` additionally runs the static verify pass over the
+    server's compartments and arms the kernel with the resulting
+    certificate templates before start, so the campaign exercises the
+    proof-carrying fast path under fault injection.
     """
     from repro.core.kernel import Kernel
 
     target = CHAOS_TARGETS[app]
     report = ChaosReport(app, seed, faults)
     report.tlb_mode = tlb
+    report.scheduler_mode = scheduler
     saved_default = Kernel.DEFAULT_TLB
     if tlb is not None:
         Kernel.DEFAULT_TLB = tlb
     try:
-        server = target.make(policy or default_policy())
+        with Kernel.scheduler_override(scheduler):
+            server = target.make(policy or default_policy())
     finally:
         Kernel.DEFAULT_TLB = saved_default
     if verified:

@@ -1,0 +1,115 @@
+"""Cooperative (reactor-side) stream helpers for DuplexStream clients.
+
+The kernel's ``co_*`` syscall wrappers cover server compartments; these
+cover the *client* side of a connection — code that holds a raw
+:class:`~repro.net.stream.DuplexStream` from ``Network.connect`` and
+runs as a reactor task (the 10k-connection scale campaign's simulated
+clients).  Each helper is a generator: ``yield from`` it inside a
+reactor task.  It yields :class:`~repro.core.reactor.Wait` descriptors
+while the stream would block and re-raises the same typed errors as the
+blocking API (:class:`NetTimeout`, :class:`DeadlineExceeded`,
+:class:`PeerReset`, :class:`ConnectionClosed`).
+
+Backpressure semantics match the blocking path: :func:`co_send` never
+lets the buffered bytes exceed the high-water mark (it chunks through
+``try_send``) and counts each stall in ``backpressure_waits``, so the
+overload campaign's peak-buffer audits hold verbatim under the reactor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import (ConnectionClosed, DeadlineExceeded,
+                               NetTimeout, PeerReset)
+from repro.core.reactor import wait_readable, wait_writable
+from repro.net.stream import DEFAULT_TIMEOUT
+from repro.resilience.deadline import current_deadline
+
+
+def _stall(op, name, deadline, timeout, give_up):
+    """Raise the typed error for a wait that ran out of time, or return
+    the wake_at for the next Wait descriptor."""
+    now = time.monotonic()
+    if deadline is not None and deadline.expired:
+        raise DeadlineExceeded(
+            f"deadline expired in {op} on {name!r}",
+            op=op, deadline=deadline)
+    if give_up is not None and now >= give_up:
+        raise NetTimeout(
+            f"{op} timed out after {timeout}s on {name!r}",
+            op=op, timeout=timeout)
+    wake_at = give_up
+    if deadline is not None:
+        expiry = now + max(0.0, deadline.remaining())
+        wake_at = expiry if wake_at is None else min(wake_at, expiry)
+    return wake_at
+
+
+def co_send(sock, data, timeout=DEFAULT_TIMEOUT):
+    """Cooperatively send all of *data* on a DuplexStream.
+
+    Applies the endpoint's fault plan once up front with the same
+    semantics as ``DuplexStream.send`` (drop swallows the payload,
+    delay sleeps, reset raises), then chunks through
+    ``try_send``/wait-writable until everything is buffered.
+    """
+    if sock.faults is not None:
+        spec = sock.faults.fire("net_send")
+        if spec is not None:
+            if spec.kind == "drop":
+                return len(data)   # silently lost in transit
+            if spec.kind == "delay":
+                time.sleep(spec.delay)
+            elif spec.kind == "reset":
+                sock.reset()
+                raise PeerReset(
+                    f"connection reset on {sock.name!r} (injected)")
+    data = bytes(data)
+    if not data:
+        sock.try_send(b"")        # raises if closed/reset, like send
+        return 0
+    stream = sock.tx
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("send")
+    give_up = (None if timeout is None
+               else time.monotonic() + float(timeout))
+    offset = 0
+    while offset < len(data):
+        wrote = stream.try_send(data[offset:])
+        if wrote:
+            offset += wrote
+            continue
+        stream.backpressure_waits += 1
+        wake_at = _stall("send", stream.name, deadline, timeout, give_up)
+        yield wait_writable(stream, len(data) - offset, wake_at=wake_at)
+    return len(data)
+
+
+def co_recv(sock, size, timeout=DEFAULT_TIMEOUT):
+    """Cooperatively receive 1..size bytes (None at EOF)."""
+    stream = sock.rx
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("recv")
+    give_up = (None if timeout is None
+               else time.monotonic() + float(timeout))
+    while not stream.readable:
+        wake_at = _stall("recv", stream.name, deadline, timeout, give_up)
+        yield wait_readable(stream, wake_at=wake_at)
+    # readiness guaranteed: the blocking recv returns immediately
+    return stream.recv(size, timeout=DEFAULT_TIMEOUT)
+
+
+def co_recv_exact(sock, size, timeout=DEFAULT_TIMEOUT):
+    """Cooperatively receive exactly *size* bytes or raise."""
+    out = bytearray()
+    while len(out) < size:
+        chunk = yield from co_recv(sock, size - len(out), timeout)
+        if chunk is None:
+            raise ConnectionClosed(
+                f"stream {sock.name!r} closed mid-message "
+                f"({len(out)}/{size} bytes)")
+        out += chunk
+    return bytes(out)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from collections import deque
 
 from repro.core.errors import (ConnectionRefused, ConnectionShed,
                                NetTimeout, NetworkError)
@@ -39,13 +40,47 @@ class Listener:
         self.addr = addr
         self.backlog = (network.default_backlog if backlog is None
                         else max(1, int(backlog)))
-        self._pending = []
+        self._pending = deque()
         self._cond = threading.Condition()
         self._closed = False
         #: admission-control accounting for the overload campaign
         self.shed_count = 0
         self.peak_pending = 0
         self.accepted_count = 0
+        #: connections dropped from the backlog because the client end
+        #: closed/reset before accept could pop them (the mid-handoff
+        #: drop fix — see DuplexStream._drop_pending_peer)
+        self.purged_count = 0
+        #: reactor watcher callbacks, poked when the queue gains an
+        #: entry or the listener closes.  Fired under ``_cond``; same
+        #: lock-free-watcher contract as ByteStream.
+        self._watchers = []
+
+    # -- reactor integration ----------------------------------------------
+
+    def add_watcher(self, cb):
+        with self._cond:
+            if cb not in self._watchers:
+                self._watchers.append(cb)
+
+    def remove_watcher(self, cb):
+        with self._cond:
+            try:
+                self._watchers.remove(cb)
+            except ValueError:
+                pass
+
+    def _notify_watchers(self):
+        # called with self._cond held
+        for cb in list(self._watchers):
+            cb(self)
+
+    @property
+    def acceptable(self):
+        """True iff :meth:`accept` would return (or raise the typed
+        closed-listener error) without blocking."""
+        with self._cond:
+            return bool(self._pending) or self._closed
 
     def _enqueue(self, sock):
         with self._cond:
@@ -58,9 +93,12 @@ class Listener:
                     f"({self.backlog}): connection shed",
                     addr=self.addr, backlog=self.backlog)
             self._pending.append(sock)
+            sock._pending_on = self
             if len(self._pending) > self.peak_pending:
                 self.peak_pending = len(self._pending)
             self._cond.notify()
+            if self._watchers:
+                self._notify_watchers()
 
     def accept(self, timeout=30.0):
         """Block for the next inbound connection."""
@@ -76,7 +114,28 @@ class Listener:
             if self._closed and not self._pending:
                 raise NetworkError(f"listener {self.addr!r} is closed")
             self.accepted_count += 1
-            return self._pending.pop(0)
+            sock = self._pending.popleft()
+            sock._pending_on = None
+            return sock
+
+    def _purge(self, sock):
+        """Drop *sock* from the backlog if it is still queued.
+
+        Called (via the stream layer) when the *peer* end is closed or
+        reset mid-handoff.  Returns True iff the entry was removed; a
+        False return means a concurrent :meth:`accept` already popped
+        it, and the acceptor keeps the (EOF'd) socket as before.
+        """
+        with self._cond:
+            if sock._pending_on is not self:
+                return False
+            try:
+                self._pending.remove(sock)
+            except ValueError:
+                return False
+            sock._pending_on = None
+            self.purged_count += 1
+            return True
 
     def pending_count(self):
         with self._cond:
@@ -94,7 +153,11 @@ class Listener:
             self._closed = True
             stranded = list(self._pending)
             self._pending.clear()
+            for sock in stranded:
+                sock._pending_on = None
             self._cond.notify_all()
+            if self._watchers:
+                self._notify_watchers()
         for sock in stranded:
             sock.reset()
         self.network._unbind(self.addr, self)

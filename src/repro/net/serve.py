@@ -1,0 +1,131 @@
+"""Scheduler-aware accept loops: one serving skeleton for every app.
+
+Every server in the tree (three httpd variants, pop3, sshd, the lb, the
+cluster health responder) runs the same skeleton: accept with a short
+timeout, tolerate transient errors, hand the connection to a handler,
+sequentially by default.  :func:`start_accept_loop` centralises it and
+picks the runner matching the kernel's scheduler:
+
+- ``scheduler="threads"``: the classic dedicated accept thread — the
+  deterministic reference oracle, byte-for-byte the loop the apps
+  carried before the reactor existed.
+- ``scheduler="reactor"``: a cooperative acceptor task on the kernel's
+  readiness loop (woken by the listener, never polling), which runs the
+  handler through the reactor's thread-pool escape hatch.  Pool size 1
+  keeps the accept→handle→accept sequencing of the threaded oracle, so
+  chaos fault ordering and response bytes are identical.
+
+The app supplies ``on_conn(conn_fd) -> job``: called *synchronously* in
+loop order (bump counters, fork per-connection RNGs here — order is the
+determinism contract), returning the zero-argument callable that serves
+the connection.  The job owns conn_fd's lifecycle, including close.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import KernelDead, NetworkError, WedgeError
+
+
+def start_accept_loop(kernel, listen_fd, on_conn, *, stop, name,
+                      concurrent=False):
+    """Start serving *listen_fd*; returns a runner with ``join(timeout)``.
+
+    *stop* is the server's ``threading.Event``; set it (and close the
+    listen fd) to wind the loop down.  ``concurrent=True`` serves each
+    connection on its own worker instead of sequentially.
+    """
+    if kernel.scheduler == "reactor":
+        runner = _ReactorRunner(kernel, listen_fd, on_conn, stop=stop,
+                                name=name, concurrent=concurrent)
+    else:
+        runner = _ThreadRunner(kernel, listen_fd, on_conn, stop=stop,
+                               name=name, concurrent=concurrent)
+    runner.start()
+    return runner
+
+
+class _ThreadRunner:
+    """The threaded oracle: a dedicated accept thread, 0.5 s poll."""
+
+    def __init__(self, kernel, listen_fd, on_conn, *, stop, name,
+                 concurrent):
+        self.kernel = kernel
+        self.listen_fd = listen_fd
+        self.on_conn = on_conn
+        self.stop = stop
+        self.name = name
+        self.concurrent = concurrent
+        self._thread = None
+        self._served = 0
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._loop, name=self.name, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self.stop.is_set():
+            try:
+                conn_fd = self.kernel.accept(self.listen_fd, timeout=0.5)
+            except KernelDead:
+                return   # the host kernel died: no spinning on a ghost
+            except WedgeError:
+                continue
+            self._served += 1
+            job = self.on_conn(conn_fd)
+            if self.concurrent:
+                threading.Thread(
+                    target=job, name=f"{self.name}-conn{self._served}",
+                    daemon=True).start()
+            else:
+                job()
+
+    def join(self, timeout=None):
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+class _ReactorRunner:
+    """The cooperative acceptor: one task, woken by listener readiness."""
+
+    def __init__(self, kernel, listen_fd, on_conn, *, stop, name,
+                 concurrent):
+        self.kernel = kernel
+        self.listen_fd = listen_fd
+        self.on_conn = on_conn
+        self.stop = stop
+        self.name = name
+        self.concurrent = concurrent
+        self.task = None
+
+    def start(self):
+        reactor = self.kernel.reactor
+        reactor.ensure_running()
+        self.task = reactor.spawn(self._loop(), name=self.name)
+
+    def _loop(self):
+        kernel = self.kernel
+        reactor = kernel.reactor
+        while not self.stop.is_set():
+            try:
+                conn_fd = yield from kernel.co_accept(self.listen_fd,
+                                                      timeout=None)
+            except KernelDead:
+                return
+            except NetworkError:
+                return   # listener closed: the cooperative stop signal
+            except WedgeError:
+                continue
+            job = self.on_conn(conn_fd)
+            if self.concurrent:
+                reactor.submit(job)
+            else:
+                # pool size 1 → same sequential serving order as the
+                # threaded oracle, without blocking the readiness loop
+                yield from reactor.offload(job)
+
+    def join(self, timeout=None):
+        if self.task is not None:
+            self.task.wait(timeout)

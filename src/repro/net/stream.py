@@ -54,6 +54,75 @@ class ByteStream:
         #: None (the hot path tests this one attribute, same discipline
         #: as the kernel chokepoints)
         self.observer = None
+        #: reactor watcher callbacks, poked on every state transition
+        #: (bytes appended, room drained, EOF, reset).  Fired under
+        #: ``_cond``, so a watcher may only do lock-free work — the
+        #: reactor's appends to its notification deque (reactor rule 5).
+        self._watchers = []
+
+    # -- reactor integration ----------------------------------------------
+
+    def add_watcher(self, cb):
+        with self._cond:
+            if cb not in self._watchers:
+                self._watchers.append(cb)
+
+    def remove_watcher(self, cb):
+        with self._cond:
+            try:
+                self._watchers.remove(cb)
+            except ValueError:
+                pass
+
+    def _notify_watchers(self):
+        # called with self._cond held
+        for cb in list(self._watchers):
+            cb(self)
+
+    @property
+    def readable(self):
+        """True iff :meth:`recv` would return without blocking."""
+        with self._cond:
+            return bool(self._buf) or self._eof
+
+    def has_room(self, need=1):
+        """True iff :meth:`send` of ``min(need, high_water)`` bytes
+        would complete without blocking (closed/reset streams report
+        True so a waiting sender wakes up and collects its typed
+        error)."""
+        need = min(max(1, int(need)), self.high_water)
+        with self._cond:
+            if self._eof or self._reset:
+                return True
+            return (self.high_water - len(self._buf)) >= need
+
+    def try_send(self, data):
+        """Append as many bytes as fit *without blocking*.
+
+        Returns the number of bytes written (0 when the buffer is at
+        its high-water mark).  Raises the same typed errors as
+        :meth:`send` on a closed/reset stream.  This is the reactor's
+        send primitive: cooperative senders loop try_send/wait-writable
+        instead of blocking at the high-water mark.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("streams carry bytes")
+        data = bytes(data)
+        with self._cond:
+            self._check_open_for_send()
+            if not data:
+                return 0
+            room = self.high_water - len(self._buf)
+            if room <= 0:
+                return 0
+            chunk = data[:room]
+            self._buf += chunk
+            if len(self._buf) > self.peak_buffered:
+                self.peak_buffered = len(self._buf)
+            self._cond.notify_all()
+            if self._watchers:
+                self._notify_watchers()
+            return len(chunk)
 
     def _check_open_for_send(self):
         if self._reset:
@@ -96,6 +165,8 @@ class ByteStream:
                     if len(self._buf) > self.peak_buffered:
                         self.peak_buffered = len(self._buf)
                     self._cond.notify_all()
+                    if self._watchers:
+                        self._notify_watchers()
                     if offset >= len(data):
                         return len(data)
                 # at the high-water mark: block until the reader drains
@@ -160,6 +231,8 @@ class ByteStream:
             del self._buf[:size]
             # room appeared: wake senders blocked at the high-water mark
             self._cond.notify_all()
+            if self._watchers:
+                self._notify_watchers()
             return data
 
     def recv_exact(self, size, timeout=DEFAULT_TIMEOUT):
@@ -179,6 +252,8 @@ class ByteStream:
         with self._cond:
             self._eof = True
             self._cond.notify_all()
+            if self._watchers:
+                self._notify_watchers()
 
     def reset(self):
         """Tear down abruptly: pending bytes are lost (simulated RST)."""
@@ -187,6 +262,8 @@ class ByteStream:
             self._eof = True
             del self._buf[:]
             self._cond.notify_all()
+            if self._watchers:
+                self._notify_watchers()
 
     @property
     def closed(self):
@@ -208,6 +285,14 @@ class DuplexStream:
     #: connection id stamped by Network._deliver on both endpoints —
     #: the join key for cross-kernel span stitching (repro.observe.stitch)
     cid = None
+    #: the other end of the pipe pair (set by pipe_pair), or None for a
+    #: standalone endpoint.  Lets close/reset eagerly purge a peer that
+    #: is still queued in a listener backlog (the mid-handoff drop fix).
+    peer = None
+    #: the Listener whose backlog currently holds this endpoint, set by
+    #: Listener._enqueue and cleared by accept/purge (under the
+    #: listener's lock).
+    _pending_on = None
 
     def __init__(self, rx, tx, *, name=""):
         self._rx = rx
@@ -221,7 +306,28 @@ class DuplexStream:
         b_to_a = ByteStream(f"{name}:b>a", high_water=high_water)
         end_a = cls(b_to_a, a_to_b, name=f"{name}:a")
         end_b = cls(a_to_b, b_to_a, name=f"{name}:b")
+        end_a.peer = end_b
+        end_b.peer = end_a
         return end_a, end_b
+
+    # -- reactor integration ----------------------------------------------
+
+    @property
+    def rx(self):
+        """The receive-direction ByteStream (the readable endpoint)."""
+        return self._rx
+
+    @property
+    def tx(self):
+        """The send-direction ByteStream (the writable endpoint)."""
+        return self._tx
+
+    def try_send(self, data):
+        """Non-blocking send of as much of *data* as fits; see
+        :meth:`ByteStream.try_send`.  Does **not** run fault plans —
+        cooperative senders interpose faults once up front
+        (:func:`repro.net.costream.co_send` does)."""
+        return self._tx.try_send(data)
 
     def send(self, data, timeout=DEFAULT_TIMEOUT):
         if self.faults is not None:
@@ -247,11 +353,31 @@ class DuplexStream:
         """Close both directions (full socket close)."""
         self._tx.close()
         self._rx.close()
+        self._drop_pending_peer()
 
     def reset(self):
         """Abruptly tear down both directions (simulated RST)."""
         self._tx.reset()
         self._rx.reset()
+        self._drop_pending_peer()
+
+    def _drop_pending_peer(self):
+        """Purge our peer from a listener backlog it is still queued in.
+
+        This is the fix for the stranded-queue hang: a client that
+        closes (or resets) after ``connect`` admitted it but before the
+        server's ``accept`` popped it used to leave a dead server end in
+        the backlog — the server would accept it, block in ``recv`` and
+        hang silently until its timeout.  Now the dead entry is removed
+        eagerly and reset, so anything racing into it gets a typed
+        :class:`~repro.core.errors.PeerReset` immediately.
+        """
+        peer = self.peer
+        if peer is None:
+            return
+        listener = peer._pending_on
+        if listener is not None and listener._purge(peer):
+            peer.reset()
 
     def shutdown_write(self):
         self._tx.close()

@@ -22,6 +22,18 @@ app); ``--check`` compares goodput against a committed baseline and
 fails on a >10% drop (note the inverted direction vs the model-cycle
 artifacts: *lower* goodput is the regression).
 
+Two reactor-era extensions ride on the same artifact:
+
+* ``scheduler="reactor"`` runs every app surge with the kernels on the
+  event-driven readiness loop (:mod:`repro.core.reactor`) instead of
+  per-connection OS threads — same bounds, same shed counts, same
+  byte-identical responses, or the campaign fails;
+* ``connections=N`` adds the :mod:`repro.resilience.scale` leg: N
+  concurrent echo sessions on **one** reactor kernel, with p50/p95/p99
+  latency in deterministic model cycles (``scale_*_cycles`` metrics;
+  for those, *higher* is the regression, and ``--check`` skips them
+  when the fresh run did not include the leg).
+
 This module imports the shipped apps (via the chaos targets), so it is
 deliberately not re-exported from :mod:`repro.resilience`'s
 ``__init__`` — import it directly, the same discipline as
@@ -53,6 +65,12 @@ GOODPUT_TOLERANCE = 0.10
 #: <= backlog so nothing is shed and the response sets are comparable).
 COMPARE_SURGE = 6
 
+#: ``--check`` fails when a scale-leg latency percentile rises more
+#: than this vs the baseline (model cycles are deterministic for a
+#: given seed and connection count, so the slack only absorbs honest
+#: cost-model retunes, not noise).
+CYCLES_TOLERANCE = 0.10
+
 
 def overload_app_names():
     from repro.faults.chaos import CHAOS_APP_NAMES
@@ -68,17 +86,22 @@ def _wait_for(predicate, timeout, what):
     raise WedgeError(f"overload harness timed out waiting for {what}")
 
 
-def _build_server(app, *, backlog, high_water, audit_streams=True):
+def _build_server(app, *, backlog, high_water, audit_streams=True,
+                  scheduler=None):
     """Build one chaos-target server with admission control configured.
 
     The apps construct their :class:`~repro.net.Network` internally, but
     the listener is only created at ``server.start()`` — so the bounds
     can be set on the instance between construction and start, no
-    class-attribute juggling needed.
+    class-attribute juggling needed.  *scheduler* (``"threads"`` /
+    ``"reactor"``) selects the kernel scheduling mode for the build via
+    :meth:`Kernel.scheduler_override`; ``None`` keeps the default.
     """
+    from repro.core.kernel import Kernel
     from repro.faults.chaos import CHAOS_TARGETS
     target = CHAOS_TARGETS[app]
-    server = target.make(None)
+    with Kernel.scheduler_override(scheduler):
+        server = target.make(None)
     net = server.network
     if backlog is not None:
         net.default_backlog = backlog
@@ -142,7 +165,7 @@ class AppSurgeResult:
 
 def run_surge(app, *, clients=DEFAULT_CLIENTS, backlog=DEFAULT_BACKLOG,
               seed=0, high_water=DEFAULT_HIGH_WATER,
-              timeout=OVERLOAD_CLIENT_TIMEOUT):
+              timeout=OVERLOAD_CLIENT_TIMEOUT, scheduler=None):
     """Surge *clients* seeded sessions against *app*; audit the bounds.
 
     The surge runs behind a **plug**: one connection is opened first and
@@ -155,7 +178,8 @@ def run_surge(app, *, clients=DEFAULT_CLIENTS, backlog=DEFAULT_BACKLOG,
     server to drain the admitted clients one by one.
     """
     target, server = _build_server(app, backlog=backlog,
-                                   high_water=high_water)
+                                   high_water=high_water,
+                                   scheduler=scheduler)
     net = server.network
     result = AppSurgeResult(app, clients=clients, backlog=backlog,
                             seed=seed)
@@ -257,7 +281,7 @@ def run_surge(app, *, clients=DEFAULT_CLIENTS, backlog=DEFAULT_BACKLOG,
 def run_comparison(app, *, surge=COMPARE_SURGE, seed=0,
                    backlog=DEFAULT_BACKLOG,
                    high_water=DEFAULT_HIGH_WATER,
-                   timeout=OVERLOAD_CLIENT_TIMEOUT):
+                   timeout=OVERLOAD_CLIENT_TIMEOUT, scheduler=None):
     """Byte-identical responses with the resilience layer on vs off.
 
     Runs the same small surge (≤ backlog, so nothing is shed) twice:
@@ -269,7 +293,8 @@ def run_comparison(app, *, surge=COMPARE_SURGE, seed=0,
     observed = {}
     for label, (cap, hw) in (("on", (backlog, high_water)),
                              ("off", (1 << 30, 1 << 30))):
-        target, server = _build_server(app, backlog=cap, high_water=hw)
+        target, server = _build_server(app, backlog=cap, high_water=hw,
+                                       scheduler=scheduler)
         server.start()
         try:
             baseline = target.session(server, f"{seed}-cmp-base",
@@ -343,14 +368,17 @@ def backpressure_probe(*, high_water=4096, payload=64 * 1024,
 class OverloadReport:
     """The whole campaign: per-app surges + comparison + probe."""
 
-    def __init__(self, *, clients, backlog, seed, high_water):
+    def __init__(self, *, clients, backlog, seed, high_water,
+                 scheduler=None):
         self.clients = clients
         self.backlog = backlog
         self.seed = seed
         self.high_water = high_water
+        self.scheduler = scheduler
         self.surges = {}
         self.comparisons = {}
         self.probe = None
+        self.scale = None
 
     @property
     def passed(self):
@@ -359,15 +387,19 @@ class OverloadReport:
                         for c in self.comparisons.values())
                 and (self.probe is None
                      or (self.probe["bounded"] and self.probe["engaged"]
-                         and self.probe["intact"])))
+                         and self.probe["intact"]))
+                and (self.scale is None or self.scale.passed))
 
     def format(self):
+        mode = f", scheduler {self.scheduler}" if self.scheduler else ""
         lines = [f"overload seed={self.seed}: "
                  f"{'PASS' if self.passed else 'FAIL'} "
                  f"({self.clients} clients, backlog {self.backlog}, "
-                 f"high-water {self.high_water})"]
+                 f"high-water {self.high_water}{mode})"]
         for surge in self.surges.values():
             lines.append(surge.format())
+        if self.scale is not None:
+            lines.append(self.scale.format())
         for app, cmp in self.comparisons.items():
             lines.append(
                 f"  {app}: resilience on-vs-off "
@@ -400,6 +432,7 @@ class OverloadReport:
             "backlog": self.backlog,
             "seed": self.seed,
             "high_water": self.high_water,
+            "scheduler": self.scheduler,
             "passed": self.passed,
             "shed": {app: s.shed for app, s in self.surges.items()},
             "peak_backlog": {app: s.peak_backlog
@@ -407,6 +440,19 @@ class OverloadReport:
             "peak_stream_buffer": {app: s.peak_stream_buffer
                                    for app, s in self.surges.items()},
         }
+        if self.scale is not None:
+            metrics["scale_p50_cycles"] = self.scale.p50
+            metrics["scale_p95_cycles"] = self.scale.p95
+            metrics["scale_p99_cycles"] = self.scale.p99
+            wall["scale_seconds"] = self.scale.wall_seconds
+            info["scale"] = {
+                "connections": self.scale.connections,
+                "completed": self.scale.completed,
+                "shed": self.scale.shed,
+                "mismatches": self.scale.mismatches,
+                "peak_live": self.scale.peak_live,
+                "dispatches": self.scale.dispatches,
+            }
         return {"artifact": "overload", "metrics": metrics,
                 "wall": wall, "info": info}
 
@@ -414,20 +460,31 @@ class OverloadReport:
 def run_overload(apps=None, *, clients=DEFAULT_CLIENTS,
                  backlog=DEFAULT_BACKLOG, seed=0,
                  high_water=DEFAULT_HIGH_WATER,
-                 timeout=OVERLOAD_CLIENT_TIMEOUT, compare=True):
-    """Run the full campaign; returns an :class:`OverloadReport`."""
+                 timeout=OVERLOAD_CLIENT_TIMEOUT, compare=True,
+                 scheduler=None, connections=0):
+    """Run the full campaign; returns an :class:`OverloadReport`.
+
+    ``scheduler`` runs the per-app surges under that kernel scheduling
+    mode (``"threads"``/``"reactor"``); ``connections > 0`` appends the
+    reactor-native scale leg (:func:`repro.resilience.scale.run_scale`)
+    at that connection count.
+    """
     names = list(apps) if apps else list(overload_app_names())
     report = OverloadReport(clients=clients, backlog=backlog, seed=seed,
-                            high_water=high_water)
+                            high_water=high_water, scheduler=scheduler)
     for app in names:
         report.surges[app] = run_surge(
             app, clients=clients, backlog=backlog, seed=seed,
-            high_water=high_water, timeout=timeout)
+            high_water=high_water, timeout=timeout,
+            scheduler=scheduler)
         if compare:
             report.comparisons[app] = run_comparison(
                 app, seed=seed, backlog=backlog, high_water=high_water,
-                timeout=timeout)
+                timeout=timeout, scheduler=scheduler)
     report.probe = backpressure_probe()
+    if connections:
+        from repro.resilience.scale import run_scale
+        report.scale = run_scale(connections=connections, seed=seed)
     return report
 
 
@@ -437,15 +494,25 @@ def check_artifact(new, baseline, *, tolerance=GOODPUT_TOLERANCE):
     Returns a list of problem strings (empty = clean).  Goodput is
     checked inverted — a drop beyond *tolerance* fails; a shed-rate
     *rise* beyond tolerance (plus an absolute epsilon for near-zero
-    baselines) fails too.
+    baselines) fails too.  ``_cycles`` keys (the scale leg's latency
+    percentiles) check in the usual model-cycle direction — higher is
+    the regression — and are skipped when the fresh run did not include
+    the scale leg (it is opt-in via ``--connections``).
     """
     problems = []
     for key, old in sorted(baseline.get("metrics", {}).items()):
         value = new.get("metrics", {}).get(key)
         if value is None:
-            problems.append(f"{key}: missing from new run")
+            if not key.endswith("_cycles"):
+                problems.append(f"{key}: missing from new run")
             continue
-        if key.endswith("_goodput"):
+        if key.endswith("_cycles"):
+            ceiling = old * (1 + CYCLES_TOLERANCE)
+            if value > ceiling:
+                problems.append(
+                    f"{key}: {old:,} -> {value:,} "
+                    f"(latency rose beyond {CYCLES_TOLERANCE:.0%})")
+        elif key.endswith("_goodput"):
             floor = old * (1 - tolerance)
             if value < floor:
                 problems.append(

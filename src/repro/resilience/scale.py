@@ -1,0 +1,267 @@
+"""The 10k-connection scale leg: ``python -m repro overload --connections N``.
+
+The threaded surge campaign (:mod:`repro.resilience.overload`) tops out
+around a few hundred clients — every connection is an OS thread on each
+side, so 10k connections would need 20k+ threads.  This leg proves the
+reactor core removes that ceiling: **one** kernel on its readiness loop
+serves *N* concurrent echo sessions with per-connection cooperative
+sthreads, and N concurrent clients ride the same loop as plain reactor
+tasks.  No OS thread is created per connection anywhere.
+
+The protocol is a 4-byte big-endian length-prefixed echo: the handler
+reads one frame, routes the payload through the compartment memory
+system (``malloc`` → ``mem_write`` → ``mem_read`` → ``sfree`` — so the
+leg exercises the page-table/bus path per connection, not just stream
+plumbing), and replies with the reversed payload in the same framing.
+Each client checks the reversal byte-for-byte.
+
+Latency is measured in **model cycles**, not wall time: a client
+samples ``kernel.costs.cycles()`` right before sending and right after
+the full response arrives.  Under the single-threaded cooperative loop
+that difference is exactly the modelled work the kernel performed while
+the request was in flight — deterministic for a given (seed, N), and
+therefore checkable in CI with a tight tolerance (``_cycles`` metrics
+in ``BENCH_overload.json``; *higher* is the regression).
+
+Per-connection memory is kept linear in live connections by spawning
+handler sthreads with page-sized private regions
+(``sthread_create(..., heap_size=..., stack_size=...)``): two heap
+pages plus one stack page instead of the 40-page default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import ConnectionShed, WedgeError
+from repro.core.kernel import Kernel
+from repro.core.memory import PAGE_SIZE
+from repro.core.policy import FD_RW, SecurityContext, sc_fd_add
+from repro.net import costream
+from repro.net.network import Network
+
+DEFAULT_CONNECTIONS = 10_000
+
+#: Payload size per echo request.  Small on purpose: the leg measures
+#: connection *count* scaling, not bulk throughput.
+PAYLOAD_SIZE = 32
+
+#: Handler sthread private regions (bytes).  Two heap pages cover the
+#: per-request ``malloc`` plus allocator bookkeeping; one stack page is
+#: plenty for a body that never recurses.
+HANDLER_HEAP = 2 * PAGE_SIZE
+HANDLER_STACK = PAGE_SIZE
+
+#: Generous wall cap for one full campaign; purely a harness guard
+#: (the loop itself detects deadlock long before this).
+SCALE_WALL_TIMEOUT = 600.0
+
+
+def _frame(payload):
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def _payload_for(seed, index):
+    """Deterministic per-client payload, exactly PAYLOAD_SIZE bytes."""
+    stamp = f"s{seed}c{index}:".encode()
+    body = stamp + bytes((index + i) & 0xFF
+                         for i in range(PAYLOAD_SIZE - len(stamp)))
+    return body[:PAYLOAD_SIZE]
+
+
+class ScaleResult:
+    """One scale run: completion counts, latency profile, violations."""
+
+    def __init__(self, *, connections, seed):
+        self.connections = connections
+        self.seed = seed
+        self.completed = 0
+        self.mismatches = 0
+        self.shed = 0
+        self.errors = []
+        self.latencies = []          # model cycles, one per completion
+        self.p50 = 0
+        self.p95 = 0
+        self.p99 = 0
+        self.total_cycles = 0
+        self.peak_live = 0
+        self.dispatches = 0
+        self.double_dispatches = 0
+        self.wall_seconds = 0.0
+        self.violations = []
+
+    @property
+    def passed(self):
+        return not self.violations
+
+    def _percentiles(self):
+        if not self.latencies:
+            return
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+
+        def pick(q):
+            return ordered[min(last, int(last * q))]
+
+        self.p50 = pick(0.50)
+        self.p95 = pick(0.95)
+        self.p99 = pick(0.99)
+
+    def format(self):
+        lines = [
+            f"  scale: {'PASS' if self.passed else 'FAIL'} "
+            f"({self.connections} connections on one reactor, "
+            f"{self.wall_seconds:.1f}s)",
+            f"    completed {self.completed}, shed {self.shed}, "
+            f"mismatches {self.mismatches}, {len(self.errors)} errors",
+            f"    latency (model cycles): p50 {self.p50:,} / "
+            f"p95 {self.p95:,} / p99 {self.p99:,}",
+            f"    peak live tasks {self.peak_live}, "
+            f"{self.dispatches} dispatches, "
+            f"{self.double_dispatches} double dispatches",
+        ]
+        for violation in self.violations:
+            lines.append(f"    VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def run_scale(*, connections=DEFAULT_CONNECTIONS, seed=0,
+              payload_size=PAYLOAD_SIZE, wall_timeout=SCALE_WALL_TIMEOUT):
+    """Serve *connections* concurrent echo sessions on one reactor.
+
+    Everything — acceptor, N per-connection handler sthreads, N clients
+    — is a cooperative task on a single ``Kernel(scheduler="reactor")``.
+    The backlog is sized to admit every connection (this leg proves
+    scale, the surge legs prove shedding), so ``shed`` must end at 0.
+    """
+    del payload_size  # fixed at PAYLOAD_SIZE; kept for signature clarity
+    net = Network()
+    net.default_backlog = connections + 8
+    kernel = Kernel(net=net, name="scale", scheduler="reactor")
+    kernel.start_main()
+    reactor = kernel.reactor
+    result = ScaleResult(connections=connections, seed=seed)
+    addr = f"scale-{seed}:9000"
+    listen_fd = kernel.listen(addr)
+    accepted = [0]
+
+    # Per-operation waits get the whole campaign's wall budget: the
+    # reactor detects genuine deadlocks and max_steps bounds livelock,
+    # so short per-op timeouts add nothing but flakiness on a loaded
+    # host (a contended CI runner stretches 4s of work past the 10s
+    # costream default and 990 healthy clients "time out").
+    def handler(fd):
+        header = yield from kernel.co_recv_exact(fd, 4,
+                                                 timeout=wall_timeout)
+        size = int.from_bytes(header, "big")
+        payload = yield from kernel.co_recv_exact(fd, size,
+                                                  timeout=wall_timeout)
+        # route the bytes through compartment memory: the scale leg
+        # must exercise the per-sthread page table, not just streams
+        buf = kernel.malloc(size)
+        kernel.mem_write(buf, payload)
+        data = kernel.mem_read(buf, size)
+        kernel.sfree(buf)
+        yield from kernel.co_send(fd, _frame(bytes(data[::-1])))
+        kernel.close(fd)
+
+    def acceptor():
+        while accepted[0] < connections:
+            fd = yield from kernel.co_accept(listen_fd)
+            index = accepted[0]
+            accepted[0] += 1
+            sc = SecurityContext()
+            sc_fd_add(sc, fd, FD_RW)
+            kernel.sthread_create(sc, handler, fd,
+                                  name=f"conn{index}",
+                                  heap_size=HANDLER_HEAP,
+                                  stack_size=HANDLER_STACK)
+            # the child holds its own dup; drop the acceptor's
+            kernel.close(fd)
+            yield  # fairness: let handlers/clients run between accepts
+
+    def client(index):
+        payload = _payload_for(seed, index)
+        try:
+            sock = net.connect(addr)
+        except ConnectionShed:
+            result.shed += 1
+            return
+        try:
+            started = kernel.costs.cycles()
+            yield from costream.co_send(sock, _frame(payload),
+                                        timeout=wall_timeout)
+            header = yield from costream.co_recv_exact(
+                sock, 4, timeout=wall_timeout)
+            size = int.from_bytes(header, "big")
+            reply = yield from costream.co_recv_exact(
+                sock, size, timeout=wall_timeout)
+            result.latencies.append(kernel.costs.cycles() - started)
+            if reply == payload[::-1]:
+                result.completed += 1
+            else:
+                result.mismatches += 1
+        finally:
+            sock.close()
+
+    start = time.perf_counter()
+    try:
+        reactor.spawn(acceptor(), name="acceptor",
+                      sthread=kernel.main)
+        for i in range(connections):
+            reactor.spawn(client(i), name=f"client{i}")
+        # crashes surface as violations below, not as an abort: a single
+        # failed client must not mask the other N-1 results
+        reactor.run_until_idle(max_steps=max(5_000_000,
+                                             connections * 600),
+                               raise_crashes=False)
+    except WedgeError as exc:
+        result.violations.append(f"reactor run failed: {exc}")
+    finally:
+        result.wall_seconds = time.perf_counter() - start
+        result.peak_live = reactor.peak_live
+        result.dispatches = reactor.dispatch_count
+        result.double_dispatches = reactor.double_dispatches
+        for task, error in reactor.crashed:
+            result.errors.append(
+                f"{task.name}: {type(error).__name__}: {error}")
+        result.total_cycles = kernel.costs.cycles()
+        try:
+            kernel.close(listen_fd)
+        except WedgeError:
+            pass
+        kernel.kill()
+
+    result._percentiles()
+    if result.wall_seconds > wall_timeout:
+        result.violations.append(
+            f"campaign took {result.wall_seconds:.0f}s "
+            f"(cap {wall_timeout:.0f}s)")
+    if result.completed != connections:
+        result.violations.append(
+            f"completed {result.completed} of {connections} "
+            f"({result.mismatches} mismatches, {result.shed} shed, "
+            f"{len(result.errors)} errors: {result.errors[:3]})")
+    if result.mismatches:
+        result.violations.append(
+            f"{result.mismatches} responses were not the byte-reversed "
+            f"payload")
+    if result.shed:
+        result.violations.append(
+            f"{result.shed} connections shed despite an "
+            f"admit-everything backlog")
+    if result.errors:
+        result.violations.append(
+            f"tasks crashed: {result.errors[:3]}")
+    if result.double_dispatches:
+        result.violations.append(
+            f"{result.double_dispatches} double dispatches "
+            f"(a task was queued while already queued)")
+    # all N clients are spawned before the loop starts, so the live-task
+    # peak proves the concurrency was real, not an artifact of draining
+    # connections one at a time
+    if result.peak_live < connections:
+        result.violations.append(
+            f"peak live tasks {result.peak_live} < {connections}: "
+            f"the campaign was not actually concurrent")
+    return result

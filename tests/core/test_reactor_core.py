@@ -1,0 +1,223 @@
+"""Unit coverage for the reactor core and the kernel scheduler switch.
+
+The differential and property suites prove the big claims; these pin
+the plumbing: spawn/join, the offload escape hatch, cooperative sthread
+bodies running real syscalls, scheduler selection and teardown, and the
+page-sized private regions the 10k campaign depends on.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.errors import NetTimeout, WedgeError
+from repro.core.kernel import Kernel
+from repro.core.memory import PAGE_SIZE
+from repro.core.policy import FD_RW, SecurityContext, sc_fd_add
+from repro.core.reactor import Reactor, wait_done
+from repro.net import Network
+
+
+class TestReactorBasics:
+    def test_spawn_runs_to_completion_and_returns_result(self):
+        reactor = Reactor(name="t")
+
+        def body():
+            yield
+            return 41 + 1
+
+        task = reactor.spawn(body(), name="answer")
+        reactor.run_until_idle()
+        assert task.done
+        assert task.result == 42
+        assert task.error is None
+        assert reactor.live == 0
+
+    def test_tasks_join_each_other_cooperatively(self):
+        reactor = Reactor(name="t")
+
+        def child():
+            yield
+            return "payload"
+
+        def parent():
+            task = reactor.spawn(child(), name="child")
+            while not task.ready():
+                yield wait_done(task)
+            return task.result
+
+        parent_task = reactor.spawn(parent(), name="parent")
+        reactor.run_until_idle()
+        assert parent_task.result == "payload"
+
+    def test_offload_returns_result_and_propagates_errors(self):
+        reactor = Reactor(name="t")
+
+        def good():
+            result = yield from reactor.offload(lambda: 7 * 6)
+            return result
+
+        def bad():
+            yield from reactor.offload(
+                lambda: (_ for _ in ()).throw(WedgeError("boom")))
+
+        good_task = reactor.spawn(good(), name="good")
+        bad_task = reactor.spawn(bad(), name="bad")
+        reactor.run_until_idle(raise_crashes=False)
+        assert good_task.result == 42
+        assert isinstance(bad_task.error, WedgeError)
+        assert "boom" in str(bad_task.error)
+
+    def test_yielding_garbage_is_a_typed_crash(self):
+        reactor = Reactor(name="t")
+
+        def confused():
+            yield 17
+
+        task = reactor.spawn(confused(), name="confused")
+        with pytest.raises(WedgeError, match="expected a Wait"):
+            reactor.run_until_idle()
+        assert task.done
+        assert task.error is not None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(WedgeError, match="unknown reactor mode"):
+            Reactor(mode="psychic")
+
+    def test_livelock_guard_trips(self):
+        reactor = Reactor(name="t")
+
+        def spinner():
+            while True:
+                yield
+
+        reactor.spawn(spinner(), name="spinner")
+        with pytest.raises(WedgeError, match="steps"):
+            reactor.run_until_idle(max_steps=50)
+
+
+class TestKernelSchedulerSwitch:
+    def test_scheduler_validation(self):
+        with pytest.raises(WedgeError, match="scheduler"):
+            Kernel(name="bad", scheduler="fibers")
+
+    def test_reactor_property_gated_on_mode(self):
+        kernel = Kernel(name="threads-only")
+        with pytest.raises(WedgeError, match="scheduler"):
+            kernel.reactor
+        kernel.kill()
+
+    def test_scheduler_override_scopes_the_default(self):
+        assert Kernel.DEFAULT_SCHEDULER == "threads"
+        with Kernel.scheduler_override("reactor"):
+            inner = Kernel(name="inner")
+            assert inner.scheduler == "reactor"
+            inner.kill()
+        assert Kernel.DEFAULT_SCHEDULER == "threads"
+        # None is a no-op so call sites can pass an optional through
+        with Kernel.scheduler_override(None):
+            assert Kernel.DEFAULT_SCHEDULER == "threads"
+
+    def test_kill_closes_the_reactor(self):
+        kernel = Kernel(name="closing", scheduler="reactor")
+        kernel.start_main()
+        reactor = kernel.reactor
+        kernel.kill()
+        with pytest.raises(WedgeError, match="closed"):
+            reactor.spawn(iter(()), name="late")
+
+    def test_plain_callable_bodies_keep_their_thread(self):
+        """The escape hatch: non-generator bodies run on OS threads
+        even under the reactor scheduler."""
+        kernel = Kernel(name="hatch", scheduler="reactor")
+        kernel.start_main()
+        seen = {}
+
+        def blocking_body(arg):
+            seen["thread"] = threading.current_thread().name
+            return arg * 2
+
+        st = kernel.sthread_create(SecurityContext(), blocking_body, 21,
+                                   name="blocker")
+        assert kernel.sthread_join(st) == 42
+        # ran on its own (sthread-named) OS thread, not the reactor loop
+        assert seen["thread"] == "blocker"
+        assert seen["thread"] != threading.current_thread().name
+        kernel.kill()
+
+
+class TestCooperativeSthreads:
+    def test_generator_body_serves_real_syscalls(self):
+        """A coop sthread accepts, echoes through compartment memory,
+        and joins — all on the reactor, no thread per connection."""
+        net = Network()
+        kernel = Kernel(net=net, name="coop", scheduler="reactor")
+        kernel.start_main()
+        listen_fd = kernel.listen("coop:80")
+        sc = SecurityContext()
+        sc_fd_add(sc, listen_fd, 1)   # FD_READ: what listen granted
+
+        def body(lfd):
+            fd = yield from kernel.co_accept(lfd, timeout=5.0)
+            data = yield from kernel.co_recv_exact(fd, 5)
+            buf = kernel.malloc(len(data))
+            kernel.mem_write(buf, data)
+            echoed = bytes(kernel.mem_read(buf, len(data)))
+            kernel.sfree(buf)
+            yield from kernel.co_send(fd, echoed[::-1])
+            kernel.close(fd)
+            return echoed
+
+        st = kernel.sthread_create(sc, body, listen_fd, name="server",
+                                   heap_size=2 * PAGE_SIZE,
+                                   stack_size=PAGE_SIZE)
+        kernel.reactor.ensure_running()
+        sock = net.connect("coop:80")
+        sock.send(b"hello")
+        assert sock.recv(5, timeout=5.0) == b"olleh"
+        assert kernel.sthread_join(st, timeout=5.0) == b"hello"
+        sock.close()
+        kernel.kill()
+
+    def test_tiny_regions_are_page_granular(self):
+        kernel = Kernel(name="tiny", scheduler="reactor")
+        kernel.start_main()
+
+        def body(arg):
+            buf = kernel.malloc(64)
+            kernel.mem_write(buf, b"x" * 64)
+            kernel.sfree(buf)
+            yield
+            return "fit"
+
+        st = kernel.sthread_create(SecurityContext(), body,
+                                   name="tiny",
+                                   heap_size=2 * PAGE_SIZE,
+                                   stack_size=PAGE_SIZE)
+        kernel.reactor.ensure_running()
+        assert kernel.sthread_join(st, timeout=5.0) == "fit"
+        assert st.heap_segment.npages == 2
+        assert st.stack_segment.npages == 1
+        kernel.kill()
+
+    def test_co_accept_timeout_is_typed(self):
+        net = Network()
+        kernel = Kernel(net=net, name="quiet", scheduler="reactor")
+        kernel.start_main()
+        listen_fd = kernel.listen("quiet:80")
+        sc = SecurityContext()
+        sc_fd_add(sc, listen_fd, 1)
+        outcome = {}
+
+        def body(lfd):
+            try:
+                yield from kernel.co_accept(lfd, timeout=0.1)
+            except NetTimeout:
+                outcome["typed"] = True
+            return "done"
+
+        st = kernel.sthread_create(sc, body, listen_fd, name="waiter")
+        kernel.reactor.ensure_running()
+        assert kernel.sthread_join(st, timeout=5.0) == "done"
+        assert outcome.get("typed") is True
+        kernel.kill()

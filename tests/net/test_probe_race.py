@@ -3,6 +3,13 @@
 A health-checker probing an address while the node is going down must
 get :class:`ConnectionRefused` (or a clean answer) promptly — the lb's
 sweep cadence depends on probes never wedging.
+
+The second half covers the *other* direction of the handoff race: a
+client that connects and then drops before the server accepts.  The
+dead connection must be purged from the accept queue eagerly (freeing
+its backlog slot) and the server-side end reset with a typed
+:class:`PeerReset` — never handed to ``accept`` as a stranded corpse
+the handler then hangs reading.
 """
 
 import threading
@@ -12,7 +19,7 @@ import pytest
 
 from repro.apps.lb.server import probe_backend
 from repro.cluster.health import HealthResponder
-from repro.core.errors import ConnectionRefused, PeerReset
+from repro.core.errors import ConnectionRefused, NetTimeout, PeerReset
 from repro.core.kernel import Kernel
 from repro.net import Network
 
@@ -85,3 +92,112 @@ class TestProbeRace:
         start = time.monotonic()
         assert probe_backend(prober, "node:health") is False
         assert time.monotonic() - start < 2.0
+
+
+class TestMidHandoffDrop:
+    """A connection dropped between connect and accept must be purged
+    from the queue, not served as a corpse."""
+
+    def test_close_before_accept_purges_the_queue_slot(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=4)
+        sock = net.connect("svc:80")
+        assert listener.pending_count() == 1
+        sock.close()
+        assert listener.pending_count() == 0
+        assert listener.purged_count == 1
+        # the queue is healthy: the next connect is servable
+        live = net.connect("svc:80")
+        server_end = listener.accept(1.0)
+        live.send(b"ping")
+        assert server_end.recv(4, timeout=1.0) == b"ping"
+        live.close()
+        server_end.close()
+        listener.close()
+
+    def test_purged_slot_frees_backlog_capacity(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=1)
+        first = net.connect("svc:80")
+        first.close()                    # purged -> slot free again
+        second = net.connect("svc:80")   # must NOT be shed
+        assert listener.pending_count() == 1
+        second.close()
+        listener.close()
+
+    def test_server_end_of_dropped_connection_is_reset(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=4)
+        sock = net.connect("svc:80")
+        server_end = sock.peer
+        sock.close()
+        # eager typed reset: a reader of the abandoned server end gets
+        # PeerReset immediately, never a full recv timeout
+        start = time.monotonic()
+        with pytest.raises(PeerReset):
+            server_end.recv(1, timeout=10.0)
+        assert time.monotonic() - start < 1.0
+        listener.close()
+
+    def test_accept_never_returns_a_dropped_connection(self):
+        net = Network()
+        listener = net.listen("svc:80", backlog=8)
+        for _ in range(5):
+            net.connect("svc:80").close()
+        live = net.connect("svc:80")
+        got = listener.accept(1.0)
+        assert got is live.peer
+        assert listener.purged_count == 5
+        live.close()
+        listener.close()
+
+    def test_connect_vs_close_race_under_reactor(self):
+        """Threaded clients hammer connect-then-close while a reactor
+        acceptor drains the listener: the acceptor must see only live
+        connections (or typed timeouts) and never hang on a corpse."""
+        net = Network()
+        kernel = Kernel(net=net, name="race", scheduler="reactor")
+        kernel.start_main()
+        listen_fd = kernel.listen("race:80", backlog=64)
+        served = []
+
+        def acceptor():
+            while True:
+                try:
+                    fd = yield from kernel.co_accept(listen_fd,
+                                                     timeout=1.5)
+                except NetTimeout:
+                    return   # drained: nothing arrived for a while
+                # a purged connection must never reach here; a live
+                # one answers the handshake byte promptly
+                data = yield from kernel.co_recv(fd, 1, timeout=5.0)
+                served.append(data)
+                kernel.close(fd)
+
+        task = kernel.reactor.spawn(acceptor(), name="acceptor",
+                                    sthread=kernel.main)
+        kernel.reactor.ensure_running()
+
+        live_socks = []
+
+        def churn(i):
+            sock = net.connect("race:80")
+            if i % 2:
+                sock.close()            # dropped mid-handoff
+            else:
+                sock.send(b"x")
+                live_socks.append(sock)
+
+        threads = [threading.Thread(target=churn, args=(i,))
+                   for i in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+            assert not t.is_alive()
+        assert task.wait(10.0), "reactor acceptor hung on a corpse"
+        assert task.error is None
+        assert served == [b"x"] * 10
+        for sock in live_socks:
+            sock.close()
+        kernel.kill()

@@ -1,0 +1,239 @@
+"""Property battery for the reactor's scheduling invariants.
+
+Each test maps to a numbered design rule in ``repro.core.reactor``:
+
+* rule 2 (no lost wakeups): randomized producer/consumer storms must
+  always drain to completion — a lost wakeup presents as a deadlock,
+  which ``run_until_idle`` detects and raises;
+* rule 3 (no double dispatch): ``double_dispatches`` stays 0 under
+  every storm;
+* rule 4 (FIFO fairness): senders blocked on one full stream drain in
+  exactly their arrival order, structurally;
+* the ``"watch"`` notification mode agrees byte-for-byte with the
+  ``"scan"`` walk-every-waiter-every-pass oracle on the same seeded
+  workload;
+* the PR-5 resilience semantics survive the scheduler swap: cooperative
+  sends never buffer past the high-water mark (and really stall), a
+  plugged listener sheds exactly ``N - backlog``, and ambient deadlines
+  kill a parked task with the typed :class:`DeadlineExceeded`.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import (ConnectionShed, DeadlineExceeded,
+                               WedgeError)
+from repro.core.reactor import Reactor, wait_readable
+from repro.net import costream
+from repro.net.network import Network
+from repro.net.stream import DuplexStream
+from repro.resilience.deadline import Deadline
+
+SEEDS = [1, 2, 3]
+
+
+def _run_transfer(mode, seed, *, high_water=64, payload_size=4096):
+    """One seeded randomized transfer; returns (received, reactor)."""
+    rng = random.Random(seed)
+    payload = bytes(rng.randrange(256) for _ in range(payload_size))
+    end_a, end_b = DuplexStream.pipe_pair(f"prop{seed}",
+                                          high_water=high_water)
+    reactor = Reactor(name=f"prop-{mode}-{seed}", mode=mode)
+    received = bytearray()
+    chunks = []
+    offset = 0
+    while offset < len(payload):
+        size = rng.randrange(1, high_water * 2)
+        chunks.append(payload[offset:offset + size])
+        offset += size
+
+    def producer():
+        for chunk in chunks:
+            yield from costream.co_send(end_a, chunk)
+        end_a.close()
+
+    def consumer():
+        while True:
+            data = yield from costream.co_recv(end_b, 7000)
+            if data is None:
+                return
+            received.extend(data)
+
+    reactor.spawn(producer(), name="producer")
+    reactor.spawn(consumer(), name="consumer")
+    reactor.run_until_idle()
+    return bytes(payload), bytes(received), reactor, end_a.tx
+
+
+class TestNoLostWakeups:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_randomized_storm_always_drains(self, seed):
+        payload, received, reactor, tx = _run_transfer("watch", seed)
+        # a lost wakeup would have deadlocked run_until_idle instead
+        assert received == payload
+        assert reactor.live == 0
+        assert not reactor.crashed
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_double_dispatch_under_storm(self, seed):
+        _, _, reactor, _ = _run_transfer("watch", seed)
+        assert reactor.double_dispatches == 0
+
+    def test_many_waiters_one_byte_at_a_time(self):
+        """N waiters parked on one stream, woken one byte at a time:
+        every byte is claimed exactly once, nobody is dispatched twice,
+        nobody starves."""
+        end_a, end_b = DuplexStream.pipe_pair("fanin", high_water=64)
+        reactor = Reactor(name="fanin", mode="watch")
+        claims = []
+
+        def waiter(tag):
+            data = yield from costream.co_recv(end_b, 1)
+            claims.append((tag, data))
+
+        def feeder():
+            for i in range(8):
+                yield from costream.co_send(end_a, bytes([i]))
+                yield  # let the wakeup land before the next byte
+
+        for tag in range(8):
+            reactor.spawn(waiter(tag), name=f"waiter{tag}")
+        reactor.spawn(feeder(), name="feeder")
+        reactor.run_until_idle()
+        assert reactor.double_dispatches == 0
+        assert sorted(data for _, data in claims) == \
+            [bytes([i]) for i in range(8)]
+        # rule 4: waiters drain in arrival order, so byte i goes to
+        # waiter i
+        assert claims == [(i, bytes([i])) for i in range(8)]
+
+
+class TestWatchVsScanOracle:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_modes_agree_on_seeded_workload(self, seed):
+        watch = _run_transfer("watch", seed)
+        scan = _run_transfer("scan", seed)
+        assert watch[1] == watch[0]
+        assert scan[1] == scan[0]
+        assert watch[1] == scan[1]
+        # same work, both clean — the notification plumbing may not
+        # change what gets done
+        assert watch[2].double_dispatches == 0
+        assert scan[2].double_dispatches == 0
+        assert watch[2].spawned == scan[2].spawned
+        assert not watch[2].crashed and not scan[2].crashed
+        # identical backpressure accounting on the shared stream
+        assert watch[3].peak_buffered == scan[3].peak_buffered
+        assert watch[3].backpressure_waits == scan[3].backpressure_waits
+
+
+class TestFifoFairness:
+    def test_blocked_senders_drain_in_arrival_order(self):
+        """Five senders blocked on one full stream must complete in
+        exactly their arrival order once the reader drains (rule 4);
+        the wake trace proves the order was the scheduler's doing."""
+        end_a, end_b = DuplexStream.pipe_pair("fifo", high_water=4)
+        reactor = Reactor(name="fifo", mode="watch")
+        reactor.trace = []
+
+        def sender(tag):
+            yield from costream.co_send(end_a, bytes([tag]) * 4)
+
+        def reader():
+            got = bytearray()
+            while len(got) < 24:
+                data = yield from costream.co_recv(end_b, 4)
+                got.extend(data)
+            return bytes(got)
+
+        # the plug fills the buffer so every tagged sender must park
+        reactor.spawn(sender(9), name="plug")
+        for tag in range(5):
+            reactor.spawn(sender(tag), name=f"sender{tag}")
+        reader_task = reactor.spawn(reader(), name="reader")
+        reactor.run_until_idle()
+        assert reader_task.result == (bytes([9]) * 4
+                                      + b"".join(bytes([t]) * 4
+                                                 for t in range(5)))
+        tx_name = end_a.tx.name
+        sender_wakes = [task for task, endpoint in reactor.trace
+                        if endpoint == tx_name
+                        and task.startswith("sender")]
+        in_order = [f"sender{t}" for t in range(5)]
+        # every sender woke at least once, first wakes in FIFO order
+        first_wakes = []
+        for name in sender_wakes:
+            if name not in first_wakes:
+                first_wakes.append(name)
+        assert first_wakes == in_order
+
+
+class TestResilienceInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cosend_never_exceeds_high_water(self, seed):
+        high_water = 32
+        _, received, _, tx = _run_transfer("watch", seed,
+                                           high_water=high_water,
+                                           payload_size=2048)
+        assert len(received) == 2048
+        assert tx.peak_buffered <= high_water
+        assert tx.backpressure_waits > 0
+
+    def test_plugged_listener_sheds_exactly_n_minus_b(self):
+        backlog, clients = 6, 20
+        net = Network()
+        net.listen("prop-shed:80", backlog=backlog)
+        reactor = Reactor(name="shed", mode="watch")
+        outcomes = {"connected": 0, "shed": 0}
+        held = []   # admitted sockets stay open: closing one would
+        # purge its queue slot (the mid-handoff drop fix) and admit
+        # the next client — this test wants the queue to stay plugged
+
+        def client(i):
+            try:
+                sock = net.connect("prop-shed:80")
+            except ConnectionShed:
+                outcomes["shed"] += 1
+                return
+            outcomes["connected"] += 1
+            held.append(sock)
+            yield  # make the body a generator without ever blocking
+
+        for i in range(clients):
+            reactor.spawn(client(i), name=f"client{i}")
+        reactor.run_until_idle()
+        assert outcomes["shed"] == clients - backlog
+        assert outcomes["connected"] == backlog
+        for sock in held:
+            sock.close()
+
+    def test_parked_task_deadline_is_typed(self):
+        """A task parked on a silent stream under an ambient deadline
+        dies with DeadlineExceeded — parked is not exempt from the
+        deadline, and the error is typed, not a hang."""
+        end_a, end_b = DuplexStream.pipe_pair("deadline")
+        reactor = Reactor(name="deadline", mode="watch")
+
+        def parked():
+            data = yield from costream.co_recv(end_b, 1, timeout=30.0)
+            return data
+
+        task = reactor.spawn(parked(), name="parked",
+                             deadline=Deadline.after(0.05))
+        reactor.run_until_idle(raise_crashes=False)
+        assert task.done
+        assert isinstance(task.error, DeadlineExceeded)
+        del end_a  # keep the writer end alive until the task is done
+
+    def test_deadlock_is_detected_not_hung(self):
+        end_a, end_b = DuplexStream.pipe_pair("stuck")
+        reactor = Reactor(name="stuck", mode="watch")
+
+        def stuck():
+            yield wait_readable(end_b.rx)
+
+        reactor.spawn(stuck(), name="stuck")
+        with pytest.raises(WedgeError, match="deadlock"):
+            reactor.run_until_idle()
+        del end_a
