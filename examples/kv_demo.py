@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The kv/cache tier: cache-aside httpd on a cluster, then a crash.
+
+Act 1 boots a two-kernel httpd cluster with the shared kv cache
+(``Cluster(cache=True)``): the first ``/cgi/`` request renders in a
+disposable per-request-tag sthread and stores the bytes in the
+Wedge-partitioned kv server; every later request — from *any* replica —
+is a cache hit that spawns no handler at all.
+
+Act 2 puts a supervised kv server under a flight recorder and crashes
+its storage callgate with a seeded fault plan: the supervisor restarts
+it, exhausts the restart budget, degrades the gate (the black box dumps
+the last events), and the circuit breaker's half-open probe brings the
+store back — contents intact, because the store region survives
+restart-from-snapshot byte-identical.
+
+Run:  python examples/kv_demo.py
+"""
+
+from repro import Kernel, Network
+from repro.apps.kv import KvClient, KvServer
+from repro.cluster import Cluster
+from repro.core import WedgeError
+from repro.faults import FaultPlan, RestartPolicy
+from repro.observe import Observer
+from repro.resilience import BreakerPolicy
+
+
+def act_one_cache_aside_cluster():
+    print("=== Act 1: cache-aside /cgi/ pages on a 2-kernel cluster ===")
+    cluster = Cluster(kernels=2, replicas=1, cache=True).start()
+    try:
+        cluster.lb.health_sweep()
+        keys = [b"client%02d" % i for i in range(4)]
+        bodies = {cluster.request(k, "/cgi/report", resume=False)
+                  for k in keys}
+        renders = sum(r._cgi_serial for node in cluster.nodes
+                      for r in node.replicas)
+        hits = sum(r.cache.hits for node in cluster.nodes
+                   for r in node.replicas)
+        print(f"  {len(keys)} requests across the ring -> "
+              f"{renders} handler spawn(s), {hits} cache hit(s)")
+        print(f"  all byte-identical: {len(bodies) == 1}")
+        stats = KvClient(cluster.lb.kernel, cluster.kv.addr).stat()
+        print(f"  kv tier saw: hits={stats['hits']} "
+              f"misses={stats['misses']} entries={stats['entries']}")
+    finally:
+        cluster.stop()
+
+
+def act_two_storage_crash_on_camera():
+    print("=== Act 2: crash the storage gate under supervision ===")
+    net = Network()
+    policy = RestartPolicy(max_restarts=1, backoff=0.0,
+                           breaker=BreakerPolicy(cooldown=0.0))
+    kv = KvServer(net, "demo-kv:9090", concurrent=True,
+                  supervise=policy).start()
+    observer = Observer(kv.kernel)
+    observer.attach()
+    app = Kernel(net=net, name="demo-app")
+    app.start_main()
+    cli = KvClient(app, kv.addr)
+    try:
+        cli.set("motd", b"wedge holds")
+        print(f"  stored, read back: {cli.get('motd')!r}")
+
+        # the seeded plan: the next two storage-gate entries crash —
+        # entry one burns the restart budget, entry two degrades it
+        plan = FaultPlan(seed=2008)
+        plan.add("cgate", "crash", at=(1, 2))
+        kv.kernel.install_faults(plan)
+        try:
+            cli.get("motd")
+            print("  !!! gate survived the injected crashes — BUG")
+        except WedgeError as exc:
+            print(f"  degraded, parser fails typed: {exc}")
+
+        print("  --- flight-recorder dump (the black box) ---")
+        for line in observer.recorder.format_dump().splitlines():
+            print(f"  {line}")
+
+        # breaker cooldown is zero: the very next call is the half-open
+        # probe, and the plan has no third fault to feed it
+        value = cli.get("motd")
+        print(f"  breaker probe re-admitted the gate: {value!r} "
+              f"(store survived restart byte-identical)")
+        print(f"  faults injected: {len(plan.injected)}, "
+              f"dumps captured: {len(observer.recorder.dumps)}")
+    finally:
+        observer.detach()
+        kv.stop()
+
+
+def main():
+    act_one_cache_aside_cluster()
+    print()
+    act_two_storage_crash_on_camera()
+
+
+if __name__ == "__main__":
+    main()

@@ -83,6 +83,14 @@ def _make_lb():
     return server
 
 
+def _make_kv():
+    from repro.apps.kv import WRITE_BEHIND, KvServer
+    from repro.net import Network
+    # write-behind so the traced leg crosses the queue/flush paths too
+    return KvServer(Network(), "lint-kv:9090", policy=WRITE_BEHIND,
+                    preload={b"alpha": b"AAA"}, supervise=_lint_policy())
+
+
 def specs_of(server):
     """The CompartmentSpec list a live partitioned server exposes."""
     import importlib
@@ -143,6 +151,20 @@ def _exercise_pop3(server):
     client.quit()
 
 
+def _exercise_kv(server):
+    from repro.apps.kv import KvClient
+    from repro.core.kernel import Kernel
+    kernel = Kernel(net=server.network, name="lint-kv-client")
+    kernel.start_main()
+    client = KvClient(kernel, server.addr)
+    client.get("alpha")
+    client.set("beta", b"BBB", ttl=1_000_000)
+    client.cas("beta", b"BBB", b"B2")
+    client.delete("beta")
+    client.flush()
+    client.stat()
+
+
 TARGETS = {
     "httpd-simple": AppTarget("httpd-simple", _make_httpd_simple,
                               _specs_of, _exercise_httpd),
@@ -152,6 +174,7 @@ TARGETS = {
                             _specs_of, _exercise_sshd),
     "pop3": AppTarget("pop3", _make_pop3, _specs_of, _exercise_pop3),
     "lb": AppTarget("lb", _make_lb, _specs_of, _exercise_lb),
+    "kv": AppTarget("kv", _make_kv, _specs_of, _exercise_kv),
 }
 
 APP_NAMES = tuple(TARGETS)

@@ -9,7 +9,16 @@ partitioning it runs in the ``client_handler`` sthread.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.errors import ProtocolError
+
+#: Paths under this prefix are dynamic ("CGI") content: rendered per
+#: request rather than served from the page map.
+CGI_PREFIX = "/cgi/"
+
+#: Size of the per-request scratch region a CGI handler renders into.
+CGI_REGION = 4096
 
 DEFAULT_PAGES = {
     "/": b"<html><body><h1>It works!</h1></body></html>",
@@ -41,17 +50,42 @@ def parse_request(data):
     return path
 
 
-def build_response(pages, path):
-    body = pages.get(path)
-    if body is None:
-        body = b"<html><body>404 not found</body></html>"
-        status = b"404 Not Found"
-    else:
-        status = b"200 OK"
+def http_response(status, body):
     return (b"HTTP/1.0 " + status + b"\r\n"
             b"Server: wedge-httpd/0.1\r\n"
             b"Content-Length: " + str(len(body)).encode() + b"\r\n"
             b"Content-Type: text/html\r\n\r\n" + body)
+
+
+def build_response(pages, path):
+    body = pages.get(path)
+    if body is None:
+        return http_response(b"404 Not Found",
+                             b"<html><body>404 not found</body></html>")
+    return http_response(b"200 OK", body)
+
+
+def is_dynamic(path):
+    """Whether *path* is CGI-style dynamic content."""
+    return path.startswith(CGI_PREFIX)
+
+
+def render_dynamic(path, salt=0):
+    """The 'application logic' behind a dynamic path.
+
+    A pure function of path and salt — crc32-chained rows standing in
+    for template rendering — so reruns, scheduler differentials and
+    cache-hit comparisons all see byte-identical bodies.
+    """
+    name = path[len(CGI_PREFIX):] or "index"
+    digest = zlib.crc32(path.encode("latin-1"), salt & 0xFFFFFFFF)
+    rows = []
+    for i in range(8):
+        digest = zlib.crc32(name.encode("latin-1"), digest)
+        rows.append(f"<tr><td>{i}</td><td>{digest:08x}</td></tr>")
+    return (f"<html><body><h1>cgi:{name}</h1>"
+            f"<table>{''.join(rows)}</table></body></html>"
+            ).encode("latin-1")
 
 
 def build_request(path):

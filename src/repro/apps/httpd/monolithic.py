@@ -14,21 +14,47 @@ compartment creation) gives the "Vanilla" row of Table 2.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.apps.httpd import content
 from repro.apps.httpd.common import HttpdBase
 from repro.attacks.exploit import maybe_trigger_exploit
-from repro.core.errors import ProtocolError
+from repro.core.errors import (CompartmentDown, ProtocolError,
+                               SthreadFaulted, WedgeError)
+from repro.core.policy import PROT_RW, SecurityContext, sc_mem_add
 from repro.tls.records import RT_APPDATA, KernelSocketTransport
 from repro.tls.server_core import ServerHandshake
 from repro.tls.session_cache import SessionCache
 
+#: Dynamic-content handler modes: ``disposable`` runs each request in a
+#: fresh sthread whose entire privilege is one per-request tag, freed on
+#: exit; ``inline`` is the monolithic contrast — the handler renders on a
+#: persistent heap scratch buffer whose residue outlives the request.
+CGI_DISPOSABLE = "disposable"
+CGI_INLINE = "inline"
+
 
 class MonolithicHttpd(HttpdBase):
-    """The ``Vanilla`` column of Table 2."""
+    """The ``Vanilla`` column of Table 2.
+
+    Two additions ride on this variant (it is the cluster's backend):
+
+    * **dynamic content** under :data:`~repro.apps.httpd.content.CGI_PREFIX`,
+      rendered — by default — in a *disposable sthread* over a
+      request-tagged scratch region.  The tag is deleted when the
+      request completes, so one handler can never read another
+      request's scratch, and a faulted handler becomes a 500 without
+      touching the server.  ``cgi_mode="inline"`` keeps the handler in
+      this fully privileged compartment instead, leaving residue.
+    * an optional **cache-aside client** (``cache_addr=``) against the
+      kv tier, keyed on the request path with seeded TTL jitter;
+      outages and sheds degrade to cache misses.
+    """
 
     variant = "monolithic"
 
-    def __init__(self, network, addr, **kwargs):
+    def __init__(self, network, addr, *, cache_addr=None, cache_seed=0,
+                 cgi_mode=CGI_DISPOSABLE, **kwargs):
         super().__init__(network, addr, **kwargs)
         self.session_cache = SessionCache()
         # the private key lives in ordinary (untagged) process memory —
@@ -36,6 +62,19 @@ class MonolithicHttpd(HttpdBase):
         key_bytes = self.private_key.to_bytes()
         self.key_buf = self.kernel.alloc_buf(len(key_bytes),
                                              init=key_bytes)
+        if cgi_mode not in (CGI_DISPOSABLE, CGI_INLINE):
+            raise WedgeError(f"unknown cgi_mode {cgi_mode!r}")
+        self.cgi_mode = cgi_mode
+        self._cgi_salt = zlib.crc32(
+            str(kwargs.get("seed", "httpd")).encode())
+        self._cgi_serial = 0
+        self._cgi_scratch = None    # inline mode's persistent buffer
+        self._last_cgi = None       # previous request's scratch window
+        self.cache = None
+        if cache_addr is not None:
+            from repro.apps.kv.client import KvCacheClient
+            self.cache = KvCacheClient(self.kernel, cache_addr,
+                                       seed=cache_seed)
 
     def handle_connection(self, conn_fd):
         transport = KernelSocketTransport(self.kernel, conn_fd)
@@ -88,3 +127,110 @@ class MonolithicHttpd(HttpdBase):
         })
         channel.send_record(RT_APPDATA, self.respond_to(request))
         kernel.free(scratch)
+
+    # -- dynamic content and the cache-aside path --------------------------
+
+    def respond_to(self, request_bytes):
+        path = content.parse_request(request_bytes)
+        self.requests_served += 1
+        if not content.is_dynamic(path):
+            return content.build_response(self.pages, path)
+        if self.cache is not None:
+            hit = self.cache.lookup(path)
+            if hit is not None:
+                return hit
+        body = self._render_cgi(path)
+        if body is None:
+            return content.http_response(
+                b"500 Internal Server Error",
+                b"<html><body>handler failed</body></html>")
+        response = content.http_response(b"200 OK", body)
+        if self.cache is not None:
+            self.cache.store(path, response)
+        return response
+
+    def _render_cgi(self, path):
+        """Render one dynamic request; ``None`` means the handler died."""
+        if self.cgi_mode == CGI_INLINE:
+            return self._render_cgi_inline(path)
+        return self._render_cgi_disposable(path)
+
+    def _render_cgi_inline(self, path):
+        """The monolithic contrast: render on a persistent heap buffer.
+
+        The scratch is allocated once and never scrubbed, so residue
+        from each request survives into the next — and into the hands
+        of any exploit in this fully privileged compartment.
+        """
+        kernel = self.kernel
+        if self._cgi_scratch is None:
+            self._cgi_scratch = kernel.alloc_buf(content.CGI_REGION)
+        maybe_trigger_exploit(kernel, path.encode("latin-1"), context={
+            "variant": self.variant,
+            "cgi_mode": CGI_INLINE,
+            "kernel": kernel,
+            "addr": self._cgi_scratch.addr,
+            "prev": self._last_cgi,
+            "key_buf": self.key_buf,
+        })
+        body = content.render_dynamic(path, self._cgi_salt)
+        kernel.mem_write(self._cgi_scratch.addr,
+                         len(body).to_bytes(2, "big") + body)
+        self._last_cgi = {"addr": self._cgi_scratch.addr,
+                          "len": content.CGI_REGION,
+                          "tag": "heap"}
+        return body
+
+    def _render_cgi_disposable(self, path):
+        """One request, one sthread, one tag — deleted on the way out."""
+        kernel = self.kernel
+        serial = self._cgi_serial
+        self._cgi_serial += 1
+        tag = kernel.tag_new(name=f"httpd-cgi{serial}")
+        buf = kernel.alloc_buf(content.CGI_REGION, tag=tag)
+        sc = SecurityContext()
+        sc_mem_add(sc, tag, PROT_RW)
+        prev, self._last_cgi = self._last_cgi, {
+            "addr": buf.addr, "len": content.CGI_REGION,
+            "tag": f"httpd-cgi{serial}"}
+        handler = kernel.sthread_create(
+            sc, self._cgi_body,
+            {"path": path, "addr": buf.addr, "prev": prev},
+            name=f"cgi{serial}", spawn="thread",
+            supervise=self.supervise)
+        try:
+            kernel.sthread_join(handler, timeout=20.0)
+            raw = buf.read()
+            return bytes(raw[2:2 + int.from_bytes(raw[:2], "big")])
+        except (SthreadFaulted, CompartmentDown) as exc:
+            # contained: the request dies with its handler
+            self.errors.append(f"cgi handler faulted: {exc}")
+            return None
+        finally:
+            kernel.tag_delete(tag)
+
+    def _cgi_body(self, arg):
+        """Runs inside the disposable sthread: render, write, exit.
+
+        Its page table maps exactly one tag — this request's scratch.
+        The path is the untrusted input here (a real CGI parses a query
+        string), so it carries the exploit hook like the other parsers.
+        """
+        kernel = self.kernel
+        maybe_trigger_exploit(kernel, arg["path"].encode("latin-1"),
+                              context={
+                                  "variant": self.variant,
+                                  "cgi_mode": CGI_DISPOSABLE,
+                                  "kernel": kernel,
+                                  "addr": arg["addr"],
+                                  "prev": arg["prev"],
+                                  "key_buf": self.key_buf,
+                              })
+        body = content.render_dynamic(arg["path"], self._cgi_salt)
+        kernel.mem_write(arg["addr"],
+                         len(body).to_bytes(2, "big") + body)
+
+    def stop(self):
+        if self.cache is not None:
+            self.cache.close()
+        super().stop()

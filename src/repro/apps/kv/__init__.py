@@ -1,0 +1,14 @@
+"""The Wedge-partitioned key-value/cache tier (ROADMAP item 3a)."""
+
+from repro.apps.kv.client import KvCacheClient, KvClient
+from repro.apps.kv.server import (CACHE_ASIDE, POLICIES, WRITE_BEHIND,
+                                  WRITE_THROUGH, KvServer, MonolithicKv,
+                                  analysis_compartments)
+from repro.apps.kv.store import MODE_CLOCK, MODE_LRU, EvictionOracle
+
+__all__ = [
+    "CACHE_ASIDE", "WRITE_THROUGH", "WRITE_BEHIND", "POLICIES",
+    "MODE_LRU", "MODE_CLOCK", "EvictionOracle",
+    "KvServer", "MonolithicKv", "KvClient", "KvCacheClient",
+    "analysis_compartments",
+]

@@ -1,0 +1,265 @@
+"""The ``python -m repro kv`` campaign: price the cache tier.
+
+Three legs, all deterministic in model cycles (so the committed
+``BENCH_kv.json`` baseline is exact, and the CI gate's 10% headroom is
+pure insurance):
+
+**Ops** — a persistent pipelined connection against a warm
+:class:`~repro.apps.kv.server.KvServer`; every op is priced on the
+*server* kernel's deterministic cost model.  The numbers tell the
+architecture story: a hit costs two recycled-callgate hops (futex round
+trips) plus the region I/O — far below one ``sthread_create``.
+
+**httpd** — the acceptance comparison.  A cluster of httpd kernels
+serves the same dynamic (CGI) request mix twice, once bare and once in
+front of a kv kernel (``cache=True``); the cached pass is billed for
+*both* the httpd kernels and the kv kernel.  The contract: steady-state
+``httpd_cached_cycles`` must beat ``httpd_uncached_cycles`` — otherwise
+the tier is decoration.
+
+**Write-behind** — a burst of ``queue_bound + extra`` SETs against a
+write-behind store.  Exactly ``extra`` of them must shed (the typed
+``SHED`` reply, the PR-5 backpressure discipline), and a ``FLUSH`` must
+drain the queue to the backing store.
+
+The artifact rides the overload-checker rails: ``*_cycles`` metrics
+regress when they rise beyond tolerance, ``*_shed_rate`` when it rises,
+``*_goodput`` when it falls.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.kv.client import KvCacheClient, KvClient
+from repro.apps.kv.server import WRITE_BEHIND, KvServer
+from repro.core.errors import WedgeError
+from repro.core.kernel import Kernel
+from repro.net import Network
+
+#: Distinct keys/paths per leg.
+DEFAULT_OPS = 8
+#: Write-behind burst beyond the queue bound.
+DEFAULT_EXTRA = 4
+
+
+class KvReport:
+    """What the campaign measured and whether the contract held."""
+
+    def __init__(self, *, ops, seed):
+        self.ops = ops
+        self.seed = seed
+        self.hit_cycles = None
+        self.miss_cycles = None
+        self.set_cycles = None
+        self.connect_cycles = None
+        self.uncached_cycles = None
+        self.cached_cycles = None
+        self.cached_kv_share = None
+        self.kv_stats = {}
+        self.shed = None
+        self.shed_expected = None
+        self.flushed = None
+        self.queue_bound = None
+        self.wall = {}
+        self.violations = []
+
+    @property
+    def passed(self):
+        return not self.violations
+
+    def artifact(self):
+        """The ``BENCH_kv.json`` payload (overload-checker rails)."""
+        metrics = {}
+        if self.hit_cycles is not None:
+            metrics["kv_hit_cycles"] = self.hit_cycles
+            metrics["kv_miss_cycles"] = self.miss_cycles
+            metrics["kv_set_cycles"] = self.set_cycles
+        if self.cached_cycles is not None:
+            metrics["httpd_uncached_cycles"] = self.uncached_cycles
+            metrics["httpd_cached_cycles"] = self.cached_cycles
+        if self.shed is not None:
+            total = self.shed_expected + self.queue_bound
+            metrics["wb_shed_rate"] = round(self.shed / total, 4)
+        info = {
+            "ops": self.ops,
+            "seed": self.seed,
+            "connect_cycles": self.connect_cycles,
+            "cached_kv_share": self.cached_kv_share,
+            "kv_stats": self.kv_stats,
+            "write_behind": {"queue_bound": self.queue_bound,
+                             "shed": self.shed,
+                             "expected_shed": self.shed_expected,
+                             "flushed": self.flushed},
+            "passed": self.passed,
+        }
+        return {"artifact": "kv", "metrics": metrics,
+                "wall": self.wall, "info": info}
+
+    def format(self):
+        lines = [f"kv ops={self.ops} seed={self.seed}: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        if self.hit_cycles is not None:
+            lines.append(
+                f"  ops: hit {self.hit_cycles:,d} / miss "
+                f"{self.miss_cycles:,d} / set {self.set_cycles:,d} "
+                f"model cycles each (connection setup "
+                f"{self.connect_cycles:,d}, amortised)")
+        if self.cached_cycles is not None:
+            saved = self.uncached_cycles - self.cached_cycles
+            lines.append(
+                f"  httpd: uncached dynamic {self.uncached_cycles:,d} "
+                f"-> cached-via-kv {self.cached_cycles:,d} "
+                f"cycles/request ({saved:,d} saved, kv kernel share "
+                f"{self.cached_kv_share:.0%})")
+        if self.shed is not None:
+            lines.append(
+                f"  write-behind: {self.shed}/{self.shed_expected} "
+                f"expected sheds at bound {self.queue_bound}, "
+                f"{self.flushed} flushed to backing")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# -- the legs -----------------------------------------------------------------
+
+
+def _ops_leg(report):
+    """Price hit / miss / set on a warm persistent connection."""
+    start = time.perf_counter()
+    network = Network()
+    server = KvServer(network, "bench-kv:9090", concurrent=True).start()
+    kernel = Kernel(net=network, name="bench-kv-client")
+    kernel.start_main()
+    client = KvCacheClient(kernel, "bench-kv:9090", seed=report.seed)
+    paths = [f"/page{i:03d}" for i in range(report.ops)]
+    cycles = server.kernel.costs.cycles
+    try:
+        before = cycles()
+        client.lookup(paths[0])     # dials: 2 sthreads, paid once
+        report.connect_cycles = cycles() - before
+
+        before = cycles()
+        for path in paths:
+            client.lookup(path)
+        report.miss_cycles = (cycles() - before) // report.ops
+
+        before = cycles()
+        for path in paths:
+            client.store(path, path.encode() * 8)
+        report.set_cycles = (cycles() - before) // report.ops
+
+        before = cycles()
+        for path in paths:
+            client.lookup(path)
+        report.hit_cycles = (cycles() - before) // report.ops
+        if client.hits != report.ops:
+            report.violations.append(
+                f"ops leg: {client.hits}/{report.ops} hits after fill")
+        if report.hit_cycles >= report.miss_cycles + report.set_cycles:
+            report.violations.append(
+                "a cache hit costs more than the miss+fill it avoids")
+    finally:
+        client.close()
+        server.stop()
+    report.wall["ops_seconds"] = round(time.perf_counter() - start, 4)
+
+
+def _httpd_leg(report):
+    """The acceptance comparison: cached-via-kv vs uncached dynamic."""
+    from repro.cluster.cluster import Cluster
+    from repro.resilience.breaker import BreakerPolicy
+
+    start = time.perf_counter()
+    paths = [f"/cgi/page{i:03d}" for i in range(report.ops)]
+    keys = [f"k{i:07d}".encode() for i in range(report.ops)]
+
+    def serve(cache):
+        cluster = Cluster(kernels=2, replicas=1, cache=cache,
+                          breaker_policy=BreakerPolicy(cooldown=0.0),
+                          probe_timeout=1.0)
+        cluster.start()
+        try:
+            cluster.lb.health_sweep()
+            kernels = [node.kernel for node in cluster.nodes]
+            if cache:
+                kernels.append(cluster.kv.kernel)
+            # warm pass: renders (and, cached, fills the tier)
+            for key, path in zip(keys, paths):
+                cluster.request(key, path, resume=False)
+            # measured pass: steady state
+            before = [k.costs.cycles() for k in kernels]
+            kv_before = (cluster.kv.kernel.costs.cycles()
+                         if cache else 0)
+            bodies = [cluster.request(key, path, resume=False)
+                      for key, path in zip(keys, paths)]
+            spent = sum(k.costs.cycles() - b
+                        for k, b in zip(kernels, before))
+            kv_spent = (cluster.kv.kernel.costs.cycles() - kv_before
+                        if cache else 0)
+            stats = dict(cluster.kv.stats) if cache else {}
+        finally:
+            cluster.stop()
+        return spent // report.ops, kv_spent, bodies, stats
+
+    report.uncached_cycles, _, plain, _ = serve(cache=False)
+    (report.cached_cycles, kv_spent, cached,
+     report.kv_stats) = serve(cache=True)
+    report.cached_kv_share = round(
+        kv_spent / max(1, report.cached_cycles * report.ops), 4)
+    if plain != cached:
+        report.violations.append(
+            "cached responses deviate from the rendered bytes")
+    if report.kv_stats.get("hits", 0) < report.ops:
+        report.violations.append(
+            f"steady-state pass was not all hits: {report.kv_stats}")
+    if report.cached_cycles >= report.uncached_cycles:
+        report.violations.append(
+            f"cache tier does not pay for itself: cached "
+            f"{report.cached_cycles:,d} >= uncached "
+            f"{report.uncached_cycles:,d} cycles/request")
+    report.wall["httpd_seconds"] = round(time.perf_counter() - start, 4)
+
+
+def _write_behind_leg(report, *, queue_bound=4, extra=DEFAULT_EXTRA):
+    """Typed shed at the queue bound, then a flush drains it."""
+    start = time.perf_counter()
+    network = Network()
+    server = KvServer(network, "bench-wb:9090", policy=WRITE_BEHIND,
+                      queue_bound=queue_bound).start()
+    kernel = Kernel(net=network, name="bench-wb-client")
+    kernel.start_main()
+    client = KvClient(kernel, "bench-wb:9090")
+    report.queue_bound = queue_bound
+    report.shed_expected = extra
+    try:
+        burst = [b"SET k%03d 0 %s" % (i, b"ab" * 4)
+                 for i in range(queue_bound + extra)]
+        replies = client.execute(burst)
+        report.shed = sum(1 for r in replies if r == b"SHED")
+        report.flushed = client.flush()
+        if report.shed != extra:
+            report.violations.append(
+                f"write-behind shed {report.shed} of the burst, "
+                f"expected exactly {extra}")
+        if report.flushed != queue_bound:
+            report.violations.append(
+                f"flush drained {report.flushed} queued writes, "
+                f"expected {queue_bound}")
+    finally:
+        server.stop()
+    report.wall["wb_seconds"] = round(time.perf_counter() - start, 4)
+
+
+def run_kv(*, ops=DEFAULT_OPS, seed=0, httpd=True):
+    """Run the kv campaign; returns a :class:`KvReport`."""
+    report = KvReport(ops=ops, seed=seed)
+    try:
+        _ops_leg(report)
+        if httpd:
+            _httpd_leg(report)
+        _write_behind_leg(report)
+    except WedgeError as exc:
+        report.violations.append(f"campaign aborted: {exc}")
+    return report

@@ -1,0 +1,239 @@
+"""Clients for the kv tier.
+
+:class:`KvClient` speaks the pipelined line protocol over a kernel
+socket: one connection carries a batch of command lines terminated by
+``QUIT``, and the whole reply stream comes back before the server
+half-closes.  A full write-behind queue surfaces as the typed
+:class:`~repro.core.errors.ConnectionShed` — the same error a shed
+connect raises — so callers have exactly one backpressure signal to
+handle.
+
+:class:`KvCacheClient` is the cache-aside adapter httpd mounts: keyed
+on the request path, seeded TTL jitter (a pure function of path and
+seed — no RNG state is consumed, which keeps the scheduler
+differential tests byte-identical), and fail-open on every kv outage:
+a cache that is down is a cache that misses.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.errors import ConnectionShed, NetworkError, WedgeError
+
+#: Replies that signal typed backpressure from the storage engine.
+SHED_REPLY = b"SHED"
+
+
+class KvClient:
+    """Pipelined protocol client over an existing kernel."""
+
+    def __init__(self, kernel, addr, *, timeout=10.0):
+        self.kernel = kernel
+        self.addr = addr
+        self.timeout = timeout
+
+    def execute(self, commands):
+        """Run a batch of command lines; returns the reply lines.
+
+        Opens one connection, sends every command plus ``QUIT``, and
+        reads until the server's half-close.  A shed connect propagates
+        as :class:`~repro.core.errors.ConnectionShed`.
+        """
+        kernel = self.kernel
+        commands = [bytes(c) for c in commands]
+        fd = kernel.connect(self.addr)
+        try:
+            blob = b"".join(c + b"\r\n" for c in commands)
+            kernel.send(fd, blob + b"QUIT\r\n")
+            data = bytearray()
+            while not data.endswith(b"BYE\r\n"):
+                try:
+                    chunk = kernel.recv(fd, 4096, timeout=self.timeout)
+                except NetworkError:
+                    break
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            try:
+                kernel.close(fd)
+            except WedgeError:
+                pass
+        lines = [line for line in bytes(data).split(b"\r\n") if line]
+        if not lines or lines[-1] != b"BYE":
+            raise NetworkError(
+                f"kv session truncated: {len(lines)} reply lines")
+        return lines[:-1]
+
+    # -- single-command conveniences ---------------------------------------
+
+    def _one(self, command):
+        lines = self.execute([command])
+        if len(lines) != 1:
+            raise NetworkError(
+                f"kv: expected one reply, got {len(lines)}")
+        reply = lines[0]
+        if reply == SHED_REPLY:
+            raise ConnectionShed("kv write queue at bound (typed shed)")
+        if reply.startswith(b"ERR"):
+            raise WedgeError(f"kv error: {reply.decode('latin-1')}")
+        return reply
+
+    def get(self, key):
+        """The cached value, or ``None`` on a miss."""
+        reply = self._one(b"GET " + _key_bytes(key))
+        if reply == b"MISS":
+            return None
+        if reply.startswith(b"VALUE "):
+            return bytes.fromhex(reply[6:].decode("ascii"))
+        raise WedgeError(f"kv: unexpected GET reply {reply!r}")
+
+    def set(self, key, value, ttl=0):
+        reply = self._one(b"SET %s %d %s" % (
+            _key_bytes(key), int(ttl), bytes(value).hex().encode()))
+        return reply == b"STORED"
+
+    def delete(self, key):
+        return self._one(b"DEL " + _key_bytes(key)) == b"DELETED"
+
+    def cas(self, key, old, new, ttl=0):
+        reply = self._one(b"CAS %s %d %s %s" % (
+            _key_bytes(key), int(ttl), bytes(old).hex().encode(),
+            bytes(new).hex().encode()))
+        return reply == b"CASOK"
+
+    def flush(self):
+        reply = self._one(b"FLUSH")
+        return int(reply.split()[1])
+
+    def stat(self):
+        reply = self._one(b"STAT")
+        out = {}
+        for field in reply.split()[1:]:
+            name, _, value = field.partition(b"=")
+            out[name.decode("ascii")] = int(value)
+        return out
+
+
+def _key_bytes(key):
+    key = key.encode("ascii") if isinstance(key, str) else bytes(key)
+    if not key or b" " in key:
+        raise WedgeError(f"bad kv key {key!r}")
+    return key
+
+
+class KvCacheClient:
+    """httpd's cache-aside adapter: path-keyed, seeded-jitter TTLs.
+
+    Holds one *persistent* pipelined connection to the kv tier (the kv
+    server must run with ``concurrent=True`` to serve several of
+    these), reconnecting lazily after idle timeouts or kv restarts.
+    The two-sthread connection setup on the kv side is thus paid once
+    per httpd replica, not once per request — that is what puts a
+    cache hit well under the cost of rendering dynamic content.
+    """
+
+    def __init__(self, kernel, addr, *, ttl_base=5_000_000,
+                 ttl_jitter=1_000_000, seed=0, timeout=10.0):
+        self.kernel = kernel
+        self.addr = addr
+        self.timeout = timeout
+        self._fd = None
+        self._buf = bytearray()
+        self.ttl_base = int(ttl_base)
+        self.ttl_jitter = int(ttl_jitter)
+        self.seed = int(seed)
+        self.hits = 0
+        self.misses = 0
+        self.store_errors = 0
+
+    def ttl_for(self, path):
+        """Base TTL plus deterministic per-path jitter.
+
+        Jitter decorrelates expiry so a cold restart does not stampede
+        every path at once; deriving it from crc32(path, seed) keeps it
+        a pure function — reruns and scheduler differentials see the
+        same TTLs.
+        """
+        if not self.ttl_jitter:
+            return self.ttl_base
+        spread = zlib.crc32(_key_bytes(path), self.seed)
+        return self.ttl_base + spread % self.ttl_jitter
+
+    # -- the persistent pipelined connection -------------------------------
+
+    def _drop(self):
+        if self._fd is not None:
+            try:
+                self.kernel.close(self._fd)
+            except WedgeError:
+                pass
+            self._fd = None
+        self._buf = bytearray()
+
+    def close(self):
+        self._drop()
+
+    def _readline(self):
+        while b"\r\n" not in self._buf:
+            chunk = self.kernel.recv(self._fd, 4096,
+                                     timeout=self.timeout)
+            if not chunk:
+                raise NetworkError("kv connection closed mid-reply")
+            self._buf += chunk
+        line, _, rest = bytes(self._buf).partition(b"\r\n")
+        self._buf = bytearray(rest)
+        return line
+
+    def _command(self, line):
+        """One command, one reply line; reconnects once on failure.
+
+        The kv parser times its idle connections out, so the first
+        command after a quiet spell legitimately finds a dead socket —
+        retrying on a fresh connection is part of the protocol, not
+        error recovery.  (All kv commands are idempotent to retry.)
+        """
+        for attempt in (0, 1):
+            try:
+                if self._fd is None:
+                    self._fd = self.kernel.connect(self.addr)
+                    self._buf = bytearray()
+                self.kernel.send(self._fd, line + b"\r\n")
+                return self._readline()
+            except NetworkError:
+                self._drop()
+                if attempt:
+                    raise
+        return None    # unreachable
+
+    # -- the cache-aside surface -------------------------------------------
+
+    def lookup(self, path):
+        """The cached response, or ``None``; outages are misses."""
+        try:
+            reply = self._command(b"GET " + _key_bytes(path))
+        except WedgeError:
+            reply = None
+        value = None
+        if reply is not None and reply.startswith(b"VALUE "):
+            try:
+                value = bytes.fromhex(reply[6:].decode("ascii"))
+            except ValueError:
+                value = None
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, path, value):
+        """Best-effort fill; a shed or dead cache drops the write."""
+        try:
+            reply = self._command(b"SET %s %d %s" % (
+                _key_bytes(path), self.ttl_for(path),
+                bytes(value).hex().encode()))
+        except WedgeError:
+            reply = None
+        if reply != b"STORED":
+            self.store_errors += 1

@@ -1,0 +1,281 @@
+"""On-disk^H^Hin-region state of the kv tier, and the eviction algebra.
+
+Two tagged regions, two owners, one codec discipline:
+
+* ``kv-store`` (owned by the storage-engine callgate) serializes the
+  cache entries, the bounded write-behind queue and the backing store
+  into one flat blob.  The gate reads the region whole, mutates a
+  python-side picture, and writes the region whole — the same
+  whole-block idiom the lb uses for its ring, which is what lets the
+  analyzer resolve every access to the single tag grant.
+* ``kv-meta`` (owned by the eviction callgate, its *sole* writer)
+  serializes the recency metadata: an LRU stamp table or a clock hand
+  with reference bits.
+
+Both ``pack_*`` functions pad the blob with zeros to the full region
+length so the bytes in RAM are a pure function of the logical state —
+that is what makes the chaos campaign's byte-identical store check
+meaningful.
+
+The eviction algebra itself (:func:`meta_admit` .. :func:`meta_pick`)
+is pure python over the unpacked dict, shared verbatim between the
+eviction gate and the property-test oracle: the tests then prove the
+*gate plumbing* (codec round-trip, delegation, restart) preserves the
+algorithm, not a reimplementation of it.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WedgeError
+
+#: Protocol limits: one token key, hex-encoded values.
+MAX_KEY = 64
+MAX_VALUE = 1024
+
+MODE_LRU = "lru"
+MODE_CLOCK = "clock"
+MODES = (MODE_LRU, MODE_CLOCK)
+
+_STORE_MAGIC = b"KVS1"
+_META_MAGIC = b"KVM1"
+
+#: Write-behind queue item kinds.
+Q_SET = 1
+Q_DEL = 2
+
+
+# -- primitive codec ---------------------------------------------------------
+
+def _pack_bytes(out, blob):
+    if len(blob) > 0xFFFF:
+        raise WedgeError("kv codec: blob too long")
+    out += len(blob).to_bytes(2, "big") + blob
+
+
+def _unpack_bytes(blob, off):
+    n = int.from_bytes(blob[off:off + 2], "big")
+    off += 2
+    return bytes(blob[off:off + n]), off + n
+
+
+def _pack_u64(out, value):
+    out += int(value).to_bytes(8, "big")
+
+
+def _unpack_u64(blob, off):
+    return int.from_bytes(blob[off:off + 8], "big"), off + 8
+
+
+def _pad(out, region_len):
+    if len(out) > region_len:
+        raise WedgeError(
+            f"kv region overflow: {len(out)} > {region_len} bytes")
+    return bytes(out) + b"\x00" * (region_len - len(out))
+
+
+# -- the store region --------------------------------------------------------
+
+def empty_store():
+    """The pristine store state: no cache, no queue, no backing rows."""
+    return {"cache": [], "queue": [], "backing": []}
+
+
+def pack_store(state, region_len):
+    """Serialize ``{"cache", "queue", "backing"}`` into a padded blob.
+
+    * cache rows are ``(key, value, expires_cycle)`` — ``expires`` of 0
+      means the entry never expires;
+    * queue rows are ``(Q_SET|Q_DEL, key, value)``;
+    * backing rows are ``(key, value)``.
+    """
+    out = bytearray(_STORE_MAGIC)
+    out += len(state["cache"]).to_bytes(2, "big")
+    for key, value, expires in state["cache"]:
+        _pack_bytes(out, key)
+        _pack_bytes(out, value)
+        _pack_u64(out, expires)
+    out += len(state["queue"]).to_bytes(2, "big")
+    for kind, key, value in state["queue"]:
+        out.append(kind)
+        _pack_bytes(out, key)
+        _pack_bytes(out, value)
+    out += len(state["backing"]).to_bytes(2, "big")
+    for key, value in state["backing"]:
+        _pack_bytes(out, key)
+        _pack_bytes(out, value)
+    return _pad(out, region_len)
+
+
+def unpack_store(blob):
+    blob = bytes(blob)
+    if blob[:4] != _STORE_MAGIC:
+        raise WedgeError("kv-store region is corrupt (bad magic)")
+    off = 4
+    state = empty_store()
+    n = int.from_bytes(blob[off:off + 2], "big")
+    off += 2
+    for _ in range(n):
+        key, off = _unpack_bytes(blob, off)
+        value, off = _unpack_bytes(blob, off)
+        expires, off = _unpack_u64(blob, off)
+        state["cache"].append((key, value, expires))
+    n = int.from_bytes(blob[off:off + 2], "big")
+    off += 2
+    for _ in range(n):
+        kind = blob[off]
+        off += 1
+        key, off = _unpack_bytes(blob, off)
+        value, off = _unpack_bytes(blob, off)
+        state["queue"].append((kind, key, value))
+    n = int.from_bytes(blob[off:off + 2], "big")
+    off += 2
+    for _ in range(n):
+        key, off = _unpack_bytes(blob, off)
+        value, off = _unpack_bytes(blob, off)
+        state["backing"].append((key, value))
+    return state
+
+
+# -- the metadata region -----------------------------------------------------
+
+def empty_meta(mode=MODE_LRU):
+    """Pristine recency state.
+
+    * ``lru``: ``entries`` maps key -> last-touch stamp, ``counter`` is
+      the next stamp (a logical clock — deterministic, unlike wall
+      time);
+    * ``clock``: ``entries`` maps key -> reference bit, ``order`` is the
+      ring and ``hand`` the sweep position.
+    """
+    if mode not in MODES:
+        raise WedgeError(f"unknown eviction mode {mode!r}")
+    return {"mode": mode, "counter": 0, "hand": 0,
+            "order": [], "entries": {}}
+
+
+def pack_meta(state, region_len):
+    out = bytearray(_META_MAGIC)
+    out.append(MODES.index(state["mode"]))
+    _pack_u64(out, state["counter"])
+    _pack_u64(out, state["hand"])
+    out += len(state["order"]).to_bytes(2, "big")
+    for key in state["order"]:
+        _pack_bytes(out, key)
+        _pack_u64(out, state["entries"][key])
+    return _pad(out, region_len)
+
+
+def unpack_meta(blob):
+    blob = bytes(blob)
+    if blob[:4] != _META_MAGIC:
+        raise WedgeError("kv-meta region is corrupt (bad magic)")
+    off = 4
+    mode = MODES[blob[off]]
+    off += 1
+    counter, off = _unpack_u64(blob, off)
+    hand, off = _unpack_u64(blob, off)
+    n = int.from_bytes(blob[off:off + 2], "big")
+    off += 2
+    order = []
+    entries = {}
+    for _ in range(n):
+        key, off = _unpack_bytes(blob, off)
+        stamp, off = _unpack_u64(blob, off)
+        order.append(key)
+        entries[key] = stamp
+    return {"mode": mode, "counter": counter, "hand": hand,
+            "order": order, "entries": entries}
+
+
+# -- the eviction algebra (shared with the property-test oracle) -------------
+
+def meta_admit(state, key):
+    """A new cache entry: start tracking its recency."""
+    if key in state["entries"]:
+        return meta_touch(state, key)
+    state["order"].append(key)
+    if state["mode"] == MODE_LRU:
+        state["entries"][key] = state["counter"]
+        state["counter"] += 1
+    else:
+        state["entries"][key] = 1      # clock: admitted referenced
+
+
+def meta_touch(state, key):
+    """A cache hit: refresh the entry's recency."""
+    if key not in state["entries"]:
+        return meta_admit(state, key)
+    if state["mode"] == MODE_LRU:
+        state["entries"][key] = state["counter"]
+        state["counter"] += 1
+    else:
+        state["entries"][key] = 1
+
+
+def meta_remove(state, key):
+    """The entry left the cache (deleted or evicted)."""
+    if key not in state["entries"]:
+        return
+    index = state["order"].index(key)
+    state["order"].pop(index)
+    del state["entries"][key]
+    if state["mode"] == MODE_CLOCK:
+        # keep the hand pointing at the same survivor
+        if index < state["hand"]:
+            state["hand"] -= 1
+        if state["order"]:
+            state["hand"] %= len(state["order"])
+        else:
+            state["hand"] = 0
+
+
+def meta_pick(state):
+    """Choose the victim; ``None`` when nothing is tracked.
+
+    LRU picks the smallest stamp.  Clock sweeps from the hand, clearing
+    reference bits until it finds a cold entry; the hand parks just past
+    the victim's slot.  Neither removes the victim — the storage engine
+    confirms the eviction with an explicit ``remove``.
+    """
+    if not state["order"]:
+        return None
+    if state["mode"] == MODE_LRU:
+        return min(state["order"], key=lambda k: state["entries"][k])
+    while True:
+        key = state["order"][state["hand"] % len(state["order"])]
+        if state["entries"][key]:
+            state["entries"][key] = 0
+            state["hand"] = (state["hand"] + 1) % len(state["order"])
+        else:
+            state["hand"] = (state["hand"] + 1) % len(state["order"])
+            return key
+
+
+def meta_reset(state):
+    """Forget everything (the store was flushed)."""
+    state["order"] = []
+    state["entries"] = {}
+    state["counter"] = 0
+    state["hand"] = 0
+
+
+class EvictionOracle:
+    """The reference model the property tests drive in lockstep."""
+
+    def __init__(self, mode=MODE_LRU):
+        self.state = empty_meta(mode)
+
+    def admit(self, key):
+        meta_admit(self.state, key)
+
+    def touch(self, key):
+        meta_touch(self.state, key)
+
+    def remove(self, key):
+        meta_remove(self.state, key)
+
+    def pick(self):
+        return meta_pick(self.state)
+
+    def reset(self):
+        meta_reset(self.state)

@@ -161,6 +161,93 @@ def probe_fine_partition(api):
     api.loot.grab("scan_hits", hits)
 
 
+PAYLOAD_KV_STORE_THIEF = "kv-store-thief"
+PAYLOAD_CGI_RESIDUE = "cgi-residue"
+
+
+@registry.register(PAYLOAD_KV_STORE_THIEF)
+def kv_store_thief(api):
+    """Everything a hijacked kv command parser can try.
+
+    ================   ===========  ==========================
+    loot / probe       kv-mono      kv (wedge)
+    ================   ===========  ==========================
+    store sweep        whole store  denied (tag unmapped)
+    kv-store/kv-meta   n/a*         denied (both tags refused)
+    eviction gate      n/a*         denied (id not delegated)
+    raw client write   succeeds     denied (fd grant read-only)
+    ================   ===========  ==========================
+
+    (* the monolithic build has no tags or gates to probe — the sweep
+    already yields the whole store from main's heap.)
+
+    ``api.data`` carries a value the attacker knows is stored (its own
+    earlier ``SET``, or a leaked fragment) as the sweep needle.
+    """
+    kernel = api.kernel
+    needle = api.data or b"wedge"
+    api.loot.grab("store_hits", api.scan_all_memory(needle))
+    denied = []
+    for seg in kernel.space.segments():
+        if seg.name in ("kv-store", "kv-meta"):
+            if api.try_read(seg.base, 64,
+                            what=f"{seg.name} tag") is None:
+                denied.append(seg.name)
+    api.loot.grab("denied_tags", sorted(denied))
+    evict_id = api.context.get("evict_gate_id")
+    if evict_id is not None:
+        reply = api.try_cgate(evict_id, None, {"op": "pick"},
+                              what="eviction gate")
+        if reply is not None:
+            api.loot.grab("evict_victim", reply.get("victim"))
+    # the parser's client-fd grant is read-only end to end: raw
+    # exfiltration over the socket must die in the fd table
+    if api.try_send(api.context["fd"], b"OWNED\r\n",
+                    what="client fd write") is not None:
+        api.loot.grab("raw_client_write", True)
+
+
+@registry.register(PAYLOAD_CGI_RESIDUE)
+def cgi_residue(api):
+    """Cross-request theft from a hijacked CGI handler.
+
+    Disposable mode: the previous request's scratch tag was deleted on
+    its way out, so the probe either faults (window unmapped) or — when
+    the tag cache recycled that segment into *this* request's scratch —
+    reads back freshly scrubbed zeros (paper §4.1: reuse scrubs the
+    payload bytes).  Either way no residue is recoverable, and the key
+    read faults.  Inline mode: the persistent scratch still holds the
+    previous request's body and the server's RSA key sits one heap
+    read away.
+
+    The blob travels inside the request path, so httpd's request-line
+    and hello parsers see it first; the exploit is crafted against the
+    dynamic-content handler and stays inert (``NOT_ARMED``) until the
+    hook that carries a ``cgi_mode`` context fires.
+    """
+    if api.context.get("cgi_mode") is None:
+        from repro.attacks.exploit import NOT_ARMED
+        return NOT_ARMED
+    prev = api.context.get("prev")
+    if prev is not None:
+        blob = api.try_read(
+            prev["addr"], prev["len"],
+            what=f"previous request's scratch ({prev['tag']})")
+        if blob is not None:
+            # exfiltrate whatever the window held; the attack tests
+            # judge whether any cross-request bytes are actually in it
+            # (disposable mode: scrubbed zeros + allocator bookkeeping,
+            # inline mode: the previous request's length-prefixed body)
+            api.loot.grab("scratch_window", bytes(blob))
+    key_buf = api.context.get("key_buf")
+    if key_buf is not None:
+        stolen = api.try_read(key_buf.addr, key_buf.size,
+                              what="server RSA key")
+        if stolen is not None:
+            api.loot.grab("cgi_private_key", bytes(stolen))
+    api.loot.grab("cgi_hijacked", api.context.get("cgi_mode"))
+
+
 PAYLOAD_SSHD_RECON = "sshd-recon"
 
 

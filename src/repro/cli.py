@@ -435,6 +435,41 @@ def cmd_cluster(args):
     return 1 if failed else 0
 
 
+def cmd_kv(args):
+    import json
+    import os
+
+    from repro.apps.kv.campaign import run_kv
+    from repro.core.kernel import Kernel
+    from repro.resilience.overload import check_artifact, write_artifact
+    with Kernel.scheduler_override(args.scheduler):
+        report = run_kv(ops=args.ops, seed=args.seed,
+                        httpd=not args.no_httpd)
+    print(report.format())
+    failed = not report.passed
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_kv.json")
+        write_artifact(report, path)
+        print(f"wrote {path}")
+    if args.check:
+        baseline_path = os.path.join(args.check, "BENCH_kv.json")
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        problems = check_artifact(report.artifact(), baseline)
+        if problems:
+            print(f"REGRESSION vs {baseline_path}:")
+            for problem in problems:
+                print(f"  {problem}")
+            failed = True
+        else:
+            print(f"model cycles within tolerance of {baseline_path}")
+    return 1 if failed else 0
+
+
 def cmd_observe(args):
     from repro.observe.export import validate_file
     if args.validate:
@@ -598,6 +633,26 @@ def build_parser():
                      help="compare against DIR/BENCH_cluster.json "
                           "(fail on >10%% goodput drop)")
     pcl.set_defaults(fn=cmd_cluster)
+    pkv = sub.add_parser(
+        "kv",
+        help="kv/cache-tier campaign: op costs, cached-vs-uncached "
+             "httpd, write-behind shed")
+    pkv.add_argument("-n", "--ops", type=int, default=8,
+                     help="distinct keys/paths per leg (default: 8)")
+    pkv.add_argument("--seed", type=int, default=0,
+                     help="TTL-jitter seed for the cache clients")
+    pkv.add_argument("--no-httpd", action="store_true",
+                     help="skip the cluster-backed httpd comparison leg")
+    pkv.add_argument("--scheduler", default=None,
+                     choices=["threads", "reactor"],
+                     help="kernel scheduling mode for every kernel "
+                          "(default: the kernel default, threads)")
+    pkv.add_argument("--out", default=None, metavar="DIR",
+                     help="write BENCH_kv.json into DIR")
+    pkv.add_argument("--check", default=None, metavar="DIR",
+                     help="compare against DIR/BENCH_kv.json "
+                          "(fail on >10%% model-cycle rise)")
+    pkv.set_defaults(fn=cmd_kv)
     po = sub.add_parser(
         "observe",
         help="event bus + span tracing over one app's demo sessions")

@@ -65,7 +65,9 @@ class ClusterNode:
             MonolithicHttpd(c.network, self.replica_addr(r),
                             seed=c.seed, kernel=self.kernel,
                             instance=(f"{self.replica_name(r)}"
-                                      f"~{self.incarnation}"))
+                                      f"~{self.incarnation}"),
+                            cache_addr=c.kv_addr,
+                            cache_seed=self.index * 97 + r)
             for r in range(c.replicas_per_kernel)]
 
     def start(self):
@@ -100,7 +102,8 @@ class Cluster:
     def __init__(self, network=None, *, kernels=3, replicas=2,
                  seed="httpd", vnodes=DEFAULT_VNODES, failure_threshold=1,
                  breaker_policy=None, probe_timeout=2.0,
-                 clock=time.monotonic, supervise=None, lb_addr="lb:443"):
+                 clock=time.monotonic, supervise=None, lb_addr="lb:443",
+                 cache=False, kv_addr="kv:9090"):
         # deferred: repro.apps.lb imports repro.cluster.ring, so pulling
         # LbServer in at module scope would be a circular import
         from repro.apps.lb.server import LbServer
@@ -108,6 +111,16 @@ class Cluster:
         self.network = network if network is not None else Network()
         self.seed = seed
         self.replicas_per_kernel = int(replicas)
+        #: the shared cache tier (``cache=True``): one kv kernel every
+        #: replica's cache-aside client points at — a page rendered by
+        #: any replica is a hit for all of them.  The kv server runs
+        #: ``concurrent=True`` because each replica parks a persistent
+        #: pipelined connection on it.
+        self.kv = None
+        self.kv_addr = kv_addr if cache else None
+        if cache:
+            from repro.apps.kv import KvServer
+            self.kv = KvServer(self.network, kv_addr, concurrent=True)
         self.nodes = [ClusterNode(self, k) for k in range(int(kernels))]
         backends = []
         for node in self.nodes:
@@ -132,6 +145,8 @@ class Cluster:
     def start(self):
         if self._started:
             raise WedgeError("cluster already started")
+        if self.kv is not None:
+            self.kv.start()     # before the replicas that dial it
         for node in self.nodes:
             node.start()
         self.lb.start()
@@ -143,6 +158,8 @@ class Cluster:
         for node in self.nodes:
             if node.alive:
                 node.stop()
+        if self.kv is not None:
+            self.kv.stop()      # last: replicas close their clients first
         self._started = False
 
     # -- chaos verbs -------------------------------------------------------
@@ -202,7 +219,8 @@ class Cluster:
 
     def observers(self):
         """Every kernel's observer, lb first (for cross-kernel stitch)."""
-        return ([self.lb.kernel.observe]
+        extra = [self.kv.kernel.observe] if self.kv is not None else []
+        return ([self.lb.kernel.observe] + extra
                 + [node.kernel.observe for node in self.nodes
                    if node.alive])
 

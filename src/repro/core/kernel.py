@@ -43,11 +43,11 @@ from repro.core.callgate import CallgateRecord
 from repro.core.costs import CostAccount
 from repro.core.errors import (CallgateDegraded, CallgateError,
                                CompartmentDown, CompartmentFault,
-                               DeadlineExceeded, GateTimeout, KernelDead,
-                               MemoryViolation, NetTimeout, OutOfMemory,
-                               PolicyError, SthreadError, SthreadFaulted,
-                               SyscallDenied, TagError, VfsError,
-                               WedgeError)
+                               DeadlineExceeded, GateTimeout, JoinTimeout,
+                               KernelDead, MemoryViolation, NetTimeout,
+                               OutOfMemory, PolicyError, SthreadError,
+                               SthreadFaulted, SyscallDenied, TagError,
+                               VfsError, WedgeError)
 from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
                                 SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
@@ -56,8 +56,8 @@ from repro.core.memory import (PAGE_SHIFT, PAGE_SIZE, PROT_COW, PROT_READ,
                                VerifiedMap)
 from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
                                check_subset_of, validate_mem_prot)
-from repro.core.reactor import (Reactor, wait_acceptable, wait_readable,
-                                wait_writable)
+from repro.core.reactor import (Reactor, wait_acceptable, wait_done,
+                                wait_readable, wait_writable)
 from repro.core.selinux import UNCONFINED, SELinuxPolicy
 from repro.core.sthread import HEAP_SIZE, STACK_SIZE, Sthread
 from repro.core.tags import DEFAULT_TAG_SIZE, TagManager
@@ -1673,6 +1673,46 @@ class Kernel:
                     continue
             wake_at = self._co_stall("accept", deadline, timeout, give_up)
             yield wait_acceptable(listener, wake_at=wake_at)
+
+    def co_wait_readable(self, fd, timeout=None):
+        """Cooperatively park until *fd* has bytes (or EOF) to read.
+
+        Unlike :meth:`co_recv` this consumes nothing — it exists so a
+        cooperative job can front an ordinary *blocking* handler:
+        first-byte readiness guarantees the handler's opening read
+        returns without parking the loop, and a client that connects
+        but never speaks costs no pool thread while it dawdles.
+        """
+        eff = DEFAULT_STREAM_TIMEOUT if timeout is None else timeout
+        deadline = current_deadline()
+        give_up = time.monotonic() + float(eff)
+        while True:
+            stream = self._co_endpoint(fd, FD_READ)
+            if stream.readable:
+                return
+            wake_at = self._co_stall("recv", deadline, eff, give_up)
+            yield wait_readable(stream, wake_at=wake_at)
+
+    def co_sthread_join(self, st, timeout=30.0):
+        """Cooperative twin of :meth:`sthread_join`.
+
+        Parks the calling reactor task on the compartment's exit event
+        (sthreads are joinable endpoints, like tasks) instead of tying
+        up an OS thread — a connection job can spawn worker sthreads
+        and wait for them while thousands of its siblings share the
+        loop.  Once the child settles, the blocking join runs inline:
+        identical cost charging and the same typed errors
+        (:class:`~repro.core.errors.SthreadFaulted`,
+        :class:`~repro.core.errors.CompartmentDown`).
+        """
+        give_up = time.monotonic() + float(timeout)
+        while not st.done:
+            if time.monotonic() >= give_up:
+                raise JoinTimeout(f"join of {st.name} timed out "
+                                  f"after {timeout}s",
+                                  sthread=st, timeout=timeout)
+            yield wait_done(st, wake_at=give_up)
+        return self.sthread_join(st, timeout=max(1.0, float(timeout)))
 
     def co_recv(self, fd, size, timeout=None):
         """Cooperative :meth:`recv`: wait readable, then recv."""

@@ -66,6 +66,8 @@ class Sthread:
         self._thread = None
         self._task = None                   # reactor Task (coop spawn)
         self._done = threading.Event()
+        self._watchers = []                 # reactor endpoint protocol
+        self._watch_lock = threading.Lock()
         self._joined = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -103,7 +105,7 @@ class Sthread:
                              status=self.status)
                 if obs.tracer is not None:
                     obs.tracer.end(self.span, status=self.status)
-                self._done.set()
+                self._exit_done()
 
     def start_thread(self, kernel, body, arg):
         self._thread = threading.Thread(
@@ -141,7 +143,7 @@ class Sthread:
                          status=self.status)
             if obs.tracer is not None:
                 obs.tracer.end(self.span, status=self.status)
-            self._done.set()
+            self._exit_done()
 
     def start_coop(self, kernel, body, arg):
         """Schedule *body* as a cooperative task on the kernel's reactor.
@@ -182,6 +184,31 @@ class Sthread:
     @property
     def faulted(self):
         return self.status == STATUS_FAULTED
+
+    # -- reactor endpoint protocol (so parents can park on the exit) ---------
+
+    def _exit_done(self):
+        """Mark the compartment finished and wake any reactor waiters."""
+        with self._watch_lock:
+            self._done.set()
+            watchers = list(self._watchers)
+        for cb in watchers:
+            cb(self)
+
+    def ready(self):
+        return self._done.is_set()
+
+    def add_watcher(self, cb):
+        with self._watch_lock:
+            if cb not in self._watchers:
+                self._watchers.append(cb)
+
+    def remove_watcher(self, cb):
+        with self._watch_lock:
+            try:
+                self._watchers.remove(cb)
+            except ValueError:
+                pass
 
     # -- stack frames (Crowbar's stack category) -----------------------------------
 

@@ -144,6 +144,44 @@ def _make_lb(policy):
     return server
 
 
+def _make_kv(policy):
+    from repro.apps.kv import KvServer
+    from repro.net import Network
+    # ttl=0 preloads never expire, so GET-only chaos sessions leave the
+    # store region byte-identical by construction — any diff the
+    # campaign sees is real fault leakage, not cache churn
+    return KvServer(Network(), "chaos-kv:9090",
+                    preload={b"alpha": b"AAA", b"beta": b"BBB",
+                             b"gamma": b"CCC"},
+                    supervise=policy)
+
+
+def _kv_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
+    import zlib
+    from repro.apps.kv import KvClient
+    from repro.core.kernel import Kernel
+    kernel = Kernel(net=server.network, name=f"chaos-kv-client{index}")
+    kernel.start_main()
+    client = KvClient(kernel, server.addr, timeout=timeout)
+    if strict:
+        # the baseline/probe pair must be reply-identical, so the
+        # strict batch is fixed
+        batch = [b"GET alpha", b"GET beta", b"GET gamma"]
+    else:
+        # overload hands string indices through here, so rotate by
+        # digest rather than arithmetic on the index itself
+        key = (b"alpha", b"beta",
+               b"gamma")[zlib.crc32(str(index).encode()) % 3]
+        batch = [b"GET " + key, b"GET alpha"]
+    return client.execute(batch)
+
+
+def _kv_snapshot(server):
+    # kv-meta is deliberately absent: recency metadata legitimately
+    # mutates on every hit; the byte-identity claim is about the data
+    return {"kv-store region": server.store_bytes()}
+
+
 def _httpd_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
     from repro.apps.httpd.content import build_request
     from repro.crypto import DetRNG
@@ -271,6 +309,14 @@ CHAOS_TARGETS = {
         # a POP3 exchange touches only a handful of eligible sites
         rates={("cgate", "crash"): 0.12, ("mem_read", "memfault"): 0.03,
                ("mem_write", "memfault"): 0.03,
+               ("net_send", "reset"): 0.01}),
+    "kv": ChaosTarget(
+        "kv", _make_kv, _kv_session, _kv_snapshot,
+        # two gate hops (store, then the delegated eviction touch) and
+        # a whole-region read per command: plenty of cgate/mem sites,
+        # few net sites per session
+        rates={("cgate", "crash"): 0.10, ("mem_read", "memfault"): 0.02,
+               ("mem_write", "memfault"): 0.02,
                ("net_send", "reset"): 0.01}),
     "lb": ChaosTarget(
         "lb", _make_lb, _lb_session, _lb_snapshot,

@@ -97,6 +97,8 @@ class SupervisedSthread:
         self.origin_span = getattr(parent, "span", None)
         self._thread = None
         self._done = threading.Event()
+        self._watchers = []                 # reactor endpoint protocol
+        self._watch_lock = threading.Lock()
         self._joined = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -168,7 +170,11 @@ class SupervisedSthread:
             if delay > 0:
                 time.sleep(delay)
             delay *= self.policy.backoff_factor
-        self._done.set()
+        with self._watch_lock:
+            self._done.set()
+            watchers = list(self._watchers)
+        for cb in watchers:
+            cb(self)
 
     # -- Sthread-compatible surface ------------------------------------------
 
@@ -186,6 +192,25 @@ class SupervisedSthread:
     @property
     def done(self):
         return self._done.is_set()
+
+    # reactor endpoint protocol: the settled chain is the completion
+    # event, so a cooperative parent can ``yield wait_done(handle)``
+    # exactly as it would for a bare sthread
+
+    def ready(self):
+        return self._done.is_set()
+
+    def add_watcher(self, cb):
+        with self._watch_lock:
+            if cb not in self._watchers:
+                self._watchers.append(cb)
+
+    def remove_watcher(self, cb):
+        with self._watch_lock:
+            try:
+                self._watchers.remove(cb)
+            except ValueError:
+                pass
 
     @property
     def faulted(self):

@@ -17,13 +17,17 @@ picks the runner matching the kernel's scheduler:
 
 The app supplies ``on_conn(conn_fd) -> job``: called *synchronously* in
 loop order (bump counters, fork per-connection RNGs here — order is the
-determinism contract), returning the zero-argument callable that serves
-the connection.  The job owns conn_fd's lifecycle, including close.
+determinism contract), returning either the zero-argument callable that
+serves the connection or — under the reactor — a *generator*, which the
+acceptor task drives inline (``yield from``) instead of burning a pool
+thread on it.  Either way the job owns conn_fd's lifecycle, including
+close.
 """
 
 from __future__ import annotations
 
 import threading
+import types
 
 from repro.core.errors import KernelDead, NetworkError, WedgeError
 
@@ -119,7 +123,15 @@ class _ReactorRunner:
             except WedgeError:
                 continue
             job = self.on_conn(conn_fd)
-            if self.concurrent:
+            if isinstance(job, types.GeneratorType):
+                # cooperative job: no pool thread at all — driven on
+                # this task (sequential: identical serving order to the
+                # threaded oracle) or as its own task (concurrent)
+                if self.concurrent:
+                    reactor.spawn(job, name=f"{self.name}-conn")
+                else:
+                    yield from job
+            elif self.concurrent:
                 reactor.submit(job)
             else:
                 # pool size 1 → same sequential serving order as the

@@ -12,7 +12,7 @@ from repro.faults import CHAOS_APP_NAMES, run_chaos
 
 def test_every_shipped_app_is_a_chaos_target():
     assert set(CHAOS_APP_NAMES) == {"httpd-simple", "httpd-mitm",
-                                    "sshd-wedge", "pop3", "lb"}
+                                    "sshd-wedge", "pop3", "lb", "kv"}
 
 
 @pytest.mark.parametrize("app", ["pop3", "httpd-simple"])

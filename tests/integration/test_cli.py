@@ -69,7 +69,7 @@ class TestCommands:
     def test_lint_all_with_traces(self, capsys):
         assert main(["lint", "--strict"]) == 0
         out = capsys.readouterr().out
-        assert "21 compartments analyzed: 0 errors, 0 warnings" in out
+        assert "25 compartments analyzed: 0 errors, 0 warnings" in out
 
     def test_attack_unknown_scenario(self, capsys):
         assert main(["attack", "nothing"]) == 2

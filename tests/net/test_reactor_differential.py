@@ -35,7 +35,7 @@ from repro.observe import events as ev
 
 #: The shipped apps the session differential runs (lb is covered by the
 #: chaos leg's target table and the cluster campaign's own differential).
-APPS = ("httpd-simple", "httpd-mitm", "pop3", "sshd-wedge")
+APPS = ("httpd-simple", "httpd-mitm", "pop3", "sshd-wedge", "kv")
 
 SESSIONS = 2
 

@@ -1,0 +1,80 @@
+"""Cross-kernel stitching through the cache tier.
+
+A dynamic request through the cached cluster crosses three kernels:
+client -> lb -> replica -> kv.  Each kernel traces its own hops; the
+connection ids stamped at ``accept``/``connect`` are the join keys, so
+:func:`repro.observe.stitch` must union the lb trace, the backend trace
+*and* the kv trace into one end-to-end group — the flame graph of a
+cache fill shows the storage-gate hop, and a cache hit shows no render.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.observe import stitch
+from repro.observe.observer import Observer
+
+KEY = b"kvspan00"
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(kernels=1, replicas=1, cache=True).start()
+    c.lb.health_sweep()
+    try:
+        yield c
+    finally:
+        c.stop()
+
+
+def _observe_request(cluster, path):
+    kernels = [cluster.lb.kernel, cluster.kv.kernel] + [
+        node.kernel for node in cluster.nodes]
+    observers = [Observer(k).attach() for k in kernels]
+    try:
+        response = cluster.request(KEY, path, resume=False)
+    finally:
+        for obs in observers:
+            obs.detach()
+    return response, [obs.tracer for obs in observers]
+
+
+def test_cache_fill_stitches_lb_backend_and_kv_traces(cluster):
+    response, tracers = _observe_request(cluster, "/cgi/spans")
+    assert response.startswith(b"HTTP/1.0 200")
+
+    groups = stitch(tracers)
+    # the request group is the one the kv hop joined: it must also span
+    # the lb and the replica — three kernels, one logical request
+    kv_groups = [g for g in groups
+                 if any(c.startswith("kv-parser") or "store_gate" in c
+                        for c in g["compartments"])]
+    assert kv_groups, [g["compartments"] for g in groups]
+    group = max(kv_groups, key=lambda g: len(g["spans"]))
+    comps = group["compartments"]
+    assert any("splice" in c or "lb" in c for c in comps), comps
+    assert any(c.startswith("cgi") for c in comps), comps
+    assert any(c.startswith("kv-parser") for c in comps), comps
+    # the fill went through the storage gate, and traces from at least
+    # three tracers (lb, kv, node kernels) were unioned
+    names = [s.name for s in group["spans"]]
+    assert any("store_gate" in n for n in names), names
+    assert len({t for t, _ in group["traces"]}) >= 3
+
+
+def test_cache_hit_skips_the_render_compartment(cluster):
+    # request once to fill the cache (untraced), once traced: the hit
+    # answers from kv over the *already standing* pipelined connection
+    # — no cgi handler spawns, and the kv side opens no new trace (the
+    # two-sthread connection setup was paid at fill time)
+    first = cluster.request(KEY, "/cgi/spans", resume=False)
+    response, tracers = _observe_request(cluster, "/cgi/spans")
+    assert response == first                 # byte-identical from cache
+
+    groups = stitch(tracers)
+    assert groups, "the traced request produced no spans"
+    assert not any(c.startswith("cgi")
+                   for g in groups for c in g["compartments"]), \
+        [g["compartments"] for g in groups]
+    replica = cluster.nodes[0].replicas[0]
+    assert replica.cache.hits >= 1
