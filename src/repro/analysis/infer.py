@@ -135,8 +135,12 @@ _MEM_MODES = {"mem_read": "r", "mem_write": "rw"}
 _FD_OPS = {"send": ("send", FD_WRITE), "write": ("write", FD_WRITE),
            "recv": ("recv", FD_READ), "recv_exact": ("recv", FD_READ),
            "read": ("read", FD_READ), "accept": ("accept", FD_READ),
-           "shutdown": ("shutdown", FD_WRITE)}
-_FD_MAKERS = {"open": "open", "listen": "listen", "connect": "connect"}
+           "shutdown": ("shutdown", FD_WRITE),
+           "disk_read": ("disk_read", FD_READ),
+           "disk_write": ("disk_write", FD_WRITE),
+           "disk_fsync": ("disk_fsync", FD_WRITE)}
+_FD_MAKERS = {"open": "open", "listen": "listen", "connect": "connect",
+              "disk_open": "disk_open"}
 _SYSCALL_ONLY = {"close": "close", "tag_new": "tag_new",
                  "tag_delete": "tag_delete",
                  "sthread_create": "sthread_create", "fork": "fork",

@@ -86,9 +86,12 @@ def _make_lb():
 def _make_kv():
     from repro.apps.kv import WRITE_BEHIND, KvServer
     from repro.net import Network
-    # write-behind so the traced leg crosses the queue/flush paths too
+    # write-behind so the traced leg crosses the queue/flush paths too;
+    # durable so both legs see the disk rights the storage gate holds
+    # (and prove no other island gains them)
     return KvServer(Network(), "lint-kv:9090", policy=WRITE_BEHIND,
-                    preload={b"alpha": b"AAA"}, supervise=_lint_policy())
+                    preload={b"alpha": b"AAA"}, supervise=_lint_policy(),
+                    durable=True)
 
 
 def specs_of(server):

@@ -5,10 +5,12 @@ from repro.apps.kv.server import (CACHE_ASIDE, POLICIES, WRITE_BEHIND,
                                   WRITE_THROUGH, KvServer, MonolithicKv,
                                   analysis_compartments)
 from repro.apps.kv.store import MODE_CLOCK, MODE_LRU, EvictionOracle
+from repro.apps.kv.wal import WalLayout, WriteAheadLog, default_disk
 
 __all__ = [
     "CACHE_ASIDE", "WRITE_THROUGH", "WRITE_BEHIND", "POLICIES",
     "MODE_LRU", "MODE_CLOCK", "EvictionOracle",
     "KvServer", "MonolithicKv", "KvClient", "KvCacheClient",
+    "WalLayout", "WriteAheadLog", "default_disk",
     "analysis_compartments",
 ]

@@ -1,0 +1,325 @@
+"""The ``python -m repro recovery`` campaign: kill at *every* syscall.
+
+The durability contract the kv tier signs (DESIGN.md §8):
+
+* **prefix consistency** — after a power loss at any instant, the
+  recovered store equals the state after some *prefix* of the logged
+  mutation stream: ``refs[j]`` for a single ``j``, never a mix;
+* **barrier floor** — every mutation covered by a completed ``fsync``
+  barrier survives: ``j >= synced``;
+* **no torn record** — a partially-written log record is never applied
+  (``j <= attempted``; the tail either replays whole or stops the scan
+  at its CRC).
+
+The campaign proves it exhaustively rather than by spot-check.  A probe
+run counts the server kernel's total syscall trap count ``N`` for a
+fixed seeded workload; then, for every index ``k`` in ``1..N``, a fresh
+server runs the same workload with a syscall tap that fires a seeded
+:meth:`~repro.core.kernel.Kernel.kill` (``power_loss=True`` — the disk
+keeps an arbitrary per-sector prefix of its unflushed writes) at trap
+``k``.  A recovery server mounts the surviving platter and its logical
+store must match the reference chain inside ``[synced, attempted]``.
+Crashes land inside appends, inside barriers, between the two
+checkpoint flips, inside the virgin format, even inside recovery's own
+mount — every index is a test case.
+
+Two gated metrics ride along for ``BENCH_recovery.json``:
+``recovery_ckpt_cycles`` (mount cost after the workload with periodic
+checkpoints) and ``recovery_nockpt_cycles`` (the ablation: no
+checkpoints, full-log replay) — both deterministic model cycles, so the
+CI smoke gate's 10% tolerance is pure insurance.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.apps.kv import store
+from repro.apps.kv.client import KvClient
+from repro.apps.kv.server import (DEFAULT_STORE_REGION, WRITE_THROUGH,
+                                  KvServer)
+from repro.apps.kv.wal import WalLayout
+from repro.core.errors import KernelDead, WedgeError
+from repro.core.kernel import Kernel
+from repro.net import Network
+
+#: Mutations per workload: every one appends exactly one WAL record.
+DEFAULT_OPS = 24
+#: Commands pipelined per client connection.
+DEFAULT_BATCH = 6
+#: Barrier every N records (small, so the sweep crosses many barriers).
+DEFAULT_GROUP_COMMIT = 4
+#: Snapshot checkpoint every N records.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+#: seed-mixing constants: the script draw and each kill's tear draw are
+#: independent of each other and of every other seeded subsystem
+_SCRIPT_SALT = 0x52435652      # "RCVR"
+_KILL_MIX = 0x9E3779B1
+
+
+def _mix(seed, k):
+    return (int(seed) * _KILL_MIX + k * 0x85EBCA77) & 0x7FFFFFFF
+
+
+def build_script(seed, ops=DEFAULT_OPS):
+    """The seeded workload and its reference chain.
+
+    Returns ``(lines, refs)``: *lines* are wire commands, every one a
+    mutation the storage gate logs (SETs, always-successful CASes,
+    DELs of live keys), and ``refs[j]`` is the logical key->value map
+    after the first ``j`` of them — the oracle the sweep compares
+    recovered stores against.  TTLs are all zero and the key space is
+    far below the cache capacity, so replay has no expiry or eviction
+    ambiguity: the logical map is a pure function of the prefix.
+    """
+    rng = random.Random((int(seed) << 1) ^ _SCRIPT_SALT)
+    model = {}
+    lines = []
+    refs = [dict(model)]
+    for _ in range(int(ops)):
+        draw = rng.random()
+        keys = sorted(model)
+        if draw < 0.55 or not keys:
+            key = b"key%02d" % rng.randrange(10)
+            value = bytes(rng.randrange(256) for _ in range(6))
+            lines.append(b"SET %s 0 %s" % (key, value.hex().encode()))
+            model[key] = value
+        elif draw < 0.78:
+            key = keys[rng.randrange(len(keys))]
+            value = bytes(rng.randrange(256) for _ in range(6))
+            lines.append(b"CAS %s 0 %s %s" % (
+                key, model[key].hex().encode(), value.hex().encode()))
+            model[key] = value
+        else:
+            key = keys[rng.randrange(len(keys))]
+            lines.append(b"DEL " + key)
+            del model[key]
+        refs.append(dict(model))
+    return lines, refs
+
+
+def _server(network, addr, disk, *, tap=None,
+            group_commit=DEFAULT_GROUP_COMMIT,
+            checkpoint_every=DEFAULT_CHECKPOINT_EVERY):
+    return KvServer(network, addr, policy=WRITE_THROUGH, durable=True,
+                    disk=disk, group_commit=group_commit,
+                    checkpoint_every=checkpoint_every, tap=tap,
+                    name="kv-rcvr").start()
+
+
+def _drive(network, addr, lines, batch):
+    """Run the workload; a dead server ends the session, not the test."""
+    kernel = Kernel(net=network, name="rcvr-client")
+    kernel.start_main()
+    client = KvClient(kernel, addr, timeout=5.0)
+    try:
+        for i in range(0, len(lines), batch):
+            try:
+                client.execute(lines[i:i + batch])
+            except WedgeError:
+                return
+    finally:
+        kernel.kill()
+
+
+def _logical(server):
+    """Recovered store bytes -> (backing map, cache map)."""
+    state = store.unpack_store(server.store_bytes())
+    backing = {key: value for key, value in state["backing"]}
+    cache = {key: value for key, value, _exp in state["cache"]}
+    return backing, cache
+
+
+def _fresh_disk():
+    return WalLayout(DEFAULT_STORE_REGION).disk(name="rcvr-disk")
+
+
+def _shutdown(server):
+    if server is None:
+        return
+    try:
+        server.stop()
+    except WedgeError:
+        pass
+    if server.kernel.alive:
+        server.kernel.kill()
+
+
+class RecoveryReport:
+    """What the sweep proved and what recovery costs."""
+
+    def __init__(self, *, seed, ops):
+        self.seed = seed
+        self.ops = ops
+        self.syscalls = 0
+        self.kills = 0
+        self.stride = 1
+        self.metrics = {}
+        self.info = {}
+        self.wall = {}
+        self.violations = []
+
+    @property
+    def passed(self):
+        return not self.violations
+
+    def artifact(self):
+        """The ``BENCH_recovery.json`` payload (overload-checker rails)."""
+        info = dict(self.info)
+        info.update({"ops": self.ops, "seed": self.seed,
+                     "syscalls": self.syscalls, "kills": self.kills,
+                     "stride": self.stride, "passed": self.passed})
+        return {"artifact": "recovery", "metrics": dict(self.metrics),
+                "wall": dict(self.wall), "info": info}
+
+    def format(self):
+        lines = [f"recovery ops={self.ops} seed={self.seed}: "
+                 f"{'PASS' if self.passed else 'FAIL'}"]
+        if "recovery_ckpt_cycles" in self.metrics:
+            lines.append(
+                f"  mount: {self.metrics['recovery_ckpt_cycles']:,d} "
+                f"cycles with checkpoints "
+                f"(replayed {self.info.get('replayed_ckpt')}), "
+                f"{self.metrics['recovery_nockpt_cycles']:,d} without "
+                f"(replayed {self.info.get('replayed_nockpt')})")
+        lines.append(
+            f"  sweep: {self.kills} power-loss kills over "
+            f"{self.syscalls} syscall indices (stride {self.stride}); "
+            f"every recovered store was a consistent logged prefix")
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+# -- the legs -----------------------------------------------------------------
+
+def _measure_leg(report, lines, refs, *, batch):
+    """Price a mount, with and without checkpoints (the ablation)."""
+    start = time.perf_counter()
+    for label, ckpt_every in (("ckpt", DEFAULT_CHECKPOINT_EVERY),
+                              ("nockpt", 0)):
+        network = Network()
+        disk = _fresh_disk()
+        server = _server(network, "rcvr-m:9090", disk,
+                         checkpoint_every=ckpt_every)
+        _drive(network, "rcvr-m:9090", lines, batch)
+        server.wal.sync()           # clean shutdown: barrier the tail
+        records = server.wal.appended
+        _shutdown(server)
+        recovered = _server(network, "rcvr-m:9091", disk,
+                            checkpoint_every=ckpt_every)
+        backing, cache = _logical(recovered)
+        if backing != refs[records] or cache != refs[records]:
+            report.violations.append(
+                f"measure[{label}]: clean-shutdown mount does not "
+                f"match the full logged prefix")
+        report.metrics[f"recovery_{label}_cycles"] = \
+            recovered.recovery_cycles
+        report.info[f"replayed_{label}"] = \
+            recovered.last_recovery["replayed"]
+        _shutdown(recovered)
+    report.info["records"] = len(lines)
+    report.wall["measure_seconds"] = round(time.perf_counter() - start, 4)
+
+
+def _probe_syscalls(lines, *, batch):
+    """Count the server kernel's trap total for one full workload."""
+    count = [0]
+
+    def tap(_kernel, _name):
+        count[0] += 1
+
+    network = Network()
+    server = _server(network, "rcvr-p:9090", _fresh_disk(), tap=tap)
+    _drive(network, "rcvr-p:9090", lines, batch)
+    _shutdown(server)
+    return count[0]
+
+
+def _sweep_once(seed, k, lines, refs, *, batch):
+    """One kill-at-index-k iteration; returns an error string or None."""
+    network = Network()
+    disk = _fresh_disk()
+    count = [0]
+
+    def tap(kernel, _name):
+        count[0] += 1
+        if count[0] == k:
+            kernel.syscall_tap = None
+            kernel.kill(power_loss=True, seed=_mix(seed, k))
+            raise KernelDead(
+                f"recovery sweep: power loss at syscall #{k}",
+                kernel=kernel.name)
+
+    server = None
+    acked_lo = acked_hi = 0
+    try:
+        try:
+            server = _server(network, "rcvr-s:9090", disk, tap=tap)
+        except WedgeError:
+            server = None           # died during boot: nothing acked
+        if server is not None:
+            _drive(network, "rcvr-s:9090", lines, batch)
+            wal = server.wal
+            acked_lo, acked_hi = wal.synced, wal.attempted
+            if count[0] < k:
+                # workload finished under the index (client gave up
+                # early); the power cut lands on whatever is pending
+                server.kernel.syscall_tap = None
+                server.kernel.kill(power_loss=True, seed=_mix(seed, k))
+    finally:
+        _shutdown(server)
+
+    recovered = None
+    try:
+        try:
+            recovered = _server(network, "rcvr-s:9091", disk)
+        except WedgeError as exc:
+            return (f"k={k}: recovery mount failed: "
+                    f"{type(exc).__name__}: {exc}")
+        backing, cache = _logical(recovered)
+        if cache != backing:
+            return (f"k={k}: recovered cache diverges from backing "
+                    f"(torn state surfaced)")
+        hi = min(acked_hi, len(refs) - 1)
+        window = range(acked_lo, hi + 1)
+        if not any(refs[j] == backing for j in window):
+            return (f"k={k}: recovered store matches no logged prefix "
+                    f"in [{acked_lo}, {hi}] "
+                    f"({len(backing)} keys recovered)")
+    finally:
+        _shutdown(recovered)
+    return None
+
+
+def _sweep_leg(report, lines, refs, *, stride, batch):
+    start = time.perf_counter()
+    total = _probe_syscalls(lines, batch=batch)
+    report.syscalls = total
+    report.stride = stride
+    for k in range(1, total + 1, stride):
+        report.kills += 1
+        error = _sweep_once(report.seed, k, lines, refs, batch=batch)
+        if error is not None:
+            report.violations.append(error)
+            if len(report.violations) >= 5:
+                report.violations.append(
+                    "sweep aborted after 5 violations")
+                break
+    report.wall["sweep_seconds"] = round(time.perf_counter() - start, 4)
+
+
+def run_recovery(*, seed=0, ops=DEFAULT_OPS, stride=1,
+                 batch=DEFAULT_BATCH):
+    """Run the recovery campaign; returns a :class:`RecoveryReport`."""
+    report = RecoveryReport(seed=seed, ops=ops)
+    lines, refs = build_script(seed, ops)
+    try:
+        _measure_leg(report, lines, refs, batch=batch)
+        _sweep_leg(report, lines, refs, stride=max(1, int(stride)),
+                   batch=batch)
+    except WedgeError as exc:
+        report.violations.append(f"campaign aborted: {exc}")
+    return report

@@ -44,12 +44,13 @@ from __future__ import annotations
 import threading
 
 from repro.apps.kv import store
+from repro.apps.kv.wal import WalLayout, WriteAheadLog
 from repro.attacks.exploit import maybe_trigger_exploit
 from repro.core.errors import (CallgateError, CompartmentDown,
                                NetworkError, SthreadFaulted, WedgeError)
 from repro.core.kernel import Kernel
 from repro.core.memory import PROT_RW
-from repro.core.policy import (FD_READ, FD_WRITE, SecurityContext,
+from repro.core.policy import (FD_READ, FD_RW, FD_WRITE, SecurityContext,
                                sc_cgate_add, sc_fd_add, sc_mem_add)
 from repro.net.serve import start_accept_loop
 
@@ -407,19 +408,79 @@ def store_gate(trusted, arg):
     sharp).  TTLs are priced off the deterministic cost model: *now* is
     the kernel's model-cycle clock, so expiry is reproducible under any
     seed.
+
+    In durable mode (``trusted["wal"]`` present) this gate is also the
+    *only* compartment holding the disk fd: every dirty op appends a
+    redo record before the reply leaves the gate, and the ``recover``
+    op mounts the device into a fresh incarnation.  The parser, the
+    eviction engine and the writer can never name the platter —
+    ``repro lint --app kv --strict`` proves it.
     """
     kernel = trusted["kernel"]
+    wal = trusted.get("wal")
+    if wal is not None and arg.get("op") == "recover":
+        return _recover_store(kernel, trusted, wal)
     state = store.unpack_store(
         kernel.mem_read(trusted["store_addr"], trusted["store_len"]))
+    now = kernel.costs.cycles()
     reply, dirty = apply_op(
         state, _evict_caller(kernel), arg,
         policy=trusted["policy"], capacity=trusted["capacity"],
         queue_bound=trusted["queue_bound"], stats=trusted["stats"],
-        now=kernel.costs.cycles())
+        now=now)
     if dirty:
-        kernel.mem_write(trusted["store_addr"],
-                         store.pack_store(state, trusted["store_len"]))
+        packed = store.pack_store(state, trusted["store_len"])
+        kernel.mem_write(trusted["store_addr"], packed)
+        if wal is not None:
+            # log-before-reply: the record (and, at a group-commit
+            # boundary, its barrier) lands before the gate returns, so
+            # a reply the client saw acked is at worst group_commit-1
+            # records past the last barrier — never silently ahead of
+            # the log
+            wal.append(arg, now)
+            wal.maybe_sync()
+            if wal.checkpoint_due():
+                wal.checkpoint(packed)
     return reply
+
+
+def _recover_store(kernel, trusted, wal):
+    """Mount the device inside the storage gate (op ``recover``).
+
+    Loads the active checkpoint, replays the intact log prefix with
+    each record's *logged* clock (so TTL expiry replays bit-for-bit),
+    rebuilds the recency metadata through the delegated eviction gate,
+    and writes the recovered image over the store region.  A virgin
+    device instead adopts the region's current contents (the preload)
+    as checkpoint zero.  Runs entirely inside the gate so recovery I/O
+    is covered by the same rights the analyzer certifies for live
+    traffic.
+    """
+    payload, records = wal.recover()
+    if payload is None:
+        # virgin (or formatted-but-never-checkpointed) device: seal the
+        # preloaded region as the first checkpoint
+        wal.checkpoint(kernel.mem_read(trusted["store_addr"],
+                                       trusted["store_len"]))
+        return {"ok": True, "fresh": True, "replayed": 0,
+                "checkpoints": wal.checkpoints}
+    evict = _evict_caller(kernel)
+    state = store.unpack_store(payload)
+    evict("reset")
+    for key, _value, _expires in state["cache"]:
+        evict("admit", key)
+    # replay mutates a throwaway stats dict: the server's live counters
+    # describe traffic served, not crash repair
+    stats = _new_stats()
+    for op, logged_now in records:
+        apply_op(state, evict, op, policy=trusted["policy"],
+                 capacity=trusted["capacity"],
+                 queue_bound=trusted["queue_bound"], stats=stats,
+                 now=logged_now)
+    kernel.mem_write(trusted["store_addr"],
+                     store.pack_store(state, trusted["store_len"]))
+    return {"ok": True, "fresh": False, "replayed": len(records),
+            "checkpoints": wal.checkpoints}
 
 
 # -- the partitioned server --------------------------------------------------
@@ -434,7 +495,9 @@ class KvServer:
                  queue_bound=DEFAULT_QUEUE_BOUND, preload=None,
                  supervise=None, name="kv", concurrent=False,
                  store_region=DEFAULT_STORE_REGION,
-                 meta_region=DEFAULT_META_REGION):
+                 meta_region=DEFAULT_META_REGION, durable=False,
+                 disk=None, group_commit=8, checkpoint_every=64,
+                 tap=None):
         if policy not in POLICIES:
             raise WedgeError(f"unknown cache policy {policy!r}")
         self.network = network
@@ -448,6 +511,10 @@ class KvServer:
         self.queue_bound = int(queue_bound)
         self.supervise = supervise
         self.kernel = Kernel(net=network, name=name)
+        # installed before the first trap so a kill-at-any-point sweep
+        # can crash the server at *every* syscall index, boot and
+        # recovery included
+        self.kernel.syscall_tap = tap
         self.main = self.kernel.start_main()
         kernel = self.kernel
 
@@ -503,9 +570,41 @@ class KvServer:
         store_sc = SecurityContext()
         sc_mem_add(store_sc, self._store_tag, PROT_RW)
         sc_cgate_add(store_sc, self._evict_gate.id)
+        # durable mode: the storage gate — and only the storage gate —
+        # is granted the disk fd.  The write-ahead log lives in its
+        # trusted arg, so every append/barrier/checkpoint happens with
+        # exactly the rights the analyzer certifies.
+        self.durable = bool(durable) or disk is not None
+        self.disk = None
+        self._disk_fd = None
+        self._wal = None
+        self.last_recovery = None
+        self.recovery_cycles = 0
+        if self.durable:
+            layout = WalLayout(self._store_buf.size)
+            self.disk = disk if disk is not None else layout.disk(
+                name=f"{name}-disk")
+            if self.disk.size < layout.size:
+                raise WedgeError(
+                    f"disk {self.disk.name!r} is {self.disk.size}B; the "
+                    f"kv layout needs {layout.size}B")
+            self._disk_fd = kernel.disk_open(self.disk)
+            sc_fd_add(store_sc, self._disk_fd, FD_RW)
+            self._wal = WriteAheadLog(
+                kernel, self._disk_fd, layout,
+                group_commit=group_commit,
+                checkpoint_every=checkpoint_every)
+            self._store_trusted["wal"] = self._wal
         self._store_gate = kernel.create_gate(
             store_gate, store_sc, self._store_trusted,
             recycled=True, supervise=supervise)
+        if self._wal is not None:
+            # mount before the listener exists: recovered disk state
+            # (checkpoint + replayed log) wins over the preload
+            mark = kernel.costs.checkpoint()
+            self.last_recovery = kernel.cgate(
+                self._store_gate.id, None, {"op": "recover"})
+            self.recovery_cycles = kernel.costs.delta(mark)
 
         self._listen_fd = None
         self._accept_runner = None
@@ -537,6 +636,11 @@ class KvServer:
     def store_bytes(self):
         """The full ``kv-store`` region (main created the tag)."""
         return bytes(self._store_buf.read())
+
+    @property
+    def wal(self):
+        """The storage gate's write-ahead log (``None`` unless durable)."""
+        return self._wal
 
     # -- data plane --------------------------------------------------------
 

@@ -1,0 +1,431 @@
+"""Write-ahead log + snapshot checkpoints for the kv storage engine.
+
+ARIES in miniature, sized for honesty over generality:
+
+* every mutation the storage gate applies (SET/DEL/CAS, a write-behind
+  FLUSH, a lazy-expiry purge) appends one CRC-framed redo record to a
+  log region on a :class:`~repro.disk.SimDisk`, *before* the reply
+  leaves the gate;
+* ``fsync`` barriers are **group-committed**: one barrier per
+  *group_commit* records, so the amortised durability cost is a
+  fraction of a barrier per op (the trade: ops after the last barrier
+  may be lost in a power cut — the recovery invariant promises only
+  barrier-acknowledged writes);
+* every *checkpoint_every* mutations (or under log-space pressure) the
+  gate snapshots its whole packed store into the *inactive* checkpoint
+  slot, barriers, then atomically flips the single-sector superblock at
+  the new slot + an empty log — double-buffered, so a crash at any
+  sector leaves one fully consistent checkpoint reachable;
+* recovery loads the active checkpoint and replays the log, stopping
+  cleanly at the first record that fails its CRC, breaks the sequence
+  chain, belongs to a stale epoch, or time-travels to an earlier mount.
+
+The mount counter closes the classic torn-tail trap: after a recovery,
+new records overwrite the dead tail, and a *stale but intact* record
+from the previous incarnation could otherwise line up exactly where the
+new tail ends.  Records stamp the superblock's mount count, the count
+bumps (durably) on every recovery, and replay refuses a record whose
+mount is lower than its predecessor's.
+
+Everything here runs *inside* the storage callgate — the only
+compartment whose SecurityContext holds the disk fd.  The parser,
+eviction and writer islands cannot name the platter, and
+``repro lint --app kv --strict`` proves it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.core.errors import WedgeError
+from repro.disk import SECTOR_SIZE, SimDisk
+from repro.observe import events as ev
+
+SB_MAGIC = b"KVWL"
+CKPT_MAGIC = b"KVCP"
+REC_MAGIC = 0xA5
+VERSION = 1
+
+#: superblock: magic4 ver1 slot1 pad2 epoch8 log_start8 mount8 + crc4
+_SB_FMT = "<4sBBHQQQ"
+_SB_BYTES = struct.calcsize(_SB_FMT) + 4
+#: checkpoint slot header: magic4 epoch8 length4 + crc4 (crc of payload)
+_CKPT_FMT = "<4sQL"
+CKPT_HDR = struct.calcsize(_CKPT_FMT) + 4
+#: record header: magic1 len2 mount4 epoch4 seq4 + crc4
+_REC_FMT = "<BHLLL"
+REC_HDR = struct.calcsize(_REC_FMT) + 4
+
+#: generous upper bound on one encoded record (key+value+old maxed out)
+REC_HEADROOM = 4096
+
+#: op kind <-> wire tag.  Only ops that can dirty the store are logged.
+_KIND_TAGS = {"set": 1, "delete": 2, "cas": 3, "flush": 4, "get": 5}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+class WalError(WedgeError):
+    """The log or checkpoint region is unusable (not a crash artefact)."""
+
+
+# -- op payload codec (pure; property-tested) --------------------------------
+
+def encode_op(op, now):
+    """One parsed kv op + its model-cycle clock -> record payload."""
+    kind = op["op"]
+    tag = _KIND_TAGS.get(kind)
+    if tag is None:
+        raise WalError(f"op kind {kind!r} is not loggable")
+    flags = 0
+    blobs = []
+    for bit, field in enumerate(("key", "value", "old")):
+        blob = op.get(field)
+        if blob is not None:
+            flags |= 1 << bit
+            blobs.append(struct.pack("<H", len(blob)) + bytes(blob))
+    out = struct.pack("<BQQB", tag, int(now), int(op.get("ttl") or 0),
+                      flags)
+    return out + b"".join(blobs)
+
+
+def decode_op(payload):
+    """Record payload -> ``(op dict, now)``; raises WalError on garbage."""
+    try:
+        tag, now, ttl, flags = struct.unpack_from("<BQQB", payload, 0)
+        kind = _TAG_KINDS.get(tag)
+        if kind is None:
+            raise WalError(f"bad op tag {tag}")
+        op = {"op": kind}
+        pos = struct.calcsize("<BQQB")
+        for bit, field in enumerate(("key", "value", "old")):
+            if flags & (1 << bit):
+                (length,) = struct.unpack_from("<H", payload, pos)
+                pos += 2
+                blob = payload[pos:pos + length]
+                if len(blob) != length:
+                    raise WalError("truncated op blob")
+                op[field] = bytes(blob)
+                pos += length
+        if kind in ("set", "cas"):
+            op["ttl"] = ttl
+        return op, now
+    except struct.error as exc:
+        raise WalError(f"truncated op payload: {exc}") from exc
+
+
+# -- record framing (pure; property-tested) ----------------------------------
+
+def encode_record(payload, *, mount, epoch, seq):
+    """Frame one payload: magic, length, mount/epoch/seq, CRC."""
+    head = struct.pack(_REC_FMT, REC_MAGIC, len(payload), mount, epoch,
+                       seq)
+    crc = zlib.crc32(head + payload) & 0xFFFFFFFF
+    return head + struct.pack("<L", crc) + payload
+
+
+def decode_record(data, offset):
+    """Decode the record at *offset* in *data*.
+
+    Returns ``(payload, mount, epoch, seq, next_offset)`` or ``None``
+    when no intact record starts here (bad magic, short frame, CRC
+    mismatch) — the clean stop every torn tail decodes to.
+    """
+    hdr_end = offset + struct.calcsize(_REC_FMT)
+    if hdr_end + 4 > len(data):
+        return None
+    magic, length, mount, epoch, seq = struct.unpack_from(
+        _REC_FMT, data, offset)
+    if magic != REC_MAGIC:
+        return None
+    (crc,) = struct.unpack_from("<L", data, hdr_end)
+    start = hdr_end + 4
+    end = start + length
+    if end > len(data):
+        return None
+    payload = bytes(data[start:end])
+    if zlib.crc32(data[offset:hdr_end] + payload) & 0xFFFFFFFF != crc:
+        return None
+    return payload, mount, epoch, seq, end
+
+
+def scan_log(data, *, epoch, max_mount, base=0):
+    """Replay-scan a log image from *base*.
+
+    Applies the full acceptance chain — intact CRC frame, epoch match,
+    mount monotonically non-decreasing (and never beyond *max_mount*),
+    seq exactly one past its predecessor — and stops cleanly at the
+    first record that fails any of it.  Returns
+    ``(records, end_offset, stop)`` where *records* is a list of
+    ``(payload, mount, seq)`` and *stop* names the reason scanning
+    ended (``"torn"``, ``"epoch"``, ``"mount"``, ``"seq"``, ``"end"``).
+    """
+    records = []
+    pos = base
+    last_mount = 0
+    last_seq = 0
+    while True:
+        hit = decode_record(data, pos)
+        if hit is None:
+            return records, pos, "torn" if pos < len(data) else "end"
+        payload, mount, rec_epoch, seq, nxt = hit
+        if rec_epoch != epoch:
+            return records, pos, "epoch"
+        if mount < last_mount or mount > max_mount:
+            return records, pos, "mount"
+        if seq != last_seq + 1:
+            return records, pos, "seq"
+        records.append((payload, mount, seq))
+        last_mount, last_seq = mount, seq
+        pos = nxt
+
+
+# -- on-disk layout ----------------------------------------------------------
+
+class WalLayout:
+    """Byte offsets of superblock, checkpoint slots and log region."""
+
+    def __init__(self, store_len, *, sector=SECTOR_SIZE,
+                 log_bytes=None):
+        def align(n):
+            return (n + sector - 1) // sector * sector
+        if _SB_BYTES > sector:
+            raise WalError("superblock must fit one sector (atomicity)")
+        self.sector = sector
+        self.store_len = int(store_len)
+        self.sb_off = 0
+        self.slot_bytes = align(CKPT_HDR + self.store_len)
+        self.slot_offs = (sector, sector + self.slot_bytes)
+        self.log_off = sector + 2 * self.slot_bytes
+        if log_bytes is None:
+            log_bytes = max(1 << 16, 2 * self.store_len)
+        self.log_end = self.log_off + align(log_bytes)
+        self.size = self.log_end
+
+    def disk(self, name="kv-disk"):
+        """A fresh :class:`SimDisk` sized for this layout."""
+        return SimDisk(self.size, sector=self.sector, name=name)
+
+
+def default_disk(store_len, name="kv-disk"):
+    """The device the kv tier creates when handed none."""
+    return WalLayout(store_len).disk(name)
+
+
+# -- the syscall-driven manager ----------------------------------------------
+
+class WriteAheadLog:
+    """The storage gate's durability engine.
+
+    Holds the kernel handle and the (gate-granted) disk fd; every byte
+    of I/O goes through the ``sc_disk_*`` traced syscalls, so Crowbar
+    sees it, the cost model prices it, and the analyzer can prove who
+    can and cannot do it.
+    """
+
+    def __init__(self, kernel, fd, layout, *, group_commit=8,
+                 checkpoint_every=64):
+        self.kernel = kernel
+        self.fd = fd
+        self.layout = layout
+        self.group_commit = max(1, int(group_commit))
+        #: mutations between snapshot checkpoints; 0 = only under
+        #: log-space pressure (the ablation configuration)
+        self.checkpoint_every = int(checkpoint_every)
+        # volatile positions (set by format()/recover())
+        self.epoch = 0
+        self.mount = 0
+        self.active_slot = 0
+        self.log_start = layout.log_off
+        self.log_head = layout.log_off
+        self.seq = 0
+        # durability accounting (the campaign's acked-write oracle)
+        self.attempted = 0    # records whose append was *started*
+        self.appended = 0     # records whose append syscall returned
+        self.synced = 0       # records covered by a completed barrier
+        self.replayed = 0     # records replayed by the last recover()
+        self.checkpoints = 0
+        self._since_sync = 0
+        self._since_ckpt = 0
+
+    # -- superblock / checkpoint I/O ---------------------------------------
+
+    def _write_sb(self):
+        body = struct.pack(_SB_FMT, SB_MAGIC, VERSION, self.active_slot,
+                           0, self.epoch, self.log_start, self.mount)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        self.kernel.disk_write(self.fd, self.layout.sb_off,
+                               body + struct.pack("<L", crc))
+
+    def _read_sb(self):
+        raw = self.kernel.disk_read(self.fd, self.layout.sb_off,
+                                    _SB_BYTES)
+        body, (crc,) = raw[:-4], struct.unpack("<L", raw[-4:])
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            return None
+        magic, ver, slot, _, epoch, log_start, mount = struct.unpack(
+            _SB_FMT, body)
+        if magic != SB_MAGIC or ver != VERSION or slot not in (0, 1):
+            return None
+        return {"slot": slot, "epoch": epoch, "log_start": log_start,
+                "mount": mount}
+
+    def _write_ckpt(self, slot, payload):
+        head = struct.pack(_CKPT_FMT, CKPT_MAGIC, self.epoch,
+                           len(payload))
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self.kernel.disk_write(self.fd, self.layout.slot_offs[slot],
+                               head + struct.pack("<L", crc) + payload)
+
+    def _read_ckpt(self, slot):
+        off = self.layout.slot_offs[slot]
+        raw = self.kernel.disk_read(self.fd, off, CKPT_HDR)
+        magic, epoch, length = struct.unpack_from(_CKPT_FMT, raw, 0)
+        (crc,) = struct.unpack_from("<L", raw, struct.calcsize(_CKPT_FMT))
+        if magic != CKPT_MAGIC or length == 0:
+            return None       # fresh device / never checkpointed
+        if length > self.layout.store_len:
+            raise WalError(f"checkpoint slot {slot} length {length} "
+                           "exceeds the store region")
+        payload = self.kernel.disk_read(self.fd, off + CKPT_HDR, length)
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            # unreachable under the crash model (the superblock only
+            # flips after the slot's barrier); loud if it ever happens
+            raise WalError(f"active checkpoint slot {slot} fails CRC")
+        return payload
+
+    # -- mount / recovery --------------------------------------------------
+
+    def format(self):
+        """Initialise a virgin device: empty checkpoint, empty log."""
+        self.epoch = 0
+        self.mount = 1
+        self.active_slot = 0
+        self.log_start = self.layout.log_off
+        self.log_head = self.layout.log_off
+        self.seq = 0
+        self._write_ckpt(0, b"")
+        self._write_sb()
+        self.kernel.disk_fsync(self.fd)
+
+    def recover(self):
+        """Mount the device: checkpoint + intact log prefix.
+
+        Returns ``(checkpoint_payload_or_None, [(op, now), ...])``.  A
+        virgin (or unrecognisable) device is formatted and reports
+        fresh.  The mount count bumps durably *before* any new append,
+        closing the stale-tail-record hole.
+        """
+        sb = self._read_sb()
+        if sb is None:
+            self.format()
+            self._emit_recover(fresh=True, records=0, checkpoint=False)
+            return None, []
+        self.epoch = sb["epoch"]
+        self.active_slot = sb["slot"]
+        self.log_start = sb["log_start"]
+        payload = self._read_ckpt(self.active_slot)
+        log = self.kernel.disk_read(
+            self.fd, self.log_start,
+            self.layout.log_end - self.log_start)
+        records, end, _stop = scan_log(log, epoch=self.epoch,
+                                       max_mount=sb["mount"])
+        self.log_head = self.log_start + end
+        self.seq = records[-1][2] if records else 0
+        # bump the mount durably before any new record can be written
+        self.mount = sb["mount"] + 1
+        self._write_sb()
+        self.kernel.disk_fsync(self.fd)
+        ops = []
+        for rec_payload, _mount, _seq in records:
+            ops.append(decode_op(rec_payload))
+        self.replayed = len(ops)
+        self.attempted = self.appended = self.synced = len(ops)
+        self._since_sync = 0
+        self._since_ckpt = len(ops)
+        self._emit_recover(fresh=False, records=len(ops),
+                           checkpoint=payload is not None)
+        return payload, ops
+
+    def _emit_recover(self, *, fresh, records, checkpoint):
+        obs = self.kernel.observe
+        if obs.enabled:
+            obs.emit(ev.WAL_RECOVER, comp=None, fresh=fresh,
+                     records=records, checkpoint=checkpoint,
+                     epoch=self.epoch, mount=self.mount)
+
+    # -- the append path ---------------------------------------------------
+
+    def append(self, op, now):
+        """Log one mutation (redo record) at the current tail."""
+        payload = encode_op(op, now)
+        record = encode_record(payload, mount=self.mount,
+                               epoch=self.epoch, seq=self.seq + 1)
+        self.attempted += 1
+        self.kernel.disk_write(self.fd, self.log_head, record)
+        self.log_head += len(record)
+        self.seq += 1
+        self.appended += 1
+        self._since_sync += 1
+        self._since_ckpt += 1
+
+    def sync(self):
+        """Group-commit barrier: everything appended becomes durable."""
+        if self._since_sync == 0:
+            return
+        self.kernel.disk_fsync(self.fd)
+        self.synced = self.appended
+        self._since_sync = 0
+
+    def maybe_sync(self):
+        if self._since_sync >= self.group_commit:
+            self.sync()
+
+    def checkpoint_due(self):
+        """By mutation count, or because the log region is filling."""
+        if self.checkpoint_every and \
+                self._since_ckpt >= self.checkpoint_every:
+            return True
+        return self.log_head + REC_HEADROOM > self.layout.log_end
+
+    def checkpoint(self, store_bytes):
+        """Double-buffered snapshot commit; truncates the log.
+
+        Write the packed store into the inactive slot, barrier, then
+        flip the (single-sector, atomic) superblock at the new slot and
+        an empty log, barrier again.  A crash between the two barriers
+        recovers from whichever superblock is durable — both point at a
+        checkpoint whose own barrier already completed.
+        """
+        target = 1 - self.active_slot
+        self.epoch += 1
+        self._write_ckpt(target, bytes(store_bytes))
+        self.kernel.disk_fsync(self.fd)
+        self.active_slot = target
+        self.log_start = self.layout.log_off
+        self._write_sb()
+        self.kernel.disk_fsync(self.fd)
+        self.log_head = self.layout.log_off
+        self.seq = 0
+        self.checkpoints += 1
+        self.synced = self.appended
+        self._since_sync = 0
+        self._since_ckpt = 0
+        obs = self.kernel.observe
+        if obs.enabled:
+            obs.emit(ev.WAL_CHECKPOINT, comp=None, epoch=self.epoch,
+                     slot=target, bytes=len(store_bytes))
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self):
+        return {"attempted": self.attempted, "appended": self.appended,
+                "synced": self.synced, "replayed": self.replayed,
+                "checkpoints": self.checkpoints, "epoch": self.epoch,
+                "mount": self.mount,
+                "log_bytes": self.log_head - self.layout.log_off}
+
+    def __repr__(self):
+        return (f"<WriteAheadLog epoch={self.epoch} mount={self.mount} "
+                f"appended={self.appended} synced={self.synced} "
+                f"checkpoints={self.checkpoints}>")

@@ -29,6 +29,10 @@ command            prints
                    Wedge-partitioned lb: goodput-vs-replica scaling and
                    (``--kill-kernel``) a seeded whole-kernel kill with
                    byte-identical failover (``BENCH_cluster.json``)
+``recovery``       kill-at-any-point durability campaign for the kv
+                   tier: seeded power loss at every syscall index, WAL
+                   + checkpoint recovery, prefix-consistency proof
+                   (writes/checks ``BENCH_recovery.json``)
 =================  ====================================================
 """
 
@@ -342,7 +346,9 @@ def cmd_chaos(args):
     tlb = False if args.no_tlb else None
     for name in names:
         report = run_chaos(name, seed=args.seed, faults=args.faults,
-                           tlb=tlb, scheduler=args.scheduler)
+                           tlb=tlb, scheduler=args.scheduler,
+                           power_loss=args.power_loss,
+                           breaker_cooldown=args.breaker_cooldown)
         print(report.format(flight_dump=args.flight_dump))
         failed = failed or not report.passed
     probe = cow_freshness_probe()
@@ -470,6 +476,39 @@ def cmd_kv(args):
     return 1 if failed else 0
 
 
+def cmd_recovery(args):
+    import json
+    import os
+
+    from repro.apps.kv.recovery import run_recovery
+    from repro.resilience.overload import check_artifact, write_artifact
+    report = run_recovery(seed=args.seed, ops=args.ops,
+                          stride=args.stride)
+    print(report.format())
+    failed = not report.passed
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_recovery.json")
+        write_artifact(report, path)
+        print(f"wrote {path}")
+    if args.check:
+        baseline_path = os.path.join(args.check, "BENCH_recovery.json")
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        problems = check_artifact(report.artifact(), baseline)
+        if problems:
+            print(f"REGRESSION vs {baseline_path}:")
+            for problem in problems:
+                print(f"  {problem}")
+            failed = True
+        else:
+            print(f"model cycles within tolerance of {baseline_path}")
+    return 1 if failed else 0
+
+
 def cmd_observe(args):
     from repro.observe.export import validate_file
     if args.validate:
@@ -578,6 +617,13 @@ def build_parser():
     pc.add_argument("--flight-dump", action="store_true",
                     help="print the newest flight-recorder dump even "
                          "when the campaign passed")
+    pc.add_argument("--power-loss", action="store_true",
+                    help="finish each kv campaign with a seeded "
+                         "power-loss kill and a WAL recovery drill "
+                         "(kv app only; requires a durable store)")
+    pc.add_argument("--breaker-cooldown", type=float, default=0.005,
+                    help="circuit-breaker cooldown (seconds) for the "
+                         "breaker recovery drill (default: 0.005)")
     pc.set_defaults(fn=cmd_chaos)
     pv = sub.add_parser(
         "overload",
@@ -653,6 +699,24 @@ def build_parser():
                      help="compare against DIR/BENCH_kv.json "
                           "(fail on >10%% model-cycle rise)")
     pkv.set_defaults(fn=cmd_kv)
+    pr = sub.add_parser(
+        "recovery",
+        help="kv durability campaign: power loss at every syscall "
+             "index, WAL + checkpoint recovery, prefix consistency")
+    pr.add_argument("--seed", type=int, default=0,
+                    help="workload and power-loss tear seed")
+    pr.add_argument("-n", "--ops", type=int, default=24,
+                    help="logged mutations in the workload "
+                         "(default: 24)")
+    pr.add_argument("--stride", type=int, default=1,
+                    help="kill every Nth syscall index instead of all "
+                         "(default: 1 = exhaustive)")
+    pr.add_argument("--out", default=None, metavar="DIR",
+                    help="write BENCH_recovery.json into DIR")
+    pr.add_argument("--check", default=None, metavar="DIR",
+                    help="compare against DIR/BENCH_recovery.json "
+                         "(fail on >10%% model-cycle rise)")
+    pr.set_defaults(fn=cmd_recovery)
     po = sub.add_parser(
         "observe",
         help="event bus + span tracing over one app's demo sessions")

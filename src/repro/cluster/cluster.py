@@ -103,7 +103,8 @@ class Cluster:
                  seed="httpd", vnodes=DEFAULT_VNODES, failure_threshold=1,
                  breaker_policy=None, probe_timeout=2.0,
                  clock=time.monotonic, supervise=None, lb_addr="lb:443",
-                 cache=False, kv_addr="kv:9090"):
+                 cache=False, kv_addr="kv:9090", kv_durable=False,
+                 kv_disk=None):
         # deferred: repro.apps.lb imports repro.cluster.ring, so pulling
         # LbServer in at module scope would be a circular import
         from repro.apps.lb.server import LbServer
@@ -115,12 +116,17 @@ class Cluster:
         #: replica's cache-aside client points at — a page rendered by
         #: any replica is a hit for all of them.  The kv server runs
         #: ``concurrent=True`` because each replica parks a persistent
-        #: pipelined connection on it.
+        #: pipelined connection on it.  With ``kv_durable=True`` the kv
+        #: kernel mounts a :class:`~repro.disk.SimDisk` and WALs every
+        #: mutation, so :meth:`kill_kv` / :meth:`revive_kv` re-warm the
+        #: tier instead of restarting it cold.
         self.kv = None
         self.kv_addr = kv_addr if cache else None
+        self.kv_durable = bool(kv_durable) or kv_disk is not None
+        self._kv_disk = kv_disk
+        self.kv_incarnation = 0
         if cache:
-            from repro.apps.kv import KvServer
-            self.kv = KvServer(self.network, kv_addr, concurrent=True)
+            self.kv = self._build_kv()
         self.nodes = [ClusterNode(self, k) for k in range(int(kernels))]
         backends = []
         for node in self.nodes:
@@ -139,6 +145,17 @@ class Cluster:
         # verify against the same identity)
         self.lb.public_key = self.nodes[0].replicas[0].public_key
         self._started = False
+
+    def _build_kv(self):
+        from repro.apps.kv import KvServer
+        server = KvServer(self.network, self.kv_addr, concurrent=True,
+                          durable=self.kv_durable, disk=self._kv_disk,
+                          name=f"kv~{self.kv_incarnation}")
+        if self.kv_durable:
+            # every incarnation mounts the *same* platter, so a revive
+            # after a power loss replays the WAL into the fresh kernel
+            self._kv_disk = server.disk
+        return server
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -179,6 +196,32 @@ class Cluster:
 
     def revive(self, name):
         self.node(name).revive()
+
+    def kill_kv(self, *, power_loss=False, seed=None):
+        """Power off the cache tier's kernel (optionally mid-flush)."""
+        if self.kv is None:
+            raise WedgeError("cluster has no cache tier")
+        try:
+            self.kv.stop()
+        except WedgeError:
+            pass
+        self.kv.kernel.kill(power_loss=power_loss, seed=seed)
+
+    def revive_kv(self):
+        """A replacement kv kernel; durable tiers re-warm from the WAL.
+
+        Returns the recovery result dict (``None`` for a non-durable
+        tier, which comes back cold).
+        """
+        if self.kv is None:
+            raise WedgeError("cluster has no cache tier")
+        if self.kv.kernel.alive:
+            raise WedgeError("kv kernel is already alive")
+        self.kv_incarnation += 1
+        self.kv = self._build_kv()
+        if self._started:
+            self.kv.start()
+        return self.kv.last_recovery
 
     # -- client helpers ----------------------------------------------------
 

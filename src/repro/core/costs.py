@@ -50,6 +50,9 @@ WEIGHTS = {
     "verified_access": 1,     # certificate-covered access (no translation)
     "verified_syscall": 30,   # certificate-allowed syscall (no policy trap)
     "cert_bind": 1_000,       # bind a policy certificate to an sthread
+    "disk_sector_read": 120,    # read one sector through the buffer cache
+    "disk_sector_write": 150,   # buffer one sector (DMA into the cache)
+    "disk_fsync": 90_000,       # the barrier: flush + media acknowledge
 }
 
 

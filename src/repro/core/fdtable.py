@@ -133,6 +133,33 @@ class PipeOpenFile(OpenFile):
         self.stream.close()
 
 
+class DiskOpenFile(OpenFile):
+    """A simulated block device (:class:`repro.disk.SimDisk`).
+
+    Disk I/O is offset-addressed and barrier-ordered, so it goes through
+    the dedicated ``disk_read``/``disk_write``/``disk_fsync`` syscalls
+    rather than the streaming ``read``/``write`` pair; using the latter
+    on a disk fd is a type error, reported as such.  The device outlives
+    every kernel that opens it — ``on_last_close`` is deliberately a
+    no-op: closing the descriptor (or killing the kernel) never destroys
+    the platter.
+    """
+
+    kind = "disk"
+
+    def __init__(self, disk):
+        super().__init__()
+        self.disk = disk
+
+    def read(self, size):
+        raise BadFileDescriptor(
+            "disk fds are offset-addressed: use disk_read")
+
+    def write(self, data):
+        raise BadFileDescriptor(
+            "disk fds are offset-addressed: use disk_write")
+
+
 class FdEntry:
     __slots__ = ("file", "perms")
 

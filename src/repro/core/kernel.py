@@ -36,6 +36,7 @@ import hashlib
 import hmac
 import inspect
 import os
+import random
 import threading
 import time
 
@@ -48,8 +49,8 @@ from repro.core.errors import (CallgateDegraded, CallgateError,
                                OutOfMemory, PolicyError, SthreadError,
                                SthreadFaulted, SyscallDenied, TagError,
                                VfsError, WedgeError)
-from repro.core.fdtable import (FdTable, ListenerOpenFile, PipeOpenFile,
-                                SocketOpenFile, VfsOpenFile)
+from repro.core.fdtable import (DiskOpenFile, FdTable, ListenerOpenFile,
+                                PipeOpenFile, SocketOpenFile, VfsOpenFile)
 from repro.core.image import ImageBuilder
 from repro.core.memory import (PAGE_SHIFT, PAGE_SIZE, PROT_COW, PROT_READ,
                                PROT_RW, PROT_WRITE, AddressSpace, MemoryBus,
@@ -218,6 +219,16 @@ class Kernel:
         #: established connections reset (peers see PeerReset, not hangs)
         self._owned_listeners = []
         self._owned_socks = []
+        #: simulated disks opened on this kernel (repro.disk).  The
+        #: devices outlive the kernel — kill() crashes them (dropping or
+        #: tearing unflushed writes) but never destroys them, so a fresh
+        #: incarnation can re-open and recover.
+        self._disks = []
+        #: campaign hook: a callable fired with the syscall name at the
+        #: top of every trap, before any work.  The recovery campaign's
+        #: kill-at-any-point sweep installs its counter/killer here; the
+        #: disabled overhead is one attribute test.
+        self.syscall_tap = None
 
     # ------------------------------------------------------------------
     # scheduling (repro.core.reactor)
@@ -396,6 +407,9 @@ class Kernel:
             raise KernelDead(
                 f"kernel {self.name!r} is dead: syscall {name!r} refused",
                 kernel=self.name)
+        tap = self.syscall_tap
+        if tap is not None:
+            tap(self, name)
         st = self.current()
         ver = st.table.verified
         if ver is not None and name in ver.syscalls:
@@ -410,7 +424,11 @@ class Kernel:
     # whole-kernel liveness (repro.cluster)
     # ------------------------------------------------------------------
 
-    def kill(self):
+    #: seed-mixing constant so the power-loss prefix draw is independent
+    #: of the fault plan's own rate draws (the kernelfail.py idiom)
+    _POWER_SALT = 0x504F5752   # "POWR"
+
+    def kill(self, *, power_loss=False, seed=None):
         """Kill the whole machine: the cluster chaos mode's one verb.
 
         Marks the kernel dead (every later syscall raises
@@ -421,9 +439,34 @@ class Kernel:
         recv/send wake promptly with
         :class:`~repro.core.errors.PeerReset` instead of timing out.
         Idempotent.
+
+        Attached disks crash honestly either way: a plain kill discards
+        every unflushed write (the buffer cache dies with the machine);
+        ``power_loss=True`` instead snapshots each device at a seeded
+        arbitrary prefix of its unflushed write stream — reordered
+        across sectors, torn at sector granularity — drawn from *seed*
+        (default: the installed fault plan's seed, else 0).  Everything
+        an ``fsync`` barrier acknowledged is durable in both modes.
         """
         if not self.alive:
             return
+        if self._disks:
+            if power_loss:
+                base = seed
+                if base is None:
+                    base = self.faults.seed if self.faults is not None \
+                        else 0
+                rng = random.Random((int(base) << 1) ^ self._POWER_SALT)
+                for disk in self._disks:
+                    applied, dropped = disk.power_loss(rng)
+                    if self.observe.enabled:
+                        self.observe.emit(
+                            ev.DISK_POWER_LOSS, comp=None,
+                            disk=disk.name, applied=applied,
+                            dropped=dropped)
+            else:
+                for disk in self._disks:
+                    disk.drop_pending()
         self.alive = False
         for listener in self._owned_listeners:
             try:
@@ -1498,6 +1541,74 @@ class Kernel:
         wfd = st.fdtable.install(PipeOpenFile(stream, readable=False),
                                  FD_WRITE)
         return rfd, wfd
+
+    # ------------------------------------------------------------------
+    # disk (repro.disk): the sc_disk_* family
+    # ------------------------------------------------------------------
+    #
+    # Offset-addressed, barrier-ordered block I/O.  The descriptor is an
+    # ordinary fd-table entry, so disk rights are granted, delegated and
+    # linted exactly like socket or pipe rights: `sc_fd_add` puts the fd
+    # in one compartment's SecurityContext and the three-way analyzer
+    # proves nobody else can reach the platter.
+
+    @_traced_syscall
+    def disk_open(self, disk):
+        """Attach a :class:`~repro.disk.SimDisk`; returns an FD_RW fd.
+
+        The device registers with this kernel so :meth:`kill` can crash
+        it (drop or tear unflushed writes); the device object itself is
+        never destroyed and may be re-opened by a later incarnation.
+        """
+        st = self._syscall("disk_open")
+        if disk not in self._disks:
+            self._disks.append(disk)
+        return st.fdtable.install(DiskOpenFile(disk), FD_RW)
+
+    @_traced_syscall
+    def disk_read(self, fd, offset, size):
+        """Read through the buffer cache (pending writes included)."""
+        st = self._syscall("disk_read")
+        entry = st.fdtable.lookup(fd, needed=FD_READ)
+        disk = entry.file.disk
+        data = disk.read(offset, size)
+        self.costs.charge("disk_sector_read",
+                          disk.sector_span(offset, len(data)))
+        return data
+
+    @_traced_syscall
+    def disk_write(self, fd, offset, data):
+        """Buffer one write; NOT durable until :meth:`disk_fsync`."""
+        st = self._syscall("disk_write")
+        entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        disk = entry.file.disk
+        data = bytes(data)
+        n = disk.write(offset, data)
+        self.costs.charge("disk_sector_write",
+                          disk.sector_span(offset, n))
+        if self.observe.enabled:
+            self.observe.emit(ev.DISK_WRITE, comp=st.name,
+                              disk=disk.name, offset=offset, nbytes=n,
+                              pending=disk.pending_count)
+        return n
+
+    @_traced_syscall
+    def disk_fsync(self, fd):
+        """The barrier: every buffered write becomes durable, in order.
+
+        Returns the number of sector sub-writes flushed.  This is the
+        only operation after which a write is guaranteed to survive
+        ``kill(power_loss=True)``.
+        """
+        st = self._syscall("disk_fsync")
+        entry = st.fdtable.lookup(fd, needed=FD_WRITE)
+        disk = entry.file.disk
+        flushed = disk.fsync()
+        self.costs.charge("disk_fsync")
+        if self.observe.enabled:
+            self.observe.emit(ev.DISK_FSYNC, comp=st.name,
+                              disk=disk.name, flushed=flushed)
+        return flushed
 
     # ------------------------------------------------------------------
     # network

@@ -1,0 +1,205 @@
+"""``repro.disk``: a simulated block device with honest crash semantics.
+
+Durability in this simulation is *earned*, not assumed.  A
+:class:`SimDisk` models the storage stack the way crash-consistency
+literature does (and the way ARIES-style recovery requires):
+
+* ``write`` only *buffers*: the bytes land in an ordered stream of
+  sector-granular sub-writes (a logical write that crosses a sector
+  boundary is split), visible to subsequent reads (the buffer cache)
+  but **not durable**;
+* ``fsync`` is the one barrier: every buffered sub-write is applied to
+  the durable image, in order, atomically per sector;
+* a **power loss** snapshots the device at an *arbitrary, possibly
+  reordered prefix* of the unflushed stream: each sector independently
+  retains a seeded prefix of its own sub-write sequence.  Sector writes
+  are atomic (the standard disk contract) but a multi-sector logical
+  write may be torn at sector boundaries, and later writes may be
+  durable while earlier writes to *other* sectors are not.
+
+The kernel exposes the device through the ``sc_disk_*`` traced syscall
+family (:meth:`~repro.core.kernel.Kernel.disk_open` /
+``disk_read`` / ``disk_write`` / ``disk_fsync``), priced on the
+deterministic cost model, and :meth:`~repro.core.kernel.Kernel.kill`
+grew ``power_loss=True`` — the whole-machine fault that makes crash
+recovery a first-class, testable input.
+
+The device object itself deliberately lives *outside* any kernel: it is
+the platter, not the machine.  A killed kernel's disks survive and can
+be re-opened by a fresh incarnation, which is exactly how the kv tier's
+write-ahead log recovers (:mod:`repro.apps.kv.wal`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import WedgeError
+
+#: Default sector size (bytes).  Small relative to real hardware so the
+#: torn-write surface is rich: a ~1 KiB kv value spans many sectors.
+SECTOR_SIZE = 64
+
+#: Default device capacity (bytes).
+DEFAULT_DISK_SIZE = 1 << 18
+
+
+class DiskError(WedgeError):
+    """Bad device usage: out-of-range I/O, bad geometry."""
+
+
+class SimDisk:
+    """One simulated block device: a durable image plus a write buffer.
+
+    Thread-safe: the kv tier's storage gate and a kernel kill can race.
+    """
+
+    def __init__(self, size=DEFAULT_DISK_SIZE, *, sector=SECTOR_SIZE,
+                 name="disk0"):
+        size, sector = int(size), int(sector)
+        if sector <= 0 or size <= 0 or size % sector:
+            raise DiskError(
+                f"bad geometry: size={size} sector={sector}")
+        self.size = size
+        self.sector = sector
+        self.name = name
+        self._durable = bytearray(size)
+        #: ordered unflushed sub-writes, none crossing a sector boundary
+        self._pending = []   # [(offset, bytes)]
+        self._lock = threading.Lock()
+        # lifetime counters (diagnostics and the observe events)
+        self.writes = 0          # logical write() calls
+        self.flushes = 0         # fsync barriers completed
+        self.power_losses = 0    # power_loss() events applied
+
+    # -- geometry ----------------------------------------------------------
+
+    def _check_range(self, offset, size):
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise DiskError(
+                f"I/O beyond device: offset={offset} size={size} "
+                f"capacity={self.size}")
+
+    def sector_span(self, offset, size):
+        """How many sectors the byte range [offset, offset+size) touches."""
+        if size <= 0:
+            return 0
+        first = offset // self.sector
+        last = (offset + size - 1) // self.sector
+        return last - first + 1
+
+    def _split(self, offset, data):
+        """Split one logical write into sector-contained sub-writes."""
+        out = []
+        pos = 0
+        while pos < len(data):
+            at = offset + pos
+            room = self.sector - (at % self.sector)
+            take = min(room, len(data) - pos)
+            out.append((at, bytes(data[pos:pos + take])))
+            pos += take
+        return out
+
+    # -- the buffered data path --------------------------------------------
+
+    def read(self, offset, size):
+        """Read through the buffer cache: durable image overlaid with
+        every pending sub-write, in stream order."""
+        self._check_range(offset, size)
+        with self._lock:
+            view = bytearray(self._durable[offset:offset + size])
+            for at, chunk in self._pending:
+                lo = max(at, offset)
+                hi = min(at + len(chunk), offset + size)
+                if lo < hi:
+                    view[lo - offset:hi - offset] = \
+                        chunk[lo - at:hi - at]
+            return bytes(view)
+
+    def write(self, offset, data):
+        """Buffer one logical write; durable only after :meth:`fsync`."""
+        data = bytes(data)
+        self._check_range(offset, len(data))
+        with self._lock:
+            self._pending.extend(self._split(offset, data))
+            self.writes += 1
+        return len(data)
+
+    def fsync(self):
+        """The barrier: apply every buffered sub-write, in order.
+
+        Returns the number of sub-writes made durable.
+        """
+        with self._lock:
+            flushed = len(self._pending)
+            for at, chunk in self._pending:
+                self._durable[at:at + len(chunk)] = chunk
+            self._pending = []
+            self.flushes += 1
+            return flushed
+
+    @property
+    def pending_count(self):
+        """Buffered sub-writes not yet covered by a barrier."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- crash semantics ---------------------------------------------------
+
+    def drop_pending(self):
+        """A clean-ish crash: the write buffer dies, nothing tears.
+
+        (Equivalent to a power loss that durably applied none of the
+        unflushed stream — one of the states :meth:`power_loss` can
+        produce.)  Returns the number of sub-writes dropped.
+        """
+        with self._lock:
+            dropped = len(self._pending)
+            self._pending = []
+            return dropped
+
+    def power_loss(self, rng):
+        """Snapshot the device at a seeded arbitrary prefix of the
+        unflushed write stream.
+
+        Per sector, an independent prefix of that sector's pending
+        sub-writes is applied (so the stream may land reordered across
+        sectors and a multi-sector write may tear), then the buffer is
+        discarded.  *rng* is a seeded ``random.Random``; the same seed
+        reproduces the same surviving prefix.  Returns
+        ``(applied, dropped)`` sub-write counts.
+        """
+        with self._lock:
+            per_sector = {}
+            for at, chunk in self._pending:
+                per_sector.setdefault(at // self.sector, []).append(
+                    (at, chunk))
+            keep = set()
+            for sector_idx in sorted(per_sector):
+                subs = per_sector[sector_idx]
+                prefix = rng.randint(0, len(subs))
+                for at, chunk in subs[:prefix]:
+                    keep.add(id(chunk))
+            applied = 0
+            for at, chunk in self._pending:
+                if id(chunk) in keep:
+                    self._durable[at:at + len(chunk)] = chunk
+                    applied += 1
+            dropped = len(self._pending) - applied
+            self._pending = []
+            self.power_losses += 1
+            return applied, dropped
+
+    # -- introspection (tests, campaigns) ----------------------------------
+
+    def durable_bytes(self, offset=0, size=None):
+        """The durable image alone — what a post-crash mount would see."""
+        if size is None:
+            size = self.size - offset
+        self._check_range(offset, size)
+        with self._lock:
+            return bytes(self._durable[offset:offset + size])
+
+    def __repr__(self):
+        return (f"<SimDisk {self.name!r} {self.size}B/{self.sector}B "
+                f"pending={len(self._pending)} flushes={self.flushes}>")

@@ -90,7 +90,8 @@ def default_policy():
 class ChaosTarget:
     """One application under chaos: build it, poke it, check it."""
 
-    def __init__(self, name, make, session, snapshot, rates=None):
+    def __init__(self, name, make, session, snapshot, rates=None,
+                 rebuild=None):
         self.name = name
         self.make = make
         self.session = session
@@ -99,6 +100,10 @@ class ChaosTarget:
         #: reach the same injection count in a bounded session budget)
         self.rates = dict(DEFAULT_RATES)
         self.rates.update(rates or {})
+        #: ``rebuild(server, policy)`` -> a fresh incarnation on the
+        #: *same* network, address and durable state (the power-loss
+        #: drill's recovery path); None for apps with nothing durable
+        self.rebuild = rebuild
 
 
 def _make_httpd_simple(policy):
@@ -144,16 +149,28 @@ def _make_lb(policy):
     return server
 
 
+_KV_PRELOAD = {b"alpha": b"AAA", b"beta": b"BBB", b"gamma": b"CCC"}
+
+
 def _make_kv(policy):
     from repro.apps.kv import KvServer
     from repro.net import Network
     # ttl=0 preloads never expire, so GET-only chaos sessions leave the
     # store region byte-identical by construction — any diff the
-    # campaign sees is real fault leakage, not cache churn
-    return KvServer(Network(), "chaos-kv:9090",
-                    preload={b"alpha": b"AAA", b"beta": b"BBB",
-                             b"gamma": b"CCC"},
-                    supervise=policy)
+    # campaign sees is real fault leakage, not cache churn.  The store
+    # is durable so the power-loss drill can recover the same bytes
+    # from the platter after a seeded crash.
+    return KvServer(Network(), "chaos-kv:9090", preload=_KV_PRELOAD,
+                    supervise=policy, durable=True)
+
+
+def _rebuild_kv(server, policy):
+    from repro.apps.kv import KvServer
+    # same network, same address, same platter: everything the rebuilt
+    # tier knows, it recovered from the disk (the preload only matters
+    # if the device somehow mounted virgin)
+    return KvServer(server.network, server.addr, preload=_KV_PRELOAD,
+                    supervise=policy, disk=server.disk)
 
 
 def _kv_session(server, index, strict=False, timeout=CLIENT_TIMEOUT):
@@ -317,7 +334,8 @@ CHAOS_TARGETS = {
         # few net sites per session
         rates={("cgate", "crash"): 0.10, ("mem_read", "memfault"): 0.02,
                ("mem_write", "memfault"): 0.02,
-               ("net_send", "reset"): 0.01}),
+               ("net_send", "reset"): 0.01},
+        rebuild=_rebuild_kv),
     "lb": ChaosTarget(
         "lb", _make_lb, _lb_session, _lb_snapshot,
         # the balancer's own kernel sees few mem sites (the ring and
@@ -368,6 +386,11 @@ class ChaosReport:
         #: least one degraded -> half-open -> closed recovery
         self.breaker_recoveries = 0
         self.breaker_transitions = []
+        #: power-loss drill outcome: None (not requested), "ok" or
+        #: "failed"; replayed counts the WAL records the rebuilt
+        #: incarnation applied
+        self.power_loss_drill = None
+        self.power_loss_replayed = None
 
     @property
     def passed(self):
@@ -398,6 +421,10 @@ class ChaosReport:
             f"({' '.join(self.breaker_transitions) or 'no transitions'})",
             f"  clean probe: {'ok' if self.probe_ok else 'FAILED'}",
         ]
+        if self.power_loss_drill is not None:
+            lines.append(
+                f"  power loss: recovery {self.power_loss_drill} "
+                f"({self.power_loss_replayed} WAL records replayed)")
         if self.tlb_mode is not None:
             mode = "on" if self.tlb_mode else "off"
             lines.insert(1, f"  tlb: {mode}")
@@ -465,9 +492,58 @@ def breaker_recovery_drill(kernel, *, cooldown=0.005, crashes=2):
     return None
 
 
+def power_loss_drill(target, server, report, *, seed, policy):
+    """Seeded power loss, then recovery on the same platter.
+
+    The server's kernel dies with ``power_loss=True`` — its disk keeps
+    an arbitrary seeded per-sector prefix of the unflushed write stream
+    — and the target's ``rebuild`` hook mounts a fresh incarnation on
+    the same network, address and device.  The rebuilt tier must serve
+    the strict probe byte-identically and every sensitive blob must
+    match the pre-campaign baseline: a cache tier that forgets its
+    fsync-acked state across a power cut fails the campaign.
+    """
+    if target.rebuild is None or getattr(server, "wal", None) is None:
+        report.power_loss_drill = "failed"
+        report.violations.append(
+            f"power-loss drill: {target.name!r} has no durable rebuild")
+        return
+    before = len(report.violations)
+    server.stop()
+    server.kernel.kill(power_loss=True, seed=seed)
+    rebuilt = target.rebuild(server, policy)
+    report.power_loss_replayed = (rebuilt.last_recovery or
+                                  {}).get("replayed")
+    rebuilt.start()
+    try:
+        try:
+            probe = target.session(rebuilt, MAX_SESSIONS + 2,
+                                   strict=True)
+            if probe != report.baseline_obs:
+                report.violations.append(
+                    "power-loss drill: the recovered tier served "
+                    "different content than the baseline")
+        except WedgeError as exc:
+            report.violations.append(
+                f"power-loss drill: recovered probe failed: {exc}")
+        snapshot = target.snapshot(rebuilt)
+        for name, blob in snapshot.items():
+            if blob != report.baseline[name]:
+                report.violations.append(
+                    f"power-loss drill: sensitive state {name!r} did "
+                    f"not survive the crash")
+    finally:
+        rebuilt.stop()
+        if rebuilt.kernel.alive:
+            rebuilt.kernel.kill()
+    report.power_loss_drill = ("ok" if len(report.violations) == before
+                               else "failed")
+
+
 def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
               policy=None, plan=None, tlb=None, verified=False,
-              scheduler=None):
+              scheduler=None, power_loss=False,
+              breaker_cooldown=0.005):
     """Run one chaos campaign; returns a :class:`ChaosReport`.
 
     ``tlb`` overrides :attr:`Kernel.DEFAULT_TLB` for the duration of the
@@ -481,6 +557,11 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
     server's compartments and arms the kernel with the resulting
     certificate templates before start, so the campaign exercises the
     proof-carrying fast path under fault injection.
+    ``power_loss=True`` finishes with :func:`power_loss_drill` — a
+    seeded whole-kernel power cut and a recovery mount on the surviving
+    platter (durable apps only).  ``breaker_cooldown`` threads through
+    to :func:`breaker_recovery_drill` so campaigns can tune how long a
+    degraded gate stays open before its half-open probe.
     """
     from repro.core.kernel import Kernel
 
@@ -488,12 +569,13 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
     report = ChaosReport(app, seed, faults)
     report.tlb_mode = tlb
     report.scheduler_mode = scheduler
+    sup_policy = policy or default_policy()
     saved_default = Kernel.DEFAULT_TLB
     if tlb is not None:
         Kernel.DEFAULT_TLB = tlb
     try:
         with Kernel.scheduler_override(scheduler):
-            server = target.make(policy or default_policy())
+            server = target.make(sup_policy)
     finally:
         Kernel.DEFAULT_TLB = saved_default
     if verified:
@@ -556,7 +638,8 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
         # every campaign must demonstrate the previously-terminal
         # CallgateDegraded path recovering through the breaker (runs
         # after the restart count so the drill's restarts do not skew it)
-        drilled = breaker_recovery_drill(server.kernel)
+        drilled = breaker_recovery_drill(server.kernel,
+                                         cooldown=breaker_cooldown)
         if drilled is not None and drilled.breaker is not None:
             report.breaker_recoveries = drilled.breaker.recoveries
             report.breaker_transitions = [
@@ -565,6 +648,10 @@ def run_chaos(app, *, seed=0, faults=50, max_sessions=MAX_SESSIONS,
             report.violations.append(
                 "breaker recovery drill failed: no degraded -> "
                 "half-open -> closed transition observed")
+
+        if power_loss:
+            power_loss_drill(target, server, report, seed=seed,
+                             policy=sup_policy)
     finally:
         server.stop()
         server.kernel.observe.remove_sink(recorder)

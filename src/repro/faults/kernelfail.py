@@ -34,7 +34,8 @@ class KernelFailure:
     lands in.
     """
 
-    def __init__(self, plan, kernels, *, window=(2, 6)):
+    def __init__(self, plan, kernels, *, window=(2, 6),
+                 power_loss=False):
         names = list(kernels)
         if not names:
             raise WedgeError("KernelFailure needs at least one kernel")
@@ -47,7 +48,12 @@ class KernelFailure:
         #: name of the kernel that will die
         self.victim = names[rng.randrange(len(names))]
         self.plan = plan
-        self.spec = plan.add("kernel", "kill", at=(self.round,), limit=1)
+        #: the seeded ``power-loss`` flavour: the caller should apply
+        #: the effect as ``kernel.kill(power_loss=True, seed=plan.seed)``
+        #: so the victim's disks tear at a reproducible prefix
+        self.power_loss = bool(power_loss)
+        kind = "power_loss" if self.power_loss else "kill"
+        self.spec = plan.add("kernel", kind, at=(self.round,), limit=1)
         #: victim name once the kill has fired, else None
         self.killed = None
 

@@ -50,7 +50,7 @@ SITE_KINDS = {
     "cgate": ("crash", "delay"),
     "net_connect": ("refuse",),
     "net_send": ("drop", "delay", "reset"),
-    "kernel": ("kill",),
+    "kernel": ("kill", "power_loss"),
 }
 
 

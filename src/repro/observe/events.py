@@ -57,6 +57,11 @@ ANALYSIS_REVOKED = "analysis.revoked"
 CLUSTER_EJECTED = "cluster.ejected"
 CLUSTER_RECOVERED = "cluster.recovered"
 CLUSTER_FAILOVER = "cluster.failover"
+DISK_WRITE = "disk.write"
+DISK_FSYNC = "disk.fsync"
+DISK_POWER_LOSS = "disk.power_loss"
+WAL_CHECKPOINT = "wal.checkpoint"
+WAL_RECOVER = "wal.recover"
 
 #: kind -> (emitting chokepoint, meaning).  DESIGN.md §4d renders this.
 TAXONOMY = {
@@ -115,6 +120,16 @@ TAXONOMY = {
                         "a half-open probe succeeded; replica re-admitted"),
     CLUSTER_FAILOVER: ("lb router / forwarder",
                        "a request was re-routed off its primary replica"),
+    DISK_WRITE: ("Kernel.disk_write",
+                 "sectors buffered on a simulated disk (not yet durable)"),
+    DISK_FSYNC: ("Kernel.disk_fsync",
+                 "the barrier: buffered sectors became durable"),
+    DISK_POWER_LOSS: ("Kernel.kill(power_loss=True)",
+                      "a crash applied a seeded prefix of unflushed writes"),
+    WAL_CHECKPOINT: ("kv WriteAheadLog.checkpoint",
+                     "a snapshot checkpoint committed; the log truncated"),
+    WAL_RECOVER: ("kv WriteAheadLog.recover",
+                  "a fresh incarnation replayed the log into its store"),
 }
 
 #: Storm-level kinds: delivered only to sinks that *explicitly* ask for

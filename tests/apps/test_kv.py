@@ -365,3 +365,47 @@ class TestConcurrentCacheClients:
         c.store("/cgi/x", b"body")            # dropped, not raised
         assert c.misses == 1
         assert c.store_errors == 1
+
+    def test_cache_client_fails_open_when_kv_dies_mid_response(
+            self, network):
+        """The hard fail-open case: the kv kernel powers off *between*
+        receiving a GET and finishing the reply.  The cache client must
+        surface an ordinary miss — no hang, no raw PeerReset — and its
+        retry-once reconnect (which lands on a dead listener) must stay
+        inside the same miss."""
+        from repro.core.errors import KernelDead
+
+        armed = [False]
+
+        def tap(kernel, name):
+            if armed[0] and name == "send":
+                kernel.syscall_tap = None
+                kernel.kill()
+                raise KernelDead("kv died mid-response",
+                                 kernel=kernel.name)
+
+        kv = KvServer(network, "kv-mid:9090", concurrent=True,
+                      tap=tap).start()
+        k = Kernel(net=network, name="mid-client")
+        k.start_main()
+        c = client.KvCacheClient(k, kv.addr, timeout=2.0)
+        try:
+            c.store("/cgi/r", b"cached-body")
+            assert c.lookup("/cgi/r") == b"cached-body"
+            armed[0] = True                  # next reply send: power off
+            assert c.lookup("/cgi/r") is None
+            assert c.misses == 1             # the outage, counted a miss
+            # a replacement kv at the same address is picked up by the
+            # lazy reconnect — no client-side state to reset
+            fresh = KvServer(network, kv.addr, concurrent=True).start()
+            try:
+                assert c.lookup("/cgi/r") is None    # cold cache: miss
+                c.store("/cgi/r", b"refilled")
+                assert c.lookup("/cgi/r") == b"refilled"
+            finally:
+                fresh.stop()
+        finally:
+            c.close()
+            k.kill()
+            if kv.kernel.alive:
+                kv.stop()

@@ -1,0 +1,192 @@
+"""WAL + snapshot recovery for the kv tier (the durability tentpole).
+
+The end-to-end durability chain: a durable server logs every mutation
+before replying, group-commits fsync barriers, checkpoints the packed
+store, and a fresh incarnation mounting the same platter replays the
+log back to a consistent prefix — after clean shutdowns, plain kills,
+and seeded power losses at arbitrary syscall indices.
+"""
+
+import pytest
+
+from repro.apps.kv import KvClient, KvServer
+from repro.apps.kv.recovery import (build_script, run_recovery,
+                                    _sweep_once)
+from repro.apps.kv.server import WRITE_THROUGH
+from repro.apps.kv.wal import WalLayout
+from repro.core.errors import KernelDead, WedgeError
+from repro.core.kernel import Kernel
+from repro.net import Network
+
+
+def _client(network, addr, name="rc"):
+    kernel = Kernel(net=network, name=name)
+    kernel.start_main()
+    return KvClient(kernel, addr)
+
+
+def _durable(network, addr, disk=None, **kw):
+    kw.setdefault("policy", WRITE_THROUGH)
+    return KvServer(network, addr, durable=True, disk=disk, **kw).start()
+
+
+class TestDurableServer:
+    def test_boot_formats_and_checkpoints_the_preload(self, network):
+        srv = _durable(network, "kv-d:9090",
+                       preload={b"alpha": b"AAA"})
+        try:
+            assert srv.last_recovery == {"ok": True, "fresh": True,
+                                         "replayed": 0,
+                                         "checkpoints": 1}
+            assert srv.recovery_cycles > 0
+            assert srv.wal.stats()["mount"] == 1
+        finally:
+            srv.stop()
+
+    def test_non_durable_server_has_no_wal(self, network):
+        srv = KvServer(network, "kv-nd:9090").start()
+        try:
+            assert srv.wal is None
+            assert srv.disk is None
+            assert srv.last_recovery is None
+        finally:
+            srv.stop()
+
+    def test_undersized_disk_is_refused(self, network):
+        from repro.disk import SimDisk
+        with pytest.raises(WedgeError):
+            KvServer(network, "kv-sm:9090", durable=True,
+                     disk=SimDisk(256))
+
+    def test_synced_writes_survive_a_power_loss(self, network):
+        srv = _durable(network, "kv-pl:9090", group_commit=1)
+        disk = srv.disk
+        c = _client(network, srv.addr)
+        c.execute([b"SET a 0 " + b"AAA".hex().encode(),
+                   b"SET b 0 " + b"BBB".hex().encode()])
+        srv.stop()
+        srv.kernel.kill(power_loss=True, seed=3)
+        back = _durable(network, "kv-pl2:9090", disk=disk)
+        try:
+            assert back.last_recovery["fresh"] is False
+            assert back.last_recovery["replayed"] == 2
+            c2 = _client(network, back.addr, "rc2")
+            assert c2.execute([b"GET a", b"GET b"]) == [
+                b"VALUE " + b"AAA".hex().encode(),
+                b"VALUE " + b"BBB".hex().encode()]
+        finally:
+            back.stop()
+
+    def test_unsynced_tail_may_be_lost_but_never_garbled(self, network):
+        srv = _durable(network, "kv-gc:9090", group_commit=64,
+                       checkpoint_every=0)
+        disk = srv.disk
+        c = _client(network, srv.addr)
+        script = [b"SET k%02d 0 %s" % (i, (b"%03d" % i).hex().encode())
+                  for i in range(8)]
+        c.execute(script)
+        assert srv.wal.synced == 0       # no barrier crossed yet
+        assert srv.wal.appended == 8
+        srv.stop()
+        srv.kernel.kill(power_loss=True, seed=9)
+        back = _durable(network, "kv-gc2:9090", disk=disk)
+        try:
+            replayed = back.last_recovery["replayed"]
+            assert 0 <= replayed <= 8
+            c2 = _client(network, back.addr, "rc2")
+            hits = [r for r in c2.execute(
+                [b"GET k%02d" % i for i in range(8)])
+                if r.startswith(b"VALUE")]
+            # a clean prefix: exactly the replayed records are visible
+            assert len(hits) == replayed
+        finally:
+            back.stop()
+
+    def test_checkpoint_truncates_the_log(self, network):
+        srv = _durable(network, "kv-ck:9090", group_commit=1,
+                       checkpoint_every=4)
+        disk = srv.disk
+        c = _client(network, srv.addr)
+        c.execute([b"SET k%d 0 61" % i for i in range(8)])
+        stats = srv.wal.stats()
+        assert stats["checkpoints"] == 3     # virgin adopt + at 4, 8
+        srv.stop()
+        srv.kernel.kill()
+        back = _durable(network, "kv-ck2:9090", disk=disk)
+        try:
+            # everything was checkpointed: nothing left to replay
+            assert back.last_recovery["replayed"] == 0
+            c2 = _client(network, back.addr, "rc2")
+            assert c2.execute([b"GET k7"]) == [b"VALUE 61"]
+        finally:
+            back.stop()
+
+    def test_mount_count_bumps_on_every_recovery(self, network):
+        srv = _durable(network, "kv-mt:9090")
+        disk = srv.disk
+        srv.stop()
+        srv.kernel.kill()
+        for expected_mount in (2, 3):
+            back = _durable(network, "kv-mt2:9090", disk=disk)
+            assert back.wal.stats()["mount"] == expected_mount
+            back.stop()
+            back.kernel.kill()
+
+
+class TestRecoveryCampaign:
+    def test_build_script_is_deterministic_and_all_mutations(self):
+        lines, refs = build_script(7, ops=20)
+        again, refs2 = build_script(7, ops=20)
+        assert lines == again and refs == refs2
+        assert len(lines) == 20 and len(refs) == 21
+        assert all(l.split()[0] in (b"SET", b"CAS", b"DEL")
+                   for l in lines)
+
+    def test_sweep_iteration_holds_at_a_few_indices(self):
+        lines, refs = build_script(1, ops=8)
+        for k in (1, 5, 25, 80):
+            assert _sweep_once(1, k, lines, refs, batch=4) is None
+
+    def test_small_campaign_passes(self):
+        report = run_recovery(seed=2, ops=6, stride=13)
+        assert report.passed, report.violations
+        assert report.kills >= 2
+        assert report.metrics["recovery_ckpt_cycles"] > 0
+        assert report.metrics["recovery_nockpt_cycles"] > 0
+        art = report.artifact()
+        assert art["artifact"] == "recovery"
+        assert art["info"]["passed"] is True
+
+
+class TestClusterRewarm:
+    def test_kill_kv_revive_kv_replays_the_wal(self, network):
+        from repro.cluster.cluster import Cluster
+        cluster = Cluster(network, kernels=1, replicas=1, cache=True,
+                          kv_durable=True).start()
+        try:
+            c = _client(network, cluster.kv_addr)
+            c.execute([b"SET page 0 " + b"BODY".hex().encode()])
+            cluster.kv.wal.sync()
+            cluster.kill_kv(power_loss=True, seed=11)
+            assert not cluster.kv.kernel.alive
+            recovery = cluster.revive_kv()
+            assert recovery["replayed"] == 1
+            c2 = _client(network, cluster.kv_addr, "rc2")
+            assert c2.execute([b"GET page"]) == [
+                b"VALUE " + b"BODY".hex().encode()]
+        finally:
+            cluster.stop()
+
+    def test_non_durable_tier_comes_back_cold(self, network):
+        from repro.cluster.cluster import Cluster
+        cluster = Cluster(network, kernels=1, replicas=1,
+                          cache=True).start()
+        try:
+            c = _client(network, cluster.kv_addr)
+            c.execute([b"SET page 0 61"])
+            cluster.kill_kv()
+            assert cluster.revive_kv() is None
+            c2 = _client(network, cluster.kv_addr, "rc2")
+            assert c2.execute([b"GET page"]) == [b"MISS"]
+        finally:
+            cluster.stop()

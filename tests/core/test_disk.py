@@ -1,0 +1,181 @@
+"""SimDisk crash semantics and the ``sc_disk_*`` syscall family.
+
+The durability contract everything in :mod:`repro.apps.kv.wal` rides
+on: writes buffer, fsync is the only barrier, a power loss keeps an
+arbitrary per-sector prefix of the unflushed stream — sector-atomic,
+torn across sectors, reproducible from a seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import FdPermissionError, KernelDead
+from repro.core.policy import FD_READ, FD_RW
+from repro.core.costs import WEIGHTS
+from repro.disk import SECTOR_SIZE, DiskError, SimDisk
+
+SEC = SECTOR_SIZE
+
+
+# -- the device alone --------------------------------------------------------
+
+class TestSimDisk:
+    def test_geometry_is_validated(self):
+        with pytest.raises(DiskError):
+            SimDisk(100, sector=64)          # size not sector-aligned
+        with pytest.raises(DiskError):
+            SimDisk(0)
+        with pytest.raises(DiskError):
+            SimDisk(256, sector=0)
+
+    def test_io_beyond_the_device_refuses(self):
+        disk = SimDisk(4 * SEC)
+        with pytest.raises(DiskError):
+            disk.read(4 * SEC - 1, 2)
+        with pytest.raises(DiskError):
+            disk.write(-1, b"x")
+        disk.write(4 * SEC - 1, b"x")        # last byte is fine
+
+    def test_reads_see_buffered_writes_but_durable_image_does_not(self):
+        disk = SimDisk(4 * SEC)
+        disk.write(10, b"hello")
+        assert disk.read(10, 5) == b"hello"          # buffer cache
+        assert disk.durable_bytes(10, 5) == b"\0" * 5  # not durable
+        assert disk.pending_count == 1
+        assert disk.fsync() == 1
+        assert disk.durable_bytes(10, 5) == b"hello"
+        assert disk.pending_count == 0
+
+    def test_later_write_overlays_earlier_in_stream_order(self):
+        disk = SimDisk(4 * SEC)
+        disk.write(0, b"AAAA")
+        disk.write(2, b"BB")
+        assert disk.read(0, 4) == b"AABB"
+        disk.fsync()
+        assert disk.durable_bytes(0, 4) == b"AABB"
+
+    def test_cross_sector_write_splits_into_sector_subwrites(self):
+        disk = SimDisk(4 * SEC)
+        data = bytes(range(SEC + 10))        # spans two sectors
+        disk.write(SEC - 5, data)
+        assert disk.pending_count == 3       # 5 + SEC + 10 bytes
+        assert disk.sector_span(SEC - 5, len(data)) == 3
+        assert disk.read(SEC - 5, len(data)) == data
+
+    def test_drop_pending_loses_everything_unflushed(self):
+        disk = SimDisk(4 * SEC)
+        disk.write(0, b"keep")
+        disk.fsync()
+        disk.write(0, b"lost")
+        assert disk.drop_pending() == 1
+        assert disk.read(0, 4) == b"keep"
+
+    def test_power_loss_keeps_a_seeded_per_sector_prefix(self):
+        disk = SimDisk(4 * SEC)
+        for i in range(8):
+            disk.write(i * 4, bytes([i + 1]) * 4)    # all in sector 0
+        applied, dropped = disk.power_loss(random.Random(3))
+        assert applied + dropped == 8
+        # a *prefix* survived: if sub-write i is durable, so is every
+        # earlier sub-write (they all target the same sector)
+        flags = [disk.durable_bytes(i * 4, 4) == bytes([i + 1]) * 4
+                 for i in range(8)]
+        assert flags == sorted(flags, reverse=True)
+        assert disk.pending_count == 0
+
+    def test_power_loss_is_reproducible_from_the_seed(self):
+        def run(seed):
+            disk = SimDisk(8 * SEC)
+            for i in range(12):
+                disk.write((i * 37) % (7 * SEC), b"%04d" % i)
+            disk.power_loss(random.Random(seed))
+            return disk.durable_bytes()
+
+        assert run(11) == run(11)
+        images = {run(s) for s in range(20)}
+        assert len(images) > 1               # the tear point varies
+
+    def test_power_loss_can_tear_a_multi_sector_write(self):
+        torn = False
+        for seed in range(40):
+            disk = SimDisk(4 * SEC)
+            disk.write(0, b"A" * (2 * SEC))  # two sector sub-writes
+            disk.power_loss(random.Random(seed))
+            first = disk.durable_bytes(0, SEC) == b"A" * SEC
+            second = disk.durable_bytes(SEC, SEC) == b"A" * SEC
+            if first != second:
+                torn = True
+                break
+        assert torn, "no seed in 0..39 tore the 2-sector write"
+
+    def test_fsynced_data_survives_any_power_loss(self):
+        for seed in range(10):
+            disk = SimDisk(4 * SEC)
+            disk.write(0, b"durable!")
+            disk.fsync()
+            disk.write(0, b"maybe...")
+            disk.power_loss(random.Random(seed))
+            assert disk.durable_bytes(0, 8) in (b"durable!", b"maybe...")
+
+
+# -- the syscall surface -----------------------------------------------------
+
+class TestDiskSyscalls:
+    def test_open_write_fsync_read_roundtrip_is_priced(self, kernel):
+        disk = SimDisk(4 * SEC, name="t-disk")
+        fd = kernel.disk_open(disk)
+        mark = kernel.costs.checkpoint()
+        assert kernel.disk_write(fd, 0, b"x" * (SEC + 1)) == SEC + 1
+        wrote = kernel.costs.delta(mark)
+        assert wrote >= 2 * WEIGHTS["disk_sector_write"]
+        mark = kernel.costs.checkpoint()
+        kernel.disk_fsync(fd)
+        assert kernel.costs.delta(mark) >= \
+            WEIGHTS["disk_fsync"]
+        assert kernel.disk_read(fd, 0, SEC + 1) == b"x" * (SEC + 1)
+
+    def test_read_only_grant_cannot_write_or_fsync(self, kernel):
+        disk = SimDisk(4 * SEC)
+        fd = kernel.disk_open(disk)
+        table = kernel.current().fdtable
+        ro = table.install(table.lookup(fd).file, FD_READ)
+        assert kernel.disk_read(ro, 0, 4) == b"\0" * 4
+        with pytest.raises(FdPermissionError):
+            kernel.disk_write(ro, 0, b"nope")
+        with pytest.raises(FdPermissionError):
+            kernel.disk_fsync(ro)
+
+    def test_plain_kill_drops_unflushed_writes(self, kernel):
+        disk = SimDisk(4 * SEC)
+        fd = kernel.disk_open(disk)
+        kernel.disk_write(fd, 0, b"durable")
+        kernel.disk_fsync(fd)
+        kernel.disk_write(fd, 0, b"vanishe")
+        kernel.kill()
+        assert disk.durable_bytes(0, 7) == b"durable"
+        assert disk.pending_count == 0
+        with pytest.raises(KernelDead):
+            kernel.disk_read(fd, 0, 7)
+
+    def test_power_loss_kill_is_seeded_and_survives_the_kernel(
+            self, kernel):
+        disk = SimDisk(4 * SEC)
+        fd = kernel.disk_open(disk)
+        for i in range(6):
+            kernel.disk_write(fd, i * 8, b"%08d" % i)
+        kernel.kill(power_loss=True, seed=5)
+        image = disk.durable_bytes()
+        # the platter outlives the machine: a new kernel re-opens it
+        from repro.core.kernel import Kernel
+        from repro.net import Network
+        k2 = Kernel(net=Network(), name="incarnation-2")
+        k2.start_main()
+        fd2 = k2.disk_open(disk)
+        assert k2.disk_read(fd2, 0, disk.size) == image
+        k2.kill()
+
+    def test_disk_open_installs_an_fd_rw_grant(self, kernel):
+        disk = SimDisk(4 * SEC)
+        fd = kernel.disk_open(disk)
+        assert kernel.current().fdtable.perms_of(fd) == FD_RW

@@ -39,3 +39,22 @@ def test_campaign_is_deterministic():
 def test_unknown_app_rejected():
     with pytest.raises(KeyError):
         run_chaos("gopherd", seed=1, faults=1)
+
+
+def test_kv_power_loss_drill_recovers_byte_identically():
+    """``--power-loss``: after the storm, kill the kv kernel mid-flush
+    (seeded tear) and rebuild it on the same platter — the recovered
+    incarnation must answer the strict probe and snapshot the same
+    bytes as the pre-kill baseline.  The breaker drill cooldown rides
+    through ``run_chaos`` kwargs (not a buried constant)."""
+    report = run_chaos("kv", seed=3, faults=20, power_loss=True,
+                       breaker_cooldown=0.002)
+    assert report.passed, report.format()
+    assert report.power_loss_drill == "ok"
+    assert report.power_loss_replayed is not None
+
+
+def test_power_loss_drill_is_opt_in():
+    report = run_chaos("kv", seed=3, faults=10)
+    assert report.passed, report.format()
+    assert report.power_loss_drill is None
